@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Section-V ablation (ii): correlation-aware caching vs plain
+ * LRU. The miner learns follower relations on the first half of
+ * the BareTrace read stream (where correlations are strongest —
+ * Finding 8) and both policies are evaluated on the second half,
+ * across a sweep of cache capacities.
+ */
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "bench_common.hh"
+#include "core/corr_cache.hh"
+
+using namespace ethkv;
+using namespace ethkv::bench;
+
+int
+main()
+{
+    const BenchData &data = benchData();
+
+    analysis::printBanner(
+        "Ablation: correlation-aware cache vs LRU");
+    std::printf("Paper (Section V): correlated reads cluster in "
+                "small regions and repeat (Findings 8-9); a cache "
+                "that prefetches correlated keys should beat LRU, "
+                "especially at the medium frequencies LRU misses "
+                "(Finding 6).\n\n");
+
+    const uint64_t capacities[] = {256u << 10, 1u << 20,
+                                   4u << 20, 16u << 20};
+
+    for (const char *trace_name : {"BareTrace", "CacheTrace"}) {
+        const CapturedMode &mode =
+            std::string(trace_name) == "BareTrace" ? data.bare
+                                                   : data.cache;
+        std::printf("--- %s read stream ---\n", trace_name);
+        analysis::Table table(
+            {"capacity", "LRU hit rate", "corr hit rate",
+             "prefetches", "prefetch hits", "useful",
+             "fetch reduction"});
+        for (uint64_t capacity : capacities) {
+            core::CacheComparison cmp =
+                core::compareCachePolicies(mode.trace, capacity);
+            double useful =
+                cmp.correlated.prefetch_fetches
+                    ? static_cast<double>(
+                          cmp.correlated.prefetch_hits) /
+                          static_cast<double>(
+                              cmp.correlated.prefetch_fetches)
+                    : 0.0;
+            double fetch_delta =
+                cmp.lru.totalFetches()
+                    ? 1.0 -
+                          static_cast<double>(
+                              cmp.correlated.demand_fetches) /
+                              static_cast<double>(
+                                  cmp.lru.demand_fetches)
+                    : 0.0;
+            table.addRow({
+                formatBytes(static_cast<double>(capacity)),
+                analysis::fmtShare(cmp.lru.hitRate(), 1),
+                analysis::fmtShare(cmp.correlated.hitRate(), 1),
+                std::to_string(
+                    cmp.correlated.prefetch_fetches),
+                std::to_string(cmp.correlated.prefetch_hits),
+                analysis::fmtShare(useful, 1),
+                analysis::fmtShare(fetch_delta, 1),
+            });
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf("Expected shape: the correlation-aware policy "
+                "lifts hit rate over LRU at every capacity, with "
+                "the gap widest at small-to-medium capacities; "
+                "'useful' is the fraction of prefetches that were "
+                "hit before eviction.\n");
+    return 0;
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Section-V ablation (i): replay the captured CacheTrace workload
+ * through (a) a single LSM store — the Pebble-like baseline Geth
+ * uses — and (b) the hybrid class-routed store the paper
+ * proposes, and compare the overheads the paper attributes to the
+ * LSM: tombstones, compaction rewrites, ordering maintenance for
+ * classes that never scan, and exact-index work for keys that are
+ * never read.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/report.hh"
+#include "bench_common.hh"
+#include "core/hybrid_store.hh"
+#include "kvstore/lsm_store.hh"
+
+using namespace ethkv;
+using namespace ethkv::bench;
+
+namespace
+{
+
+/** Replay every trace record against a store. */
+struct ReplayResult
+{
+    uint64_t ops = 0;
+    uint64_t scan_unsupported = 0;
+    double seconds = 0;
+};
+
+ReplayResult
+replay(const trace::TraceBuffer &trace, kv::KVStore &store)
+{
+    ReplayResult result;
+    auto begin = std::chrono::steady_clock::now();
+    Bytes value;
+    for (const trace::TraceRecord &r : trace.records()) {
+        Bytes key = synthesizeKey(r.class_id, r.key_id,
+                                  r.key_size);
+        switch (r.op) {
+          case trace::OpType::Read:
+            store.get(key, value);
+            break;
+          case trace::OpType::Write:
+          case trace::OpType::Update:
+            store.put(key, synthesizeValue(r.key_id,
+                                           r.value_size));
+            break;
+          case trace::OpType::Delete:
+            store.del(key);
+            break;
+          case trace::OpType::Scan: {
+            int visited = 0;
+            Status s = store.scan(
+                key, BytesView(),
+                [&](BytesView, BytesView) {
+                    return ++visited < 16;
+                });
+            if (s.code() == StatusCode::NotSupported)
+                ++result.scan_unsupported;
+            break;
+          }
+        }
+        ++result.ops;
+    }
+    store.flush();
+    result.seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    return result;
+}
+
+std::string
+mb(uint64_t bytes)
+{
+    return analysis::fmtDouble(
+               static_cast<double>(bytes) / (1024.0 * 1024.0), 1) +
+           " MiB";
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchData &data = benchData(/*need_bare=*/false);
+
+    analysis::printBanner(
+        "Ablation: hybrid class-routed store vs LSM baseline");
+    std::printf("Replaying %zu CacheTrace operations through both "
+                "engines.\n\n",
+                data.cache.trace.size());
+
+    // Baseline: one LSM for everything (Geth's design). The
+    // directory is recreated so reruns measure a fresh store.
+    kv::LSMOptions lsm_options;
+    lsm_options.dir = "bench_cache/ablation_lsm";
+    std::filesystem::remove_all(lsm_options.dir);
+    lsm_options.memtable_bytes = 8u << 20;
+    lsm_options.level_base_bytes = 32u << 20;
+    lsm_options.target_file_bytes = 4u << 20;
+    auto lsm = kv::LSMStore::open(lsm_options);
+    lsm.status().expectOk("ablation lsm open");
+    ReplayResult lsm_run = replay(data.cache.trace,
+                                  *lsm.value());
+    const kv::IOStats &lsm_stats = lsm.value()->stats();
+
+    // Proposal: the hybrid router.
+    core::HybridKVStore hybrid;
+    ReplayResult hybrid_run = replay(data.cache.trace, hybrid);
+    const kv::IOStats &hybrid_stats = hybrid.stats();
+
+    analysis::Table table({"Metric", "LSM baseline", "Hybrid"});
+    table.addRow({"replay wall time",
+                  analysis::fmtDouble(lsm_run.seconds, 1) + " s",
+                  analysis::fmtDouble(hybrid_run.seconds, 1) +
+                      " s"});
+    table.addRow({"bytes persisted (incl. rewrites)",
+                  mb(lsm_stats.bytes_written),
+                  mb(hybrid_stats.bytes_written)});
+    uint64_t logical_bytes = 0;
+    for (const trace::TraceRecord &r : data.cache.trace.records()) {
+        if (r.op == trace::OpType::Write ||
+            r.op == trace::OpType::Update) {
+            logical_bytes += r.key_size + r.value_size;
+        }
+    }
+    auto amp = [&](uint64_t written) {
+        return analysis::fmtDouble(
+            static_cast<double>(written) /
+                static_cast<double>(std::max<uint64_t>(
+                    logical_bytes, 1)),
+            2);
+    };
+    table.addRow({"write amplification (vs logical)",
+                  amp(lsm_stats.bytes_written),
+                  amp(hybrid_stats.bytes_written)});
+    table.addRow({"tombstones written",
+                  std::to_string(lsm_stats.tombstones_written),
+                  std::to_string(
+                      hybrid_stats.tombstones_written)});
+    table.addRow({"compaction rewrite volume",
+                  mb(lsm_stats.compaction_bytes),
+                  mb(hybrid_stats.compaction_bytes)});
+    table.addRow({"log GC rewrite volume",
+                  mb(lsm_stats.gc_bytes),
+                  mb(hybrid_stats.gc_bytes)});
+    table.addRow({"compaction runs",
+                  std::to_string(lsm_stats.compactions),
+                  std::to_string(hybrid_stats.compactions)});
+    table.addRow({"unsupported scans", "0",
+                  std::to_string(hybrid_run.scan_unsupported)});
+    table.print();
+
+    std::printf("\nHybrid internals:\n");
+    std::printf("  lazy log (world state + code): %llu keys "
+                "promoted to exact index of %llu live keys; "
+                "exact-index bytes %s; chunk-scan bytes %s\n",
+                static_cast<unsigned long long>(
+                    hybrid.lazyLog().promotedKeyCount()),
+                static_cast<unsigned long long>(
+                    hybrid.lazyLog().liveKeyCount()),
+                mb(hybrid.lazyLog().indexBytes()).c_str(),
+                mb(hybrid.lazyLog().chunkScanBytes()).c_str());
+    std::printf("  append log (TxLookup/bodies/receipts): %llu "
+                "GC runs reclaimed deletes without tombstones\n",
+                static_cast<unsigned long long>(
+                    hybrid.log().stats().gc_runs));
+    std::printf("  ordered B+-tree (scan classes): %llu keys, "
+                "height %d\n",
+                static_cast<unsigned long long>(
+                    hybrid.ordered().liveKeyCount()),
+                hybrid.ordered().height());
+
+    std::printf("\nExpected shape (paper Section V): the hybrid "
+                "design avoids LSM tombstones and compaction for "
+                "delete-heavy and scan-free classes, and most "
+                "world-state keys never earn an index entry "
+                "(Finding 3).\n");
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Storage-model ablation (paper Section II-A): Geth's evolution
+ * from hash-based to path-based trie persistence. The same
+ * account-churn workload runs through both models; the hash-based
+ * store accumulates redundant stale entries while the path-based
+ * one stays near its live node count and can delete obsolete
+ * nodes — "this significantly reduces redundant entries and
+ * recomputations, thereby improving retrieval performance and
+ * storage efficiency."
+ */
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "common/rand.hh"
+#include "common/stats.hh"
+#include "kvstore/mem_store.hh"
+#include "trie/trie.hh"
+
+using namespace ethkv;
+
+namespace
+{
+
+/** Trie backend over a MemStore so IOStats are comparable. */
+class StoreBackend : public trie::NodeBackend
+{
+  public:
+    Status
+    read(BytesView key, Bytes &encoding) override
+    {
+        return store.get(key, encoding);
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView key,
+          BytesView encoding) override
+    {
+        batch.put(key, encoding);
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView key) override
+    {
+        batch.del(key);
+    }
+
+    kv::MemStore store;
+};
+
+struct ModelResult
+{
+    uint64_t stored_nodes;
+    uint64_t stored_bytes;
+    uint64_t writes;
+    uint64_t deletes;
+    uint64_t reads;
+};
+
+ModelResult
+runModel(trie::TrieStorageMode mode, uint64_t rounds,
+         uint64_t accounts, uint64_t touched_per_round)
+{
+    StoreBackend backend;
+    trie::MerklePatriciaTrie trie(backend, mode);
+    Rng rng(42);
+
+    // Seed the live set.
+    for (uint64_t i = 0; i < accounts; ++i) {
+        trie.put(keccak256Bytes(encodeBE64(i)), rng.nextBytes(60))
+            .expectOk("seed");
+    }
+    {
+        kv::WriteBatch batch;
+        trie.commit(batch);
+        backend.store.apply(batch).expectOk("seed commit");
+    }
+
+    // Churn: each round rewrites a Zipf-hot subset (one block's
+    // worth of account updates).
+    ZipfGenerator zipf(accounts, 0.9);
+    for (uint64_t round = 0; round < rounds; ++round) {
+        for (uint64_t i = 0; i < touched_per_round; ++i) {
+            Bytes key =
+                keccak256Bytes(encodeBE64(zipf.sample(rng)));
+            trie.put(key, rng.nextBytes(60)).expectOk("churn");
+        }
+        kv::WriteBatch batch;
+        trie.commit(batch);
+        backend.store.apply(batch).expectOk("commit");
+        trie.unloadClean();
+    }
+
+    uint64_t bytes = 0;
+    backend.store.scan(BytesView(), BytesView(),
+                       [&](BytesView k, BytesView v) {
+                           bytes += k.size() + v.size();
+                           return true;
+                       });
+    const kv::IOStats &stats = backend.store.stats();
+    return {backend.store.liveKeyCount(), bytes,
+            stats.user_writes, stats.user_deletes,
+            stats.user_reads};
+}
+
+} // namespace
+
+int
+main()
+{
+    analysis::printBanner(
+        "Ablation: path-based vs legacy hash-based trie storage");
+    std::printf("Paper Section II-A: the path-based model "
+                "\"significantly reduces redundant entries and "
+                "recomputations\".\n\n");
+
+    const uint64_t rounds = 300;
+    const uint64_t accounts = 20000;
+    const uint64_t touched = 200;
+    std::printf("Workload: %llu accounts, %llu rounds x %llu "
+                "Zipf-hot updates (one block each)...\n\n",
+                static_cast<unsigned long long>(accounts),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(touched));
+
+    ModelResult path = runModel(trie::TrieStorageMode::PathBased,
+                                rounds, accounts, touched);
+    ModelResult hash = runModel(trie::TrieStorageMode::HashBased,
+                                rounds, accounts, touched);
+
+    analysis::Table table(
+        {"Metric", "path-based", "hash-based", "hash/path"});
+    auto ratio = [](uint64_t a, uint64_t b) {
+        return analysis::fmtDouble(
+            b ? static_cast<double>(a) / static_cast<double>(b)
+              : 0.0,
+            2);
+    };
+    table.addRow({"stored trie nodes",
+                  std::to_string(path.stored_nodes),
+                  std::to_string(hash.stored_nodes),
+                  ratio(hash.stored_nodes, path.stored_nodes)});
+    table.addRow(
+        {"stored bytes",
+         formatBytes(static_cast<double>(path.stored_bytes)),
+         formatBytes(static_cast<double>(hash.stored_bytes)),
+         ratio(hash.stored_bytes, path.stored_bytes)});
+    table.addRow({"node writes", std::to_string(path.writes),
+                  std::to_string(hash.writes),
+                  ratio(hash.writes, path.writes)});
+    table.addRow({"node deletes", std::to_string(path.deletes),
+                  std::to_string(hash.deletes), "-"});
+    table.addRow({"node reads", std::to_string(path.reads),
+                  std::to_string(hash.reads),
+                  ratio(hash.reads, path.reads)});
+    table.print();
+
+    std::printf(
+        "\nExpected shape: identical live state, but the "
+        "hash-based store holds several times the node count "
+        "(every stale version persists; deletes are impossible "
+        "without reference counting), reproducing why Geth "
+        "migrated — and why the paper's traces show low TrieNode "
+        "delete rates under the path-based model (Finding 5).\n");
+    return 0;
+}

@@ -1,0 +1,378 @@
+#include "bench_common.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "trace/trace_file.hh"
+#include "workload/sim.hh"
+
+namespace fs = std::filesystem;
+
+namespace ethkv::bench
+{
+
+namespace
+{
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+std::string
+cacheDir()
+{
+    const char *dir = std::getenv("ETHKV_BENCH_CACHE");
+    return dir ? dir : "bench_cache";
+}
+
+std::string
+basePath(const std::string &mode, uint64_t blocks, uint64_t seed)
+{
+    return cacheDir() + "/" + mode + "_b" +
+           std::to_string(blocks) + "_s" + std::to_string(seed);
+}
+
+void
+writeDistribution(std::FILE *f, const char *tag,
+                  const ExactDistribution &dist)
+{
+    std::fprintf(f, "%s", tag);
+    for (const auto &[value, count] : dist.points()) {
+        std::fprintf(f, " %" PRIu64 ":%" PRIu64, value, count);
+    }
+    std::fprintf(f, "\n");
+}
+
+bool
+readDistribution(std::FILE *f, char expected_tag,
+                 ExactDistribution &dist)
+{
+    int tag = std::fgetc(f);
+    if (tag != expected_tag)
+        return false;
+    for (;;) {
+        int c = std::fgetc(f);
+        if (c == '\n' || c == EOF)
+            return true;
+        if (c != ' ')
+            return false;
+        uint64_t value, count;
+        if (std::fscanf(f, "%" SCNu64 ":%" SCNu64, &value,
+                        &count) != 2) {
+            return false;
+        }
+        dist.add(value, count);
+    }
+}
+
+bool
+saveInventory(const std::string &path,
+              const analysis::StoreInventory &inventory)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "inventory v1 total %" PRIu64 "\n",
+                 inventory.total_pairs);
+    for (int c = 0; c < client::num_kv_classes; ++c) {
+        const analysis::ClassInventory &inv =
+            inventory.classes[c];
+        std::fprintf(f, "C %d %" PRIu64 "\n", c, inv.pairs);
+        writeDistribution(f, "K", inv.key_size);
+        writeDistribution(f, "V", inv.value_size);
+        writeDistribution(f, "S", inv.kv_size_dist);
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+loadInventory(const std::string &path,
+              analysis::StoreInventory &inventory)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    uint64_t total;
+    if (std::fscanf(f, "inventory v1 total %" SCNu64 "\n",
+                    &total) != 1) {
+        std::fclose(f);
+        return false;
+    }
+    inventory.total_pairs = total;
+    for (int c = 0; c < client::num_kv_classes; ++c) {
+        int idx;
+        uint64_t pairs;
+        if (std::fscanf(f, "C %d %" SCNu64 "\n", &idx, &pairs) !=
+                2 ||
+            idx != c) {
+            std::fclose(f);
+            return false;
+        }
+        analysis::ClassInventory &inv = inventory.classes[c];
+        inv.pairs = pairs;
+        if (!readDistribution(f, 'K', inv.key_size) ||
+            !readDistribution(f, 'V', inv.value_size) ||
+            !readDistribution(f, 'S', inv.kv_size_dist)) {
+            std::fclose(f);
+            return false;
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+loadMode(const std::string &base, CapturedMode &mode)
+{
+    if (!fs::exists(base + ".trace") ||
+        !fs::exists(base + ".inv")) {
+        return false;
+    }
+    auto trace = trace::loadTraceFile(base + ".trace");
+    if (!trace.ok())
+        return false;
+    mode.trace = trace.take();
+    if (!loadInventory(base + ".inv", mode.inventory))
+        return false;
+    mode.store_keys = mode.inventory.total_pairs;
+    return true;
+}
+
+void
+captureMode(bool caching, uint64_t blocks, uint64_t seed,
+            const std::string &base, CapturedMode &mode)
+{
+    inform("bench: capturing %s (%" PRIu64
+           " blocks; cached for later benches at %s.*)",
+           caching ? "CacheTrace" : "BareTrace", blocks,
+           base.c_str());
+    wl::SimConfig config = caching
+                               ? wl::cacheTraceConfig(blocks, seed)
+                               : wl::bareTraceConfig(blocks, seed);
+    config.progress_interval = blocks / 4;
+    wl::SimResult result = wl::runSimulation(config);
+
+    mode.trace = std::move(result.trace);
+    mode.inventory = analysis::analyzeStore(*result.engine);
+    mode.store_keys = mode.inventory.total_pairs;
+
+    std::error_code ec;
+    fs::create_directories(cacheDir(), ec);
+    auto writer = trace::TraceFileWriter::create(base + ".trace");
+    if (writer.ok()) {
+        for (const trace::TraceRecord &r : mode.trace.records())
+            writer.value()->append(r);
+        writer.value()->finish().expectOk("bench trace save");
+    }
+    saveInventory(base + ".inv", mode.inventory);
+}
+
+} // namespace
+
+const BenchData &
+benchData(bool need_bare)
+{
+    static BenchData data;
+    static bool cache_loaded = false;
+    static bool bare_loaded = false;
+
+    if (!cache_loaded) {
+        data.blocks = envU64("ETHKV_BENCH_BLOCKS", 1200);
+        data.seed = envU64("ETHKV_BENCH_SEED", 42);
+        std::string base =
+            basePath("cache", data.blocks, data.seed);
+        if (!loadMode(base, data.cache)) {
+            captureMode(true, data.blocks, data.seed, base,
+                        data.cache);
+        }
+        cache_loaded = true;
+    }
+    if (need_bare && !bare_loaded) {
+        std::string base = basePath("bare", data.blocks, data.seed);
+        if (!loadMode(base, data.bare)) {
+            captureMode(false, data.blocks, data.seed, base,
+                        data.bare);
+        }
+        bare_loaded = true;
+    }
+    return data;
+}
+
+namespace
+{
+
+// Table II of the paper (CacheTrace), percentages.
+const PaperClassRef table2[] = {
+    {"TrieNodeStorage", 38.5, 8.51, 50.9, 35.7, 0, 4.87},
+    {"SnapshotStorage", 17.9, 14.3, 32.6, 45.0, 0.002, 8.09},
+    {"TxLookup", 11.1, 52.0, 0.0004, 0, 0, 48.0},
+    {"TrieNodeAccount", 23.2, 2.32, 59.7, 38.0, 0, 0.003},
+    {"SnapshotAccount", 7.48, 7.20, 64.9, 27.9, 0.000001, 0.006},
+    {"HeaderNumber", 0.05, 74.9, 0.0007, 25.1, 0, 0},
+    {"BloomBits", 0.02, 97.8, 0, 2.20, 0, 0},
+    {"Code", 0.41, 1.11, 11.7, 87.2, 0, 0},
+    {"SkeletonHeader", 0.05, 16.4, 0.40, 83.2, 0, 0},
+    {"BlockHeader", 0.62, 16.9, 0.0002, 60.6, 5.63, 16.9},
+    {"BlockReceipts", 0.11, 32.1, 0.0003, 35.8, 0, 32.1},
+    {"BlockBody", 0.14, 24.2, 0.0002, 51.6, 0, 24.2},
+    {"StateID", 0.07, 50.0, 0.0005, 0, 0, 50.0},
+    {"BloomBitsIndex", 0.002, 0.55, 0.55, 98.9, 0, 0},
+    {"LastStateID", 0.03, 0, 0.11, 99.9, 0, 0},
+    {"Unclean-shutdown", 0.00004, 0, 50.0, 50.0, 0, 0},
+    {"LastBlock", 0.04, 0, 99.7, 0.28, 0, 0},
+    {"SnapshotGenerator", 0.0004, 0, 100.0, 0, 0, 0},
+    {"SnapshotRoot", 0.0007, 0, 50.0, 0, 0, 50.0},
+    {"SkeletonSyncStatus", 0.009, 0, 99.8, 0.19, 0, 0},
+    {"LastHeader", 0.03, 0, 100.0, 0, 0, 0},
+    {"TransactionIndexTail", 0.00009, 0, 59.9, 40.1, 0, 0},
+    {"LastFast", 0.03, 0, 100.0, 0, 0, 0},
+    {nullptr, 0, 0, 0, 0, 0, 0},
+};
+
+// Table III of the paper (BareTrace).
+const PaperClassRef table3[] = {
+    {"TrieNodeStorage", 57.3, 1.96, 36.8, 60.2, 0, 1.10},
+    {"TxLookup", 3.46, 52.0, 0.0004, 0, 0, 48.0},
+    {"TrieNodeAccount", 38.6, 0.62, 58.1, 41.3, 0, 0.0005},
+    {"HeaderNumber", 0.03, 41.3, 0.0004, 58.7, 0, 0},
+    {"BloomBits", 0.006, 94.3, 0, 5.75, 0, 0},
+    {"Code", 0.13, 1.11, 11.7, 87.2, 0, 0},
+    {"SkeletonHeader", 0.05, 4.57, 1.45, 75.6, 0, 18.4},
+    {"BlockHeader", 0.20, 16.4, 0.0002, 61.7, 5.47, 16.4},
+    {"BlockReceipts", 0.03, 32.1, 0.0003, 35.9, 0, 32.0},
+    {"BlockBody", 0.05, 23.2, 0.0002, 53.5, 0, 23.2},
+    {"StateID", 0.02, 50.0, 0.0005, 0, 0, 50.0},
+    {"BloomBitsIndex", 0.002, 0.15, 0.15, 99.7, 0, 0},
+    {"LastStateID", 0.03, 0, 33.3, 66.7, 0, 0},
+    {"Unclean-shutdown", 0.00005, 0, 50.0, 50.0, 0, 0},
+    {"LastBlock", 0.01, 0, 98.9, 1.05, 0, 0},
+    {"SkeletonSyncStatus", 0.003, 1.51, 97.7, 0.75, 0, 0},
+    {"LastHeader", 0.01, 0, 100.0, 0, 0, 0},
+    {"TransactionIndexTail", 0.00003, 0, 55.3, 44.7, 0, 0},
+    {"LastFast", 0.01, 0, 100.0, 0, 0, 0},
+    {nullptr, 0, 0, 0, 0, 0, 0},
+};
+
+} // namespace
+
+const PaperClassRef *
+paperTable2()
+{
+    return table2;
+}
+
+const PaperClassRef *
+paperTable3()
+{
+    return table3;
+}
+
+const PaperClassRef *
+paperRef(const PaperClassRef *table, const char *cls)
+{
+    for (const PaperClassRef *row = table; row->cls; ++row)
+        if (std::string(row->cls) == cls)
+            return row;
+    return nullptr;
+}
+
+Bytes
+synthesizeKey(uint16_t class_id, uint64_t key_id,
+              uint16_t key_size)
+{
+    using client::KVClass;
+    auto cls = static_cast<KVClass>(class_id);
+
+    // Singletons keep their real keys (routing and classification
+    // depend on them verbatim).
+    switch (cls) {
+      case KVClass::LastBlock: return Bytes(client::lastBlockKey());
+      case KVClass::LastHeader:
+        return Bytes(client::lastHeaderKey());
+      case KVClass::LastFast: return Bytes(client::lastFastKey());
+      case KVClass::LastStateID:
+        return Bytes(client::lastStateIDKey());
+      case KVClass::DatabaseVersion:
+        return Bytes(client::databaseVersionKey());
+      case KVClass::SnapshotRoot:
+        return Bytes(client::snapshotRootKey());
+      case KVClass::SnapshotJournal:
+        return Bytes(client::snapshotJournalKey());
+      case KVClass::SnapshotGenerator:
+        return Bytes(client::snapshotGeneratorKey());
+      case KVClass::SnapshotRecovery:
+        return Bytes(client::snapshotRecoveryKey());
+      case KVClass::SkeletonSyncStatus:
+        return Bytes(client::skeletonSyncStatusKey());
+      case KVClass::TransactionIndexTail:
+        return Bytes(client::transactionIndexTailKey());
+      case KVClass::UncleanShutdown:
+        return Bytes(client::uncleanShutdownKey());
+      case KVClass::TrieJournal:
+        return Bytes(client::trieJournalKey());
+      default: break;
+    }
+
+    const char *prefix;
+    switch (cls) {
+      case KVClass::BlockHeader: prefix = "h"; break;
+      case KVClass::BlockBody: prefix = "b"; break;
+      case KVClass::BlockReceipts: prefix = "r"; break;
+      case KVClass::HeaderNumber: prefix = "H"; break;
+      case KVClass::TxLookup: prefix = "l"; break;
+      case KVClass::BloomBits: prefix = "B"; break;
+      case KVClass::Code: prefix = "c"; break;
+      case KVClass::SnapshotAccount: prefix = "a"; break;
+      case KVClass::SnapshotStorage: prefix = "o"; break;
+      case KVClass::TrieNodeAccount: prefix = "A"; break;
+      case KVClass::TrieNodeStorage: prefix = "O"; break;
+      case KVClass::SkeletonHeader: prefix = "S"; break;
+      case KVClass::StateID: prefix = "L"; break;
+      case KVClass::BloomBitsIndex: prefix = "iB"; break;
+      case KVClass::EthereumConfig:
+        prefix = "ethereum-config-";
+        break;
+      case KVClass::EthereumGenesis:
+        prefix = "ethereum-genesis-";
+        break;
+      default: prefix = "?"; break;
+    }
+
+    // Body bytes derive from a hash stream over the key id so that
+    // even very short keys (shallow trie paths) stay distinct with
+    // high probability.
+    Bytes key = prefix;
+    uint64_t h = key_id * 0x9e3779b97f4a7c15ULL + 0x517e;
+    h ^= h >> 33;
+    while (key.size() < key_size) {
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        key.push_back(static_cast<char>((h >> 32) & 0xff));
+    }
+    key.resize(key_size);
+    // Canonical-hash header keys must end in 'n' to classify.
+    if (cls == KVClass::BlockHeader && key_size == 10)
+        key[9] = 'n';
+    return key;
+}
+
+Bytes
+synthesizeValue(uint64_t key_id, uint32_t value_size)
+{
+    Bytes value;
+    value.reserve(value_size);
+    uint64_t h = key_id * 0x9e3779b97f4a7c15ULL + 1;
+    while (value.size() < value_size) {
+        value.push_back(static_cast<char>(h & 0xff));
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    return value;
+}
+
+} // namespace ethkv::bench

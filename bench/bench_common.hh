@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared bench harness: capture (or load cached) CacheTrace and
+ * BareTrace runs, plus paper reference values for side-by-side
+ * reporting.
+ *
+ * The first bench binary to run performs the two capture runs and
+ * persists the traces + store inventories under a cache directory;
+ * later binaries load them, so the whole table/figure suite pays
+ * the simulation cost once.
+ *
+ * Environment knobs:
+ *   ETHKV_BENCH_BLOCKS  blocks per trace run (default 1200)
+ *   ETHKV_BENCH_SEED    workload seed (default 42)
+ *   ETHKV_BENCH_CACHE   cache directory (default ./bench_cache)
+ */
+
+#ifndef ETHKV_BENCH_BENCH_COMMON_HH
+#define ETHKV_BENCH_BENCH_COMMON_HH
+
+#include <string>
+
+#include "analysis/class_stats.hh"
+#include "client/class_cache.hh"
+#include "trace/record.hh"
+
+namespace ethkv::bench
+{
+
+/** One captured mode: its trace and final-store inventory. */
+struct CapturedMode
+{
+    trace::TraceBuffer trace;
+    analysis::StoreInventory inventory;
+    uint64_t store_keys = 0;
+};
+
+/** Both capture modes over the same workload. */
+struct BenchData
+{
+    CapturedMode cache; //!< Caching + snapshot on (CacheTrace).
+    CapturedMode bare;  //!< Both off (BareTrace).
+    uint64_t blocks = 0;
+    uint64_t seed = 0;
+};
+
+/**
+ * Load (or capture and persist) the bench dataset.
+ *
+ * @param need_bare Skip the BareTrace run when a bench only needs
+ *        CacheTrace (both load if already cached).
+ */
+const BenchData &benchData(bool need_bare = true);
+
+/** Per-class paper reference values for report columns. */
+struct PaperClassRef
+{
+    const char *cls;
+    double ops_share;  //!< % of all ops (Tables II/III).
+    double writes;     //!< % within class.
+    double updates;
+    double reads;
+    double scans;
+    double deletes;
+};
+
+/** Table II (CacheTrace) rows; nullptr-terminated by cls==nullptr. */
+const PaperClassRef *paperTable2();
+
+/** Table III (BareTrace) rows. */
+const PaperClassRef *paperTable3();
+
+/** Look up a class's reference row (nullptr if not in the table). */
+const PaperClassRef *paperRef(const PaperClassRef *table,
+                              const char *cls);
+
+/**
+ * Rebuild a concrete key for a trace record.
+ *
+ * Traces store interned ids, not key bytes; replay benches need
+ * byte keys whose schema classification matches the recorded
+ * class. The synthesized key carries the class's prefix, the key
+ * id, and filler up to the recorded size.
+ */
+Bytes synthesizeKey(uint16_t class_id, uint64_t key_id,
+                    uint16_t key_size);
+
+/** Deterministic value bytes of the recorded size. */
+Bytes synthesizeValue(uint64_t key_id, uint32_t value_size);
+
+} // namespace ethkv::bench
+
+#endif // ETHKV_BENCH_BENCH_COMMON_HH

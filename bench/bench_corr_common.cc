@@ -1,0 +1,130 @@
+#include "bench_corr_common.hh"
+
+#include <cstdio>
+
+#include "analysis/report.hh"
+
+namespace ethkv::bench
+{
+
+namespace
+{
+
+analysis::CorrelationResult
+analyze(const CapturedMode &mode, trace::OpType op)
+{
+    analysis::CorrelationConfig config;
+    config.op = op;
+    return analysis::analyzeCorrelation(mode.trace, config);
+}
+
+} // namespace
+
+void
+printDistanceFigure(const CapturedMode &mode,
+                    const char *trace_name, trace::OpType op)
+{
+    analysis::CorrelationResult result = analyze(mode, op);
+
+    std::printf("--- %s: correlated %ss vs distance ---\n",
+                trace_name, trace::opTypeName(op));
+
+    for (bool intra : {false, true}) {
+        auto tops = result.topPairs(0, intra, 3);
+        std::printf("%s-class top pairs:\n",
+                    intra ? "intra" : "cross");
+        if (tops.empty()) {
+            std::printf("  (none)\n");
+            continue;
+        }
+        analysis::Table table({"pair", "d=0", "d=1", "d=4",
+                               "d=16", "d=64", "d=256",
+                               "d=1024"});
+        for (const analysis::ClassPair &pair : tops) {
+            table.addRow({
+                pair.label(),
+                std::to_string(result.count(pair, 0)),
+                std::to_string(result.count(pair, 1)),
+                std::to_string(result.count(pair, 4)),
+                std::to_string(result.count(pair, 16)),
+                std::to_string(result.count(pair, 64)),
+                std::to_string(result.count(pair, 256)),
+                std::to_string(result.count(pair, 1024)),
+            });
+        }
+        table.print();
+
+        // Shape checks: counts decay with distance; intra-class
+        // dominates cross-class at distance 0.
+        const analysis::ClassPair &lead = tops.front();
+        uint64_t at0 = result.count(lead, 0);
+        uint64_t at1024 = result.count(lead, 1024);
+        std::printf("  lead pair %s: d=0 count %llu vs d=1024 "
+                    "count %llu -> %s\n",
+                    lead.label().c_str(),
+                    static_cast<unsigned long long>(at0),
+                    static_cast<unsigned long long>(at1024),
+                    at0 > at1024
+                        ? "decays with distance (as in paper)"
+                        : "no decay (unexpected)");
+    }
+    std::printf("\n");
+}
+
+void
+printFrequencyFigure(const CapturedMode &mode,
+                     const char *trace_name, trace::OpType op,
+                     bool intra_only)
+{
+    analysis::CorrelationResult result = analyze(mode, op);
+
+    std::printf("--- %s: correlated-%s frequency distributions "
+                "---\n",
+                trace_name, trace::opTypeName(op));
+
+    std::vector<analysis::ClassPair> pairs;
+    for (const analysis::ClassPair &pair :
+         result.topPairs(0, true, 3)) {
+        pairs.push_back(pair);
+    }
+    if (!intra_only) {
+        for (const analysis::ClassPair &pair :
+             result.topPairs(0, false, 3)) {
+            pairs.push_back(pair);
+        }
+    }
+
+    for (const analysis::ClassPair &pair : pairs) {
+        for (uint32_t distance : {0u, 1024u}) {
+            const ExactDistribution &dist =
+                result.frequencies(pair, distance);
+            std::printf("  %s d=%u: ", pair.label().c_str(),
+                        distance);
+            if (dist.empty()) {
+                std::printf("(no qualifying key pairs)\n");
+                continue;
+            }
+            std::printf("%llu key pairs, max frequency %llu; "
+                        "freq:pairs series: ",
+                        static_cast<unsigned long long>(
+                            dist.totalCount()),
+                        static_cast<unsigned long long>(
+                            dist.maxValue()));
+            size_t printed = 0;
+            for (const auto &[f, count] : dist.points()) {
+                if (printed++ > 12) {
+                    std::printf("...");
+                    break;
+                }
+                std::printf(
+                    "%llu:%llu ",
+                    static_cast<unsigned long long>(f),
+                    static_cast<unsigned long long>(count));
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace ethkv::bench

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared renderers for the correlation figures (4-7).
+ */
+
+#ifndef ETHKV_BENCH_BENCH_CORR_COMMON_HH
+#define ETHKV_BENCH_BENCH_CORR_COMMON_HH
+
+#include "analysis/correlation.hh"
+#include "bench_common.hh"
+
+namespace ethkv::bench
+{
+
+/**
+ * Figure 4/6 renderer: correlated-op counts vs distance for the
+ * top-3 cross-class and top-3 intra-class pairs of one trace.
+ */
+void printDistanceFigure(const CapturedMode &mode,
+                         const char *trace_name,
+                         trace::OpType op);
+
+/**
+ * Figure 5/7 renderer: the key-pair frequency distributions at
+ * distance 0 and 1024 for the most prominent class pairs.
+ *
+ * @param intra_only Figure 7 shows intra-class pairs only.
+ */
+void printFrequencyFigure(const CapturedMode &mode,
+                          const char *trace_name,
+                          trace::OpType op, bool intra_only);
+
+} // namespace ethkv::bench
+
+#endif // ETHKV_BENCH_BENCH_CORR_COMMON_HH

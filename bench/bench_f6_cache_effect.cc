@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates Finding 6: caching's effectiveness by key-frequency
+ * band. Comparing BareTrace and CacheTrace read volumes shows
+ * large reductions for the most-read keys but much weaker
+ * reductions for medium-frequency keys (read 10-100 times) — the
+ * LRU blind spot that motivates correlation-aware caching.
+ */
+
+#include <cstdio>
+
+#include "analysis/op_distribution.hh"
+#include "analysis/report.hh"
+#include "bench_common.hh"
+
+using namespace ethkv;
+using namespace ethkv::bench;
+
+int
+main()
+{
+    const BenchData &data = benchData();
+
+    analysis::printBanner(
+        "Finding 6: cache effectiveness by frequency band");
+    std::printf(
+        "Paper: top-0.1%% most-read keys see 99.97%% (TA) / "
+        "99.94%% (TS) read reduction;\nmedium-frequency keys "
+        "(10-100 reads) only 50.0-64.4%% (TA).\n\n");
+
+    auto cache_reads = analysis::KeyFrequency::analyze(
+        data.cache.trace, trace::OpType::Read);
+    auto bare_reads = analysis::KeyFrequency::analyze(
+        data.bare.trace, trace::OpType::Read);
+
+    uint64_t cache_total = 0, bare_total = 0;
+    for (const trace::TraceRecord &r : data.cache.trace.records())
+        cache_total += (r.op == trace::OpType::Read);
+    for (const trace::TraceRecord &r : data.bare.trace.records())
+        bare_total += (r.op == trace::OpType::Read);
+    std::printf("Total reads: bare %llu -> cache %llu (%s "
+                "reduction; paper: 4.65B -> 0.96B, 79%%)\n\n",
+                static_cast<unsigned long long>(bare_total),
+                static_cast<unsigned long long>(cache_total),
+                analysis::fmtShare(
+                    1.0 - static_cast<double>(cache_total) /
+                              static_cast<double>(bare_total),
+                    1)
+                    .c_str());
+
+    const client::KVClass classes[] = {
+        client::KVClass::TrieNodeAccount,
+        client::KVClass::TrieNodeStorage,
+    };
+
+    analysis::Table table({"Class", "band", "bare reads",
+                           "cache reads", "reduction"});
+    for (client::KVClass cls : classes) {
+        // Head band: ops on the top 0.1% most-read keys (ranked
+        // within each trace).
+        uint64_t bare_top = bare_reads.topKeyOps(cls, 0.001);
+        uint64_t cache_top = cache_reads.topKeyOps(cls, 0.001);
+        // Medium band: keys read 10..100 times in the bare trace
+        // vs the same band in the cache trace.
+        uint64_t bare_mid = bare_reads.bandOps(cls, 10, 100);
+        uint64_t cache_mid = cache_reads.bandOps(cls, 10, 100);
+
+        auto reduction = [](uint64_t bare, uint64_t cache) {
+            if (bare == 0)
+                return std::string("-");
+            double r = 1.0 - static_cast<double>(cache) /
+                                 static_cast<double>(bare);
+            return analysis::fmtShare(r, 1);
+        };
+        table.addRow({client::kvClassName(cls), "top 0.1% keys",
+                      std::to_string(bare_top),
+                      std::to_string(cache_top),
+                      reduction(bare_top, cache_top)});
+        table.addRow({client::kvClassName(cls), "10-100 reads",
+                      std::to_string(bare_mid),
+                      std::to_string(cache_mid),
+                      reduction(bare_mid, cache_mid)});
+    }
+    table.print();
+
+    std::printf("\nExpected shape: head-band reduction well above "
+                "medium-band reduction — the LRU absorbs hot keys "
+                "but misses the middle of the distribution.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Regenerates Finding 7: snapshot acceleration's trade — fewer
+ * reads and writes to the world state, paid for with extra KV
+ * pairs in the store.
+ */
+
+#include <cstdio>
+
+#include "analysis/op_distribution.hh"
+#include "analysis/report.hh"
+#include "bench_common.hh"
+
+using namespace ethkv;
+using namespace ethkv::bench;
+
+namespace
+{
+
+uint64_t
+classOps(const analysis::OpDistribution &ops,
+         client::KVClass cls, trace::OpType a, trace::OpType b)
+{
+    return ops.count(cls, a) + ops.count(cls, b);
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchData &data = benchData();
+
+    analysis::printBanner(
+        "Finding 7: snapshot acceleration trade-off");
+    std::printf("Paper: trie reads drop 82.7%% (TA) and 87.5%% "
+                "(TS); world-state reads drop 79.7%% overall; "
+                "writes drop 64.2%%;\nstore keys grow 61.5%% "
+                "(2.44B -> 3.94B).\n\n");
+
+    auto cache_ops =
+        analysis::OpDistribution::analyze(data.cache.trace);
+    auto bare_ops =
+        analysis::OpDistribution::analyze(data.bare.trace);
+
+    using trace::OpType;
+    auto reads = [&](const analysis::OpDistribution &ops,
+                     client::KVClass cls) {
+        return ops.count(cls, OpType::Read);
+    };
+    auto writes = [&](const analysis::OpDistribution &ops,
+                      client::KVClass cls) {
+        return classOps(ops, cls, OpType::Write, OpType::Update);
+    };
+
+    const auto TA = client::KVClass::TrieNodeAccount;
+    const auto TS = client::KVClass::TrieNodeStorage;
+    const auto SA = client::KVClass::SnapshotAccount;
+    const auto SS = client::KVClass::SnapshotStorage;
+
+    auto pct = [](uint64_t bare, uint64_t cache) {
+        if (bare == 0)
+            return std::string("-");
+        return analysis::fmtShare(
+            1.0 - static_cast<double>(cache) /
+                      static_cast<double>(bare),
+            1);
+    };
+
+    uint64_t bare_ws_reads = reads(bare_ops, TA) +
+                             reads(bare_ops, TS);
+    uint64_t cache_ws_reads = reads(cache_ops, TA) +
+                              reads(cache_ops, TS) +
+                              reads(cache_ops, SA) +
+                              reads(cache_ops, SS);
+    uint64_t bare_ws_writes = writes(bare_ops, TA) +
+                              writes(bare_ops, TS);
+    uint64_t cache_ws_writes = writes(cache_ops, TA) +
+                               writes(cache_ops, TS) +
+                               writes(cache_ops, SA) +
+                               writes(cache_ops, SS);
+
+    analysis::Table table(
+        {"Metric", "BareTrace", "CacheTrace", "reduction",
+         "paper"});
+    table.addRow({"TrieNodeAccount reads",
+                  std::to_string(reads(bare_ops, TA)),
+                  std::to_string(reads(cache_ops, TA)),
+                  pct(reads(bare_ops, TA), reads(cache_ops, TA)),
+                  "82.7%"});
+    table.addRow({"TrieNodeStorage reads",
+                  std::to_string(reads(bare_ops, TS)),
+                  std::to_string(reads(cache_ops, TS)),
+                  pct(reads(bare_ops, TS), reads(cache_ops, TS)),
+                  "87.5%"});
+    table.addRow({"World-state reads (incl. snapshot)",
+                  std::to_string(bare_ws_reads),
+                  std::to_string(cache_ws_reads),
+                  pct(bare_ws_reads, cache_ws_reads), "79.7%"});
+    table.addRow({"World-state writes+updates",
+                  std::to_string(bare_ws_writes),
+                  std::to_string(cache_ws_writes),
+                  pct(bare_ws_writes, cache_ws_writes), "64.2%"});
+    table.print();
+
+    double growth =
+        static_cast<double>(data.cache.store_keys) /
+            static_cast<double>(data.bare.store_keys) -
+        1.0;
+    std::printf("\nStorage overhead: store keys %llu (bare) -> "
+                "%llu (cache): +%s (paper: +61.5%%)\n",
+                static_cast<unsigned long long>(
+                    data.bare.store_keys),
+                static_cast<unsigned long long>(
+                    data.cache.store_keys),
+                analysis::fmtShare(growth, 1).c_str());
+
+    std::printf("\nNote: trie-read reductions scale with trie "
+                "depth; mainnet tries are ~7-8 levels deep vs "
+                "~4-5 at sim scale, so measured reductions are "
+                "smaller than the paper's but in the same "
+                "direction (see EXPERIMENTS.md).\n");
+    return 0;
+}

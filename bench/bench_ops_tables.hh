@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared renderer for Tables II and III (per-class operation
+ * distributions), used by their two bench binaries.
+ */
+
+#ifndef ETHKV_BENCH_BENCH_OPS_TABLES_HH
+#define ETHKV_BENCH_BENCH_OPS_TABLES_HH
+
+#include "bench_common.hh"
+
+namespace ethkv::bench
+{
+
+/**
+ * Print the measured per-class op distribution of one trace next
+ * to the paper's reference table.
+ */
+void printOpsTable(const CapturedMode &mode,
+                   const PaperClassRef *paper_table,
+                   const char *title, uint64_t blocks);
+
+} // namespace ethkv::bench
+
+#endif // ETHKV_BENCH_BENCH_OPS_TABLES_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Scale-effect sweep: how the paper's headline ratios move with
+ * simulated state size (at a fixed cache budget).
+ *
+ * Two opposing forces connect laptop scale to mainnet scale:
+ *
+ *  - Trie depth grows with log16(state size), so BareTrace ops
+ *    per block *rise* with state (mainnet: ~9160/block at ~260M
+ *    accounts, depth 7-8).
+ *  - Cache effectiveness depends on the cache:working-set ratio,
+ *    so at a fixed budget the read reductions *fall* as the state
+ *    outgrows the cache.
+ *
+ * The paper's numbers (3.2x op ratio, 80-87%% trie-read cuts) sit
+ * where both effects play out at mainnet magnitudes: deep tries
+ * AND a 1 GiB cache that still covers the Zipf-hot working set.
+ * This sweep makes both trends visible and brackets the paper's
+ * values.
+ */
+
+#include <cstdio>
+
+#include "analysis/op_distribution.hh"
+#include "analysis/report.hh"
+#include "bench_common.hh"
+#include "workload/sim.hh"
+
+using namespace ethkv;
+using namespace ethkv::bench;
+
+namespace
+{
+
+struct SweepPoint
+{
+    uint64_t accounts;
+    double ops_ratio;        //!< bare ops / cache ops.
+    double trie_read_cut;    //!< TA+TS read reduction.
+    double ws_read_cut;      //!< incl. snapshot reads.
+    uint64_t bare_ops_per_block;
+};
+
+SweepPoint
+runPoint(uint64_t accounts, uint64_t blocks)
+{
+    auto configure = [&](bool caching) {
+        wl::SimConfig config =
+            caching ? wl::cacheTraceConfig(blocks)
+                    : wl::bareTraceConfig(blocks);
+        config.workload.initial_accounts = accounts;
+        config.workload.initial_contracts =
+            std::max<uint64_t>(100, accounts / 100);
+        config.workload.seeded_tx_lookups = accounts / 2;
+        config.workload.seeded_header_numbers = accounts / 20;
+        config.workload.seeded_bloom_bits = accounts / 40;
+        config.restart_interval = 0; // keep runs comparable
+        return config;
+    };
+
+    wl::SimResult cache_run = wl::runSimulation(configure(true));
+    wl::SimResult bare_run = wl::runSimulation(configure(false));
+
+    auto cache_ops =
+        analysis::OpDistribution::analyze(cache_run.trace);
+    auto bare_ops =
+        analysis::OpDistribution::analyze(bare_run.trace);
+
+    using trace::OpType;
+    const auto TA = client::KVClass::TrieNodeAccount;
+    const auto TS = client::KVClass::TrieNodeStorage;
+    const auto SA = client::KVClass::SnapshotAccount;
+    const auto SS = client::KVClass::SnapshotStorage;
+
+    uint64_t bare_trie_reads =
+        bare_ops.count(TA, OpType::Read) +
+        bare_ops.count(TS, OpType::Read);
+    uint64_t cache_trie_reads =
+        cache_ops.count(TA, OpType::Read) +
+        cache_ops.count(TS, OpType::Read);
+    uint64_t cache_ws_reads = cache_trie_reads +
+                              cache_ops.count(SA, OpType::Read) +
+                              cache_ops.count(SS, OpType::Read);
+
+    SweepPoint point;
+    point.accounts = accounts;
+    point.ops_ratio = static_cast<double>(bare_run.trace.size()) /
+                      static_cast<double>(cache_run.trace.size());
+    point.trie_read_cut =
+        1.0 - static_cast<double>(cache_trie_reads) /
+                  static_cast<double>(bare_trie_reads);
+    point.ws_read_cut =
+        1.0 - static_cast<double>(cache_ws_reads) /
+                  static_cast<double>(bare_trie_reads);
+    point.bare_ops_per_block =
+        bare_run.trace.size() / bare_run.blocks_processed;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    analysis::printBanner(
+        "Scale sweep: paper ratios vs simulated state size");
+    std::printf(
+        "Paper values (at 260M-account mainnet scale): ops ratio "
+        "3.2x, trie-read reduction ~85%%,\nworld-state read "
+        "reduction 79.7%%, BareTrace ~9160 ops/block.\n\n");
+
+    const uint64_t sweep[] = {5000, 25000, 100000};
+    const uint64_t blocks = 220;
+
+    analysis::Table table({"seeded accounts", "bare/cache ops",
+                           "trie-read cut", "ws-read cut",
+                           "bare ops/block"});
+    for (uint64_t accounts : sweep) {
+        std::printf("running %llu-account point...\n",
+                    static_cast<unsigned long long>(accounts));
+        SweepPoint point = runPoint(accounts, blocks);
+        table.addRow({
+            std::to_string(point.accounts),
+            analysis::fmtDouble(point.ops_ratio, 2) + "x",
+            analysis::fmtShare(point.trie_read_cut, 1),
+            analysis::fmtShare(point.ws_read_cut, 1),
+            std::to_string(point.bare_ops_per_block),
+        });
+    }
+    std::printf("\n");
+    table.print();
+
+    std::printf(
+        "\nExpected shape: bare ops/block rises with state size "
+        "(trie depth ~ log16(accounts), toward the paper's ~9160 "
+        "at mainnet scale), while the fixed-budget read "
+        "reductions fall as the state outgrows the cache — the "
+        "paper's 80-87%% trie-read cuts correspond to a cache "
+        "that still covers mainnet's Zipf-hot working set.\n");
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates Table II: the per-class KV operation distribution of
+ * CacheTrace (caching + snapshot acceleration enabled), with the
+ * paper's percentages alongside (Findings 3-5).
+ */
+
+#include "bench_ops_tables.hh"
+
+using namespace ethkv::bench;
+
+int
+main()
+{
+    const BenchData &data = benchData(/*need_bare=*/false);
+    printOpsTable(data.cache, paperTable2(),
+                  "Table II: KV operation distribution, CacheTrace",
+                  data.blocks);
+    return 0;
+}

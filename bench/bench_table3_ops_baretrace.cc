@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Regenerates Table III: the per-class KV operation distribution
+ * of BareTrace (caching and snapshot acceleration disabled), with
+ * the paper's percentages alongside (Findings 3-5).
+ */
+
+#include "bench_ops_tables.hh"
+
+using namespace ethkv::bench;
+
+int
+main()
+{
+    const BenchData &data = benchData();
+    printOpsTable(data.bare, paperTable3(),
+                  "Table III: KV operation distribution, BareTrace",
+                  data.blocks);
+    return 0;
+}

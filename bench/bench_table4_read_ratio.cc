@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates Table IV (Finding 3): the read ratio of KV pairs —
+ * the fraction of each world-state class's stored pairs that are
+ * ever read during the trace — plus the read-once fractions behind
+ * "most KV pairs are rarely or never read".
+ */
+
+#include <cstdio>
+
+#include "analysis/op_distribution.hh"
+#include "analysis/report.hh"
+#include "bench_common.hh"
+
+using namespace ethkv;
+using namespace ethkv::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    client::KVClass cls;
+    double bare;  //!< Table IV, % (0 = "-").
+    double cache;
+    double cache_once; //!< Finding 3: read-once % (CacheTrace).
+};
+
+const PaperRow rows[] = {
+    {client::KVClass::SnapshotAccount, 0, 11.0, 71.5},
+    {client::KVClass::SnapshotStorage, 0, 12.0, 81.8},
+    {client::KVClass::TrieNodeAccount, 14.7, 13.0, 48.1},
+    {client::KVClass::TrieNodeStorage, 8.34, 6.59, 63.1},
+};
+
+} // namespace
+
+int
+main()
+{
+    const BenchData &data = benchData();
+
+    analysis::printBanner(
+        "Table IV: read ratios of KV pairs (Finding 3)");
+
+    auto cache_reads = analysis::KeyFrequency::analyze(
+        data.cache.trace, trace::OpType::Read);
+    auto bare_reads = analysis::KeyFrequency::analyze(
+        data.bare.trace, trace::OpType::Read);
+
+    analysis::Table table({"Class", "BareTrace", "paper",
+                           "CacheTrace", "paper"});
+    for (const PaperRow &row : rows) {
+        double bare = analysis::readRatio(
+            bare_reads, data.bare.inventory, row.cls);
+        double cache = analysis::readRatio(
+            cache_reads, data.cache.inventory, row.cls);
+        table.addRow({
+            client::kvClassName(row.cls),
+            row.bare == 0 ? "-" : analysis::fmtShare(bare),
+            row.bare == 0 ? "-"
+                          : analysis::fmtDouble(row.bare, 2) + "%",
+            analysis::fmtShare(cache),
+            analysis::fmtDouble(row.cache, 2) + "%",
+        });
+    }
+    table.print();
+
+    std::printf("\nFinding 3: fraction of read keys that are read "
+                "exactly once (CacheTrace):\n");
+    analysis::Table once({"Class", "read once", "paper"});
+    for (const PaperRow &row : rows) {
+        once.addRow({
+            client::kvClassName(row.cls),
+            analysis::fmtShare(cache_reads.onceFraction(row.cls),
+                               1),
+            analysis::fmtDouble(row.cache_once, 1) + "%",
+        });
+    }
+    once.print();
+
+    std::printf("\nBareTrace read-once (paper: TrieNodeAccount "
+                "8.40%%, TrieNodeStorage 15.2%%):\n");
+    std::printf("  TrieNodeAccount %s, TrieNodeStorage %s\n",
+                analysis::fmtShare(
+                    bare_reads.onceFraction(
+                        client::KVClass::TrieNodeAccount),
+                    1)
+                    .c_str(),
+                analysis::fmtShare(
+                    bare_reads.onceFraction(
+                        client::KVClass::TrieNodeStorage),
+                    1)
+                    .c_str());
+    return 0;
+}

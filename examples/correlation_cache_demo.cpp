@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Correlation-aware caching example: capture a workload, mine
+ * read correlations from the first half of the trace, then race a
+ * prefetching cache against plain LRU on the second half — the
+ * paper's Section-V proposal (ii) end to end.
+ *
+ * Usage: correlation_cache_demo [blocks] [capacity-kib]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.hh"
+#include "common/stats.hh"
+#include "core/corr_cache.hh"
+#include "workload/sim.hh"
+
+using namespace ethkv;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t blocks = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 150;
+    uint64_t capacity_kib =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+
+    analysis::printBanner("ethkv correlation-aware cache demo");
+
+    // BareTrace reads carry the strongest correlations (Finding 8:
+    // caching dilutes them).
+    std::printf("Capturing a BareTrace workload (%llu blocks)...\n",
+                static_cast<unsigned long long>(blocks));
+    wl::SimResult run =
+        wl::runSimulation(wl::bareTraceConfig(blocks));
+
+    uint64_t reads = 0;
+    for (const trace::TraceRecord &r : run.trace.records())
+        reads += (r.op == trace::OpType::Read);
+    std::printf("Trace: %zu ops, %llu reads\n\n", run.trace.size(),
+                static_cast<unsigned long long>(reads));
+
+    std::printf("Training the correlation miner on the first half "
+                "and evaluating both policies on the second "
+                "half...\n\n");
+    core::CacheComparison cmp = core::compareCachePolicies(
+        run.trace, capacity_kib << 10, /*train_fraction=*/0.5,
+        /*window=*/8);
+
+    analysis::Table table(
+        {"Policy", "accesses", "hits", "hit rate",
+         "demand fetches", "prefetches", "prefetch hits"});
+    table.addRow({"LRU", std::to_string(cmp.lru.accesses),
+                  std::to_string(cmp.lru.hits),
+                  analysis::fmtShare(cmp.lru.hitRate(), 1),
+                  std::to_string(cmp.lru.demand_fetches), "-",
+                  "-"});
+    table.addRow(
+        {"correlation-aware",
+         std::to_string(cmp.correlated.accesses),
+         std::to_string(cmp.correlated.hits),
+         analysis::fmtShare(cmp.correlated.hitRate(), 1),
+         std::to_string(cmp.correlated.demand_fetches),
+         std::to_string(cmp.correlated.prefetch_fetches),
+         std::to_string(cmp.correlated.prefetch_hits)});
+    table.print();
+
+    double lift =
+        cmp.correlated.hitRate() - cmp.lru.hitRate();
+    std::printf("\nHit-rate lift over LRU at %s: %+.1f points\n",
+                formatBytes(static_cast<double>(capacity_kib)
+                            * 1024.0)
+                    .c_str(),
+                lift * 100.0);
+    std::printf("Fewer demand fetches mean fewer random reads "
+                "hitting the KV store — the I/O the paper's "
+                "Finding 6 shows LRU cannot remove for "
+                "medium-frequency keys.\n");
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Hybrid-store example: drive an Ethereum-shaped workload through
+ * the paper's proposed class-routed store and watch what each
+ * engine absorbs — ordered scans on headers, tombstone-free
+ * deletes on TxLookup, and lazy index promotion on world state.
+ *
+ * Usage: hybrid_store_demo [blocks]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.hh"
+#include "common/rand.hh"
+#include "common/stats.hh"
+#include "core/hybrid_store.hh"
+#include "eth/block.hh"
+
+using namespace ethkv;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t blocks = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 300;
+
+    analysis::printBanner("ethkv hybrid store demo");
+    core::HybridKVStore store;
+    Rng rng(7);
+
+    // A compressed block loop touching every routed class the way
+    // the client does.
+    const uint64_t window = 32; // tx-index window
+    std::vector<std::vector<eth::Hash256>> tx_hashes(blocks + 1);
+    std::vector<Bytes> hot_paths;
+    for (uint64_t n = 1; n <= blocks; ++n) {
+        eth::Hash256 block_hash = eth::hashOf(encodeBE64(n));
+
+        // Block data (ordered + log classes).
+        store.put(client::headerKey(n, block_hash),
+                  rng.nextBytes(220))
+            .expectOk("header");
+        store.put(client::canonicalHashKey(n),
+                  block_hash.toBytes())
+            .expectOk("canonical");
+        store.put(client::blockBodyKey(n, block_hash),
+                  rng.nextBytes(4000))
+            .expectOk("body");
+
+        // Transactions: lookup entries now, deletions later.
+        for (int t = 0; t < 50; ++t) {
+            eth::Hash256 tx_hash =
+                eth::hashOf(encodeBE64(n * 1000 + t));
+            tx_hashes[n].push_back(tx_hash);
+            store.put(client::txLookupKey(tx_hash),
+                      encodeBE64(n))
+                .expectOk("lookup");
+        }
+        if (n > window) {
+            for (const eth::Hash256 &old :
+                 tx_hashes[n - window]) {
+                store.del(client::txLookupKey(old))
+                    .expectOk("unindex");
+            }
+        }
+
+        // World state: mostly-written trie nodes, few read back.
+        for (int i = 0; i < 200; ++i) {
+            Bytes path = rng.nextBytes(1 + rng.nextBounded(6));
+            store.put(client::trieNodeAccountKey(path),
+                      rng.nextBytes(100))
+                .expectOk("trie node");
+            if (hot_paths.size() < 20 && n == 1)
+                hot_paths.push_back(path);
+        }
+        if (n % 10 == 0) {
+            // Rare reads promote a handful of hot keys into the
+            // lazy log's exact index.
+            Bytes value;
+            for (const Bytes &path : hot_paths)
+                store.get(client::trieNodeAccountKey(path),
+                          value);
+        }
+
+        // The canonical-chain scan the chain indexer performs.
+        if (n % 8 == 0 && n > 8) {
+            int visited = 0;
+            store
+                .scan(client::headerKey(n - 8, eth::Hash256()),
+                      client::canonicalHashKey(n),
+                      [&](BytesView, BytesView) {
+                          return ++visited < 24;
+                      })
+                .expectOk("header scan");
+        }
+    }
+
+    const kv::IOStats &stats = store.stats();
+    analysis::Table table({"Engine", "live keys", "role",
+                           "key metric"});
+    table.addRow(
+        {"B+-tree (ordered)",
+         std::to_string(store.ordered().liveKeyCount()),
+         "scan classes (headers, snapshot)",
+         std::to_string(store.ordered().stats().user_scans) +
+             " scans served"});
+    table.addRow(
+        {"append log",
+         std::to_string(store.log().liveKeyCount()),
+         "TxLookup / bodies / receipts",
+         std::to_string(store.log().stats().gc_runs) +
+             " batched GC runs, 0 tombstones"});
+    table.addRow(
+        {"lazy log",
+         std::to_string(store.lazyLog().liveKeyCount()),
+         "world state + code",
+         std::to_string(store.lazyLog().promotedKeyCount()) +
+             " keys promoted to exact index"});
+    table.addRow({"hash store",
+                  std::to_string(store.hash().liveKeyCount()),
+                  "singletons, StateID, bloombits", "-"});
+    table.print();
+
+    std::printf("\nTotals: %llu puts, %llu gets, %llu deletes, "
+                "%llu scans; %s persisted, tombstones written: "
+                "%llu\n",
+                static_cast<unsigned long long>(stats.user_writes),
+                static_cast<unsigned long long>(stats.user_reads),
+                static_cast<unsigned long long>(
+                    stats.user_deletes),
+                static_cast<unsigned long long>(stats.user_scans),
+                formatBytes(static_cast<double>(
+                                stats.bytes_written))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    stats.tombstones_written));
+    std::printf(
+        "\nThe paper's Section-V claims, visible here: deletes "
+        "cost no tombstones or compaction; unread world-state "
+        "keys (%llu of %llu) never earned index entries; only "
+        "the scan classes pay for ordering.\n",
+        static_cast<unsigned long long>(
+            store.lazyLog().liveKeyCount() -
+            store.lazyLog().promotedKeyCount()),
+        static_cast<unsigned long long>(
+            store.lazyLog().liveKeyCount()));
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "analysis/class_stats.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace ethkv::analysis
+{
+
+double
+StoreInventory::share(client::KVClass cls) const
+{
+    if (total_pairs == 0)
+        return 0.0;
+    return static_cast<double>(of(cls).pairs) /
+           static_cast<double>(total_pairs);
+}
+
+int
+StoreInventory::populatedClasses() const
+{
+    int count = 0;
+    for (const ClassInventory &inv : classes)
+        count += (inv.pairs > 0);
+    return count;
+}
+
+int
+StoreInventory::singletonClasses() const
+{
+    int count = 0;
+    for (const ClassInventory &inv : classes)
+        count += (inv.pairs == 1);
+    return count;
+}
+
+double
+StoreInventory::topShare(int n) const
+{
+    std::vector<uint64_t> counts;
+    counts.reserve(classes.size());
+    for (const ClassInventory &inv : classes)
+        counts.push_back(inv.pairs);
+    std::sort(counts.rbegin(), counts.rend());
+    uint64_t top = 0;
+    for (int i = 0; i < n && i < static_cast<int>(counts.size());
+         ++i) {
+        top += counts[i];
+    }
+    return total_pairs
+               ? static_cast<double>(top) /
+                     static_cast<double>(total_pairs)
+               : 0.0;
+}
+
+StoreInventory
+analyzeStore(kv::KVStore &store)
+{
+    StoreInventory inventory;
+    store
+        .scan(BytesView(), BytesView(),
+              [&](BytesView key, BytesView value) {
+                  auto cls = static_cast<size_t>(
+                      client::classify(key));
+                  ClassInventory &inv = inventory.classes[cls];
+                  ++inv.pairs;
+                  ++inventory.total_pairs;
+                  inv.key_size.add(key.size());
+                  inv.value_size.add(value.size());
+                  inv.kv_size_dist.add(key.size() + value.size());
+                  return true;
+              })
+        .expectOk("store inventory scan");
+    return inventory;
+}
+
+} // namespace ethkv::analysis

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * KV storage management analysis: the per-class inventory of the
+ * store's final contents (Table I, Figure 2, Findings 1-2).
+ *
+ * Mirrors the artifact's countKVSizeDistribution tool: scan every
+ * KV pair in the store after trace capture, classify by key prefix,
+ * and accumulate counts plus key/value size statistics with 95%
+ * confidence intervals.
+ */
+
+#ifndef ETHKV_ANALYSIS_CLASS_STATS_HH
+#define ETHKV_ANALYSIS_CLASS_STATS_HH
+
+#include <array>
+
+#include "client/schema.hh"
+#include "common/stats.hh"
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::analysis
+{
+
+/** Inventory of one class. */
+struct ClassInventory
+{
+    uint64_t pairs = 0;
+    ExactDistribution key_size;
+    ExactDistribution value_size;
+    ExactDistribution kv_size_dist; //!< key+value bytes (Fig. 2).
+};
+
+/** The full store inventory. */
+struct StoreInventory
+{
+    std::array<ClassInventory, client::num_kv_classes> classes;
+    uint64_t total_pairs = 0;
+
+    const ClassInventory &
+    of(client::KVClass cls) const
+    {
+        return classes[static_cast<size_t>(cls)];
+    }
+
+    /** Fraction of all pairs belonging to cls. */
+    double share(client::KVClass cls) const;
+
+    /** Number of classes with at least one pair. */
+    int populatedClasses() const;
+
+    /** Number of classes holding exactly one pair. */
+    int singletonClasses() const;
+
+    /** Combined share of the n most populous classes. */
+    double topShare(int n) const;
+};
+
+/**
+ * Scan the whole store and build the inventory.
+ *
+ * The store must support scans (use the engine directly, not a
+ * hash/log engine).
+ */
+StoreInventory analyzeStore(kv::KVStore &store);
+
+} // namespace ethkv::analysis
+
+#endif // ETHKV_ANALYSIS_CLASS_STATS_HH

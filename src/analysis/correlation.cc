@@ -1,0 +1,164 @@
+#include "analysis/correlation.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace ethkv::analysis
+{
+
+std::string
+classAbbrev(client::KVClass cls)
+{
+    switch (cls) {
+      case client::KVClass::TrieNodeAccount: return "TA";
+      case client::KVClass::TrieNodeStorage: return "TS";
+      case client::KVClass::SnapshotAccount: return "SA";
+      case client::KVClass::SnapshotStorage: return "SS";
+      case client::KVClass::BlockHeader: return "BH";
+      case client::KVClass::Code: return "C";
+      case client::KVClass::LastFast: return "LF";
+      case client::KVClass::LastHeader: return "LH";
+      case client::KVClass::LastBlock: return "LB";
+      case client::KVClass::LastStateID: return "LS";
+      case client::KVClass::HeaderNumber: return "HN";
+      case client::KVClass::BlockBody: return "BB";
+      case client::KVClass::BlockReceipts: return "BR";
+      case client::KVClass::TxLookup: return "TL";
+      case client::KVClass::StateID: return "SI";
+      case client::KVClass::SkeletonHeader: return "SK";
+      default: return client::kvClassName(cls);
+    }
+}
+
+std::string
+ClassPair::label() const
+{
+    return classAbbrev(static_cast<client::KVClass>(a)) + "-" +
+           classAbbrev(static_cast<client::KVClass>(b));
+}
+
+uint64_t
+CorrelationResult::count(const ClassPair &pair,
+                         uint32_t distance) const
+{
+    for (size_t i = 0; i < distances_.size(); ++i) {
+        if (distances_[i] == distance) {
+            auto it = counts_[i].find(pair);
+            return it == counts_[i].end() ? 0 : it->second;
+        }
+    }
+    return 0;
+}
+
+std::vector<ClassPair>
+CorrelationResult::topPairs(uint32_t distance, bool intra,
+                            size_t k) const
+{
+    size_t idx = distances_.size();
+    for (size_t i = 0; i < distances_.size(); ++i)
+        if (distances_[i] == distance)
+            idx = i;
+    if (idx == distances_.size())
+        return {};
+
+    std::vector<std::pair<uint64_t, ClassPair>> ranked;
+    for (const auto &[pair, count] : counts_[idx]) {
+        if (pair.isIntra() == intra)
+            ranked.emplace_back(count, pair);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &x, const auto &y) {
+                  return x.first > y.first;
+              });
+    std::vector<ClassPair> out;
+    for (size_t i = 0; i < k && i < ranked.size(); ++i)
+        out.push_back(ranked[i].second);
+    return out;
+}
+
+const ExactDistribution &
+CorrelationResult::frequencies(const ClassPair &pair,
+                               uint32_t distance) const
+{
+    static const ExactDistribution empty;
+    auto it = freq_.find({distance, pair});
+    return it == freq_.end() ? empty : it->second;
+}
+
+CorrelationResult
+analyzeCorrelation(const trace::TraceBuffer &trace,
+                   const CorrelationConfig &config)
+{
+    // Extract the analyzed-op subsequence once.
+    std::vector<uint64_t> keys;
+    std::vector<uint16_t> classes;
+    for (const trace::TraceRecord &r : trace.records()) {
+        if (r.op != config.op)
+            continue;
+        keys.push_back(r.key_id);
+        classes.push_back(r.class_id);
+    }
+
+    CorrelationResult result;
+    result.distances_ = config.distances;
+    result.counts_.resize(config.distances.size());
+
+    // Key ids fit in 32 bits at sim scale; pack pairs into u64.
+    for (uint64_t key : keys) {
+        if (key > 0xffffffffULL)
+            panic("correlation: key id exceeds 32 bits");
+    }
+
+    for (size_t di = 0; di < config.distances.size(); ++di) {
+        uint32_t d = config.distances[di];
+        size_t gap = static_cast<size_t>(d) + 1;
+        if (keys.size() <= gap)
+            continue;
+
+        // Pass 1: occurrences per unordered key pair.
+        std::unordered_map<uint64_t, uint32_t> pair_counts;
+        pair_counts.reserve(keys.size());
+        for (size_t i = 0; i + gap < keys.size(); ++i) {
+            uint64_t a = keys[i], b = keys[i + gap];
+            uint64_t packed =
+                a <= b ? (a << 32) | b : (b << 32) | a;
+            ++pair_counts[packed];
+        }
+
+        // Pass 2: aggregate qualifying pairs per class pair. The
+        // class of a key is stable within a trace, so either
+        // occurrence position yields the same pair; rescan
+        // positions and skip pairs below the threshold.
+        bool keep_freq =
+            std::find(config.frequency_distances.begin(),
+                      config.frequency_distances.end(),
+                      d) != config.frequency_distances.end();
+
+        std::unordered_map<uint64_t, bool> counted;
+        for (size_t i = 0; i + gap < keys.size(); ++i) {
+            uint64_t a = keys[i], b = keys[i + gap];
+            uint64_t packed =
+                a <= b ? (a << 32) | b : (b << 32) | a;
+            auto pc = pair_counts.find(packed);
+            if (pc->second < config.min_occurrences)
+                continue;
+
+            uint16_t ca = classes[i], cb = classes[i + gap];
+            ClassPair cp{std::min(ca, cb), std::max(ca, cb)};
+            result.counts_[di][cp] += 1;
+
+            if (keep_freq) {
+                auto [it, fresh] = counted.try_emplace(packed,
+                                                       true);
+                if (fresh) {
+                    result.freq_[{d, cp}].add(pc->second);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace ethkv::analysis

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Distance-based access-correlation analysis (Figures 4-7,
+ * Findings 8-11).
+ *
+ * Following the paper's definition (Section IV-C): take the
+ * subsequence of one operation type (reads or updates). For a
+ * distance d, every position pair (i, i+d+1) in that subsequence —
+ * d intervening operations, so d = 0 means adjacent — contributes
+ * one occurrence of the unordered key pair (k_i, k_j). A key pair
+ * counts as *correlated* at distance d only if it occurs at least
+ * twice across the whole trace; the per-class-pair correlated
+ * count is the sum of occurrences over its qualifying key pairs.
+ */
+
+#ifndef ETHKV_ANALYSIS_CORRELATION_HH
+#define ETHKV_ANALYSIS_CORRELATION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/schema.hh"
+#include "common/stats.hh"
+#include "trace/record.hh"
+
+namespace ethkv::analysis
+{
+
+/** Unordered class pair (a <= b). */
+struct ClassPair
+{
+    uint16_t a;
+    uint16_t b;
+
+    bool isIntra() const { return a == b; }
+
+    auto operator<=>(const ClassPair &) const = default;
+
+    /** "TA-TS"-style label using the paper's abbreviations. */
+    std::string label() const;
+};
+
+/** Analysis knobs. */
+struct CorrelationConfig
+{
+    trace::OpType op = trace::OpType::Read;
+
+    /** Distances to evaluate; the paper sweeps powers of two from
+     *  0 to 1024. */
+    std::vector<uint32_t> distances = {0,  1,  2,   4,   8,  16,
+                                       32, 64, 128, 256, 512, 1024};
+
+    /** Distances whose per-key-pair frequency distributions are
+     *  retained (Figures 5 and 7 use the smallest and largest). */
+    std::vector<uint32_t> frequency_distances = {0, 1024};
+
+    /** Minimum occurrences for a key pair to count (paper: 2). */
+    uint32_t min_occurrences = 2;
+};
+
+/** Results for one analyzed op type. */
+class CorrelationResult
+{
+  public:
+    /** Correlated-op count for a class pair at one distance. */
+    uint64_t count(const ClassPair &pair, uint32_t distance) const;
+
+    /**
+     * The k class pairs with the highest correlated count at the
+     * given distance, filtered to intra- or cross-class pairs.
+     */
+    std::vector<ClassPair> topPairs(uint32_t distance, bool intra,
+                                    size_t k) const;
+
+    /**
+     * Frequency distribution of key-pair occurrence counts for a
+     * class pair at one of the retained distances: how many key
+     * pairs were correlated exactly f times (Figures 5/7).
+     */
+    const ExactDistribution &frequencies(const ClassPair &pair,
+                                         uint32_t distance) const;
+
+    const std::vector<uint32_t> &distances() const
+    {
+        return distances_;
+    }
+
+  private:
+    friend CorrelationResult analyzeCorrelation(
+        const trace::TraceBuffer &trace,
+        const CorrelationConfig &config);
+
+    std::vector<uint32_t> distances_;
+    // distance index -> class pair -> correlated count.
+    std::vector<std::map<ClassPair, uint64_t>> counts_;
+    // (distance, class pair) -> key-pair frequency distribution.
+    std::map<std::pair<uint32_t, ClassPair>, ExactDistribution>
+        freq_;
+};
+
+/** Run the analysis over one trace. */
+CorrelationResult analyzeCorrelation(
+    const trace::TraceBuffer &trace,
+    const CorrelationConfig &config);
+
+/** Paper abbreviation for a class ("TA", "TS", "SA", ...). */
+std::string classAbbrev(client::KVClass cls);
+
+} // namespace ethkv::analysis
+
+#endif // ETHKV_ANALYSIS_CORRELATION_HH

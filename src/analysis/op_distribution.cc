@@ -1,0 +1,144 @@
+#include "analysis/op_distribution.hh"
+
+#include <algorithm>
+
+namespace ethkv::analysis
+{
+
+OpDistribution
+OpDistribution::analyze(const trace::TraceBuffer &trace)
+{
+    OpDistribution out;
+    for (const trace::TraceRecord &r : trace.records()) {
+        size_t cls = std::min<size_t>(
+            r.class_id, client::num_kv_classes - 1);
+        ++out.counts_[cls][static_cast<size_t>(r.op)];
+        ++out.total_ops_;
+    }
+    return out;
+}
+
+uint64_t
+OpDistribution::classOps(client::KVClass cls) const
+{
+    uint64_t total = 0;
+    for (uint64_t c : counts_[static_cast<size_t>(cls)])
+        total += c;
+    return total;
+}
+
+double
+OpDistribution::classShare(client::KVClass cls) const
+{
+    if (total_ops_ == 0)
+        return 0.0;
+    return static_cast<double>(classOps(cls)) /
+           static_cast<double>(total_ops_);
+}
+
+double
+OpDistribution::opShare(client::KVClass cls,
+                        trace::OpType op) const
+{
+    uint64_t class_total = classOps(cls);
+    if (class_total == 0)
+        return 0.0;
+    return static_cast<double>(count(cls, op)) /
+           static_cast<double>(class_total);
+}
+
+uint64_t
+OpDistribution::opTotal(trace::OpType op) const
+{
+    uint64_t total = 0;
+    for (const auto &row : counts_)
+        total += row[static_cast<size_t>(op)];
+    return total;
+}
+
+KeyFrequency
+KeyFrequency::analyze(const trace::TraceBuffer &trace,
+                      trace::OpType op)
+{
+    KeyFrequency out;
+    // First pass: per-key counts, bucketed per class.
+    std::array<std::unordered_map<uint64_t, uint64_t>,
+               client::num_kv_classes>
+        counts;
+    for (const trace::TraceRecord &r : trace.records()) {
+        if (r.op != op)
+            continue;
+        size_t cls = std::min<size_t>(
+            r.class_id, client::num_kv_classes - 1);
+        ++counts[cls][r.key_id];
+    }
+    for (size_t cls = 0; cls < counts.size(); ++cls) {
+        auto &per_key = out.per_key_counts_[cls];
+        per_key.reserve(counts[cls].size());
+        for (const auto &[key, count] : counts[cls]) {
+            per_key.push_back(count);
+            out.dist_[cls].add(count);
+        }
+        std::sort(per_key.rbegin(), per_key.rend());
+    }
+    return out;
+}
+
+uint64_t
+KeyFrequency::uniqueKeys(client::KVClass cls) const
+{
+    return per_key_counts_[static_cast<size_t>(cls)].size();
+}
+
+double
+KeyFrequency::onceFraction(client::KVClass cls) const
+{
+    const ExactDistribution &dist =
+        dist_[static_cast<size_t>(cls)];
+    if (dist.totalCount() == 0)
+        return 0.0;
+    return static_cast<double>(dist.countOf(1)) /
+           static_cast<double>(dist.totalCount());
+}
+
+uint64_t
+KeyFrequency::topKeyOps(client::KVClass cls,
+                        double fraction) const
+{
+    const auto &per_key =
+        per_key_counts_[static_cast<size_t>(cls)];
+    size_t take = static_cast<size_t>(
+        fraction * static_cast<double>(per_key.size()));
+    if (take == 0 && !per_key.empty())
+        take = 1;
+    uint64_t total = 0;
+    for (size_t i = 0; i < take; ++i)
+        total += per_key[i];
+    return total;
+}
+
+uint64_t
+KeyFrequency::bandOps(client::KVClass cls, uint64_t lo,
+                      uint64_t hi) const
+{
+    const auto &per_key =
+        per_key_counts_[static_cast<size_t>(cls)];
+    uint64_t total = 0;
+    for (uint64_t count : per_key)
+        if (count >= lo && count <= hi)
+            total += count;
+    return total;
+}
+
+double
+readRatio(const KeyFrequency &reads,
+          const StoreInventory &inventory, client::KVClass cls)
+{
+    uint64_t pairs = inventory.of(cls).pairs;
+    if (pairs == 0)
+        return 0.0;
+    return static_cast<double>(reads.uniqueKeys(cls)) /
+           static_cast<double>(pairs);
+}
+
+} // namespace ethkv::analysis

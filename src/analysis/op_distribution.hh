@@ -1,0 +1,122 @@
+/**
+ * @file
+ * KV operation distribution analysis (Tables II/III, Table IV,
+ * Figure 3, Findings 3-7).
+ *
+ * From a captured trace:
+ *  - per-class operation-type mix and share of all operations
+ *    (Tables II and III);
+ *  - per-key operation frequency distributions (Figure 3);
+ *  - read ratios: the fraction of a class's KV pairs that are ever
+ *    read (Table IV), given the store inventory;
+ *  - read-once fractions (Finding 3) and top-vs-medium frequency
+ *    comparisons between paired traces (Finding 6).
+ */
+
+#ifndef ETHKV_ANALYSIS_OP_DISTRIBUTION_HH
+#define ETHKV_ANALYSIS_OP_DISTRIBUTION_HH
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/class_stats.hh"
+#include "client/schema.hh"
+#include "common/stats.hh"
+#include "trace/record.hh"
+
+namespace ethkv::analysis
+{
+
+/** Per-class, per-op counters over one trace. */
+class OpDistribution
+{
+  public:
+    /** Build from a trace buffer. */
+    static OpDistribution analyze(const trace::TraceBuffer &trace);
+
+    uint64_t totalOps() const { return total_ops_; }
+
+    /** Operations of any type in a class. */
+    uint64_t classOps(client::KVClass cls) const;
+
+    /** Operations of one type in a class. */
+    uint64_t
+    count(client::KVClass cls, trace::OpType op) const
+    {
+        return counts_[static_cast<size_t>(cls)]
+                      [static_cast<size_t>(op)];
+    }
+
+    /** Class share of all operations (Tables II/III column 2). */
+    double classShare(client::KVClass cls) const;
+
+    /** Op-type share within a class (Tables II/III columns 3+). */
+    double opShare(client::KVClass cls, trace::OpType op) const;
+
+    /** Total count of one op type across classes. */
+    uint64_t opTotal(trace::OpType op) const;
+
+  private:
+    std::array<std::array<uint64_t, trace::num_op_types>,
+               client::num_kv_classes>
+        counts_{};
+    uint64_t total_ops_ = 0;
+};
+
+/**
+ * Per-key frequency analysis for one op type (Figure 3 panels).
+ */
+class KeyFrequency
+{
+  public:
+    /**
+     * Count per-key occurrences of `op` in the trace.
+     */
+    static KeyFrequency analyze(const trace::TraceBuffer &trace,
+                                trace::OpType op);
+
+    /**
+     * Frequency distribution for a class: how many keys were
+     * touched exactly f times (Figure 3's log-log panels).
+     */
+    const ExactDistribution &
+    distribution(client::KVClass cls) const
+    {
+        return dist_[static_cast<size_t>(cls)];
+    }
+
+    /** Number of distinct keys touched in the class. */
+    uint64_t uniqueKeys(client::KVClass cls) const;
+
+    /** Fraction of touched keys touched exactly once. */
+    double onceFraction(client::KVClass cls) const;
+
+    /**
+     * Total ops landing on the top `fraction` most-touched keys of
+     * the class (Finding 6's head-vs-middle comparison).
+     */
+    uint64_t topKeyOps(client::KVClass cls, double fraction) const;
+
+    /** Ops landing on keys with per-key frequency in [lo, hi]. */
+    uint64_t bandOps(client::KVClass cls, uint64_t lo,
+                     uint64_t hi) const;
+
+  private:
+    std::array<ExactDistribution, client::num_kv_classes> dist_;
+    // Raw per-key counts per class, kept for top-k queries.
+    std::array<std::vector<uint64_t>, client::num_kv_classes>
+        per_key_counts_;
+};
+
+/**
+ * Table IV: read ratio of KV pairs per class = unique keys read in
+ * the trace / KV pairs of the class in the final store.
+ */
+double readRatio(const KeyFrequency &reads,
+                 const StoreInventory &inventory,
+                 client::KVClass cls);
+
+} // namespace ethkv::analysis
+
+#endif // ETHKV_ANALYSIS_OP_DISTRIBUTION_HH

@@ -1,0 +1,105 @@
+#include "analysis/report.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ethkv::analysis
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table::addRow: %zu cells for %zu columns",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    std::string out = render_row(headers_);
+    out.append(total, '-');
+    out += "\n";
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            out.append(total, '-');
+            out += "\n";
+        } else {
+            out += render_row(row);
+        }
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtShare(double fraction, int precision)
+{
+    if (fraction == 0.0)
+        return "-";
+    char buf[64];
+    if (fraction * 100 < 0.01 && fraction > 0) {
+        std::snprintf(buf, sizeof(buf), "%.1e%%", fraction * 100);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                      fraction * 100);
+    }
+    return buf;
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::string bar(title.size() + 4, '=');
+    std::printf("\n%s\n= %s =\n%s\n\n", bar.c_str(), title.c_str(),
+                bar.c_str());
+}
+
+} // namespace ethkv::analysis

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Console table rendering for the bench harnesses.
+ *
+ * Every bench prints the same rows the paper's tables/figures
+ * report, alongside the paper's reference values where applicable,
+ * so a reader can eyeball shape agreement directly.
+ */
+
+#ifndef ETHKV_ANALYSIS_REPORT_HH
+#define ETHKV_ANALYSIS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace ethkv::analysis
+{
+
+/**
+ * Fixed-width console table builder.
+ */
+class Table
+{
+  public:
+    /** @param headers Column titles; sets the column count. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule. */
+    void addRule();
+
+    /** Render with padded columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; //!< empty = rule
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Format "12.3%" from a fraction, "-" when zero. */
+std::string fmtShare(double fraction, int precision = 2);
+
+/** Section banner for bench output. */
+void printBanner(const std::string &title);
+
+} // namespace ethkv::analysis
+
+#endif // ETHKV_ANALYSIS_REPORT_HH

@@ -1,0 +1,76 @@
+#include "client/calldata.hh"
+
+#include "common/varint.hh"
+
+namespace ethkv::client
+{
+
+namespace
+{
+
+constexpr char program_magic = '\xeb'; // "ethkv bytecode"
+
+} // namespace
+
+bool
+isCallProgram(BytesView data)
+{
+    return !data.empty() && data[0] == program_magic;
+}
+
+Bytes
+encodeCallProgram(const std::vector<SlotOp> &ops, size_t pad)
+{
+    Bytes out;
+    out.push_back(program_magic);
+    appendVarint(out, ops.size());
+    for (const SlotOp &op : ops) {
+        out.push_back(static_cast<char>(op.kind));
+        out += op.slot.view();
+        if (op.kind == SlotOp::Kind::Write ||
+            op.kind == SlotOp::Kind::WriteLog) {
+            appendVarint(out, op.value_size);
+        }
+    }
+    out.append(pad, '\0');
+    return out;
+}
+
+Status
+decodeCallProgram(BytesView data, std::vector<SlotOp> &ops)
+{
+    ops.clear();
+    if (!isCallProgram(data))
+        return Status::ok(); // plain transfer payload
+
+    size_t pos = 1;
+    uint64_t count;
+    if (!readVarint(data, pos, count))
+        return Status::corruption("calldata: bad op count");
+    ops.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        if (pos >= data.size())
+            return Status::corruption("calldata: truncated op");
+        uint8_t kind = static_cast<uint8_t>(data[pos++]);
+        if (kind > static_cast<uint8_t>(SlotOp::Kind::Clear))
+            return Status::corruption("calldata: bad op kind");
+        if (pos + 32 > data.size())
+            return Status::corruption("calldata: truncated slot");
+        SlotOp op;
+        op.kind = static_cast<SlotOp::Kind>(kind);
+        op.slot = eth::Hash256::fromBytes(data.substr(pos, 32));
+        pos += 32;
+        if (op.kind == SlotOp::Kind::Write ||
+            op.kind == SlotOp::Kind::WriteLog) {
+            uint64_t size;
+            if (!readVarint(data, pos, size) || size > 0xffff)
+                return Status::corruption("calldata: bad size");
+            op.value_size = static_cast<uint16_t>(size);
+        }
+        ops.push_back(op);
+    }
+    // Remaining bytes are opaque padding (ABI arguments).
+    return Status::ok();
+}
+
+} // namespace ethkv::client

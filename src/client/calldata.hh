@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The synthetic contract ABI: calldata as a storage-access program.
+ *
+ * Real contract execution is opaque bytecode; what the storage
+ * workload sees is the sequence of slot reads and writes it issues.
+ * ethkv makes that sequence explicit: a contract call's calldata
+ * encodes the slot operations the "VM" (FullNode::executeTx) will
+ * perform. The workload generator authors these programs with
+ * realistic skew; the client executes them — the same division of
+ * labour as transaction data vs. EVM execution in Geth
+ * (substitution documented in DESIGN.md).
+ */
+
+#ifndef ETHKV_CLIENT_CALLDATA_HH
+#define ETHKV_CLIENT_CALLDATA_HH
+
+#include <vector>
+
+#include "common/status.hh"
+#include "eth/types.hh"
+
+namespace ethkv::client
+{
+
+/** One storage access performed by a contract call. */
+struct SlotOp
+{
+    enum class Kind : uint8_t
+    {
+        Read = 0,     //!< SLOAD
+        Write = 1,    //!< SSTORE
+        WriteLog = 2, //!< SSTORE that also emits a log
+        Clear = 3,    //!< SSTORE of zero (slot deletion)
+    };
+
+    Kind kind;
+    eth::Hash256 slot;
+    uint16_t value_size = 0; //!< Bytes written (Write/WriteLog).
+
+    bool operator==(const SlotOp &) const = default;
+};
+
+/**
+ * Encode a program as calldata.
+ *
+ * @param pad Extra opaque payload bytes appended (models ABI
+ *        arguments that don't touch storage).
+ */
+Bytes encodeCallProgram(const std::vector<SlotOp> &ops,
+                        size_t pad = 0);
+
+/**
+ * Decode calldata back into a program.
+ *
+ * Calldata that does not carry the program magic decodes as an
+ * empty program (a plain value transfer with a memo).
+ */
+Status decodeCallProgram(BytesView data, std::vector<SlotOp> &ops);
+
+/** Whether calldata carries a storage program. */
+bool isCallProgram(BytesView data);
+
+} // namespace ethkv::client
+
+#endif // ETHKV_CLIENT_CALLDATA_HH

@@ -1,0 +1,282 @@
+#include "client/class_cache.hh"
+
+namespace ethkv::client
+{
+
+CachingKVStore::CachingKVStore(kv::KVStore &inner,
+                               CacheConfig config)
+    : inner_(inner), config_(config), groups_(num_groups)
+{
+    // Budget shares follow the relative sizes Geth assigns its
+    // caches: trie clean cache and snapshot cache dominate.
+    // GroupOther has no cache at all — Geth's caches exist only
+    // for specific classes (trie nodes, snapshot, code, block
+    // data); singleton keys, TxLookup, StateID, bloombits, etc.
+    // always hit the KV interface.
+    groups_[GroupTrieClean].budget = config_.total_bytes * 45 / 100;
+    groups_[GroupSnapshot].budget = config_.total_bytes * 25 / 100;
+    groups_[GroupCode].budget = config_.total_bytes * 12 / 100;
+    groups_[GroupBlockData].budget = config_.total_bytes * 18 / 100;
+    groups_[GroupOther].budget = 0;
+}
+
+CachingKVStore::Group
+CachingKVStore::groupOf(KVClass cls)
+{
+    switch (cls) {
+      case KVClass::TrieNodeAccount:
+      case KVClass::TrieNodeStorage:
+        return GroupTrieClean;
+      case KVClass::SnapshotAccount:
+      case KVClass::SnapshotStorage:
+        return GroupSnapshot;
+      case KVClass::Code:
+        return GroupCode;
+      case KVClass::BlockHeader:
+      case KVClass::BlockBody:
+      case KVClass::BlockReceipts:
+      case KVClass::HeaderNumber:
+        return GroupBlockData;
+      default:
+        return GroupOther;
+    }
+}
+
+bool
+CachingKVStore::isWriteBackClass(KVClass cls)
+{
+    return cls == KVClass::TrieNodeAccount ||
+           cls == KVClass::TrieNodeStorage;
+}
+
+bool
+CachingKVStore::lruGet(Group group, BytesView key, Bytes &value)
+{
+    LruCache &cache = groups_[group];
+    auto it = cache.index.find(Bytes(key));
+    if (it == cache.index.end())
+        return false;
+    // Move to front (most recently used).
+    cache.order.splice(cache.order.begin(), cache.order,
+                       it->second);
+    value = it->second->value;
+    return true;
+}
+
+void
+CachingKVStore::lruPut(Group group, BytesView key, BytesView value)
+{
+    LruCache &cache = groups_[group];
+    if (cache.budget == 0)
+        return;
+    auto it = cache.index.find(Bytes(key));
+    if (it != cache.index.end()) {
+        cache.bytes -= it->second->value.size();
+        it->second->value = Bytes(value);
+        cache.bytes += value.size();
+        cache.order.splice(cache.order.begin(), cache.order,
+                           it->second);
+    } else {
+        cache.order.push_front({Bytes(key), Bytes(value)});
+        cache.index[Bytes(key)] = cache.order.begin();
+        cache.bytes += key.size() + value.size() + 64;
+    }
+    while (cache.bytes > cache.budget && !cache.order.empty()) {
+        LruEntry &victim = cache.order.back();
+        cache.bytes -=
+            victim.key.size() + victim.value.size() + 64;
+        cache.index.erase(victim.key);
+        cache.order.pop_back();
+        ++cache_stats_.evictions;
+    }
+}
+
+void
+CachingKVStore::lruErase(Group group, BytesView key)
+{
+    LruCache &cache = groups_[group];
+    auto it = cache.index.find(Bytes(key));
+    if (it == cache.index.end())
+        return;
+    cache.bytes -=
+        it->second->key.size() + it->second->value.size() + 64;
+    cache.order.erase(it->second);
+    cache.index.erase(it);
+}
+
+Status
+CachingKVStore::get(BytesView key, Bytes &value)
+{
+    if (!config_.enabled)
+        return inner_.get(key, value);
+
+    KVClass cls = classify(key);
+    if (isWriteBackClass(cls)) {
+        auto it = wb_.find(Bytes(key));
+        if (it != wb_.end()) {
+            ++cache_stats_.hits;
+            if (!it->second.has_value())
+                return Status::notFound();
+            value = *it->second;
+            return Status::ok();
+        }
+    }
+
+    Group group = groupOf(cls);
+    if (lruGet(group, key, value)) {
+        ++cache_stats_.hits;
+        return Status::ok();
+    }
+    ++cache_stats_.misses;
+    Status s = inner_.get(key, value);
+    if (s.isOk())
+        lruPut(group, key, value);
+    return s;
+}
+
+Status
+CachingKVStore::put(BytesView key, BytesView value)
+{
+    if (!config_.enabled)
+        return inner_.put(key, value);
+
+    KVClass cls = classify(key);
+    if (isWriteBackClass(cls)) {
+        auto [it, inserted] =
+            wb_.try_emplace(Bytes(key), Bytes(value));
+        if (!inserted) {
+            ++cache_stats_.writeback_coalesced;
+            wb_bytes_ -=
+                it->second ? it->second->size() : 0;
+            it->second = Bytes(value);
+        } else {
+            wb_bytes_ += key.size();
+        }
+        wb_bytes_ += value.size();
+        lruErase(groupOf(cls), key);
+        if (wb_bytes_ > config_.write_back_bytes)
+            return flushWriteBack();
+        return Status::ok();
+    }
+
+    Status s = inner_.put(key, value);
+    if (s.isOk())
+        lruPut(groupOf(cls), key, value);
+    return s;
+}
+
+Status
+CachingKVStore::del(BytesView key)
+{
+    if (!config_.enabled)
+        return inner_.del(key);
+
+    KVClass cls = classify(key);
+    if (isWriteBackClass(cls)) {
+        auto [it, inserted] =
+            wb_.try_emplace(Bytes(key), std::nullopt);
+        if (!inserted) {
+            ++cache_stats_.writeback_coalesced;
+            wb_bytes_ -= it->second ? it->second->size() : 0;
+            it->second = std::nullopt;
+        } else {
+            wb_bytes_ += key.size();
+        }
+        lruErase(groupOf(cls), key);
+        return Status::ok();
+    }
+
+    lruErase(groupOf(cls), key);
+    return inner_.del(key);
+}
+
+Status
+CachingKVStore::apply(const kv::WriteBatch &batch)
+{
+    if (!config_.enabled)
+        return inner_.apply(batch);
+
+    // Split: write-back classes are absorbed here; the rest pass
+    // through as one batch so the engine still sees Geth's batched
+    // end-of-block commit.
+    kv::WriteBatch pass_through;
+    for (const kv::BatchEntry &e : batch.entries()) {
+        KVClass cls = classify(e.key);
+        if (isWriteBackClass(cls)) {
+            Status s = e.op == kv::BatchOp::Put
+                           ? put(e.key, e.value)
+                           : del(e.key);
+            if (!s.isOk())
+                return s;
+            continue;
+        }
+        if (e.op == kv::BatchOp::Put) {
+            pass_through.put(e.key, e.value);
+            lruPut(groupOf(cls), e.key, e.value);
+        } else {
+            pass_through.del(e.key);
+            lruErase(groupOf(cls), e.key);
+        }
+    }
+    if (pass_through.empty())
+        return Status::ok();
+    return inner_.apply(pass_through);
+}
+
+Status
+CachingKVStore::scan(BytesView start, BytesView end,
+                     const kv::ScanCallback &cb)
+{
+    // Scan classes (snapshot, headers) are write-through, so the
+    // inner store is authoritative.
+    return inner_.scan(start, end, cb);
+}
+
+Status
+CachingKVStore::flushWriteBack()
+{
+    if (wb_.empty())
+        return Status::ok();
+    ++cache_stats_.writeback_flushes;
+    kv::WriteBatch batch;
+    for (auto &[key, value] : wb_) {
+        if (value.has_value())
+            batch.put(key, *value);
+        else
+            batch.del(key);
+        // Flushed nodes stay hot: promote into the clean cache.
+        if (value.has_value())
+            lruPut(GroupTrieClean, key, *value);
+    }
+    wb_.clear();
+    wb_bytes_ = 0;
+    return inner_.apply(batch);
+}
+
+Status
+CachingKVStore::flush()
+{
+    Status s = flushWriteBack();
+    if (!s.isOk())
+        return s;
+    return inner_.flush();
+}
+
+uint64_t
+CachingKVStore::liveKeyCount()
+{
+    // Only exact after the write-back buffer drains.
+    flushWriteBack().expectOk("cache flush for liveKeyCount");
+    return inner_.liveKeyCount();
+}
+
+uint64_t
+CachingKVStore::cachedBytes() const
+{
+    uint64_t total = 0;
+    for (const LruCache &cache : groups_)
+        total += cache.bytes;
+    return total;
+}
+
+} // namespace ethkv::client

@@ -1,0 +1,176 @@
+#include "client/freezer.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/varint.hh"
+
+namespace fs = std::filesystem;
+
+namespace ethkv::client
+{
+
+namespace
+{
+
+const char *table_names[num_freezer_tables] = {
+    "headers", "bodies", "receipts", "hashes"};
+
+} // namespace
+
+Freezer::Freezer(std::string dir) : dir_(std::move(dir)) {}
+
+Freezer::~Freezer()
+{
+    for (Table &t : tables_)
+        if (t.data)
+            std::fclose(t.data);
+}
+
+Result<std::unique_ptr<Freezer>>
+Freezer::open(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return Status::ioError("freezer: cannot create " + dir);
+
+    auto freezer = std::unique_ptr<Freezer>(new Freezer(dir));
+    for (int i = 0; i < num_freezer_tables; ++i) {
+        Status s = freezer->openTable(i, table_names[i]);
+        if (!s.isOk())
+            return s;
+    }
+    // Frozen count is bounded by the shortest table (a torn append
+    // leaves later tables behind; re-freezing is idempotent).
+    uint64_t count = freezer->tables_[0].index.size();
+    for (const Table &t : freezer->tables_)
+        count = std::min<uint64_t>(count, t.index.size());
+    freezer->frozen_count_ = count;
+    return freezer;
+}
+
+Status
+Freezer::openTable(int idx, const std::string &name)
+{
+    Table &table = tables_[idx];
+    std::string data_path = dir_ + "/" + name + ".dat";
+
+    // Rebuild the index by walking the length-prefixed records.
+    std::FILE *f = std::fopen(data_path.c_str(), "rb");
+    if (f) {
+        std::fseek(f, 0, SEEK_END);
+        uint64_t file_size =
+            static_cast<uint64_t>(std::ftell(f));
+        std::fseek(f, 0, SEEK_SET);
+        Bytes header(4, '\0');
+        uint64_t offset = 0;
+        for (;;) {
+            if (std::fread(header.data(), 1, 4, f) < 4)
+                break;
+            uint32_t len = 0;
+            for (int i = 0; i < 4; ++i) {
+                len = (len << 8) |
+                      static_cast<uint8_t>(header[i]);
+            }
+            // A torn tail append leaves a record whose payload
+            // runs past EOF; it is discarded (and re-frozen by
+            // the idempotent repair path).
+            if (offset + 4 + len > file_size)
+                break;
+            std::fseek(f, static_cast<long>(len), SEEK_CUR);
+            table.index.emplace_back(offset + 4, len);
+            offset += 4 + len;
+        }
+        std::fclose(f);
+        table.tail_offset = offset;
+        // Drop torn garbage so future appends land directly after
+        // the last intact record.
+        if (offset < file_size) {
+            std::error_code ec;
+            fs::resize_file(data_path, offset, ec);
+            if (ec) {
+                return Status::ioError(
+                    "freezer: truncate failed for " + data_path);
+            }
+        }
+    }
+
+    table.data = std::fopen(data_path.c_str(), "ab+");
+    if (!table.data) {
+        return Status::ioError("freezer: open " + data_path +
+                               ": " + std::strerror(errno));
+    }
+    return Status::ok();
+}
+
+Status
+Freezer::appendOne(Table &table, BytesView payload)
+{
+    Bytes record;
+    record.reserve(4 + payload.size());
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    for (int shift = 24; shift >= 0; shift -= 8)
+        record.push_back(static_cast<char>((len >> shift) & 0xff));
+    record += payload;
+    if (std::fwrite(record.data(), 1, record.size(), table.data) !=
+        record.size()) {
+        return Status::ioError("freezer: short append");
+    }
+    table.index.emplace_back(table.tail_offset + 4, len);
+    table.tail_offset += record.size();
+    return Status::ok();
+}
+
+Status
+Freezer::append(uint64_t number, BytesView hash, BytesView header,
+                BytesView body, BytesView receipts)
+{
+    if (number != frozen_count_) {
+        return Status::invalidArgument(
+            "freezer: non-contiguous append");
+    }
+    BytesView payloads[num_freezer_tables] = {header, body,
+                                              receipts, hash};
+    for (int i = 0; i < num_freezer_tables; ++i) {
+        // Idempotent repair: skip tables already ahead.
+        if (tables_[i].index.size() > number)
+            continue;
+        Status s = appendOne(tables_[i], payloads[i]);
+        if (!s.isOk())
+            return s;
+    }
+    ++frozen_count_;
+    return Status::ok();
+}
+
+Status
+Freezer::read(FreezerTable table, uint64_t number, Bytes &out)
+{
+    Table &t = tables_[static_cast<int>(table)];
+    if (number >= t.index.size())
+        return Status::notFound("freezer: item not frozen");
+    auto [offset, len] = t.index[number];
+    out.resize(len);
+    std::fflush(t.data);
+    if (std::fseek(t.data, static_cast<long>(offset), SEEK_SET) !=
+            0 ||
+        std::fread(out.data(), 1, len, t.data) != len) {
+        return Status::ioError("freezer: read failed");
+    }
+    // Restore append position.
+    std::fseek(t.data, 0, SEEK_END);
+    return Status::ok();
+}
+
+uint64_t
+Freezer::totalBytes() const
+{
+    uint64_t total = 0;
+    for (const Table &t : tables_)
+        total += t.tail_offset;
+    return total;
+}
+
+} // namespace ethkv::client

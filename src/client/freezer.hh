@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The freezer database: immutable flat files for finalized chain
+ * segments.
+ *
+ * Geth offloads blocks beyond the finality threshold out of the KV
+ * store into append-only files [geth docs]; the migration generates
+ * the BlockHeader/BlockBody/BlockReceipts read+delete traffic that
+ * dominates those classes' op mix (Finding 5). The freezer itself
+ * is NOT part of the KV store, so its own I/O never appears in the
+ * traces — only the reads and deletes the migration issues against
+ * the KV interface do.
+ */
+
+#ifndef ETHKV_CLIENT_FREEZER_HH
+#define ETHKV_CLIENT_FREEZER_HH
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+
+namespace ethkv::client
+{
+
+/** The freezer's tables, one append-only file pair each. */
+enum class FreezerTable : int
+{
+    Headers = 0,
+    Bodies,
+    Receipts,
+    Hashes,
+};
+
+constexpr int num_freezer_tables = 4;
+
+/**
+ * Append-only table files with an index of (offset, length) per
+ * item. Items are addressed by block number; appends must be
+ * contiguous from the current frozen boundary.
+ */
+class Freezer
+{
+  public:
+    /** Open (or create) freezer files under dir. */
+    static Result<std::unique_ptr<Freezer>> open(
+        const std::string &dir);
+
+    ~Freezer();
+
+    Freezer(const Freezer &) = delete;
+    Freezer &operator=(const Freezer &) = delete;
+
+    /**
+     * Append one block's data across all tables.
+     *
+     * @param number Must equal frozenCount() (contiguity).
+     */
+    Status append(uint64_t number, BytesView hash,
+                  BytesView header, BytesView body,
+                  BytesView receipts);
+
+    /** Read one item back from a table. */
+    Status read(FreezerTable table, uint64_t number, Bytes &out);
+
+    /** Number of frozen blocks (next expected append number). */
+    uint64_t frozenCount() const { return frozen_count_; }
+
+    /** Total bytes across all table files. */
+    uint64_t totalBytes() const;
+
+  private:
+    struct Table
+    {
+        std::FILE *data = nullptr;
+        std::vector<std::pair<uint64_t, uint32_t>> index;
+        uint64_t tail_offset = 0;
+    };
+
+    explicit Freezer(std::string dir);
+
+    Status openTable(int idx, const std::string &name);
+    Status appendOne(Table &table, BytesView payload);
+
+    std::string dir_;
+    std::array<Table, num_freezer_tables> tables_;
+    uint64_t frozen_count_ = 0;
+};
+
+} // namespace ethkv::client
+
+#endif // ETHKV_CLIENT_FREEZER_HH

@@ -1,0 +1,577 @@
+#include "client/node.hh"
+
+#include "client/calldata.hh"
+#include "common/logging.hh"
+#include "common/xxhash.hh"
+
+namespace ethkv::client
+{
+
+namespace
+{
+
+/** Deterministic filler bytes for synthetic slot values. */
+Bytes
+syntheticValue(const eth::Hash256 &slot, uint64_t salt,
+               size_t size)
+{
+    Bytes out;
+    out.reserve(size);
+    uint64_t h = xxhash64(slot.view(), salt);
+    while (out.size() < size) {
+        out.push_back(static_cast<char>(h & 0xff));
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    return out;
+}
+
+} // namespace
+
+FullNode::FullNode(kv::KVStore &traced_store, NodeConfig config)
+    : base_(traced_store), config_(std::move(config))
+{
+    if (config_.caching) {
+        cache_ = std::make_unique<CachingKVStore>(base_,
+                                                  config_.cache);
+        store_ = cache_.get();
+    } else {
+        store_ = &base_;
+    }
+    StateConfig state_config;
+    // Snapshot acceleration is a dependent feature of caching
+    // (paper §III-A).
+    state_config.snapshot_enabled = config_.caching;
+    state_ = std::make_unique<StateDB>(*store_, state_config);
+    if (!config_.freezer_dir.empty()) {
+        auto freezer = Freezer::open(config_.freezer_dir);
+        freezer.status().expectOk("freezer open");
+        freezer_ = freezer.take();
+    }
+    tx_indexer_ = std::make_unique<TxIndexer>(
+        *store_, config_.tx_index_window, freezer_.get());
+    bloom_indexer_ = std::make_unique<BloomBitsIndexer>(
+        *store_, config_.bloom_section_size);
+    skeleton_ = std::make_unique<SkeletonSync>(
+        *store_, config_.skeleton_fill_lag,
+        config_.skeleton_status_interval);
+}
+
+FullNode::~FullNode() = default;
+
+Status
+FullNode::start(const eth::Hash256 &genesis_hash)
+{
+    if (started_)
+        panic("FullNode::start called twice");
+    started_ = true;
+    kv::KVStore &db = *store_;
+
+    // Version / config bookkeeping, as Geth does on boot.
+    Bytes raw;
+    Status s = db.get(databaseVersionKey(), raw);
+    if (s.isNotFound()) {
+        s = db.put(databaseVersionKey(), Bytes(1, '\x09'));
+        if (!s.isOk())
+            return s;
+    } else if (!s.isOk()) {
+        return s;
+    }
+
+    Bytes config_key = ethereumConfigKey(genesis_hash);
+    s = db.get(config_key, raw);
+    if (s.isNotFound()) {
+        // Chain config JSON blob (603 bytes in Table I).
+        Bytes config_blob = syntheticValue(genesis_hash, 1, 603);
+        s = db.put(config_key, config_blob);
+        if (!s.isOk())
+            return s;
+        // Genesis state blob (~0.68 MiB in Table I).
+        s = db.put(ethereumGenesisKey(genesis_hash),
+                   syntheticValue(genesis_hash, 2, 710909));
+        if (!s.isOk())
+            return s;
+    } else if (!s.isOk()) {
+        return s;
+    }
+
+    // Crash-marker dance: read the list, update it with this boot.
+    s = db.get(uncleanShutdownKey(), raw);
+    if (!s.isOk() && !s.isNotFound())
+        return s;
+    s = db.put(uncleanShutdownKey(),
+               syntheticValue(genesis_hash, 3, 33));
+    if (!s.isOk())
+        return s;
+
+    // Journals and snapshot markers are probed on boot (present
+    // only after a clean shutdown).
+    for (BytesView key :
+         {trieJournalKey(), snapshotJournalKey(),
+          snapshotRecoveryKey(), snapshotGeneratorKey(),
+          snapshotRootKey(), lastBlockKey(), lastHeaderKey(),
+          lastFastKey(), lastStateIDKey(),
+          transactionIndexTailKey()}) {
+        s = db.get(key, raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+    }
+    if (config_.caching) {
+        // The generator marker is rewritten as generation resumes.
+        s = db.put(snapshotGeneratorKey(),
+                   syntheticValue(genesis_hash, 4, 7));
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+void
+FullNode::headUpdates(kv::WriteBatch &batch)
+{
+    // Written back-to-back every block; the source of the
+    // LastBlock-LastFast-LastHeader adjacent-update correlations
+    // in Finding 10.
+    batch.put(lastBlockKey(), head_hash_.view());
+    batch.put(lastFastKey(), head_hash_.view());
+    batch.put(lastHeaderKey(), head_hash_.view());
+}
+
+Status
+FullNode::processBlock(const eth::Block &block)
+{
+    if (!started_)
+        panic("FullNode::processBlock before start");
+    kv::KVStore &db = *store_;
+    const eth::BlockHeader &header = block.header;
+    uint64_t number = header.number;
+    eth::Hash256 hash = header.hash();
+
+    // --- 1. Download phase: block data lands in the store. -----
+    {
+        kv::WriteBatch batch;
+        skeleton_->onHeaderDownloaded(batch, header);
+        batch.put(headerKey(number, hash), header.encode());
+        batch.put(canonicalHashKey(number), hash.toBytes());
+        batch.put(headerNumberKey(hash), encodeBE64(number));
+        batch.put(blockBodyKey(number, hash), block.body.encode());
+        Status s = db.apply(batch);
+        if (!s.isOk())
+            return s;
+    }
+
+    // --- 2. Verification: re-read the block from the store (the
+    // insert pipeline consumes what the downloader wrote) and
+    // resolve + read the parent header.
+    {
+        Bytes raw;
+        Status s = db.get(headerKey(number, hash), raw);
+        if (!s.isOk())
+            return s;
+        s = db.get(blockBodyKey(number, hash), raw);
+        if (!s.isOk())
+            return s;
+    }
+    if (number > 0) {
+        Bytes raw;
+        Status s = db.get(headerNumberKey(header.parent_hash), raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+        s = db.get(canonicalHashKey(number - 1), raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+        s = db.get(headerKey(number - 1, header.parent_hash), raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+    }
+
+    // pathdb consults the persistent state id before execution.
+    {
+        Bytes raw;
+        Status s = db.get(lastStateIDKey(), raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+    }
+
+    // Occasional hash->number resolution for an older block (log
+    // filters, RPC-era lookups): old enough to have left the
+    // number cache.
+    past_hashes_.push_back(hash);
+    if (past_hashes_.size() > 384)
+        past_hashes_.pop_front();
+    if (number % 3 == 0 && past_hashes_.size() > 256) {
+        Bytes raw;
+        Status s = db.get(
+            headerNumberKey(past_hashes_.front()), raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+    }
+
+    // --- 3. Execute transactions (on-demand state reads). ------
+    std::vector<eth::Receipt> receipts;
+    Status s = executeTransactions(block, receipts);
+    if (!s.isOk())
+        return s;
+
+    // --- 4. Commit batch: Geth's end-of-block flush. -----------
+    {
+        kv::WriteBatch batch;
+
+        eth::Block executed = block;
+        executed.receipts = std::move(receipts);
+        batch.put(blockReceiptsKey(number, hash),
+                  executed.encodeReceipts());
+
+        state_root_ = state_->commitBlock(batch);
+
+        // State history: new id in, oldest id out (the 50/50
+        // write/delete mix of the StateID class).
+        ++state_id_;
+        batch.put(stateIDKey(state_root_), encodeBE64(state_id_));
+        recent_roots_.emplace_back(number, state_root_);
+        while (recent_roots_.size() > config_.state_history) {
+            batch.del(stateIDKey(recent_roots_.front().second));
+            recent_roots_.pop_front();
+        }
+
+        // LastStateID advances when persistent state advances:
+        // every block without the write-back buffer, on buffer
+        // flushes with it.
+        bool advance_state_id = !config_.caching;
+        if (cache_) {
+            uint64_t flushes =
+                cache_->cacheStats().writeback_flushes;
+            if (flushes != last_wb_flushes_) {
+                last_wb_flushes_ = flushes;
+                advance_state_id = true;
+            }
+        }
+        if (advance_state_id)
+            batch.put(lastStateIDKey(), encodeBE64(state_id_));
+
+        tx_indexer_->indexBlock(batch, executed);
+        s = tx_indexer_->pruneTail(batch, number);
+        if (!s.isOk())
+            return s;
+
+        s = bloom_indexer_->onNewHead(batch, header);
+        if (!s.isOk())
+            return s;
+
+        head_number_ = number;
+        head_hash_ = hash;
+        headUpdates(batch);
+
+        s = db.apply(batch);
+        if (!s.isOk())
+            return s;
+    }
+
+    // --- 5. Maintenance. ----------------------------------------
+    {
+        kv::WriteBatch batch;
+        s = skeleton_->onBlockFilled(batch, number);
+        if (!s.isOk())
+            return s;
+        s = db.apply(batch);
+        if (!s.isOk())
+            return s;
+    }
+    s = migrateToFreezer(number);
+    if (!s.isOk())
+        return s;
+    return periodicMaintenance(number);
+}
+
+Status
+FullNode::executeTransactions(const eth::Block &block,
+                              std::vector<eth::Receipt> &receipts)
+{
+    receipts.clear();
+    receipts.reserve(block.body.transactions.size());
+    uint64_t cumulative_gas = 0;
+    for (const eth::Transaction &tx : block.body.transactions) {
+        eth::Receipt receipt;
+        Status s = executeTx(tx, receipt);
+        if (!s.isOk())
+            return s;
+        cumulative_gas += 21000;
+        receipt.cumulative_gas = cumulative_gas;
+        receipt.buildBloom();
+        receipts.push_back(std::move(receipt));
+    }
+
+    // Fee recipient credit: one hot account touched every block.
+    eth::Account coinbase;
+    Status s = state_->getAccount(block.header.coinbase, coinbase);
+    if (!s.isOk() && !s.isNotFound())
+        return s;
+    coinbase.balance += block.header.gas_used;
+    state_->setAccount(block.header.coinbase, coinbase);
+    return Status::ok();
+}
+
+Status
+FullNode::executeTx(const eth::Transaction &tx,
+                    eth::Receipt &receipt)
+{
+    // Sender: read, bump nonce, debit value.
+    eth::Account sender;
+    Status s = state_->getAccount(tx.from, sender);
+    if (!s.isOk() && !s.isNotFound())
+        return s;
+    ++sender.nonce;
+    if (sender.balance >= tx.value)
+        sender.balance -= tx.value;
+
+    if (tx.isCreation()) {
+        // Deploy: the calldata is the contract's code.
+        eth::Address contract_addr =
+            eth::contractAddress(tx.from, sender.nonce);
+        eth::Account contract;
+        contract.code_hash = state_->putCode(tx.data);
+        contract.balance = tx.value;
+        state_->setAccount(contract_addr, contract);
+        state_->setAccount(tx.from, sender);
+        return Status::ok();
+    }
+
+    eth::Account recipient;
+    s = state_->getAccount(*tx.to, recipient);
+    bool exists = s.isOk();
+    if (!exists && !s.isNotFound())
+        return s;
+
+    if (exists && recipient.isContract() &&
+        isCallProgram(tx.data)) {
+        // Contract call: fetch the code, run the slot program.
+        Bytes code;
+        s = state_->getCode(recipient.code_hash, code);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+
+        std::vector<SlotOp> ops;
+        s = decodeCallProgram(tx.data, ops);
+        if (!s.isOk())
+            return s;
+        uint64_t salt = xxhash64(tx.from.view(), sender.nonce);
+        for (const SlotOp &op : ops) {
+            switch (op.kind) {
+              case SlotOp::Kind::Read: {
+                Bytes value;
+                s = state_->getStorage(*tx.to, op.slot, value);
+                if (!s.isOk() && !s.isNotFound())
+                    return s;
+                break;
+              }
+              case SlotOp::Kind::Write:
+              case SlotOp::Kind::WriteLog: {
+                Bytes value = syntheticValue(op.slot, salt,
+                                             op.value_size);
+                state_->setStorage(*tx.to, op.slot, value);
+                if (op.kind == SlotOp::Kind::WriteLog) {
+                    eth::Log log;
+                    log.address = *tx.to;
+                    log.topics = {op.slot, eth::hashOf(value)};
+                    log.data = value;
+                    receipt.logs.push_back(std::move(log));
+                }
+                break;
+              }
+              case SlotOp::Kind::Clear:
+                state_->setStorage(*tx.to, op.slot, BytesView());
+                break;
+            }
+        }
+    }
+
+    recipient.balance += tx.value;
+    state_->setAccount(*tx.to, recipient);
+    state_->setAccount(tx.from, sender);
+    return Status::ok();
+}
+
+Status
+FullNode::migrateToFreezer(uint64_t head_number)
+{
+    if (!freezer_ || head_number < config_.finality_depth)
+        return Status::ok();
+    kv::KVStore &db = *store_;
+    uint64_t freeze_to = head_number - config_.finality_depth;
+
+    while (freezer_->frozenCount() <= freeze_to) {
+        uint64_t number = freezer_->frozenCount();
+
+        // Read back everything being offloaded (the BlockHeader /
+        // BlockBody / BlockReceipts reads of Finding 5)...
+        Bytes hash_raw;
+        Status s = db.get(canonicalHashKey(number), hash_raw);
+        if (s.isNotFound()) {
+            // Nothing stored for this height (e.g. pre-start);
+            // freeze an empty marker to stay contiguous.
+            s = freezer_->append(number, BytesView(), BytesView(),
+                                 BytesView(), BytesView());
+            if (!s.isOk())
+                return s;
+            continue;
+        }
+        if (!s.isOk())
+            return s;
+        eth::Hash256 hash = eth::Hash256::fromBytes(hash_raw);
+
+        Bytes header_raw, body_raw, receipts_raw;
+        s = db.get(headerKey(number, hash), header_raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+        s = db.get(blockBodyKey(number, hash), body_raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+        s = db.get(blockReceiptsKey(number, hash), receipts_raw);
+        if (!s.isOk() && !s.isNotFound())
+            return s;
+
+        s = freezer_->append(number, hash_raw, header_raw,
+                             body_raw, receipts_raw);
+        if (!s.isOk())
+            return s;
+
+        // ...then delete the migrated KV pairs.
+        kv::WriteBatch batch;
+        batch.del(headerKey(number, hash));
+        batch.del(blockBodyKey(number, hash));
+        batch.del(blockReceiptsKey(number, hash));
+        batch.del(canonicalHashKey(number));
+        s = db.apply(batch);
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+Status
+FullNode::periodicMaintenance(uint64_t number)
+{
+    kv::KVStore &db = *store_;
+
+    // Canonical-header range scan (chain repair / indexer walks):
+    // the BlockHeader scans of Finding 4.
+    if (config_.header_scan_interval > 0 &&
+        number % config_.header_scan_interval == 0 && number > 8) {
+        uint64_t from = number - 8;
+        int visited = 0;
+        Status s = db.scan(headerKey(from, eth::Hash256()),
+                           canonicalHashKey(number),
+                           [&](BytesView, BytesView) {
+                               return ++visited < 32;
+                           });
+        if (!s.isOk())
+            return s;
+    }
+
+    if (config_.caching) {
+        // Snapshot generator walks a storage range occasionally
+        // (the rare SnapshotStorage scans of Finding 4).
+        if (config_.snapshot_scan_interval > 0 &&
+            number % config_.snapshot_scan_interval == 0) {
+            Bytes start = "o";
+            start += eth::Hash256::fromId(number).view();
+            int visited = 0;
+            Status s = db.scan(start, BytesView("p"),
+                               [&](BytesView, BytesView) {
+                                   return ++visited < 16;
+                               });
+            if (!s.isOk())
+                return s;
+        }
+        // SnapshotRoot is dropped and rewritten around snapshot
+        // updates (its 50/50 update/delete mix in Table II).
+        if (config_.snapshot_root_interval > 0 &&
+            number % config_.snapshot_root_interval == 0) {
+            Status s = db.del(snapshotRootKey());
+            if (!s.isOk())
+                return s;
+            s = db.put(snapshotRootKey(), state_root_.view());
+            if (!s.isOk())
+                return s;
+        }
+        if (config_.snapshot_generator_interval > 0 &&
+            number % config_.snapshot_generator_interval == 0) {
+            Status s =
+                db.put(snapshotGeneratorKey(),
+                       syntheticValue(state_root_, number, 7));
+            if (!s.isOk())
+                return s;
+        }
+    }
+    return Status::ok();
+}
+
+Status
+FullNode::shutdown()
+{
+    kv::KVStore &db = *store_;
+
+    // Journals: the giant single-KV classes of Table I. Sizes are
+    // scaled to sim state (Geth's TrieJournal reached 336 MiB).
+    uint64_t journal_scale = 4096 + head_number_ * 64;
+    Status s = db.put(trieJournalKey(),
+                      syntheticValue(state_root_, 10,
+                                     journal_scale * 4));
+    if (!s.isOk())
+        return s;
+    if (config_.caching) {
+        s = db.put(snapshotJournalKey(),
+                   syntheticValue(state_root_, 11, journal_scale));
+        if (!s.isOk())
+            return s;
+        s = db.put(snapshotRootKey(), state_root_.view());
+        if (!s.isOk())
+            return s;
+        s = db.put(snapshotGeneratorKey(),
+                   syntheticValue(state_root_, 12, 7));
+        if (!s.isOk())
+            return s;
+        s = db.put(snapshotRecoveryKey(),
+                   encodeBE64(head_number_));
+        if (!s.isOk())
+            return s;
+        // Snapshot-generator coverage check: a bounded walk over
+        // the flat account range (the paper's SnapshotAccount
+        // scans, of which the whole 1M-block trace has two).
+        int visited = 0;
+        s = db.scan(snapshotAccountKey(
+                        eth::Hash256::fromId(head_number_)),
+                    Bytes("b"),
+                    [&](BytesView, BytesView) {
+                        return ++visited < 16;
+                    });
+        if (!s.isOk())
+            return s;
+    }
+    s = db.put(lastStateIDKey(), encodeBE64(state_id_));
+    if (!s.isOk())
+        return s;
+
+    // Clean-shutdown marker update (read + update pairing).
+    Bytes raw;
+    s = db.get(uncleanShutdownKey(), raw);
+    if (!s.isOk() && !s.isNotFound())
+        return s;
+    s = db.put(uncleanShutdownKey(),
+               syntheticValue(state_root_, 13, 33));
+    if (!s.isOk())
+        return s;
+
+    return db.flush();
+}
+
+Status
+FullNode::restart(const eth::Hash256 &genesis_hash)
+{
+    Status s = shutdown();
+    if (!s.isOk())
+        return s;
+    started_ = false;
+    return start(genesis_hash);
+}
+
+} // namespace ethkv::client

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The full node: Geth's block verification and commit pipeline.
+ *
+ * processBlock() reproduces the KV-operation lifecycle of one block
+ * in full synchronization (paper §II-A):
+ *
+ *   1. Download phase: skeleton header, block header + canonical
+ *      hash + HeaderNumber + body are written (one batch).
+ *   2. Verification: parent header resolved; every transaction
+ *      executes against the StateDB, issuing on-demand reads
+ *      (accounts, slots, code — via snapshot or trie).
+ *   3. Commit: state tries, snapshot entries, code, receipts,
+ *      TxLookup entries, head pointers (LastBlock / LastFast /
+ *      LastHeader), and StateID land in one batched flush —
+ *      Geth's end-of-block write batch (paper §IV-C).
+ *   4. Maintenance: tx-index tail pruning, bloombits sections,
+ *      freezer migration of finalized blocks, skeleton retirement,
+ *      periodic snapshot markers.
+ *
+ * Construction wires the store stack: FullNode -> CachingKVStore
+ * (when caching is on) -> the traced store supplied by the caller.
+ */
+
+#ifndef ETHKV_CLIENT_NODE_HH
+#define ETHKV_CLIENT_NODE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "client/class_cache.hh"
+#include "client/freezer.hh"
+#include "client/indexers.hh"
+#include "client/statedb.hh"
+#include "eth/block.hh"
+
+namespace ethkv::client
+{
+
+/** Node wiring and maintenance cadences. */
+struct NodeConfig
+{
+    /** Caching + snapshot acceleration (CacheTrace) or neither
+     *  (BareTrace). Snapshot is a dependent feature of caching in
+     *  Geth, so one switch controls both (paper §III-A). */
+    bool caching = true;
+
+    CacheConfig cache;
+
+    std::string freezer_dir; //!< Empty disables the freezer.
+
+    uint64_t tx_index_window = 64;   //!< Blocks kept tx-indexed.
+    uint64_t finality_depth = 48;    //!< Freezer migration depth.
+    uint64_t state_history = 32;     //!< StateID entries retained.
+    uint64_t bloom_section_size = 512;
+    uint64_t skeleton_fill_lag = 16;
+    uint64_t skeleton_status_interval = 4;
+    uint64_t header_scan_interval = 2;   //!< Canonical scans.
+    uint64_t snapshot_scan_interval = 64; //!< Generator scans.
+    uint64_t snapshot_root_interval = 100;
+    uint64_t snapshot_generator_interval = 90;
+};
+
+/**
+ * A full node in full-synchronization mode.
+ */
+class FullNode
+{
+  public:
+    /**
+     * @param traced_store The instrumented KV store (the trace
+     *        capture point); not owned.
+     * @param config Node wiring.
+     */
+    FullNode(kv::KVStore &traced_store, NodeConfig config);
+    ~FullNode();
+
+    /**
+     * Start the node: genesis/config/version bookkeeping plus the
+     * unclean-shutdown and journal reads Geth performs on boot.
+     */
+    Status start(const eth::Hash256 &genesis_hash);
+
+    /** Process one block through the full pipeline. */
+    Status processBlock(const eth::Block &block);
+
+    /**
+     * Clean shutdown: snapshot + trie journals, snapshot root, and
+     * shutdown-marker updates.
+     */
+    Status shutdown();
+
+    /**
+     * Clean restart: shutdown + start. The paper's 140-day capture
+     * spans client restarts, which is where the journal and config
+     * singleton classes pick up their read/write mixes (Table II).
+     */
+    Status restart(const eth::Hash256 &genesis_hash);
+
+    /** The world state (execution-facing). */
+    StateDB &state() { return *state_; }
+
+    /** The store the client reads/writes (cache when enabled). */
+    kv::KVStore &store() { return *store_; }
+
+    uint64_t headNumber() const { return head_number_; }
+    const eth::Hash256 &headHash() const { return head_hash_; }
+    const eth::Hash256 &stateRoot() const { return state_root_; }
+
+  private:
+    Status executeTransactions(const eth::Block &block,
+                               std::vector<eth::Receipt> &receipts);
+    Status executeTx(const eth::Transaction &tx,
+                     eth::Receipt &receipt);
+    Status migrateToFreezer(uint64_t head_number);
+    Status periodicMaintenance(uint64_t number);
+    void headUpdates(kv::WriteBatch &batch);
+
+    kv::KVStore &base_;
+    NodeConfig config_;
+    std::unique_ptr<CachingKVStore> cache_;
+    kv::KVStore *store_; //!< cache_ when caching, else &base_.
+
+    std::unique_ptr<StateDB> state_;
+    std::unique_ptr<TxIndexer> tx_indexer_;
+    std::unique_ptr<BloomBitsIndexer> bloom_indexer_;
+    std::unique_ptr<SkeletonSync> skeleton_;
+    std::unique_ptr<Freezer> freezer_;
+
+    uint64_t head_number_ = 0;
+    eth::Hash256 head_hash_;
+    eth::Hash256 state_root_;
+    uint64_t state_id_ = 0;
+    uint64_t last_wb_flushes_ = 0;
+    std::deque<std::pair<uint64_t, eth::Hash256>> recent_roots_;
+    std::deque<eth::Hash256> past_hashes_;
+    bool started_ = false;
+};
+
+} // namespace ethkv::client
+
+#endif // ETHKV_CLIENT_NODE_HH

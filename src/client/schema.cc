@@ -1,0 +1,325 @@
+#include "client/schema.hh"
+
+namespace ethkv::client
+{
+
+namespace
+{
+
+// Singleton keys, matching go-ethereum's rawdb schema strings
+// (their lengths reproduce the Table I key sizes exactly).
+constexpr std::string_view k_last_block = "LastBlock";
+constexpr std::string_view k_last_header = "LastHeader";
+constexpr std::string_view k_last_fast = "LastFast";
+constexpr std::string_view k_last_state_id = "LastStateID";
+constexpr std::string_view k_database_version = "DatabaseVersion";
+constexpr std::string_view k_snapshot_root = "SnapshotRoot";
+constexpr std::string_view k_snapshot_journal = "SnapshotJournal";
+constexpr std::string_view k_snapshot_generator =
+    "SnapshotGenerator";
+constexpr std::string_view k_snapshot_recovery = "SnapshotRecovery";
+constexpr std::string_view k_skeleton_status = "SkeletonSyncStatus";
+constexpr std::string_view k_tx_index_tail =
+    "TransactionIndexTail";
+constexpr std::string_view k_unclean_shutdown = "unclean-shutdown";
+constexpr std::string_view k_trie_journal = "TrieJournal";
+constexpr std::string_view k_config_prefix = "ethereum-config-";
+constexpr std::string_view k_genesis_prefix = "ethereum-genesis-";
+
+} // namespace
+
+const char *
+kvClassName(KVClass cls)
+{
+    switch (cls) {
+      case KVClass::TrieNodeStorage: return "TrieNodeStorage";
+      case KVClass::SnapshotStorage: return "SnapshotStorage";
+      case KVClass::TxLookup: return "TxLookup";
+      case KVClass::TrieNodeAccount: return "TrieNodeAccount";
+      case KVClass::SnapshotAccount: return "SnapshotAccount";
+      case KVClass::HeaderNumber: return "HeaderNumber";
+      case KVClass::BloomBits: return "BloomBits";
+      case KVClass::Code: return "Code";
+      case KVClass::SkeletonHeader: return "SkeletonHeader";
+      case KVClass::BlockHeader: return "BlockHeader";
+      case KVClass::BlockReceipts: return "BlockReceipts";
+      case KVClass::BlockBody: return "BlockBody";
+      case KVClass::StateID: return "StateID";
+      case KVClass::BloomBitsIndex: return "BloomBitsIndex";
+      case KVClass::EthereumGenesis: return "Ethereum-genesis";
+      case KVClass::SnapshotJournal: return "SnapshotJournal";
+      case KVClass::EthereumConfig: return "Ethereum-config";
+      case KVClass::LastStateID: return "LastStateID";
+      case KVClass::UncleanShutdown: return "Unclean-shutdown";
+      case KVClass::SnapshotGenerator: return "SnapshotGenerator";
+      case KVClass::TrieJournal: return "TrieJournal";
+      case KVClass::DatabaseVersion: return "DatabaseVersion";
+      case KVClass::LastBlock: return "LastBlock";
+      case KVClass::SnapshotRoot: return "SnapshotRoot";
+      case KVClass::SkeletonSyncStatus:
+        return "SkeletonSyncStatus";
+      case KVClass::LastHeader: return "LastHeader";
+      case KVClass::SnapshotRecovery: return "SnapshotRecovery";
+      case KVClass::TransactionIndexTail:
+        return "TransactionIndexTail";
+      case KVClass::LastFast: return "LastFast";
+      case KVClass::Unknown: return "Unknown";
+    }
+    return "Unknown";
+}
+
+KVClass
+classify(BytesView key)
+{
+    if (key.empty())
+        return KVClass::Unknown;
+
+    // Singletons and multi-byte prefixes first: several of them
+    // start with letters that collide with one-byte prefixes.
+    if (key == k_last_block)
+        return KVClass::LastBlock;
+    if (key == k_last_header)
+        return KVClass::LastHeader;
+    if (key == k_last_fast)
+        return KVClass::LastFast;
+    if (key == k_last_state_id)
+        return KVClass::LastStateID;
+    if (key == k_database_version)
+        return KVClass::DatabaseVersion;
+    if (key == k_snapshot_root)
+        return KVClass::SnapshotRoot;
+    if (key == k_snapshot_journal)
+        return KVClass::SnapshotJournal;
+    if (key == k_snapshot_generator)
+        return KVClass::SnapshotGenerator;
+    if (key == k_snapshot_recovery)
+        return KVClass::SnapshotRecovery;
+    if (key == k_skeleton_status)
+        return KVClass::SkeletonSyncStatus;
+    if (key == k_tx_index_tail)
+        return KVClass::TransactionIndexTail;
+    if (key == k_unclean_shutdown)
+        return KVClass::UncleanShutdown;
+    if (key == k_trie_journal)
+        return KVClass::TrieJournal;
+    if (key.starts_with(k_config_prefix))
+        return KVClass::EthereumConfig;
+    if (key.starts_with(k_genesis_prefix))
+        return KVClass::EthereumGenesis;
+    if (key.size() >= 2 && key[0] == 'i' && key[1] == 'B')
+        return KVClass::BloomBitsIndex;
+
+    switch (key[0]) {
+      case 'h':
+        // 'h'+num+hash (41) or canonical 'h'+num+'n' (10).
+        if (key.size() == 41 ||
+            (key.size() == 10 && key[9] == 'n')) {
+            return KVClass::BlockHeader;
+        }
+        return KVClass::Unknown;
+      case 'b':
+        return key.size() == 41 ? KVClass::BlockBody
+                                : KVClass::Unknown;
+      case 'r':
+        return key.size() == 41 ? KVClass::BlockReceipts
+                                : KVClass::Unknown;
+      case 'H':
+        return key.size() == 33 ? KVClass::HeaderNumber
+                                : KVClass::Unknown;
+      case 'l':
+        return key.size() == 33 ? KVClass::TxLookup
+                                : KVClass::Unknown;
+      case 'B':
+        return key.size() == 43 ? KVClass::BloomBits
+                                : KVClass::Unknown;
+      case 'c':
+        return key.size() == 33 ? KVClass::Code
+                                : KVClass::Unknown;
+      case 'a':
+        return key.size() == 33 ? KVClass::SnapshotAccount
+                                : KVClass::Unknown;
+      case 'o':
+        // Full keys are 65 bytes; 33-byte account-prefixed range
+        // starts (snapshot generator scans) belong here too.
+        return key.size() == 65 || key.size() == 33
+                   ? KVClass::SnapshotStorage
+                   : KVClass::Unknown;
+      case 'A':
+        return KVClass::TrieNodeAccount;
+      case 'O':
+        return key.size() >= 33 ? KVClass::TrieNodeStorage
+                                : KVClass::Unknown;
+      case 'S':
+        return key.size() == 9 ? KVClass::SkeletonHeader
+                               : KVClass::Unknown;
+      case 'L':
+        return key.size() == 33 ? KVClass::StateID
+                                : KVClass::Unknown;
+      default:
+        return KVClass::Unknown;
+    }
+}
+
+Bytes
+headerKey(uint64_t number, const eth::Hash256 &hash)
+{
+    Bytes key = "h";
+    appendBE64(key, number);
+    key += hash.view();
+    return key;
+}
+
+Bytes
+canonicalHashKey(uint64_t number)
+{
+    Bytes key = "h";
+    appendBE64(key, number);
+    key += 'n';
+    return key;
+}
+
+Bytes
+blockBodyKey(uint64_t number, const eth::Hash256 &hash)
+{
+    Bytes key = "b";
+    appendBE64(key, number);
+    key += hash.view();
+    return key;
+}
+
+Bytes
+blockReceiptsKey(uint64_t number, const eth::Hash256 &hash)
+{
+    Bytes key = "r";
+    appendBE64(key, number);
+    key += hash.view();
+    return key;
+}
+
+Bytes
+headerNumberKey(const eth::Hash256 &hash)
+{
+    Bytes key = "H";
+    key += hash.view();
+    return key;
+}
+
+Bytes
+txLookupKey(const eth::Hash256 &tx_hash)
+{
+    Bytes key = "l";
+    key += tx_hash.view();
+    return key;
+}
+
+Bytes
+bloomBitsKey(uint16_t bit, uint64_t section,
+             const eth::Hash256 &head_hash)
+{
+    Bytes key = "B";
+    key.push_back(static_cast<char>(bit >> 8));
+    key.push_back(static_cast<char>(bit & 0xff));
+    appendBE64(key, section);
+    key += head_hash.view();
+    return key;
+}
+
+Bytes
+codeKey(const eth::Hash256 &code_hash)
+{
+    Bytes key = "c";
+    key += code_hash.view();
+    return key;
+}
+
+Bytes
+snapshotAccountKey(const eth::Hash256 &account_hash)
+{
+    Bytes key = "a";
+    key += account_hash.view();
+    return key;
+}
+
+Bytes
+snapshotStorageKey(const eth::Hash256 &account_hash,
+                   const eth::Hash256 &slot_hash)
+{
+    Bytes key = "o";
+    key += account_hash.view();
+    key += slot_hash.view();
+    return key;
+}
+
+Bytes
+trieNodeAccountKey(BytesView path_nibbles)
+{
+    Bytes key = "A";
+    key += path_nibbles;
+    return key;
+}
+
+Bytes
+trieNodeStorageKey(const eth::Hash256 &account_hash,
+                   BytesView path_nibbles)
+{
+    Bytes key = "O";
+    key += account_hash.view();
+    key += path_nibbles;
+    return key;
+}
+
+Bytes
+skeletonHeaderKey(uint64_t number)
+{
+    Bytes key = "S";
+    appendBE64(key, number);
+    return key;
+}
+
+Bytes
+stateIDKey(const eth::Hash256 &root)
+{
+    Bytes key = "L";
+    key += root.view();
+    return key;
+}
+
+Bytes
+bloomBitsIndexKey(BytesView sub_key)
+{
+    Bytes key = "iB";
+    key += sub_key;
+    return key;
+}
+
+Bytes
+ethereumConfigKey(const eth::Hash256 &genesis_hash)
+{
+    Bytes key(k_config_prefix);
+    key += genesis_hash.view();
+    return key;
+}
+
+Bytes
+ethereumGenesisKey(const eth::Hash256 &genesis_hash)
+{
+    Bytes key(k_genesis_prefix);
+    key += genesis_hash.view();
+    return key;
+}
+
+BytesView lastBlockKey() { return k_last_block; }
+BytesView lastHeaderKey() { return k_last_header; }
+BytesView lastFastKey() { return k_last_fast; }
+BytesView lastStateIDKey() { return k_last_state_id; }
+BytesView databaseVersionKey() { return k_database_version; }
+BytesView snapshotRootKey() { return k_snapshot_root; }
+BytesView snapshotJournalKey() { return k_snapshot_journal; }
+BytesView snapshotGeneratorKey() { return k_snapshot_generator; }
+BytesView snapshotRecoveryKey() { return k_snapshot_recovery; }
+BytesView skeletonSyncStatusKey() { return k_skeleton_status; }
+BytesView transactionIndexTailKey() { return k_tx_index_tail; }
+BytesView uncleanShutdownKey() { return k_unclean_shutdown; }
+BytesView trieJournalKey() { return k_trie_journal; }
+
+} // namespace ethkv::client

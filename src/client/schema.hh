@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Geth's KV storage schema: the 29 classes of Table I.
+ *
+ * Every KV pair Geth writes carries a type-specific prefix (or is a
+ * well-known singleton key); the paper's classification of billions
+ * of operations into 29 classes is driven entirely by this schema
+ * (go-ethereum core/rawdb/schema.go). Key shapes follow Geth's:
+ *
+ *   h + num(8) + hash(32)        block header          (41 B)
+ *   h + num(8) + 'n'             canonical hash        (10 B)
+ *   b + num(8) + hash(32)        block body            (41 B)
+ *   r + num(8) + hash(32)        block receipts        (41 B)
+ *   H + hash(32)                 header number         (33 B)
+ *   l + txhash(32)               tx lookup             (33 B)
+ *   B + bit(2) + section(8) + hash(32)  bloom bits     (43 B)
+ *   c + codehash(32)             contract code         (33 B)
+ *   a + accounthash(32)          snapshot account      (33 B)
+ *   o + accounthash(32) + slothash(32)  snapshot slot  (65 B)
+ *   A + path                     account trie node     (1+d B)
+ *   O + accounthash(32) + path   storage trie node     (33+d B)
+ *   S + num(8)                   skeleton header       ( 9 B)
+ *   L + roothash(32)             state id              (33 B)
+ *   iB + ...                     bloombits index       (var)
+ *   plus 15 singleton keys ("LastBlock", "DatabaseVersion", ...)
+ */
+
+#ifndef ETHKV_CLIENT_SCHEMA_HH
+#define ETHKV_CLIENT_SCHEMA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hh"
+#include "eth/types.hh"
+
+namespace ethkv::client
+{
+
+/** The 29 KV classes of Table I (plus Unknown for safety). */
+enum class KVClass : uint16_t
+{
+    TrieNodeStorage = 0,
+    SnapshotStorage,
+    TxLookup,
+    TrieNodeAccount,
+    SnapshotAccount,
+    HeaderNumber,
+    BloomBits,
+    Code,
+    SkeletonHeader,
+    BlockHeader,
+    BlockReceipts,
+    BlockBody,
+    StateID,
+    BloomBitsIndex,
+    EthereumGenesis,
+    SnapshotJournal,
+    EthereumConfig,
+    LastStateID,
+    UncleanShutdown,
+    SnapshotGenerator,
+    TrieJournal,
+    DatabaseVersion,
+    LastBlock,
+    SnapshotRoot,
+    SkeletonSyncStatus,
+    LastHeader,
+    SnapshotRecovery,
+    TransactionIndexTail,
+    LastFast,
+    Unknown,
+};
+
+/** Total class count including Unknown. */
+constexpr int num_kv_classes = 30;
+
+/** Paper-facing class name ("TrieNodeStorage", ...). */
+const char *kvClassName(KVClass cls);
+
+/** Classify a raw key per the schema; Unknown if unrecognized. */
+KVClass classify(BytesView key);
+
+/** Convenience overload for trace class ids. */
+inline uint16_t
+classifyId(BytesView key)
+{
+    return static_cast<uint16_t>(classify(key));
+}
+
+// --- Key builders ---------------------------------------------
+
+Bytes headerKey(uint64_t number, const eth::Hash256 &hash);
+Bytes canonicalHashKey(uint64_t number);
+Bytes blockBodyKey(uint64_t number, const eth::Hash256 &hash);
+Bytes blockReceiptsKey(uint64_t number, const eth::Hash256 &hash);
+Bytes headerNumberKey(const eth::Hash256 &hash);
+Bytes txLookupKey(const eth::Hash256 &tx_hash);
+Bytes bloomBitsKey(uint16_t bit, uint64_t section,
+                   const eth::Hash256 &head_hash);
+Bytes codeKey(const eth::Hash256 &code_hash);
+Bytes snapshotAccountKey(const eth::Hash256 &account_hash);
+Bytes snapshotStorageKey(const eth::Hash256 &account_hash,
+                         const eth::Hash256 &slot_hash);
+
+/**
+ * Account-trie node key: 'A' + one byte per path nibble.
+ *
+ * Nibble-per-byte preserves ordering and mirrors Geth's hex-path
+ * keys in the path-based scheme.
+ */
+Bytes trieNodeAccountKey(BytesView path_nibbles);
+
+/** Storage-trie node key: 'O' + account hash + path nibbles. */
+Bytes trieNodeStorageKey(const eth::Hash256 &account_hash,
+                         BytesView path_nibbles);
+
+Bytes skeletonHeaderKey(uint64_t number);
+Bytes stateIDKey(const eth::Hash256 &root);
+Bytes bloomBitsIndexKey(BytesView sub_key);
+Bytes ethereumConfigKey(const eth::Hash256 &genesis_hash);
+Bytes ethereumGenesisKey(const eth::Hash256 &genesis_hash);
+
+// --- Singleton keys -------------------------------------------
+
+BytesView lastBlockKey();
+BytesView lastHeaderKey();
+BytesView lastFastKey();
+BytesView lastStateIDKey();
+BytesView databaseVersionKey();
+BytesView snapshotRootKey();
+BytesView snapshotJournalKey();
+BytesView snapshotGeneratorKey();
+BytesView snapshotRecoveryKey();
+BytesView skeletonSyncStatusKey();
+BytesView transactionIndexTailKey();
+BytesView uncleanShutdownKey();
+BytesView trieJournalKey();
+
+} // namespace ethkv::client
+
+#endif // ETHKV_CLIENT_SCHEMA_HH

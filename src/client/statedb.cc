@@ -1,0 +1,317 @@
+#include "client/statedb.hh"
+
+#include "common/logging.hh"
+
+namespace ethkv::client
+{
+
+/** Trie backend persisting account-trie nodes by path. */
+class StateDB::AccountBackend : public trie::NodeBackend
+{
+  public:
+    explicit AccountBackend(kv::KVStore &store) : store_(store) {}
+
+    Status
+    read(BytesView path, Bytes &encoding) override
+    {
+        return store_.get(trieNodeAccountKey(path), encoding);
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView path,
+          BytesView encoding) override
+    {
+        batch.put(trieNodeAccountKey(path), encoding);
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView path) override
+    {
+        batch.del(trieNodeAccountKey(path));
+    }
+
+  private:
+    kv::KVStore &store_;
+};
+
+/** Trie backend persisting one contract's storage-trie nodes. */
+class StateDB::StorageBackend : public trie::NodeBackend
+{
+  public:
+    StorageBackend(kv::KVStore &store,
+                   const eth::Hash256 &account_hash)
+        : store_(store), account_hash_(account_hash)
+    {}
+
+    Status
+    read(BytesView path, Bytes &encoding) override
+    {
+        return store_.get(trieNodeStorageKey(account_hash_, path),
+                          encoding);
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView path,
+          BytesView encoding) override
+    {
+        batch.put(trieNodeStorageKey(account_hash_, path),
+                  encoding);
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView path) override
+    {
+        batch.del(trieNodeStorageKey(account_hash_, path));
+    }
+
+  private:
+    kv::KVStore &store_;
+    eth::Hash256 account_hash_;
+};
+
+StateDB::StateDB(kv::KVStore &store, StateConfig config)
+    : store_(store), config_(config),
+      account_backend_(std::make_unique<AccountBackend>(store)),
+      account_trie_(std::make_unique<trie::MerklePatriciaTrie>(
+          *account_backend_))
+{}
+
+StateDB::~StateDB() = default;
+
+trie::MerklePatriciaTrie &
+StateDB::storageTrie(const eth::Hash256 &account_hash)
+{
+    auto it = storage_tries_.find(account_hash);
+    if (it == storage_tries_.end()) {
+        auto backend =
+            std::make_unique<StorageBackend>(store_, account_hash);
+        auto trie = std::make_unique<trie::MerklePatriciaTrie>(
+            *backend);
+        it = storage_tries_
+                 .emplace(account_hash,
+                          std::make_pair(std::move(backend),
+                                         std::move(trie)))
+                 .first;
+    }
+    return *it->second.second;
+}
+
+Status
+StateDB::getAccount(const eth::Address &addr,
+                    eth::Account &account)
+{
+    auto dirty = dirty_accounts_.find(addr);
+    if (dirty != dirty_accounts_.end()) {
+        if (!dirty->second.has_value())
+            return Status::notFound();
+        account = *dirty->second;
+        return Status::ok();
+    }
+
+    eth::Hash256 account_hash = eth::hashOf(addr.view());
+    Bytes raw;
+    if (config_.snapshot_enabled) {
+        // One flat read instead of a trie walk (paper §II-A).
+        Status s =
+            store_.get(snapshotAccountKey(account_hash), raw);
+        if (!s.isOk())
+            return s;
+        auto decoded = eth::decodeSlimAccount(raw);
+        if (!decoded.ok())
+            return decoded.status();
+        account = decoded.take();
+        return Status::ok();
+    }
+
+    Status s = account_trie_->get(account_hash.view(), raw);
+    if (!s.isOk())
+        return s;
+    auto decoded = eth::Account::decode(raw);
+    if (!decoded.ok())
+        return decoded.status();
+    account = decoded.take();
+    return Status::ok();
+}
+
+void
+StateDB::setAccount(const eth::Address &addr,
+                    const eth::Account &account)
+{
+    dirty_accounts_[addr] = account;
+}
+
+void
+StateDB::deleteAccount(const eth::Address &addr)
+{
+    dirty_accounts_[addr] = std::nullopt;
+    dirty_slots_.erase(addr);
+}
+
+Status
+StateDB::getStorage(const eth::Address &addr,
+                    const eth::Hash256 &slot, Bytes &value)
+{
+    auto dirty_acct = dirty_slots_.find(addr);
+    if (dirty_acct != dirty_slots_.end()) {
+        auto dirty = dirty_acct->second.find(slot);
+        if (dirty != dirty_acct->second.end()) {
+            if (dirty->second.empty())
+                return Status::notFound();
+            value = dirty->second;
+            return Status::ok();
+        }
+    }
+
+    eth::Hash256 account_hash = eth::hashOf(addr.view());
+    eth::Hash256 slot_hash = eth::hashOf(slot.view());
+    Bytes encoded;
+    Status s;
+    if (config_.snapshot_enabled) {
+        s = store_.get(
+            snapshotStorageKey(account_hash, slot_hash), encoded);
+    } else {
+        s = storageTrie(account_hash).get(slot_hash.view(),
+                                          encoded);
+    }
+    if (!s.isOk())
+        return s;
+    // Slot values are stored RLP-encoded (as Geth does).
+    auto item = rlpDecode(encoded);
+    if (!item.ok() || item.value().is_list)
+        return Status::corruption("statedb: bad slot encoding");
+    value = item.value().str;
+    return Status::ok();
+}
+
+void
+StateDB::setStorage(const eth::Address &addr,
+                    const eth::Hash256 &slot, BytesView value)
+{
+    dirty_slots_[addr][slot] = Bytes(value);
+}
+
+Status
+StateDB::getCode(const eth::Hash256 &code_hash, Bytes &code)
+{
+    auto pending = pending_code_.find(code_hash);
+    if (pending != pending_code_.end()) {
+        code = pending->second;
+        return Status::ok();
+    }
+    auto cached = code_cache_.find(code_hash);
+    if (cached != code_cache_.end()) {
+        code = cached->second;
+        return Status::ok();
+    }
+    Status s = store_.get(codeKey(code_hash), code);
+    if (s.isOk() && config_.code_cache_bytes > 0) {
+        code_cache_.emplace(code_hash, code);
+        code_cache_order_.push_back(code_hash);
+        code_cache_bytes_ += code.size();
+        while (code_cache_bytes_ > config_.code_cache_bytes &&
+               !code_cache_order_.empty()) {
+            auto victim =
+                code_cache_.find(code_cache_order_.front());
+            code_cache_order_.pop_front();
+            if (victim != code_cache_.end()) {
+                code_cache_bytes_ -= victim->second.size();
+                code_cache_.erase(victim);
+            }
+        }
+    }
+    return s;
+}
+
+eth::Hash256
+StateDB::putCode(BytesView code)
+{
+    eth::Hash256 hash = eth::hashOf(code);
+    pending_code_.emplace(hash, Bytes(code));
+    return hash;
+}
+
+eth::Hash256
+StateDB::commitBlock(kv::WriteBatch &batch)
+{
+    // 1. Apply staged slot changes to storage tries; each commit
+    //    refreshes the owning account's storage root.
+    for (auto &[addr, slots] : dirty_slots_) {
+        // The owner must exist (possibly staged this block).
+        eth::Account account;
+        Status s = getAccount(addr, account);
+        if (s.isNotFound())
+            account = eth::Account();
+        else
+            s.expectOk("statedb: owner lookup at commit");
+
+        eth::Hash256 account_hash = eth::hashOf(addr.view());
+        trie::MerklePatriciaTrie &trie = storageTrie(account_hash);
+        for (const auto &[slot, value] : slots) {
+            eth::Hash256 slot_hash = eth::hashOf(slot.view());
+            if (value.empty()) {
+                trie.del(slot_hash.view())
+                    .expectOk("storage trie del");
+            } else {
+                trie.put(slot_hash.view(), rlpEncodeString(value))
+                    .expectOk("storage trie put");
+            }
+        }
+        account.storage_root = trie.commit(batch);
+        dirty_accounts_[addr] = account;
+    }
+
+    // 2. Apply staged accounts to the account trie.
+    for (const auto &[addr, account] : dirty_accounts_) {
+        eth::Hash256 account_hash = eth::hashOf(addr.view());
+        if (account.has_value()) {
+            account_trie_
+                ->put(account_hash.view(), account->encode())
+                .expectOk("account trie put");
+        } else {
+            account_trie_->del(account_hash.view())
+                .expectOk("account trie del");
+        }
+    }
+    eth::Hash256 root = account_trie_->commit(batch);
+
+    // 3. Contract code.
+    for (const auto &[hash, code] : pending_code_)
+        batch.put(codeKey(hash), code);
+
+    // 4. Snapshot layer: flat copies of every change.
+    if (config_.snapshot_enabled) {
+        for (const auto &[addr, account] : dirty_accounts_) {
+            eth::Hash256 account_hash = eth::hashOf(addr.view());
+            if (account.has_value()) {
+                batch.put(snapshotAccountKey(account_hash),
+                          eth::encodeSlimAccount(*account));
+            } else {
+                batch.del(snapshotAccountKey(account_hash));
+            }
+        }
+        for (const auto &[addr, slots] : dirty_slots_) {
+            eth::Hash256 account_hash = eth::hashOf(addr.view());
+            for (const auto &[slot, value] : slots) {
+                eth::Hash256 slot_hash = eth::hashOf(slot.view());
+                Bytes key =
+                    snapshotStorageKey(account_hash, slot_hash);
+                if (value.empty())
+                    batch.del(key);
+                else
+                    batch.put(key, rlpEncodeString(value));
+            }
+        }
+    }
+
+    // 5. Reset per-block buffers; drop storage tries (their nodes
+    //    reload from the store) and clean account-trie nodes.
+    dirty_accounts_.clear();
+    dirty_slots_.clear();
+    pending_code_.clear();
+    storage_tries_.clear();
+    account_trie_->unloadClean();
+
+    return root;
+}
+
+} // namespace ethkv::client

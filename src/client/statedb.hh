@@ -1,0 +1,133 @@
+/**
+ * @file
+ * World-state management: the account trie, per-contract storage
+ * tries, contract code, and (optionally) Geth's snapshot
+ * acceleration layer.
+ *
+ * Reads happen on demand during transaction execution; all writes
+ * buffer per block and land in one batch at commitBlock(), matching
+ * Geth's batched end-of-block flush (paper, Section IV-C). With
+ * snapshots enabled, account/slot lookups read the flat
+ * SnapshotAccount/SnapshotStorage keys (a single KV read instead of
+ * a trie walk — paper §II-A); trie writes still traverse and read
+ * trie nodes, which is why the TrieNode classes keep substantial
+ * read shares even in CacheTrace (Tables II/III).
+ */
+
+#ifndef ETHKV_CLIENT_STATEDB_HH
+#define ETHKV_CLIENT_STATEDB_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "client/schema.hh"
+#include "eth/account.hh"
+#include "kvstore/kvstore.hh"
+#include "trie/trie.hh"
+
+namespace ethkv::client
+{
+
+/** StateDB configuration. */
+struct StateConfig
+{
+    bool snapshot_enabled = true;
+
+    /**
+     * Geth's state.Database keeps its own contract-code cache that
+     * is independent of the --cache flag (it exists in both
+     * CacheTrace and BareTrace capture modes), which is why the
+     * Code class keeps a similar absolute op count in both traces.
+     */
+    uint64_t code_cache_bytes = 4u << 20;
+};
+
+/**
+ * The world state.
+ */
+class StateDB
+{
+  public:
+    /** @param store The (cached, traced) KV store; not owned. */
+    StateDB(kv::KVStore &store, StateConfig config);
+    ~StateDB();
+
+    /** Read an account; NotFound if it does not exist. */
+    Status getAccount(const eth::Address &addr,
+                      eth::Account &account);
+
+    /** Stage an account write for the current block. */
+    void setAccount(const eth::Address &addr,
+                    const eth::Account &account);
+
+    /** Stage an account deletion. */
+    void deleteAccount(const eth::Address &addr);
+
+    /**
+     * Read a storage slot; NotFound for never-written or cleared
+     * slots.
+     */
+    Status getStorage(const eth::Address &addr,
+                      const eth::Hash256 &slot, Bytes &value);
+
+    /** Stage a slot write; an empty value clears the slot. */
+    void setStorage(const eth::Address &addr,
+                    const eth::Hash256 &slot, BytesView value);
+
+    /** Read contract code by hash. */
+    Status getCode(const eth::Hash256 &code_hash, Bytes &code);
+
+    /** Stage code deployment; returns the code hash. */
+    eth::Hash256 putCode(BytesView code);
+
+    /**
+     * Apply all staged changes: storage tries, account trie,
+     * code, and snapshot entries, all into `batch`.
+     *
+     * @return The new state root.
+     */
+    eth::Hash256 commitBlock(kv::WriteBatch &batch);
+
+    /** Number of staged dirty accounts (diagnostics). */
+    size_t dirtyAccountCount() const { return dirty_accounts_.size(); }
+
+  private:
+    class AccountBackend;
+    class StorageBackend;
+
+    trie::MerklePatriciaTrie &storageTrie(
+        const eth::Hash256 &account_hash);
+
+    kv::KVStore &store_;
+    StateConfig config_;
+
+    std::unique_ptr<AccountBackend> account_backend_;
+    std::unique_ptr<trie::MerklePatriciaTrie> account_trie_;
+
+    // Storage tries materialize lazily per touched contract and are
+    // dropped after each commit (nodes reload from the store).
+    std::map<eth::Hash256, std::pair<
+        std::unique_ptr<StorageBackend>,
+        std::unique_ptr<trie::MerklePatriciaTrie>>> storage_tries_;
+
+    // Per-block dirty buffers. nullopt account = deletion; empty
+    // slot value = clear.
+    std::unordered_map<eth::Address,
+                       std::optional<eth::Account>> dirty_accounts_;
+    std::unordered_map<eth::Address,
+                       std::map<eth::Hash256, Bytes>> dirty_slots_;
+    std::unordered_map<eth::Hash256, Bytes> pending_code_;
+
+    // Always-on code cache (see StateConfig::code_cache_bytes);
+    // FIFO eviction is sufficient at the fidelity required.
+    std::unordered_map<eth::Hash256, Bytes> code_cache_;
+    std::deque<eth::Hash256> code_cache_order_;
+    uint64_t code_cache_bytes_ = 0;
+};
+
+} // namespace ethkv::client
+
+#endif // ETHKV_CLIENT_STATEDB_HH

@@ -1,0 +1,142 @@
+#include "common/bytes.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ethkv
+{
+
+namespace
+{
+
+const char hex_digits[] = "0123456789abcdef";
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+toHex(BytesView data)
+{
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (unsigned char c : data) {
+        out.push_back(hex_digits[c >> 4]);
+        out.push_back(hex_digits[c & 0xf]);
+    }
+    return out;
+}
+
+bool
+fromHex(std::string_view hex, Bytes &out)
+{
+    if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))
+        hex.remove_prefix(2);
+    if (hex.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexValue(hex[i]);
+        int lo = hexValue(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+Bytes
+mustFromHex(std::string_view hex)
+{
+    Bytes out;
+    if (!fromHex(hex, out))
+        fatal("malformed hex string: %s", std::string(hex).c_str());
+    return out;
+}
+
+Bytes
+bytesToNibbles(BytesView data)
+{
+    Bytes out;
+    out.reserve(data.size() * 2);
+    for (unsigned char c : data) {
+        out.push_back(static_cast<char>(c >> 4));
+        out.push_back(static_cast<char>(c & 0xf));
+    }
+    return out;
+}
+
+Bytes
+nibblesToBytes(BytesView nibbles)
+{
+    if (nibbles.size() % 2 != 0)
+        panic("nibblesToBytes: odd nibble count %zu", nibbles.size());
+    Bytes out;
+    out.reserve(nibbles.size() / 2);
+    for (size_t i = 0; i < nibbles.size(); i += 2) {
+        unsigned char hi = static_cast<unsigned char>(nibbles[i]);
+        unsigned char lo = static_cast<unsigned char>(nibbles[i + 1]);
+        if (hi > 0xf || lo > 0xf)
+            panic("nibblesToBytes: value out of range");
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return out;
+}
+
+size_t
+commonPrefixLen(BytesView a, BytesView b)
+{
+    size_t n = std::min(a.size(), b.size());
+    size_t i = 0;
+    while (i < n && a[i] == b[i])
+        ++i;
+    return i;
+}
+
+std::string
+shortHex(BytesView data, size_t max_len)
+{
+    if (data.size() <= max_len)
+        return toHex(data);
+    return toHex(data.substr(0, max_len)) + "..";
+}
+
+Bytes
+encodeBE64(uint64_t v)
+{
+    Bytes out;
+    appendBE64(out, v);
+    return out;
+}
+
+uint64_t
+decodeBE64(BytesView v)
+{
+    if (v.size() != 8)
+        panic("decodeBE64: expected 8 bytes, got %zu", v.size());
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i)
+        r = (r << 8) | static_cast<unsigned char>(v[i]);
+    return r;
+}
+
+void
+appendBE64(Bytes &out, uint64_t v)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+} // namespace ethkv

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Byte-sequence utilities shared across all ethkv modules.
+ *
+ * Keys and values throughout the system are raw byte strings. This
+ * header provides the canonical aliases plus hex and nibble helpers
+ * used by the RLP codec, the Merkle Patricia Trie, and the storage
+ * schema.
+ */
+
+#ifndef ETHKV_COMMON_BYTES_HH
+#define ETHKV_COMMON_BYTES_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ethkv
+{
+
+/** Owning byte buffer used for keys, values, and encoded payloads. */
+using Bytes = std::string;
+
+/** Non-owning view over a byte buffer. */
+using BytesView = std::string_view;
+
+/** Convert a byte buffer to lowercase hex (no 0x prefix). */
+std::string toHex(BytesView data);
+
+/**
+ * Parse a hex string (with or without 0x prefix) into bytes.
+ *
+ * @param hex The hex string; must have even length after the prefix.
+ * @param out Receives the decoded bytes on success.
+ * @return true on success, false on malformed input.
+ */
+bool fromHex(std::string_view hex, Bytes &out);
+
+/** Convenience wrapper that calls fatal() on malformed input. */
+Bytes mustFromHex(std::string_view hex);
+
+/**
+ * Expand a byte string into hex nibbles (one nibble per output byte).
+ *
+ * Used by the Merkle Patricia Trie, whose edges are keyed by nibble.
+ */
+Bytes bytesToNibbles(BytesView data);
+
+/**
+ * Pack a nibble string back into bytes.
+ *
+ * @param nibbles Sequence of values in [0, 15]; length must be even.
+ */
+Bytes nibblesToBytes(BytesView nibbles);
+
+/** Length of the longest common prefix of two byte strings. */
+size_t commonPrefixLen(BytesView a, BytesView b);
+
+/** Render up to max_len bytes as hex with an ellipsis suffix. */
+std::string shortHex(BytesView data, size_t max_len = 8);
+
+/** Big-endian fixed-width integer encode (for ordered numeric keys). */
+Bytes encodeBE64(uint64_t v);
+
+/** Big-endian fixed-width integer decode; view must be 8 bytes. */
+uint64_t decodeBE64(BytesView v);
+
+/** Append a big-endian u64 to an existing buffer. */
+void appendBE64(Bytes &out, uint64_t v);
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_BYTES_HH

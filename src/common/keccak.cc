@@ -1,0 +1,130 @@
+#include "common/keccak.hh"
+
+#include <cstring>
+
+namespace ethkv
+{
+
+namespace
+{
+
+constexpr int num_rounds = 24;
+
+constexpr uint64_t round_constants[num_rounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int rotation_offsets[24] = {
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14,
+    27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+};
+
+constexpr int pi_lanes[24] = {
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4,
+    15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+};
+
+inline uint64_t
+rotl64(uint64_t x, int n)
+{
+    return (x << n) | (x >> (64 - n));
+}
+
+void
+keccakF1600(uint64_t state[25])
+{
+    for (int round = 0; round < num_rounds; ++round) {
+        // Theta.
+        uint64_t c[5], d[5];
+        for (int x = 0; x < 5; ++x) {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^
+                   state[x + 15] ^ state[x + 20];
+        }
+        for (int x = 0; x < 5; ++x) {
+            d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+            for (int y = 0; y < 25; y += 5)
+                state[x + y] ^= d[x];
+        }
+
+        // Rho and Pi.
+        uint64_t last = state[1];
+        for (int i = 0; i < 24; ++i) {
+            int j = pi_lanes[i];
+            uint64_t tmp = state[j];
+            state[j] = rotl64(last, rotation_offsets[i]);
+            last = tmp;
+        }
+
+        // Chi.
+        for (int y = 0; y < 25; y += 5) {
+            uint64_t row[5];
+            for (int x = 0; x < 5; ++x)
+                row[x] = state[y + x];
+            for (int x = 0; x < 5; ++x) {
+                state[y + x] =
+                    row[x] ^ (~row[(x + 1) % 5] & row[(x + 2) % 5]);
+            }
+        }
+
+        // Iota.
+        state[0] ^= round_constants[round];
+    }
+}
+
+} // namespace
+
+Digest256
+keccak256(BytesView data)
+{
+    constexpr size_t rate = 136; // 1088-bit rate for 256-bit output.
+
+    uint64_t state[25];
+    std::memset(state, 0, sizeof(state));
+
+    // Absorb full blocks.
+    const auto *p = reinterpret_cast<const uint8_t *>(data.data());
+    size_t remaining = data.size();
+    while (remaining >= rate) {
+        for (size_t i = 0; i < rate / 8; ++i) {
+            uint64_t lane;
+            std::memcpy(&lane, p + i * 8, 8);
+            state[i] ^= lane; // little-endian hosts only
+        }
+        keccakF1600(state);
+        p += rate;
+        remaining -= rate;
+    }
+
+    // Final block with original-Keccak padding (0x01 ... 0x80).
+    uint8_t block[rate];
+    std::memset(block, 0, rate);
+    std::memcpy(block, p, remaining);
+    block[remaining] = 0x01;
+    block[rate - 1] |= 0x80;
+    for (size_t i = 0; i < rate / 8; ++i) {
+        uint64_t lane;
+        std::memcpy(&lane, block + i * 8, 8);
+        state[i] ^= lane;
+    }
+    keccakF1600(state);
+
+    Digest256 out;
+    std::memcpy(out.data(), state, 32);
+    return out;
+}
+
+Bytes
+keccak256Bytes(BytesView data)
+{
+    Digest256 d = keccak256(data);
+    return Bytes(reinterpret_cast<const char *>(d.data()), d.size());
+}
+
+} // namespace ethkv

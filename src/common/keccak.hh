@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Keccak-256 as used by Ethereum.
+ *
+ * Ethereum uses the original Keccak submission (pad byte 0x01), not
+ * the final FIPS-202 SHA3 (pad byte 0x06). Account addresses, trie
+ * keys, and node hashes all derive from this function, so the
+ * implementation below follows the reference permutation exactly.
+ */
+
+#ifndef ETHKV_COMMON_KECCAK_HH
+#define ETHKV_COMMON_KECCAK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace ethkv
+{
+
+/** A 32-byte Keccak-256 digest. */
+using Digest256 = std::array<uint8_t, 32>;
+
+/** Compute the Keccak-256 digest of a byte string. */
+Digest256 keccak256(BytesView data);
+
+/** Keccak-256 digest returned as a 32-byte Bytes buffer. */
+Bytes keccak256Bytes(BytesView data);
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_KECCAK_HH

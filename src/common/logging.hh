@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (bugs in ethkv itself)
+ * and aborts so a debugger or core dump can capture state. fatal() is
+ * for user errors (bad configuration, unreadable files) and exits
+ * with a normal error code. warn()/inform() report conditions without
+ * stopping the process.
+ */
+
+#ifndef ETHKV_COMMON_LOGGING_HH
+#define ETHKV_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace ethkv
+{
+
+/** Abort with a message; call on internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message; call on unrecoverable user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_LOGGING_HH

@@ -1,0 +1,202 @@
+#include "common/rand.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ethkv
+{
+
+namespace
+{
+
+inline uint64_t
+rotl64(uint64_t x, int n)
+{
+    return (x << n) | (x >> (64 - n));
+}
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl64(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded: zero bound");
+    // Rejection sampling avoids modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo > hi");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+Bytes
+Rng::nextBytes(size_t n)
+{
+    Bytes out;
+    out.reserve(n);
+    while (out.size() + 8 <= n) {
+        uint64_t v = next();
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    if (out.size() < n) {
+        uint64_t v = next();
+        while (out.size() < n) {
+            out.push_back(static_cast<char>(v & 0xff));
+            v >>= 8;
+        }
+    }
+    return out;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s)
+{
+    if (n == 0)
+        panic("ZipfGenerator: empty domain");
+    if (s < 0)
+        panic("ZipfGenerator: negative skew");
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(n + 0.5);
+    threshold_ = 2.0 - hInv(h(2.5) - std::pow(2.0, -s));
+}
+
+double
+ZipfGenerator::h(double x) const
+{
+    // Integral of x^-s: handles s == 1 via log.
+    if (std::abs(s_ - 1.0) < 1e-12)
+        return std::log(x);
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double
+ZipfGenerator::hInv(double x) const
+{
+    if (std::abs(s_ - 1.0) < 1e-12)
+        return std::exp(x);
+    return std::pow(x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t
+ZipfGenerator::sample(Rng &rng) const
+{
+    if (s_ == 0.0)
+        return rng.nextBounded(n_);
+
+    // Rejection-inversion (Hormann & Derflinger). Expected <1.1
+    // iterations for practical skews.
+    for (;;) {
+        double u = h_n_ + rng.nextDouble() * (h_x1_ - h_n_);
+        double x = hInv(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        if (k - x <= threshold_ ||
+            u >= h(k + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+            return k - 1; // ranks are zero-based externally
+        }
+    }
+}
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights)
+{
+    if (weights.empty())
+        panic("DiscreteSampler: no weights");
+    double total = 0;
+    for (double w : weights) {
+        if (w < 0)
+            panic("DiscreteSampler: negative weight");
+        total += w;
+    }
+    if (total <= 0)
+        panic("DiscreteSampler: all weights zero");
+    cumulative_.reserve(weights.size());
+    double acc = 0;
+    for (double w : weights) {
+        acc += w / total;
+        cumulative_.push_back(acc);
+    }
+    cumulative_.back() = 1.0; // guard against rounding drift
+}
+
+size_t
+DiscreteSampler::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (cumulative_[mid] <= u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace ethkv

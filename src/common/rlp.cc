@@ -1,0 +1,218 @@
+#include "common/rlp.hh"
+
+namespace ethkv
+{
+
+namespace
+{
+
+/** Append the RLP length header for a payload of given size. */
+void
+appendHeader(Bytes &out, size_t payload_len, uint8_t short_base,
+             uint8_t long_base)
+{
+    if (payload_len <= 55) {
+        out.push_back(static_cast<char>(short_base + payload_len));
+        return;
+    }
+    Bytes len_bytes = uintToBigEndian(payload_len);
+    out.push_back(static_cast<char>(long_base + len_bytes.size()));
+    out += len_bytes;
+}
+
+/**
+ * Decode one item starting at pos; advances pos past the item.
+ * Returns Corruption on malformed input.
+ */
+Status
+decodeItem(BytesView data, size_t &pos, RlpItem &out, int depth)
+{
+    if (depth > 1024)
+        return Status::corruption("rlp: nesting too deep");
+    if (pos >= data.size())
+        return Status::corruption("rlp: truncated item");
+
+    uint8_t b = static_cast<uint8_t>(data[pos]);
+
+    auto read_long_len = [&](size_t len_of_len,
+                             size_t &payload_len) -> Status {
+        if (pos + 1 + len_of_len > data.size())
+            return Status::corruption("rlp: truncated length");
+        if (len_of_len == 0 || len_of_len > 8)
+            return Status::corruption("rlp: bad length-of-length");
+        uint64_t len = 0;
+        for (size_t i = 0; i < len_of_len; ++i) {
+            len = (len << 8) |
+                  static_cast<uint8_t>(data[pos + 1 + i]);
+        }
+        if (len_of_len > 1 &&
+            static_cast<uint8_t>(data[pos + 1]) == 0) {
+            return Status::corruption("rlp: length has leading zero");
+        }
+        if (len <= 55)
+            return Status::corruption("rlp: non-canonical long length");
+        payload_len = len;
+        return Status::ok();
+    };
+
+    if (b <= 0x7f) {
+        // Single byte, is its own encoding.
+        out = RlpItem::string(Bytes(1, static_cast<char>(b)));
+        pos += 1;
+        return Status::ok();
+    }
+
+    if (b <= 0xbf) {
+        // String.
+        size_t payload_len;
+        size_t header_len;
+        if (b <= 0xb7) {
+            payload_len = b - 0x80;
+            header_len = 1;
+        } else {
+            Status s = read_long_len(b - 0xb7, payload_len);
+            if (!s.isOk())
+                return s;
+            header_len = 1 + (b - 0xb7);
+        }
+        if (pos + header_len + payload_len > data.size())
+            return Status::corruption("rlp: truncated string");
+        Bytes payload(data.substr(pos + header_len, payload_len));
+        if (payload_len == 1 &&
+            static_cast<uint8_t>(payload[0]) <= 0x7f) {
+            return Status::corruption(
+                "rlp: non-canonical single byte");
+        }
+        out = RlpItem::string(std::move(payload));
+        pos += header_len + payload_len;
+        return Status::ok();
+    }
+
+    // List.
+    size_t payload_len;
+    size_t header_len;
+    if (b <= 0xf7) {
+        payload_len = b - 0xc0;
+        header_len = 1;
+    } else {
+        Status s = read_long_len(b - 0xf7, payload_len);
+        if (!s.isOk())
+            return s;
+        header_len = 1 + (b - 0xf7);
+    }
+    if (pos + header_len + payload_len > data.size())
+        return Status::corruption("rlp: truncated list");
+
+    size_t child_pos = pos + header_len;
+    size_t end = child_pos + payload_len;
+    std::vector<RlpItem> children;
+    while (child_pos < end) {
+        RlpItem child;
+        Status s = decodeItem(data.substr(0, end), child_pos, child,
+                              depth + 1);
+        if (!s.isOk())
+            return s;
+        children.push_back(std::move(child));
+    }
+    if (child_pos != end)
+        return Status::corruption("rlp: list payload overrun");
+    out = RlpItem::list(std::move(children));
+    pos = end;
+    return Status::ok();
+}
+
+} // namespace
+
+RlpItem
+RlpItem::uinteger(uint64_t v)
+{
+    return string(uintToBigEndian(v));
+}
+
+uint64_t
+RlpItem::toUint() const
+{
+    if (is_list)
+        panic("RlpItem::toUint on a list");
+    return bigEndianToUint(str);
+}
+
+Bytes
+uintToBigEndian(uint64_t v)
+{
+    Bytes out;
+    bool started = false;
+    for (int shift = 56; shift >= 0; shift -= 8) {
+        uint8_t byte = (v >> shift) & 0xff;
+        if (byte != 0 || started) {
+            out.push_back(static_cast<char>(byte));
+            started = true;
+        }
+    }
+    return out; // zero encodes as the empty string
+}
+
+uint64_t
+bigEndianToUint(BytesView data)
+{
+    if (data.size() > 8)
+        panic("bigEndianToUint: %zu bytes exceeds u64", data.size());
+    uint64_t v = 0;
+    for (unsigned char c : data)
+        v = (v << 8) | c;
+    return v;
+}
+
+Bytes
+rlpEncodeString(BytesView payload)
+{
+    if (payload.size() == 1 &&
+        static_cast<uint8_t>(payload[0]) <= 0x7f) {
+        return Bytes(payload);
+    }
+    Bytes out;
+    appendHeader(out, payload.size(), 0x80, 0xb7);
+    out += payload;
+    return out;
+}
+
+Bytes
+rlpEncodeUint(uint64_t v)
+{
+    return rlpEncodeString(uintToBigEndian(v));
+}
+
+Bytes
+rlpEncodeListPayload(BytesView concatenated_children)
+{
+    Bytes out;
+    appendHeader(out, concatenated_children.size(), 0xc0, 0xf7);
+    out += concatenated_children;
+    return out;
+}
+
+Bytes
+rlpEncode(const RlpItem &item)
+{
+    if (!item.is_list)
+        return rlpEncodeString(item.str);
+    Bytes payload;
+    for (const RlpItem &child : item.items)
+        payload += rlpEncode(child);
+    return rlpEncodeListPayload(payload);
+}
+
+Result<RlpItem>
+rlpDecode(BytesView data)
+{
+    RlpItem item;
+    size_t pos = 0;
+    Status s = decodeItem(data, pos, item, 0);
+    if (!s.isOk())
+        return s;
+    if (pos != data.size())
+        return Status::corruption("rlp: trailing bytes");
+    return item;
+}
+
+} // namespace ethkv

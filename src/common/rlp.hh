@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Recursive Length Prefix (RLP) serialization.
+ *
+ * RLP is Ethereum's canonical wire and storage encoding: every value
+ * stored by the client — accounts, trie nodes, headers, bodies,
+ * receipts — is RLP. An RLP item is either a byte string or a list of
+ * items; integers encode as big-endian byte strings with no leading
+ * zeros.
+ */
+
+#ifndef ETHKV_COMMON_RLP_HH
+#define ETHKV_COMMON_RLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+
+namespace ethkv
+{
+
+/**
+ * A decoded RLP item: either a byte string or a list of sub-items.
+ *
+ * The tree form keeps decoding simple; hot paths that only encode
+ * use the free functions below and never materialize a tree.
+ */
+struct RlpItem
+{
+    bool is_list = false;
+    Bytes str;                  //!< Payload when !is_list.
+    std::vector<RlpItem> items; //!< Children when is_list.
+
+    /** Make a string item. */
+    static RlpItem
+    string(Bytes s)
+    {
+        RlpItem item;
+        item.str = std::move(s);
+        return item;
+    }
+
+    /** Make a string item holding a minimal big-endian integer. */
+    static RlpItem uinteger(uint64_t v);
+
+    /** Make a list item. */
+    static RlpItem
+    list(std::vector<RlpItem> children)
+    {
+        RlpItem item;
+        item.is_list = true;
+        item.items = std::move(children);
+        return item;
+    }
+
+    /** Decode this string item as a big-endian unsigned integer. */
+    uint64_t toUint() const;
+
+    bool operator==(const RlpItem &other) const = default;
+};
+
+/** Encode a byte string as RLP. */
+Bytes rlpEncodeString(BytesView payload);
+
+/** Encode an unsigned integer as a minimal big-endian RLP string. */
+Bytes rlpEncodeUint(uint64_t v);
+
+/** Wrap already-encoded child payloads into an RLP list. */
+Bytes rlpEncodeListPayload(BytesView concatenated_children);
+
+/** Encode a full item tree. */
+Bytes rlpEncode(const RlpItem &item);
+
+/**
+ * Decode a complete RLP buffer into an item tree.
+ *
+ * Fails with Corruption if the buffer is malformed or has trailing
+ * bytes.
+ */
+Result<RlpItem> rlpDecode(BytesView data);
+
+/** Minimal big-endian byte representation of an integer. */
+Bytes uintToBigEndian(uint64_t v);
+
+/** Parse a minimal big-endian byte string into an integer. */
+uint64_t bigEndianToUint(BytesView data);
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_RLP_HH

@@ -1,0 +1,238 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ethkv
+{
+
+void
+StreamingStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+StreamingStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+StreamingStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StreamingStats::ci95() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void
+StreamingStats::merge(const StreamingStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    count_ = n;
+}
+
+std::string
+StreamingStats::toString() const
+{
+    char buf[64];
+    double ci = ci95();
+    if (ci >= 0.001)
+        std::snprintf(buf, sizeof(buf), "%.1f±%.3f", mean(), ci);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f", mean());
+    return buf;
+}
+
+void
+ExactDistribution::add(uint64_t value, uint64_t weight)
+{
+    counts_[value] += weight;
+    total_ += weight;
+    weighted_sum_ +=
+        static_cast<unsigned __int128>(value) * weight;
+}
+
+uint64_t
+ExactDistribution::minValue() const
+{
+    if (counts_.empty())
+        panic("ExactDistribution::minValue on empty distribution");
+    return counts_.begin()->first;
+}
+
+uint64_t
+ExactDistribution::maxValue() const
+{
+    if (counts_.empty())
+        panic("ExactDistribution::maxValue on empty distribution");
+    return counts_.rbegin()->first;
+}
+
+double
+ExactDistribution::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(weighted_sum_) /
+           static_cast<double>(total_);
+}
+
+double
+ExactDistribution::variance() const
+{
+    if (total_ < 2)
+        return 0.0;
+    double mu = mean();
+    double acc = 0.0;
+    for (const auto &[value, count] : counts_) {
+        double d = static_cast<double>(value) - mu;
+        acc += d * d * static_cast<double>(count);
+    }
+    return acc / static_cast<double>(total_);
+}
+
+double
+ExactDistribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+ExactDistribution::ci95() const
+{
+    if (total_ < 2)
+        return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(total_));
+}
+
+uint64_t
+ExactDistribution::countOf(uint64_t value) const
+{
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t
+ExactDistribution::percentile(double p) const
+{
+    if (counts_.empty())
+        panic("ExactDistribution::percentile on empty distribution");
+    if (p < 0.0 || p > 1.0)
+        panic("ExactDistribution::percentile: p out of range");
+    uint64_t target = static_cast<uint64_t>(
+        p * static_cast<double>(total_));
+    uint64_t seen = 0;
+    for (const auto &[value, count] : counts_) {
+        seen += count;
+        if (seen > target)
+            return value;
+    }
+    return counts_.rbegin()->first;
+}
+
+uint64_t
+ExactDistribution::modalValue() const
+{
+    if (counts_.empty())
+        panic("ExactDistribution::modalValue on empty distribution");
+    uint64_t best_value = 0;
+    uint64_t best_count = 0;
+    for (const auto &[value, count] : counts_) {
+        if (count > best_count) {
+            best_count = count;
+            best_value = value;
+        }
+    }
+    return best_value;
+}
+
+void
+ExactDistribution::merge(const ExactDistribution &other)
+{
+    for (const auto &[value, count] : other.counts_)
+        add(value, count);
+}
+
+std::string
+formatMillions(uint64_t count)
+{
+    char buf[64];
+    if (count >= 1000000) {
+        std::snprintf(buf, sizeof(buf), "%.1f M",
+                      static_cast<double>(count) / 1e6);
+    } else if (count >= 10000) {
+        std::snprintf(buf, sizeof(buf), "%.2f M",
+                      static_cast<double>(count) / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(count));
+    }
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    char buf[64];
+    if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      bytes / (1024.0 * 1024.0 * 1024.0));
+    } else if (bytes >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                      bytes / (1024.0 * 1024.0));
+    } else if (bytes >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f B", bytes);
+    }
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace ethkv

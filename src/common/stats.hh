@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Streaming statistics used by the analysis toolkit and benches.
+ *
+ * The paper reports means with 95% confidence intervals (Table I),
+ * per-size scatter distributions (Figure 2), and log-log frequency
+ * distributions (Figures 3, 5, 7). These helpers compute all three
+ * without retaining raw samples.
+ */
+
+#ifndef ETHKV_COMMON_STATS_HH
+#define ETHKV_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ethkv
+{
+
+/**
+ * Online mean / variance accumulator (Welford's algorithm).
+ */
+class StreamingStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Half-width of the 95% confidence interval under a normal
+     * approximation (1.96 * stderr), matching Table I's notation.
+     */
+    double ci95() const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const StreamingStats &other);
+
+    /** Render as "mean±ci" with adaptive precision. */
+    std::string toString() const;
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact integer-valued distribution: value -> occurrence count.
+ *
+ * KV sizes and per-key op frequencies take few distinct values, so an
+ * exact map is both faithful to the paper's scatter plots and cheap.
+ */
+class ExactDistribution
+{
+  public:
+    void add(uint64_t value, uint64_t weight = 1);
+
+    uint64_t totalCount() const { return total_; }
+    bool empty() const { return counts_.empty(); }
+
+    /** Number of distinct values observed. */
+    size_t distinctValues() const { return counts_.size(); }
+
+    uint64_t minValue() const;
+    uint64_t maxValue() const;
+    double mean() const;
+
+    /** Population variance, computed exactly from the counts. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** 95% CI half-width under a normal approximation. */
+    double ci95() const;
+
+    /** Count of samples with exactly this value. */
+    uint64_t countOf(uint64_t value) const;
+
+    /** Value below which the given fraction of samples fall. */
+    uint64_t percentile(double p) const;
+
+    /** The most frequent value (smallest wins ties). */
+    uint64_t modalValue() const;
+
+    /** All (value, count) pairs in ascending value order. */
+    const std::map<uint64_t, uint64_t> &points() const
+    {
+        return counts_;
+    }
+
+    void merge(const ExactDistribution &other);
+
+  private:
+    std::map<uint64_t, uint64_t> counts_;
+    uint64_t total_ = 0;
+    unsigned __int128 weighted_sum_ = 0;
+};
+
+/** Format a count like the paper: "1656.6 M", "0.55 M", "386". */
+std::string formatMillions(uint64_t count);
+
+/** Format bytes with adaptive units ("79.1 B", "6.61 KiB", ...). */
+std::string formatBytes(double bytes);
+
+/** Format a ratio in [0,1] as a percentage string. */
+std::string formatPercent(double fraction, int precision = 2);
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_STATS_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Lightweight Status/Result types for expected, recoverable errors.
+ *
+ * ethkv does not throw exceptions across module boundaries for
+ * expected failures (missing key, corrupt file, full cache). APIs
+ * that can fail return Status or Result<T>; internal invariant
+ * violations use panic() instead.
+ */
+
+#ifndef ETHKV_COMMON_STATUS_HH
+#define ETHKV_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace ethkv
+{
+
+/** Error category for Status. */
+enum class StatusCode
+{
+    Ok,
+    NotFound,
+    Corruption,
+    IOError,
+    InvalidArgument,
+    NotSupported,
+};
+
+/** Human-readable name of a StatusCode. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "Ok";
+      case StatusCode::NotFound: return "NotFound";
+      case StatusCode::Corruption: return "Corruption";
+      case StatusCode::IOError: return "IOError";
+      case StatusCode::InvalidArgument: return "InvalidArgument";
+      case StatusCode::NotSupported: return "NotSupported";
+    }
+    return "Unknown";
+}
+
+/**
+ * Result of an operation that may fail in an expected way.
+ *
+ * A default-constructed Status is Ok. Failure states carry a code and
+ * an optional message describing the context.
+ */
+class Status
+{
+  public:
+    Status() : code_(StatusCode::Ok) {}
+
+    static Status ok() { return Status(); }
+
+    static Status
+    notFound(std::string msg = "")
+    {
+        return Status(StatusCode::NotFound, std::move(msg));
+    }
+
+    static Status
+    corruption(std::string msg = "")
+    {
+        return Status(StatusCode::Corruption, std::move(msg));
+    }
+
+    static Status
+    ioError(std::string msg = "")
+    {
+        return Status(StatusCode::IOError, std::move(msg));
+    }
+
+    static Status
+    invalidArgument(std::string msg = "")
+    {
+        return Status(StatusCode::InvalidArgument, std::move(msg));
+    }
+
+    static Status
+    notSupported(std::string msg = "")
+    {
+        return Status(StatusCode::NotSupported, std::move(msg));
+    }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    bool isNotFound() const { return code_ == StatusCode::NotFound; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Render as "Code: message" for logs and test failures. */
+    std::string
+    toString() const
+    {
+        std::string s = statusCodeName(code_);
+        if (!message_.empty()) {
+            s += ": ";
+            s += message_;
+        }
+        return s;
+    }
+
+    /** Panic if this status is not Ok; use when failure is a bug. */
+    void
+    expectOk(const char *what) const
+    {
+        if (!isOk())
+            panic("%s failed: %s", what, toString().c_str());
+    }
+
+  private:
+    Status(StatusCode code, std::string msg)
+        : code_(code), message_(std::move(msg))
+    {}
+
+    StatusCode code_;
+    std::string message_;
+};
+
+/**
+ * A value or a non-Ok Status.
+ *
+ * Result<T> keeps call sites simple: check ok(), then use value().
+ */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value)
+        : status_(Status::ok()), value_(std::move(value))
+    {}
+
+    /* implicit */ Result(Status status) : status_(std::move(status))
+    {
+        if (status_.isOk())
+            panic("Result constructed from Ok status without a value");
+    }
+
+    bool ok() const { return status_.isOk(); }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            panic("Result::value() on error: %s",
+                  status_.toString().c_str());
+        return *value_;
+    }
+
+    T &
+    value()
+    {
+        if (!ok())
+            panic("Result::value() on error: %s",
+                  status_.toString().c_str());
+        return *value_;
+    }
+
+    /** Move the value out; Result must be Ok. */
+    T
+    take()
+    {
+        if (!ok())
+            panic("Result::take() on error: %s",
+                  status_.toString().c_str());
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_STATUS_HH

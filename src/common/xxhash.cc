@@ -1,0 +1,114 @@
+#include "common/xxhash.hh"
+
+#include <cstring>
+
+namespace ethkv
+{
+
+namespace
+{
+
+constexpr uint64_t prime1 = 0x9e3779b185ebca87ULL;
+constexpr uint64_t prime2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t prime3 = 0x165667b19e3779f9ULL;
+constexpr uint64_t prime4 = 0x85ebca77c2b2ae63ULL;
+constexpr uint64_t prime5 = 0x27d4eb2f165667c5ULL;
+
+inline uint64_t
+rotl64(uint64_t x, int n)
+{
+    return (x << n) | (x >> (64 - n));
+}
+
+inline uint64_t
+read64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v; // little-endian hosts only
+}
+
+inline uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+inline uint64_t
+round(uint64_t acc, uint64_t input)
+{
+    acc += input * prime2;
+    acc = rotl64(acc, 31);
+    acc *= prime1;
+    return acc;
+}
+
+inline uint64_t
+mergeRound(uint64_t acc, uint64_t val)
+{
+    acc ^= round(0, val);
+    acc = acc * prime1 + prime4;
+    return acc;
+}
+
+} // namespace
+
+uint64_t
+xxhash64(BytesView data, uint64_t seed)
+{
+    const auto *p = reinterpret_cast<const uint8_t *>(data.data());
+    const uint8_t *end = p + data.size();
+    uint64_t h;
+
+    if (data.size() >= 32) {
+        uint64_t v1 = seed + prime1 + prime2;
+        uint64_t v2 = seed + prime2;
+        uint64_t v3 = seed;
+        uint64_t v4 = seed - prime1;
+        const uint8_t *limit = end - 32;
+        do {
+            v1 = round(v1, read64(p)); p += 8;
+            v2 = round(v2, read64(p)); p += 8;
+            v3 = round(v3, read64(p)); p += 8;
+            v4 = round(v4, read64(p)); p += 8;
+        } while (p <= limit);
+
+        h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) +
+            rotl64(v4, 18);
+        h = mergeRound(h, v1);
+        h = mergeRound(h, v2);
+        h = mergeRound(h, v3);
+        h = mergeRound(h, v4);
+    } else {
+        h = seed + prime5;
+    }
+
+    h += data.size();
+
+    while (p + 8 <= end) {
+        h ^= round(0, read64(p));
+        h = rotl64(h, 27) * prime1 + prime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<uint64_t>(read32(p)) * prime1;
+        h = rotl64(h, 23) * prime2 + prime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= (*p) * prime5;
+        h = rotl64(h, 11) * prime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= prime2;
+    h ^= h >> 29;
+    h *= prime3;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace ethkv

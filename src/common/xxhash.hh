@@ -1,0 +1,25 @@
+/**
+ * @file
+ * xxHash64 — fast non-cryptographic hashing.
+ *
+ * Used for bloom filters, hash-table bucketing in the hash-based KV
+ * engine, and checksums in the WAL and SSTable file formats. This is
+ * a from-scratch implementation of the published XXH64 algorithm.
+ */
+
+#ifndef ETHKV_COMMON_XXHASH_HH
+#define ETHKV_COMMON_XXHASH_HH
+
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace ethkv
+{
+
+/** Compute the 64-bit xxHash of a byte string with a seed. */
+uint64_t xxhash64(BytesView data, uint64_t seed = 0);
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_XXHASH_HH

@@ -1,0 +1,182 @@
+#include "core/corr_cache.hh"
+
+#include <algorithm>
+
+namespace ethkv::core
+{
+
+CorrelationMiner::CorrelationMiner(size_t window,
+                                   size_t max_followers)
+    : window_(window), max_followers_(max_followers)
+{
+    recent_.reserve(window_);
+}
+
+void
+CorrelationMiner::observe(uint64_t key_id)
+{
+    // Every key in the recent window gains `key_id` as a follower
+    // candidate.
+    for (uint64_t predecessor : recent_) {
+        if (predecessor == key_id)
+            continue;
+        std::vector<Candidate> &candidates = table_[predecessor];
+        bool found = false;
+        for (Candidate &candidate : candidates) {
+            if (candidate.key_id == key_id) {
+                ++candidate.count;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (candidates.size() < max_followers_) {
+                candidates.push_back({key_id, 1});
+            } else {
+                // LFU-style replacement: displace the weakest
+                // candidate by decaying it (space-saving sketch).
+                auto weakest = std::min_element(
+                    candidates.begin(), candidates.end(),
+                    [](const Candidate &x, const Candidate &y) {
+                        return x.count < y.count;
+                    });
+                if (weakest->count <= 1) {
+                    *weakest = {key_id, 1};
+                } else {
+                    --weakest->count;
+                }
+            }
+        }
+    }
+
+    if (recent_.size() < window_) {
+        recent_.push_back(key_id);
+    } else {
+        recent_[recent_pos_] = key_id;
+        recent_pos_ = (recent_pos_ + 1) % window_;
+    }
+}
+
+std::vector<uint64_t>
+CorrelationMiner::followers(uint64_t key_id,
+                            uint32_t min_support) const
+{
+    auto it = table_.find(key_id);
+    if (it == table_.end())
+        return {};
+    std::vector<Candidate> qualified;
+    for (const Candidate &candidate : it->second)
+        if (candidate.count >= min_support)
+            qualified.push_back(candidate);
+    std::sort(qualified.begin(), qualified.end(),
+              [](const Candidate &x, const Candidate &y) {
+                  return x.count > y.count;
+              });
+    std::vector<uint64_t> out;
+    out.reserve(qualified.size());
+    for (const Candidate &candidate : qualified)
+        out.push_back(candidate.key_id);
+    return out;
+}
+
+CachePolicySimulator::CachePolicySimulator(
+    uint64_t capacity_bytes, const CorrelationMiner *miner,
+    const std::unordered_map<uint64_t, uint32_t> &sizes)
+    : capacity_(capacity_bytes), miner_(miner), sizes_(sizes)
+{}
+
+uint32_t
+CachePolicySimulator::sizeOf(uint64_t key_id) const
+{
+    auto it = sizes_.find(key_id);
+    return it == sizes_.end() ? 64 : std::max<uint32_t>(
+                                         it->second, 1);
+}
+
+void
+CachePolicySimulator::admit(uint64_t key_id, bool prefetched)
+{
+    if (index_.count(key_id))
+        return;
+    uint32_t bytes = sizeOf(key_id);
+    if (bytes > capacity_)
+        return;
+    order_.push_front({key_id, bytes, prefetched});
+    index_[key_id] = order_.begin();
+    used_bytes_ += bytes;
+    while (used_bytes_ > capacity_ && !order_.empty()) {
+        Entry &victim = order_.back();
+        used_bytes_ -= victim.bytes;
+        index_.erase(victim.key_id);
+        order_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+CachePolicySimulator::access(uint64_t key_id)
+{
+    ++stats_.accesses;
+    auto it = index_.find(key_id);
+    if (it != index_.end()) {
+        ++stats_.hits;
+        if (it->second->prefetched) {
+            ++stats_.prefetch_hits;
+            it->second->prefetched = false;
+        }
+        order_.splice(order_.begin(), order_, it->second);
+        return;
+    }
+
+    ++stats_.demand_fetches;
+    admit(key_id, false);
+
+    if (miner_) {
+        for (uint64_t follower : miner_->followers(key_id)) {
+            if (index_.count(follower))
+                continue;
+            ++stats_.prefetch_fetches;
+            admit(follower, true);
+        }
+    }
+}
+
+CacheComparison
+compareCachePolicies(const trace::TraceBuffer &trace,
+                     uint64_t capacity_bytes,
+                     double train_fraction, size_t window)
+{
+    // Collect the read stream and per-key sizes.
+    std::vector<uint64_t> reads;
+    std::unordered_map<uint64_t, uint32_t> sizes;
+    for (const trace::TraceRecord &record : trace.records()) {
+        if (record.op != trace::OpType::Read)
+            continue;
+        reads.push_back(record.key_id);
+        if (record.value_size > 0) {
+            sizes[record.key_id] =
+                record.key_size + record.value_size;
+        }
+    }
+
+    CacheComparison out;
+    out.train_reads = static_cast<size_t>(
+        train_fraction * static_cast<double>(reads.size()));
+    out.eval_reads = reads.size() - out.train_reads;
+
+    CorrelationMiner miner(window);
+    for (size_t i = 0; i < out.train_reads; ++i)
+        miner.observe(reads[i]);
+
+    CachePolicySimulator lru(capacity_bytes, nullptr, sizes);
+    CachePolicySimulator correlated(capacity_bytes, &miner, sizes);
+    for (size_t i = out.train_reads; i < reads.size(); ++i) {
+        lru.access(reads[i]);
+        correlated.access(reads[i]);
+    }
+    out.lru = lru.stats();
+    out.correlated = correlated.stats();
+    return out;
+}
+
+} // namespace ethkv::core

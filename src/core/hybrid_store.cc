@@ -1,0 +1,112 @@
+#include "core/hybrid_store.hh"
+
+namespace ethkv::core
+{
+
+Route
+routeOf(client::KVClass cls)
+{
+    switch (cls) {
+      // The only classes the traces ever scan (Finding 4).
+      case client::KVClass::BlockHeader:
+      case client::KVClass::SnapshotAccount:
+      case client::KVClass::SnapshotStorage:
+        return Route::Ordered;
+
+      // Delete-heavy (Finding 5) or immutable-then-frozen data:
+      // append-only with batched reclamation.
+      case client::KVClass::TxLookup:
+      case client::KVClass::BlockBody:
+      case client::KVClass::BlockReceipts:
+        return Route::Log;
+
+      // World state: mostly written, rarely read (Finding 3) —
+      // log-first with on-read index promotion.
+      case client::KVClass::TrieNodeAccount:
+      case client::KVClass::TrieNodeStorage:
+      case client::KVClass::Code:
+        return Route::LazyLog;
+
+      default:
+        return Route::Hash;
+    }
+}
+
+HybridKVStore::HybridKVStore(Options options)
+    : log_(options.log), lazy_(options.lazy)
+{}
+
+kv::KVStore &
+HybridKVStore::engineFor(BytesView key)
+{
+    switch (routeOf(client::classify(key))) {
+      case Route::Ordered: return ordered_;
+      case Route::Log: return log_;
+      case Route::LazyLog: return lazy_;
+      case Route::Hash: return hash_;
+    }
+    return hash_;
+}
+
+Status
+HybridKVStore::put(BytesView key, BytesView value)
+{
+    return engineFor(key).put(key, value);
+}
+
+Status
+HybridKVStore::get(BytesView key, Bytes &value)
+{
+    return engineFor(key).get(key, value);
+}
+
+Status
+HybridKVStore::del(BytesView key)
+{
+    return engineFor(key).del(key);
+}
+
+Status
+HybridKVStore::scan(BytesView start, BytesView end,
+                    const kv::ScanCallback &cb)
+{
+    // A scan stays within one class (keys share the class prefix),
+    // so the start key's route decides. Non-ordered routes reject,
+    // matching the design's deliberate trade-off.
+    return engineFor(start).scan(start, end, cb);
+}
+
+Status
+HybridKVStore::flush()
+{
+    Status s = ordered_.flush();
+    if (!s.isOk())
+        return s;
+    s = log_.flush();
+    if (!s.isOk())
+        return s;
+    s = lazy_.flush();
+    if (!s.isOk())
+        return s;
+    return hash_.flush();
+}
+
+const kv::IOStats &
+HybridKVStore::stats() const
+{
+    merged_stats_ = kv::IOStats();
+    merged_stats_.merge(ordered_.stats());
+    merged_stats_.merge(log_.stats());
+    merged_stats_.merge(lazy_.stats());
+    merged_stats_.merge(hash_.stats());
+    return merged_stats_;
+}
+
+uint64_t
+HybridKVStore::liveKeyCount()
+{
+    return ordered_.liveKeyCount() + log_.liveKeyCount() +
+           lazy_.liveKeyCount() + hash_.liveKeyCount();
+}
+
+} // namespace ethkv::core

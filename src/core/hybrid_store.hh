@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The hybrid KV store: the paper's Section-V conceptual design,
+ * realized.
+ *
+ * Classes route to index structures tailored to their access
+ * patterns (Findings 3-5):
+ *
+ *  - Ordered (B+-tree): the only classes that scan — BlockHeader
+ *    (with canonical hashes), SnapshotAccount, SnapshotStorage.
+ *    "Only three classes require scans, which can be efficiently
+ *    managed using an LSM-tree or B+-tree index."
+ *  - Append-only log with batched GC: the delete-heavy TxLookup
+ *    and the immutable, freezer-bound BlockBody/BlockReceipts.
+ *  - Log-first lazy index: the write-mostly, rarely-read world
+ *    state (TrieNodeAccount, TrieNodeStorage) and Code.
+ *  - Hash store: everything else (singletons, StateID, bloombits,
+ *    skeleton) — small, unordered, point-access-only.
+ *
+ * The ablation bench runs the same captured workload through this
+ * router and through a plain LSM to quantify the tombstone,
+ * compaction, and indexing savings the paper predicts.
+ */
+
+#ifndef ETHKV_CORE_HYBRID_STORE_HH
+#define ETHKV_CORE_HYBRID_STORE_HH
+
+#include <memory>
+
+#include "client/schema.hh"
+#include "core/lazy_index_store.hh"
+#include "kvstore/btree_store.hh"
+#include "kvstore/hash_store.hh"
+#include "kvstore/log_store.hh"
+
+namespace ethkv::core
+{
+
+/** Which engine a class routes to. */
+enum class Route
+{
+    Ordered,  //!< B+-tree (scan classes).
+    Log,      //!< Append-only log (delete-heavy / immutable).
+    LazyLog,  //!< Log-first lazy index (world state).
+    Hash,     //!< Hash store (small point-access classes).
+};
+
+/** The class->engine policy; exposed for tests and ablations. */
+Route routeOf(client::KVClass cls);
+
+/**
+ * The router. Implements the full KVStore interface; scans work
+ * for ordered classes and fail (NotSupported) for the classes the
+ * paper observes never scanning.
+ */
+class HybridKVStore : public kv::KVStore
+{
+  public:
+    struct Options
+    {
+        kv::LogStoreOptions log;
+        LazyIndexOptions lazy;
+    };
+
+    explicit HybridKVStore(Options options = {});
+
+    Status put(BytesView key, BytesView value) override;
+    Status get(BytesView key, Bytes &value) override;
+    Status del(BytesView key) override;
+    Status scan(BytesView start, BytesView end,
+                const kv::ScanCallback &cb) override;
+    Status flush() override;
+    const kv::IOStats &stats() const override;
+    std::string name() const override { return "hybrid"; }
+    uint64_t liveKeyCount() override;
+
+    /** Engine access for the ablation bench's breakdowns. */
+    kv::BTreeStore &ordered() { return ordered_; }
+    kv::AppendLogStore &log() { return log_; }
+    LazyIndexStore &lazyLog() { return lazy_; }
+    kv::HashStore &hash() { return hash_; }
+
+  private:
+    kv::KVStore &engineFor(BytesView key);
+
+    kv::BTreeStore ordered_;
+    kv::AppendLogStore log_;
+    LazyIndexStore lazy_;
+    kv::HashStore hash_;
+    mutable kv::IOStats merged_stats_;
+};
+
+} // namespace ethkv::core
+
+#endif // ETHKV_CORE_HYBRID_STORE_HH

@@ -1,0 +1,371 @@
+#include "core/lazy_index_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ethkv::core
+{
+
+LazyIndexStore::LazyIndexStore(LazyIndexOptions options)
+    : options_(std::move(options))
+{
+    chunks_.push_back(freshChunk());
+}
+
+LazyIndexStore::Chunk
+LazyIndexStore::freshChunk()
+{
+    Chunk chunk;
+    chunk.id = next_chunk_id_++;
+    // The bloom is maintained incrementally from birth so even the
+    // active chunk filters absent-key probes.
+    chunk.bloom = std::make_unique<kv::BloomFilter>(
+        options_.chunk_bytes / 64, options_.bloom_bits_per_key);
+    return chunk;
+}
+
+LazyIndexStore::Chunk &
+LazyIndexStore::activeChunk()
+{
+    return chunks_.back();
+}
+
+LazyIndexStore::Chunk *
+LazyIndexStore::findChunk(uint64_t id)
+{
+    // Chunk ids are assigned monotonically and GC preserves order,
+    // so the deque is always sorted by id.
+    auto it = std::lower_bound(
+        chunks_.begin(), chunks_.end(), id,
+        [](const Chunk &chunk, uint64_t target) {
+            return chunk.id < target;
+        });
+    if (it == chunks_.end() || it->id != id)
+        return nullptr;
+    return &*it;
+}
+
+LazyIndexStore::IndexEntry
+LazyIndexStore::appendRecord(Bytes key, Bytes value, bool deleted)
+{
+    Chunk &chunk = activeChunk();
+    uint64_t bytes = key.size() + value.size() + 1;
+    chunk.bloom->add(key);
+    chunk.records.push_back(
+        {std::move(key), std::move(value), deleted});
+    chunk.bytes += bytes;
+    stats_.bytes_written += bytes;
+    IndexEntry location{chunk.id, chunk.records.size() - 1};
+    sealIfFull(); // may retire `chunk` as the active one
+    return location;
+}
+
+void
+LazyIndexStore::sealIfFull()
+{
+    Chunk &chunk = activeChunk();
+    if (chunk.bytes < options_.chunk_bytes)
+        return;
+    chunk.sealed = true;
+    chunks_.push_back(freshChunk());
+}
+
+Status
+LazyIndexStore::put(BytesView key, BytesView value)
+{
+    ++stats_.user_writes;
+    known_deleted_.erase(Bytes(key));
+
+    // A promoted key keeps its exact index current; dead bytes for
+    // its old version are tracked. Unpromoted overwrites simply
+    // shadow (their staleness is discovered at GC time).
+    auto it = index_.find(Bytes(key));
+    if (it != index_.end()) {
+        Chunk *old = findChunk(it->second.chunk_id);
+        if (old) {
+            const Record &rec =
+                old->records[it->second.record_idx];
+            old->dead_bytes +=
+                rec.key.size() + rec.value.size() + 1;
+        }
+    }
+
+    IndexEntry location =
+        appendRecord(Bytes(key), Bytes(value), false);
+    if (it != index_.end())
+        it->second = location; // re-point at the fresh record
+    maybeGc();
+    return Status::ok();
+}
+
+const LazyIndexStore::Record *
+LazyIndexStore::locateAndPromote(BytesView key)
+{
+    // Newest-to-oldest chunk walk, bloom-guided. A sealed chunk
+    // earns a chunk-level index the first time any read scans it
+    // (adaptive indexing, design principle (iv)): one pass per
+    // chunk ever, instead of one pass per miss.
+    for (auto chunk_it = chunks_.rbegin();
+         chunk_it != chunks_.rend(); ++chunk_it) {
+        Chunk &chunk = *chunk_it;
+        if (chunk.bloom && !chunk.bloom->mayContain(key))
+            continue;
+
+        if (chunk.sealed) {
+            if (!chunk.local_index) {
+                chunk.local_index = std::make_unique<
+                    std::unordered_map<Bytes, size_t>>();
+                chunk.local_index->reserve(
+                    chunk.records.size());
+                for (size_t i = 0; i < chunk.records.size();
+                     ++i) {
+                    const Record &record = chunk.records[i];
+                    chunk_scan_bytes_ += record.key.size() +
+                                         record.value.size();
+                    // Later records overwrite: newest wins.
+                    (*chunk.local_index)[record.key] = i;
+                }
+            }
+            auto hit = chunk.local_index->find(Bytes(key));
+            if (hit == chunk.local_index->end())
+                continue; // bloom false positive
+            const Record &record = chunk.records[hit->second];
+            if (record.deleted) {
+                known_deleted_.insert(Bytes(key));
+                return nullptr;
+            }
+            index_[Bytes(key)] =
+                IndexEntry{chunk.id, hit->second};
+            return &record;
+        }
+
+        // The active (unsealed) chunk is scanned directly.
+        for (size_t i = chunk.records.size(); i-- > 0;) {
+            const Record &record = chunk.records[i];
+            chunk_scan_bytes_ +=
+                record.key.size() + record.value.size();
+            if (BytesView(record.key) != key)
+                continue;
+            if (record.deleted) {
+                known_deleted_.insert(Bytes(key));
+                return nullptr;
+            }
+            index_[Bytes(key)] = IndexEntry{chunk.id, i};
+            return &record;
+        }
+    }
+    return nullptr;
+}
+
+Status
+LazyIndexStore::get(BytesView key, Bytes &value)
+{
+    ++stats_.user_reads;
+    auto it = index_.find(Bytes(key));
+    if (it != index_.end()) {
+        Chunk *chunk = findChunk(it->second.chunk_id);
+        if (!chunk)
+            panic("lazylog: index points at missing chunk");
+        const Record &record =
+            chunk->records[it->second.record_idx];
+        value = record.value;
+        stats_.bytes_read +=
+            record.key.size() + record.value.size();
+        return Status::ok();
+    }
+    if (known_deleted_.count(Bytes(key)))
+        return Status::notFound();
+
+    const Record *record = locateAndPromote(key);
+    if (!record)
+        return Status::notFound();
+    value = record->value;
+    stats_.bytes_read += record->key.size() + record->value.size();
+    return Status::ok();
+}
+
+Status
+LazyIndexStore::del(BytesView key)
+{
+    ++stats_.user_deletes;
+    auto it = index_.find(Bytes(key));
+    if (it != index_.end()) {
+        Chunk *chunk = findChunk(it->second.chunk_id);
+        if (chunk) {
+            const Record &rec =
+                chunk->records[it->second.record_idx];
+            chunk->dead_bytes +=
+                rec.key.size() + rec.value.size() + 1;
+        }
+        index_.erase(it);
+    }
+    // The tombstone shadows any unpromoted older version.
+    appendRecord(Bytes(key), Bytes(), true);
+    known_deleted_.insert(Bytes(key));
+    maybeGc();
+    return Status::ok();
+}
+
+Status
+LazyIndexStore::scan(BytesView, BytesView, const kv::ScanCallback &)
+{
+    ++stats_.user_scans;
+    return Status::notSupported("lazylog has no key order");
+}
+
+Status
+LazyIndexStore::flush()
+{
+    return Status::ok();
+}
+
+void
+LazyIndexStore::maybeGc()
+{
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+        Chunk &chunk = chunks_[i];
+        if (!chunk.sealed || chunk.bytes == 0)
+            continue;
+        if (static_cast<double>(chunk.dead_bytes) /
+                static_cast<double>(chunk.bytes) >=
+            options_.gc_dead_ratio) {
+            gcChunk(i);
+            return; // bound work per trigger
+        }
+    }
+}
+
+void
+LazyIndexStore::gcChunk(size_t chunk_pos)
+{
+    ++stats_.gc_runs;
+    Chunk victim = std::move(chunks_[chunk_pos]);
+    chunks_.erase(chunks_.begin() + static_cast<long>(chunk_pos));
+
+    // Carry live records forward. A record survives iff it is the
+    // newest version of its key: promoted records are checked via
+    // the index; unpromoted ones via a newer-chunks probe.
+    // True if any chunk newer than the victim holds any record
+    // (put or tombstone) for the key: that record governs.
+    auto shadowed_by_newer = [&](const Bytes &key) {
+        for (const Chunk &newer : chunks_) {
+            if (newer.id < victim.id)
+                continue;
+            if (newer.bloom && !newer.bloom->mayContain(key))
+                continue;
+            if (newer.local_index) {
+                if (newer.local_index->count(key))
+                    return true;
+                continue; // bloom false positive
+            }
+            for (const Record &other : newer.records)
+                if (other.key == key)
+                    return true;
+        }
+        return false;
+    };
+    // True if any chunk older than the victim may hold the key (a
+    // tombstone must be kept to keep shadowing it).
+    auto maybe_in_older = [&](const Bytes &key) {
+        for (const Chunk &older : chunks_) {
+            if (older.id > victim.id)
+                continue;
+            if (older.bloom && !older.bloom->mayContain(key))
+                continue;
+            return true; // unsealed or bloom-positive older chunk
+        }
+        return false;
+    };
+
+    std::unordered_set<Bytes> seen_in_victim;
+    for (size_t i = victim.records.size(); i-- > 0;) {
+        Record &record = victim.records[i];
+        if (!seen_in_victim.insert(record.key).second)
+            continue; // an in-victim newer version was handled
+
+        if (record.deleted) {
+            // Keep the tombstone only while it still has work to
+            // do: nothing newer governs the key, and an older
+            // version might otherwise resurface.
+            if (!shadowed_by_newer(record.key) &&
+                maybe_in_older(record.key)) {
+                appendRecord(std::move(record.key), Bytes(),
+                             true);
+            }
+            continue;
+        }
+
+        auto it = index_.find(record.key);
+        if (it != index_.end()) {
+            if (it->second.chunk_id != victim.id ||
+                it->second.record_idx != i) {
+                continue; // a newer promoted version exists
+            }
+        } else {
+            if (known_deleted_.count(record.key))
+                continue;
+            if (shadowed_by_newer(record.key))
+                continue;
+        }
+
+        uint64_t bytes =
+            record.key.size() + record.value.size() + 1;
+        stats_.gc_bytes += bytes;
+        Bytes key = record.key;
+        IndexEntry location =
+            appendRecord(std::move(record.key),
+                         std::move(record.value), false);
+        if (it != index_.end())
+            index_[key] = location;
+    }
+}
+
+uint64_t
+LazyIndexStore::liveKeyCount()
+{
+    // Exact count requires resolving shadowing: newest record per
+    // key wins. Diagnostic-only, O(n).
+    std::unordered_set<Bytes> seen;
+    uint64_t live = 0;
+    for (auto chunk_it = chunks_.rbegin();
+         chunk_it != chunks_.rend(); ++chunk_it) {
+        for (size_t i = chunk_it->records.size(); i-- > 0;) {
+            const Record &record = chunk_it->records[i];
+            if (!seen.insert(record.key).second)
+                continue;
+            if (!record.deleted)
+                ++live;
+        }
+    }
+    return live;
+}
+
+uint64_t
+LazyIndexStore::indexedChunkCount() const
+{
+    uint64_t count = 0;
+    for (const Chunk &chunk : chunks_)
+        count += (chunk.local_index != nullptr);
+    return count;
+}
+
+uint64_t
+LazyIndexStore::indexBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[key, entry] : index_)
+        total += key.size() + sizeof(entry);
+    return total;
+}
+
+uint64_t
+LazyIndexStore::residentBytes() const
+{
+    uint64_t total = 0;
+    for (const Chunk &chunk : chunks_)
+        total += chunk.bytes;
+    return total;
+}
+
+} // namespace ethkv::core

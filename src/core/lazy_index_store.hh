@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Log-first storage with adaptive (lazy) indexing — design
+ * principle (iv) of the paper's Section V.
+ *
+ * Finding 3 shows most world-state KV pairs are written once and
+ * never read; maintaining an exact index (or LSM ordering) for them
+ * is wasted work. This engine appends records to log chunks with
+ * only a per-chunk bloom filter; a key earns an exact index entry
+ * the first time it is read ("KV pairs associated with the world
+ * state can be initially appended to a log, and are inserted into
+ * the KV store only upon being read"). Deletes drop index entries
+ * and mark bytes dead; chunks past a dead-ratio threshold are
+ * rewritten in batches, carrying live records forward.
+ */
+
+#ifndef ETHKV_CORE_LAZY_INDEX_STORE_HH
+#define ETHKV_CORE_LAZY_INDEX_STORE_HH
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kvstore/bloom.hh"
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::core
+{
+
+/** Tuning knobs. */
+struct LazyIndexOptions
+{
+    uint64_t chunk_bytes = 256u << 10; //!< Seal threshold.
+    double gc_dead_ratio = 0.5;        //!< Chunk rewrite trigger.
+    size_t bloom_bits_per_key = 10;
+};
+
+/**
+ * The engine. Unordered (scan returns NotSupported); the hybrid
+ * router only sends scan-free classes here.
+ */
+class LazyIndexStore : public kv::KVStore
+{
+  public:
+    explicit LazyIndexStore(LazyIndexOptions options = {});
+
+    Status put(BytesView key, BytesView value) override;
+    Status get(BytesView key, Bytes &value) override;
+    Status del(BytesView key) override;
+    Status scan(BytesView start, BytesView end,
+                const kv::ScanCallback &cb) override;
+    Status flush() override;
+    const kv::IOStats &stats() const override { return stats_; }
+    std::string name() const override { return "lazylog"; }
+    uint64_t liveKeyCount() override;
+
+    /** Keys currently holding exact index entries (promoted). */
+    uint64_t promotedKeyCount() const { return index_.size(); }
+
+    /** Approximate bytes of exact-index state (the overhead the
+     *  design avoids for never-read keys). */
+    uint64_t indexBytes() const;
+
+    /** Bytes scanned inside chunks to serve unpromoted reads. */
+    uint64_t chunkScanBytes() const { return chunk_scan_bytes_; }
+
+    /** Chunks that ever needed a chunk-level index built. */
+    uint64_t indexedChunkCount() const;
+
+    uint64_t chunkCount() const { return chunks_.size(); }
+    uint64_t residentBytes() const;
+
+  private:
+    struct Record
+    {
+        Bytes key;
+        Bytes value;
+        bool deleted; //!< Tombstone record (shadow older puts).
+    };
+
+    struct Chunk
+    {
+        uint64_t id;
+        std::deque<Record> records;
+        std::unique_ptr<kv::BloomFilter> bloom;
+        /** Chunk-level index (design principle (iv)): built the
+         *  first time a read scans this sealed chunk, mapping key
+         *  -> newest record index within the chunk. Never built
+         *  for chunks no read ever touches. */
+        std::unique_ptr<std::unordered_map<Bytes, size_t>>
+            local_index;
+        uint64_t bytes = 0;
+        uint64_t dead_bytes = 0;
+        bool sealed = false;
+    };
+
+    struct IndexEntry
+    {
+        uint64_t chunk_id;
+        size_t record_idx;
+    };
+
+    Chunk freshChunk();
+    Chunk &activeChunk();
+    Chunk *findChunk(uint64_t id);
+
+    /** Append a record; returns its (chunk id, record index). */
+    IndexEntry appendRecord(Bytes key, Bytes value, bool deleted);
+    void sealIfFull();
+    void maybeGc();
+    void gcChunk(size_t chunk_pos);
+
+    /**
+     * Find the newest live record for a key by scanning chunks
+     * (bloom-guided), promoting it into the exact index.
+     *
+     * @return nullptr if the key is absent or deleted.
+     */
+    const Record *locateAndPromote(BytesView key);
+
+    LazyIndexOptions options_;
+    std::deque<Chunk> chunks_;
+    std::unordered_map<Bytes, IndexEntry> index_;
+    // Keys known deleted (their tombstone is the newest record) so
+    // repeated misses don't rescan chunks.
+    std::unordered_set<Bytes> known_deleted_;
+    uint64_t next_chunk_id_ = 0;
+    uint64_t chunk_scan_bytes_ = 0;
+    kv::IOStats stats_;
+};
+
+} // namespace ethkv::core
+
+#endif // ETHKV_CORE_LAZY_INDEX_STORE_HH

@@ -1,0 +1,88 @@
+#include "eth/account.hh"
+
+namespace ethkv::eth
+{
+
+Bytes
+Account::encode() const
+{
+    RlpItem item = RlpItem::list({
+        RlpItem::uinteger(nonce),
+        RlpItem::uinteger(balance),
+        RlpItem::string(storage_root.toBytes()),
+        RlpItem::string(code_hash.toBytes()),
+    });
+    return rlpEncode(item);
+}
+
+Result<Account>
+Account::decode(BytesView data)
+{
+    auto item = rlpDecode(data);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list || root.items.size() != 4)
+        return Status::corruption("account: expected 4-item list");
+    for (const RlpItem &field : root.items)
+        if (field.is_list)
+            return Status::corruption("account: nested list");
+    if (root.items[2].str.size() != 32 ||
+        root.items[3].str.size() != 32) {
+        return Status::corruption("account: bad hash width");
+    }
+    Account account;
+    account.nonce = root.items[0].toUint();
+    account.balance = root.items[1].toUint();
+    account.storage_root = Hash256::fromBytes(root.items[2].str);
+    account.code_hash = Hash256::fromBytes(root.items[3].str);
+    return account;
+}
+
+Bytes
+encodeSlimAccount(const Account &account)
+{
+    // Slim form: empty root/code hash collapse to empty strings.
+    Bytes root = account.storage_root == emptyTrieRoot()
+                     ? Bytes()
+                     : account.storage_root.toBytes();
+    Bytes code = account.code_hash == emptyCodeHash()
+                     ? Bytes()
+                     : account.code_hash.toBytes();
+    RlpItem item = RlpItem::list({
+        RlpItem::uinteger(account.nonce),
+        RlpItem::uinteger(account.balance),
+        RlpItem::string(std::move(root)),
+        RlpItem::string(std::move(code)),
+    });
+    return rlpEncode(item);
+}
+
+Result<Account>
+decodeSlimAccount(BytesView data)
+{
+    auto item = rlpDecode(data);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list || root.items.size() != 4)
+        return Status::corruption("slim account: bad shape");
+    Account account;
+    account.nonce = root.items[0].toUint();
+    account.balance = root.items[1].toUint();
+    if (root.items[2].str.empty())
+        account.storage_root = emptyTrieRoot();
+    else if (root.items[2].str.size() == 32)
+        account.storage_root = Hash256::fromBytes(root.items[2].str);
+    else
+        return Status::corruption("slim account: bad root width");
+    if (root.items[3].str.empty())
+        account.code_hash = emptyCodeHash();
+    else if (root.items[3].str.size() == 32)
+        account.code_hash = Hash256::fromBytes(root.items[3].str);
+    else
+        return Status::corruption("slim account: bad code width");
+    return account;
+}
+
+} // namespace ethkv::eth

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The world-state account object.
+ *
+ * An account is the value stored in the state trie under
+ * keccak256(address): [nonce, balance, storage_root, code_hash].
+ * Externally owned accounts carry the empty storage root and the
+ * empty code hash; contracts point at their storage trie and code
+ * blob (the Code class in Table I).
+ */
+
+#ifndef ETHKV_ETH_ACCOUNT_HH
+#define ETHKV_ETH_ACCOUNT_HH
+
+#include "common/rlp.hh"
+#include "common/status.hh"
+#include "eth/types.hh"
+
+namespace ethkv::eth
+{
+
+/** State-trie account payload. */
+struct Account
+{
+    uint64_t nonce = 0;
+    uint64_t balance = 0;
+    Hash256 storage_root;
+    Hash256 code_hash;
+
+    Account()
+        : storage_root(emptyTrieRoot()), code_hash(emptyCodeHash())
+    {}
+
+    bool
+    isContract() const
+    {
+        return code_hash != emptyCodeHash();
+    }
+
+    /** RLP [nonce, balance, storage_root, code_hash]. */
+    Bytes encode() const;
+
+    /** Decode; Corruption on malformed payloads. */
+    static Result<Account> decode(BytesView data);
+
+    bool operator==(const Account &) const = default;
+};
+
+/**
+ * The flat snapshot form of an account (SnapshotAccount class).
+ *
+ * Geth's snapshot "slim" encoding omits the empty storage root and
+ * empty code hash, which is why SnapshotAccount values average only
+ * 15.9 bytes in Table I against 115.7 for TrieNodeAccount.
+ */
+Bytes encodeSlimAccount(const Account &account);
+
+/** Decode the slim snapshot encoding. */
+Result<Account> decodeSlimAccount(BytesView data);
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_ETH_ACCOUNT_HH

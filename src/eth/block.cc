@@ -1,0 +1,138 @@
+#include "eth/block.hh"
+
+namespace ethkv::eth
+{
+
+Bytes
+BlockHeader::encode() const
+{
+    RlpItem item = RlpItem::list({
+        RlpItem::string(parent_hash.toBytes()),
+        RlpItem::string(coinbase.toBytes()),
+        RlpItem::string(state_root.toBytes()),
+        RlpItem::string(tx_root.toBytes()),
+        RlpItem::string(receipt_root.toBytes()),
+        RlpItem::string(logs_bloom.toBytes()),
+        RlpItem::uinteger(number),
+        RlpItem::uinteger(gas_limit),
+        RlpItem::uinteger(gas_used),
+        RlpItem::uinteger(timestamp),
+        RlpItem::string(extra),
+        RlpItem::string(mix_digest.toBytes()),
+        RlpItem::uinteger(block_nonce),
+    });
+    return rlpEncode(item);
+}
+
+Result<BlockHeader>
+BlockHeader::decode(BytesView raw)
+{
+    auto item = rlpDecode(raw);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list || root.items.size() != 13)
+        return Status::corruption("header: expected 13-item list");
+
+    auto hash_field = [&](size_t i, Hash256 &out) -> bool {
+        if (root.items[i].str.size() != 32)
+            return false;
+        out = Hash256::fromBytes(root.items[i].str);
+        return true;
+    };
+
+    BlockHeader h;
+    if (!hash_field(0, h.parent_hash))
+        return Status::corruption("header: bad parent hash");
+    if (root.items[1].str.size() != 20)
+        return Status::corruption("header: bad coinbase");
+    h.coinbase = Address::fromBytes(root.items[1].str);
+    if (!hash_field(2, h.state_root) ||
+        !hash_field(3, h.tx_root) ||
+        !hash_field(4, h.receipt_root)) {
+        return Status::corruption("header: bad root hash");
+    }
+    if (root.items[5].str.size() != LogsBloom::bloom_bytes)
+        return Status::corruption("header: bad bloom");
+    h.logs_bloom = LogsBloom::fromBytes(root.items[5].str);
+    h.number = root.items[6].toUint();
+    h.gas_limit = root.items[7].toUint();
+    h.gas_used = root.items[8].toUint();
+    h.timestamp = root.items[9].toUint();
+    h.extra = root.items[10].str;
+    if (!hash_field(11, h.mix_digest))
+        return Status::corruption("header: bad mix digest");
+    h.block_nonce = root.items[12].toUint();
+    return h;
+}
+
+Hash256
+BlockHeader::hash() const
+{
+    return hashOf(encode());
+}
+
+Bytes
+BlockBody::encode() const
+{
+    std::vector<RlpItem> tx_items;
+    tx_items.reserve(transactions.size());
+    for (const Transaction &tx : transactions) {
+        auto decoded = rlpDecode(tx.encode());
+        tx_items.push_back(decoded.take());
+    }
+    RlpItem item = RlpItem::list({
+        RlpItem::list(std::move(tx_items)),
+        RlpItem::list({}), // uncles: always empty post-merge
+    });
+    return rlpEncode(item);
+}
+
+Result<BlockBody>
+BlockBody::decode(BytesView raw)
+{
+    auto item = rlpDecode(raw);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list || root.items.size() != 2 ||
+        !root.items[0].is_list) {
+        return Status::corruption("body: bad shape");
+    }
+    BlockBody body;
+    for (const RlpItem &tx_item : root.items[0].items) {
+        auto tx = Transaction::decode(rlpEncode(tx_item));
+        if (!tx.ok())
+            return tx.status();
+        body.transactions.push_back(tx.take());
+    }
+    return body;
+}
+
+Bytes
+Block::encodeReceipts() const
+{
+    Bytes payload;
+    for (const Receipt &receipt : receipts)
+        payload += receipt.encode();
+    return rlpEncodeListPayload(payload);
+}
+
+Hash256
+computeListRoot(const std::vector<Bytes> &encoded_items)
+{
+    // Chained keccak over (index, item) pairs: deterministic and
+    // order-sensitive, like a trie root, without trie maintenance.
+    Bytes acc = emptyTrieRoot().toBytes();
+    Bytes buf;
+    for (size_t i = 0; i < encoded_items.size(); ++i) {
+        buf.clear();
+        buf += acc;
+        appendBE64(buf, i);
+        buf += encoded_items[i];
+        acc = keccak256Bytes(buf);
+    }
+    return Hash256::fromBytes(acc);
+}
+
+} // namespace ethkv::eth

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Block headers, bodies, and blocks.
+ *
+ * The BlockHeader, BlockBody, and BlockReceipts classes in Table I
+ * are exactly these structures, keyed by block number and hash; the
+ * freezer migrates them out of the KV store once they pass the
+ * finality threshold, which is what drives their high delete rates
+ * (Finding 5).
+ */
+
+#ifndef ETHKV_ETH_BLOCK_HH
+#define ETHKV_ETH_BLOCK_HH
+
+#include <vector>
+
+#include "eth/bloom.hh"
+#include "eth/transaction.hh"
+#include "eth/types.hh"
+
+namespace ethkv::eth
+{
+
+/** Header fields (post-merge subset; mix/nonce kept for size). */
+struct BlockHeader
+{
+    Hash256 parent_hash;
+    Address coinbase;
+    Hash256 state_root;
+    Hash256 tx_root;
+    Hash256 receipt_root;
+    LogsBloom logs_bloom;
+    uint64_t number = 0;
+    uint64_t gas_limit = 30000000;
+    uint64_t gas_used = 0;
+    uint64_t timestamp = 0;
+    Bytes extra;
+    Hash256 mix_digest;
+    uint64_t block_nonce = 0;
+
+    Bytes encode() const;
+
+    static Result<BlockHeader> decode(BytesView data);
+
+    /** Block hash: keccak256 of the header encoding. */
+    Hash256 hash() const;
+
+    bool operator==(const BlockHeader &) const = default;
+};
+
+/** Transactions plus (post-merge, always empty) uncle list. */
+struct BlockBody
+{
+    std::vector<Transaction> transactions;
+
+    Bytes encode() const;
+
+    static Result<BlockBody> decode(BytesView data);
+
+    bool operator==(const BlockBody &) const = default;
+};
+
+/** A full block with its execution receipts. */
+struct Block
+{
+    BlockHeader header;
+    BlockBody body;
+    std::vector<Receipt> receipts;
+
+    /** Encode all receipts as one RLP list (BlockReceipts value). */
+    Bytes encodeReceipts() const;
+};
+
+/**
+ * Order-dependent commitment over encoded items.
+ *
+ * Stands in for the transactions/receipts tries: the workload only
+ * needs a deterministic root in the header, not proof generation
+ * (documented substitution in DESIGN.md).
+ */
+Hash256 computeListRoot(const std::vector<Bytes> &encoded_items);
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_ETH_BLOCK_HH

@@ -1,0 +1,82 @@
+#include "eth/bloom.hh"
+
+#include "common/keccak.hh"
+#include "common/logging.hh"
+
+namespace ethkv::eth
+{
+
+namespace
+{
+
+/** The three bit positions for an item, per the yellow paper. */
+void
+bloomBits(BytesView item, size_t out[3])
+{
+    Digest256 d = keccak256(item);
+    for (int i = 0; i < 3; ++i) {
+        size_t word = (static_cast<size_t>(d[2 * i]) << 8) |
+                      d[2 * i + 1];
+        out[i] = word & 0x7ff; // low 11 bits: 0..2047
+    }
+}
+
+} // namespace
+
+void
+LogsBloom::add(BytesView item)
+{
+    size_t bits[3];
+    bloomBits(item, bits);
+    for (size_t b : bits)
+        bits_[bloom_bytes - 1 - b / 8] |=
+            static_cast<uint8_t>(1u << (b % 8));
+}
+
+bool
+LogsBloom::mayContain(BytesView item) const
+{
+    size_t bits[3];
+    bloomBits(item, bits);
+    for (size_t b : bits) {
+        if (!(bits_[bloom_bytes - 1 - b / 8] & (1u << (b % 8))))
+            return false;
+    }
+    return true;
+}
+
+void
+LogsBloom::merge(const LogsBloom &other)
+{
+    for (size_t i = 0; i < bloom_bytes; ++i)
+        bits_[i] |= other.bits_[i];
+}
+
+Bytes
+LogsBloom::toBytes() const
+{
+    return Bytes(reinterpret_cast<const char *>(bits_.data()),
+                 bloom_bytes);
+}
+
+LogsBloom
+LogsBloom::fromBytes(BytesView data)
+{
+    if (data.size() != bloom_bytes)
+        panic("LogsBloom::fromBytes: expected 256 bytes, got %zu",
+              data.size());
+    LogsBloom bloom;
+    for (size_t i = 0; i < bloom_bytes; ++i)
+        bloom.bits_[i] = static_cast<uint8_t>(data[i]);
+    return bloom;
+}
+
+bool
+LogsBloom::bit(size_t i) const
+{
+    if (i >= 2048)
+        panic("LogsBloom::bit: index %zu out of range", i);
+    return bits_[bloom_bytes - 1 - i / 8] & (1u << (i % 8));
+}
+
+} // namespace ethkv::eth

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The 2048-bit logs bloom filter from the Ethereum header format.
+ *
+ * Every receipt and every block header carries one; the BloomBits
+ * class in Table I is a bit-rotated index over these per-block
+ * filters, used for log search.
+ */
+
+#ifndef ETHKV_ETH_BLOOM_HH
+#define ETHKV_ETH_BLOOM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace ethkv::eth
+{
+
+/** 2048-bit bloom per the yellow paper: 3 bits per added item. */
+class LogsBloom
+{
+  public:
+    static constexpr size_t bloom_bytes = 256;
+
+    LogsBloom() { bits_.fill(0); }
+
+    /**
+     * Add an item: bits are taken from the low 11 bits of the first
+     * three 16-bit words of keccak256(item).
+     */
+    void add(BytesView item);
+
+    /** @return false iff the item is definitely absent. */
+    bool mayContain(BytesView item) const;
+
+    /** OR another bloom into this one (header = OR of receipts). */
+    void merge(const LogsBloom &other);
+
+    /** The raw 256-byte filter. */
+    Bytes toBytes() const;
+
+    static LogsBloom fromBytes(BytesView data);
+
+    /** Whether bit i (0..2047) is set; used by the bloombits indexer. */
+    bool bit(size_t i) const;
+
+    bool operator==(const LogsBloom &) const = default;
+
+  private:
+    std::array<uint8_t, bloom_bytes> bits_;
+};
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_ETH_BLOOM_HH

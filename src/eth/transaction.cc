@@ -1,0 +1,128 @@
+#include "eth/transaction.hh"
+
+namespace ethkv::eth
+{
+
+Bytes
+Transaction::encode() const
+{
+    RlpItem item = RlpItem::list({
+        RlpItem::uinteger(nonce),
+        RlpItem::uinteger(gas_price),
+        RlpItem::uinteger(gas_limit),
+        RlpItem::string(to ? to->toBytes() : Bytes()),
+        RlpItem::uinteger(value),
+        RlpItem::string(data),
+        RlpItem::string(from.toBytes()),
+    });
+    return rlpEncode(item);
+}
+
+Result<Transaction>
+Transaction::decode(BytesView raw)
+{
+    auto item = rlpDecode(raw);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list || root.items.size() != 7)
+        return Status::corruption("tx: expected 7-item list");
+    Transaction tx;
+    tx.nonce = root.items[0].toUint();
+    tx.gas_price = root.items[1].toUint();
+    tx.gas_limit = root.items[2].toUint();
+    const Bytes &to_bytes = root.items[3].str;
+    if (to_bytes.empty())
+        tx.to.reset();
+    else if (to_bytes.size() == 20)
+        tx.to = Address::fromBytes(to_bytes);
+    else
+        return Status::corruption("tx: bad to-address width");
+    tx.value = root.items[4].toUint();
+    tx.data = root.items[5].str;
+    if (root.items[6].str.size() != 20)
+        return Status::corruption("tx: bad from-address width");
+    tx.from = Address::fromBytes(root.items[6].str);
+    return tx;
+}
+
+Hash256
+Transaction::hash() const
+{
+    return hashOf(encode());
+}
+
+void
+Receipt::buildBloom()
+{
+    bloom = LogsBloom();
+    for (const Log &log : logs) {
+        bloom.add(log.address.view());
+        for (const Hash256 &topic : log.topics)
+            bloom.add(topic.view());
+    }
+}
+
+Bytes
+Receipt::encode() const
+{
+    std::vector<RlpItem> log_items;
+    log_items.reserve(logs.size());
+    for (const Log &log : logs) {
+        std::vector<RlpItem> topic_items;
+        topic_items.reserve(log.topics.size());
+        for (const Hash256 &topic : log.topics)
+            topic_items.push_back(RlpItem::string(topic.toBytes()));
+        log_items.push_back(RlpItem::list({
+            RlpItem::string(log.address.toBytes()),
+            RlpItem::list(std::move(topic_items)),
+            RlpItem::string(log.data),
+        }));
+    }
+    RlpItem item = RlpItem::list({
+        RlpItem::uinteger(success ? 1 : 0),
+        RlpItem::uinteger(cumulative_gas),
+        RlpItem::string(bloom.toBytes()),
+        RlpItem::list(std::move(log_items)),
+    });
+    return rlpEncode(item);
+}
+
+Result<Receipt>
+Receipt::decode(BytesView raw)
+{
+    auto item = rlpDecode(raw);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list || root.items.size() != 4)
+        return Status::corruption("receipt: expected 4-item list");
+    Receipt receipt;
+    receipt.success = root.items[0].toUint() != 0;
+    receipt.cumulative_gas = root.items[1].toUint();
+    if (root.items[2].str.size() != LogsBloom::bloom_bytes)
+        return Status::corruption("receipt: bad bloom width");
+    receipt.bloom = LogsBloom::fromBytes(root.items[2].str);
+    if (!root.items[3].is_list)
+        return Status::corruption("receipt: logs not a list");
+    for (const RlpItem &log_item : root.items[3].items) {
+        if (!log_item.is_list || log_item.items.size() != 3)
+            return Status::corruption("receipt: bad log shape");
+        Log log;
+        if (log_item.items[0].str.size() != 20)
+            return Status::corruption("receipt: bad log address");
+        log.address = Address::fromBytes(log_item.items[0].str);
+        if (!log_item.items[1].is_list)
+            return Status::corruption("receipt: topics not a list");
+        for (const RlpItem &topic : log_item.items[1].items) {
+            if (topic.str.size() != 32)
+                return Status::corruption("receipt: bad topic");
+            log.topics.push_back(Hash256::fromBytes(topic.str));
+        }
+        log.data = log_item.items[2].str;
+        receipt.logs.push_back(std::move(log));
+    }
+    return receipt;
+}
+
+} // namespace ethkv::eth

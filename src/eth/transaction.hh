@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Transactions and receipts.
+ *
+ * Transactions drive every workload pattern the paper analyzes: a
+ * transfer touches two accounts; a contract call additionally reads
+ * code and reads/writes storage slots; execution outcomes land in
+ * receipts (the BlockReceipts class, avg 74.2 KiB per block in
+ * Table I) and the TxLookup index.
+ */
+
+#ifndef ETHKV_ETH_TRANSACTION_HH
+#define ETHKV_ETH_TRANSACTION_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/rlp.hh"
+#include "common/status.hh"
+#include "eth/bloom.hh"
+#include "eth/types.hh"
+
+namespace ethkv::eth
+{
+
+/** A legacy-format transaction (sufficient for workload shape). */
+struct Transaction
+{
+    uint64_t nonce = 0;
+    uint64_t gas_price = 0;
+    uint64_t gas_limit = 21000;
+    std::optional<Address> to; //!< Absent for contract creation.
+    uint64_t value = 0;
+    Bytes data;
+    Address from; //!< Recovered sender (carried explicitly here).
+
+    /** RLP encode (sender appended; the sim carries it inline). */
+    Bytes encode() const;
+
+    static Result<Transaction> decode(BytesView data);
+
+    /** Transaction hash: keccak256 of the encoding. */
+    Hash256 hash() const;
+
+    bool isCreation() const { return !to.has_value(); }
+
+    bool operator==(const Transaction &) const = default;
+};
+
+/** One log record emitted by contract execution. */
+struct Log
+{
+    Address address;
+    std::vector<Hash256> topics;
+    Bytes data;
+
+    bool operator==(const Log &) const = default;
+};
+
+/** Execution outcome of one transaction. */
+struct Receipt
+{
+    bool success = true;
+    uint64_t cumulative_gas = 0;
+    LogsBloom bloom;
+    std::vector<Log> logs;
+
+    /** Populate the bloom from the logs. */
+    void buildBloom();
+
+    Bytes encode() const;
+
+    static Result<Receipt> decode(BytesView data);
+
+    bool operator==(const Receipt &) const = default;
+};
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_ETH_TRANSACTION_HH

@@ -1,0 +1,31 @@
+#include "eth/types.hh"
+
+#include "common/rlp.hh"
+
+namespace ethkv::eth
+{
+
+Hash256
+emptyCodeHash()
+{
+    static const Hash256 h = hashOf("");
+    return h;
+}
+
+Hash256
+emptyTrieRoot()
+{
+    static const Hash256 h = hashOf(rlpEncodeString(""));
+    return h;
+}
+
+Address
+contractAddress(const Address &sender, uint64_t nonce)
+{
+    Bytes seed = sender.toBytes();
+    appendBE64(seed, nonce);
+    Hash256 h = hashOf(seed);
+    return Address::fromBytes(h.view().substr(0, 20));
+}
+
+} // namespace ethkv::eth

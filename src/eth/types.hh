@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Core Ethereum value types: addresses and 256-bit hashes.
+ *
+ * Amounts (balances, gas) are modeled as uint64 rather than the
+ * protocol's u256 — the storage workload depends on encoded byte
+ * sizes and access patterns, not on arithmetic range, and RLP
+ * big-endian encoding is identical in form (documented in
+ * DESIGN.md).
+ */
+
+#ifndef ETHKV_ETH_TYPES_HH
+#define ETHKV_ETH_TYPES_HH
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hh"
+#include "common/keccak.hh"
+#include "common/logging.hh"
+
+namespace ethkv::eth
+{
+
+/** A fixed-width big-endian byte value (address or hash). */
+template <size_t N>
+struct FixedBytes
+{
+    std::array<uint8_t, N> data{};
+
+    constexpr FixedBytes() = default;
+
+    /** Construct from exactly N raw bytes. */
+    static FixedBytes
+    fromBytes(BytesView raw)
+    {
+        FixedBytes out;
+        if (raw.size() != N)
+            panic("FixedBytes: expected %zu bytes, got %zu", N,
+                  raw.size());
+        for (size_t i = 0; i < N; ++i)
+            out.data[i] = static_cast<uint8_t>(raw[i]);
+        return out;
+    }
+
+    /** Low-entropy deterministic construction from an integer id. */
+    static FixedBytes
+    fromId(uint64_t id)
+    {
+        // Hash so ids spread uniformly over the key space, the way
+        // real keccak-derived keys do.
+        Bytes seed = "fixedbytes";
+        appendBE64(seed, id);
+        appendBE64(seed, N);
+        Digest256 d = keccak256(seed);
+        FixedBytes out;
+        for (size_t i = 0; i < N; ++i)
+            out.data[i] = d[i % 32];
+        return out;
+    }
+
+    Bytes
+    toBytes() const
+    {
+        return Bytes(reinterpret_cast<const char *>(data.data()), N);
+    }
+
+    BytesView
+    view() const
+    {
+        return BytesView(
+            reinterpret_cast<const char *>(data.data()), N);
+    }
+
+    std::string hex() const { return toHex(view()); }
+
+    bool isZero() const
+    {
+        for (uint8_t b : data)
+            if (b)
+                return false;
+        return true;
+    }
+
+    auto operator<=>(const FixedBytes &) const = default;
+};
+
+/** A 20-byte account address. */
+using Address = FixedBytes<20>;
+
+/** A 32-byte Keccak-256 hash. */
+using Hash256 = FixedBytes<32>;
+
+/** Keccak-256 of arbitrary bytes as a Hash256. */
+inline Hash256
+hashOf(BytesView data)
+{
+    Digest256 d = ethkv::keccak256(data);
+    Hash256 h;
+    std::copy(d.begin(), d.end(), h.data.begin());
+    return h;
+}
+
+/** Hash of the empty string: empty code hash sentinel. */
+Hash256 emptyCodeHash();
+
+/**
+ * Contract address derivation: keccak(sender || nonce) truncated
+ * to 20 bytes (shared by the client VM and the workload
+ * generator so both predict the same deployment addresses).
+ */
+Address contractAddress(const Address &sender, uint64_t nonce);
+
+/** Root hash of the empty trie: keccak256(rlp("")). */
+Hash256 emptyTrieRoot();
+
+} // namespace ethkv::eth
+
+namespace std
+{
+
+template <size_t N>
+struct hash<ethkv::eth::FixedBytes<N>>
+{
+    size_t
+    operator()(const ethkv::eth::FixedBytes<N> &v) const noexcept
+    {
+        // First 8 bytes are already uniformly distributed.
+        size_t out = 0;
+        for (size_t i = 0; i < 8 && i < N; ++i)
+            out = (out << 8) | v.data[i];
+        return out;
+    }
+};
+
+} // namespace std
+
+#endif // ETHKV_ETH_TYPES_HH

@@ -1,0 +1,357 @@
+#include "kvstore/btree_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ethkv::kv
+{
+
+struct BTreeStore::Node
+{
+    bool leaf;
+    Node *parent = nullptr;
+    std::vector<Bytes> keys;      //!< Records (leaf) or separators.
+    std::vector<Bytes> values;    //!< Leaf only; parallel to keys.
+    std::vector<Node *> children; //!< Internal only; keys.size()+1.
+    Node *next = nullptr;         //!< Leaf chain.
+    Node *prev = nullptr;
+
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+    size_t
+    indexInParent() const
+    {
+        for (size_t i = 0; i < parent->children.size(); ++i)
+            if (parent->children[i] == this)
+                return i;
+        panic("btree: node missing from parent");
+    }
+};
+
+BTreeStore::BTreeStore()
+{
+    root_ = new Node(true);
+}
+
+BTreeStore::~BTreeStore()
+{
+    destroy(root_);
+}
+
+void
+BTreeStore::destroy(Node *node)
+{
+    if (!node->leaf)
+        for (Node *child : node->children)
+            destroy(child);
+    delete node;
+}
+
+BTreeStore::Node *
+BTreeStore::findLeaf(BytesView key) const
+{
+    Node *node = root_;
+    while (!node->leaf) {
+        // Child i holds keys in [keys[i-1], keys[i]); descend into
+        // the child after the last separator <= key.
+        size_t idx = std::upper_bound(node->keys.begin(),
+                                      node->keys.end(), key) -
+                     node->keys.begin();
+        node = node->children[idx];
+    }
+    return node;
+}
+
+Status
+BTreeStore::put(BytesView key, BytesView value)
+{
+    ++stats_.user_writes;
+    stats_.bytes_written += key.size() + value.size();
+
+    Node *leaf = findLeaf(key);
+    auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    size_t idx = it - leaf->keys.begin();
+    if (it != leaf->keys.end() && BytesView(*it) == key) {
+        leaf->values[idx] = Bytes(value);
+        return Status::ok();
+    }
+    leaf->keys.insert(it, Bytes(key));
+    leaf->values.insert(leaf->values.begin() + idx, Bytes(value));
+    ++size_;
+
+    if (leaf->keys.size() > max_keys) {
+        // Split: right half moves to a new leaf.
+        Node *right = new Node(true);
+        size_t mid = leaf->keys.size() / 2;
+        right->keys.assign(leaf->keys.begin() + mid,
+                           leaf->keys.end());
+        right->values.assign(leaf->values.begin() + mid,
+                             leaf->values.end());
+        leaf->keys.resize(mid);
+        leaf->values.resize(mid);
+        right->next = leaf->next;
+        if (right->next)
+            right->next->prev = right;
+        right->prev = leaf;
+        leaf->next = right;
+        insertIntoParent(leaf, right->keys.front(), right);
+    }
+    return Status::ok();
+}
+
+void
+BTreeStore::insertIntoParent(Node *left, Bytes sep, Node *right)
+{
+    if (left == root_) {
+        Node *new_root = new Node(false);
+        new_root->keys.push_back(std::move(sep));
+        new_root->children = {left, right};
+        left->parent = new_root;
+        right->parent = new_root;
+        root_ = new_root;
+        return;
+    }
+
+    Node *parent = left->parent;
+    size_t pos = left->indexInParent();
+    parent->keys.insert(parent->keys.begin() + pos, std::move(sep));
+    parent->children.insert(parent->children.begin() + pos + 1,
+                            right);
+    right->parent = parent;
+
+    if (parent->keys.size() > max_keys) {
+        // Split the internal node; the middle separator moves up.
+        Node *sibling = new Node(false);
+        size_t mid = parent->keys.size() / 2;
+        Bytes up = std::move(parent->keys[mid]);
+        sibling->keys.assign(
+            std::make_move_iterator(parent->keys.begin() + mid + 1),
+            std::make_move_iterator(parent->keys.end()));
+        sibling->children.assign(parent->children.begin() + mid + 1,
+                                 parent->children.end());
+        for (Node *child : sibling->children)
+            child->parent = sibling;
+        parent->keys.resize(mid);
+        parent->children.resize(mid + 1);
+        insertIntoParent(parent, std::move(up), sibling);
+    }
+}
+
+Status
+BTreeStore::get(BytesView key, Bytes &value)
+{
+    ++stats_.user_reads;
+    Node *leaf = findLeaf(key);
+    auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || BytesView(*it) != key)
+        return Status::notFound();
+    value = leaf->values[it - leaf->keys.begin()];
+    stats_.bytes_read += key.size() + value.size();
+    return Status::ok();
+}
+
+Status
+BTreeStore::del(BytesView key)
+{
+    ++stats_.user_deletes;
+    Node *leaf = findLeaf(key);
+    auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || BytesView(*it) != key)
+        return Status::ok();
+    removeFromLeaf(leaf, it - leaf->keys.begin());
+    return Status::ok();
+}
+
+void
+BTreeStore::removeFromLeaf(Node *leaf, size_t idx)
+{
+    leaf->keys.erase(leaf->keys.begin() + idx);
+    leaf->values.erase(leaf->values.begin() + idx);
+    --size_;
+    if (leaf != root_ && leaf->keys.size() < min_keys)
+        rebalance(leaf);
+}
+
+void
+BTreeStore::rebalance(Node *node)
+{
+    Node *parent = node->parent;
+    size_t pos = node->indexInParent();
+    Node *left =
+        pos > 0 ? parent->children[pos - 1] : nullptr;
+    Node *right = pos + 1 < parent->children.size()
+                      ? parent->children[pos + 1]
+                      : nullptr;
+
+    // Borrow from a sibling with spare keys.
+    if (left && left->keys.size() > min_keys) {
+        if (node->leaf) {
+            node->keys.insert(node->keys.begin(),
+                              std::move(left->keys.back()));
+            node->values.insert(node->values.begin(),
+                                std::move(left->values.back()));
+            left->keys.pop_back();
+            left->values.pop_back();
+            parent->keys[pos - 1] = node->keys.front();
+        } else {
+            node->keys.insert(node->keys.begin(),
+                              std::move(parent->keys[pos - 1]));
+            parent->keys[pos - 1] = std::move(left->keys.back());
+            left->keys.pop_back();
+            Node *moved = left->children.back();
+            left->children.pop_back();
+            moved->parent = node;
+            node->children.insert(node->children.begin(), moved);
+        }
+        return;
+    }
+    if (right && right->keys.size() > min_keys) {
+        if (node->leaf) {
+            node->keys.push_back(std::move(right->keys.front()));
+            node->values.push_back(std::move(right->values.front()));
+            right->keys.erase(right->keys.begin());
+            right->values.erase(right->values.begin());
+            parent->keys[pos] = right->keys.front();
+        } else {
+            node->keys.push_back(std::move(parent->keys[pos]));
+            parent->keys[pos] = std::move(right->keys.front());
+            right->keys.erase(right->keys.begin());
+            Node *moved = right->children.front();
+            right->children.erase(right->children.begin());
+            moved->parent = node;
+            node->children.push_back(moved);
+        }
+        return;
+    }
+
+    // Merge with a sibling: fold the right-hand node into the
+    // left-hand one and drop the separator.
+    Node *dst = left ? left : node;
+    Node *src = left ? node : right;
+    size_t sep_idx = left ? pos - 1 : pos;
+
+    if (dst->leaf) {
+        dst->keys.insert(dst->keys.end(),
+                         std::make_move_iterator(src->keys.begin()),
+                         std::make_move_iterator(src->keys.end()));
+        dst->values.insert(
+            dst->values.end(),
+            std::make_move_iterator(src->values.begin()),
+            std::make_move_iterator(src->values.end()));
+        dst->next = src->next;
+        if (dst->next)
+            dst->next->prev = dst;
+    } else {
+        dst->keys.push_back(std::move(parent->keys[sep_idx]));
+        dst->keys.insert(dst->keys.end(),
+                         std::make_move_iterator(src->keys.begin()),
+                         std::make_move_iterator(src->keys.end()));
+        for (Node *child : src->children)
+            child->parent = dst;
+        dst->children.insert(dst->children.end(),
+                             src->children.begin(),
+                             src->children.end());
+    }
+    parent->keys.erase(parent->keys.begin() + sep_idx);
+    parent->children.erase(parent->children.begin() + sep_idx + 1);
+    delete src;
+
+    if (parent == root_) {
+        if (parent->keys.empty()) {
+            root_ = dst;
+            dst->parent = nullptr;
+            delete parent;
+        }
+        return;
+    }
+    if (parent->keys.size() < min_keys)
+        rebalance(parent);
+}
+
+Status
+BTreeStore::scan(BytesView start, BytesView end,
+                 const ScanCallback &cb)
+{
+    ++stats_.user_scans;
+    Node *leaf = findLeaf(start);
+    auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), start);
+    size_t idx = it - leaf->keys.begin();
+    while (leaf) {
+        for (; idx < leaf->keys.size(); ++idx) {
+            if (!end.empty() && BytesView(leaf->keys[idx]) >= end)
+                return Status::ok();
+            stats_.bytes_read +=
+                leaf->keys[idx].size() + leaf->values[idx].size();
+            if (!cb(leaf->keys[idx], leaf->values[idx]))
+                return Status::ok();
+        }
+        leaf = leaf->next;
+        idx = 0;
+    }
+    return Status::ok();
+}
+
+Status
+BTreeStore::flush()
+{
+    return Status::ok();
+}
+
+int
+BTreeStore::height() const
+{
+    int h = 1;
+    const Node *node = root_;
+    while (!node->leaf) {
+        node = node->children.front();
+        ++h;
+    }
+    return h;
+}
+
+void
+BTreeStore::checkNode(const Node *node, int depth,
+                      int leaf_depth) const
+{
+    if (!std::is_sorted(node->keys.begin(), node->keys.end()))
+        panic("btree: unsorted keys in node");
+    if (node != root_ && node->keys.size() < min_keys)
+        panic("btree: underfull node");
+    if (node->keys.size() > max_keys)
+        panic("btree: overfull node");
+    if (node->leaf) {
+        if (depth != leaf_depth)
+            panic("btree: leaves at different depths");
+        if (node->keys.size() != node->values.size())
+            panic("btree: leaf key/value mismatch");
+        return;
+    }
+    if (node->children.size() != node->keys.size() + 1)
+        panic("btree: child count mismatch");
+    for (size_t i = 0; i < node->children.size(); ++i) {
+        const Node *child = node->children[i];
+        if (child->parent != node)
+            panic("btree: bad parent pointer");
+        if (i > 0 && child->keys.front() < node->keys[i - 1])
+            panic("btree: child below separator");
+        if (i < node->keys.size() &&
+            child->keys.back() >= node->keys[i]) {
+            panic("btree: child above separator");
+        }
+        checkNode(child, depth + 1, leaf_depth);
+    }
+}
+
+void
+BTreeStore::checkInvariants() const
+{
+    int leaf_depth = height();
+    checkNode(root_, 1, leaf_depth);
+}
+
+} // namespace ethkv::kv

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * In-memory B+-tree engine.
+ *
+ * The paper's design principles suggest a B+-tree (or LSM) index for
+ * the few classes that actually scan (BlockHeader, SnapshotAccount,
+ * SnapshotStorage). This is a real B+-tree — sorted leaves linked
+ * for range scans, internal nodes split/merged on the way — not a
+ * std::map facade, so the hybrid-store ablation exercises realistic
+ * ordered-index maintenance costs.
+ */
+
+#ifndef ETHKV_KVSTORE_BTREE_STORE_HH
+#define ETHKV_KVSTORE_BTREE_STORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::kv
+{
+
+/**
+ * B+-tree keyed by byte strings, fanout-bounded nodes.
+ */
+class BTreeStore : public KVStore
+{
+  public:
+    BTreeStore();
+    ~BTreeStore() override;
+
+    Status put(BytesView key, BytesView value) override;
+    Status get(BytesView key, Bytes &value) override;
+    Status del(BytesView key) override;
+    Status scan(BytesView start, BytesView end,
+                const ScanCallback &cb) override;
+    Status flush() override;
+    const IOStats &stats() const override { return stats_; }
+    std::string name() const override { return "btree"; }
+    uint64_t liveKeyCount() override { return size_; }
+
+    /** Height of the tree (1 = root is a leaf); diagnostics. */
+    int height() const;
+
+    /** Verify structural invariants; panics on violation (tests). */
+    void checkInvariants() const;
+
+    static constexpr size_t max_keys = 64;
+    static constexpr size_t min_keys = max_keys / 2;
+
+  private:
+    struct Node;
+
+    Node *findLeaf(BytesView key) const;
+    void insertIntoParent(Node *left, Bytes sep, Node *right);
+    void removeFromLeaf(Node *leaf, size_t idx);
+    void rebalance(Node *node);
+    void destroy(Node *node);
+    void checkNode(const Node *node, int depth, int leaf_depth) const;
+
+    Node *root_;
+    uint64_t size_ = 0;
+    IOStats stats_;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_BTREE_STORE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal LSM entry types shared by memtables, SSTables, and
+ * iterators.
+ */
+
+#ifndef ETHKV_KVSTORE_ENTRY_HH
+#define ETHKV_KVSTORE_ENTRY_HH
+
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace ethkv::kv
+{
+
+/** Record type of an internal LSM entry. */
+enum class EntryType : uint8_t
+{
+    Put = 0,
+    Tombstone = 1,
+};
+
+/** One internal entry: the unit flushed to and stored in SSTables. */
+struct InternalEntry
+{
+    Bytes key;
+    Bytes value;   //!< Empty for tombstones.
+    uint64_t seq;  //!< Monotone per-store sequence number.
+    EntryType type;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_ENTRY_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hash-based KV engine with in-place deletes.
+ *
+ * Finding 5 recommends hash-based storage with in-place deletion for
+ * delete-heavy, scan-free classes: no tombstones, no compaction, no
+ * order maintenance. This engine provides exactly that contract —
+ * and returns NotSupported from scan(), which is the deliberate
+ * trade-off the hybrid router exploits.
+ */
+
+#ifndef ETHKV_KVSTORE_HASH_STORE_HH
+#define ETHKV_KVSTORE_HASH_STORE_HH
+
+#include <unordered_map>
+
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::kv
+{
+
+/** Unordered in-place engine; write amplification is exactly 1. */
+class HashStore : public KVStore
+{
+  public:
+    Status
+    put(BytesView key, BytesView value) override
+    {
+        ++stats_.user_writes;
+        stats_.bytes_written += key.size() + value.size();
+        map_[Bytes(key)] = Bytes(value);
+        return Status::ok();
+    }
+
+    Status
+    get(BytesView key, Bytes &value) override
+    {
+        ++stats_.user_reads;
+        auto it = map_.find(Bytes(key));
+        if (it == map_.end())
+            return Status::notFound();
+        value = it->second;
+        stats_.bytes_read += key.size() + value.size();
+        return Status::ok();
+    }
+
+    Status
+    del(BytesView key) override
+    {
+        ++stats_.user_deletes;
+        map_.erase(Bytes(key)); // in place: no tombstone, no rewrite
+        return Status::ok();
+    }
+
+    Status
+    scan(BytesView, BytesView, const ScanCallback &) override
+    {
+        ++stats_.user_scans;
+        return Status::notSupported("hash store has no key order");
+    }
+
+    Status flush() override { return Status::ok(); }
+
+    const IOStats &stats() const override { return stats_; }
+
+    std::string name() const override { return "hash"; }
+
+    uint64_t liveKeyCount() override { return map_.size(); }
+
+  private:
+    std::unordered_map<Bytes, Bytes> map_;
+    IOStats stats_;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_HASH_STORE_HH

@@ -1,0 +1,25 @@
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::kv
+{
+
+Status
+KVStore::apply(const WriteBatch &batch)
+{
+    for (const BatchEntry &e : batch.entries()) {
+        Status s = e.op == BatchOp::Put ? put(e.key, e.value)
+                                        : del(e.key);
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+bool
+KVStore::contains(BytesView key)
+{
+    Bytes value;
+    return get(key, value).isOk();
+}
+
+} // namespace ethkv::kv

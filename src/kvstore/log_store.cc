@@ -1,0 +1,178 @@
+#include "kvstore/log_store.hh"
+
+#include "common/logging.hh"
+
+namespace ethkv::kv
+{
+
+AppendLogStore::AppendLogStore(LogStoreOptions options)
+    : options_(std::move(options))
+{
+    segments_.push_back(Segment{next_segment_id_++, {}, 0, 0, false});
+}
+
+AppendLogStore::Segment &
+AppendLogStore::activeSegment()
+{
+    return segments_.back();
+}
+
+AppendLogStore::Segment *
+AppendLogStore::findSegment(uint64_t id)
+{
+    for (Segment &seg : segments_)
+        if (seg.id == id)
+            return &seg;
+    return nullptr;
+}
+
+Status
+AppendLogStore::put(BytesView key, BytesView value)
+{
+    ++stats_.user_writes;
+    uint64_t bytes = key.size() + value.size();
+    stats_.bytes_written += bytes;
+
+    // Mark any older version dead.
+    auto it = index_.find(Bytes(key));
+    if (it != index_.end()) {
+        Segment *old = findSegment(it->second.segment_id);
+        if (old) {
+            old->dead_bytes += it->second.bytes;
+            old->live_bytes -= it->second.bytes;
+        }
+    }
+
+    Segment &seg = activeSegment();
+    seg.records.push_back({Bytes(key), Bytes(value)});
+    seg.live_bytes += bytes;
+    index_[Bytes(key)] =
+        IndexEntry{seg.id, seg.records.size() - 1, bytes};
+
+    sealIfFull();
+    maybeGc();
+    return Status::ok();
+}
+
+Status
+AppendLogStore::get(BytesView key, Bytes &value)
+{
+    ++stats_.user_reads;
+    auto it = index_.find(Bytes(key));
+    if (it == index_.end())
+        return Status::notFound();
+    Segment *seg = findSegment(it->second.segment_id);
+    if (!seg)
+        panic("log store: index points at missing segment");
+    const Record &rec = seg->records[it->second.record_idx];
+    value = rec.value;
+    stats_.bytes_read += rec.key.size() + rec.value.size();
+    return Status::ok();
+}
+
+Status
+AppendLogStore::del(BytesView key)
+{
+    ++stats_.user_deletes;
+    auto it = index_.find(Bytes(key));
+    if (it == index_.end())
+        return Status::ok();
+    Segment *seg = findSegment(it->second.segment_id);
+    if (seg) {
+        seg->dead_bytes += it->second.bytes;
+        seg->live_bytes -= it->second.bytes;
+    }
+    index_.erase(it);
+    maybeGc();
+    return Status::ok();
+}
+
+Status
+AppendLogStore::scan(BytesView, BytesView, const ScanCallback &)
+{
+    ++stats_.user_scans;
+    return Status::notSupported("log store has no key order");
+}
+
+Status
+AppendLogStore::flush()
+{
+    return Status::ok();
+}
+
+void
+AppendLogStore::sealIfFull()
+{
+    Segment &seg = activeSegment();
+    if (seg.live_bytes + seg.dead_bytes >= options_.segment_bytes) {
+        seg.sealed = true;
+        segments_.push_back(
+            Segment{next_segment_id_++, {}, 0, 0, false});
+    }
+}
+
+void
+AppendLogStore::maybeGc()
+{
+    for (size_t i = 0; i < segments_.size(); ++i) {
+        Segment &seg = segments_[i];
+        if (!seg.sealed)
+            continue;
+        uint64_t total = seg.live_bytes + seg.dead_bytes;
+        if (total == 0 ||
+            static_cast<double>(seg.dead_bytes) /
+                    static_cast<double>(total) >=
+                options_.gc_dead_ratio) {
+            gcSegment(i);
+            // Segment indices shifted; one GC per trigger is enough
+            // to bound work per operation.
+            return;
+        }
+    }
+}
+
+void
+AppendLogStore::gcSegment(size_t segment_pos)
+{
+    ++stats_.gc_runs;
+    Segment seg = std::move(segments_[segment_pos]);
+    segments_.erase(segments_.begin() +
+                    static_cast<long>(segment_pos));
+
+    // Re-append live records; dead ones vanish with the segment.
+    for (size_t idx = 0; idx < seg.records.size(); ++idx) {
+        Record &rec = seg.records[idx];
+        auto it = index_.find(rec.key);
+        if (it == index_.end() || it->second.segment_id != seg.id ||
+            it->second.record_idx != idx) {
+            continue; // dead or superseded
+        }
+        uint64_t bytes = rec.key.size() + rec.value.size();
+        stats_.gc_bytes += bytes;
+        stats_.bytes_written += bytes;
+        Segment &active = activeSegment();
+        active.records.push_back(std::move(rec));
+        active.live_bytes += bytes;
+        index_[active.records.back().key] =
+            IndexEntry{active.id, active.records.size() - 1, bytes};
+        // Seal inline if GC itself fills the active segment, but do
+        // not recurse into GC.
+        if (active.live_bytes + active.dead_bytes >=
+            options_.segment_bytes) {
+            active.sealed = true;
+            segments_.push_back(
+                Segment{next_segment_id_++, {}, 0, 0, false});
+        }
+    }
+}
+
+uint64_t
+AppendLogStore::residentBytes() const
+{
+    uint64_t total = 0;
+    for (const Segment &seg : segments_)
+        total += seg.live_bytes + seg.dead_bytes;
+    return total;
+}
+
+} // namespace ethkv::kv

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Append-only log engine with batched garbage collection.
+ *
+ * Section V of the paper proposes storing high-deletion classes
+ * (TxLookup) and immutable block data (BlockHeader/Body/Receipts) in
+ * append-only logs so that deletions become cheap index drops whose
+ * space is reclaimed in batches — no LSM tombstones, no compaction
+ * ordering work. This engine implements that design: records append
+ * to the active segment; a hash index maps keys to live records;
+ * sealed segments whose dead ratio crosses a threshold are rewritten
+ * wholesale (the batched GC).
+ */
+
+#ifndef ETHKV_KVSTORE_LOG_STORE_HH
+#define ETHKV_KVSTORE_LOG_STORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::kv
+{
+
+/** Tuning knobs for an AppendLogStore. */
+struct LogStoreOptions
+{
+    uint64_t segment_bytes = 1u << 20; //!< Seal threshold.
+    double gc_dead_ratio = 0.5;        //!< GC trigger per segment.
+};
+
+/**
+ * Append-only segmented log with an in-memory key index.
+ *
+ * Scans are unsupported (the router sends scan classes elsewhere).
+ */
+class AppendLogStore : public KVStore
+{
+  public:
+    explicit AppendLogStore(LogStoreOptions options = {});
+
+    Status put(BytesView key, BytesView value) override;
+    Status get(BytesView key, Bytes &value) override;
+    Status del(BytesView key) override;
+    Status scan(BytesView start, BytesView end,
+                const ScanCallback &cb) override;
+    Status flush() override;
+    const IOStats &stats() const override { return stats_; }
+    std::string name() const override { return "log"; }
+    uint64_t liveKeyCount() override { return index_.size(); }
+
+    /** Number of segments currently held (incl. the active one). */
+    size_t segmentCount() const { return segments_.size(); }
+
+    /** Total bytes currently occupied by all segments. */
+    uint64_t residentBytes() const;
+
+  private:
+    struct Record
+    {
+        Bytes key;
+        Bytes value;
+    };
+
+    struct Segment
+    {
+        uint64_t id;
+        std::deque<Record> records;
+        uint64_t live_bytes = 0;
+        uint64_t dead_bytes = 0;
+        bool sealed = false;
+    };
+
+    struct IndexEntry
+    {
+        uint64_t segment_id;
+        size_t record_idx;
+        uint64_t bytes; //!< key + value size, for dead accounting.
+    };
+
+    Segment &activeSegment();
+    void sealIfFull();
+    void maybeGc();
+    void gcSegment(size_t segment_pos);
+    Segment *findSegment(uint64_t id);
+
+    LogStoreOptions options_;
+    std::deque<Segment> segments_;
+    std::unordered_map<Bytes, IndexEntry> index_;
+    uint64_t next_segment_id_ = 0;
+    IOStats stats_;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_LOG_STORE_HH

@@ -1,0 +1,684 @@
+#include "kvstore/lsm_store.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "kvstore/internal_iterator.hh"
+
+namespace fs = std::filesystem;
+
+namespace ethkv::kv
+{
+
+LSMStore::LSMStore(LSMOptions options)
+    : options_(std::move(options)),
+      memtable_(std::make_unique<MemTable>()),
+      levels_(max_levels)
+{}
+
+LSMStore::~LSMStore()
+{
+    // Best effort: make buffered writes durable on clean shutdown.
+    if (wal_)
+        wal_->sync();
+}
+
+std::string
+LSMStore::tablePath(uint64_t file_no) const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/%06" PRIu64 ".sst", file_no);
+    return options_.dir + buf;
+}
+
+std::string
+LSMStore::walPath() const
+{
+    return options_.dir + "/wal.log";
+}
+
+std::string
+LSMStore::manifestPath() const
+{
+    return options_.dir + "/MANIFEST";
+}
+
+Result<std::unique_ptr<LSMStore>>
+LSMStore::open(const LSMOptions &options)
+{
+    if (options.dir.empty())
+        return Status::invalidArgument("lsm: empty directory");
+    std::error_code ec;
+    fs::create_directories(options.dir, ec);
+    if (ec)
+        return Status::ioError("lsm: cannot create " + options.dir);
+
+    auto store =
+        std::unique_ptr<LSMStore>(new LSMStore(options));
+    Status s = store->recover();
+    if (!s.isOk())
+        return s;
+    return store;
+}
+
+Status
+LSMStore::openTable(int level, uint64_t file_no)
+{
+    auto reader = SSTableReader::open(tablePath(file_no));
+    if (!reader.ok())
+        return reader.status();
+    levels_[level].push_back({file_no, reader.take()});
+    return Status::ok();
+}
+
+Status
+LSMStore::recover()
+{
+    // Manifest: plain text, one directive per line.
+    std::FILE *mf = std::fopen(manifestPath().c_str(), "r");
+    if (mf) {
+        char line[128];
+        while (std::fgets(line, sizeof(line), mf)) {
+            uint64_t a, b;
+            if (std::sscanf(line, "next_file %" SCNu64, &a) == 1) {
+                next_file_no_ = a;
+            } else if (std::sscanf(line, "seq %" SCNu64, &a) == 1) {
+                seq_ = a;
+            } else if (std::sscanf(line, "file %" SCNu64 " %" SCNu64,
+                                   &a, &b) == 2) {
+                if (a >= max_levels) {
+                    std::fclose(mf);
+                    return Status::corruption(
+                        "lsm: manifest level out of range");
+                }
+                Status s = openTable(static_cast<int>(a), b);
+                if (!s.isOk()) {
+                    std::fclose(mf);
+                    return s;
+                }
+            }
+        }
+        std::fclose(mf);
+    }
+
+    // L0 is searched newest-first; deeper levels are ordered by key.
+    std::sort(levels_[0].begin(), levels_[0].end(),
+              [](const TableHandle &x, const TableHandle &y) {
+                  return x.file_no > y.file_no;
+              });
+    for (int level = 1; level < max_levels; ++level) {
+        std::sort(levels_[level].begin(), levels_[level].end(),
+                  [](const TableHandle &x, const TableHandle &y) {
+                      return x.reader->props().smallest_key <
+                             y.reader->props().smallest_key;
+                  });
+    }
+
+    // Replay the WAL into a fresh memtable.
+    Status s = WriteAheadLog::replay(
+        walPath(), [this](const WriteBatch &batch, uint64_t first_seq) {
+            uint64_t seq = first_seq;
+            for (const BatchEntry &e : batch.entries()) {
+                memtable_->add(e.key, e.value, seq,
+                               e.op == BatchOp::Put
+                                   ? EntryType::Put
+                                   : EntryType::Tombstone);
+                ++seq;
+            }
+            if (seq > seq_)
+                seq_ = seq;
+        });
+    if (!s.isOk())
+        return s;
+
+    auto wal = WriteAheadLog::open(walPath());
+    if (!wal.ok())
+        return wal.status();
+    wal_ = wal.take();
+    return Status::ok();
+}
+
+Status
+LSMStore::persistManifest()
+{
+    std::string tmp = manifestPath() + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return Status::ioError("lsm: manifest open failed");
+    std::fprintf(f, "ethkv-manifest v1\n");
+    std::fprintf(f, "next_file %" PRIu64 "\n", next_file_no_);
+    std::fprintf(f, "seq %" PRIu64 "\n", seq_);
+    for (int level = 0; level < max_levels; ++level) {
+        for (const TableHandle &t : levels_[level]) {
+            std::fprintf(f, "file %d %" PRIu64 "\n", level,
+                         t.file_no);
+        }
+    }
+    if (std::fflush(f) != 0) {
+        std::fclose(f);
+        return Status::ioError("lsm: manifest flush failed");
+    }
+    std::fclose(f);
+    std::error_code ec;
+    fs::rename(tmp, manifestPath(), ec);
+    if (ec)
+        return Status::ioError("lsm: manifest rename failed");
+    return Status::ok();
+}
+
+Status
+LSMStore::put(BytesView key, BytesView value)
+{
+    WriteBatch batch;
+    batch.put(key, value);
+    return apply(batch);
+}
+
+Status
+LSMStore::del(BytesView key)
+{
+    WriteBatch batch;
+    batch.del(key);
+    return apply(batch);
+}
+
+Status
+LSMStore::apply(const WriteBatch &batch)
+{
+    if (batch.empty())
+        return Status::ok();
+    uint64_t first_seq = seq_ + 1;
+    Status s = wal_->append(batch, first_seq);
+    if (!s.isOk())
+        return s;
+    if (options_.sync_wal) {
+        s = wal_->sync();
+        if (!s.isOk())
+            return s;
+    }
+    for (const BatchEntry &e : batch.entries()) {
+        ++seq_;
+        if (e.op == BatchOp::Put) {
+            ++stats_.user_writes;
+            memtable_->add(e.key, e.value, seq_, EntryType::Put);
+        } else {
+            ++stats_.user_deletes;
+            ++stats_.tombstones_written;
+            memtable_->add(e.key, Bytes(), seq_,
+                           EntryType::Tombstone);
+        }
+        stats_.bytes_written += e.key.size() + e.value.size();
+    }
+    return maybeFlushMemtable();
+}
+
+Status
+LSMStore::get(BytesView key, Bytes &value)
+{
+    ++stats_.user_reads;
+
+    InternalEntry entry;
+    if (memtable_->get(key, entry)) {
+        if (entry.type == EntryType::Tombstone)
+            return Status::notFound();
+        value = entry.value;
+        return Status::ok();
+    }
+
+    // L0: newest first; files may overlap.
+    for (const TableHandle &t : levels_[0]) {
+        Status s = t.reader->get(key, entry);
+        if (s.isOk()) {
+            if (entry.type == EntryType::Tombstone)
+                return Status::notFound();
+            value = entry.value;
+            return Status::ok();
+        }
+        if (!s.isNotFound())
+            return s;
+    }
+
+    // Deeper levels: at most one candidate file per level.
+    for (int level = 1; level < max_levels; ++level) {
+        const auto &files = levels_[level];
+        if (files.empty())
+            continue;
+        // Last file whose smallest key <= key.
+        size_t lo = 0, hi = files.size();
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (BytesView(files[mid].reader->props().smallest_key) <=
+                key) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if (lo == 0)
+            continue;
+        const TableHandle &t = files[lo - 1];
+        if (key > BytesView(t.reader->props().largest_key))
+            continue;
+        Status s = t.reader->get(key, entry);
+        if (s.isOk()) {
+            if (entry.type == EntryType::Tombstone)
+                return Status::notFound();
+            value = entry.value;
+            return Status::ok();
+        }
+        if (!s.isNotFound())
+            return s;
+    }
+    return Status::notFound();
+}
+
+Status
+LSMStore::scan(BytesView start, BytesView end, const ScanCallback &cb)
+{
+    ++stats_.user_scans;
+
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(memtable_->newIterator());
+    for (const TableHandle &t : levels_[0])
+        sources.push_back(t.reader->newIterator());
+    for (int level = 1; level < max_levels; ++level) {
+        for (const TableHandle &t : levels_[level]) {
+            const SSTableProps &p = t.reader->props();
+            if (!end.empty() && BytesView(p.smallest_key) >= end)
+                continue;
+            if (BytesView(p.largest_key) < start)
+                continue;
+            sources.push_back(t.reader->newIterator());
+        }
+    }
+
+    MergingIterator merged(std::move(sources));
+    merged.seek(start);
+    while (merged.valid()) {
+        const InternalEntry &e = merged.entry();
+        if (!end.empty() && BytesView(e.key) >= end)
+            break;
+        if (e.type == EntryType::Put) {
+            if (!cb(e.key, e.value))
+                break;
+        }
+        merged.next();
+    }
+    return Status::ok();
+}
+
+Status
+LSMStore::maybeFlushMemtable()
+{
+    if (memtable_->approximateBytes() < options_.memtable_bytes)
+        return Status::ok();
+    return flushMemtable();
+}
+
+Status
+LSMStore::flushMemtable()
+{
+    if (memtable_->empty())
+        return Status::ok();
+
+    uint64_t file_no = next_file_no_++;
+    auto writer =
+        SSTableWriter::create(tablePath(file_no),
+                              memtable_->entryCount());
+    if (!writer.ok())
+        return writer.status();
+
+    Status add_status = Status::ok();
+    memtable_->forEach(
+        BytesView(), BytesView(),
+        [&](const InternalEntry &e) {
+            add_status = writer.value()->add(e);
+            return add_status.isOk();
+        });
+    if (!add_status.isOk())
+        return add_status;
+    Status s = writer.value()->finish();
+    if (!s.isOk())
+        return s;
+
+    uint64_t file_bytes = writer.value()->fileBytes();
+    stats_.flush_bytes += file_bytes;
+    stats_.bytes_written += file_bytes;
+
+    s = openTable(0, file_no);
+    if (!s.isOk())
+        return s;
+    // Keep newest-first order at L0.
+    std::rotate(levels_[0].begin(), levels_[0].end() - 1,
+                levels_[0].end());
+
+    memtable_ = std::make_unique<MemTable>();
+    s = persistManifest();
+    if (!s.isOk())
+        return s;
+    s = wal_->reset();
+    if (!s.isOk())
+        return s;
+    return maybeCompact();
+}
+
+Status
+LSMStore::flush()
+{
+    Status s = flushMemtable();
+    if (!s.isOk())
+        return s;
+    return wal_->sync();
+}
+
+uint64_t
+LSMStore::levelBytes(int level) const
+{
+    uint64_t total = 0;
+    for (const TableHandle &t : levels_[level])
+        total += t.reader->fileBytes();
+    return total;
+}
+
+uint64_t
+LSMStore::levelLimit(int level) const
+{
+    double limit = static_cast<double>(options_.level_base_bytes);
+    for (int i = 1; i < level; ++i)
+        limit *= options_.level_multiplier;
+    return static_cast<uint64_t>(limit);
+}
+
+Status
+LSMStore::maybeCompact()
+{
+    if (in_compaction_)
+        return Status::ok();
+    in_compaction_ = true;
+    Status result = Status::ok();
+    bool progressed = true;
+    while (progressed && result.isOk()) {
+        progressed = false;
+        if (levels_[0].size() >=
+            static_cast<size_t>(options_.l0_compaction_trigger)) {
+            result = compactL0();
+            progressed = true;
+            continue;
+        }
+        for (int level = 1; level < max_levels - 1; ++level) {
+            if (!levels_[level].empty() &&
+                levelBytes(level) > levelLimit(level)) {
+                result = compactLevel(level);
+                progressed = true;
+                break;
+            }
+        }
+    }
+    in_compaction_ = false;
+    return result;
+}
+
+bool
+LSMStore::bottommostForRange(int level, BytesView smallest,
+                             BytesView largest) const
+{
+    for (int deeper = level + 1; deeper < max_levels; ++deeper) {
+        for (const TableHandle &t : levels_[deeper]) {
+            const SSTableProps &p = t.reader->props();
+            if (BytesView(p.largest_key) < smallest)
+                continue;
+            if (BytesView(p.smallest_key) > largest)
+                continue;
+            return false;
+        }
+    }
+    return true;
+}
+
+Status
+LSMStore::compactL0()
+{
+    std::vector<std::pair<int, size_t>> inputs;
+    Bytes smallest, largest;
+    bool first = true;
+    for (size_t i = 0; i < levels_[0].size(); ++i) {
+        const SSTableProps &p = levels_[0][i].reader->props();
+        if (first || p.smallest_key < smallest)
+            smallest = p.smallest_key;
+        if (first || p.largest_key > largest)
+            largest = p.largest_key;
+        first = false;
+        inputs.emplace_back(0, i);
+    }
+    for (size_t i = 0; i < levels_[1].size(); ++i) {
+        const SSTableProps &p = levels_[1][i].reader->props();
+        if (BytesView(p.largest_key) < BytesView(smallest) ||
+            BytesView(p.smallest_key) > BytesView(largest)) {
+            continue;
+        }
+        inputs.emplace_back(1, i);
+    }
+    return mergeTables(inputs, 1);
+}
+
+Status
+LSMStore::compactLevel(int level)
+{
+    // Pick the file with the smallest key (simple deterministic
+    // rotation) plus everything it overlaps one level down.
+    std::vector<std::pair<int, size_t>> inputs;
+    inputs.emplace_back(level, 0);
+    const SSTableProps &p = levels_[level][0].reader->props();
+    for (size_t i = 0; i < levels_[level + 1].size(); ++i) {
+        const SSTableProps &q = levels_[level + 1][i].reader->props();
+        if (BytesView(q.largest_key) < BytesView(p.smallest_key) ||
+            BytesView(q.smallest_key) > BytesView(p.largest_key)) {
+            continue;
+        }
+        inputs.emplace_back(level + 1, i);
+    }
+    return mergeTables(inputs, level + 1);
+}
+
+Status
+LSMStore::mergeTables(
+    const std::vector<std::pair<int, size_t>> &inputs,
+    int target_level)
+{
+    if (inputs.empty())
+        return Status::ok();
+
+    ++stats_.compactions;
+
+    Bytes smallest, largest;
+    uint64_t input_entries = 0;
+    bool first = true;
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    for (auto [level, idx] : inputs) {
+        SSTableReader *reader = levels_[level][idx].reader.get();
+        const SSTableProps &p = reader->props();
+        if (first || p.smallest_key < smallest)
+            smallest = p.smallest_key;
+        if (first || p.largest_key > largest)
+            largest = p.largest_key;
+        first = false;
+        input_entries += p.entry_count;
+        sources.push_back(reader->newIterator());
+    }
+
+    bool drop_tombstones =
+        bottommostForRange(target_level, smallest, largest);
+
+    MergingIterator merged(std::move(sources));
+    merged.seek(BytesView());
+
+    std::vector<TableHandle> outputs;
+    std::unique_ptr<SSTableWriter> writer;
+    uint64_t new_bytes = 0;
+    std::vector<uint64_t> output_nos;
+
+    auto close_writer = [&]() -> Status {
+        if (!writer)
+            return Status::ok();
+        Status s = writer->finish();
+        if (!s.isOk())
+            return s;
+        new_bytes += writer->fileBytes();
+        writer.reset();
+        return Status::ok();
+    };
+
+    while (merged.valid()) {
+        const InternalEntry &e = merged.entry();
+        if (e.type == EntryType::Tombstone && drop_tombstones) {
+            ++stats_.tombstones_dropped;
+            merged.next();
+            continue;
+        }
+        if (!writer) {
+            uint64_t file_no = next_file_no_++;
+            output_nos.push_back(file_no);
+            auto w = SSTableWriter::create(tablePath(file_no),
+                                           input_entries);
+            if (!w.ok())
+                return w.status();
+            writer = w.take();
+        }
+        Status s = writer->add(e);
+        if (!s.isOk())
+            return s;
+        if (writer->props().data_bytes >
+            options_.target_file_bytes) {
+            s = close_writer();
+            if (!s.isOk())
+                return s;
+        }
+        merged.next();
+    }
+    Status s = close_writer();
+    if (!s.isOk())
+        return s;
+
+    stats_.compaction_bytes += new_bytes;
+    stats_.bytes_written += new_bytes;
+
+    // Retire inputs: capture read counters, remove handles, delete
+    // files. Remove by descending index within each level so the
+    // indices stay valid.
+    std::vector<std::pair<int, size_t>> sorted_inputs = inputs;
+    std::sort(sorted_inputs.begin(), sorted_inputs.end(),
+              [](const auto &x, const auto &y) {
+                  if (x.first != y.first)
+                      return x.first < y.first;
+                  return x.second > y.second;
+              });
+    for (auto [level, idx] : sorted_inputs) {
+        TableHandle &t = levels_[level][idx];
+        retired_reader_bytes_ += t.reader->bytesRead();
+        std::string path = t.reader->path();
+        levels_[level].erase(levels_[level].begin() +
+                             static_cast<long>(idx));
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+
+    // Install outputs at the target level, keeping key order.
+    for (uint64_t file_no : output_nos) {
+        s = openTable(target_level, file_no);
+        if (!s.isOk())
+            return s;
+    }
+    std::sort(levels_[target_level].begin(),
+              levels_[target_level].end(),
+              [](const TableHandle &x, const TableHandle &y) {
+                  return x.reader->props().smallest_key <
+                         y.reader->props().smallest_key;
+              });
+
+    return persistManifest();
+}
+
+Status
+LSMStore::compactAll()
+{
+    Status s = flushMemtable();
+    if (!s.isOk())
+        return s;
+    if (!levels_[0].empty()) {
+        s = compactL0();
+        if (!s.isOk())
+            return s;
+    }
+    for (int level = 1; level < max_levels - 1; ++level) {
+        while (!levels_[level].empty()) {
+            s = compactLevel(level);
+            if (!s.isOk())
+                return s;
+        }
+        // Stop once everything is in one level.
+        bool deeper_empty = true;
+        for (int d = level + 1; d < max_levels; ++d)
+            deeper_empty = deeper_empty && levels_[d].empty();
+        if (deeper_empty)
+            break;
+    }
+    return Status::ok();
+}
+
+const IOStats &
+LSMStore::stats() const
+{
+    uint64_t read_bytes = retired_reader_bytes_;
+    for (const auto &level : levels_)
+        for (const TableHandle &t : level)
+            read_bytes += t.reader->bytesRead();
+    stats_.bytes_read = read_bytes;
+    return stats_;
+}
+
+uint64_t
+LSMStore::liveKeyCount()
+{
+    uint64_t count = 0;
+    // Bypass scan() so diagnostics don't perturb user_scans.
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(memtable_->newIterator());
+    for (const TableHandle &t : levels_[0])
+        sources.push_back(t.reader->newIterator());
+    for (int level = 1; level < max_levels; ++level)
+        for (const TableHandle &t : levels_[level])
+            sources.push_back(t.reader->newIterator());
+    MergingIterator merged(std::move(sources));
+    merged.seek(BytesView());
+    while (merged.valid()) {
+        if (merged.entry().type == EntryType::Put)
+            ++count;
+        merged.next();
+    }
+    return count;
+}
+
+std::vector<size_t>
+LSMStore::levelFileCounts() const
+{
+    std::vector<size_t> counts;
+    counts.reserve(levels_.size());
+    for (const auto &level : levels_)
+        counts.push_back(level.size());
+    return counts;
+}
+
+uint64_t
+LSMStore::tableBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &level : levels_)
+        for (const TableHandle &t : level)
+            total += t.reader->fileBytes();
+    return total;
+}
+
+} // namespace ethkv::kv

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ordered in-memory reference engine.
+ *
+ * MemStore is the simplest possible correct KVStore: a std::map. It
+ * serves two roles: (i) the oracle in property tests that compare
+ * every other engine against it under random operation sequences,
+ * and (ii) a fast substrate for trace-generation runs, since traces
+ * are captured above the engine (paper, Section III-A) and are
+ * identical regardless of the engine underneath.
+ */
+
+#ifndef ETHKV_KVSTORE_MEM_STORE_HH
+#define ETHKV_KVSTORE_MEM_STORE_HH
+
+#include <map>
+
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::kv
+{
+
+/** std::map-backed KVStore; supports all operations. */
+class MemStore : public KVStore
+{
+  public:
+    Status
+    put(BytesView key, BytesView value) override
+    {
+        ++stats_.user_writes;
+        stats_.bytes_written += key.size() + value.size();
+        map_[Bytes(key)] = Bytes(value);
+        return Status::ok();
+    }
+
+    Status
+    get(BytesView key, Bytes &value) override
+    {
+        ++stats_.user_reads;
+        auto it = map_.find(Bytes(key));
+        if (it == map_.end())
+            return Status::notFound();
+        value = it->second;
+        stats_.bytes_read += key.size() + value.size();
+        return Status::ok();
+    }
+
+    Status
+    del(BytesView key) override
+    {
+        ++stats_.user_deletes;
+        map_.erase(Bytes(key));
+        return Status::ok();
+    }
+
+    Status
+    scan(BytesView start, BytesView end,
+         const ScanCallback &cb) override
+    {
+        ++stats_.user_scans;
+        auto it = map_.lower_bound(Bytes(start));
+        for (; it != map_.end(); ++it) {
+            if (!end.empty() && BytesView(it->first) >= end)
+                break;
+            stats_.bytes_read += it->first.size() + it->second.size();
+            if (!cb(it->first, it->second))
+                break;
+        }
+        return Status::ok();
+    }
+
+    Status flush() override { return Status::ok(); }
+
+    const IOStats &stats() const override { return stats_; }
+
+    std::string name() const override { return "mem"; }
+
+    uint64_t liveKeyCount() override { return map_.size(); }
+
+  private:
+    std::map<Bytes, Bytes, std::less<>> map_;
+    IOStats stats_;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_MEM_STORE_HH

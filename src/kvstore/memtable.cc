@@ -1,0 +1,188 @@
+#include "kvstore/memtable.hh"
+
+#include "common/logging.hh"
+
+namespace ethkv::kv
+{
+
+struct MemTable::Node
+{
+    InternalEntry entry;
+    int height;
+    Node *next[1]; // over-allocated to `height` slots
+
+    static Node *
+    make(InternalEntry entry, int height)
+    {
+        size_t size =
+            sizeof(Node) + (height - 1) * sizeof(Node *);
+        void *mem = ::operator new(size);
+        Node *n = new (mem) Node{std::move(entry), height, {nullptr}};
+        for (int i = 0; i < height; ++i)
+            n->next[i] = nullptr;
+        return n;
+    }
+
+    static void
+    destroy(Node *n)
+    {
+        n->~Node();
+        ::operator delete(n);
+    }
+};
+
+MemTable::MemTable(uint64_t rng_seed) : rng_(rng_seed)
+{
+    head_ = Node::make(InternalEntry{}, max_height);
+}
+
+MemTable::~MemTable()
+{
+    Node *n = head_;
+    while (n) {
+        Node *next = n->next[0];
+        Node::destroy(n);
+        n = next;
+    }
+}
+
+int
+MemTable::randomHeight()
+{
+    // Geometric with p = 1/4, as in LevelDB/Pebble.
+    int h = 1;
+    while (h < max_height && (rng_.next() & 3) == 0)
+        ++h;
+    return h;
+}
+
+MemTable::Node *
+MemTable::findGreaterOrEqual(BytesView key, Node **prev) const
+{
+    Node *x = head_;
+    int level = height_ - 1;
+    for (;;) {
+        Node *next = x->next[level];
+        if (next && BytesView(next->entry.key) < key) {
+            x = next;
+        } else {
+            if (prev)
+                prev[level] = x;
+            if (level == 0)
+                return next;
+            --level;
+        }
+    }
+}
+
+void
+MemTable::add(BytesView key, BytesView value, uint64_t seq,
+              EntryType type)
+{
+    Node *prev[max_height];
+    Node *existing = findGreaterOrEqual(key, prev);
+
+    if (existing && BytesView(existing->entry.key) == key) {
+        // Supersede in place; newest write wins.
+        if (existing->entry.seq > seq)
+            panic("MemTable::add: non-monotone seq for key");
+        approximate_bytes_ -= existing->entry.value.size();
+        approximate_bytes_ += value.size();
+        existing->entry.value = Bytes(value);
+        existing->entry.seq = seq;
+        existing->entry.type = type;
+        return;
+    }
+
+    int h = randomHeight();
+    if (h > height_) {
+        for (int i = height_; i < h; ++i)
+            prev[i] = head_;
+        // height_ is mutable in spirit; MemTable is
+        // single-writer so a const_cast-free design keeps add()
+        // non-const instead.
+        height_ = h;
+    }
+
+    InternalEntry entry{Bytes(key), Bytes(value), seq, type};
+    Node *n = Node::make(std::move(entry), h);
+    for (int i = 0; i < h; ++i) {
+        n->next[i] = prev[i]->next[i];
+        prev[i]->next[i] = n;
+    }
+    approximate_bytes_ += key.size() + value.size() + 32;
+    ++entry_count_;
+}
+
+bool
+MemTable::get(BytesView key, InternalEntry &entry) const
+{
+    Node *n = findGreaterOrEqual(key, nullptr);
+    if (n && BytesView(n->entry.key) == key) {
+        entry = n->entry;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Cursor over a live memtable; wraps the level-0 linked list.
+ */
+class MemTableIterator : public InternalIterator
+{
+  public:
+    explicit MemTableIterator(const MemTable *table) : table_(table)
+    {}
+
+    void
+    seek(BytesView target) override
+    {
+        node_ = table_->findGreaterOrEqual(target, nullptr);
+    }
+
+    bool valid() const override { return node_ != nullptr; }
+
+    void
+    next() override
+    {
+        if (!node_)
+            panic("MemTableIterator::next on invalid iterator");
+        node_ = node_->next[0];
+    }
+
+    const InternalEntry &
+    entry() const override
+    {
+        if (!node_)
+            panic("MemTableIterator::entry on invalid iterator");
+        return node_->entry;
+    }
+
+  private:
+    const MemTable *table_;
+    MemTable::Node *node_ = nullptr;
+};
+
+std::unique_ptr<InternalIterator>
+MemTable::newIterator() const
+{
+    return std::make_unique<MemTableIterator>(this);
+}
+
+bool
+MemTable::forEach(
+    BytesView start, BytesView end,
+    const std::function<bool(const InternalEntry &)> &cb) const
+{
+    Node *n = findGreaterOrEqual(start, nullptr);
+    while (n) {
+        if (!end.empty() && BytesView(n->entry.key) >= end)
+            break;
+        if (!cb(n->entry))
+            return false;
+        n = n->next[0];
+    }
+    return true;
+}
+
+} // namespace ethkv::kv

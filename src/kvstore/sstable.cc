@@ -1,0 +1,482 @@
+#include "kvstore/sstable.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/varint.hh"
+
+namespace ethkv::kv
+{
+
+namespace
+{
+
+constexpr uint64_t sstable_magic = 0x657468'6b76737374ULL;
+
+void
+appendEntry(Bytes &out, const InternalEntry &e)
+{
+    appendVarint(out, e.key.size());
+    appendVarint(out, e.value.size());
+    out.push_back(static_cast<char>(e.type));
+    appendVarint(out, e.seq);
+    out += e.key;
+    out += e.value;
+}
+
+bool
+readEntry(BytesView data, size_t &pos, InternalEntry &e)
+{
+    uint64_t klen, vlen, seq;
+    if (!readVarint(data, pos, klen))
+        return false;
+    if (!readVarint(data, pos, vlen))
+        return false;
+    if (pos >= data.size())
+        return false;
+    uint8_t type = static_cast<uint8_t>(data[pos++]);
+    if (type > static_cast<uint8_t>(EntryType::Tombstone))
+        return false;
+    if (!readVarint(data, pos, seq))
+        return false;
+    if (pos + klen + vlen > data.size())
+        return false;
+    e.key = Bytes(data.substr(pos, klen));
+    pos += klen;
+    e.value = Bytes(data.substr(pos, vlen));
+    pos += vlen;
+    e.seq = seq;
+    e.type = static_cast<EntryType>(type);
+    return true;
+}
+
+void
+appendString(Bytes &out, BytesView s)
+{
+    appendVarint(out, s.size());
+    out += s;
+}
+
+bool
+readString(BytesView data, size_t &pos, Bytes &out)
+{
+    uint64_t len;
+    if (!readVarint(data, pos, len))
+        return false;
+    if (pos + len > data.size())
+        return false;
+    out = Bytes(data.substr(pos, len));
+    pos += len;
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// SSTableWriter
+// ---------------------------------------------------------------
+
+SSTableWriter::SSTableWriter(std::string path, std::FILE *file,
+                             size_t expected_keys)
+    : path_(std::move(path)), file_(file), filter_(expected_keys)
+{}
+
+SSTableWriter::~SSTableWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+Result<std::unique_ptr<SSTableWriter>>
+SSTableWriter::create(const std::string &path, size_t expected_keys)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        return Status::ioError("sstable create " + path + ": " +
+                               std::strerror(errno));
+    }
+    return std::unique_ptr<SSTableWriter>(
+        new SSTableWriter(path, f, expected_keys));
+}
+
+Status
+SSTableWriter::add(const InternalEntry &entry)
+{
+    if (finished_)
+        panic("SSTableWriter::add after finish");
+    if (props_.entry_count > 0 &&
+        BytesView(entry.key) <= BytesView(props_.largest_key)) {
+        return Status::invalidArgument(
+            "sstable: keys must be strictly ascending");
+    }
+
+    if (props_.entry_count == 0)
+        props_.smallest_key = entry.key;
+    props_.largest_key = entry.key;
+    ++props_.entry_count;
+    if (entry.type == EntryType::Tombstone)
+        ++props_.tombstone_count;
+    if (entry.seq > props_.max_seq)
+        props_.max_seq = entry.seq;
+    props_.data_bytes += entry.key.size() + entry.value.size();
+
+    filter_.add(entry.key);
+    appendEntry(block_, entry);
+    block_last_key_ = entry.key;
+
+    if (block_.size() >= block_target_bytes)
+        return flushBlock();
+    return Status::ok();
+}
+
+Status
+SSTableWriter::flushBlock()
+{
+    if (block_.empty())
+        return Status::ok();
+    if (std::fwrite(block_.data(), 1, block_.size(), file_) !=
+        block_.size()) {
+        return Status::ioError("sstable: block write failed");
+    }
+    index_.push_back({block_last_key_, file_offset_, block_.size()});
+    file_offset_ += block_.size();
+    block_.clear();
+    return Status::ok();
+}
+
+Status
+SSTableWriter::finish()
+{
+    if (finished_)
+        panic("SSTableWriter::finish called twice");
+    Status s = flushBlock();
+    if (!s.isOk())
+        return s;
+
+    Bytes filter_block = filter_.toBytes();
+    uint64_t filter_off = file_offset_;
+
+    Bytes index_block;
+    for (const IndexEntry &ie : index_) {
+        appendString(index_block, ie.last_key);
+        appendVarint(index_block, ie.offset);
+        appendVarint(index_block, ie.size);
+    }
+    uint64_t index_off = filter_off + filter_block.size();
+
+    Bytes props_block;
+    appendString(props_block, props_.smallest_key);
+    appendString(props_block, props_.largest_key);
+    appendVarint(props_block, props_.entry_count);
+    appendVarint(props_block, props_.tombstone_count);
+    appendVarint(props_block, props_.max_seq);
+    appendVarint(props_block, props_.data_bytes);
+    uint64_t props_off = index_off + index_block.size();
+
+    Bytes tail;
+    tail.reserve(filter_block.size() + index_block.size() +
+                 props_block.size() + 56);
+    tail += filter_block;
+    tail += index_block;
+    tail += props_block;
+    appendBE64(tail, filter_off);
+    appendBE64(tail, filter_block.size());
+    appendBE64(tail, index_off);
+    appendBE64(tail, index_block.size());
+    appendBE64(tail, props_off);
+    appendBE64(tail, props_block.size());
+    appendBE64(tail, sstable_magic);
+
+    if (std::fwrite(tail.data(), 1, tail.size(), file_) !=
+        tail.size()) {
+        return Status::ioError("sstable: tail write failed");
+    }
+    file_offset_ += tail.size();
+
+    if (std::fflush(file_) != 0)
+        return Status::ioError("sstable: flush failed");
+    std::fclose(file_);
+    file_ = nullptr;
+    finished_ = true;
+    return Status::ok();
+}
+
+// ---------------------------------------------------------------
+// SSTableReader
+// ---------------------------------------------------------------
+
+SSTableReader::SSTableReader(std::string path, std::FILE *file)
+    : path_(std::move(path)), file_(file)
+{}
+
+SSTableReader::~SSTableReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+Result<std::unique_ptr<SSTableReader>>
+SSTableReader::open(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        return Status::ioError("sstable open " + path + ": " +
+                               std::strerror(errno));
+    }
+    auto reader = std::unique_ptr<SSTableReader>(
+        new SSTableReader(path, f));
+    Status s = reader->load();
+    if (!s.isOk())
+        return s;
+    return reader;
+}
+
+Status
+SSTableReader::load()
+{
+    if (std::fseek(file_, 0, SEEK_END) != 0)
+        return Status::ioError("sstable: seek failed");
+    long size = std::ftell(file_);
+    if (size < 56)
+        return Status::corruption("sstable: file too small");
+    file_bytes_ = static_cast<uint64_t>(size);
+
+    Bytes footer(56, '\0');
+    if (std::fseek(file_, size - 56, SEEK_SET) != 0 ||
+        std::fread(footer.data(), 1, 56, file_) != 56) {
+        return Status::ioError("sstable: footer read failed");
+    }
+    uint64_t filter_off = decodeBE64(BytesView(footer).substr(0, 8));
+    uint64_t filter_len = decodeBE64(BytesView(footer).substr(8, 8));
+    uint64_t index_off = decodeBE64(BytesView(footer).substr(16, 8));
+    uint64_t index_len = decodeBE64(BytesView(footer).substr(24, 8));
+    uint64_t props_off = decodeBE64(BytesView(footer).substr(32, 8));
+    uint64_t props_len = decodeBE64(BytesView(footer).substr(40, 8));
+    uint64_t magic = decodeBE64(BytesView(footer).substr(48, 8));
+    if (magic != sstable_magic)
+        return Status::corruption("sstable: bad magic");
+    if (props_off + props_len + 56 != file_bytes_ ||
+        index_off + index_len != props_off ||
+        filter_off + filter_len != index_off) {
+        return Status::corruption("sstable: inconsistent footer");
+    }
+
+    auto read_section = [&](uint64_t off, uint64_t len,
+                            Bytes &out) -> Status {
+        out.resize(len);
+        if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0 ||
+            std::fread(out.data(), 1, len, file_) != len) {
+            return Status::ioError("sstable: section read failed");
+        }
+        bytes_read_ += len;
+        return Status::ok();
+    };
+
+    Bytes filter_block, index_block, props_block;
+    Status s = read_section(filter_off, filter_len, filter_block);
+    if (!s.isOk())
+        return s;
+    s = read_section(index_off, index_len, index_block);
+    if (!s.isOk())
+        return s;
+    s = read_section(props_off, props_len, props_block);
+    if (!s.isOk())
+        return s;
+
+    filter_ = std::make_unique<BloomFilter>(
+        BloomFilter::fromBytes(filter_block));
+
+    size_t pos = 0;
+    while (pos < index_block.size()) {
+        IndexEntry ie;
+        uint64_t off, len;
+        if (!readString(index_block, pos, ie.last_key) ||
+            !readVarint(index_block, pos, off) ||
+            !readVarint(index_block, pos, len)) {
+            return Status::corruption("sstable: bad index block");
+        }
+        ie.offset = off;
+        ie.size = len;
+        index_.push_back(std::move(ie));
+    }
+
+    pos = 0;
+    if (!readString(props_block, pos, props_.smallest_key) ||
+        !readString(props_block, pos, props_.largest_key) ||
+        !readVarint(props_block, pos, props_.entry_count) ||
+        !readVarint(props_block, pos, props_.tombstone_count) ||
+        !readVarint(props_block, pos, props_.max_seq) ||
+        !readVarint(props_block, pos, props_.data_bytes)) {
+        return Status::corruption("sstable: bad props block");
+    }
+    return Status::ok();
+}
+
+bool
+SSTableReader::mayContain(BytesView key) const
+{
+    return filter_->mayContain(key);
+}
+
+int
+SSTableReader::findBlock(BytesView target) const
+{
+    // First block whose last_key >= target.
+    size_t lo = 0, hi = index_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (BytesView(index_[mid].last_key) < target)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo == index_.size() ? -1 : static_cast<int>(lo);
+}
+
+Status
+SSTableReader::readBlock(size_t block_idx,
+                         std::vector<InternalEntry> &entries)
+{
+    if (block_idx >= index_.size())
+        panic("sstable: block index out of range");
+    const IndexEntry &ie = index_[block_idx];
+    Bytes block(ie.size, '\0');
+    if (std::fseek(file_, static_cast<long>(ie.offset), SEEK_SET) !=
+            0 ||
+        std::fread(block.data(), 1, ie.size, file_) != ie.size) {
+        return Status::ioError("sstable: block read failed");
+    }
+    bytes_read_ += ie.size;
+
+    entries.clear();
+    size_t pos = 0;
+    while (pos < block.size()) {
+        InternalEntry e;
+        if (!readEntry(block, pos, e))
+            return Status::corruption("sstable: bad block entry");
+        entries.push_back(std::move(e));
+    }
+    return Status::ok();
+}
+
+Status
+SSTableReader::get(BytesView key, InternalEntry &entry)
+{
+    if (!mayContain(key))
+        return Status::notFound();
+    if (key < BytesView(props_.smallest_key) ||
+        key > BytesView(props_.largest_key)) {
+        return Status::notFound();
+    }
+    int idx = findBlock(key);
+    if (idx < 0)
+        return Status::notFound();
+
+    std::vector<InternalEntry> entries;
+    Status s = readBlock(static_cast<size_t>(idx), entries);
+    if (!s.isOk())
+        return s;
+    // Binary search within the decoded block.
+    size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (BytesView(entries[mid].key) < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < entries.size() && BytesView(entries[lo].key) == key) {
+        entry = entries[lo];
+        return Status::ok();
+    }
+    return Status::notFound();
+}
+
+/**
+ * Cursor over one SSTable: walks blocks sequentially, decoding one
+ * block at a time.
+ */
+class SSTableIterator : public InternalIterator
+{
+  public:
+    explicit SSTableIterator(SSTableReader *reader) : reader_(reader)
+    {}
+
+    void
+    seek(BytesView target) override
+    {
+        entries_.clear();
+        entry_idx_ = 0;
+        if (reader_->index_.empty())
+            return;
+        int idx = reader_->findBlock(target);
+        if (idx < 0) {
+            block_idx_ = reader_->index_.size();
+            return;
+        }
+        block_idx_ = static_cast<size_t>(idx);
+        loadBlock();
+        while (entry_idx_ < entries_.size() &&
+               BytesView(entries_[entry_idx_].key) < target) {
+            ++entry_idx_;
+        }
+        // Target may fall between blocks' last keys; normalize.
+        advanceIfExhausted();
+    }
+
+    bool valid() const override { return entry_idx_ < entries_.size(); }
+
+    void
+    next() override
+    {
+        if (!valid())
+            panic("SSTableIterator::next on invalid iterator");
+        ++entry_idx_;
+        advanceIfExhausted();
+    }
+
+    const InternalEntry &
+    entry() const override
+    {
+        if (!valid())
+            panic("SSTableIterator::entry on invalid iterator");
+        return entries_[entry_idx_];
+    }
+
+  private:
+    void
+    loadBlock()
+    {
+        reader_->readBlock(block_idx_, entries_)
+            .expectOk("sstable iterator block read");
+        entry_idx_ = 0;
+    }
+
+    void
+    advanceIfExhausted()
+    {
+        while (entry_idx_ >= entries_.size()) {
+            ++block_idx_;
+            if (block_idx_ >= reader_->index_.size()) {
+                entries_.clear();
+                entry_idx_ = 0;
+                return;
+            }
+            loadBlock();
+        }
+    }
+
+    SSTableReader *reader_;
+    size_t block_idx_ = 0;
+    std::vector<InternalEntry> entries_;
+    size_t entry_idx_ = 0;
+};
+
+std::unique_ptr<InternalIterator>
+SSTableReader::newIterator()
+{
+    return std::make_unique<SSTableIterator>(this);
+}
+
+} // namespace ethkv::kv

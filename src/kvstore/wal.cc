@@ -1,0 +1,197 @@
+#include "kvstore/wal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/bytes.hh"
+#include "common/varint.hh"
+#include "common/xxhash.hh"
+
+namespace ethkv::kv
+{
+
+namespace
+{
+
+void
+appendBE32(Bytes &out, uint32_t v)
+{
+    for (int shift = 24; shift >= 0; shift -= 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+uint32_t
+readBE32(const unsigned char *p)
+{
+    return (static_cast<uint32_t>(p[0]) << 24) |
+           (static_cast<uint32_t>(p[1]) << 16) |
+           (static_cast<uint32_t>(p[2]) << 8) |
+           static_cast<uint32_t>(p[3]);
+}
+
+uint64_t
+readBE64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+Bytes
+encodePayload(const WriteBatch &batch, uint64_t first_seq)
+{
+    Bytes payload;
+    appendVarint(payload, first_seq);
+    appendVarint(payload, batch.size());
+    for (const BatchEntry &e : batch.entries()) {
+        payload.push_back(static_cast<char>(e.op));
+        appendVarint(payload, e.key.size());
+        payload += e.key;
+        appendVarint(payload, e.value.size());
+        payload += e.value;
+    }
+    return payload;
+}
+
+bool
+decodePayload(BytesView payload, WriteBatch &batch,
+              uint64_t &first_seq)
+{
+    size_t pos = 0;
+    uint64_t count;
+    if (!readVarint(payload, pos, first_seq))
+        return false;
+    if (!readVarint(payload, pos, count))
+        return false;
+    for (uint64_t i = 0; i < count; ++i) {
+        if (pos >= payload.size())
+            return false;
+        uint8_t op = static_cast<uint8_t>(payload[pos++]);
+        if (op > static_cast<uint8_t>(BatchOp::Delete))
+            return false;
+        uint64_t klen, vlen;
+        if (!readVarint(payload, pos, klen))
+            return false;
+        if (pos + klen > payload.size())
+            return false;
+        BytesView key = payload.substr(pos, klen);
+        pos += klen;
+        if (!readVarint(payload, pos, vlen))
+            return false;
+        if (pos + vlen > payload.size())
+            return false;
+        BytesView value = payload.substr(pos, vlen);
+        pos += vlen;
+        if (op == static_cast<uint8_t>(BatchOp::Put))
+            batch.put(key, value);
+        else
+            batch.del(key);
+    }
+    return pos == payload.size();
+}
+
+} // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE *file,
+                             uint64_t size_bytes)
+    : path_(std::move(path)), file_(file), size_bytes_(size_bytes)
+{}
+
+WriteAheadLog::~WriteAheadLog()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+Result<std::unique_ptr<WriteAheadLog>>
+WriteAheadLog::open(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f) {
+        return Status::ioError("wal open " + path + ": " +
+                               std::strerror(errno));
+    }
+    uint64_t size = 0;
+    std::error_code ec;
+    auto fs_size = std::filesystem::file_size(path, ec);
+    if (!ec)
+        size = fs_size;
+    return std::unique_ptr<WriteAheadLog>(
+        new WriteAheadLog(path, f, size));
+}
+
+Status
+WriteAheadLog::append(const WriteBatch &batch, uint64_t first_seq)
+{
+    Bytes payload = encodePayload(batch, first_seq);
+    Bytes record;
+    record.reserve(12 + payload.size());
+    appendBE32(record, static_cast<uint32_t>(payload.size()));
+    appendBE64(record, xxhash64(payload));
+    record += payload;
+
+    if (std::fwrite(record.data(), 1, record.size(), file_) !=
+        record.size()) {
+        return Status::ioError("wal append: short write");
+    }
+    size_bytes_ += record.size();
+    return Status::ok();
+}
+
+Status
+WriteAheadLog::sync()
+{
+    if (std::fflush(file_) != 0)
+        return Status::ioError("wal sync: flush failed");
+    return Status::ok();
+}
+
+Status
+WriteAheadLog::reset()
+{
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_)
+        return Status::ioError("wal reset: reopen failed");
+    size_bytes_ = 0;
+    return Status::ok();
+}
+
+Status
+WriteAheadLog::replay(
+    const std::string &path,
+    const std::function<void(const WriteBatch &, uint64_t)> &cb)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return Status::ok(); // no log yet: empty store
+
+    Bytes header(12, '\0');
+    Bytes payload;
+    for (;;) {
+        size_t got = std::fread(header.data(), 1, 12, f);
+        if (got < 12)
+            break; // clean EOF or torn header
+        const auto *hp =
+            reinterpret_cast<const unsigned char *>(header.data());
+        uint32_t len = readBE32(hp);
+        uint64_t checksum = readBE64(hp + 4);
+        payload.resize(len);
+        if (std::fread(payload.data(), 1, len, f) < len)
+            break; // torn payload
+        if (xxhash64(payload) != checksum)
+            break; // corrupt record; stop replay here
+
+        WriteBatch batch;
+        uint64_t first_seq;
+        if (!decodePayload(payload, batch, first_seq))
+            break;
+        cb(batch, first_seq);
+    }
+    std::fclose(f);
+    return Status::ok();
+}
+
+} // namespace ethkv::kv

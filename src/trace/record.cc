@@ -1,0 +1,37 @@
+#include "trace/record.hh"
+
+namespace ethkv::trace
+{
+
+const char *
+opTypeName(OpType op)
+{
+    switch (op) {
+      case OpType::Read: return "read";
+      case OpType::Write: return "write";
+      case OpType::Update: return "update";
+      case OpType::Delete: return "delete";
+      case OpType::Scan: return "scan";
+    }
+    return "unknown";
+}
+
+uint64_t
+KeyInterner::intern(BytesView key)
+{
+    auto [it, inserted] =
+        map_.try_emplace(Bytes(key), map_.size());
+    return it->second;
+}
+
+bool
+KeyInterner::find(BytesView key, uint64_t &id) const
+{
+    auto it = map_.find(Bytes(key));
+    if (it == map_.end())
+        return false;
+    id = it->second;
+    return true;
+}
+
+} // namespace ethkv::trace

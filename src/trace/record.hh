@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Trace record types.
+ *
+ * The paper captures every operation crossing the KV store interface
+ * and analyzes five operation types: reads, writes, updates, deletes,
+ * and scans (a write to an existing key is classified as an update).
+ * Records are compact: keys are interned to dense ids because every
+ * analysis needs key identity and sizes, never key content, and a
+ * 140-day trace at full scale holds billions of operations.
+ */
+
+#ifndef ETHKV_TRACE_RECORD_HH
+#define ETHKV_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hh"
+
+namespace ethkv::trace
+{
+
+/** The five operation types the paper analyzes (Section III-B). */
+enum class OpType : uint8_t
+{
+    Read = 0,
+    Write = 1,  //!< Insert of a key not currently live.
+    Update = 2, //!< Write to a live key.
+    Delete = 3,
+    Scan = 4,
+};
+
+/** Number of OpType values. */
+constexpr int num_op_types = 5;
+
+/** Short name for reports ("read", "write", ...). */
+const char *opTypeName(OpType op);
+
+/** One operation observed at the KV store interface. */
+struct TraceRecord
+{
+    uint64_t key_id;     //!< Dense interned key identity.
+    uint32_t value_size; //!< Value bytes moved (0 for delete/scan).
+    uint16_t class_id;   //!< Schema class (see client/schema.hh).
+    uint16_t key_size;   //!< Key length in bytes.
+    OpType op;
+};
+
+/**
+ * Maps raw keys to dense 64-bit ids, remembering sizes.
+ *
+ * Ids are assigned in first-seen order, so id space is compact and
+ * analyzers can use vectors rather than hash maps.
+ */
+class KeyInterner
+{
+  public:
+    /** Return the id for key, assigning the next id if new. */
+    uint64_t intern(BytesView key);
+
+    /** Look up without interning; returns false if never seen. */
+    bool find(BytesView key, uint64_t &id) const;
+
+    /** Number of distinct keys seen. */
+    uint64_t uniqueKeys() const { return map_.size(); }
+
+  private:
+    std::unordered_map<Bytes, uint64_t> map_;
+};
+
+/** Destination for captured records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Accept one record; called in operation order. */
+    virtual void append(const TraceRecord &record) = 0;
+};
+
+/**
+ * In-memory trace: the working representation for analysis.
+ */
+class TraceBuffer : public TraceSink
+{
+  public:
+    void
+    append(const TraceRecord &record) override
+    {
+        records_.push_back(record);
+    }
+
+    const std::vector<TraceRecord> &records() const
+    {
+        return records_;
+    }
+
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    void clear() { records_.clear(); }
+
+    void reserve(size_t n) { records_.reserve(n); }
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Classifier callback: maps a raw key to its schema class id.
+ *
+ * Supplied by the client module (schema.hh); the trace layer stays
+ * independent of Ethereum semantics.
+ */
+using Classifier = std::function<uint16_t(BytesView key)>;
+
+} // namespace ethkv::trace
+
+#endif // ETHKV_TRACE_RECORD_HH

@@ -1,0 +1,160 @@
+#include "trace/trace_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/varint.hh"
+
+namespace ethkv::trace
+{
+
+namespace
+{
+
+constexpr char file_magic[8] = {'e', 't', 'h', 'k',
+                                'v', 't', 'r', '1'};
+constexpr size_t flush_threshold = 1u << 20;
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(std::string path, std::FILE *file)
+    : path_(std::move(path)), file_(file)
+{}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+Result<std::unique_ptr<TraceFileWriter>>
+TraceFileWriter::create(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        return Status::ioError("trace create " + path + ": " +
+                               std::strerror(errno));
+    }
+    if (std::fwrite(file_magic, 1, sizeof(file_magic), f) !=
+        sizeof(file_magic)) {
+        std::fclose(f);
+        return Status::ioError("trace: header write failed");
+    }
+    return std::unique_ptr<TraceFileWriter>(
+        new TraceFileWriter(path, f));
+}
+
+void
+TraceFileWriter::append(const TraceRecord &record)
+{
+    appendVarint(buffer_, static_cast<uint8_t>(record.op));
+    appendVarint(buffer_, record.class_id);
+    appendVarint(buffer_, record.key_id);
+    appendVarint(buffer_, record.key_size);
+    appendVarint(buffer_, record.value_size);
+    ++count_;
+    if (buffer_.size() >= flush_threshold) {
+        std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+        buffer_.clear();
+    }
+}
+
+Status
+TraceFileWriter::finish()
+{
+    if (finished_)
+        return Status::ok();
+    if (!buffer_.empty()) {
+        if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+            buffer_.size()) {
+            return Status::ioError("trace: body write failed");
+        }
+        buffer_.clear();
+    }
+    Bytes trailer;
+    appendBE64(trailer, count_);
+    if (std::fwrite(trailer.data(), 1, trailer.size(), file_) !=
+        trailer.size()) {
+        return Status::ioError("trace: trailer write failed");
+    }
+    if (std::fflush(file_) != 0)
+        return Status::ioError("trace: flush failed");
+    std::fclose(file_);
+    file_ = nullptr;
+    finished_ = true;
+    return Status::ok();
+}
+
+Status
+readTraceFile(const std::string &path,
+              const std::function<void(const TraceRecord &)> &cb)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        return Status::ioError("trace open " + path + ": " +
+                               std::strerror(errno));
+    }
+    // Slurp: trace files are bounded by the in-memory analysis
+    // scale anyway.
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < static_cast<long>(sizeof(file_magic)) + 8) {
+        std::fclose(f);
+        return Status::corruption("trace: file too small");
+    }
+    Bytes data(static_cast<size_t>(size), '\0');
+    if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
+        std::fclose(f);
+        return Status::ioError("trace: read failed");
+    }
+    std::fclose(f);
+
+    if (std::memcmp(data.data(), file_magic, sizeof(file_magic)) !=
+        0) {
+        return Status::corruption("trace: bad magic");
+    }
+    uint64_t expected =
+        decodeBE64(BytesView(data).substr(data.size() - 8, 8));
+
+    size_t pos = sizeof(file_magic);
+    size_t end = data.size() - 8;
+    uint64_t count = 0;
+    while (pos < end) {
+        uint64_t op, class_id, key_id, key_size, value_size;
+        if (!readVarint(data, pos, op) ||
+            !readVarint(data, pos, class_id) ||
+            !readVarint(data, pos, key_id) ||
+            !readVarint(data, pos, key_size) ||
+            !readVarint(data, pos, value_size) || pos > end) {
+            return Status::corruption("trace: truncated record");
+        }
+        if (op >= num_op_types)
+            return Status::corruption("trace: bad op type");
+        TraceRecord record;
+        record.op = static_cast<OpType>(op);
+        record.class_id = static_cast<uint16_t>(class_id);
+        record.key_id = key_id;
+        record.key_size = static_cast<uint16_t>(key_size);
+        record.value_size = static_cast<uint32_t>(value_size);
+        cb(record);
+        ++count;
+    }
+    if (count != expected)
+        return Status::corruption("trace: record count mismatch");
+    return Status::ok();
+}
+
+Result<TraceBuffer>
+loadTraceFile(const std::string &path)
+{
+    TraceBuffer buffer;
+    Status s = readTraceFile(path, [&](const TraceRecord &r) {
+        buffer.append(r);
+    });
+    if (!s.isOk())
+        return s;
+    return buffer;
+}
+
+} // namespace ethkv::trace

@@ -1,0 +1,61 @@
+#include "trie/encoding.hh"
+
+#include "common/keccak.hh"
+#include "common/rlp.hh"
+
+namespace ethkv::trie
+{
+
+Bytes
+hexPrefixEncode(BytesView nibbles, bool leaf)
+{
+    uint8_t flag = leaf ? 2 : 0;
+    Bytes out;
+    out.reserve(nibbles.size() / 2 + 1);
+    if (nibbles.size() % 2 == 1) {
+        // Odd: flag nibble pairs with the first path nibble.
+        out.push_back(static_cast<char>(((flag | 1) << 4) |
+                                        nibbles[0]));
+        nibbles.remove_prefix(1);
+    } else {
+        out.push_back(static_cast<char>(flag << 4));
+    }
+    for (size_t i = 0; i < nibbles.size(); i += 2) {
+        out.push_back(
+            static_cast<char>((nibbles[i] << 4) | nibbles[i + 1]));
+    }
+    return out;
+}
+
+bool
+hexPrefixDecode(BytesView encoded, Bytes &nibbles, bool &leaf)
+{
+    if (encoded.empty())
+        return false;
+    uint8_t first = static_cast<uint8_t>(encoded[0]);
+    uint8_t flag = first >> 4;
+    if (flag > 3)
+        return false;
+    leaf = (flag & 2) != 0;
+    nibbles.clear();
+    if (flag & 1)
+        nibbles.push_back(static_cast<char>(first & 0xf));
+    else if ((first & 0xf) != 0)
+        return false; // even-length padding nibble must be zero
+    for (size_t i = 1; i < encoded.size(); ++i) {
+        uint8_t b = static_cast<uint8_t>(encoded[i]);
+        nibbles.push_back(static_cast<char>(b >> 4));
+        nibbles.push_back(static_cast<char>(b & 0xf));
+    }
+    return true;
+}
+
+Bytes
+childReference(BytesView child_encoding)
+{
+    if (child_encoding.size() < 32)
+        return Bytes(child_encoding); // embeds directly in parent
+    return rlpEncodeString(keccak256Bytes(child_encoding));
+}
+
+} // namespace ethkv::trie

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * MPT wire encodings: hex-prefix path compaction and node
+ * serialization per the Ethereum yellow paper.
+ *
+ * A node's encoding determines both its hash (keccak of the RLP) and
+ * its stored size — the KV value sizes reported for the TrieNode
+ * classes in Table I are exactly these encodings.
+ */
+
+#ifndef ETHKV_TRIE_ENCODING_HH
+#define ETHKV_TRIE_ENCODING_HH
+
+#include <cstdint>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+
+namespace ethkv::trie
+{
+
+/**
+ * Hex-prefix encode a nibble path.
+ *
+ * Flag nibble: bit 1 = leaf terminator, bit 0 = odd length. Even
+ * paths get a zero padding nibble after the flag.
+ */
+Bytes hexPrefixEncode(BytesView nibbles, bool leaf);
+
+/**
+ * Decode a hex-prefix path.
+ *
+ * @param nibbles Receives the nibble path.
+ * @param leaf Receives the terminator flag.
+ * @return false on malformed input.
+ */
+bool hexPrefixDecode(BytesView encoded, Bytes &nibbles, bool &leaf);
+
+/**
+ * Reference to a child node inside a parent's encoding: either the
+ * child's full RLP (when shorter than 32 bytes, the child embeds)
+ * or the 32-byte keccak of that RLP wrapped as an RLP string.
+ */
+Bytes childReference(BytesView child_encoding);
+
+} // namespace ethkv::trie
+
+#endif // ETHKV_TRIE_ENCODING_HH

@@ -1,0 +1,796 @@
+#include "trie/trie.hh"
+
+#include "common/logging.hh"
+#include "common/rlp.hh"
+#include "trie/encoding.hh"
+
+namespace ethkv::trie
+{
+
+/**
+ * One in-memory trie node.
+ *
+ * Children may be present-but-unloaded: `present` says the edge
+ * exists, `ref` holds the child's encoded reference item (hash or
+ * inline) from the parent's stored encoding, and `node` is null
+ * until a traversal resolves it from the backend.
+ *
+ * Invariant: `ref` is empty iff the child subtree is dirty (or
+ * never persisted); dirtiness always propagates to ancestors.
+ */
+struct MerklePatriciaTrie::Node
+{
+    enum Kind : uint8_t
+    {
+        Leaf,
+        Ext,
+        Branch,
+    };
+
+    struct ChildSlot
+    {
+        bool present = false;
+        Bytes ref;
+        std::unique_ptr<Node> node;
+    };
+
+    Kind kind;
+    Bytes path;  //!< Nibbles (Leaf/Ext only).
+    Bytes value; //!< Leaf value, or Branch value slot.
+    ChildSlot children[16]; //!< Branch only.
+    ChildSlot child;        //!< Ext only.
+    bool dirty = true;
+    bool persisted = false;
+    Bytes cached_enc;
+
+    explicit Node(Kind k) : kind(k) {}
+
+    static std::unique_ptr<Node>
+    makeLeaf(Bytes path, Bytes value)
+    {
+        auto n = std::make_unique<Node>(Leaf);
+        n->path = std::move(path);
+        n->value = std::move(value);
+        return n;
+    }
+};
+
+MerklePatriciaTrie::MerklePatriciaTrie(NodeBackend &backend,
+                                       TrieStorageMode mode)
+    : backend_(backend), mode_(mode),
+      root_hash_(eth::emptyTrieRoot())
+{}
+
+MerklePatriciaTrie::~MerklePatriciaTrie() = default;
+
+MerklePatriciaTrie::MerklePatriciaTrie(
+    MerklePatriciaTrie &&) noexcept = default;
+
+/** Decode a stored node encoding into a Node object. */
+Status
+MerklePatriciaTrie::decodeNode(BytesView encoding,
+                               std::unique_ptr<Node> &out)
+{
+    using N = Node;
+    auto item = rlpDecode(encoding);
+    if (!item.ok())
+        return item.status();
+    const RlpItem &root = item.value();
+    if (!root.is_list)
+        return Status::corruption("trie node: not a list");
+
+    if (root.items.size() == 2) {
+        Bytes nibbles;
+        bool leaf;
+        if (root.items[0].is_list ||
+            !hexPrefixDecode(root.items[0].str, nibbles, leaf)) {
+            return Status::corruption("trie node: bad path");
+        }
+        if (leaf) {
+            if (root.items[1].is_list)
+                return Status::corruption("trie leaf: bad value");
+            out = N::makeLeaf(std::move(nibbles),
+                              root.items[1].str);
+        } else {
+            auto n = std::make_unique<N>(N::Ext);
+            n->path = std::move(nibbles);
+            n->child.present = true;
+            n->child.ref = rlpEncode(root.items[1]);
+            out = std::move(n);
+        }
+    } else if (root.items.size() == 17) {
+        auto n = std::make_unique<N>(N::Branch);
+        for (int i = 0; i < 16; ++i) {
+            const RlpItem &c = root.items[i];
+            if (!c.is_list && c.str.empty())
+                continue; // absent child
+            n->children[i].present = true;
+            n->children[i].ref = rlpEncode(c);
+        }
+        if (root.items[16].is_list)
+            return Status::corruption("trie branch: bad value");
+        n->value = root.items[16].str;
+        out = std::move(n);
+    } else {
+        return Status::corruption("trie node: bad arity");
+    }
+    out->dirty = false;
+    out->persisted = true;
+    out->cached_enc = Bytes(encoding);
+    return Status::ok();
+}
+
+Status
+MerklePatriciaTrie::resolve(std::unique_ptr<Node> &slot,
+                            BytesView path, BytesView ref)
+{
+    if (slot)
+        return Status::ok();
+
+    if (mode_ == TrieStorageMode::HashBased) {
+        // The parent's reference item either embeds the node
+        // (encodings under 32 bytes) or carries its hash, which is
+        // the backend key in the legacy scheme.
+        if (ref.empty())
+            return Status::corruption("trie: missing hash ref");
+        if (ref.size() == 33 &&
+            static_cast<uint8_t>(ref[0]) == 0xa0) {
+            Bytes encoding;
+            Status s = backend_.read(ref.substr(1), encoding);
+            if (!s.isOk())
+                return s;
+            return decodeNode(encoding, slot);
+        }
+        // Inline child: the reference IS the encoding.
+        return decodeNode(ref, slot);
+    }
+
+    Bytes encoding;
+    Status s = backend_.read(path, encoding);
+    if (!s.isOk())
+        return s;
+    return decodeNode(encoding, slot);
+}
+
+Status
+MerklePatriciaTrie::ensureRoot()
+{
+    if (root_checked_)
+        return Status::ok();
+    // One probe read establishes whether a persisted root exists
+    // (matches Geth opening the state trie). Path mode probes the
+    // empty path; hash mode resolves the remembered root hash.
+    Bytes enc;
+    Status s;
+    if (mode_ == TrieStorageMode::HashBased) {
+        if (root_hash_ == eth::emptyTrieRoot()) {
+            root_checked_ = true;
+            return Status::ok();
+        }
+        s = backend_.read(root_hash_.view(), enc);
+    } else {
+        s = backend_.read(BytesView(), enc);
+    }
+    if (s.isOk()) {
+        Status d = decodeNode(enc, root_);
+        if (!d.isOk())
+            return d;
+    } else if (!s.isNotFound()) {
+        return s;
+    }
+    root_checked_ = true;
+    return Status::ok();
+}
+
+Status
+MerklePatriciaTrie::get(BytesView key, Bytes &value)
+{
+    Bytes nibbles = bytesToNibbles(key);
+    Status s = ensureRoot();
+    if (!s.isOk())
+        return s;
+    if (!root_)
+        return Status::notFound();
+    Bytes path;
+    return getAt(root_, path, nibbles, value);
+}
+
+Status
+MerklePatriciaTrie::getAt(std::unique_ptr<Node> &slot, Bytes &path,
+                          BytesView remaining, Bytes &value)
+{
+    Node &n = *slot;
+    switch (n.kind) {
+      case Node::Leaf:
+        if (BytesView(n.path) == remaining) {
+            value = n.value;
+            return Status::ok();
+        }
+        return Status::notFound();
+
+      case Node::Ext: {
+        if (remaining.size() < n.path.size() ||
+            remaining.substr(0, n.path.size()) !=
+                BytesView(n.path)) {
+            return Status::notFound();
+        }
+        path += n.path;
+        Status s = resolve(n.child.node, path, n.child.ref);
+        if (!s.isOk())
+            return s;
+        return getAt(n.child.node, path,
+                     remaining.substr(n.path.size()), value);
+      }
+
+      case Node::Branch: {
+        if (remaining.empty()) {
+            if (n.value.empty())
+                return Status::notFound();
+            value = n.value;
+            return Status::ok();
+        }
+        uint8_t idx = static_cast<uint8_t>(remaining[0]);
+        if (!n.children[idx].present)
+            return Status::notFound();
+        path.push_back(remaining[0]);
+        Status s = resolve(n.children[idx].node, path,
+                           n.children[idx].ref);
+        if (!s.isOk())
+            return s;
+        return getAt(n.children[idx].node, path,
+                     remaining.substr(1), value);
+      }
+    }
+    panic("trie: bad node kind");
+}
+
+Status
+MerklePatriciaTrie::put(BytesView key, BytesView value)
+{
+    if (value.empty()) {
+        return Status::invalidArgument(
+            "trie: empty values are deletions; call del()");
+    }
+    Bytes nibbles = bytesToNibbles(key);
+    Status s = ensureRoot();
+    if (!s.isOk())
+        return s;
+    dirty_ = true;
+    if (!root_) {
+        root_ = Node::makeLeaf(std::move(nibbles), Bytes(value));
+        return Status::ok();
+    }
+    Bytes path;
+    return putAt(root_, path, nibbles, value);
+}
+
+Status
+MerklePatriciaTrie::putAt(std::unique_ptr<Node> &slot, Bytes &path,
+                          BytesView remaining, BytesView value)
+{
+    Node &n = *slot;
+    switch (n.kind) {
+      case Node::Leaf: {
+        size_t cpl = commonPrefixLen(n.path, remaining);
+        if (cpl == n.path.size() && cpl == remaining.size()) {
+            n.value = Bytes(value);
+            n.dirty = true;
+            n.cached_enc.clear();
+            return Status::ok();
+        }
+
+        // Split: a branch at depth cpl, with the old leaf and the
+        // new key hanging beneath (or landing in the value slot).
+        auto branch = std::make_unique<Node>(Node::Branch);
+        if (cpl == n.path.size()) {
+            branch->value = std::move(n.value);
+        } else {
+            uint8_t idx = static_cast<uint8_t>(n.path[cpl]);
+            auto moved = Node::makeLeaf(
+                Bytes(BytesView(n.path).substr(cpl + 1)),
+                std::move(n.value));
+            branch->children[idx].present = true;
+            branch->children[idx].node = std::move(moved);
+        }
+        if (cpl == remaining.size()) {
+            branch->value = Bytes(value);
+        } else {
+            uint8_t idx = static_cast<uint8_t>(remaining[cpl]);
+            branch->children[idx].present = true;
+            branch->children[idx].node = Node::makeLeaf(
+                Bytes(remaining.substr(cpl + 1)), Bytes(value));
+        }
+
+        if (cpl > 0) {
+            auto ext = std::make_unique<Node>(Node::Ext);
+            ext->path = Bytes(remaining.substr(0, cpl));
+            ext->child.present = true;
+            ext->child.node = std::move(branch);
+            ext->persisted = n.persisted; // overwrites same path
+            slot = std::move(ext);
+        } else {
+            branch->persisted = n.persisted;
+            slot = std::move(branch);
+        }
+        return Status::ok();
+      }
+
+      case Node::Ext: {
+        size_t cpl = commonPrefixLen(n.path, remaining);
+        if (cpl == n.path.size()) {
+            path += n.path;
+            Status s = resolve(n.child.node, path, n.child.ref);
+            if (!s.isOk())
+                return s;
+            s = putAt(n.child.node, path,
+                      remaining.substr(cpl), value);
+            if (!s.isOk())
+                return s;
+            n.child.ref.clear();
+            n.dirty = true;
+            n.cached_enc.clear();
+            return Status::ok();
+        }
+
+        // Split the extension at depth cpl.
+        auto branch = std::make_unique<Node>(Node::Branch);
+        uint8_t ext_idx = static_cast<uint8_t>(n.path[cpl]);
+        if (cpl + 1 == n.path.size()) {
+            // The old child hangs directly off the new branch; its
+            // absolute path is unchanged, so its ref stays valid.
+            branch->children[ext_idx] = std::move(n.child);
+        } else {
+            auto lower = std::make_unique<Node>(Node::Ext);
+            lower->path = Bytes(BytesView(n.path).substr(cpl + 1));
+            lower->child = std::move(n.child);
+            branch->children[ext_idx].present = true;
+            branch->children[ext_idx].node = std::move(lower);
+        }
+        if (cpl == remaining.size()) {
+            branch->value = Bytes(value);
+        } else {
+            uint8_t idx = static_cast<uint8_t>(remaining[cpl]);
+            branch->children[idx].present = true;
+            branch->children[idx].node = Node::makeLeaf(
+                Bytes(remaining.substr(cpl + 1)), Bytes(value));
+        }
+
+        if (cpl > 0) {
+            auto upper = std::make_unique<Node>(Node::Ext);
+            upper->path = Bytes(remaining.substr(0, cpl));
+            upper->child.present = true;
+            upper->child.node = std::move(branch);
+            upper->persisted = n.persisted;
+            slot = std::move(upper);
+        } else {
+            branch->persisted = n.persisted;
+            slot = std::move(branch);
+        }
+        return Status::ok();
+      }
+
+      case Node::Branch: {
+        n.dirty = true;
+        n.cached_enc.clear();
+        if (remaining.empty()) {
+            n.value = Bytes(value);
+            return Status::ok();
+        }
+        uint8_t idx = static_cast<uint8_t>(remaining[0]);
+        path.push_back(remaining[0]);
+        if (!n.children[idx].present) {
+            n.children[idx].present = true;
+            n.children[idx].node = Node::makeLeaf(
+                Bytes(remaining.substr(1)), Bytes(value));
+            n.children[idx].ref.clear();
+            return Status::ok();
+        }
+        Status s = resolve(n.children[idx].node, path,
+                           n.children[idx].ref);
+        if (!s.isOk())
+            return s;
+        s = putAt(n.children[idx].node, path, remaining.substr(1),
+                  value);
+        if (!s.isOk())
+            return s;
+        n.children[idx].ref.clear();
+        return Status::ok();
+      }
+    }
+    panic("trie: bad node kind");
+}
+
+Status
+MerklePatriciaTrie::del(BytesView key)
+{
+    Bytes nibbles = bytesToNibbles(key);
+    Status s = ensureRoot();
+    if (!s.isOk())
+        return s;
+    if (!root_)
+        return Status::ok();
+    Bytes path;
+    bool removed = false;
+    s = delAt(root_, path, nibbles, removed);
+    if (!s.isOk())
+        return s;
+    if (removed)
+        dirty_ = true;
+    return Status::ok();
+}
+
+Status
+MerklePatriciaTrie::delAt(std::unique_ptr<Node> &slot, Bytes &path,
+                          BytesView remaining, bool &removed)
+{
+    Node &n = *slot;
+    switch (n.kind) {
+      case Node::Leaf:
+        if (BytesView(n.path) != remaining) {
+            removed = false;
+            return Status::ok();
+        }
+        if (n.persisted)
+            pending_deletes_.push_back(path);
+        slot.reset();
+        removed = true;
+        return Status::ok();
+
+      case Node::Ext: {
+        if (remaining.size() < n.path.size() ||
+            remaining.substr(0, n.path.size()) !=
+                BytesView(n.path)) {
+            removed = false;
+            return Status::ok();
+        }
+        size_t base = path.size();
+        path += n.path;
+        Status s = resolve(n.child.node, path, n.child.ref);
+        if (!s.isOk())
+            return s;
+        s = delAt(n.child.node, path,
+                  remaining.substr(n.path.size()), removed);
+        if (!s.isOk())
+            return s;
+        if (!removed) {
+            path.resize(base);
+            return Status::ok();
+        }
+        n.dirty = true;
+        n.cached_enc.clear();
+        n.child.ref.clear();
+        path.resize(base);
+        return normalize(slot, path);
+      }
+
+      case Node::Branch: {
+        if (remaining.empty()) {
+            if (n.value.empty()) {
+                removed = false;
+                return Status::ok();
+            }
+            n.value.clear();
+            removed = true;
+            n.dirty = true;
+            n.cached_enc.clear();
+            return normalize(slot, path);
+        }
+        uint8_t idx = static_cast<uint8_t>(remaining[0]);
+        if (!n.children[idx].present) {
+            removed = false;
+            return Status::ok();
+        }
+        size_t base = path.size();
+        path.push_back(remaining[0]);
+        Status s = resolve(n.children[idx].node, path,
+                           n.children[idx].ref);
+        if (!s.isOk())
+            return s;
+        s = delAt(n.children[idx].node, path, remaining.substr(1),
+                  removed);
+        if (!s.isOk())
+            return s;
+        if (!removed) {
+            path.resize(base);
+            return Status::ok();
+        }
+        if (!n.children[idx].node)
+            n.children[idx].present = false;
+        n.children[idx].ref.clear();
+        n.dirty = true;
+        n.cached_enc.clear();
+        path.resize(base);
+        return normalize(slot, path);
+      }
+    }
+    panic("trie: bad node kind");
+}
+
+/**
+ * Restore canonical shape at `slot` (whose node sits at `path`)
+ * after a removal beneath it.
+ */
+Status
+MerklePatriciaTrie::normalize(std::unique_ptr<Node> &slot,
+                              Bytes &path)
+{
+    Node &n = *slot;
+
+    if (n.kind == Node::Ext) {
+        if (!n.child.node) {
+            // Child vanished entirely (non-canonical transient
+            // state); the extension goes with it.
+            if (n.persisted)
+                pending_deletes_.push_back(path);
+            slot.reset();
+            return Status::ok();
+        }
+        Node &c = *n.child.node;
+        if (c.kind == Node::Branch)
+            return Status::ok(); // canonical as-is
+
+        // Merge with a Leaf/Ext child: the child's stored position
+        // disappears; the merged node overwrites this position.
+        Bytes child_path = path;
+        child_path += n.path;
+        if (c.persisted)
+            pending_deletes_.push_back(child_path);
+
+        if (c.kind == Node::Leaf) {
+            n.kind = Node::Leaf;
+            n.path += c.path;
+            n.value = std::move(c.value);
+            n.child = Node::ChildSlot{};
+        } else { // Ext
+            n.path += c.path;
+            n.child = std::move(c.child);
+        }
+        n.dirty = true;
+        n.cached_enc.clear();
+        return Status::ok();
+    }
+
+    if (n.kind != Node::Branch)
+        return Status::ok();
+
+    int child_count = 0;
+    int last_idx = -1;
+    for (int i = 0; i < 16; ++i) {
+        if (n.children[i].present) {
+            ++child_count;
+            last_idx = i;
+        }
+    }
+
+    if (child_count > 1 || (child_count == 1 && !n.value.empty()))
+        return Status::ok();
+
+    if (child_count == 0) {
+        if (n.value.empty()) {
+            if (n.persisted)
+                pending_deletes_.push_back(path);
+            slot.reset();
+            return Status::ok();
+        }
+        // Only the value slot remains: collapse to a leaf with an
+        // empty path at the same position.
+        n.kind = Node::Leaf;
+        n.path.clear();
+        for (auto &c : n.children)
+            c = Node::ChildSlot{};
+        n.dirty = true;
+        n.cached_enc.clear();
+        return Status::ok();
+    }
+
+    // Exactly one child, no value: merge with it. The child must be
+    // resolved to learn its kind (the extra read Geth also pays
+    // when deleting).
+    size_t base = path.size();
+    path.push_back(static_cast<char>(last_idx));
+    Status s = resolve(n.children[last_idx].node, path,
+                       n.children[last_idx].ref);
+    if (!s.isOk()) {
+        path.resize(base);
+        return s;
+    }
+    std::unique_ptr<Node> child =
+        std::move(n.children[last_idx].node);
+    Bytes child_ref = std::move(n.children[last_idx].ref);
+    Node &c = *child;
+
+    if (c.kind == Node::Branch) {
+        // Keep the child where it is; this node becomes a
+        // one-nibble extension pointing at it.
+        n.kind = Node::Ext;
+        n.path.assign(1, static_cast<char>(last_idx));
+        n.value.clear();
+        for (auto &cs : n.children)
+            cs = Node::ChildSlot{};
+        n.child.present = true;
+        n.child.node = std::move(child);
+        n.child.ref = std::move(child_ref);
+        n.dirty = true;
+        n.cached_enc.clear();
+        path.resize(base);
+        return Status::ok();
+    }
+
+    // Leaf/Ext child is absorbed: its stored position disappears.
+    if (c.persisted)
+        pending_deletes_.push_back(path);
+    path.resize(base);
+
+    if (c.kind == Node::Leaf) {
+        n.kind = Node::Leaf;
+        n.path.assign(1, static_cast<char>(last_idx));
+        n.path += c.path;
+        n.value = std::move(c.value);
+        for (auto &cs : n.children)
+            cs = Node::ChildSlot{};
+        n.child = Node::ChildSlot{};
+    } else { // Ext
+        n.kind = Node::Ext;
+        n.path.assign(1, static_cast<char>(last_idx));
+        n.path += c.path;
+        n.value.clear();
+        for (auto &cs : n.children)
+            cs = Node::ChildSlot{};
+        n.child = std::move(c.child);
+    }
+    n.dirty = true;
+    n.cached_enc.clear();
+    return Status::ok();
+}
+
+Bytes
+MerklePatriciaTrie::commitNode(Node &n, Bytes &path,
+                               kv::WriteBatch &batch)
+{
+    if (!n.dirty && !n.cached_enc.empty())
+        return n.cached_enc;
+
+    Bytes payload;
+    switch (n.kind) {
+      case Node::Leaf:
+        payload += rlpEncodeString(hexPrefixEncode(n.path, true));
+        payload += rlpEncodeString(n.value);
+        break;
+
+      case Node::Ext: {
+        payload += rlpEncodeString(hexPrefixEncode(n.path, false));
+        if (n.child.ref.empty()) {
+            if (!n.child.node)
+                panic("trie commit: dirty ext without child");
+            size_t base = path.size();
+            path += n.path;
+            Bytes child_enc =
+                commitNode(*n.child.node, path, batch);
+            path.resize(base);
+            n.child.ref = childReference(child_enc);
+        }
+        payload += n.child.ref;
+        break;
+      }
+
+      case Node::Branch: {
+        for (int i = 0; i < 16; ++i) {
+            Node::ChildSlot &c = n.children[i];
+            if (!c.present) {
+                payload += rlpEncodeString(BytesView());
+                continue;
+            }
+            if (c.ref.empty()) {
+                if (!c.node)
+                    panic("trie commit: dirty child without node");
+                size_t base = path.size();
+                path.push_back(static_cast<char>(i));
+                Bytes child_enc =
+                    commitNode(*c.node, path, batch);
+                path.resize(base);
+                c.ref = childReference(child_enc);
+            }
+            payload += c.ref;
+        }
+        payload += rlpEncodeString(n.value);
+        break;
+      }
+    }
+
+    Bytes enc = rlpEncodeListPayload(payload);
+    if (mode_ == TrieStorageMode::HashBased) {
+        // Hash-keyed nodes: only hash-referenced (>= 32 B) nodes
+        // persist; embedded ones live inside their parents. Stale
+        // versions are never deleted -- the redundant-entry growth
+        // the path-based model was introduced to fix (paper
+        // Section II-A).
+        if (enc.size() >= 32)
+            backend_.write(batch, keccak256Bytes(enc), enc);
+    } else {
+        backend_.write(batch, path, enc);
+    }
+    n.persisted = true;
+    n.dirty = false;
+    n.cached_enc = enc;
+    return enc;
+}
+
+eth::Hash256
+MerklePatriciaTrie::commit(kv::WriteBatch &batch)
+{
+    if (mode_ == TrieStorageMode::PathBased) {
+        for (const Bytes &p : pending_deletes_)
+            backend_.remove(batch, p);
+    }
+    pending_deletes_.clear();
+
+    if (!root_) {
+        root_hash_ = eth::emptyTrieRoot();
+        dirty_ = false;
+        return root_hash_;
+    }
+    Bytes path;
+    Bytes enc = commitNode(*root_, path, batch);
+    root_hash_ = eth::hashOf(enc);
+    // Hash mode: sub-32-byte roots are not hash-referenced by any
+    // parent, so persist them explicitly under their hash.
+    if (mode_ == TrieStorageMode::HashBased && enc.size() < 32)
+        backend_.write(batch, root_hash_.view(), enc);
+    dirty_ = false;
+    return root_hash_;
+}
+
+void
+MerklePatriciaTrie::unloadChildren(Node &n)
+{
+    auto drop = [this](Node::ChildSlot &c) {
+        if (!c.node)
+            return;
+        if (c.node->dirty || c.ref.empty()) {
+            unloadChildren(*c.node); // keep the dirty spine only
+        } else {
+            c.node.reset();
+        }
+    };
+    if (n.kind == Node::Ext)
+        drop(n.child);
+    else if (n.kind == Node::Branch)
+        for (auto &c : n.children)
+            drop(c);
+}
+
+void
+MerklePatriciaTrie::unloadClean()
+{
+    if (!root_)
+        return;
+    if (root_->dirty) {
+        unloadChildren(*root_);
+        return;
+    }
+    root_.reset();
+    root_checked_ = false;
+}
+
+size_t
+MerklePatriciaTrie::countLoaded(const Node *node) const
+{
+    if (!node)
+        return 0;
+    size_t count = 1;
+    if (node->kind == Node::Ext) {
+        count += countLoaded(node->child.node.get());
+    } else if (node->kind == Node::Branch) {
+        for (const auto &c : node->children)
+            count += countLoaded(c.node.get());
+    }
+    return count;
+}
+
+size_t
+MerklePatriciaTrie::loadedNodeCount() const
+{
+    return countLoaded(root_.get());
+}
+
+} // namespace ethkv::trie

@@ -1,0 +1,296 @@
+#include "workload/generator.hh"
+
+#include <cmath>
+
+#include "client/calldata.hh"
+#include "common/logging.hh"
+
+namespace ethkv::wl
+{
+
+ChainGenerator::ChainGenerator(WorkloadConfig config)
+    : config_(std::move(config)), rng_(config_.seed),
+      account_count_(config_.initial_accounts)
+{
+    genesis_hash_ = eth::hashOf("ethkv-genesis-" +
+                                std::to_string(config_.seed));
+    parent_hash_ = genesis_hash_;
+    deployer_ = eth::Address::fromId(0xde910e7);
+    if (account_count_ == 0)
+        account_count_ = 1;
+
+    // The initial contract population pre-exists (deployed by the
+    // deployer before the trace window); ongoing deployments
+    // continue the same nonce sequence.
+    contracts_.reserve(config_.initial_contracts);
+    for (uint64_t i = 0; i < config_.initial_contracts; ++i) {
+        ++deployer_nonce_;
+        contracts_.push_back(
+            {eth::contractAddress(deployer_, deployer_nonce_), i});
+    }
+}
+
+eth::Address
+ChainGenerator::accountAddress(uint64_t id) const
+{
+    return eth::Address::fromId(id + 1000);
+}
+
+eth::Hash256
+ChainGenerator::slotKey(uint64_t contract_id, uint64_t rank)
+{
+    Bytes seed = "slot";
+    appendBE64(seed, contract_id);
+    appendBE64(seed, rank);
+    return eth::hashOf(seed);
+}
+
+void
+ChainGenerator::forEachSeedAccount(
+    const std::function<void(const SeedAccount &)> &cb) const
+{
+    // Externally owned accounts.
+    Rng rng(config_.seed ^ 0x5eed);
+    for (uint64_t id = 0; id < config_.initial_accounts; ++id) {
+        SeedAccount seed;
+        seed.address = accountAddress(id);
+        seed.balance = 1 + rng.nextBounded(1ull << 40);
+        seed.nonce = rng.nextBounded(500);
+        cb(seed);
+    }
+    // The deployer pre-exists with its nonce already advanced past
+    // the initial contracts, so ongoing deployments derive fresh
+    // addresses.
+    SeedAccount deployer_seed;
+    deployer_seed.address = deployer_;
+    deployer_seed.nonce = config_.initial_contracts;
+    deployer_seed.balance = 1ull << 40;
+    cb(deployer_seed);
+
+    // Contract accounts (code and seeded storage handled by the
+    // pipeline using seedCode()/slotKey()).
+    for (const Contract &contract : contracts_) {
+        SeedAccount seed;
+        seed.address = contract.address;
+        seed.is_contract = true;
+        seed.contract_id = contract.id;
+        seed.balance = rng.nextBounded(1ull << 30);
+        seed.nonce = 1;
+        cb(seed);
+    }
+}
+
+Bytes
+ChainGenerator::seedCode(uint64_t contract_id) const
+{
+    Rng rng(config_.seed ^ (contract_id * 0xc0de + 17));
+    return makeCode(contract_id, rng);
+}
+
+uint64_t
+ChainGenerator::samplePoisson(double mean)
+{
+    // Knuth inversion; means here are small (< 20).
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= rng_.nextDouble();
+    } while (p > l && k < 200);
+    return k - 1;
+}
+
+Bytes
+ChainGenerator::makeCode(uint64_t contract_id, Rng &rng) const
+{
+    // Mixture calibrated to Table I's Code average of ~6.6 KiB:
+    // 35% small, 45% medium, 20% large (up to the 24 KiB limit).
+    double roll = rng.nextDouble();
+    size_t size;
+    if (roll < 0.35)
+        size = 200 + rng.nextBounded(1000);
+    else if (roll < 0.80)
+        size = 1200 + rng.nextBounded(9000);
+    else
+        size = 10000 + rng.nextBounded(14000);
+    Bytes code = rng.nextBytes(size);
+    // Make each contract's code unique and non-program-magic.
+    code.insert(0, Bytes("\x60\x80") + encodeBE64(contract_id));
+    return code;
+}
+
+eth::Transaction
+ChainGenerator::makeTransfer()
+{
+    // Lazily (re)build the sampler as the account space grows.
+    if (!account_sampler_ ||
+        account_sampler_domain_ * 5 < account_count_ * 4) {
+        account_sampler_ = std::make_unique<ZipfGenerator>(
+            account_count_, config_.account_zipf);
+        account_sampler_domain_ = account_count_;
+    }
+
+    eth::Transaction tx;
+    tx.from =
+        accountAddress(account_sampler_->sample(rng_));
+    if (rng_.chance(config_.new_account_rate)) {
+        tx.to = accountAddress(account_count_++);
+    } else {
+        tx.to = accountAddress(account_sampler_->sample(rng_));
+    }
+    tx.value = 1 + rng_.nextBounded(1u << 20);
+    tx.gas_limit = 21000;
+    if (config_.transfer_pad_max > 0 && rng_.chance(0.3)) {
+        tx.data =
+            rng_.nextBytes(rng_.nextBounded(
+                config_.transfer_pad_max));
+        // Never collide with the program magic.
+        if (!tx.data.empty())
+            tx.data[0] = '\x00';
+    }
+    return tx;
+}
+
+eth::Transaction
+ChainGenerator::makeContractCall()
+{
+    if (!contract_sampler_ ||
+        contract_sampler_domain_ * 5 < contracts_.size() * 4) {
+        contract_sampler_ = std::make_unique<ZipfGenerator>(
+            contracts_.size(), config_.contract_zipf);
+        contract_sampler_domain_ = contracts_.size();
+    }
+    const Contract &contract =
+        contracts_[contract_sampler_->sample(rng_)];
+
+    if (!account_sampler_) {
+        account_sampler_ = std::make_unique<ZipfGenerator>(
+            account_count_, config_.account_zipf);
+        account_sampler_domain_ = account_count_;
+    }
+
+    // Writes range over the whole slot space (the tail creates
+    // fresh slots); reads stay within the seeded head, i.e. slots
+    // that plausibly exist.
+    if (!slot_write_sampler_) {
+        slot_write_sampler_ = std::make_unique<ZipfGenerator>(
+            config_.slots_per_contract, config_.slot_zipf);
+        slot_read_sampler_ = std::make_unique<ZipfGenerator>(
+            std::max<uint64_t>(1,
+                               config_.seeded_slots_per_contract),
+            config_.slot_zipf);
+    }
+
+    uint64_t reads = samplePoisson(config_.slot_reads_mean);
+    uint64_t writes = samplePoisson(config_.slot_writes_mean);
+    if (reads + writes == 0)
+        reads = 1;
+
+    std::vector<client::SlotOp> ops;
+    ops.reserve(reads + writes);
+    for (uint64_t i = 0; i < reads; ++i) {
+        ops.push_back(
+            {client::SlotOp::Kind::Read,
+             slotKey(contract.id,
+                     slot_read_sampler_->sample(rng_)),
+             0});
+    }
+    for (uint64_t i = 0; i < writes; ++i) {
+        client::SlotOp op;
+        op.slot = slotKey(contract.id,
+                          slot_write_sampler_->sample(rng_));
+        if (rng_.chance(config_.slot_clear_fraction)) {
+            op.kind = client::SlotOp::Kind::Clear;
+        } else {
+            op.kind = rng_.chance(config_.slot_log_fraction)
+                          ? client::SlotOp::Kind::WriteLog
+                          : client::SlotOp::Kind::Write;
+            op.value_size = static_cast<uint16_t>(
+                1 + rng_.nextBounded(config_.slot_value_max));
+        }
+        ops.push_back(op);
+    }
+
+    eth::Transaction tx;
+    tx.from =
+        accountAddress(account_sampler_->sample(rng_));
+    tx.to = contract.address;
+    tx.value = rng_.chance(0.2) ? rng_.nextBounded(1u << 16) : 0;
+    tx.gas_limit = 21000 + 20000 * (reads + writes);
+    tx.data = client::encodeCallProgram(
+        ops, rng_.nextBounded(64));
+    return tx;
+}
+
+eth::Transaction
+ChainGenerator::makeDeployment()
+{
+    eth::Transaction tx;
+    tx.from = deployer_;
+    tx.to.reset();
+    uint64_t contract_id = contracts_.size();
+    tx.data = makeCode(contract_id, rng_);
+    tx.gas_limit = 1000000;
+
+    // The client VM increments the sender nonce before deriving
+    // the address; mirror that here.
+    ++deployer_nonce_;
+    contracts_.push_back(
+        {eth::contractAddress(deployer_, deployer_nonce_),
+         contract_id});
+    return tx;
+}
+
+eth::Block
+ChainGenerator::nextBlock()
+{
+    eth::Block block;
+    block.header.number = next_number_++;
+    block.header.parent_hash = parent_hash_;
+    block.header.coinbase = eth::Address::fromId(7); // fee pool
+    block.header.timestamp = 1723248000 +
+                             block.header.number * 12;
+    block.header.extra = "ethkv";
+
+    uint64_t tx_count = samplePoisson(config_.txs_per_block);
+    if (tx_count == 0)
+        tx_count = 1;
+
+    for (uint64_t i = 0; i < tx_count; ++i) {
+        eth::Transaction tx;
+        if (!contracts_.empty() &&
+            rng_.chance(config_.contract_call_fraction)) {
+            if (rng_.chance(config_.creation_fraction))
+                tx = makeDeployment();
+            else
+                tx = makeContractCall();
+        } else {
+            tx = makeTransfer();
+        }
+        tx.nonce = i;
+        block.body.transactions.push_back(std::move(tx));
+        block.header.gas_used +=
+            block.body.transactions.back().gas_limit;
+    }
+
+    // Commitments over the body; the state root is filled by the
+    // executing client, not the generator (DESIGN.md).
+    std::vector<Bytes> encoded;
+    encoded.reserve(block.body.transactions.size());
+    for (const eth::Transaction &tx : block.body.transactions)
+        encoded.push_back(tx.encode());
+    block.header.tx_root = eth::computeListRoot(encoded);
+
+    // A representative logs bloom for the header (receipts are
+    // produced at execution time).
+    for (const eth::Transaction &tx : block.body.transactions) {
+        if (tx.to && client::isCallProgram(tx.data))
+            block.header.logs_bloom.add(tx.to->view());
+    }
+
+    parent_hash_ = block.header.hash();
+    return block;
+}
+
+} // namespace ethkv::wl

@@ -1,0 +1,223 @@
+#include "workload/sim.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace ethkv::wl
+{
+
+SimResult
+runSimulation(const SimConfig &config)
+{
+    SimResult result;
+    result.interner = std::make_unique<trace::KeyInterner>();
+    result.engine = config.make_engine
+                        ? config.make_engine()
+                        : std::make_unique<kv::MemStore>();
+
+    trace::TracingKVStore traced(
+        *result.engine,
+        [](BytesView key) { return client::classifyId(key); },
+        result.trace, *result.interner);
+
+    // "auto" freezer dirs get a unique scratch location removed
+    // after the run (the freezer's own files are not part of the
+    // KV store and carry no trace value).
+    client::NodeConfig node_config = config.node;
+    std::string scratch_freezer;
+    if (node_config.freezer_dir == "auto") {
+        static int counter = 0;
+        scratch_freezer =
+            (std::filesystem::temp_directory_path() /
+             ("ethkv_freezer_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++)))
+                .string();
+        node_config.freezer_dir = scratch_freezer;
+    }
+
+    {
+        ChainGenerator generator(config.workload);
+        client::FullNode node(traced, node_config);
+
+        bool deferred_capture =
+            config.seed_state || config.warmup_blocks > 0;
+        if (deferred_capture)
+            traced.setCapture(false);
+
+        node.start(generator.genesisHash()).expectOk("node start");
+        if (config.seed_state)
+            seedWorldState(node, generator);
+
+        for (uint64_t i = 0; i < config.blocks; ++i) {
+            if (deferred_capture && i == config.warmup_blocks)
+                traced.setCapture(true);
+            eth::Block block = generator.nextBlock();
+            Status s = node.processBlock(block);
+            if (!s.isOk()) {
+                fatal("block %llu failed: %s",
+                      static_cast<unsigned long long>(
+                          block.header.number),
+                      s.toString().c_str());
+            }
+            ++result.blocks_processed;
+            if (config.restart_interval &&
+                (i + 1) % config.restart_interval == 0 &&
+                i + 1 < config.blocks) {
+                node.restart(generator.genesisHash())
+                    .expectOk("node restart");
+            }
+            if (config.progress_interval &&
+                (i + 1) % config.progress_interval == 0) {
+                inform("processed %llu/%llu blocks, "
+                       "%llu trace ops",
+                       static_cast<unsigned long long>(i + 1),
+                       static_cast<unsigned long long>(
+                           config.blocks),
+                       static_cast<unsigned long long>(
+                           result.trace.size()));
+            }
+        }
+        node.shutdown().expectOk("node shutdown");
+
+        if (node_config.caching) {
+            result.cache_stats =
+                static_cast<client::CachingKVStore &>(node.store())
+                    .cacheStats();
+        }
+    }
+    if (!scratch_freezer.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(scratch_freezer, ec);
+    }
+    // Unique keys *in the captured trace* (the interner also holds
+    // ids from the uncaptured seed/warmup phases).
+    std::vector<bool> seen(result.interner->uniqueKeys(), false);
+    uint64_t unique = 0;
+    for (const trace::TraceRecord &r : result.trace.records()) {
+        if (!seen[r.key_id]) {
+            seen[r.key_id] = true;
+            ++unique;
+        }
+    }
+    result.unique_keys = unique;
+    return result;
+}
+
+void
+seedWorldState(client::FullNode &node,
+               const ChainGenerator &generator)
+{
+    const WorkloadConfig &wl_config = generator.config();
+    client::StateDB &state = node.state();
+    size_t staged = 0;
+
+    auto commit = [&]() {
+        kv::WriteBatch batch;
+        state.commitBlock(batch);
+        node.store().apply(batch).expectOk("seed commit");
+        staged = 0;
+    };
+
+    generator.forEachSeedAccount([&](const SeedAccount &seed) {
+        eth::Account account;
+        account.nonce = seed.nonce;
+        account.balance = seed.balance;
+        if (seed.is_contract) {
+            account.code_hash = state.putCode(
+                generator.seedCode(seed.contract_id));
+            // Hot (popular) contracts carry much deeper storage
+            // tries, as mainnet's top contracts do.
+            uint64_t slots = wl_config.seeded_slots_per_contract;
+            uint64_t hot_cutoff = static_cast<uint64_t>(
+                wl_config.hot_contract_fraction *
+                static_cast<double>(generator.contractCount()));
+            if (seed.contract_id < hot_cutoff)
+                slots *= wl_config.hot_slot_multiplier;
+            for (uint64_t rank = 0; rank < slots; ++rank) {
+                eth::Hash256 slot = ChainGenerator::slotKey(
+                    seed.contract_id, rank);
+                // Small deterministic value (1-32 bytes).
+                size_t len = 1 + (rank % 31);
+                state.setStorage(seed.address, slot,
+                                 slot.view().substr(0, len));
+                ++staged;
+            }
+        }
+        state.setAccount(seed.address, account);
+        if (++staged >= 2000)
+            commit();
+    });
+    commit();
+
+    // Standing populations from the pre-trace chain: historical
+    // tx lookups, hash->number mappings, and bloombits rows that
+    // sit in the store but are (mostly) never touched during the
+    // capture window (their Table I presence vs their tiny op
+    // shares in Tables II/III).
+    Rng rng(wl_config.seed ^ 0x0ddba11);
+    kv::WriteBatch batch;
+    auto drain = [&]() {
+        if (batch.size() >= 4000) {
+            node.store().apply(batch).expectOk("seed history");
+            batch.clear();
+        }
+    };
+    for (uint64_t i = 0; i < wl_config.seeded_tx_lookups; ++i) {
+        Bytes key = "l";
+        key += rng.nextBytes(32);
+        batch.put(key, encodeBE64(i / 150));
+        drain();
+    }
+    for (uint64_t i = 0; i < wl_config.seeded_header_numbers;
+         ++i) {
+        Bytes key = "H";
+        key += rng.nextBytes(32);
+        batch.put(key, encodeBE64(i));
+        drain();
+    }
+    for (uint64_t i = 0; i < wl_config.seeded_bloom_bits; ++i) {
+        Bytes key = "B";
+        key += rng.nextBytes(10); // bit(2) + section(8)
+        key += rng.nextBytes(32);
+        batch.put(key, rng.nextBytes(200 + rng.nextBounded(400)));
+        drain();
+    }
+    node.store().apply(batch).expectOk("seed history");
+}
+
+SimConfig
+cacheTraceConfig(uint64_t blocks, uint64_t seed)
+{
+    SimConfig config;
+    config.blocks = blocks;
+    config.workload.seed = seed;
+    config.node.caching = true;
+    config.node.freezer_dir = "auto";
+    // Geth's 1 GiB cache covers ~0.4% of a 275 GiB store; sim
+    // budgets are scaled to preserve that miss pressure.
+    config.node.cache.total_bytes = 16u << 20;
+    config.node.cache.write_back_bytes = 12u << 20;
+    // Let freezer/pruning reach steady state before capture, but
+    // never consume the whole run.
+    config.warmup_blocks = std::min<uint64_t>(96, blocks / 4);
+    config.restart_interval = 400;
+    return config;
+}
+
+SimConfig
+bareTraceConfig(uint64_t blocks, uint64_t seed)
+{
+    SimConfig config;
+    config.blocks = blocks;
+    config.workload.seed = seed;
+    config.node.caching = false;
+    config.node.freezer_dir = "auto";
+    config.warmup_blocks = std::min<uint64_t>(96, blocks / 4);
+    config.restart_interval = 400;
+    return config;
+}
+
+} // namespace ethkv::wl

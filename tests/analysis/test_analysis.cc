@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Analysis toolkit tests: store inventory, op distributions, key
+ * frequencies, read ratios, and the distance-based correlation
+ * analyzer — the latter validated against a brute-force
+ * implementation of the paper's definition on small traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/class_stats.hh"
+#include "analysis/correlation.hh"
+#include "analysis/op_distribution.hh"
+#include "analysis/report.hh"
+#include "common/rand.hh"
+#include "kvstore/mem_store.hh"
+
+namespace ethkv::analysis
+{
+namespace
+{
+
+using client::KVClass;
+using trace::OpType;
+using trace::TraceBuffer;
+using trace::TraceRecord;
+
+TraceRecord
+rec(OpType op, KVClass cls, uint64_t key, uint32_t vsize = 10)
+{
+    TraceRecord r;
+    r.op = op;
+    r.class_id = static_cast<uint16_t>(cls);
+    r.key_id = key;
+    r.key_size = 33;
+    r.value_size = vsize;
+    return r;
+}
+
+TEST(StoreInventoryTest, ClassifiesAndCounts)
+{
+    kv::MemStore store;
+    store.put(client::snapshotAccountKey(eth::hashOf("a")),
+              Bytes(16, 'v'));
+    store.put(client::snapshotAccountKey(eth::hashOf("b")),
+              Bytes(20, 'v'));
+    store.put(client::txLookupKey(eth::hashOf("t")), "12345678");
+    store.put(client::lastBlockKey(), Bytes(32, 'h'));
+
+    StoreInventory inventory = analyzeStore(store);
+    EXPECT_EQ(inventory.total_pairs, 4u);
+    EXPECT_EQ(inventory.of(KVClass::SnapshotAccount).pairs, 2u);
+    EXPECT_EQ(inventory.of(KVClass::TxLookup).pairs, 1u);
+    EXPECT_EQ(inventory.of(KVClass::LastBlock).pairs, 1u);
+    EXPECT_EQ(inventory.singletonClasses(), 2);
+    EXPECT_DOUBLE_EQ(inventory.share(KVClass::SnapshotAccount),
+                     0.5);
+    EXPECT_NEAR(
+        inventory.of(KVClass::SnapshotAccount).value_size.mean(),
+        18.0, 1e-9);
+    EXPECT_NEAR(inventory.topShare(1), 0.5, 1e-9);
+}
+
+TEST(OpDistributionTest, CountsAndShares)
+{
+    TraceBuffer trace;
+    trace.append(rec(OpType::Read, KVClass::Code, 1));
+    trace.append(rec(OpType::Read, KVClass::Code, 2));
+    trace.append(rec(OpType::Write, KVClass::Code, 3));
+    trace.append(rec(OpType::Delete, KVClass::TxLookup, 4));
+
+    auto ops = OpDistribution::analyze(trace);
+    EXPECT_EQ(ops.totalOps(), 4u);
+    EXPECT_EQ(ops.classOps(KVClass::Code), 3u);
+    EXPECT_DOUBLE_EQ(ops.classShare(KVClass::Code), 0.75);
+    EXPECT_DOUBLE_EQ(ops.opShare(KVClass::Code, OpType::Read),
+                     2.0 / 3.0);
+    EXPECT_EQ(ops.opTotal(OpType::Read), 2u);
+    EXPECT_EQ(ops.count(KVClass::TxLookup, OpType::Delete), 1u);
+    EXPECT_EQ(ops.classOps(KVClass::BlockBody), 0u);
+}
+
+TEST(KeyFrequencyTest, PerKeyCountsAndBands)
+{
+    TraceBuffer trace;
+    // Key 1 read 5x, key 2 read 1x, key 3 read 2x; key 4 written.
+    for (int i = 0; i < 5; ++i)
+        trace.append(rec(OpType::Read, KVClass::Code, 1));
+    trace.append(rec(OpType::Read, KVClass::Code, 2));
+    trace.append(rec(OpType::Read, KVClass::Code, 3));
+    trace.append(rec(OpType::Read, KVClass::Code, 3));
+    trace.append(rec(OpType::Write, KVClass::Code, 4));
+
+    auto freq = KeyFrequency::analyze(trace, OpType::Read);
+    EXPECT_EQ(freq.uniqueKeys(KVClass::Code), 3u);
+    EXPECT_DOUBLE_EQ(freq.onceFraction(KVClass::Code), 1.0 / 3.0);
+    EXPECT_EQ(freq.distribution(KVClass::Code).countOf(5), 1u);
+    EXPECT_EQ(freq.distribution(KVClass::Code).countOf(2), 1u);
+    // Top 40% of 3 keys = the single hottest key -> 5 ops.
+    EXPECT_EQ(freq.topKeyOps(KVClass::Code, 0.34), 5u);
+    EXPECT_EQ(freq.bandOps(KVClass::Code, 2, 5), 7u);
+    EXPECT_EQ(freq.bandOps(KVClass::Code, 10, 100), 0u);
+}
+
+TEST(ReadRatioTest, MatchesDefinition)
+{
+    kv::MemStore store;
+    for (int i = 0; i < 10; ++i) {
+        store.put(client::snapshotAccountKey(
+                      eth::hashOf(encodeBE64(i))),
+                  "v");
+    }
+    StoreInventory inventory = analyzeStore(store);
+
+    TraceBuffer trace;
+    // 3 distinct snapshot-account keys read.
+    for (uint64_t k : {1u, 2u, 3u, 1u, 1u})
+        trace.append(rec(OpType::Read, KVClass::SnapshotAccount,
+                         k));
+    auto reads = KeyFrequency::analyze(trace, OpType::Read);
+    EXPECT_DOUBLE_EQ(
+        readRatio(reads, inventory, KVClass::SnapshotAccount),
+        0.3);
+}
+
+// --- Correlation analyzer vs brute force -----------------------
+
+/** Brute-force implementation of the paper's definition. */
+std::map<ClassPair, uint64_t>
+bruteForce(const std::vector<std::pair<uint64_t, uint16_t>> &reads,
+           uint32_t d, uint32_t min_occurrences)
+{
+    size_t gap = d + 1;
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> pair_counts;
+    for (size_t i = 0; i + gap < reads.size(); ++i) {
+        uint64_t a = reads[i].first, b = reads[i + gap].first;
+        pair_counts[{std::min(a, b), std::max(a, b)}] += 1;
+    }
+    std::map<uint64_t, uint16_t> class_of;
+    for (const auto &[key, cls] : reads)
+        class_of[key] = cls;
+
+    std::map<ClassPair, uint64_t> out;
+    for (const auto &[key_pair, count] : pair_counts) {
+        if (count < min_occurrences)
+            continue;
+        uint16_t ca = class_of[key_pair.first];
+        uint16_t cb = class_of[key_pair.second];
+        out[{std::min(ca, cb), std::max(ca, cb)}] += count;
+    }
+    return out;
+}
+
+class CorrelationProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CorrelationProperty, MatchesBruteForce)
+{
+    Rng rng(GetParam());
+    TraceBuffer trace;
+    std::vector<std::pair<uint64_t, uint16_t>> reads;
+    const uint16_t classes[] = {
+        static_cast<uint16_t>(KVClass::TrieNodeAccount),
+        static_cast<uint16_t>(KVClass::TrieNodeStorage),
+        static_cast<uint16_t>(KVClass::Code),
+    };
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t key = rng.nextBounded(60);
+        uint16_t cls = classes[key % 3];
+        trace.append(
+            rec(OpType::Read, static_cast<KVClass>(cls), key));
+        reads.emplace_back(key, cls);
+        // Noise: other op types must be ignored.
+        if (rng.chance(0.3)) {
+            trace.append(rec(OpType::Update,
+                             KVClass::SnapshotAccount,
+                             rng.nextBounded(60)));
+        }
+    }
+
+    CorrelationConfig config;
+    config.distances = {0, 1, 3, 10};
+    CorrelationResult result =
+        analyzeCorrelation(trace, config);
+
+    for (uint32_t d : config.distances) {
+        auto expected = bruteForce(reads, d, 2);
+        for (const auto &[pair, count] : expected) {
+            EXPECT_EQ(result.count(pair, d), count)
+                << "distance " << d << " pair "
+                << pair.label();
+        }
+        // No spurious extra pairs.
+        uint64_t expected_total = 0, actual_total = 0;
+        for (const auto &[pair, count] : expected)
+            expected_total += count;
+        for (int a = 0; a < client::num_kv_classes; ++a) {
+            for (int b = a; b < client::num_kv_classes; ++b) {
+                actual_total += result.count(
+                    {static_cast<uint16_t>(a),
+                     static_cast<uint16_t>(b)},
+                    d);
+            }
+        }
+        EXPECT_EQ(actual_total, expected_total);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelationProperty,
+                         ::testing::Values(3, 17, 59));
+
+TEST(CorrelationTest, MinOccurrenceFilter)
+{
+    TraceBuffer trace;
+    // Pair (1,2) adjacent twice; pair (3,4) adjacent once.
+    for (uint64_t k : {1u, 2u, 9u, 1u, 2u, 9u, 3u, 4u}) {
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeAccount, k));
+    }
+    CorrelationConfig config;
+    config.distances = {0};
+    CorrelationResult result = analyzeCorrelation(trace, config);
+
+    ClassPair ta_ta{
+        static_cast<uint16_t>(KVClass::TrieNodeAccount),
+        static_cast<uint16_t>(KVClass::TrieNodeAccount)};
+    // Adjacent pairs: (1,2)x2, (2,9)x2, (9,1)x1, (9,3)x1,
+    // (3,4)x1. Only pairs occurring at least twice qualify, so
+    // the correlated count is 2 + 2 = 4.
+    EXPECT_EQ(result.count(ta_ta, 0), 4u);
+}
+
+TEST(CorrelationTest, FrequencyDistributions)
+{
+    TraceBuffer trace;
+    for (int round = 0; round < 5; ++round) {
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeAccount, 1));
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeStorage, 2));
+    }
+    CorrelationConfig config;
+    config.distances = {0};
+    config.frequency_distances = {0};
+    CorrelationResult result = analyzeCorrelation(trace, config);
+
+    uint16_t ts = static_cast<uint16_t>(KVClass::TrieNodeStorage);
+    uint16_t ta = static_cast<uint16_t>(KVClass::TrieNodeAccount);
+    ClassPair ta_ts{std::min(ts, ta), std::max(ts, ta)};
+    const ExactDistribution &freq = result.frequencies(ta_ts, 0);
+    // One qualifying key pair (1,2)... appearing at distance 0
+    // nine times (alternating sequence).
+    EXPECT_EQ(freq.totalCount(), 1u);
+    EXPECT_EQ(freq.maxValue(), 9u);
+}
+
+TEST(CorrelationTest, TopPairsOrdering)
+{
+    TraceBuffer trace;
+    // TA-TA pairs dominate, then TA-TS.
+    for (int i = 0; i < 20; ++i) {
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeAccount, 1));
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeAccount, 2));
+    }
+    for (int i = 0; i < 5; ++i) {
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeAccount, 3));
+        trace.append(
+            rec(OpType::Read, KVClass::TrieNodeStorage, 4));
+    }
+    CorrelationConfig config;
+    config.distances = {0};
+    CorrelationResult result = analyzeCorrelation(trace, config);
+
+    auto intra = result.topPairs(0, true, 3);
+    ASSERT_FALSE(intra.empty());
+    EXPECT_EQ(intra[0].label(), "TA-TA");
+    auto cross = result.topPairs(0, false, 3);
+    ASSERT_FALSE(cross.empty());
+    EXPECT_TRUE(cross[0].label() == "TS-TA" ||
+                cross[0].label() == "TA-TS");
+}
+
+TEST(ReportTest, TableRendering)
+{
+    Table table({"A", "Bee"});
+    table.addRow({"1", "2"});
+    table.addRule();
+    table.addRow({"333", "4"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("A    Bee"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtShare(0.5), "50.00%");
+    EXPECT_EQ(fmtShare(0.0), "-");
+}
+
+TEST(ClassAbbrevTest, PaperLabels)
+{
+    EXPECT_EQ(classAbbrev(KVClass::TrieNodeAccount), "TA");
+    EXPECT_EQ(classAbbrev(KVClass::TrieNodeStorage), "TS");
+    EXPECT_EQ(classAbbrev(KVClass::SnapshotAccount), "SA");
+    EXPECT_EQ(classAbbrev(KVClass::SnapshotStorage), "SS");
+    EXPECT_EQ(classAbbrev(KVClass::Code), "C");
+    EXPECT_EQ(classAbbrev(KVClass::LastFast), "LF");
+    ClassPair pair{
+        static_cast<uint16_t>(KVClass::TrieNodeAccount),
+        static_cast<uint16_t>(KVClass::TrieNodeStorage)};
+    EXPECT_EQ(pair.label(), "TA-TS");
+}
+
+} // namespace
+} // namespace ethkv::analysis

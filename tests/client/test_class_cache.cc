@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Caching layer tests: read-hit absorption, uncached classes,
+ * write-back coalescing, eviction under budget, pass-through mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "client/class_cache.hh"
+#include "kvstore/mem_store.hh"
+
+namespace ethkv::client
+{
+namespace
+{
+
+Bytes
+snapKey(uint64_t i)
+{
+    return snapshotAccountKey(eth::hashOf(encodeBE64(i)));
+}
+
+Bytes
+trieKey(uint64_t i)
+{
+    Bytes path = encodeBE64(i);
+    return trieNodeAccountKey(path);
+}
+
+TEST(ClassCacheTest, ReadHitsSkipInner)
+{
+    kv::MemStore inner;
+    CachingKVStore cache(inner, CacheConfig{});
+
+    cache.put(snapKey(1), "value");
+    uint64_t inner_reads = inner.stats().user_reads;
+
+    Bytes value;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(cache.get(snapKey(1), value).isOk());
+        EXPECT_EQ(value, "value");
+    }
+    // All ten reads served from the LRU.
+    EXPECT_EQ(inner.stats().user_reads, inner_reads);
+    EXPECT_GE(cache.cacheStats().hits, 10u);
+}
+
+TEST(ClassCacheTest, MissFillsThenHits)
+{
+    kv::MemStore inner;
+    inner.put(snapKey(2), "cold");
+    CachingKVStore cache(inner, CacheConfig{});
+
+    Bytes value;
+    ASSERT_TRUE(cache.get(snapKey(2), value).isOk());
+    uint64_t reads_after_miss = inner.stats().user_reads;
+    ASSERT_TRUE(cache.get(snapKey(2), value).isOk());
+    EXPECT_EQ(inner.stats().user_reads, reads_after_miss);
+}
+
+TEST(ClassCacheTest, UncachedClassesAlwaysReachInner)
+{
+    kv::MemStore inner;
+    CachingKVStore cache(inner, CacheConfig{});
+
+    // Singletons (GroupOther) have no cache, like Geth.
+    cache.put(lastBlockKey(), "hash");
+    uint64_t reads = inner.stats().user_reads;
+    Bytes value;
+    cache.get(lastBlockKey(), value);
+    cache.get(lastBlockKey(), value);
+    EXPECT_EQ(inner.stats().user_reads, reads + 2);
+}
+
+TEST(ClassCacheTest, WriteBackCoalescesTrieNodes)
+{
+    kv::MemStore inner;
+    CacheConfig config;
+    config.write_back_bytes = 1u << 20;
+    CachingKVStore cache(inner, config);
+
+    // Ten writes to the same trie path: only one reaches the
+    // engine at flush (Geth's pathdb buffer behaviour).
+    for (int i = 0; i < 10; ++i)
+        cache.put(trieKey(7), "version-" + std::to_string(i));
+    EXPECT_EQ(inner.stats().user_writes, 0u);
+    EXPECT_EQ(cache.cacheStats().writeback_coalesced, 9u);
+
+    // Reads see the buffered value without touching the engine.
+    Bytes value;
+    ASSERT_TRUE(cache.get(trieKey(7), value).isOk());
+    EXPECT_EQ(value, "version-9");
+    EXPECT_EQ(inner.stats().user_reads, 0u);
+
+    ASSERT_TRUE(cache.flushWriteBack().isOk());
+    EXPECT_EQ(inner.stats().user_writes, 1u);
+    Bytes inner_value;
+    ASSERT_TRUE(inner.get(trieKey(7), inner_value).isOk());
+    EXPECT_EQ(inner_value, "version-9");
+}
+
+TEST(ClassCacheTest, WriteBackDeleteShadowsInner)
+{
+    kv::MemStore inner;
+    inner.put(trieKey(3), "old");
+    CachingKVStore cache(inner, CacheConfig{});
+
+    cache.del(trieKey(3));
+    Bytes value;
+    EXPECT_TRUE(cache.get(trieKey(3), value).isNotFound());
+    // Inner still has it until the buffer drains.
+    EXPECT_TRUE(inner.get(trieKey(3), value).isOk());
+    ASSERT_TRUE(cache.flushWriteBack().isOk());
+    EXPECT_TRUE(inner.get(trieKey(3), value).isNotFound());
+}
+
+TEST(ClassCacheTest, WriteBackAutoFlushesAtBudget)
+{
+    kv::MemStore inner;
+    CacheConfig config;
+    config.write_back_bytes = 4096;
+    CachingKVStore cache(inner, config);
+
+    for (uint64_t i = 0; i < 100; ++i)
+        cache.put(trieKey(i), Bytes(100, 'v'));
+    // The 4 KiB buffer cannot hold 100 x ~100 B: flushes happened.
+    EXPECT_GT(cache.cacheStats().writeback_flushes, 0u);
+    EXPECT_GT(inner.stats().user_writes, 0u);
+    EXPECT_LE(cache.writeBackBytes(), 4096u + 200);
+}
+
+TEST(ClassCacheTest, EvictionKeepsBudget)
+{
+    kv::MemStore inner;
+    CacheConfig config;
+    config.total_bytes = 16 << 10; // snapshot group = 25% = 4 KiB
+    CachingKVStore cache(inner, config);
+
+    for (uint64_t i = 0; i < 500; ++i)
+        cache.put(snapKey(i), Bytes(64, 'v'));
+    EXPECT_GT(cache.cacheStats().evictions, 0u);
+    EXPECT_LE(cache.cachedBytes(), config.total_bytes);
+
+    // Everything still durable in the engine.
+    Bytes value;
+    for (uint64_t i = 0; i < 500; ++i)
+        ASSERT_TRUE(inner.get(snapKey(i), value).isOk());
+}
+
+TEST(ClassCacheTest, DisabledModeIsTransparent)
+{
+    kv::MemStore inner;
+    CacheConfig config;
+    config.enabled = false;
+    CachingKVStore cache(inner, config);
+
+    cache.put(snapKey(1), "v");
+    Bytes value;
+    cache.get(snapKey(1), value);
+    cache.get(snapKey(1), value);
+    EXPECT_EQ(inner.stats().user_writes, 1u);
+    EXPECT_EQ(inner.stats().user_reads, 2u);
+    EXPECT_EQ(cache.cacheStats().hits, 0u);
+}
+
+TEST(ClassCacheTest, ApplySplitsBatch)
+{
+    kv::MemStore inner;
+    CachingKVStore cache(inner, CacheConfig{});
+
+    kv::WriteBatch batch;
+    batch.put(trieKey(1), "trie");   // write-back class
+    batch.put(snapKey(1), "snap");   // write-through class
+    batch.del(snapKey(2));
+    ASSERT_TRUE(cache.apply(batch).isOk());
+
+    // Only the write-through entries reached the engine.
+    EXPECT_EQ(inner.stats().user_writes, 1u);
+    EXPECT_EQ(inner.stats().user_deletes, 1u);
+    Bytes value;
+    ASSERT_TRUE(cache.get(trieKey(1), value).isOk());
+    EXPECT_EQ(value, "trie");
+}
+
+TEST(ClassCacheTest, LiveKeyCountDrainsBuffer)
+{
+    kv::MemStore inner;
+    CachingKVStore cache(inner, CacheConfig{});
+    cache.put(trieKey(1), "a");
+    cache.put(snapKey(1), "b");
+    EXPECT_EQ(cache.liveKeyCount(), 2u);
+}
+
+} // namespace
+} // namespace ethkv::client

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Freezer tests: contiguous appends, reads across tables,
+ * reopen/index rebuild, torn-append repair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "client/freezer.hh"
+#include "../kvstore/test_util.hh"
+
+namespace ethkv::client
+{
+namespace
+{
+
+using testutil::ScratchDir;
+
+Bytes
+payload(const char *tag, uint64_t n)
+{
+    return Bytes(tag) + encodeBE64(n);
+}
+
+TEST(FreezerTest, AppendAndRead)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+
+    for (uint64_t n = 0; n < 50; ++n) {
+        ASSERT_TRUE(freezer.value()
+                        ->append(n, payload("hash", n),
+                                 payload("hdr", n),
+                                 payload("body", n),
+                                 payload("rcpt", n))
+                        .isOk());
+    }
+    EXPECT_EQ(freezer.value()->frozenCount(), 50u);
+
+    Bytes out;
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Headers, 17, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("hdr", 17));
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Bodies, 0, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("body", 0));
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Receipts, 49, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("rcpt", 49));
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Hashes, 5, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("hash", 5));
+}
+
+TEST(FreezerTest, RejectsNonContiguousAppend)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    ASSERT_TRUE(freezer.value()
+                    ->append(0, "h", "a", "b", "c")
+                    .isOk());
+    EXPECT_FALSE(freezer.value()
+                     ->append(5, "h", "a", "b", "c")
+                     .isOk());
+}
+
+TEST(FreezerTest, ReadBeyondFrozenIsNotFound)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    Bytes out;
+    EXPECT_TRUE(freezer.value()
+                    ->read(FreezerTable::Headers, 0, out)
+                    .isNotFound());
+}
+
+TEST(FreezerTest, ReopenRebuildsIndex)
+{
+    ScratchDir dir("freezer");
+    {
+        auto freezer = Freezer::open(dir.path());
+        ASSERT_TRUE(freezer.ok());
+        for (uint64_t n = 0; n < 30; ++n) {
+            ASSERT_TRUE(freezer.value()
+                            ->append(n, payload("hash", n),
+                                     payload("hdr", n),
+                                     payload("body", n),
+                                     payload("rcpt", n))
+                            .isOk());
+        }
+    }
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    EXPECT_EQ(freezer.value()->frozenCount(), 30u);
+    Bytes out;
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Bodies, 29, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("body", 29));
+
+    // Appends continue from the rebuilt boundary.
+    ASSERT_TRUE(freezer.value()
+                    ->append(30, payload("hash", 30),
+                             payload("hdr", 30),
+                             payload("body", 30),
+                             payload("rcpt", 30))
+                    .isOk());
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Headers, 30, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("hdr", 30));
+}
+
+TEST(FreezerTest, TornTailAppendIsRepairedOnReopen)
+{
+    ScratchDir dir("freezer");
+    {
+        auto freezer = Freezer::open(dir.path());
+        ASSERT_TRUE(freezer.ok());
+        for (uint64_t n = 0; n < 10; ++n) {
+            ASSERT_TRUE(freezer.value()
+                            ->append(n, payload("hash", n),
+                                     payload("hdr", n),
+                                     payload("body", n),
+                                     payload("rcpt", n))
+                            .isOk());
+        }
+    }
+    // Simulate a crash that tore the receipts table's last record:
+    // chop bytes so only 9 receipts remain intact.
+    std::string receipts = dir.path() + "/receipts.dat";
+    auto size = std::filesystem::file_size(receipts);
+    std::filesystem::resize_file(receipts, size - 3);
+
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    // Frozen boundary falls back to the shortest intact table.
+    EXPECT_EQ(freezer.value()->frozenCount(), 9u);
+
+    // Re-freezing block 9 repairs the short table and skips the
+    // already-complete ones.
+    ASSERT_TRUE(freezer.value()
+                    ->append(9, payload("hash", 9),
+                             payload("hdr", 9),
+                             payload("body", 9),
+                             payload("rcpt", 9))
+                    .isOk());
+    Bytes out;
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Receipts, 9, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("rcpt", 9));
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Headers, 9, out)
+                    .isOk());
+    EXPECT_EQ(out, payload("hdr", 9));
+}
+
+TEST(FreezerTest, EmptyPayloadsAllowed)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    ASSERT_TRUE(freezer.value()
+                    ->append(0, BytesView(), BytesView(),
+                             BytesView(), BytesView())
+                    .isOk());
+    Bytes out = "sentinel";
+    ASSERT_TRUE(freezer.value()
+                    ->read(FreezerTable::Headers, 0, out)
+                    .isOk());
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(FreezerTest, TotalBytesGrow)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    uint64_t before = freezer.value()->totalBytes();
+    freezer.value()->append(0, "h", Bytes(1000, 'x'),
+                            Bytes(2000, 'y'), Bytes(3000, 'z'));
+    EXPECT_GT(freezer.value()->totalBytes(), before + 6000);
+}
+
+} // namespace
+} // namespace ethkv::client

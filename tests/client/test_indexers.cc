@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Indexer tests: tx-lookup indexing + tail pruning (including the
+ * freezer fallback), bloombits section processing, and skeleton
+ * sync bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "client/indexers.hh"
+#include "kvstore/mem_store.hh"
+#include "../kvstore/test_util.hh"
+
+namespace ethkv::client
+{
+namespace
+{
+
+using testutil::ScratchDir;
+
+eth::Block
+makeBlock(uint64_t number, int txs)
+{
+    eth::Block block;
+    block.header.number = number;
+    block.header.parent_hash = eth::hashOf(encodeBE64(number - 1));
+    for (int i = 0; i < txs; ++i) {
+        eth::Transaction tx;
+        tx.nonce = number * 1000 + i;
+        tx.from = eth::Address::fromId(i);
+        tx.to = eth::Address::fromId(i + 1);
+        block.body.transactions.push_back(tx);
+    }
+    return block;
+}
+
+/** Store one block the way the download phase does. */
+void
+storeBlock(kv::KVStore &store, const eth::Block &block)
+{
+    eth::Hash256 hash = block.header.hash();
+    store.put(canonicalHashKey(block.header.number),
+              hash.toBytes());
+    store.put(blockBodyKey(block.header.number, hash),
+              block.body.encode());
+}
+
+TEST(TxIndexerTest, IndexesEveryTransaction)
+{
+    kv::MemStore store;
+    TxIndexer indexer(store, 16);
+    eth::Block block = makeBlock(1, 10);
+
+    kv::WriteBatch batch;
+    indexer.indexBlock(batch, block);
+    store.apply(batch).expectOk("apply");
+
+    for (const eth::Transaction &tx : block.body.transactions) {
+        Bytes value;
+        ASSERT_TRUE(
+            store.get(txLookupKey(tx.hash()), value).isOk());
+        EXPECT_EQ(decodeBE64(value), 1u);
+    }
+}
+
+TEST(TxIndexerTest, PrunesTailFromStoreBodies)
+{
+    kv::MemStore store;
+    TxIndexer indexer(store, 4); // keep only 4 blocks indexed
+    std::vector<eth::Block> blocks;
+    for (uint64_t n = 1; n <= 10; ++n) {
+        blocks.push_back(makeBlock(n, 5));
+        storeBlock(store, blocks.back());
+        kv::WriteBatch batch;
+        indexer.indexBlock(batch, blocks.back());
+        ASSERT_TRUE(indexer.pruneTail(batch, n).isOk());
+        store.apply(batch).expectOk("apply");
+    }
+    // Blocks 1..6 pruned; 7..10 still indexed.
+    EXPECT_EQ(indexer.tail(), 7u);
+    for (uint64_t n = 1; n <= 10; ++n) {
+        bool indexed = n >= 7;
+        for (const eth::Transaction &tx :
+             blocks[n - 1].body.transactions) {
+            EXPECT_EQ(store.contains(txLookupKey(tx.hash())),
+                      indexed)
+                << "block " << n;
+        }
+    }
+    // Tail marker persisted.
+    Bytes tail_raw;
+    ASSERT_TRUE(
+        store.get(transactionIndexTailKey(), tail_raw).isOk());
+    EXPECT_EQ(decodeBE64(tail_raw), 7u);
+}
+
+TEST(TxIndexerTest, PruneFallsBackToFreezer)
+{
+    ScratchDir dir("txidx");
+    kv::MemStore store;
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    TxIndexer indexer(store, 2, freezer.value().get());
+
+    // Block 0 filler so freezer numbering aligns.
+    freezer.value()
+        ->append(0, "", "", eth::BlockBody().encode(), "")
+        .expectOk("freeze 0");
+
+    // Blocks 1..5: indexed; bodies of 1-2 only in the freezer
+    // (already migrated out of the KV store).
+    std::vector<eth::Block> blocks;
+    for (uint64_t n = 1; n <= 5; ++n) {
+        blocks.push_back(makeBlock(n, 3));
+        kv::WriteBatch batch;
+        indexer.indexBlock(batch, blocks.back());
+        store.apply(batch).expectOk("apply");
+        freezer.value()
+            ->append(n, "h", "hdr", blocks.back().body.encode(),
+                     "r")
+            .expectOk("freeze");
+        if (n > 2)
+            storeBlock(store, blocks.back());
+    }
+
+    kv::WriteBatch batch;
+    ASSERT_TRUE(indexer.pruneTail(batch, 5).isOk());
+    store.apply(batch).expectOk("apply");
+    EXPECT_EQ(indexer.tail(), 4u);
+
+    // Lookups of blocks 1-3 (recovered via freezer and store) are
+    // gone; blocks 4-5 remain.
+    for (uint64_t n = 1; n <= 5; ++n) {
+        bool indexed = n >= 4;
+        for (const eth::Transaction &tx :
+             blocks[n - 1].body.transactions) {
+            EXPECT_EQ(store.contains(txLookupKey(tx.hash())),
+                      indexed)
+                << "block " << n;
+        }
+    }
+}
+
+TEST(TxIndexerTest, NoPruneBeforeWindowFills)
+{
+    kv::MemStore store;
+    TxIndexer indexer(store, 100);
+    kv::WriteBatch batch;
+    ASSERT_TRUE(indexer.pruneTail(batch, 50).isOk());
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(indexer.tail(), 0u);
+}
+
+TEST(BloomBitsTest, SectionProducesAllBitRows)
+{
+    kv::MemStore store;
+    BloomBitsIndexer indexer(store, 4); // tiny sections
+
+    eth::Hash256 last_hash;
+    for (uint64_t n = 1; n <= 4; ++n) {
+        eth::BlockHeader header;
+        header.number = n;
+        header.logs_bloom.add("contract-" + std::to_string(n));
+        last_hash = header.hash();
+        kv::WriteBatch batch;
+        ASSERT_TRUE(indexer.onNewHead(batch, header).isOk());
+        store.apply(batch).expectOk("apply");
+    }
+    EXPECT_EQ(indexer.sectionsStored(), 1u);
+
+    // All 2048 rows exist, keyed by the section head hash.
+    int rows = 0;
+    for (uint16_t bit = 0; bit < 2048; ++bit)
+        rows += store.contains(bloomBitsKey(bit, 0, last_hash));
+    EXPECT_EQ(rows, 2048);
+
+    // Progress key advanced.
+    Bytes count_raw;
+    ASSERT_TRUE(
+        store.get(bloomBitsIndexKey("count"), count_raw).isOk());
+    EXPECT_EQ(decodeBE64(count_raw), 1u);
+}
+
+TEST(BloomBitsTest, RowsReflectBloomBits)
+{
+    kv::MemStore store;
+    BloomBitsIndexer indexer(store, 2);
+
+    // Two headers with a known bloom item each.
+    eth::LogsBloom bloom;
+    bloom.add("item");
+    // Find one bit that is set.
+    int set_bit = -1;
+    for (int i = 0; i < 2048; ++i) {
+        if (bloom.bit(i)) {
+            set_bit = i;
+            break;
+        }
+    }
+    ASSERT_GE(set_bit, 0);
+
+    eth::Hash256 head;
+    for (uint64_t n = 1; n <= 2; ++n) {
+        eth::BlockHeader header;
+        header.number = n;
+        header.logs_bloom.add("item");
+        head = header.hash();
+        kv::WriteBatch batch;
+        ASSERT_TRUE(indexer.onNewHead(batch, header).isOk());
+        store.apply(batch).expectOk("apply");
+    }
+
+    Bytes row;
+    ASSERT_TRUE(store
+                    .get(bloomBitsKey(
+                             static_cast<uint16_t>(set_bit), 0,
+                             head),
+                         row)
+                    .isOk());
+    // RLE form: both blocks set the bit -> first byte 0b11.
+    ASSERT_FALSE(row.empty());
+    EXPECT_EQ(static_cast<uint8_t>(row[0]) & 0x3, 0x3);
+}
+
+TEST(SkeletonTest, HeadersWrittenReadAndRetired)
+{
+    kv::MemStore store;
+    SkeletonSync skeleton(store, 4, 2);
+
+    for (uint64_t n = 1; n <= 10; ++n) {
+        eth::BlockHeader header;
+        header.number = n;
+        kv::WriteBatch batch;
+        skeleton.onHeaderDownloaded(batch, header);
+        store.apply(batch).expectOk("apply");
+        kv::WriteBatch fill;
+        ASSERT_TRUE(skeleton.onBlockFilled(fill, n).isOk());
+        store.apply(fill).expectOk("apply");
+    }
+    // Headers behind the fill lag (10-4=6) are deleted; recent
+    // ones remain.
+    EXPECT_FALSE(store.contains(skeletonHeaderKey(3)));
+    EXPECT_TRUE(store.contains(skeletonHeaderKey(8)));
+    // Status key updated on the configured cadence.
+    EXPECT_TRUE(store.contains(skeletonSyncStatusKey()));
+    Bytes status;
+    store.get(skeletonSyncStatusKey(), status);
+    EXPECT_EQ(status.size(), 146u); // Table I value size
+}
+
+} // namespace
+} // namespace ethkv::client

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * FullNode pipeline tests: startup bookkeeping, block processing
+ * effects on the store (block data, state, head pointers, tx
+ * index), freezer migration, restart cycles, and the VM's
+ * execution of calldata programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "client/calldata.hh"
+#include "client/node.hh"
+#include "kvstore/mem_store.hh"
+#include "workload/generator.hh"
+#include "../kvstore/test_util.hh"
+
+namespace ethkv::client
+{
+namespace
+{
+
+using testutil::ScratchDir;
+
+NodeConfig
+testConfig(const std::string &freezer_dir, bool caching)
+{
+    NodeConfig config;
+    config.caching = caching;
+    config.freezer_dir = freezer_dir;
+    config.finality_depth = 8;
+    config.tx_index_window = 12;
+    config.bloom_section_size = 16;
+    config.skeleton_fill_lag = 4;
+    config.state_history = 4;
+    return config;
+}
+
+struct Harness
+{
+    explicit Harness(bool caching = true)
+        : dir("node"),
+          node(store, testConfig(dir.path() + "/freezer", caching))
+    {
+        wl::WorkloadConfig wl_config;
+        wl_config.initial_accounts = 200;
+        wl_config.initial_contracts = 5;
+        wl_config.seeded_slots_per_contract = 0;
+        wl_config.txs_per_block = 10;
+        generator =
+            std::make_unique<wl::ChainGenerator>(wl_config);
+        node.start(generator->genesisHash()).expectOk("start");
+    }
+
+    ScratchDir dir;
+    kv::MemStore store;
+    FullNode node;
+    std::unique_ptr<wl::ChainGenerator> generator;
+};
+
+TEST(NodeTest, StartWritesBootKeys)
+{
+    Harness h;
+    EXPECT_TRUE(h.store.contains(databaseVersionKey()));
+    EXPECT_TRUE(h.store.contains(uncleanShutdownKey()));
+    EXPECT_TRUE(h.store.contains(
+        ethereumConfigKey(h.generator->genesisHash())));
+    EXPECT_TRUE(h.store.contains(
+        ethereumGenesisKey(h.generator->genesisHash())));
+}
+
+TEST(NodeTest, ProcessBlockStoresBlockData)
+{
+    Harness h;
+    eth::Block block = h.generator->nextBlock();
+    eth::Hash256 hash = block.header.hash();
+    ASSERT_TRUE(h.node.processBlock(block).isOk());
+
+    // Flush the write-back buffer so everything is inspectable.
+    h.node.store().flush().expectOk("flush");
+
+    EXPECT_TRUE(h.store.contains(headerKey(1, hash)));
+    EXPECT_TRUE(h.store.contains(canonicalHashKey(1)));
+    EXPECT_TRUE(h.store.contains(headerNumberKey(hash)));
+    EXPECT_TRUE(h.store.contains(blockBodyKey(1, hash)));
+    EXPECT_TRUE(h.store.contains(blockReceiptsKey(1, hash)));
+
+    // Head pointers updated.
+    Bytes head;
+    ASSERT_TRUE(h.store.get(lastBlockKey(), head).isOk());
+    EXPECT_EQ(head, hash.toBytes());
+    ASSERT_TRUE(h.store.get(lastHeaderKey(), head).isOk());
+    EXPECT_EQ(head, hash.toBytes());
+    EXPECT_EQ(h.node.headNumber(), 1u);
+    EXPECT_EQ(h.node.headHash(), hash);
+}
+
+TEST(NodeTest, TransactionsChangeState)
+{
+    Harness h;
+    eth::Block block = h.generator->nextBlock();
+    const eth::Transaction &tx = block.body.transactions[0];
+    ASSERT_TRUE(h.node.processBlock(block).isOk());
+
+    // Sender exists with bumped nonce; tx is indexed.
+    eth::Account sender;
+    ASSERT_TRUE(h.node.state().getAccount(tx.from, sender).isOk());
+    EXPECT_GE(sender.nonce, 1u);
+    h.node.store().flush().expectOk("flush");
+    EXPECT_TRUE(h.store.contains(txLookupKey(tx.hash())));
+    EXPECT_NE(h.node.stateRoot(), eth::Hash256());
+}
+
+TEST(NodeTest, StateRootsEvolvePerBlock)
+{
+    Harness h;
+    eth::Hash256 previous;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(
+            h.node.processBlock(h.generator->nextBlock()).isOk());
+        EXPECT_NE(h.node.stateRoot(), previous);
+        previous = h.node.stateRoot();
+        // StateID entry for the new root exists.
+        h.node.store().flush().expectOk("flush");
+        EXPECT_TRUE(h.store.contains(stateIDKey(previous)));
+    }
+}
+
+TEST(NodeTest, FreezerMigrationEvictsOldBlocks)
+{
+    Harness h;
+    std::vector<eth::Hash256> hashes;
+    for (int i = 0; i < 20; ++i) {
+        eth::Block block = h.generator->nextBlock();
+        hashes.push_back(block.header.hash());
+        ASSERT_TRUE(h.node.processBlock(block).isOk());
+    }
+    // finality_depth=8: block 1..12 frozen and deleted from the
+    // KV store, recent blocks still present.
+    EXPECT_FALSE(h.store.contains(headerKey(1, hashes[0])));
+    EXPECT_FALSE(h.store.contains(blockBodyKey(1, hashes[0])));
+    EXPECT_FALSE(h.store.contains(canonicalHashKey(1)));
+    EXPECT_TRUE(h.store.contains(headerKey(20, hashes[19])));
+    EXPECT_TRUE(h.store.contains(canonicalHashKey(20)));
+    // HeaderNumber mappings survive migration (as in Geth).
+    EXPECT_TRUE(h.store.contains(headerNumberKey(hashes[0])));
+}
+
+TEST(NodeTest, StateIdHistoryBounded)
+{
+    Harness h;
+    std::vector<eth::Hash256> roots;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(
+            h.node.processBlock(h.generator->nextBlock()).isOk());
+        roots.push_back(h.node.stateRoot());
+    }
+    h.node.store().flush().expectOk("flush");
+    // state_history=4: old roots' ids deleted.
+    EXPECT_FALSE(h.store.contains(stateIDKey(roots[0])));
+    EXPECT_TRUE(h.store.contains(stateIDKey(roots[9])));
+}
+
+TEST(NodeTest, ShutdownWritesJournals)
+{
+    Harness h;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(
+            h.node.processBlock(h.generator->nextBlock()).isOk());
+    ASSERT_TRUE(h.node.shutdown().isOk());
+    EXPECT_TRUE(h.store.contains(trieJournalKey()));
+    EXPECT_TRUE(h.store.contains(snapshotJournalKey()));
+    EXPECT_TRUE(h.store.contains(snapshotRootKey()));
+    EXPECT_TRUE(h.store.contains(snapshotRecoveryKey()));
+}
+
+TEST(NodeTest, RestartContinuesProcessing)
+{
+    Harness h;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(
+            h.node.processBlock(h.generator->nextBlock()).isOk());
+    eth::Hash256 root_before = h.node.stateRoot();
+    ASSERT_TRUE(
+        h.node.restart(h.generator->genesisHash()).isOk());
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(
+            h.node.processBlock(h.generator->nextBlock()).isOk());
+    EXPECT_EQ(h.node.headNumber(), 10u);
+    EXPECT_NE(h.node.stateRoot(), root_before);
+}
+
+TEST(NodeTest, BareModeProducesNoSnapshotKeys)
+{
+    Harness h(/*caching=*/false);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(
+            h.node.processBlock(h.generator->nextBlock()).isOk());
+    int snapshot_keys = 0;
+    h.store.scan(Bytes("a"), Bytes("b"),
+                 [&](BytesView, BytesView) {
+                     ++snapshot_keys;
+                     return true;
+                 });
+    h.store.scan(Bytes("o"), Bytes("p"),
+                 [&](BytesView, BytesView) {
+                     ++snapshot_keys;
+                     return true;
+                 });
+    EXPECT_EQ(snapshot_keys, 0);
+}
+
+TEST(NodeTest, CacheAndBareModesAgreeOnStateRoot)
+{
+    Harness cached(true), bare(false);
+    // Drive both with the same deterministic block stream.
+    wl::WorkloadConfig wl_config;
+    wl_config.initial_accounts = 200;
+    wl_config.initial_contracts = 5;
+    wl_config.seeded_slots_per_contract = 0;
+    wl_config.txs_per_block = 10;
+    wl::ChainGenerator g1(wl_config), g2(wl_config);
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(cached.node.processBlock(g1.nextBlock()).isOk());
+        ASSERT_TRUE(bare.node.processBlock(g2.nextBlock()).isOk());
+    }
+    EXPECT_EQ(cached.node.stateRoot().hex(),
+              bare.node.stateRoot().hex());
+}
+
+TEST(CalldataTest, ProgramRoundTrip)
+{
+    std::vector<SlotOp> ops = {
+        {SlotOp::Kind::Read, eth::hashOf("s1"), 0},
+        {SlotOp::Kind::Write, eth::hashOf("s2"), 20},
+        {SlotOp::Kind::WriteLog, eth::hashOf("s3"), 32},
+        {SlotOp::Kind::Clear, eth::hashOf("s4"), 0},
+    };
+    Bytes data = encodeCallProgram(ops, 40);
+    EXPECT_TRUE(isCallProgram(data));
+
+    std::vector<SlotOp> decoded;
+    ASSERT_TRUE(decodeCallProgram(data, decoded).isOk());
+    EXPECT_EQ(decoded, ops);
+}
+
+TEST(CalldataTest, PlainPayloadDecodesEmpty)
+{
+    std::vector<SlotOp> ops;
+    ASSERT_TRUE(decodeCallProgram("just a memo", ops).isOk());
+    EXPECT_TRUE(ops.empty());
+    EXPECT_FALSE(isCallProgram("just a memo"));
+    ASSERT_TRUE(decodeCallProgram(BytesView(), ops).isOk());
+}
+
+TEST(CalldataTest, TruncatedProgramRejected)
+{
+    std::vector<SlotOp> ops = {
+        {SlotOp::Kind::Write, eth::hashOf("s"), 10}};
+    Bytes data = encodeCallProgram(ops);
+    data.resize(data.size() / 2);
+    std::vector<SlotOp> decoded;
+    EXPECT_FALSE(decodeCallProgram(data, decoded).isOk());
+}
+
+TEST(NodeTest, ContractCallExecutesProgram)
+{
+    Harness h;
+    // Deploy a contract via the node, then call it with a program
+    // writing a known slot.
+    eth::Address deployer = eth::Address::fromId(0xabc);
+    eth::Transaction deploy;
+    deploy.from = deployer;
+    deploy.to.reset();
+    deploy.data = Bytes(200, '\x60');
+
+    eth::Block block1;
+    block1.header.number = 1;
+    block1.body.transactions.push_back(deploy);
+    ASSERT_TRUE(h.node.processBlock(block1).isOk());
+
+    eth::Address contract_addr = eth::contractAddress(deployer, 1);
+    eth::Account contract;
+    ASSERT_TRUE(
+        h.node.state().getAccount(contract_addr, contract).isOk());
+    EXPECT_TRUE(contract.isContract());
+
+    eth::Hash256 slot = eth::hashOf("the-slot");
+    eth::Transaction call;
+    call.from = eth::Address::fromId(0xdef);
+    call.to = contract_addr;
+    call.data = encodeCallProgram(
+        {{SlotOp::Kind::WriteLog, slot, 16}});
+
+    eth::Block block2;
+    block2.header.number = 2;
+    block2.header.parent_hash = block1.header.hash();
+    block2.body.transactions.push_back(call);
+    ASSERT_TRUE(h.node.processBlock(block2).isOk());
+
+    Bytes value;
+    ASSERT_TRUE(
+        h.node.state().getStorage(contract_addr, slot, value)
+            .isOk());
+    EXPECT_EQ(value.size(), 16u);
+
+    // The WriteLog op produced a log in the stored receipts.
+    h.node.store().flush().expectOk("flush");
+    Bytes receipts_raw;
+    ASSERT_TRUE(h.store
+                    .get(blockReceiptsKey(
+                             2, block2.header.hash()),
+                         receipts_raw)
+                    .isOk());
+    auto receipts = rlpDecode(receipts_raw);
+    ASSERT_TRUE(receipts.ok());
+    auto receipt = eth::Receipt::decode(
+        rlpEncode(receipts.value().items[0]));
+    ASSERT_TRUE(receipt.ok());
+    EXPECT_EQ(receipt.value().logs.size(), 1u);
+    EXPECT_EQ(receipt.value().logs[0].address, contract_addr);
+}
+
+} // namespace
+} // namespace ethkv::client

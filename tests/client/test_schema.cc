@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Schema tests: every key builder must classify back to its class
+ * and produce exactly the key sizes Table I reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "client/schema.hh"
+
+namespace ethkv::client
+{
+namespace
+{
+
+eth::Hash256
+h(const char *seed)
+{
+    return eth::hashOf(seed);
+}
+
+TEST(SchemaTest, KeyBuildersClassifyAndSize)
+{
+    struct Case
+    {
+        Bytes key;
+        KVClass cls;
+        size_t size;
+    };
+    const Case cases[] = {
+        {headerKey(20500000, h("x")), KVClass::BlockHeader, 41},
+        {canonicalHashKey(20500000), KVClass::BlockHeader, 10},
+        {blockBodyKey(1, h("x")), KVClass::BlockBody, 41},
+        {blockReceiptsKey(1, h("x")), KVClass::BlockReceipts, 41},
+        {headerNumberKey(h("x")), KVClass::HeaderNumber, 33},
+        {txLookupKey(h("tx")), KVClass::TxLookup, 33},
+        {bloomBitsKey(2047, 5, h("s")), KVClass::BloomBits, 43},
+        {codeKey(h("code")), KVClass::Code, 33},
+        {snapshotAccountKey(h("a")), KVClass::SnapshotAccount, 33},
+        {snapshotStorageKey(h("a"), h("s")),
+         KVClass::SnapshotStorage, 65},
+        {skeletonHeaderKey(9), KVClass::SkeletonHeader, 9},
+        {stateIDKey(h("root")), KVClass::StateID, 33},
+        {ethereumConfigKey(h("g")), KVClass::EthereumConfig, 48},
+        {ethereumGenesisKey(h("g")), KVClass::EthereumGenesis, 49},
+    };
+    for (const Case &c : cases) {
+        EXPECT_EQ(classify(c.key), c.cls)
+            << "key " << toHex(c.key);
+        EXPECT_EQ(c.key.size(), c.size)
+            << "class " << kvClassName(c.cls);
+    }
+}
+
+TEST(SchemaTest, TrieNodeKeys)
+{
+    Bytes path{0x1, 0x2, 0x3};
+    Bytes account_key = trieNodeAccountKey(path);
+    EXPECT_EQ(classify(account_key), KVClass::TrieNodeAccount);
+    EXPECT_EQ(account_key.size(), 4u);
+    // Empty path (root node).
+    EXPECT_EQ(classify(trieNodeAccountKey(BytesView())),
+              KVClass::TrieNodeAccount);
+
+    Bytes storage_key = trieNodeStorageKey(h("acct"), path);
+    EXPECT_EQ(classify(storage_key), KVClass::TrieNodeStorage);
+    EXPECT_EQ(storage_key.size(), 36u);
+    EXPECT_EQ(classify(trieNodeStorageKey(h("acct"),
+                                          BytesView())),
+              KVClass::TrieNodeStorage);
+}
+
+TEST(SchemaTest, SingletonKeysMatchTableISizes)
+{
+    // Table I reports these key sizes exactly.
+    EXPECT_EQ(lastBlockKey().size(), 9u);
+    EXPECT_EQ(lastHeaderKey().size(), 10u);
+    EXPECT_EQ(lastFastKey().size(), 8u);
+    EXPECT_EQ(lastStateIDKey().size(), 11u);
+    EXPECT_EQ(databaseVersionKey().size(), 15u);
+    EXPECT_EQ(snapshotRootKey().size(), 12u);
+    EXPECT_EQ(snapshotJournalKey().size(), 15u);
+    EXPECT_EQ(snapshotGeneratorKey().size(), 17u);
+    EXPECT_EQ(snapshotRecoveryKey().size(), 16u);
+    EXPECT_EQ(skeletonSyncStatusKey().size(), 18u);
+    EXPECT_EQ(transactionIndexTailKey().size(), 20u);
+    EXPECT_EQ(uncleanShutdownKey().size(), 16u);
+    EXPECT_EQ(trieJournalKey().size(), 11u);
+}
+
+TEST(SchemaTest, SingletonClassification)
+{
+    EXPECT_EQ(classify(lastBlockKey()), KVClass::LastBlock);
+    EXPECT_EQ(classify(lastHeaderKey()), KVClass::LastHeader);
+    EXPECT_EQ(classify(lastFastKey()), KVClass::LastFast);
+    EXPECT_EQ(classify(lastStateIDKey()), KVClass::LastStateID);
+    EXPECT_EQ(classify(databaseVersionKey()),
+              KVClass::DatabaseVersion);
+    EXPECT_EQ(classify(snapshotRootKey()), KVClass::SnapshotRoot);
+    EXPECT_EQ(classify(snapshotJournalKey()),
+              KVClass::SnapshotJournal);
+    EXPECT_EQ(classify(snapshotGeneratorKey()),
+              KVClass::SnapshotGenerator);
+    EXPECT_EQ(classify(snapshotRecoveryKey()),
+              KVClass::SnapshotRecovery);
+    EXPECT_EQ(classify(skeletonSyncStatusKey()),
+              KVClass::SkeletonSyncStatus);
+    EXPECT_EQ(classify(transactionIndexTailKey()),
+              KVClass::TransactionIndexTail);
+    EXPECT_EQ(classify(uncleanShutdownKey()),
+              KVClass::UncleanShutdown);
+    EXPECT_EQ(classify(trieJournalKey()), KVClass::TrieJournal);
+    EXPECT_EQ(classify(bloomBitsIndexKey("count")),
+              KVClass::BloomBitsIndex);
+}
+
+TEST(SchemaTest, UnknownAndAmbiguousKeys)
+{
+    EXPECT_EQ(classify(""), KVClass::Unknown);
+    EXPECT_EQ(classify("zzz"), KVClass::Unknown);
+    // Right prefix, wrong size.
+    EXPECT_EQ(classify("Hshort"), KVClass::Unknown);
+    Bytes bad_header = "h";
+    bad_header += Bytes(20, 'x');
+    EXPECT_EQ(classify(bad_header), KVClass::Unknown);
+    // Singletons must not be swallowed by prefix rules:
+    // "LastBlock" starts with 'L' (StateID prefix), "SnapshotRoot"
+    // with 'S' (SkeletonHeader prefix).
+    EXPECT_NE(classify(lastBlockKey()), KVClass::StateID);
+    EXPECT_NE(classify(snapshotRootKey()),
+              KVClass::SkeletonHeader);
+}
+
+TEST(SchemaTest, NumericKeysOrderByBlockNumber)
+{
+    // The freezer and header scans depend on canonical keys
+    // sorting by block number.
+    EXPECT_LT(canonicalHashKey(5), canonicalHashKey(6));
+    EXPECT_LT(headerKey(5, h("a")), canonicalHashKey(6));
+    EXPECT_LT(skeletonHeaderKey(100), skeletonHeaderKey(101));
+}
+
+TEST(SchemaTest, ClassNamesAreDistinct)
+{
+    for (int a = 0; a < num_kv_classes; ++a) {
+        for (int b = a + 1; b < num_kv_classes; ++b) {
+            EXPECT_STRNE(
+                kvClassName(static_cast<KVClass>(a)),
+                kvClassName(static_cast<KVClass>(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace ethkv::client

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * StateDB tests: account/slot/code lifecycle, per-block dirty
+ * buffering, commit batching, snapshot-vs-trie read parity, and
+ * deterministic state roots across both modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "client/statedb.hh"
+#include "kvstore/mem_store.hh"
+
+namespace ethkv::client
+{
+namespace
+{
+
+struct Harness
+{
+    explicit Harness(bool snapshot)
+        : state(store, StateConfig{snapshot, 1u << 20})
+    {}
+
+    eth::Hash256
+    commit()
+    {
+        kv::WriteBatch batch;
+        eth::Hash256 root = state.commitBlock(batch);
+        store.apply(batch).expectOk("test commit");
+        return root;
+    }
+
+    kv::MemStore store;
+    StateDB state;
+};
+
+eth::Address
+addr(uint64_t i)
+{
+    return eth::Address::fromId(i);
+}
+
+eth::Hash256
+slot(uint64_t i)
+{
+    return eth::hashOf(encodeBE64(i));
+}
+
+class StateDBModes : public ::testing::TestWithParam<bool>
+{};
+
+TEST_P(StateDBModes, AccountLifecycle)
+{
+    Harness h(GetParam());
+    eth::Account account;
+    EXPECT_TRUE(h.state.getAccount(addr(1), account).isNotFound());
+
+    account.nonce = 3;
+    account.balance = 500;
+    h.state.setAccount(addr(1), account);
+    // Visible before commit (dirty buffer).
+    eth::Account readback;
+    ASSERT_TRUE(h.state.getAccount(addr(1), readback).isOk());
+    EXPECT_EQ(readback, account);
+
+    h.commit();
+    ASSERT_TRUE(h.state.getAccount(addr(1), readback).isOk());
+    EXPECT_EQ(readback.nonce, 3u);
+    EXPECT_EQ(readback.balance, 500u);
+
+    h.state.deleteAccount(addr(1));
+    h.commit();
+    EXPECT_TRUE(h.state.getAccount(addr(1), readback)
+                    .isNotFound());
+}
+
+TEST_P(StateDBModes, StorageLifecycle)
+{
+    Harness h(GetParam());
+    eth::Account contract;
+    contract.code_hash = eth::hashOf("code");
+    h.state.setAccount(addr(2), contract);
+    h.state.setStorage(addr(2), slot(1), "value-1");
+    h.state.setStorage(addr(2), slot(2), "value-2");
+    h.commit();
+
+    Bytes value;
+    ASSERT_TRUE(h.state.getStorage(addr(2), slot(1), value)
+                    .isOk());
+    EXPECT_EQ(value, "value-1");
+    EXPECT_TRUE(h.state.getStorage(addr(2), slot(9), value)
+                    .isNotFound());
+
+    // Clearing a slot removes it.
+    h.state.setStorage(addr(2), slot(1), BytesView());
+    h.commit();
+    EXPECT_TRUE(h.state.getStorage(addr(2), slot(1), value)
+                    .isNotFound());
+    ASSERT_TRUE(h.state.getStorage(addr(2), slot(2), value)
+                    .isOk());
+    EXPECT_EQ(value, "value-2");
+}
+
+TEST_P(StateDBModes, StorageRootTracksSlotChanges)
+{
+    Harness h(GetParam());
+    eth::Account contract;
+    contract.code_hash = eth::hashOf("c");
+    h.state.setAccount(addr(3), contract);
+    h.commit();
+
+    eth::Account before;
+    ASSERT_TRUE(h.state.getAccount(addr(3), before).isOk());
+    EXPECT_EQ(before.storage_root, eth::emptyTrieRoot());
+
+    h.state.setStorage(addr(3), slot(1), "x");
+    h.commit();
+    eth::Account after;
+    ASSERT_TRUE(h.state.getAccount(addr(3), after).isOk());
+    EXPECT_NE(after.storage_root, eth::emptyTrieRoot());
+
+    h.state.setStorage(addr(3), slot(1), BytesView());
+    h.commit();
+    ASSERT_TRUE(h.state.getAccount(addr(3), after).isOk());
+    EXPECT_EQ(after.storage_root, eth::emptyTrieRoot());
+}
+
+TEST_P(StateDBModes, CodeRoundTrip)
+{
+    Harness h(GetParam());
+    Bytes code(5000, '\x60');
+    eth::Hash256 code_hash = h.state.putCode(code);
+    EXPECT_EQ(code_hash, eth::hashOf(code));
+
+    // Visible pre-commit via the pending buffer.
+    Bytes readback;
+    ASSERT_TRUE(h.state.getCode(code_hash, readback).isOk());
+    EXPECT_EQ(readback, code);
+
+    h.commit();
+    readback.clear();
+    ASSERT_TRUE(h.state.getCode(code_hash, readback).isOk());
+    EXPECT_EQ(readback, code);
+    // The code landed under its schema key.
+    Bytes raw;
+    ASSERT_TRUE(h.store.get(codeKey(code_hash), raw).isOk());
+}
+
+INSTANTIATE_TEST_SUITE_P(SnapshotOnOff, StateDBModes,
+                         ::testing::Values(true, false),
+                         [](const auto &info) {
+                             return info.param ? "snapshot"
+                                               : "trie";
+                         });
+
+TEST(StateDBTest, RootsAgreeAcrossModes)
+{
+    // Snapshot mode changes the read path and adds flat entries,
+    // but the trie commitment must be identical.
+    Harness with(true), without(false);
+    for (uint64_t i = 0; i < 50; ++i) {
+        eth::Account account;
+        account.balance = i * 10;
+        account.nonce = i;
+        with.state.setAccount(addr(i), account);
+        without.state.setAccount(addr(i), account);
+        if (i % 5 == 0) {
+            with.state.setStorage(addr(i), slot(i), "v");
+            without.state.setStorage(addr(i), slot(i), "v");
+        }
+    }
+    EXPECT_EQ(with.commit().hex(), without.commit().hex());
+}
+
+TEST(StateDBTest, SnapshotModeWritesFlatEntries)
+{
+    Harness h(true);
+    eth::Account account;
+    account.balance = 77;
+    h.state.setAccount(addr(4), account);
+    h.state.setStorage(addr(4), slot(1), "sv");
+    h.commit();
+
+    eth::Hash256 account_hash = eth::hashOf(addr(4).view());
+    Bytes raw;
+    ASSERT_TRUE(
+        h.store.get(snapshotAccountKey(account_hash), raw).isOk());
+    auto slim = eth::decodeSlimAccount(raw);
+    ASSERT_TRUE(slim.ok());
+    EXPECT_EQ(slim.value().balance, 77u);
+
+    ASSERT_TRUE(h.store
+                    .get(snapshotStorageKey(
+                             account_hash,
+                             eth::hashOf(slot(1).view())),
+                         raw)
+                    .isOk());
+}
+
+TEST(StateDBTest, BareModeWritesNoSnapshotEntries)
+{
+    Harness h(false);
+    eth::Account account;
+    h.state.setAccount(addr(5), account);
+    h.commit();
+    int snapshot_keys = 0;
+    h.store.scan(Bytes("a"), Bytes("b"),
+                 [&](BytesView, BytesView) {
+                     ++snapshot_keys;
+                     return true;
+                 });
+    EXPECT_EQ(snapshot_keys, 0);
+}
+
+TEST(StateDBTest, CommitIsBatchedNotImmediate)
+{
+    Harness h(true);
+    eth::Account account;
+    h.state.setAccount(addr(6), account);
+    // Nothing reaches the store before commitBlock.
+    EXPECT_EQ(h.store.liveKeyCount(), 0u);
+    kv::WriteBatch batch;
+    h.state.commitBlock(batch);
+    EXPECT_GT(batch.size(), 0u);
+    EXPECT_EQ(h.store.liveKeyCount(), 0u); // still not applied
+    h.store.apply(batch).expectOk("apply");
+    EXPECT_GT(h.store.liveKeyCount(), 0u);
+}
+
+TEST(StateDBTest, DirtyBufferResetsAfterCommit)
+{
+    Harness h(true);
+    eth::Account account;
+    h.state.setAccount(addr(7), account);
+    EXPECT_EQ(h.state.dirtyAccountCount(), 1u);
+    h.commit();
+    EXPECT_EQ(h.state.dirtyAccountCount(), 0u);
+}
+
+TEST(StateDBTest, RootsAreOrderIndependentAcrossBlocks)
+{
+    // Same final content reached via different block groupings
+    // yields the same root.
+    Harness a(true), b(true);
+    for (uint64_t i = 0; i < 30; ++i) {
+        eth::Account account;
+        account.balance = i;
+        a.state.setAccount(addr(i), account);
+        if (i % 3 == 0)
+            a.commit(); // many small blocks
+    }
+    eth::Hash256 root_a = a.commit();
+
+    for (uint64_t i = 30; i-- > 0;) {
+        eth::Account account;
+        account.balance = i;
+        b.state.setAccount(addr(i), account);
+    }
+    eth::Hash256 root_b = b.commit(); // one block, reverse order
+    EXPECT_EQ(root_a.hex(), root_b.hex());
+}
+
+} // namespace
+} // namespace ethkv::client

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for byte utilities and varint encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "common/rand.hh"
+#include "common/varint.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+TEST(BytesTest, HexRoundTrip)
+{
+    Bytes data{'\x00', '\x01', '\xab', '\xff'};
+    EXPECT_EQ(toHex(data), "0001abff");
+
+    Bytes back;
+    ASSERT_TRUE(fromHex("0001abff", back));
+    EXPECT_EQ(back, data);
+}
+
+TEST(BytesTest, HexAcceptsPrefixAndMixedCase)
+{
+    Bytes out;
+    ASSERT_TRUE(fromHex("0xDeadBeef", out));
+    EXPECT_EQ(toHex(out), "deadbeef");
+}
+
+TEST(BytesTest, HexRejectsMalformed)
+{
+    Bytes out;
+    EXPECT_FALSE(fromHex("abc", out));  // odd length
+    EXPECT_FALSE(fromHex("zz", out));   // bad digit
+}
+
+TEST(BytesTest, EmptyHex)
+{
+    EXPECT_EQ(toHex(""), "");
+    Bytes out = "sentinel";
+    ASSERT_TRUE(fromHex("", out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(BytesTest, NibbleRoundTrip)
+{
+    Bytes data = mustFromHex("a1b2c3");
+    Bytes nibbles = bytesToNibbles(data);
+    ASSERT_EQ(nibbles.size(), 6u);
+    EXPECT_EQ(nibbles[0], 0xa);
+    EXPECT_EQ(nibbles[1], 0x1);
+    EXPECT_EQ(nibbles[5], 0x3);
+    EXPECT_EQ(nibblesToBytes(nibbles), data);
+}
+
+TEST(BytesTest, CommonPrefixLen)
+{
+    EXPECT_EQ(commonPrefixLen("abcde", "abxyz"), 2u);
+    EXPECT_EQ(commonPrefixLen("", "abc"), 0u);
+    EXPECT_EQ(commonPrefixLen("same", "same"), 4u);
+    EXPECT_EQ(commonPrefixLen("abc", "abcdef"), 3u);
+}
+
+TEST(BytesTest, BigEndian64RoundTrip)
+{
+    for (uint64_t v : {0ull, 1ull, 255ull, 0x0102030405060708ull,
+                       ~0ull}) {
+        Bytes enc = encodeBE64(v);
+        ASSERT_EQ(enc.size(), 8u);
+        EXPECT_EQ(decodeBE64(enc), v);
+    }
+}
+
+TEST(BytesTest, BigEndianOrderingMatchesNumericOrdering)
+{
+    // The schema relies on BE-encoded block numbers sorting
+    // numerically as byte strings.
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t a = rng.next();
+        uint64_t b = rng.next();
+        EXPECT_EQ(a < b, encodeBE64(a) < encodeBE64(b));
+    }
+}
+
+TEST(VarintTest, RoundTrip)
+{
+    for (uint64_t v :
+         {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+          1ull << 32, ~0ull}) {
+        Bytes buf;
+        appendVarint(buf, v);
+        size_t pos = 0;
+        uint64_t out = 0;
+        ASSERT_TRUE(readVarint(buf, pos, out));
+        EXPECT_EQ(out, v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(VarintTest, TruncatedFails)
+{
+    Bytes buf;
+    appendVarint(buf, 1ull << 40);
+    buf.pop_back();
+    size_t pos = 0;
+    uint64_t out;
+    EXPECT_FALSE(readVarint(buf, pos, out));
+}
+
+TEST(VarintTest, SequentialDecode)
+{
+    Bytes buf;
+    for (uint64_t v = 0; v < 400; v += 13)
+        appendVarint(buf, v);
+    size_t pos = 0;
+    for (uint64_t v = 0; v < 400; v += 13) {
+        uint64_t out;
+        ASSERT_TRUE(readVarint(buf, pos, out));
+        EXPECT_EQ(out, v);
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(BytesTest, ShortHexTruncates)
+{
+    Bytes data(20, '\xaa');
+    std::string s = shortHex(data, 4);
+    EXPECT_EQ(s, "aaaaaaaa..");
+    EXPECT_EQ(shortHex("ab", 4), toHex("ab"));
+}
+
+} // namespace
+} // namespace ethkv

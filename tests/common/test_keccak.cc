@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Keccak-256 known-answer tests (Ethereum's pre-FIPS padding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/keccak.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+std::string
+hashHex(BytesView data)
+{
+    return toHex(keccak256Bytes(data));
+}
+
+TEST(KeccakTest, EmptyString)
+{
+    // The famous constant: hash of the empty string, used all over
+    // Ethereum (empty code hash, empty trie marker derivation).
+    EXPECT_EQ(
+        hashHex(""),
+        "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d"
+        "85a470");
+}
+
+TEST(KeccakTest, Abc)
+{
+    EXPECT_EQ(
+        hashHex("abc"),
+        "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa1"
+        "2d6c45");
+}
+
+TEST(KeccakTest, QuickBrownFox)
+{
+    EXPECT_EQ(
+        hashHex("The quick brown fox jumps over the lazy dog"),
+        "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b"
+        "28aa15");
+}
+
+TEST(KeccakTest, ExactlyOneRateBlock)
+{
+    // 136 bytes == the 1088-bit rate: exercises the full-block
+    // absorb path plus an all-padding final block.
+    Bytes data(136, 'a');
+    EXPECT_EQ(
+        hashHex(data),
+        "a6c4d403279fe3e0af03729caada8374b5ca54d8065329a3ebcaeb4b60"
+        "aa386e");
+}
+
+TEST(KeccakTest, MultiBlock)
+{
+    Bytes data(1000, 'x');
+    Digest256 d1 = keccak256(data);
+    Digest256 d2 = keccak256(data);
+    EXPECT_EQ(d1, d2);
+    data[999] = 'y';
+    EXPECT_NE(keccak256(data), d1);
+}
+
+TEST(KeccakTest, LengthExtensionOfInputChangesDigest)
+{
+    Bytes a(135, 'q');
+    Bytes b(136, 'q');
+    Bytes c(137, 'q');
+    EXPECT_NE(keccak256(a), keccak256(b));
+    EXPECT_NE(keccak256(b), keccak256(c));
+}
+
+TEST(KeccakTest, BytesFormMatchesArrayForm)
+{
+    Bytes data = "ethkv";
+    Digest256 d = keccak256(data);
+    Bytes b = keccak256Bytes(data);
+    ASSERT_EQ(b.size(), 32u);
+    EXPECT_EQ(0, std::memcmp(b.data(), d.data(), 32));
+}
+
+} // namespace
+} // namespace ethkv

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and workload distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rand.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.nextRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(5);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NextBytesLengthAndDeterminism)
+{
+    Rng a(42), b(42);
+    for (size_t len : {0u, 1u, 7u, 8u, 9u, 100u}) {
+        Bytes x = a.nextBytes(len);
+        Bytes y = b.nextBytes(len);
+        EXPECT_EQ(x.size(), len);
+        EXPECT_EQ(x, y);
+    }
+}
+
+TEST(RngTest, ForkIndependence)
+{
+    Rng parent(1);
+    Rng child = parent.fork();
+    // Child stream differs from the parent's continuation.
+    EXPECT_NE(child.next(), parent.next());
+}
+
+TEST(ZipfTest, StaysInDomain)
+{
+    Rng rng(21);
+    ZipfGenerator zipf(1000, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks)
+{
+    Rng rng(22);
+    ZipfGenerator zipf(10000, 1.0);
+    std::vector<uint64_t> counts(10000, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    // Rank 0 should dominate and the top 10 should hold a large
+    // share under s=1.
+    EXPECT_GT(counts[0], counts[100]);
+    uint64_t top10 = 0;
+    for (int i = 0; i < 10; ++i)
+        top10 += counts[i];
+    EXPECT_GT(static_cast<double>(top10) / n, 0.2);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform)
+{
+    Rng rng(23);
+    ZipfGenerator zipf(10, 0.0);
+    std::vector<uint64_t> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (uint64_t c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(ZipfTest, SingleItemDomain)
+{
+    Rng rng(24);
+    ZipfGenerator zipf(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ZipfSkewSweep, HeadShareGrowsWithSkew)
+{
+    // Property: the head's share under skew s is at least the share
+    // under a uniform draw.
+    Rng rng(25);
+    ZipfGenerator zipf(1000, GetParam());
+    const int n = 50000;
+    int head = 0;
+    for (int i = 0; i < n; ++i)
+        head += (zipf.sample(rng) < 10);
+    double share = static_cast<double>(head) / n;
+    EXPECT_GE(share, 0.005); // uniform baseline is 1%
+    if (GetParam() >= 0.8)
+        EXPECT_GT(share, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.99, 1.2));
+
+TEST(DiscreteSamplerTest, MatchesWeights)
+{
+    Rng rng(31);
+    DiscreteSampler sampler({1.0, 2.0, 7.0});
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[sampler.sample(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled)
+{
+    Rng rng(32);
+    DiscreteSampler sampler({0.0, 1.0, 0.0});
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+} // namespace
+} // namespace ethkv

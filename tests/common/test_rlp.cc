@@ -1,0 +1,143 @@
+/**
+ * @file
+ * RLP codec tests: Ethereum specification vectors plus random
+ * round-trip property sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rand.hh"
+#include "common/rlp.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+TEST(RlpTest, SpecVectors)
+{
+    // Canonical vectors from the Ethereum wiki / yellow paper.
+    EXPECT_EQ(toHex(rlpEncodeString("dog")), "83646f67");
+    EXPECT_EQ(toHex(rlpEncodeString("")), "80");
+    EXPECT_EQ(toHex(rlpEncodeUint(0)), "80");
+    EXPECT_EQ(toHex(rlpEncodeUint(15)), "0f");
+    EXPECT_EQ(toHex(rlpEncodeUint(1024)), "820400");
+    EXPECT_EQ(toHex(rlpEncodeListPayload("")), "c0");
+
+    RlpItem cat_dog = RlpItem::list({RlpItem::string("cat"),
+                                     RlpItem::string("dog")});
+    EXPECT_EQ(toHex(rlpEncode(cat_dog)), "c88363617483646f67");
+
+    // Set-theoretic representation of [ [], [[]], [ [], [[]] ] ].
+    RlpItem empty = RlpItem::list({});
+    RlpItem nested1 = RlpItem::list({empty});
+    RlpItem nested2 = RlpItem::list({empty, nested1});
+    RlpItem all = RlpItem::list({empty, nested1, nested2});
+    EXPECT_EQ(toHex(rlpEncode(all)), "c7c0c1c0c3c0c1c0");
+}
+
+TEST(RlpTest, LongString)
+{
+    Bytes lorem =
+        "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+    Bytes enc = rlpEncodeString(lorem);
+    EXPECT_EQ(static_cast<uint8_t>(enc[0]), 0xb8);
+    EXPECT_EQ(static_cast<uint8_t>(enc[1]), lorem.size());
+
+    auto dec = rlpDecode(enc);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value().str, lorem);
+}
+
+TEST(RlpTest, SingleByteBelow0x80IsItsOwnEncoding)
+{
+    Bytes enc = rlpEncodeString("a");
+    ASSERT_EQ(enc.size(), 1u);
+    EXPECT_EQ(enc[0], 'a');
+}
+
+TEST(RlpTest, UintRoundTrip)
+{
+    for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 256ull, 65535ull,
+                       1ull << 40, ~0ull}) {
+        auto dec = rlpDecode(rlpEncodeUint(v));
+        ASSERT_TRUE(dec.ok());
+        EXPECT_EQ(dec.value().toUint(), v);
+    }
+}
+
+TEST(RlpTest, DecodeRejectsMalformed)
+{
+    // Trailing bytes after a complete item.
+    EXPECT_FALSE(rlpDecode(mustFromHex("83646f6700")).ok());
+    // Truncated string.
+    EXPECT_FALSE(rlpDecode(mustFromHex("83646f")).ok());
+    // Truncated list payload.
+    EXPECT_FALSE(rlpDecode(mustFromHex("c883636174")).ok());
+    // Non-canonical single byte ("a" wrapped in a length prefix).
+    EXPECT_FALSE(rlpDecode(mustFromHex("8161")).ok());
+    // Non-canonical long length (length <= 55 via long form).
+    EXPECT_FALSE(rlpDecode(mustFromHex("b803646f67")).ok());
+    // Empty input.
+    EXPECT_FALSE(rlpDecode("").ok());
+}
+
+TEST(RlpTest, DecodeRejectsLeadingZeroLength)
+{
+    // 0xb9 = long string, 2 length bytes; leading zero is invalid.
+    Bytes data = mustFromHex("b90038");
+    data += Bytes(56, 'x');
+    EXPECT_FALSE(rlpDecode(data).ok());
+}
+
+namespace
+{
+
+RlpItem
+randomItem(Rng &rng, int depth)
+{
+    if (depth >= 3 || rng.chance(0.6)) {
+        size_t len = rng.nextBounded(80);
+        return RlpItem::string(rng.nextBytes(len));
+    }
+    size_t n = rng.nextBounded(5);
+    std::vector<RlpItem> children;
+    children.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        children.push_back(randomItem(rng, depth + 1));
+    return RlpItem::list(std::move(children));
+}
+
+} // namespace
+
+class RlpRoundTripTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RlpRoundTripTest, RandomTreeRoundTrips)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        RlpItem item = randomItem(rng, 0);
+        Bytes enc = rlpEncode(item);
+        auto dec = rlpDecode(enc);
+        ASSERT_TRUE(dec.ok()) << dec.status().toString();
+        EXPECT_EQ(dec.value(), item);
+        // Re-encoding the decoded tree is byte-identical
+        // (canonical encoding).
+        EXPECT_EQ(rlpEncode(dec.value()), enc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlpRoundTripTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+TEST(RlpTest, BigEndianHelpers)
+{
+    EXPECT_TRUE(uintToBigEndian(0).empty());
+    EXPECT_EQ(toHex(uintToBigEndian(0x1234)), "1234");
+    EXPECT_EQ(bigEndianToUint(mustFromHex("1234")), 0x1234u);
+    EXPECT_EQ(bigEndianToUint(""), 0u);
+}
+
+} // namespace
+} // namespace ethkv

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for streaming statistics and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+TEST(StreamingStatsTest, BasicMoments)
+{
+    StreamingStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Population variance is 4; sample variance is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StreamingStatsTest, EmptyIsZero)
+{
+    StreamingStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleSample)
+{
+    StreamingStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSequential)
+{
+    StreamingStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double x = i * 0.37;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, Ci95ShrinksWithSamples)
+{
+    StreamingStats small, large;
+    for (int i = 0; i < 10; ++i)
+        small.add(i % 3);
+    for (int i = 0; i < 10000; ++i)
+        large.add(i % 3);
+    EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(ExactDistributionTest, CountsAndMoments)
+{
+    ExactDistribution d;
+    d.add(10, 3);
+    d.add(20);
+    d.add(30, 6);
+    EXPECT_EQ(d.totalCount(), 10u);
+    EXPECT_EQ(d.distinctValues(), 3u);
+    EXPECT_EQ(d.minValue(), 10u);
+    EXPECT_EQ(d.maxValue(), 30u);
+    EXPECT_EQ(d.countOf(20), 1u);
+    EXPECT_EQ(d.countOf(99), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 23.0);
+    EXPECT_EQ(d.modalValue(), 30u);
+}
+
+TEST(ExactDistributionTest, Percentiles)
+{
+    ExactDistribution d;
+    for (uint64_t v = 1; v <= 100; ++v)
+        d.add(v);
+    EXPECT_EQ(d.percentile(0.0), 1u);
+    EXPECT_EQ(d.percentile(0.5), 51u);
+    EXPECT_EQ(d.percentile(1.0), 100u);
+}
+
+TEST(ExactDistributionTest, MergePreservesTotals)
+{
+    ExactDistribution a, b;
+    a.add(5, 2);
+    b.add(5, 3);
+    b.add(7);
+    a.merge(b);
+    EXPECT_EQ(a.totalCount(), 6u);
+    EXPECT_EQ(a.countOf(5), 5u);
+    EXPECT_EQ(a.countOf(7), 1u);
+}
+
+TEST(FormatTest, Millions)
+{
+    EXPECT_EQ(formatMillions(1656600000), "1656.6 M");
+    EXPECT_EQ(formatMillions(550000), "0.55 M");
+    EXPECT_EQ(formatMillions(386), "386");
+}
+
+TEST(FormatTest, Bytes)
+{
+    EXPECT_EQ(formatBytes(79.1), "79.1 B");
+    EXPECT_EQ(formatBytes(6.61 * 1024), "6.61 KiB");
+    EXPECT_EQ(formatBytes(7.98 * 1024 * 1024), "7.98 MiB");
+}
+
+TEST(FormatTest, Percent)
+{
+    EXPECT_EQ(formatPercent(0.992, 1), "99.2%");
+    EXPECT_EQ(formatPercent(0.0487), "4.87%");
+}
+
+} // namespace
+} // namespace ethkv

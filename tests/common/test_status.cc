@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status/Result tests: construction, codes, messages, value
+ * passing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/status.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_FALSE(s.isNotFound());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "Ok");
+}
+
+TEST(StatusTest, FactoryCodesAndMessages)
+{
+    EXPECT_TRUE(Status::notFound().isNotFound());
+    EXPECT_EQ(Status::corruption("bad").code(),
+              StatusCode::Corruption);
+    EXPECT_EQ(Status::ioError().code(), StatusCode::IOError);
+    EXPECT_EQ(Status::invalidArgument().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::notSupported().code(),
+              StatusCode::NotSupported);
+
+    Status s = Status::corruption("checksum mismatch");
+    EXPECT_EQ(s.toString(), "Corruption: checksum mismatch");
+    EXPECT_EQ(s.message(), "checksum mismatch");
+}
+
+TEST(StatusTest, CodeNames)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "Ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::NotFound), "NotFound");
+    EXPECT_STREQ(statusCodeName(StatusCode::NotSupported),
+                 "NotSupported");
+}
+
+TEST(ResultTest, ValueAccess)
+{
+    Result<int> ok(42);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+    EXPECT_EQ(ok.take(), 42);
+
+    Result<int> err(Status::notFound("nope"));
+    EXPECT_FALSE(err.ok());
+    EXPECT_TRUE(err.status().isNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValues)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> taken = r.take();
+    EXPECT_EQ(*taken, 7);
+}
+
+TEST(ResultTest, MutableValue)
+{
+    Result<std::string> r(std::string("abc"));
+    r.value() += "def";
+    EXPECT_EQ(r.value(), "abcdef");
+}
+
+} // namespace
+} // namespace ethkv

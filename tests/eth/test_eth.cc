@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Ethereum data-model tests: fixed-byte types, account encodings
+ * (full and slim), transactions, receipts, logs blooms, headers,
+ * bodies — all RLP round-trips plus hashing determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rand.hh"
+#include "eth/account.hh"
+#include "eth/block.hh"
+
+namespace ethkv::eth
+{
+namespace
+{
+
+TEST(TypesTest, FixedBytesBasics)
+{
+    Address a = Address::fromId(7);
+    Address b = Address::fromId(7);
+    Address c = Address::fromId(8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.toBytes().size(), 20u);
+    EXPECT_EQ(a.hex().size(), 40u);
+    EXPECT_FALSE(a.isZero());
+    EXPECT_TRUE(Address().isZero());
+
+    Address parsed = Address::fromBytes(a.toBytes());
+    EXPECT_EQ(parsed, a);
+}
+
+TEST(TypesTest, WellKnownHashes)
+{
+    EXPECT_EQ(emptyCodeHash().hex(),
+              "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7b"
+              "fad8045d85a470");
+    EXPECT_EQ(emptyTrieRoot().hex(),
+              "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001"
+              "622fb5e363b421");
+}
+
+TEST(TypesTest, ContractAddressDerivation)
+{
+    Address sender = Address::fromId(1);
+    Address a1 = contractAddress(sender, 1);
+    Address a2 = contractAddress(sender, 2);
+    EXPECT_NE(a1, a2);
+    EXPECT_EQ(a1, contractAddress(sender, 1));
+    EXPECT_NE(a1, contractAddress(Address::fromId(2), 1));
+}
+
+TEST(AccountTest, EncodeDecodeRoundTrip)
+{
+    Account account;
+    account.nonce = 42;
+    account.balance = 1234567890;
+    account.storage_root = hashOf("root");
+    account.code_hash = hashOf("code");
+
+    auto decoded = Account::decode(account.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), account);
+}
+
+TEST(AccountTest, FreshAccountUsesEmptySentinels)
+{
+    Account account;
+    EXPECT_EQ(account.storage_root, emptyTrieRoot());
+    EXPECT_EQ(account.code_hash, emptyCodeHash());
+    EXPECT_FALSE(account.isContract());
+    account.code_hash = hashOf("contract");
+    EXPECT_TRUE(account.isContract());
+}
+
+TEST(AccountTest, SlimEncodingIsSmallerForEoa)
+{
+    Account eoa;
+    eoa.nonce = 9;
+    eoa.balance = 1000;
+    Bytes full = eoa.encode();
+    Bytes slim = encodeSlimAccount(eoa);
+    // The slim form elides the two 32-byte empty sentinels
+    // (Table I: 15.9 B vs 115.7 B averages).
+    EXPECT_LT(slim.size(), full.size() - 50);
+
+    auto decoded = decodeSlimAccount(slim);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), eoa);
+}
+
+TEST(AccountTest, SlimEncodingKeepsContractHashes)
+{
+    Account contract;
+    contract.storage_root = hashOf("storage");
+    contract.code_hash = hashOf("code");
+    auto decoded = decodeSlimAccount(encodeSlimAccount(contract));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), contract);
+}
+
+TEST(AccountTest, DecodeRejectsMalformed)
+{
+    EXPECT_FALSE(Account::decode("junk").ok());
+    EXPECT_FALSE(Account::decode(rlpEncodeUint(5)).ok());
+    RlpItem three = RlpItem::list({RlpItem::uinteger(1),
+                                   RlpItem::uinteger(2),
+                                   RlpItem::uinteger(3)});
+    EXPECT_FALSE(Account::decode(rlpEncode(three)).ok());
+}
+
+TEST(TransactionTest, RoundTripTransfer)
+{
+    Transaction tx;
+    tx.nonce = 5;
+    tx.gas_price = 100;
+    tx.gas_limit = 21000;
+    tx.to = Address::fromId(77);
+    tx.value = 999;
+    tx.data = "hello";
+    tx.from = Address::fromId(3);
+
+    auto decoded = Transaction::decode(tx.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), tx);
+    EXPECT_FALSE(tx.isCreation());
+}
+
+TEST(TransactionTest, RoundTripCreation)
+{
+    Transaction tx;
+    tx.to.reset();
+    tx.data = Bytes(500, '\x60');
+    tx.from = Address::fromId(9);
+    EXPECT_TRUE(tx.isCreation());
+
+    auto decoded = Transaction::decode(tx.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value().isCreation());
+    EXPECT_EQ(decoded.value(), tx);
+}
+
+TEST(TransactionTest, HashChangesWithContent)
+{
+    Transaction tx;
+    tx.from = Address::fromId(1);
+    tx.to = Address::fromId(2);
+    Hash256 h1 = tx.hash();
+    tx.value = 1;
+    EXPECT_NE(tx.hash(), h1);
+}
+
+TEST(LogsBloomTest, AddAndQuery)
+{
+    LogsBloom bloom;
+    bloom.add("topic-a");
+    bloom.add("topic-b");
+    EXPECT_TRUE(bloom.mayContain("topic-a"));
+    EXPECT_TRUE(bloom.mayContain("topic-b"));
+    int false_positives = 0;
+    for (int i = 0; i < 1000; ++i) {
+        false_positives += bloom.mayContain(
+            "absent-" + std::to_string(i));
+    }
+    // 2 items in a 2048-bit bloom: essentially no false positives.
+    EXPECT_LT(false_positives, 5);
+}
+
+TEST(LogsBloomTest, MergeAndSerialize)
+{
+    LogsBloom a, b;
+    a.add("x");
+    b.add("y");
+    a.merge(b);
+    EXPECT_TRUE(a.mayContain("x"));
+    EXPECT_TRUE(a.mayContain("y"));
+
+    LogsBloom restored = LogsBloom::fromBytes(a.toBytes());
+    EXPECT_EQ(restored, a);
+    EXPECT_EQ(a.toBytes().size(), LogsBloom::bloom_bytes);
+}
+
+TEST(LogsBloomTest, BitAccessorMatchesQueries)
+{
+    LogsBloom bloom;
+    bloom.add("item");
+    int set_bits = 0;
+    for (size_t i = 0; i < 2048; ++i)
+        set_bits += bloom.bit(i);
+    EXPECT_GE(set_bits, 1);
+    EXPECT_LE(set_bits, 3); // the yellow paper's 3 bits per item
+}
+
+TEST(ReceiptTest, RoundTripWithLogs)
+{
+    Receipt receipt;
+    receipt.success = true;
+    receipt.cumulative_gas = 123456;
+    Log log;
+    log.address = Address::fromId(5);
+    log.topics = {hashOf("t1"), hashOf("t2")};
+    log.data = Bytes(64, 'd');
+    receipt.logs.push_back(log);
+    receipt.buildBloom();
+
+    auto decoded = Receipt::decode(receipt.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), receipt);
+    EXPECT_TRUE(decoded.value().bloom.mayContain(
+        log.address.view()));
+}
+
+TEST(BlockHeaderTest, RoundTripAndHash)
+{
+    BlockHeader header;
+    header.parent_hash = hashOf("parent");
+    header.coinbase = Address::fromId(7);
+    header.state_root = hashOf("state");
+    header.number = 20500000;
+    header.gas_used = 12345678;
+    header.timestamp = 1723248000;
+    header.extra = "ethkv";
+    header.logs_bloom.add("contract");
+
+    Bytes encoded = header.encode();
+    auto decoded = BlockHeader::decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), header);
+    EXPECT_EQ(decoded.value().hash(), header.hash());
+
+    header.number += 1;
+    EXPECT_NE(header.hash(), decoded.value().hash());
+}
+
+TEST(BlockBodyTest, RoundTrip)
+{
+    BlockBody body;
+    for (int i = 0; i < 20; ++i) {
+        Transaction tx;
+        tx.nonce = i;
+        tx.from = Address::fromId(i);
+        tx.to = Address::fromId(i + 1);
+        tx.value = i * 100;
+        body.transactions.push_back(tx);
+    }
+    auto decoded = BlockBody::decode(body.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), body);
+}
+
+TEST(BlockTest, ReceiptsEncodingAndListRoot)
+{
+    Block block;
+    for (int i = 0; i < 5; ++i) {
+        Receipt receipt;
+        receipt.cumulative_gas = (i + 1) * 21000;
+        block.receipts.push_back(receipt);
+    }
+    Bytes encoded = block.encodeReceipts();
+    auto decoded = rlpDecode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value().is_list);
+    EXPECT_EQ(decoded.value().items.size(), 5u);
+
+    // List roots: order-sensitive, deterministic.
+    std::vector<Bytes> items = {"a", "b", "c"};
+    Hash256 r1 = computeListRoot(items);
+    EXPECT_EQ(r1, computeListRoot(items));
+    std::swap(items[0], items[1]);
+    EXPECT_NE(r1, computeListRoot(items));
+    EXPECT_EQ(computeListRoot({}).toBytes(),
+              emptyTrieRoot().toBytes());
+}
+
+} // namespace
+} // namespace ethkv::eth

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bloom filter tests: no false negatives, bounded false positives,
+ * serialization round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/bloom.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::makeKey;
+
+TEST(BloomTest, NoFalseNegatives)
+{
+    BloomFilter filter(1000);
+    for (uint64_t i = 0; i < 1000; ++i)
+        filter.add(makeKey(i));
+    for (uint64_t i = 0; i < 1000; ++i)
+        EXPECT_TRUE(filter.mayContain(makeKey(i)));
+}
+
+TEST(BloomTest, FalsePositiveRateIsBounded)
+{
+    BloomFilter filter(1000, 10);
+    for (uint64_t i = 0; i < 1000; ++i)
+        filter.add(makeKey(i));
+    int fp = 0;
+    const int probes = 10000;
+    for (int i = 0; i < probes; ++i)
+        fp += filter.mayContain(makeKey(1000000 + i));
+    // 10 bits/key targets ~1%; allow generous slack.
+    EXPECT_LT(static_cast<double>(fp) / probes, 0.05);
+}
+
+TEST(BloomTest, SerializationRoundTrip)
+{
+    BloomFilter filter(500);
+    for (uint64_t i = 0; i < 500; ++i)
+        filter.add(makeKey(i, "ser"));
+    BloomFilter restored = BloomFilter::fromBytes(filter.toBytes());
+    for (uint64_t i = 0; i < 500; ++i)
+        EXPECT_TRUE(restored.mayContain(makeKey(i, "ser")));
+    // Same bits => same (possibly false-positive) answers.
+    for (uint64_t i = 0; i < 2000; ++i) {
+        Bytes probe = makeKey(i, "probe");
+        EXPECT_EQ(filter.mayContain(probe),
+                  restored.mayContain(probe));
+    }
+}
+
+TEST(BloomTest, EmptyFilterRejectsEverything)
+{
+    BloomFilter filter(100);
+    int hits = 0;
+    for (uint64_t i = 0; i < 1000; ++i)
+        hits += filter.mayContain(makeKey(i));
+    EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomTest, ZeroExpectedKeysStillWorks)
+{
+    BloomFilter filter(0);
+    filter.add("solo");
+    EXPECT_TRUE(filter.mayContain("solo"));
+}
+
+} // namespace
+} // namespace ethkv::kv

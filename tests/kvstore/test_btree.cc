@@ -1,0 +1,191 @@
+/**
+ * @file
+ * B+-tree engine tests: CRUD, splits/merges across many orders of
+ * insertion and deletion, scans, structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "kvstore/btree_store.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::makeKey;
+using testutil::makeValue;
+
+TEST(BTreeTest, PutGetDelete)
+{
+    BTreeStore tree;
+    EXPECT_TRUE(tree.put("a", "1").isOk());
+    EXPECT_TRUE(tree.put("b", "2").isOk());
+
+    Bytes v;
+    ASSERT_TRUE(tree.get("a", v).isOk());
+    EXPECT_EQ(v, "1");
+    EXPECT_TRUE(tree.get("c", v).isNotFound());
+
+    EXPECT_TRUE(tree.del("a").isOk());
+    EXPECT_TRUE(tree.get("a", v).isNotFound());
+    EXPECT_EQ(tree.liveKeyCount(), 1u);
+    // Deleting an absent key is Ok.
+    EXPECT_TRUE(tree.del("zz").isOk());
+}
+
+TEST(BTreeTest, OverwriteKeepsSingleEntry)
+{
+    BTreeStore tree;
+    tree.put("k", "old");
+    tree.put("k", "new");
+    Bytes v;
+    ASSERT_TRUE(tree.get("k", v).isOk());
+    EXPECT_EQ(v, "new");
+    EXPECT_EQ(tree.liveKeyCount(), 1u);
+}
+
+TEST(BTreeTest, GrowsAndMaintainsInvariants)
+{
+    BTreeStore tree;
+    for (uint64_t i = 0; i < 5000; ++i) {
+        tree.put(makeKey(i), makeValue(i));
+        if (i % 500 == 0)
+            tree.checkInvariants();
+    }
+    tree.checkInvariants();
+    EXPECT_GT(tree.height(), 1);
+    EXPECT_EQ(tree.liveKeyCount(), 5000u);
+
+    for (uint64_t i = 0; i < 5000; ++i) {
+        Bytes v;
+        ASSERT_TRUE(tree.get(makeKey(i), v).isOk()) << i;
+        EXPECT_EQ(v, makeValue(i));
+    }
+}
+
+TEST(BTreeTest, ShrinksBackToSingleLeaf)
+{
+    BTreeStore tree;
+    for (uint64_t i = 0; i < 2000; ++i)
+        tree.put(makeKey(i), "v");
+    EXPECT_GT(tree.height(), 1);
+    for (uint64_t i = 0; i < 2000; ++i) {
+        tree.del(makeKey(i));
+        if (i % 200 == 0)
+            tree.checkInvariants();
+    }
+    tree.checkInvariants();
+    EXPECT_EQ(tree.liveKeyCount(), 0u);
+    EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BTreeTest, ScanRangeAndOrder)
+{
+    BTreeStore tree;
+    for (uint64_t i = 0; i < 1000; i += 2)
+        tree.put(makeKey(i), makeValue(i));
+
+    std::vector<Bytes> seen;
+    tree.scan(makeKey(100), makeKey(200),
+              [&](BytesView k, BytesView v) {
+                  seen.emplace_back(k);
+                  EXPECT_EQ(Bytes(v), makeValue(
+                      std::stoull(Bytes(k.substr(4, 8)))));
+                  return true;
+              });
+    ASSERT_EQ(seen.size(), 50u);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    EXPECT_EQ(seen.front(), makeKey(100));
+    EXPECT_EQ(seen.back(), makeKey(198));
+}
+
+TEST(BTreeTest, ScanOpenEndAndEarlyStop)
+{
+    BTreeStore tree;
+    for (uint64_t i = 0; i < 100; ++i)
+        tree.put(makeKey(i), "v");
+
+    size_t count = 0;
+    tree.scan(makeKey(90), BytesView(),
+              [&](BytesView, BytesView) {
+                  ++count;
+                  return true;
+              });
+    EXPECT_EQ(count, 10u);
+
+    count = 0;
+    tree.scan(BytesView(), BytesView(), [&](BytesView, BytesView) {
+        return ++count < 7;
+    });
+    EXPECT_EQ(count, 7u);
+}
+
+class BTreeRandomOps : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(BTreeRandomOps, MatchesReferenceMap)
+{
+    Rng rng(GetParam());
+    BTreeStore tree;
+    std::map<Bytes, Bytes> ref;
+
+    for (int step = 0; step < 20000; ++step) {
+        uint64_t id = rng.nextBounded(3000);
+        Bytes key = makeKey(id);
+        int op = static_cast<int>(rng.nextBounded(10));
+        if (op < 5) {
+            Bytes value = makeValue(rng.next(), 8);
+            tree.put(key, value);
+            ref[key] = value;
+        } else if (op < 8) {
+            tree.del(key);
+            ref.erase(key);
+        } else {
+            Bytes v;
+            Status s = tree.get(key, v);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_TRUE(s.isNotFound());
+            } else {
+                ASSERT_TRUE(s.isOk());
+                EXPECT_EQ(v, it->second);
+            }
+        }
+        if (step % 2500 == 0)
+            tree.checkInvariants();
+    }
+    tree.checkInvariants();
+    EXPECT_EQ(tree.liveKeyCount(), ref.size());
+
+    // Full scan equals the reference map.
+    auto it = ref.begin();
+    tree.scan(BytesView(), BytesView(),
+              [&](BytesView k, BytesView v) {
+                  EXPECT_NE(it, ref.end());
+                  EXPECT_EQ(Bytes(k), it->first);
+                  EXPECT_EQ(Bytes(v), it->second);
+                  ++it;
+                  return true;
+              });
+    EXPECT_EQ(it, ref.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomOps,
+                         ::testing::Values(11, 29, 47, 83, 131));
+
+TEST(BTreeTest, DescendingInsertionOrder)
+{
+    BTreeStore tree;
+    for (int i = 2000; i >= 0; --i)
+        tree.put(makeKey(static_cast<uint64_t>(i)), "v");
+    tree.checkInvariants();
+    EXPECT_EQ(tree.liveKeyCount(), 2001u);
+}
+
+} // namespace
+} // namespace ethkv::kv

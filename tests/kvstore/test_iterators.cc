@@ -1,0 +1,157 @@
+/**
+ * @file
+ * MergingIterator and WriteBatch unit tests: source priority,
+ * duplicate shadowing, seek semantics, batch accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/internal_iterator.hh"
+#include "kvstore/kvstore.hh"
+#include "kvstore/memtable.hh"
+#include "kvstore/write_batch.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+std::unique_ptr<MemTable>
+tableOf(std::initializer_list<std::pair<const char *, const char *>>
+            entries,
+        uint64_t seq_base)
+{
+    auto table = std::make_unique<MemTable>();
+    uint64_t seq = seq_base;
+    for (const auto &[key, value] : entries)
+        table->add(key, value, ++seq, EntryType::Put);
+    return table;
+}
+
+TEST(MergingIteratorTest, InterleavesSortedSources)
+{
+    auto a = tableOf({{"a", "1"}, {"c", "3"}, {"e", "5"}}, 100);
+    auto b = tableOf({{"b", "2"}, {"d", "4"}}, 200);
+
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(a->newIterator());
+    sources.push_back(b->newIterator());
+    MergingIterator merged(std::move(sources));
+    merged.seek(BytesView());
+
+    std::string keys;
+    while (merged.valid()) {
+        keys += merged.entry().key;
+        merged.next();
+    }
+    EXPECT_EQ(keys, "abcde");
+}
+
+TEST(MergingIteratorTest, NewestSourceWinsDuplicates)
+{
+    auto newer = tableOf({{"k", "new"}, {"z", "zz"}}, 200);
+    auto older = tableOf({{"a", "aa"}, {"k", "old"}}, 100);
+
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(newer->newIterator()); // index 0 = newest
+    sources.push_back(older->newIterator());
+    MergingIterator merged(std::move(sources));
+    merged.seek(BytesView());
+
+    std::vector<std::pair<Bytes, Bytes>> seen;
+    while (merged.valid()) {
+        seen.emplace_back(merged.entry().key,
+                          merged.entry().value);
+        merged.next();
+    }
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].first, "a");
+    EXPECT_EQ(seen[1].first, "k");
+    EXPECT_EQ(seen[1].second, "new"); // duplicate shadowed
+    EXPECT_EQ(seen[2].first, "z");
+}
+
+TEST(MergingIteratorTest, SeekSkipsEarlierKeys)
+{
+    auto a = tableOf({{"a", "1"}, {"m", "2"}, {"z", "3"}}, 1);
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(a->newIterator());
+    MergingIterator merged(std::move(sources));
+    merged.seek("b");
+    ASSERT_TRUE(merged.valid());
+    EXPECT_EQ(merged.entry().key, "m");
+    merged.seek("zz");
+    EXPECT_FALSE(merged.valid());
+}
+
+TEST(MergingIteratorTest, EmptySources)
+{
+    MergingIterator merged({});
+    merged.seek(BytesView());
+    EXPECT_FALSE(merged.valid());
+
+    auto empty = std::make_unique<MemTable>();
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(empty->newIterator());
+    MergingIterator merged2(std::move(sources));
+    merged2.seek(BytesView());
+    EXPECT_FALSE(merged2.valid());
+}
+
+TEST(MergingIteratorTest, TombstonesAreYielded)
+{
+    // The merge layer yields tombstones; resolution is the LSM's
+    // job (it must shadow deeper live versions).
+    auto table = std::make_unique<MemTable>();
+    table->add("k", "v", 1, EntryType::Put);
+    table->add("k", "", 2, EntryType::Tombstone);
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    sources.push_back(table->newIterator());
+    MergingIterator merged(std::move(sources));
+    merged.seek(BytesView());
+    ASSERT_TRUE(merged.valid());
+    EXPECT_EQ(merged.entry().type, EntryType::Tombstone);
+}
+
+TEST(WriteBatchTest, AccountingAndOrder)
+{
+    WriteBatch batch;
+    EXPECT_TRUE(batch.empty());
+    batch.put("key1", "value1");
+    batch.del("key2");
+    batch.put("key3", Bytes(100, 'x'));
+
+    EXPECT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch.byteSize(), 4u + 6 + 4 + 4 + 100);
+    EXPECT_EQ(batch.entries()[0].op, BatchOp::Put);
+    EXPECT_EQ(batch.entries()[1].op, BatchOp::Delete);
+    EXPECT_TRUE(batch.entries()[1].value.empty());
+
+    batch.clear();
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(batch.byteSize(), 0u);
+}
+
+TEST(IOStatsTest, MergeAndAmplification)
+{
+    IOStats a, b;
+    a.user_writes = 10;
+    a.bytes_written = 100;
+    a.tombstones_written = 2;
+    b.user_writes = 5;
+    b.user_deletes = 5;
+    b.bytes_written = 50;
+    b.compactions = 3;
+    a.merge(b);
+    EXPECT_EQ(a.user_writes, 15u);
+    EXPECT_EQ(a.user_deletes, 5u);
+    EXPECT_EQ(a.bytes_written, 150u);
+    EXPECT_EQ(a.compactions, 3u);
+    EXPECT_DOUBLE_EQ(a.writeAmplification(), 150.0 / 20.0);
+
+    IOStats empty;
+    EXPECT_EQ(empty.writeAmplification(), 0.0);
+}
+
+} // namespace
+} // namespace ethkv::kv

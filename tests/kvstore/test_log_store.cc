@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Append-log engine tests: CRUD, segment sealing, batched GC
+ * reclamation, and the no-scan contract. Includes HashStore tests,
+ * which share the unordered-engine contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/hash_store.hh"
+#include "kvstore/log_store.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::makeKey;
+using testutil::makeValue;
+
+TEST(LogStoreTest, PutGetDelete)
+{
+    AppendLogStore store;
+    EXPECT_TRUE(store.put("a", "1").isOk());
+    Bytes v;
+    ASSERT_TRUE(store.get("a", v).isOk());
+    EXPECT_EQ(v, "1");
+    EXPECT_TRUE(store.del("a").isOk());
+    EXPECT_TRUE(store.get("a", v).isNotFound());
+    EXPECT_EQ(store.liveKeyCount(), 0u);
+}
+
+TEST(LogStoreTest, OverwriteReturnsLatest)
+{
+    AppendLogStore store;
+    store.put("k", "old");
+    store.put("k", "new");
+    Bytes v;
+    ASSERT_TRUE(store.get("k", v).isOk());
+    EXPECT_EQ(v, "new");
+    EXPECT_EQ(store.liveKeyCount(), 1u);
+}
+
+TEST(LogStoreTest, ScanUnsupported)
+{
+    AppendLogStore store;
+    store.put("k", "v");
+    Status s = store.scan(BytesView(), BytesView(),
+                          [](BytesView, BytesView) { return true; });
+    EXPECT_EQ(s.code(), StatusCode::NotSupported);
+}
+
+TEST(LogStoreTest, SegmentsSealAsDataGrows)
+{
+    LogStoreOptions opts;
+    opts.segment_bytes = 4096;
+    AppendLogStore store(opts);
+    for (uint64_t i = 0; i < 500; ++i)
+        store.put(makeKey(i), makeValue(i, 64));
+    EXPECT_GT(store.segmentCount(), 3u);
+    // All keys still readable across segments.
+    for (uint64_t i = 0; i < 500; ++i) {
+        Bytes v;
+        ASSERT_TRUE(store.get(makeKey(i), v).isOk()) << i;
+        EXPECT_EQ(v, makeValue(i, 64));
+    }
+}
+
+TEST(LogStoreTest, GcReclaimsDeletedSpace)
+{
+    LogStoreOptions opts;
+    opts.segment_bytes = 4096;
+    opts.gc_dead_ratio = 0.5;
+    AppendLogStore store(opts);
+
+    for (uint64_t i = 0; i < 1000; ++i)
+        store.put(makeKey(i), makeValue(i, 64));
+    uint64_t before = store.residentBytes();
+
+    // Delete 80% of the keys; sealed segments cross the dead
+    // threshold and are rewritten.
+    for (uint64_t i = 0; i < 1000; ++i)
+        if (i % 5 != 0)
+            store.del(makeKey(i));
+
+    EXPECT_GT(store.stats().gc_runs, 0u);
+    EXPECT_GT(store.stats().gc_bytes, 0u);
+    EXPECT_LT(store.residentBytes(), before / 2);
+
+    // Survivors intact after GC moved them.
+    for (uint64_t i = 0; i < 1000; i += 5) {
+        Bytes v;
+        ASSERT_TRUE(store.get(makeKey(i), v).isOk()) << i;
+        EXPECT_EQ(v, makeValue(i, 64));
+    }
+    EXPECT_EQ(store.liveKeyCount(), 200u);
+}
+
+TEST(LogStoreTest, DeleteHeavyChurnStaysBounded)
+{
+    // Models TxLookup: insert a window, delete the tail, repeat.
+    LogStoreOptions opts;
+    opts.segment_bytes = 8192;
+    AppendLogStore store(opts);
+    const uint64_t window = 200;
+    for (uint64_t i = 0; i < 5000; ++i) {
+        store.put(makeKey(i), makeValue(i, 40));
+        if (i >= window)
+            store.del(makeKey(i - window));
+    }
+    EXPECT_EQ(store.liveKeyCount(), window);
+    // Resident bytes should be within a small factor of live bytes,
+    // not proportional to total writes.
+    EXPECT_LT(store.residentBytes(), 20 * window * 60);
+}
+
+TEST(LogStoreTest, NoTombstoneOverheadMetrics)
+{
+    AppendLogStore store;
+    store.put("k", "v");
+    store.del("k");
+    EXPECT_EQ(store.stats().tombstones_written, 0u);
+    EXPECT_EQ(store.stats().compaction_bytes, 0u);
+}
+
+TEST(HashStoreTest, BasicContract)
+{
+    HashStore store;
+    EXPECT_TRUE(store.put("a", "1").isOk());
+    EXPECT_TRUE(store.put("b", "2").isOk());
+    Bytes v;
+    ASSERT_TRUE(store.get("a", v).isOk());
+    EXPECT_EQ(v, "1");
+    EXPECT_TRUE(store.del("a").isOk());
+    EXPECT_TRUE(store.get("a", v).isNotFound());
+    EXPECT_EQ(store.liveKeyCount(), 1u);
+
+    Status s = store.scan(BytesView(), BytesView(),
+                          [](BytesView, BytesView) { return true; });
+    EXPECT_EQ(s.code(), StatusCode::NotSupported);
+}
+
+TEST(HashStoreTest, WriteAmplificationIsOne)
+{
+    HashStore store;
+    uint64_t logical = 0;
+    for (uint64_t i = 0; i < 100; ++i) {
+        Bytes k = makeKey(i), v = makeValue(i);
+        logical += k.size() + v.size();
+        store.put(k, v);
+    }
+    EXPECT_EQ(store.stats().bytes_written, logical);
+}
+
+TEST(HashStoreTest, ContainsHelper)
+{
+    HashStore store;
+    store.put("x", "1");
+    EXPECT_TRUE(store.contains("x"));
+    EXPECT_FALSE(store.contains("y"));
+}
+
+TEST(HashStoreTest, ApplyBatchAtomicSemantics)
+{
+    HashStore store;
+    WriteBatch batch;
+    batch.put("a", "1");
+    batch.put("b", "2");
+    batch.del("a");
+    ASSERT_TRUE(store.apply(batch).isOk());
+    Bytes v;
+    EXPECT_TRUE(store.get("a", v).isNotFound());
+    ASSERT_TRUE(store.get("b", v).isOk());
+    EXPECT_EQ(v, "2");
+}
+
+} // namespace
+} // namespace ethkv::kv

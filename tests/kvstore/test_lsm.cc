@@ -1,0 +1,318 @@
+/**
+ * @file
+ * LSM store tests: CRUD, flush/compaction behaviour, scans across
+ * levels, WAL crash recovery, reopen persistence, tombstone
+ * lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "kvstore/lsm_store.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+using testutil::makeKey;
+using testutil::makeValue;
+
+LSMOptions
+smallOptions(const std::string &dir)
+{
+    LSMOptions opts;
+    opts.dir = dir;
+    opts.memtable_bytes = 16 << 10;   // flush early
+    opts.l0_compaction_trigger = 3;
+    opts.level_base_bytes = 64 << 10; // compact early
+    opts.target_file_bytes = 16 << 10;
+    return opts;
+}
+
+TEST(LsmTest, PutGetDelete)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    EXPECT_TRUE(store.value()->put("a", "1").isOk());
+    Bytes v;
+    ASSERT_TRUE(store.value()->get("a", v).isOk());
+    EXPECT_EQ(v, "1");
+
+    EXPECT_TRUE(store.value()->del("a").isOk());
+    EXPECT_TRUE(store.value()->get("a", v).isNotFound());
+    EXPECT_TRUE(store.value()->del("never-existed").isOk());
+}
+
+TEST(LsmTest, OverwriteAcrossFlush)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    store.value()->put("k", "old");
+    ASSERT_TRUE(store.value()->flush().isOk()); // "old" now on disk
+    store.value()->put("k", "new");
+
+    Bytes v;
+    ASSERT_TRUE(store.value()->get("k", v).isOk());
+    EXPECT_EQ(v, "new");
+}
+
+TEST(LsmTest, DeleteShadowsDiskVersion)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    store.value()->put("k", "v");
+    ASSERT_TRUE(store.value()->flush().isOk());
+    store.value()->del("k");
+
+    Bytes v;
+    EXPECT_TRUE(store.value()->get("k", v).isNotFound());
+    ASSERT_TRUE(store.value()->flush().isOk());
+    EXPECT_TRUE(store.value()->get("k", v).isNotFound());
+}
+
+TEST(LsmTest, ManyKeysTriggerFlushAndCompaction)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    const uint64_t n = 5000;
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(
+            store.value()->put(makeKey(i), makeValue(i)).isOk());
+
+    EXPECT_GT(store.value()->stats().flush_bytes, 0u);
+    EXPECT_GT(store.value()->stats().compactions, 0u);
+
+    for (uint64_t i = 0; i < n; ++i) {
+        Bytes v;
+        ASSERT_TRUE(store.value()->get(makeKey(i), v).isOk()) << i;
+        EXPECT_EQ(v, makeValue(i));
+    }
+    EXPECT_EQ(store.value()->liveKeyCount(), n);
+}
+
+TEST(LsmTest, ScanMergesAllLevels)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    // Interleave writes and flushes so keys spread across levels.
+    for (uint64_t i = 0; i < 1000; ++i) {
+        store.value()->put(makeKey(i), makeValue(i));
+        if (i % 251 == 0)
+            store.value()->flush();
+    }
+    // Overwrite a band and delete another so the scan must resolve
+    // shadowing correctly.
+    for (uint64_t i = 100; i < 150; ++i)
+        store.value()->put(makeKey(i), "fresh");
+    for (uint64_t i = 200; i < 250; ++i)
+        store.value()->del(makeKey(i));
+
+    uint64_t count = 0;
+    Bytes prev;
+    store.value()->scan(
+        makeKey(0), makeKey(1000),
+        [&](BytesView k, BytesView v) {
+            if (count > 0)
+                EXPECT_LT(prev, Bytes(k));
+            prev = Bytes(k);
+            uint64_t id = std::stoull(Bytes(k.substr(4, 8)));
+            EXPECT_TRUE(id < 200 || id >= 250);
+            if (id >= 100 && id < 150)
+                EXPECT_EQ(Bytes(v), "fresh");
+            ++count;
+            return true;
+        });
+    EXPECT_EQ(count, 950u);
+}
+
+TEST(LsmTest, ScanRespectsRangeAndEarlyStop)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    for (uint64_t i = 0; i < 300; ++i)
+        store.value()->put(makeKey(i), "v");
+
+    uint64_t count = 0;
+    store.value()->scan(makeKey(50), makeKey(60),
+                        [&](BytesView, BytesView) {
+                            ++count;
+                            return true;
+                        });
+    EXPECT_EQ(count, 10u);
+
+    count = 0;
+    store.value()->scan(BytesView(), BytesView(),
+                        [&](BytesView, BytesView) {
+                            return ++count < 5;
+                        });
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(LsmTest, ReopenAfterCleanFlush)
+{
+    ScratchDir dir("lsm");
+    {
+        auto store = LSMStore::open(smallOptions(dir.path()));
+        ASSERT_TRUE(store.ok());
+        for (uint64_t i = 0; i < 1000; ++i)
+            store.value()->put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(store.value()->flush().isOk());
+    }
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    for (uint64_t i = 0; i < 1000; ++i) {
+        Bytes v;
+        ASSERT_TRUE(store.value()->get(makeKey(i), v).isOk()) << i;
+        EXPECT_EQ(v, makeValue(i));
+    }
+}
+
+TEST(LsmTest, ReopenRecoversUnflushedWritesFromWal)
+{
+    ScratchDir dir("lsm");
+    {
+        auto store = LSMStore::open(smallOptions(dir.path()));
+        ASSERT_TRUE(store.ok());
+        // Small enough to stay in the memtable (no flush): only the
+        // WAL holds these when the store is dropped.
+        for (uint64_t i = 0; i < 50; ++i)
+            store.value()->put(makeKey(i), makeValue(i));
+        store.value()->del(makeKey(7));
+        // Destructor syncs the WAL; no flush() call.
+    }
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    Bytes v;
+    for (uint64_t i = 0; i < 50; ++i) {
+        if (i == 7) {
+            EXPECT_TRUE(
+                store.value()->get(makeKey(i), v).isNotFound());
+        } else {
+            ASSERT_TRUE(store.value()->get(makeKey(i), v).isOk())
+                << i;
+            EXPECT_EQ(v, makeValue(i));
+        }
+    }
+}
+
+TEST(LsmTest, TornWalTailLosesOnlyTail)
+{
+    ScratchDir dir("lsm");
+    {
+        auto store = LSMStore::open(smallOptions(dir.path()));
+        ASSERT_TRUE(store.ok());
+        for (uint64_t i = 0; i < 20; ++i)
+            store.value()->put(makeKey(i), "v");
+    }
+    // Simulate a crash that tears the last WAL record.
+    std::string wal = dir.path() + "/wal.log";
+    auto size = std::filesystem::file_size(wal);
+    std::filesystem::resize_file(wal, size - 2);
+
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    Bytes v;
+    // All but the last record survive.
+    for (uint64_t i = 0; i < 19; ++i)
+        ASSERT_TRUE(store.value()->get(makeKey(i), v).isOk()) << i;
+    EXPECT_TRUE(store.value()->get(makeKey(19), v).isNotFound());
+}
+
+TEST(LsmTest, CompactAllDropsTombstones)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    for (uint64_t i = 0; i < 2000; ++i)
+        store.value()->put(makeKey(i), makeValue(i));
+    for (uint64_t i = 0; i < 2000; i += 2)
+        store.value()->del(makeKey(i));
+    ASSERT_TRUE(store.value()->compactAll().isOk());
+
+    EXPECT_GT(store.value()->stats().tombstones_dropped, 0u);
+    EXPECT_EQ(store.value()->liveKeyCount(), 1000u);
+    for (uint64_t i = 0; i < 2000; ++i) {
+        Bytes v;
+        if (i % 2 == 0)
+            EXPECT_TRUE(
+                store.value()->get(makeKey(i), v).isNotFound());
+        else
+            ASSERT_TRUE(store.value()->get(makeKey(i), v).isOk());
+    }
+}
+
+TEST(LsmTest, BatchIsAppliedInOrder)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    WriteBatch batch;
+    batch.put("k", "first");
+    batch.del("k");
+    batch.put("k", "last");
+    ASSERT_TRUE(store.value()->apply(batch).isOk());
+    Bytes v;
+    ASSERT_TRUE(store.value()->get("k", v).isOk());
+    EXPECT_EQ(v, "last");
+}
+
+TEST(LsmTest, StatsTrackUserOps)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    store.value()->put("a", "1");
+    store.value()->put("b", "2");
+    store.value()->del("a");
+    Bytes v;
+    store.value()->get("a", v);
+    store.value()->get("b", v);
+    store.value()->scan(BytesView(), BytesView(),
+                        [](BytesView, BytesView) { return true; });
+
+    const IOStats &s = store.value()->stats();
+    EXPECT_EQ(s.user_writes, 2u);
+    EXPECT_EQ(s.user_deletes, 1u);
+    EXPECT_EQ(s.user_reads, 2u);
+    EXPECT_EQ(s.user_scans, 1u);
+    EXPECT_EQ(s.tombstones_written, 1u);
+    EXPECT_GT(s.bytes_written, 0u);
+}
+
+TEST(LsmTest, LevelFileCountsReflectStructure)
+{
+    ScratchDir dir("lsm");
+    auto store = LSMStore::open(smallOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    for (uint64_t i = 0; i < 4000; ++i)
+        store.value()->put(makeKey(i), makeValue(i, 48));
+    auto counts = store.value()->levelFileCounts();
+    ASSERT_EQ(counts.size(),
+              static_cast<size_t>(LSMStore::max_levels));
+    size_t total = 0;
+    for (size_t c : counts)
+        total += c;
+    EXPECT_GT(total, 0u);
+    // L0 stays below the compaction trigger after quiescence.
+    EXPECT_LT(counts[0], 4u);
+}
+
+} // namespace
+} // namespace ethkv::kv

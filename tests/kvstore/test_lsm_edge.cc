@@ -1,0 +1,222 @@
+/**
+ * @file
+ * LSM edge-case tests: tombstone retention across levels, large
+ * values, empty batches, repeated reopen+compaction cycles, and
+ * stats consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/lsm_store.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+using testutil::makeKey;
+using testutil::makeValue;
+
+LSMOptions
+tinyOptions(const std::string &dir)
+{
+    LSMOptions opts;
+    opts.dir = dir;
+    opts.memtable_bytes = 8 << 10;
+    opts.l0_compaction_trigger = 2;
+    opts.level_base_bytes = 32 << 10;
+    opts.target_file_bytes = 8 << 10;
+    return opts;
+}
+
+TEST(LsmEdgeTest, TombstoneShadowsDeepLevels)
+{
+    // A key pushed to a deep level must stay deleted even after
+    // the tombstone's own level compacts: the tombstone may only
+    // be dropped at the bottommost level.
+    ScratchDir dir("lsm_edge");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    // Push a band of keys deep via churn.
+    for (uint64_t round = 0; round < 3; ++round)
+        for (uint64_t i = 0; i < 800; ++i)
+            store.value()->put(makeKey(i), makeValue(i + round));
+    ASSERT_TRUE(store.value()->compactAll().isOk());
+
+    // Delete half, then churn unrelated keys to force the
+    // tombstones through several compactions.
+    for (uint64_t i = 0; i < 800; i += 2)
+        store.value()->del(makeKey(i));
+    for (uint64_t i = 10000; i < 11500; ++i)
+        store.value()->put(makeKey(i), makeValue(i));
+
+    Bytes value;
+    for (uint64_t i = 0; i < 800; ++i) {
+        if (i % 2 == 0) {
+            EXPECT_TRUE(
+                store.value()->get(makeKey(i), value).isNotFound())
+                << i;
+        } else {
+            ASSERT_TRUE(store.value()->get(makeKey(i), value)
+                            .isOk())
+                << i;
+            EXPECT_EQ(value, makeValue(i + 2));
+        }
+    }
+}
+
+TEST(LsmEdgeTest, LargeValues)
+{
+    ScratchDir dir("lsm_edge");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    // Values far larger than the memtable budget must still round
+    // trip (each forces an immediate flush).
+    for (uint64_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(store.value()
+                        ->put(makeKey(i), makeValue(i, 100000))
+                        .isOk());
+    }
+    Bytes value;
+    for (uint64_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(store.value()->get(makeKey(i), value).isOk());
+        EXPECT_EQ(value, makeValue(i, 100000));
+    }
+}
+
+TEST(LsmEdgeTest, EmptyBatchAndEmptyValue)
+{
+    ScratchDir dir("lsm_edge");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    WriteBatch empty;
+    EXPECT_TRUE(store.value()->apply(empty).isOk());
+
+    // Empty values are legal KV payloads.
+    ASSERT_TRUE(store.value()->put("k", BytesView()).isOk());
+    Bytes value = "sentinel";
+    ASSERT_TRUE(store.value()->get("k", value).isOk());
+    EXPECT_TRUE(value.empty());
+    ASSERT_TRUE(store.value()->flush().isOk());
+    value = "sentinel";
+    ASSERT_TRUE(store.value()->get("k", value).isOk());
+    EXPECT_TRUE(value.empty());
+}
+
+TEST(LsmEdgeTest, RepeatedReopenCompactCycles)
+{
+    ScratchDir dir("lsm_edge");
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        auto store = LSMStore::open(tinyOptions(dir.path()));
+        ASSERT_TRUE(store.ok());
+        for (uint64_t i = 0; i < 400; ++i) {
+            store.value()->put(
+                makeKey(i), makeValue(i + cycle * 1000));
+        }
+        if (cycle % 2 == 0)
+            ASSERT_TRUE(store.value()->compactAll().isOk());
+        else
+            ASSERT_TRUE(store.value()->flush().isOk());
+    }
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    Bytes value;
+    for (uint64_t i = 0; i < 400; ++i) {
+        ASSERT_TRUE(store.value()->get(makeKey(i), value).isOk());
+        EXPECT_EQ(value, makeValue(i + 3000));
+    }
+}
+
+TEST(LsmEdgeTest, ScanAfterHeavyChurn)
+{
+    ScratchDir dir("lsm_edge");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    // Churn the same band so every level holds versions of the
+    // same keys; the scan must yield exactly the newest of each.
+    for (int round = 0; round < 6; ++round) {
+        for (uint64_t i = 0; i < 300; ++i) {
+            if (round == 5 && i % 3 == 0)
+                store.value()->del(makeKey(i));
+            else
+                store.value()->put(makeKey(i),
+                                   makeValue(i + round * 7));
+        }
+        store.value()->flush();
+    }
+
+    uint64_t count = 0;
+    store.value()->scan(
+        BytesView(), BytesView(),
+        [&](BytesView k, BytesView v) {
+            uint64_t id = std::stoull(Bytes(k.substr(4, 8)));
+            EXPECT_NE(id % 3, 0u);
+            EXPECT_EQ(Bytes(v), makeValue(id + 35));
+            ++count;
+            return true;
+        });
+    EXPECT_EQ(count, 200u);
+}
+
+TEST(LsmEdgeTest, StatsAreMonotone)
+{
+    ScratchDir dir("lsm_edge");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    uint64_t last_written = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (uint64_t i = 0; i < 500; ++i)
+            store.value()->put(makeKey(i), makeValue(i));
+        const IOStats &stats = store.value()->stats();
+        EXPECT_GE(stats.bytes_written, last_written);
+        last_written = stats.bytes_written;
+        EXPECT_GE(stats.bytes_written, stats.flush_bytes);
+    }
+    EXPECT_GT(store.value()->stats().writeAmplification(), 0.0);
+    EXPECT_GT(store.value()->tableBytes(), 0u);
+}
+
+TEST(LsmEdgeTest, KeysWithBinaryContent)
+{
+    ScratchDir dir("lsm_edge");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    // Keys containing NULs, 0xff, and prefix relationships.
+    Bytes k1{'\x00'};
+    Bytes k2{'\x00', '\x00'};
+    Bytes k3{'\xff', '\x00', '\x7f'};
+    ASSERT_TRUE(store.value()->put(k1, "a").isOk());
+    ASSERT_TRUE(store.value()->put(k2, "b").isOk());
+    ASSERT_TRUE(store.value()->put(k3, "c").isOk());
+    ASSERT_TRUE(store.value()->flush().isOk());
+
+    Bytes value;
+    ASSERT_TRUE(store.value()->get(k1, value).isOk());
+    EXPECT_EQ(value, "a");
+    ASSERT_TRUE(store.value()->get(k2, value).isOk());
+    EXPECT_EQ(value, "b");
+    ASSERT_TRUE(store.value()->get(k3, value).isOk());
+    EXPECT_EQ(value, "c");
+
+    // Scan order is bytewise.
+    std::vector<Bytes> keys;
+    store.value()->scan(BytesView(), BytesView(),
+                        [&](BytesView k, BytesView) {
+                            keys.emplace_back(k);
+                            return true;
+                        });
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], k1);
+    EXPECT_EQ(keys[1], k2);
+    EXPECT_EQ(keys[2], k3);
+}
+
+} // namespace
+} // namespace ethkv::kv

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for kvstore tests: scratch directories and random
+ * key/value generators.
+ */
+
+#ifndef ETHKV_TESTS_KVSTORE_TEST_UTIL_HH
+#define ETHKV_TESTS_KVSTORE_TEST_UTIL_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/bytes.hh"
+#include "common/rand.hh"
+
+namespace ethkv::testutil
+{
+
+/** RAII scratch directory deleted on destruction. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+    {
+        static int counter = 0;
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("ethkv_test_" + tag + "_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter++)))
+                    .string();
+        std::filesystem::create_directories(path_);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Deterministic printable key: "key-000042-<salt>". */
+inline Bytes
+makeKey(uint64_t i, const std::string &salt = "")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "key-%08llu-%s",
+                  static_cast<unsigned long long>(i), salt.c_str());
+    return buf;
+}
+
+/** Deterministic value derived from the key index. */
+inline Bytes
+makeValue(uint64_t i, size_t len = 24)
+{
+    Rng rng(i * 2654435761u + 1);
+    return rng.nextBytes(len);
+}
+
+} // namespace ethkv::testutil
+
+#endif // ETHKV_TESTS_KVSTORE_TEST_UTIL_HH

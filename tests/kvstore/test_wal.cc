@@ -1,0 +1,200 @@
+/**
+ * @file
+ * WAL tests: append/replay round trip, torn-tail tolerance, corrupt
+ * record detection, reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <vector>
+
+#include "kvstore/wal.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+
+WriteBatch
+sampleBatch(int tag)
+{
+    WriteBatch batch;
+    batch.put("key-" + std::to_string(tag), "value-" +
+              std::to_string(tag));
+    batch.del("dead-" + std::to_string(tag));
+    return batch;
+}
+
+TEST(WalTest, AppendReplayRoundTrip)
+{
+    ScratchDir dir("wal");
+    std::string path = dir.path() + "/wal.log";
+    {
+        auto wal = WriteAheadLog::open(path);
+        ASSERT_TRUE(wal.ok());
+        for (int i = 0; i < 10; ++i) {
+            ASSERT_TRUE(wal.value()
+                            ->append(sampleBatch(i), i * 100)
+                            .isOk());
+        }
+        ASSERT_TRUE(wal.value()->sync().isOk());
+    }
+
+    std::vector<uint64_t> seqs;
+    std::vector<size_t> sizes;
+    ASSERT_TRUE(WriteAheadLog::replay(
+                    path,
+                    [&](const WriteBatch &b, uint64_t seq) {
+                        seqs.push_back(seq);
+                        sizes.push_back(b.size());
+                    })
+                    .isOk());
+    ASSERT_EQ(seqs.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(seqs[i], static_cast<uint64_t>(i * 100));
+        EXPECT_EQ(sizes[i], 2u);
+    }
+}
+
+TEST(WalTest, ReplayPreservesEntryContent)
+{
+    ScratchDir dir("wal");
+    std::string path = dir.path() + "/wal.log";
+    {
+        auto wal = WriteAheadLog::open(path);
+        ASSERT_TRUE(wal.ok());
+        WriteBatch batch;
+        batch.put("alpha", Bytes(1000, 'x'));
+        batch.del("beta");
+        batch.put("", ""); // empty key and value are legal
+        ASSERT_TRUE(wal.value()->append(batch, 7).isOk());
+        ASSERT_TRUE(wal.value()->sync().isOk());
+    }
+    int records = 0;
+    WriteAheadLog::replay(path, [&](const WriteBatch &b, uint64_t) {
+        ++records;
+        ASSERT_EQ(b.size(), 3u);
+        EXPECT_EQ(b.entries()[0].op, BatchOp::Put);
+        EXPECT_EQ(b.entries()[0].key, "alpha");
+        EXPECT_EQ(b.entries()[0].value, Bytes(1000, 'x'));
+        EXPECT_EQ(b.entries()[1].op, BatchOp::Delete);
+        EXPECT_EQ(b.entries()[1].key, "beta");
+        EXPECT_EQ(b.entries()[2].key, "");
+    });
+    EXPECT_EQ(records, 1);
+}
+
+TEST(WalTest, MissingFileReplaysNothing)
+{
+    int records = 0;
+    ASSERT_TRUE(WriteAheadLog::replay(
+                    "/nonexistent/ethkv/wal.log",
+                    [&](const WriteBatch &, uint64_t) { ++records; })
+                    .isOk());
+    EXPECT_EQ(records, 0);
+}
+
+TEST(WalTest, TornTailStopsCleanly)
+{
+    ScratchDir dir("wal");
+    std::string path = dir.path() + "/wal.log";
+    {
+        auto wal = WriteAheadLog::open(path);
+        ASSERT_TRUE(wal.ok());
+        for (int i = 0; i < 5; ++i)
+            ASSERT_TRUE(
+                wal.value()->append(sampleBatch(i), i).isOk());
+        ASSERT_TRUE(wal.value()->sync().isOk());
+    }
+    // Chop bytes off the final record to simulate a crash mid-write.
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 3);
+
+    int records = 0;
+    ASSERT_TRUE(WriteAheadLog::replay(
+                    path,
+                    [&](const WriteBatch &, uint64_t) { ++records; })
+                    .isOk());
+    EXPECT_EQ(records, 4);
+}
+
+TEST(WalTest, CorruptRecordStopsReplay)
+{
+    ScratchDir dir("wal");
+    std::string path = dir.path() + "/wal.log";
+    {
+        auto wal = WriteAheadLog::open(path);
+        ASSERT_TRUE(wal.ok());
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(
+                wal.value()->append(sampleBatch(i), i).isOk());
+        ASSERT_TRUE(wal.value()->sync().isOk());
+    }
+    // Flip a byte inside the second record's payload.
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    char c;
+    f.seekg(40);
+    f.get(c);
+    f.seekp(40);
+    f.put(static_cast<char>(c ^ 0xff));
+    f.close();
+
+    int records = 0;
+    ASSERT_TRUE(WriteAheadLog::replay(
+                    path,
+                    [&](const WriteBatch &, uint64_t) { ++records; })
+                    .isOk());
+    EXPECT_LT(records, 3);
+}
+
+TEST(WalTest, ResetTruncates)
+{
+    ScratchDir dir("wal");
+    std::string path = dir.path() + "/wal.log";
+    auto wal = WriteAheadLog::open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->append(sampleBatch(1), 1).isOk());
+    EXPECT_GT(wal.value()->sizeBytes(), 0u);
+    ASSERT_TRUE(wal.value()->reset().isOk());
+    EXPECT_EQ(wal.value()->sizeBytes(), 0u);
+    ASSERT_TRUE(wal.value()->append(sampleBatch(2), 2).isOk());
+    ASSERT_TRUE(wal.value()->sync().isOk());
+
+    int records = 0;
+    WriteAheadLog::replay(path, [&](const WriteBatch &, uint64_t) {
+        ++records;
+    });
+    EXPECT_EQ(records, 1);
+}
+
+TEST(WalTest, AppendAfterReopenPreservesOldRecords)
+{
+    ScratchDir dir("wal");
+    std::string path = dir.path() + "/wal.log";
+    {
+        auto wal = WriteAheadLog::open(path);
+        ASSERT_TRUE(wal.ok());
+        ASSERT_TRUE(wal.value()->append(sampleBatch(1), 1).isOk());
+        wal.value()->sync();
+    }
+    {
+        auto wal = WriteAheadLog::open(path);
+        ASSERT_TRUE(wal.ok());
+        ASSERT_TRUE(wal.value()->append(sampleBatch(2), 2).isOk());
+        wal.value()->sync();
+    }
+    int records = 0;
+    WriteAheadLog::replay(path, [&](const WriteBatch &, uint64_t) {
+        ++records;
+    });
+    EXPECT_EQ(records, 2);
+}
+
+} // namespace
+} // namespace ethkv::kv

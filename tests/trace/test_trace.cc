@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Trace infrastructure tests: interning, write/update
+ * classification in the tracing shim, capture gating, and trace
+ * file round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "kvstore/mem_store.hh"
+#include "trace/record.hh"
+#include "trace/trace_file.hh"
+#include "trace/tracing_store.hh"
+
+namespace ethkv::trace
+{
+namespace
+{
+
+uint16_t
+testClassifier(BytesView key)
+{
+    return key.empty() ? 0 : static_cast<uint16_t>(key[0] % 7);
+}
+
+struct Harness
+{
+    kv::MemStore engine;
+    TraceBuffer trace;
+    KeyInterner interner;
+    TracingKVStore store{engine, testClassifier, trace, interner};
+};
+
+TEST(KeyInternerTest, StableDenseIds)
+{
+    KeyInterner interner;
+    EXPECT_EQ(interner.intern("a"), 0u);
+    EXPECT_EQ(interner.intern("b"), 1u);
+    EXPECT_EQ(interner.intern("a"), 0u);
+    EXPECT_EQ(interner.uniqueKeys(), 2u);
+
+    uint64_t id;
+    EXPECT_TRUE(interner.find("b", id));
+    EXPECT_EQ(id, 1u);
+    EXPECT_FALSE(interner.find("c", id));
+}
+
+TEST(TracingStoreTest, WriteVsUpdateClassification)
+{
+    Harness h;
+    // First put: Write. Second put to same key: Update. After
+    // delete: Write again (the paper's liveness rule).
+    h.store.put("key", "1");
+    h.store.put("key", "2");
+    h.store.del("key");
+    h.store.put("key", "3");
+
+    ASSERT_EQ(h.trace.size(), 4u);
+    EXPECT_EQ(h.trace.records()[0].op, OpType::Write);
+    EXPECT_EQ(h.trace.records()[1].op, OpType::Update);
+    EXPECT_EQ(h.trace.records()[2].op, OpType::Delete);
+    EXPECT_EQ(h.trace.records()[3].op, OpType::Write);
+    // All four share one key id.
+    for (const TraceRecord &r : h.trace.records())
+        EXPECT_EQ(r.key_id, h.trace.records()[0].key_id);
+}
+
+TEST(TracingStoreTest, RecordsCarrySizesAndClass)
+{
+    Harness h;
+    h.store.put("xyz-key", Bytes(100, 'v'));
+    Bytes value;
+    h.store.get("xyz-key", value);
+    h.store.get("missing", value);
+
+    ASSERT_EQ(h.trace.size(), 3u);
+    const TraceRecord &w = h.trace.records()[0];
+    EXPECT_EQ(w.key_size, 7u);
+    EXPECT_EQ(w.value_size, 100u);
+    EXPECT_EQ(w.class_id, testClassifier("xyz-key"));
+
+    const TraceRecord &hit = h.trace.records()[1];
+    EXPECT_EQ(hit.op, OpType::Read);
+    EXPECT_EQ(hit.value_size, 100u);
+    // A miss still records the read, with zero value size.
+    const TraceRecord &miss = h.trace.records()[2];
+    EXPECT_EQ(miss.op, OpType::Read);
+    EXPECT_EQ(miss.value_size, 0u);
+}
+
+TEST(TracingStoreTest, ScanEmitsOneRecord)
+{
+    Harness h;
+    h.store.put("a1", "x");
+    h.store.put("a2", "y");
+    h.trace.clear();
+    int visited = 0;
+    h.store.scan("a", "b", [&](BytesView, BytesView) {
+        ++visited;
+        return true;
+    });
+    EXPECT_EQ(visited, 2);
+    ASSERT_EQ(h.trace.size(), 1u);
+    EXPECT_EQ(h.trace.records()[0].op, OpType::Scan);
+}
+
+TEST(TracingStoreTest, BatchEntriesTracedIndividually)
+{
+    Harness h;
+    kv::WriteBatch batch;
+    batch.put("k1", "a");
+    batch.put("k2", "b");
+    batch.del("k1");
+    ASSERT_TRUE(h.store.apply(batch).isOk());
+    ASSERT_EQ(h.trace.size(), 3u);
+    EXPECT_EQ(h.trace.records()[0].op, OpType::Write);
+    EXPECT_EQ(h.trace.records()[2].op, OpType::Delete);
+    // And the engine actually applied the batch.
+    EXPECT_FALSE(h.store.contains("k1"));
+    EXPECT_TRUE(h.store.contains("k2"));
+}
+
+TEST(TracingStoreTest, CaptureGateTracksLiveness)
+{
+    Harness h;
+    h.store.setCapture(false);
+    h.store.put("warm", "1"); // uncaptured, but key becomes live
+    h.store.setCapture(true);
+    h.store.put("warm", "2"); // must classify as Update
+
+    ASSERT_EQ(h.trace.size(), 1u);
+    EXPECT_EQ(h.trace.records()[0].op, OpType::Update);
+}
+
+TEST(TracingStoreTest, ForwardsToInnerEngine)
+{
+    Harness h;
+    h.store.put("k", "v");
+    Bytes value;
+    ASSERT_TRUE(h.engine.get("k", value).isOk());
+    EXPECT_EQ(value, "v");
+    EXPECT_EQ(h.store.liveKeyCount(), 1u);
+}
+
+TEST(TraceFileTest, RoundTrip)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ethkv_trace_test.bin")
+            .string();
+    {
+        auto writer = TraceFileWriter::create(path);
+        ASSERT_TRUE(writer.ok());
+        for (uint64_t i = 0; i < 10000; ++i) {
+            TraceRecord r;
+            r.op = static_cast<OpType>(i % num_op_types);
+            r.class_id = static_cast<uint16_t>(i % 29);
+            r.key_id = i * 3;
+            r.key_size = static_cast<uint16_t>(9 + i % 56);
+            r.value_size = static_cast<uint32_t>(i % 1000);
+            writer.value()->append(r);
+        }
+        ASSERT_TRUE(writer.value()->finish().isOk());
+    }
+
+    auto loaded = loadTraceFile(path);
+    ASSERT_TRUE(loaded.ok());
+    const auto &records = loaded.value().records();
+    ASSERT_EQ(records.size(), 10000u);
+    for (uint64_t i = 0; i < 10000; ++i) {
+        EXPECT_EQ(records[i].op,
+                  static_cast<OpType>(i % num_op_types));
+        EXPECT_EQ(records[i].key_id, i * 3);
+        EXPECT_EQ(records[i].value_size, i % 1000);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFileTest, DetectsTruncation)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ethkv_trace_trunc.bin")
+            .string();
+    {
+        auto writer = TraceFileWriter::create(path);
+        ASSERT_TRUE(writer.ok());
+        for (uint64_t i = 0; i < 100; ++i) {
+            TraceRecord r{};
+            r.op = OpType::Read;
+            r.key_id = i;
+            writer.value()->append(r);
+        }
+        ASSERT_TRUE(writer.value()->finish().isOk());
+    }
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 3);
+    EXPECT_FALSE(loadTraceFile(path).ok());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFileTest, RejectsBadMagic)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ethkv_trace_magic.bin")
+            .string();
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        Bytes junk(64, 'z');
+        std::fwrite(junk.data(), 1, junk.size(), f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(loadTraceFile(path).ok());
+    std::filesystem::remove(path);
+}
+
+TEST(OpTypeTest, Names)
+{
+    EXPECT_STREQ(opTypeName(OpType::Read), "read");
+    EXPECT_STREQ(opTypeName(OpType::Write), "write");
+    EXPECT_STREQ(opTypeName(OpType::Update), "update");
+    EXPECT_STREQ(opTypeName(OpType::Delete), "delete");
+    EXPECT_STREQ(opTypeName(OpType::Scan), "scan");
+}
+
+} // namespace
+} // namespace ethkv::trace

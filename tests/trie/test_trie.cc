@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Merkle Patricia Trie tests: canonical Ethereum root vectors,
+ * equivalence with a reference map under random ops, persistence
+ * (commit / unload / reload), and orphaned-path deletion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rand.hh"
+#include "kvstore/mem_store.hh"
+#include "trie/encoding.hh"
+#include "trie/trie.hh"
+
+namespace ethkv::trie
+{
+namespace
+{
+
+/** Map-backed NodeBackend that also records delete traffic. */
+class MapBackend : public NodeBackend
+{
+  public:
+    Status
+    read(BytesView path, Bytes &encoding) override
+    {
+        ++reads;
+        auto it = nodes.find(Bytes(path));
+        if (it == nodes.end())
+            return Status::notFound();
+        encoding = it->second;
+        return Status::ok();
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView path,
+          BytesView encoding) override
+    {
+        batch.put(path, encoding);
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView path) override
+    {
+        batch.del(path);
+    }
+
+    /** Apply a commit batch to the in-memory node map. */
+    void
+    apply(const kv::WriteBatch &batch)
+    {
+        for (const auto &e : batch.entries()) {
+            if (e.op == kv::BatchOp::Put)
+                nodes[e.key] = e.value;
+            else
+                nodes.erase(e.key);
+        }
+    }
+
+    std::map<Bytes, Bytes> nodes;
+    uint64_t reads = 0;
+};
+
+std::string
+commitHex(MerklePatriciaTrie &trie, MapBackend &backend)
+{
+    kv::WriteBatch batch;
+    eth::Hash256 root = trie.commit(batch);
+    backend.apply(batch);
+    return root.hex();
+}
+
+TEST(HexPrefixTest, RoundTrip)
+{
+    for (bool leaf : {false, true}) {
+        for (size_t len : {0u, 1u, 2u, 5u, 64u}) {
+            Bytes nibbles;
+            for (size_t i = 0; i < len; ++i)
+                nibbles.push_back(static_cast<char>(i % 16));
+            Bytes enc = hexPrefixEncode(nibbles, leaf);
+            Bytes out;
+            bool out_leaf;
+            ASSERT_TRUE(hexPrefixDecode(enc, out, out_leaf));
+            EXPECT_EQ(out, nibbles);
+            EXPECT_EQ(out_leaf, leaf);
+        }
+    }
+}
+
+TEST(HexPrefixTest, KnownEncodings)
+{
+    // From the yellow paper appendix: [1,2,3,4,5] ext -> 0x112345.
+    Bytes n1{1, 2, 3, 4, 5};
+    EXPECT_EQ(toHex(hexPrefixEncode(n1, false)), "112345");
+    // [0,1,2,3,4,5] ext -> 0x00012345.
+    Bytes n2{0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(toHex(hexPrefixEncode(n2, false)), "00012345");
+    // [0,15,1,12,11,8] leaf -> 0x200f1cb8.
+    Bytes n3{0, 15, 1, 12, 11, 8};
+    EXPECT_EQ(toHex(hexPrefixEncode(n3, true)), "200f1cb8");
+    // [15,1,12,11,8] leaf -> 0x3f1cb8.
+    Bytes n4{15, 1, 12, 11, 8};
+    EXPECT_EQ(toHex(hexPrefixEncode(n4, true)), "3f1cb8");
+}
+
+TEST(TrieTest, EmptyRoot)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    EXPECT_EQ(commitHex(trie, backend),
+              "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc00162"
+              "2fb5e363b421");
+}
+
+TEST(TrieTest, CanonicalDogsVector)
+{
+    // ethereum/tests trietest "branchingTests" vector.
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("do", "verb").isOk());
+    ASSERT_TRUE(trie.put("dog", "puppy").isOk());
+    ASSERT_TRUE(trie.put("doge", "coin").isOk());
+    ASSERT_TRUE(trie.put("horse", "stallion").isOk());
+    EXPECT_EQ(commitHex(trie, backend),
+              "5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe"
+              "457715e9ac84");
+}
+
+TEST(TrieTest, CanonicalSingleItemVector)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(
+        trie.put("A", Bytes(50, 'a')).isOk());
+    EXPECT_EQ(commitHex(trie, backend),
+              "d23786fb4a010da3ce639d66d5e904a11dbc02746d1ce25029e5"
+              "3290cabf28ab");
+}
+
+TEST(TrieTest, CanonicalFooFoodVector)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("foo", "bar").isOk());
+    ASSERT_TRUE(trie.put("food", "bass").isOk());
+    EXPECT_EQ(commitHex(trie, backend),
+              "17beaa1648bafa633cda809c90c04af50fc8aed3cb40d16efbdd"
+              "ee6fdf63c4c3");
+}
+
+TEST(TrieTest, SmallBranchVector)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("a", "1").isOk());
+    ASSERT_TRUE(trie.put("b", "2").isOk());
+    EXPECT_EQ(commitHex(trie, backend),
+              "d15c52b881b62bcc00d8dc4e9a391df02e0a68b94e74a9a00e98"
+              "1851a5f4b337");
+}
+
+TEST(TrieTest, InsertionOrderIndependence)
+{
+    std::vector<std::pair<Bytes, Bytes>> kvs = {
+        {"do", "verb"},   {"dog", "puppy"}, {"doge", "coin"},
+        {"horse", "stallion"}, {"dodge", "car"}, {"a", "x"},
+    };
+    std::string expected;
+    Rng rng(99);
+    for (int perm = 0; perm < 10; ++perm) {
+        // Fisher-Yates shuffle.
+        for (size_t i = kvs.size(); i > 1; --i)
+            std::swap(kvs[i - 1], kvs[rng.nextBounded(i)]);
+        MapBackend backend;
+        MerklePatriciaTrie trie(backend);
+        for (const auto &[k, v] : kvs)
+            ASSERT_TRUE(trie.put(k, v).isOk());
+        std::string root = commitHex(trie, backend);
+        if (perm == 0)
+            expected = root;
+        else
+            EXPECT_EQ(root, expected) << "perm " << perm;
+    }
+}
+
+TEST(TrieTest, DeleteRestoresPriorRoot)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("do", "verb").isOk());
+    ASSERT_TRUE(trie.put("horse", "stallion").isOk());
+    std::string before = commitHex(trie, backend);
+
+    ASSERT_TRUE(trie.put("dog", "puppy").isOk());
+    ASSERT_TRUE(trie.put("doge", "coin").isOk());
+    std::string middle = commitHex(trie, backend);
+    EXPECT_NE(middle, before);
+
+    ASSERT_TRUE(trie.del("dog").isOk());
+    ASSERT_TRUE(trie.del("doge").isOk());
+    EXPECT_EQ(commitHex(trie, backend), before);
+}
+
+TEST(TrieTest, DeleteToEmpty)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("k1", "v1").isOk());
+    ASSERT_TRUE(trie.put("k2", "v2").isOk());
+    commitHex(trie, backend);
+    ASSERT_TRUE(trie.del("k1").isOk());
+    ASSERT_TRUE(trie.del("k2").isOk());
+    EXPECT_EQ(commitHex(trie, backend),
+              "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc00162"
+              "2fb5e363b421");
+    // Every persisted node path must have been deleted.
+    EXPECT_TRUE(backend.nodes.empty());
+}
+
+TEST(TrieTest, GetAfterUnloadReloadsFromBackend)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    for (int i = 0; i < 100; ++i) {
+        Bytes key = keccak256Bytes("key" + std::to_string(i));
+        ASSERT_TRUE(trie.put(key, "value" + std::to_string(i))
+                        .isOk());
+    }
+    commitHex(trie, backend);
+    trie.unloadClean();
+    EXPECT_EQ(trie.loadedNodeCount(), 0u);
+
+    uint64_t reads_before = backend.reads;
+    for (int i = 0; i < 100; ++i) {
+        Bytes key = keccak256Bytes("key" + std::to_string(i));
+        Bytes value;
+        ASSERT_TRUE(trie.get(key, value).isOk()) << i;
+        EXPECT_EQ(value, "value" + std::to_string(i));
+    }
+    // Lookups after unload traverse the backend.
+    EXPECT_GT(backend.reads, reads_before);
+}
+
+TEST(TrieTest, RejectsEmptyValues)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    EXPECT_EQ(trie.put("k", "").code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(TrieTest, BranchValueSlot)
+{
+    // "do" terminates exactly at the branch below "do"'s extension
+    // once "dog" exists: exercises the 17th value slot.
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("dog", "puppy").isOk());
+    ASSERT_TRUE(trie.put("do", "verb").isOk());
+    Bytes v;
+    ASSERT_TRUE(trie.get("do", v).isOk());
+    EXPECT_EQ(v, "verb");
+    ASSERT_TRUE(trie.get("dog", v).isOk());
+    EXPECT_EQ(v, "puppy");
+    ASSERT_TRUE(trie.del("do").isOk());
+    EXPECT_TRUE(trie.get("do", v).isNotFound());
+    ASSERT_TRUE(trie.get("dog", v).isOk());
+}
+
+class TrieRandomOps : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(TrieRandomOps, MatchesReferenceMapAcrossCommits)
+{
+    Rng rng(GetParam());
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    std::map<Bytes, Bytes> ref;
+
+    for (int round = 0; round < 8; ++round) {
+        for (int step = 0; step < 400; ++step) {
+            // Fixed-width hashed keys (like the client's usage)
+            // plus some short raw keys to stress prefixes.
+            Bytes key;
+            if (rng.chance(0.7)) {
+                key = keccak256Bytes(
+                    encodeBE64(rng.nextBounded(300)));
+            } else {
+                key = Bytes("k") +
+                      std::to_string(rng.nextBounded(80));
+            }
+            if (rng.chance(0.65)) {
+                Bytes value =
+                    rng.nextBytes(1 + rng.nextBounded(60));
+                ASSERT_TRUE(trie.put(key, value).isOk());
+                ref[key] = value;
+            } else {
+                ASSERT_TRUE(trie.del(key).isOk());
+                ref.erase(key);
+            }
+        }
+        commitHex(trie, backend);
+        if (round % 2 == 1)
+            trie.unloadClean();
+
+        // Full content check against the reference.
+        for (const auto &[key, value] : ref) {
+            Bytes v;
+            ASSERT_TRUE(trie.get(key, v).isOk());
+            ASSERT_EQ(v, value);
+        }
+    }
+
+    // Root must be reproducible by a fresh trie over the same
+    // final content (canonical commitment property).
+    MapBackend fresh_backend;
+    MerklePatriciaTrie fresh(fresh_backend);
+    for (const auto &[key, value] : ref)
+        ASSERT_TRUE(fresh.put(key, value).isOk());
+    kv::WriteBatch b1, b2;
+    EXPECT_EQ(trie.commit(b1).hex(), fresh.commit(b2).hex());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomOps,
+                         ::testing::Values(7, 23, 61, 97, 151));
+
+TEST(TrieTest, PersistedNodeSetMatchesFreshBuild)
+{
+    // After arbitrary mutations + commits, the set of stored node
+    // paths must equal what a fresh build of the same content
+    // stores: no leaked (orphaned but undeleted) nodes.
+    Rng rng(404);
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    std::map<Bytes, Bytes> ref;
+
+    for (int step = 0; step < 2000; ++step) {
+        Bytes key = keccak256Bytes(encodeBE64(rng.nextBounded(150)));
+        if (rng.chance(0.6)) {
+            Bytes value = rng.nextBytes(1 + rng.nextBounded(40));
+            trie.put(key, value);
+            ref[key] = value;
+        } else {
+            trie.del(key);
+            ref.erase(key);
+        }
+        if (step % 100 == 99)
+            commitHex(trie, backend);
+    }
+    commitHex(trie, backend);
+
+    MapBackend fresh_backend;
+    MerklePatriciaTrie fresh(fresh_backend);
+    for (const auto &[key, value] : ref)
+        fresh.put(key, value);
+    kv::WriteBatch batch;
+    fresh.commit(batch);
+    fresh_backend.apply(batch);
+
+    ASSERT_EQ(backend.nodes.size(), fresh_backend.nodes.size());
+    for (const auto &[path, enc] : fresh_backend.nodes) {
+        auto it = backend.nodes.find(path);
+        ASSERT_NE(it, backend.nodes.end())
+            << "missing node at path " << toHex(path);
+        EXPECT_EQ(it->second, enc);
+    }
+}
+
+} // namespace
+} // namespace ethkv::trie

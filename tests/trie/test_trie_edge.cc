@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Trie edge cases: the 32-byte inline/hash child threshold, long
+ * shared prefixes, fixed-width hashed-key workloads (the client's
+ * usage), move semantics, and commit idempotence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rand.hh"
+#include "trie/trie.hh"
+
+namespace ethkv::trie
+{
+namespace
+{
+
+class MapBackend : public NodeBackend
+{
+  public:
+    Status
+    read(BytesView path, Bytes &encoding) override
+    {
+        auto it = nodes.find(Bytes(path));
+        if (it == nodes.end())
+            return Status::notFound();
+        encoding = it->second;
+        return Status::ok();
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView path,
+          BytesView encoding) override
+    {
+        batch.put(path, encoding);
+        ++writes;
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView path) override
+    {
+        batch.del(path);
+        ++removes;
+    }
+
+    void
+    apply(const kv::WriteBatch &batch)
+    {
+        for (const auto &e : batch.entries()) {
+            if (e.op == kv::BatchOp::Put)
+                nodes[e.key] = e.value;
+            else
+                nodes.erase(e.key);
+        }
+    }
+
+    std::map<Bytes, Bytes> nodes;
+    int writes = 0;
+    int removes = 0;
+};
+
+std::string
+commitHex(MerklePatriciaTrie &trie, MapBackend &backend)
+{
+    kv::WriteBatch batch;
+    eth::Hash256 root = trie.commit(batch);
+    backend.apply(batch);
+    return root.hex();
+}
+
+TEST(TrieEdgeTest, ValuesAroundInlineThreshold)
+{
+    // Node encodings below 32 bytes embed in parents; above, they
+    // are hash-referenced. Values near the boundary exercise both
+    // paths and must round trip and commit deterministically.
+    for (size_t len : {1u, 20u, 29u, 30u, 31u, 32u, 33u, 64u}) {
+        MapBackend b1, b2;
+        MerklePatriciaTrie t1(b1), t2(b2);
+        for (int i = 0; i < 40; ++i) {
+            Bytes key = keccak256Bytes(encodeBE64(i));
+            Bytes value(len, static_cast<char>('a' + i % 26));
+            ASSERT_TRUE(t1.put(key, value).isOk());
+            ASSERT_TRUE(t2.put(key, value).isOk());
+        }
+        EXPECT_EQ(commitHex(t1, b1), commitHex(t2, b2))
+            << "value length " << len;
+
+        // Reload everything through the backend after unload.
+        t1.unloadClean();
+        for (int i = 0; i < 40; ++i) {
+            Bytes key = keccak256Bytes(encodeBE64(i));
+            Bytes value;
+            ASSERT_TRUE(t1.get(key, value).isOk());
+            EXPECT_EQ(value.size(), len);
+        }
+    }
+}
+
+TEST(TrieEdgeTest, LongSharedPrefixes)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    // Keys sharing 31 of 32 bytes: one long extension splits late.
+    Bytes base(32, '\x11');
+    for (int i = 0; i < 16; ++i) {
+        Bytes key = base;
+        key[31] = static_cast<char>(i);
+        ASSERT_TRUE(
+            trie.put(key, "v" + std::to_string(i)).isOk());
+    }
+    commitHex(trie, backend);
+    trie.unloadClean();
+    for (int i = 0; i < 16; ++i) {
+        Bytes key = base;
+        key[31] = static_cast<char>(i);
+        Bytes value;
+        ASSERT_TRUE(trie.get(key, value).isOk());
+        EXPECT_EQ(value, "v" + std::to_string(i));
+    }
+
+    // Deleting all but one collapses back to a single leaf stored
+    // at the root path.
+    for (int i = 1; i < 16; ++i) {
+        Bytes key = base;
+        key[31] = static_cast<char>(i);
+        ASSERT_TRUE(trie.del(key).isOk());
+    }
+    commitHex(trie, backend);
+    EXPECT_EQ(backend.nodes.size(), 1u);
+    EXPECT_TRUE(backend.nodes.count(Bytes()));
+}
+
+TEST(TrieEdgeTest, CommitIsIdempotent)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(trie.put(keccak256Bytes(encodeBE64(i)),
+                             encodeBE64(i))
+                        .isOk());
+    }
+    std::string root1 = commitHex(trie, backend);
+    int writes_after_first = backend.writes;
+
+    // A second commit with no mutations writes nothing new.
+    std::string root2 = commitHex(trie, backend);
+    EXPECT_EQ(root1, root2);
+    EXPECT_EQ(backend.writes, writes_after_first);
+    EXPECT_FALSE(trie.dirty());
+}
+
+TEST(TrieEdgeTest, OverwriteOnlyTouchesPathNodes)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(trie.put(keccak256Bytes(encodeBE64(i)),
+                             encodeBE64(i))
+                        .isOk());
+    }
+    commitHex(trie, backend);
+
+    // Rewrite one key: only its path (depth ~2-3 here) recommits,
+    // not the whole trie — the path-based model's selling point.
+    int writes_before = backend.writes;
+    ASSERT_TRUE(
+        trie.put(keccak256Bytes(encodeBE64(7)), "fresh").isOk());
+    commitHex(trie, backend);
+    int path_writes = backend.writes - writes_before;
+    EXPECT_GE(path_writes, 2);
+    EXPECT_LE(path_writes, 8);
+}
+
+TEST(TrieEdgeTest, MoveConstruction)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    ASSERT_TRUE(trie.put("key", "value").isOk());
+    MerklePatriciaTrie moved(std::move(trie));
+    Bytes value;
+    ASSERT_TRUE(moved.get("key", value).isOk());
+    EXPECT_EQ(value, "value");
+}
+
+TEST(TrieEdgeTest, SingleNibbleKeys)
+{
+    // One-byte keys produce the shallowest possible structures.
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    for (int i = 0; i < 256; ++i) {
+        ASSERT_TRUE(trie.put(Bytes(1, static_cast<char>(i)),
+                             encodeBE64(i))
+                        .isOk());
+    }
+    commitHex(trie, backend);
+    trie.unloadClean();
+    for (int i = 0; i < 256; ++i) {
+        Bytes value;
+        ASSERT_TRUE(
+            trie.get(Bytes(1, static_cast<char>(i)), value)
+                .isOk());
+        EXPECT_EQ(decodeBE64(value), static_cast<uint64_t>(i));
+    }
+}
+
+TEST(TrieEdgeTest, HashedKeyChurnMatchesReference)
+{
+    // The client's exact usage pattern: fixed-width keccak keys,
+    // repeated update/delete churn with commits and unloads.
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend);
+    std::map<Bytes, Bytes> ref;
+    Rng rng(1234);
+
+    for (int round = 0; round < 12; ++round) {
+        for (int step = 0; step < 150; ++step) {
+            Bytes key = keccak256Bytes(
+                encodeBE64(rng.nextBounded(500)));
+            if (rng.chance(0.75)) {
+                Bytes value = rng.nextBytes(
+                    1 + rng.nextBounded(100));
+                ASSERT_TRUE(trie.put(key, value).isOk());
+                ref[key] = value;
+            } else {
+                ASSERT_TRUE(trie.del(key).isOk());
+                ref.erase(key);
+            }
+        }
+        commitHex(trie, backend);
+        trie.unloadClean();
+    }
+    for (const auto &[key, value] : ref) {
+        Bytes out;
+        ASSERT_TRUE(trie.get(key, out).isOk());
+        ASSERT_EQ(out, value);
+    }
+}
+
+} // namespace
+} // namespace ethkv::trie

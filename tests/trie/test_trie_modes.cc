@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Storage-mode tests: the legacy hash-based persistence must
+ * produce identical root hashes and lookups as the path-based
+ * model, while exhibiting the redundant-entry growth that
+ * motivated Geth's migration (paper Section II-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rand.hh"
+#include "trie/trie.hh"
+
+namespace ethkv::trie
+{
+namespace
+{
+
+class MapBackend : public NodeBackend
+{
+  public:
+    Status
+    read(BytesView key, Bytes &encoding) override
+    {
+        auto it = nodes.find(Bytes(key));
+        if (it == nodes.end())
+            return Status::notFound();
+        encoding = it->second;
+        return Status::ok();
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView key,
+          BytesView encoding) override
+    {
+        batch.put(key, encoding);
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView key) override
+    {
+        batch.del(key);
+    }
+
+    void
+    apply(const kv::WriteBatch &batch)
+    {
+        for (const auto &e : batch.entries()) {
+            if (e.op == kv::BatchOp::Put)
+                nodes[e.key] = e.value;
+            else
+                nodes.erase(e.key);
+        }
+    }
+
+    std::map<Bytes, Bytes> nodes;
+};
+
+eth::Hash256
+commitTo(MerklePatriciaTrie &trie, MapBackend &backend)
+{
+    kv::WriteBatch batch;
+    eth::Hash256 root = trie.commit(batch);
+    backend.apply(batch);
+    return root;
+}
+
+TEST(TrieModesTest, RootsAgreeAcrossModes)
+{
+    MapBackend pb, hb;
+    MerklePatriciaTrie path_trie(pb, TrieStorageMode::PathBased);
+    MerklePatriciaTrie hash_trie(hb, TrieStorageMode::HashBased);
+
+    Rng rng(5);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 200; ++i) {
+            Bytes key = keccak256Bytes(
+                encodeBE64(rng.nextBounded(300)));
+            Bytes value = rng.nextBytes(1 + rng.nextBounded(60));
+            ASSERT_TRUE(path_trie.put(key, value).isOk());
+            ASSERT_TRUE(hash_trie.put(key, value).isOk());
+        }
+        EXPECT_EQ(commitTo(path_trie, pb).hex(),
+                  commitTo(hash_trie, hb).hex())
+            << "round " << round;
+    }
+}
+
+TEST(TrieModesTest, HashModeLookupsAfterUnload)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend, TrieStorageMode::HashBased);
+    for (int i = 0; i < 150; ++i) {
+        ASSERT_TRUE(trie.put(keccak256Bytes(encodeBE64(i)),
+                             "value" + std::to_string(i))
+                        .isOk());
+    }
+    commitTo(trie, backend);
+    trie.unloadClean();
+
+    Bytes value;
+    for (int i = 0; i < 150; ++i) {
+        ASSERT_TRUE(
+            trie.get(keccak256Bytes(encodeBE64(i)), value).isOk())
+            << i;
+        EXPECT_EQ(value, "value" + std::to_string(i));
+    }
+}
+
+TEST(TrieModesTest, HashModeAccumulatesRedundantEntries)
+{
+    // The same churn leaves the path-based store near its live
+    // node count while the hash-based store keeps every stale
+    // version — the redundant-entry growth of paper Section II-A.
+    MapBackend pb, hb;
+    MerklePatriciaTrie path_trie(pb, TrieStorageMode::PathBased);
+    MerklePatriciaTrie hash_trie(hb, TrieStorageMode::HashBased);
+
+    Rng rng(9);
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            // Rewrite the same key set with fresh values.
+            Bytes key = keccak256Bytes(encodeBE64(i));
+            Bytes value = rng.nextBytes(40);
+            ASSERT_TRUE(path_trie.put(key, value).isOk());
+            ASSERT_TRUE(hash_trie.put(key, value).isOk());
+        }
+        commitTo(path_trie, pb);
+        commitTo(hash_trie, hb);
+    }
+    // Path store is bounded by the live structure; hash store
+    // holds many generations of it.
+    EXPECT_GT(hb.nodes.size(), pb.nodes.size() * 5);
+}
+
+TEST(TrieModesTest, HashModeIssuesNoDeletes)
+{
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend, TrieStorageMode::HashBased);
+    for (int i = 0; i < 100; ++i)
+        trie.put(keccak256Bytes(encodeBE64(i)), "v");
+    commitTo(trie, backend);
+
+    for (int i = 0; i < 100; i += 2)
+        trie.del(keccak256Bytes(encodeBE64(i)));
+    kv::WriteBatch batch;
+    trie.commit(batch);
+    for (const auto &e : batch.entries())
+        EXPECT_EQ(e.op, kv::BatchOp::Put);
+}
+
+TEST(TrieModesTest, TinyTrieSurvivesUnloadInHashMode)
+{
+    // A single small leaf encodes under 32 bytes; the root must
+    // still persist and reload by its hash.
+    MapBackend backend;
+    MerklePatriciaTrie trie(backend, TrieStorageMode::HashBased);
+    ASSERT_TRUE(trie.put("k", "v").isOk());
+    commitTo(trie, backend);
+    trie.unloadClean();
+    Bytes value;
+    ASSERT_TRUE(trie.get("k", value).isOk());
+    EXPECT_EQ(value, "v");
+}
+
+} // namespace
+} // namespace ethkv::trie

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Workload generator tests: determinism, chain linkage, tx-mix
+ * composition, seed enumeration, and the end-to-end simulation
+ * pipeline (small scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/op_distribution.hh"
+#include "client/calldata.hh"
+#include "workload/sim.hh"
+
+namespace ethkv::wl
+{
+namespace
+{
+
+WorkloadConfig
+smallConfig(uint64_t seed = 1)
+{
+    WorkloadConfig config;
+    config.seed = seed;
+    config.initial_accounts = 500;
+    config.initial_contracts = 20;
+    config.seeded_slots_per_contract = 10;
+    config.slots_per_contract = 100;
+    config.txs_per_block = 30;
+    config.seeded_tx_lookups = 100;
+    config.seeded_header_numbers = 50;
+    config.seeded_bloom_bits = 20;
+    return config;
+}
+
+TEST(GeneratorTest, DeterministicAcrossInstances)
+{
+    ChainGenerator a(smallConfig()), b(smallConfig());
+    for (int i = 0; i < 10; ++i) {
+        eth::Block ba = a.nextBlock();
+        eth::Block bb = b.nextBlock();
+        EXPECT_EQ(ba.header.hash(), bb.header.hash());
+        EXPECT_EQ(ba.body.transactions.size(),
+                  bb.body.transactions.size());
+    }
+    EXPECT_NE(ChainGenerator(smallConfig(1)).genesisHash(),
+              ChainGenerator(smallConfig(2)).genesisHash());
+}
+
+TEST(GeneratorTest, ChainLinkage)
+{
+    ChainGenerator generator(smallConfig());
+    eth::Hash256 parent = generator.genesisHash();
+    for (int i = 1; i <= 20; ++i) {
+        eth::Block block = generator.nextBlock();
+        EXPECT_EQ(block.header.number,
+                  static_cast<uint64_t>(i));
+        EXPECT_EQ(block.header.parent_hash, parent);
+        parent = block.header.hash();
+    }
+}
+
+TEST(GeneratorTest, TransactionMixMatchesConfig)
+{
+    WorkloadConfig config = smallConfig();
+    config.contract_call_fraction = 0.5;
+    ChainGenerator generator(config);
+
+    int calls = 0, transfers = 0, total = 0;
+    for (int i = 0; i < 50; ++i) {
+        eth::Block block = generator.nextBlock();
+        for (const eth::Transaction &tx :
+             block.body.transactions) {
+            ++total;
+            if (tx.to && client::isCallProgram(tx.data))
+                ++calls;
+            else if (tx.to)
+                ++transfers;
+        }
+    }
+    double call_share = static_cast<double>(calls) / total;
+    EXPECT_NEAR(call_share, 0.5, 0.08);
+    EXPECT_GT(transfers, 0);
+}
+
+TEST(GeneratorTest, CallProgramsDecodeAndTargetContracts)
+{
+    ChainGenerator generator(smallConfig());
+    int programs = 0;
+    for (int i = 0; i < 20; ++i) {
+        eth::Block block = generator.nextBlock();
+        for (const eth::Transaction &tx :
+             block.body.transactions) {
+            if (!tx.to || !client::isCallProgram(tx.data))
+                continue;
+            std::vector<client::SlotOp> ops;
+            ASSERT_TRUE(
+                client::decodeCallProgram(tx.data, ops).isOk());
+            EXPECT_FALSE(ops.empty());
+            ++programs;
+        }
+    }
+    EXPECT_GT(programs, 50);
+}
+
+TEST(GeneratorTest, SeedEnumerationIsCompleteAndDeterministic)
+{
+    ChainGenerator generator(smallConfig());
+    uint64_t accounts = 0, contracts = 0;
+    std::vector<eth::Address> addresses;
+    generator.forEachSeedAccount([&](const SeedAccount &seed) {
+        if (seed.is_contract)
+            ++contracts;
+        else
+            ++accounts;
+        addresses.push_back(seed.address);
+    });
+    // 500 EOAs + deployer + 20 contracts.
+    EXPECT_EQ(accounts, 501u);
+    EXPECT_EQ(contracts, 20u);
+
+    std::vector<eth::Address> again;
+    generator.forEachSeedAccount(
+        [&](const SeedAccount &seed) {
+            again.push_back(seed.address);
+        });
+    EXPECT_EQ(addresses, again);
+}
+
+TEST(GeneratorTest, SeedCodeIsStableAndUnique)
+{
+    ChainGenerator generator(smallConfig());
+    Bytes c1 = generator.seedCode(0);
+    EXPECT_EQ(c1, generator.seedCode(0));
+    EXPECT_NE(c1, generator.seedCode(1));
+    EXPECT_GT(c1.size(), 100u);
+}
+
+TEST(GeneratorTest, DeploymentAddressesMatchClientDerivation)
+{
+    // The generator's pre-listed contract addresses must be the
+    // ones the client VM derives when executing deployments.
+    WorkloadConfig config = smallConfig();
+    config.creation_fraction = 0.5; // force frequent deployments
+    ChainGenerator generator(config);
+    uint64_t before = generator.contractCount();
+    for (int i = 0; i < 5; ++i)
+        generator.nextBlock();
+    EXPECT_GT(generator.contractCount(), before);
+}
+
+TEST(SimTest, PipelineProducesTraceAndState)
+{
+    SimConfig config;
+    config.workload = smallConfig();
+    config.blocks = 30;
+    config.node.caching = true;
+    config.node.freezer_dir = "auto";
+    config.node.finality_depth = 8;
+    config.node.tx_index_window = 12;
+
+    SimResult result = runSimulation(config);
+    EXPECT_EQ(result.blocks_processed, 30u);
+    EXPECT_GT(result.trace.size(), 1000u);
+    EXPECT_GT(result.unique_keys, 100u);
+    EXPECT_GT(result.engine->liveKeyCount(), 500u);
+    EXPECT_GT(result.cache_stats.hits, 0u);
+
+    // All captured ops classify to known classes.
+    for (const trace::TraceRecord &r : result.trace.records()) {
+        EXPECT_LT(r.class_id,
+                  static_cast<uint16_t>(
+                      client::KVClass::Unknown));
+    }
+}
+
+TEST(SimTest, SeededStateExistsBeforeCapture)
+{
+    SimConfig config;
+    config.workload = smallConfig();
+    config.blocks = 5;
+    config.node.caching = false;
+    config.node.freezer_dir = "auto";
+
+    SimResult result = runSimulation(config);
+    // The store holds far more keys than 5 blocks could create:
+    // the seeded world state.
+    EXPECT_GT(result.engine->liveKeyCount(), 1000u);
+    // But the trace contains only capture-phase operations.
+    EXPECT_LT(result.trace.size(), 100000u);
+}
+
+TEST(SimTest, BareModeHasNoSnapshotOps)
+{
+    SimConfig config;
+    config.workload = smallConfig();
+    config.blocks = 20;
+    config.node.caching = false;
+    config.node.freezer_dir = "auto";
+
+    SimResult result = runSimulation(config);
+    auto ops = analysis::OpDistribution::analyze(result.trace);
+    EXPECT_EQ(ops.classOps(client::KVClass::SnapshotAccount), 0u);
+    EXPECT_EQ(ops.classOps(client::KVClass::SnapshotStorage), 0u);
+    EXPECT_GT(ops.classOps(client::KVClass::TrieNodeAccount), 0u);
+}
+
+TEST(SimTest, DeterministicTraces)
+{
+    SimConfig config;
+    config.workload = smallConfig(7);
+    config.blocks = 15;
+    config.node.caching = true;
+    config.node.freezer_dir = "auto";
+
+    SimResult a = runSimulation(config);
+    SimResult b = runSimulation(config);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace.records()[i].key_id,
+                  b.trace.records()[i].key_id);
+        EXPECT_EQ(a.trace.records()[i].op,
+                  b.trace.records()[i].op);
+    }
+}
+
+TEST(SimTest, RestartsAppearInTrace)
+{
+    SimConfig config;
+    config.workload = smallConfig();
+    config.blocks = 20;
+    config.restart_interval = 7;
+    config.node.caching = true;
+    config.node.freezer_dir = "auto";
+
+    SimResult result = runSimulation(config);
+    auto ops = analysis::OpDistribution::analyze(result.trace);
+    // Journal classes only appear in the trace via restarts.
+    EXPECT_GT(ops.classOps(client::KVClass::TrieJournal), 0u);
+    EXPECT_GT(ops.classOps(client::KVClass::SnapshotJournal), 0u);
+    EXPECT_GT(ops.classOps(client::KVClass::UncleanShutdown), 0u);
+}
+
+} // namespace
+} // namespace ethkv::wl
