@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_cache_effect.dir/bench_f6_cache_effect.cc.o"
+  "CMakeFiles/bench_f6_cache_effect.dir/bench_f6_cache_effect.cc.o.d"
+  "bench_f6_cache_effect"
+  "bench_f6_cache_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_cache_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_update_corr_freq.dir/bench_fig7_update_corr_freq.cc.o"
+  "CMakeFiles/bench_fig7_update_corr_freq.dir/bench_fig7_update_corr_freq.cc.o.d"
+  "bench_fig7_update_corr_freq"
+  "bench_fig7_update_corr_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_update_corr_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ops_cachetrace.dir/bench_table2_ops_cachetrace.cc.o"
+  "CMakeFiles/bench_table2_ops_cachetrace.dir/bench_table2_ops_cachetrace.cc.o.d"
+  "bench_table2_ops_cachetrace"
+  "bench_table2_ops_cachetrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ops_cachetrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

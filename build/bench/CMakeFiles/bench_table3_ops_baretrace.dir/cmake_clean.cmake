@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ops_baretrace.dir/bench_table3_ops_baretrace.cc.o"
+  "CMakeFiles/bench_table3_ops_baretrace.dir/bench_table3_ops_baretrace.cc.o.d"
+  "bench_table3_ops_baretrace"
+  "bench_table3_ops_baretrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ops_baretrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/ethkv_bench_common.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/ethkv_bench_common.dir/bench_common.cc.o.d"
+  "/root/repo/bench/bench_corr_common.cc" "bench/CMakeFiles/ethkv_bench_common.dir/bench_corr_common.cc.o" "gcc" "bench/CMakeFiles/ethkv_bench_common.dir/bench_corr_common.cc.o.d"
+  "/root/repo/bench/bench_ops_tables.cc" "bench/CMakeFiles/ethkv_bench_common.dir/bench_ops_tables.cc.o" "gcc" "bench/CMakeFiles/ethkv_bench_common.dir/bench_ops_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ethkv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ethkv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ethkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ethkv_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ethkv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ethkv_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethkv_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/ethkv_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ethkv_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/ethkv_bench_common.dir/bench_corr_common.cc.o"
+  "CMakeFiles/ethkv_bench_common.dir/bench_corr_common.cc.o.d"
+  "CMakeFiles/ethkv_bench_common.dir/bench_ops_tables.cc.o"
+  "CMakeFiles/ethkv_bench_common.dir/bench_ops_tables.cc.o.d"
+  "libethkv_bench_common.a"
+  "libethkv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_cache_demo.dir/correlation_cache_demo.cpp.o"
+  "CMakeFiles/correlation_cache_demo.dir/correlation_cache_demo.cpp.o.d"
+  "correlation_cache_demo"
+  "correlation_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

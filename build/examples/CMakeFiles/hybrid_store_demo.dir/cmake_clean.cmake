@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_store_demo.dir/hybrid_store_demo.cpp.o"
+  "CMakeFiles/hybrid_store_demo.dir/hybrid_store_demo.cpp.o.d"
+  "hybrid_store_demo"
+  "hybrid_store_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_store_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_analysis.dir/class_stats.cc.o"
+  "CMakeFiles/ethkv_analysis.dir/class_stats.cc.o.d"
+  "CMakeFiles/ethkv_analysis.dir/correlation.cc.o"
+  "CMakeFiles/ethkv_analysis.dir/correlation.cc.o.d"
+  "CMakeFiles/ethkv_analysis.dir/op_distribution.cc.o"
+  "CMakeFiles/ethkv_analysis.dir/op_distribution.cc.o.d"
+  "CMakeFiles/ethkv_analysis.dir/report.cc.o"
+  "CMakeFiles/ethkv_analysis.dir/report.cc.o.d"
+  "libethkv_analysis.a"
+  "libethkv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

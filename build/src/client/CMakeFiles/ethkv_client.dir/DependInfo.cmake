@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/calldata.cc" "src/client/CMakeFiles/ethkv_client.dir/calldata.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/calldata.cc.o.d"
+  "/root/repo/src/client/class_cache.cc" "src/client/CMakeFiles/ethkv_client.dir/class_cache.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/class_cache.cc.o.d"
+  "/root/repo/src/client/freezer.cc" "src/client/CMakeFiles/ethkv_client.dir/freezer.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/freezer.cc.o.d"
+  "/root/repo/src/client/indexers.cc" "src/client/CMakeFiles/ethkv_client.dir/indexers.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/indexers.cc.o.d"
+  "/root/repo/src/client/node.cc" "src/client/CMakeFiles/ethkv_client.dir/node.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/node.cc.o.d"
+  "/root/repo/src/client/schema.cc" "src/client/CMakeFiles/ethkv_client.dir/schema.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/schema.cc.o.d"
+  "/root/repo/src/client/statedb.cc" "src/client/CMakeFiles/ethkv_client.dir/statedb.cc.o" "gcc" "src/client/CMakeFiles/ethkv_client.dir/statedb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethkv_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ethkv_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/ethkv_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_client.dir/calldata.cc.o"
+  "CMakeFiles/ethkv_client.dir/calldata.cc.o.d"
+  "CMakeFiles/ethkv_client.dir/class_cache.cc.o"
+  "CMakeFiles/ethkv_client.dir/class_cache.cc.o.d"
+  "CMakeFiles/ethkv_client.dir/freezer.cc.o"
+  "CMakeFiles/ethkv_client.dir/freezer.cc.o.d"
+  "CMakeFiles/ethkv_client.dir/indexers.cc.o"
+  "CMakeFiles/ethkv_client.dir/indexers.cc.o.d"
+  "CMakeFiles/ethkv_client.dir/node.cc.o"
+  "CMakeFiles/ethkv_client.dir/node.cc.o.d"
+  "CMakeFiles/ethkv_client.dir/schema.cc.o"
+  "CMakeFiles/ethkv_client.dir/schema.cc.o.d"
+  "CMakeFiles/ethkv_client.dir/statedb.cc.o"
+  "CMakeFiles/ethkv_client.dir/statedb.cc.o.d"
+  "libethkv_client.a"
+  "libethkv_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/common/CMakeFiles/ethkv_common.dir/bytes.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/bytes.cc.o.d"
+  "/root/repo/src/common/keccak.cc" "src/common/CMakeFiles/ethkv_common.dir/keccak.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/keccak.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/ethkv_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/rand.cc" "src/common/CMakeFiles/ethkv_common.dir/rand.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/rand.cc.o.d"
+  "/root/repo/src/common/rlp.cc" "src/common/CMakeFiles/ethkv_common.dir/rlp.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/rlp.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/ethkv_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/xxhash.cc" "src/common/CMakeFiles/ethkv_common.dir/xxhash.cc.o" "gcc" "src/common/CMakeFiles/ethkv_common.dir/xxhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

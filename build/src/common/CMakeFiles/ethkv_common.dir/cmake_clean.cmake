@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_common.dir/bytes.cc.o"
+  "CMakeFiles/ethkv_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ethkv_common.dir/keccak.cc.o"
+  "CMakeFiles/ethkv_common.dir/keccak.cc.o.d"
+  "CMakeFiles/ethkv_common.dir/logging.cc.o"
+  "CMakeFiles/ethkv_common.dir/logging.cc.o.d"
+  "CMakeFiles/ethkv_common.dir/rand.cc.o"
+  "CMakeFiles/ethkv_common.dir/rand.cc.o.d"
+  "CMakeFiles/ethkv_common.dir/rlp.cc.o"
+  "CMakeFiles/ethkv_common.dir/rlp.cc.o.d"
+  "CMakeFiles/ethkv_common.dir/stats.cc.o"
+  "CMakeFiles/ethkv_common.dir/stats.cc.o.d"
+  "CMakeFiles/ethkv_common.dir/xxhash.cc.o"
+  "CMakeFiles/ethkv_common.dir/xxhash.cc.o.d"
+  "libethkv_common.a"
+  "libethkv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_core.dir/corr_cache.cc.o"
+  "CMakeFiles/ethkv_core.dir/corr_cache.cc.o.d"
+  "CMakeFiles/ethkv_core.dir/hybrid_store.cc.o"
+  "CMakeFiles/ethkv_core.dir/hybrid_store.cc.o.d"
+  "CMakeFiles/ethkv_core.dir/lazy_index_store.cc.o"
+  "CMakeFiles/ethkv_core.dir/lazy_index_store.cc.o.d"
+  "libethkv_core.a"
+  "libethkv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eth/account.cc" "src/eth/CMakeFiles/ethkv_eth.dir/account.cc.o" "gcc" "src/eth/CMakeFiles/ethkv_eth.dir/account.cc.o.d"
+  "/root/repo/src/eth/block.cc" "src/eth/CMakeFiles/ethkv_eth.dir/block.cc.o" "gcc" "src/eth/CMakeFiles/ethkv_eth.dir/block.cc.o.d"
+  "/root/repo/src/eth/bloom.cc" "src/eth/CMakeFiles/ethkv_eth.dir/bloom.cc.o" "gcc" "src/eth/CMakeFiles/ethkv_eth.dir/bloom.cc.o.d"
+  "/root/repo/src/eth/transaction.cc" "src/eth/CMakeFiles/ethkv_eth.dir/transaction.cc.o" "gcc" "src/eth/CMakeFiles/ethkv_eth.dir/transaction.cc.o.d"
+  "/root/repo/src/eth/types.cc" "src/eth/CMakeFiles/ethkv_eth.dir/types.cc.o" "gcc" "src/eth/CMakeFiles/ethkv_eth.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_eth.dir/account.cc.o"
+  "CMakeFiles/ethkv_eth.dir/account.cc.o.d"
+  "CMakeFiles/ethkv_eth.dir/block.cc.o"
+  "CMakeFiles/ethkv_eth.dir/block.cc.o.d"
+  "CMakeFiles/ethkv_eth.dir/bloom.cc.o"
+  "CMakeFiles/ethkv_eth.dir/bloom.cc.o.d"
+  "CMakeFiles/ethkv_eth.dir/transaction.cc.o"
+  "CMakeFiles/ethkv_eth.dir/transaction.cc.o.d"
+  "CMakeFiles/ethkv_eth.dir/types.cc.o"
+  "CMakeFiles/ethkv_eth.dir/types.cc.o.d"
+  "libethkv_eth.a"
+  "libethkv_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

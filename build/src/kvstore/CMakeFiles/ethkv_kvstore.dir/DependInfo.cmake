@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/bloom.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/bloom.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/bloom.cc.o.d"
+  "/root/repo/src/kvstore/btree_store.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/btree_store.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/btree_store.cc.o.d"
+  "/root/repo/src/kvstore/internal_iterator.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/internal_iterator.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/internal_iterator.cc.o.d"
+  "/root/repo/src/kvstore/kvstore.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/kvstore.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/kvstore.cc.o.d"
+  "/root/repo/src/kvstore/log_store.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/log_store.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/log_store.cc.o.d"
+  "/root/repo/src/kvstore/lsm_store.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/lsm_store.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/lsm_store.cc.o.d"
+  "/root/repo/src/kvstore/memtable.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/memtable.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/memtable.cc.o.d"
+  "/root/repo/src/kvstore/sstable.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/sstable.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/sstable.cc.o.d"
+  "/root/repo/src/kvstore/wal.cc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/wal.cc.o" "gcc" "src/kvstore/CMakeFiles/ethkv_kvstore.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_kvstore.dir/bloom.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/bloom.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/btree_store.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/btree_store.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/internal_iterator.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/internal_iterator.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/kvstore.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/log_store.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/log_store.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/lsm_store.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/lsm_store.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/memtable.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/memtable.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/sstable.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/sstable.cc.o.d"
+  "CMakeFiles/ethkv_kvstore.dir/wal.cc.o"
+  "CMakeFiles/ethkv_kvstore.dir/wal.cc.o.d"
+  "libethkv_kvstore.a"
+  "libethkv_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

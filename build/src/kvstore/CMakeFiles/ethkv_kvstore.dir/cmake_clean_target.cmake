@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libethkv_kvstore.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_trace.dir/record.cc.o"
+  "CMakeFiles/ethkv_trace.dir/record.cc.o.d"
+  "CMakeFiles/ethkv_trace.dir/trace_file.cc.o"
+  "CMakeFiles/ethkv_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/ethkv_trace.dir/tracing_store.cc.o"
+  "CMakeFiles/ethkv_trace.dir/tracing_store.cc.o.d"
+  "libethkv_trace.a"
+  "libethkv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

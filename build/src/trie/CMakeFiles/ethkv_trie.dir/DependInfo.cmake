@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/encoding.cc" "src/trie/CMakeFiles/ethkv_trie.dir/encoding.cc.o" "gcc" "src/trie/CMakeFiles/ethkv_trie.dir/encoding.cc.o.d"
+  "/root/repo/src/trie/trie.cc" "src/trie/CMakeFiles/ethkv_trie.dir/trie.cc.o" "gcc" "src/trie/CMakeFiles/ethkv_trie.dir/trie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethkv_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ethkv_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

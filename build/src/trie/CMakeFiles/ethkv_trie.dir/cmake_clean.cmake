@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_trie.dir/encoding.cc.o"
+  "CMakeFiles/ethkv_trie.dir/encoding.cc.o.d"
+  "CMakeFiles/ethkv_trie.dir/trie.cc.o"
+  "CMakeFiles/ethkv_trie.dir/trie.cc.o.d"
+  "libethkv_trie.a"
+  "libethkv_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethkv_workload.dir/generator.cc.o"
+  "CMakeFiles/ethkv_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ethkv_workload.dir/sim.cc.o"
+  "CMakeFiles/ethkv_workload.dir/sim.cc.o.d"
+  "libethkv_workload.a"
+  "libethkv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethkv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client.dir/client/test_class_cache.cc.o"
+  "CMakeFiles/test_client.dir/client/test_class_cache.cc.o.d"
+  "CMakeFiles/test_client.dir/client/test_freezer.cc.o"
+  "CMakeFiles/test_client.dir/client/test_freezer.cc.o.d"
+  "CMakeFiles/test_client.dir/client/test_indexers.cc.o"
+  "CMakeFiles/test_client.dir/client/test_indexers.cc.o.d"
+  "CMakeFiles/test_client.dir/client/test_node.cc.o"
+  "CMakeFiles/test_client.dir/client/test_node.cc.o.d"
+  "CMakeFiles/test_client.dir/client/test_schema.cc.o"
+  "CMakeFiles/test_client.dir/client/test_schema.cc.o.d"
+  "CMakeFiles/test_client.dir/client/test_statedb.cc.o"
+  "CMakeFiles/test_client.dir/client/test_statedb.cc.o.d"
+  "test_client"
+  "test_client.pdb"
+  "test_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_bytes.cc.o"
+  "CMakeFiles/test_common.dir/common/test_bytes.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_keccak.cc.o"
+  "CMakeFiles/test_common.dir/common/test_keccak.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rand.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rand.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rlp.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rlp.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_status.cc.o"
+  "CMakeFiles/test_common.dir/common/test_status.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

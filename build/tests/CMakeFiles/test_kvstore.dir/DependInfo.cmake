@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvstore/test_bloom.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_bloom.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_bloom.cc.o.d"
+  "/root/repo/tests/kvstore/test_btree.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_btree.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_btree.cc.o.d"
+  "/root/repo/tests/kvstore/test_engines_property.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_engines_property.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_engines_property.cc.o.d"
+  "/root/repo/tests/kvstore/test_iterators.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_iterators.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_iterators.cc.o.d"
+  "/root/repo/tests/kvstore/test_log_store.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_log_store.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_log_store.cc.o.d"
+  "/root/repo/tests/kvstore/test_lsm.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_lsm.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_lsm.cc.o.d"
+  "/root/repo/tests/kvstore/test_lsm_edge.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_lsm_edge.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_lsm_edge.cc.o.d"
+  "/root/repo/tests/kvstore/test_memtable.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_memtable.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_memtable.cc.o.d"
+  "/root/repo/tests/kvstore/test_sstable.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_sstable.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_sstable.cc.o.d"
+  "/root/repo/tests/kvstore/test_wal.cc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_wal.cc.o" "gcc" "tests/CMakeFiles/test_kvstore.dir/kvstore/test_wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ethkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ethkv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ethkv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ethkv_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ethkv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/ethkv_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethkv_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ethkv_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

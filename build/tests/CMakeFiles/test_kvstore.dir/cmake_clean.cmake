@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore.dir/kvstore/test_bloom.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_bloom.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_btree.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_btree.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_engines_property.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_engines_property.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_iterators.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_iterators.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_log_store.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_log_store.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_lsm.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_lsm.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_lsm_edge.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_lsm_edge.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_memtable.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_memtable.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_sstable.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_sstable.cc.o.d"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_wal.cc.o"
+  "CMakeFiles/test_kvstore.dir/kvstore/test_wal.cc.o.d"
+  "test_kvstore"
+  "test_kvstore.pdb"
+  "test_kvstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trie/test_trie.cc" "tests/CMakeFiles/test_trie.dir/trie/test_trie.cc.o" "gcc" "tests/CMakeFiles/test_trie.dir/trie/test_trie.cc.o.d"
+  "/root/repo/tests/trie/test_trie_edge.cc" "tests/CMakeFiles/test_trie.dir/trie/test_trie_edge.cc.o" "gcc" "tests/CMakeFiles/test_trie.dir/trie/test_trie_edge.cc.o.d"
+  "/root/repo/tests/trie/test_trie_modes.cc" "tests/CMakeFiles/test_trie.dir/trie/test_trie_modes.cc.o" "gcc" "tests/CMakeFiles/test_trie.dir/trie/test_trie_modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ethkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ethkv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ethkv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ethkv_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ethkv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/ethkv_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethkv_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ethkv_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ethkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

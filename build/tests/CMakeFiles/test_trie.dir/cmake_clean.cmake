@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trie.dir/trie/test_trie.cc.o"
+  "CMakeFiles/test_trie.dir/trie/test_trie.cc.o.d"
+  "CMakeFiles/test_trie.dir/trie/test_trie_edge.cc.o"
+  "CMakeFiles/test_trie.dir/trie/test_trie_edge.cc.o.d"
+  "CMakeFiles/test_trie.dir/trie/test_trie_modes.cc.o"
+  "CMakeFiles/test_trie.dir/trie/test_trie_modes.cc.o.d"
+  "test_trie"
+  "test_trie.pdb"
+  "test_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
