@@ -86,8 +86,9 @@ mb(uint64_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData(/*need_bare=*/false);
 
     analysis::printBanner(

@@ -13,12 +13,14 @@
 #include <cstdio>
 
 #include "analysis/report.hh"
+#include "bench_common.hh"
 #include "common/rand.hh"
 #include "common/stats.hh"
 #include "kvstore/mem_store.hh"
 #include "trie/trie.hh"
 
 using namespace ethkv;
+using ethkv::bench::initTelemetry;
 
 namespace
 {
@@ -107,8 +109,9 @@ runModel(trie::TrieStorageMode mode, uint64_t rounds,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     analysis::printBanner(
         "Ablation: path-based vs legacy hash-based trie storage");
     std::printf("Paper Section II-A: the path-based model "

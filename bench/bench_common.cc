@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "trace/trace_file.hh"
 #include "workload/sim.hh"
 
@@ -13,6 +14,12 @@ namespace fs = std::filesystem;
 
 namespace ethkv::bench
 {
+
+void
+initTelemetry(int *argc, char **argv)
+{
+    obs::installExitDump(obs::consumeMetricsOutFlag(argc, argv));
+}
 
 namespace
 {

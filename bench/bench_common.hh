@@ -27,6 +27,14 @@
 namespace ethkv::bench
 {
 
+/**
+ * Bench telemetry setup: strip `--metrics-out <file.json>` (or
+ * `--metrics-out=...`, or $ETHKV_METRICS_OUT) from argv and, when
+ * given, dump the global metrics registry there as JSON on exit.
+ * Call first thing in every bench main.
+ */
+void initTelemetry(int *argc, char **argv);
+
 /** One captured mode: its trace and final-store inventory. */
 struct CapturedMode
 {

@@ -27,8 +27,9 @@ classOps(const analysis::OpDistribution &ops,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData();
 
     analysis::printBanner(

@@ -58,8 +58,9 @@ printSeries(const analysis::ClassInventory &inv, const char *name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData(/*need_bare=*/false);
     const analysis::StoreInventory &inv = data.cache.inventory;
 

@@ -97,8 +97,9 @@ printTrace(const CapturedMode &mode, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData();
 
     analysis::printBanner(

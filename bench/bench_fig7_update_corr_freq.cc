@@ -14,8 +14,9 @@ using namespace ethkv;
 using namespace ethkv::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData();
     analysis::printBanner(
         "Figure 7: intra-class correlated-update frequencies "

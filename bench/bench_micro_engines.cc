@@ -3,6 +3,10 @@
  * google-benchmark microbenchmarks over every KV engine: put, get,
  * delete, and (for ordered engines) scan throughput. Grounds the
  * ablation results in per-operation costs.
+ *
+ * The obs/ variants run the same loops through InstrumentedKVStore,
+ * so `BM_Get/mem` vs `BM_Get/obs_mem` is a direct measurement of
+ * the telemetry decorator's overhead.
  */
 
 #include <benchmark/benchmark.h>
@@ -18,6 +22,8 @@
 #include "kvstore/log_store.hh"
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
+#include "obs/instrumented_store.hh"
+#include "obs/metrics.hh"
 
 using namespace ethkv;
 
@@ -43,9 +49,33 @@ benchValue(uint64_t i)
     return rng.nextBytes(24 + i % 64);
 }
 
+/** Decorator + owned inner engine in one allocation-friendly box. */
+class OwnedObsStore : public obs::InstrumentedKVStore
+{
+  public:
+    explicit OwnedObsStore(std::unique_ptr<kv::KVStore> inner)
+        : obs::InstrumentedKVStore(*inner,
+                                   obs::MetricsRegistry::global()),
+          inner_owned_(std::move(inner))
+    {}
+
+  private:
+    std::unique_ptr<kv::KVStore> inner_owned_;
+};
+
+std::unique_ptr<kv::KVStore> makeEngine(const std::string &name);
+
 std::unique_ptr<kv::KVStore>
 makeEngine(const std::string &name)
 {
+    // "obs_<engine>": the same engine behind the telemetry
+    // decorator, for overhead comparison.
+    if (name.rfind("obs_", 0) == 0) {
+        auto inner = makeEngine(name.substr(4));
+        return inner ? std::make_unique<OwnedObsStore>(
+                           std::move(inner))
+                     : nullptr;
+    }
     if (name == "mem")
         return std::make_unique<kv::MemStore>();
     if (name == "hash")
@@ -161,9 +191,30 @@ ETHKV_REGISTER(lazylog);
 ETHKV_REGISTER(hybrid);
 ETHKV_REGISTER(lsm);
 
+// Decorated twins of the fastest engines: the put/get deltas vs
+// the rows above bound the instrumentation overhead where it is
+// hardest to hide (sub-microsecond in-memory ops).
+ETHKV_REGISTER(obs_mem);
+ETHKV_REGISTER(obs_hash);
+ETHKV_REGISTER(obs_btree);
+
 // Scans only where ordered iteration is supported.
 BENCHMARK_CAPTURE(BM_Scan100, mem, "mem")->Iterations(2000);
 BENCHMARK_CAPTURE(BM_Scan100, btree, "btree")->Iterations(2000);
 BENCHMARK_CAPTURE(BM_Scan100, lsm, "lsm")->Iterations(500);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --metrics-out before google-benchmark rejects it as an
+    // unknown flag; dump the registry (op.obs_* histograms and the
+    // engines' maintenance timers) on exit when requested.
+    obs::installExitDump(
+        obs::consumeMetricsOutFlag(&argc, argv));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -100,8 +100,9 @@ runPoint(uint64_t accounts, uint64_t blocks)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     analysis::printBanner(
         "Scale sweep: paper ratios vs simulated state size");
     std::printf(

@@ -59,8 +59,9 @@ paperRow(const char *cls)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData(/*need_bare=*/false);
     const analysis::StoreInventory &inv = data.cache.inventory;
 

@@ -10,8 +10,9 @@
 using namespace ethkv::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData(/*need_bare=*/false);
     printOpsTable(data.cache, paperTable2(),
                   "Table II: KV operation distribution, CacheTrace",

@@ -10,8 +10,9 @@
 using namespace ethkv::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData();
     printOpsTable(data.bare, paperTable3(),
                   "Table III: KV operation distribution, BareTrace",

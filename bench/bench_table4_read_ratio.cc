@@ -36,8 +36,9 @@ const PaperRow rows[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initTelemetry(&argc, argv);
     const BenchData &data = benchData();
 
     analysis::printBanner(

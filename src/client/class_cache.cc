@@ -18,6 +18,29 @@ CachingKVStore::CachingKVStore(kv::KVStore &inner,
     groups_[GroupCode].budget = config_.total_bytes * 12 / 100;
     groups_[GroupBlockData].budget = config_.total_bytes * 18 / 100;
     groups_[GroupOther].budget = 0;
+
+    obs::MetricsRegistry &reg = config_.metrics
+                                    ? *config_.metrics
+                                    : obs::MetricsRegistry::global();
+    for (int g = 0; g < num_groups; ++g) {
+        std::string prefix =
+            std::string("cache.") + groupName(Group(g));
+        group_hits_[g] = &reg.counter(prefix + ".hits");
+        group_misses_[g] = &reg.counter(prefix + ".misses");
+        group_evictions_[g] = &reg.counter(prefix + ".evictions");
+    }
+}
+
+const char *
+CachingKVStore::groupName(Group group)
+{
+    switch (group) {
+      case GroupTrieClean: return "trie_clean";
+      case GroupSnapshot: return "snapshot";
+      case GroupCode: return "code";
+      case GroupBlockData: return "block_data";
+      default: return "other";
+    }
 }
 
 CachingKVStore::Group
@@ -88,6 +111,7 @@ CachingKVStore::lruPut(Group group, BytesView key, BytesView value)
         cache.index.erase(victim.key);
         cache.order.pop_back();
         ++cache_stats_.evictions;
+        group_evictions_[group]->inc();
     }
 }
 
@@ -111,10 +135,12 @@ CachingKVStore::get(BytesView key, Bytes &value)
         return inner_.get(key, value);
 
     KVClass cls = classify(key);
+    Group group = groupOf(cls);
     if (isWriteBackClass(cls)) {
         auto it = wb_.find(Bytes(key));
         if (it != wb_.end()) {
             ++cache_stats_.hits;
+            group_hits_[group]->inc();
             if (!it->second.has_value())
                 return Status::notFound();
             value = *it->second;
@@ -122,12 +148,13 @@ CachingKVStore::get(BytesView key, Bytes &value)
         }
     }
 
-    Group group = groupOf(cls);
     if (lruGet(group, key, value)) {
         ++cache_stats_.hits;
+        group_hits_[group]->inc();
         return Status::ok();
     }
     ++cache_stats_.misses;
+    group_misses_[group]->inc();
     Status s = inner_.get(key, value);
     if (s.isOk())
         lruPut(group, key, value);

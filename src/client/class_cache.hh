@@ -31,6 +31,7 @@
 
 #include "client/schema.hh"
 #include "kvstore/kvstore.hh"
+#include "obs/metrics.hh"
 
 namespace ethkv::client
 {
@@ -41,6 +42,9 @@ struct CacheConfig
     bool enabled = true;
     uint64_t total_bytes = 64u << 20;
     uint64_t write_back_bytes = 8u << 20;
+    //! Destination for cache.<group>.* counters; the global
+    //! registry when null.
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** Aggregate cache telemetry. */
@@ -127,6 +131,7 @@ class CachingKVStore : public kv::KVStore
     };
 
     static Group groupOf(KVClass cls);
+    static const char *groupName(Group group);
     static bool isWriteBackClass(KVClass cls);
 
     bool lruGet(Group group, BytesView key, Bytes &value);
@@ -136,6 +141,11 @@ class CachingKVStore : public kv::KVStore
     kv::KVStore &inner_;
     CacheConfig config_;
     std::vector<LruCache> groups_;
+
+    // Per-group registry counters, indexed by Group.
+    obs::Counter *group_hits_[num_groups];
+    obs::Counter *group_misses_[num_groups];
+    obs::Counter *group_evictions_[num_groups];
 
     // Write-back buffer: key -> value (nullopt = pending delete).
     std::unordered_map<Bytes, std::optional<Bytes>> wb_;

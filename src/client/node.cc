@@ -3,6 +3,8 @@
 #include "client/calldata.hh"
 #include "common/logging.hh"
 #include "common/xxhash.hh"
+#include "obs/scoped_timer.hh"
+#include "obs/trace_event.hh"
 
 namespace ethkv::client
 {
@@ -30,6 +32,16 @@ syntheticValue(const eth::Hash256 &slot, uint64_t salt,
 FullNode::FullNode(kv::KVStore &traced_store, NodeConfig config)
     : base_(traced_store), config_(std::move(config))
 {
+    obs::MetricsRegistry &reg = config_.metrics
+                                    ? *config_.metrics
+                                    : obs::MetricsRegistry::global();
+    download_ns_ = &reg.histogram("node.download_ns");
+    verify_ns_ = &reg.histogram("node.verify_ns");
+    execute_ns_ = &reg.histogram("node.execute_ns");
+    commit_ns_ = &reg.histogram("node.commit_ns");
+    maintenance_ns_ = &reg.histogram("node.maintenance_ns");
+    freezer_migrate_ns_ = &reg.histogram("node.freezer_migrate_ns");
+
     if (config_.caching) {
         cache_ = std::make_unique<CachingKVStore>(base_,
                                                   config_.cache);
@@ -148,6 +160,9 @@ FullNode::processBlock(const eth::Block &block)
 
     // --- 1. Download phase: block data lands in the store. -----
     {
+        obs::ScopedTimer timer(*download_ns_);
+        obs::ScopedSpan span(config_.span_log, "download");
+        span.setArg(number);
         kv::WriteBatch batch;
         skeleton_->onHeaderDownloaded(batch, header);
         batch.put(headerKey(number, hash), header.encode());
@@ -163,57 +178,73 @@ FullNode::processBlock(const eth::Block &block)
     // insert pipeline consumes what the downloader wrote) and
     // resolve + read the parent header.
     {
-        Bytes raw;
-        Status s = db.get(headerKey(number, hash), raw);
-        if (!s.isOk())
-            return s;
-        s = db.get(blockBodyKey(number, hash), raw);
-        if (!s.isOk())
-            return s;
-    }
-    if (number > 0) {
-        Bytes raw;
-        Status s = db.get(headerNumberKey(header.parent_hash), raw);
-        if (!s.isOk() && !s.isNotFound())
-            return s;
-        s = db.get(canonicalHashKey(number - 1), raw);
-        if (!s.isOk() && !s.isNotFound())
-            return s;
-        s = db.get(headerKey(number - 1, header.parent_hash), raw);
-        if (!s.isOk() && !s.isNotFound())
-            return s;
-    }
+        obs::ScopedTimer timer(*verify_ns_);
+        obs::ScopedSpan span(config_.span_log, "verify");
+        span.setArg(number);
+        {
+            Bytes raw;
+            Status s = db.get(headerKey(number, hash), raw);
+            if (!s.isOk())
+                return s;
+            s = db.get(blockBodyKey(number, hash), raw);
+            if (!s.isOk())
+                return s;
+        }
+        if (number > 0) {
+            Bytes raw;
+            Status s =
+                db.get(headerNumberKey(header.parent_hash), raw);
+            if (!s.isOk() && !s.isNotFound())
+                return s;
+            s = db.get(canonicalHashKey(number - 1), raw);
+            if (!s.isOk() && !s.isNotFound())
+                return s;
+            s = db.get(headerKey(number - 1, header.parent_hash),
+                       raw);
+            if (!s.isOk() && !s.isNotFound())
+                return s;
+        }
 
-    // pathdb consults the persistent state id before execution.
-    {
-        Bytes raw;
-        Status s = db.get(lastStateIDKey(), raw);
-        if (!s.isOk() && !s.isNotFound())
-            return s;
-    }
+        // pathdb consults the persistent state id before execution.
+        {
+            Bytes raw;
+            Status s = db.get(lastStateIDKey(), raw);
+            if (!s.isOk() && !s.isNotFound())
+                return s;
+        }
 
-    // Occasional hash->number resolution for an older block (log
-    // filters, RPC-era lookups): old enough to have left the
-    // number cache.
-    past_hashes_.push_back(hash);
-    if (past_hashes_.size() > 384)
-        past_hashes_.pop_front();
-    if (number % 3 == 0 && past_hashes_.size() > 256) {
-        Bytes raw;
-        Status s = db.get(
-            headerNumberKey(past_hashes_.front()), raw);
-        if (!s.isOk() && !s.isNotFound())
-            return s;
+        // Occasional hash->number resolution for an older block
+        // (log filters, RPC-era lookups): old enough to have left
+        // the number cache.
+        past_hashes_.push_back(hash);
+        if (past_hashes_.size() > 384)
+            past_hashes_.pop_front();
+        if (number % 3 == 0 && past_hashes_.size() > 256) {
+            Bytes raw;
+            Status s = db.get(
+                headerNumberKey(past_hashes_.front()), raw);
+            if (!s.isOk() && !s.isNotFound())
+                return s;
+        }
     }
 
     // --- 3. Execute transactions (on-demand state reads). ------
     std::vector<eth::Receipt> receipts;
-    Status s = executeTransactions(block, receipts);
-    if (!s.isOk())
-        return s;
+    Status s;
+    {
+        obs::ScopedTimer timer(*execute_ns_);
+        obs::ScopedSpan span(config_.span_log, "execute");
+        span.setArg(number);
+        s = executeTransactions(block, receipts);
+        if (!s.isOk())
+            return s;
+    }
 
     // --- 4. Commit batch: Geth's end-of-block flush. -----------
     {
+        obs::ScopedTimer timer(*commit_ns_);
+        obs::ScopedSpan span(config_.span_log, "commit");
+        span.setArg(number);
         kv::WriteBatch batch;
 
         eth::Block executed = block;
@@ -267,6 +298,9 @@ FullNode::processBlock(const eth::Block &block)
     }
 
     // --- 5. Maintenance. ----------------------------------------
+    obs::ScopedTimer timer(*maintenance_ns_);
+    obs::ScopedSpan span(config_.span_log, "maintenance");
+    span.setArg(number);
     {
         kv::WriteBatch batch;
         s = skeleton_->onBlockFilled(batch, number);
@@ -397,6 +431,13 @@ FullNode::migrateToFreezer(uint64_t head_number)
         return Status::ok();
     kv::KVStore &db = *store_;
     uint64_t freeze_to = head_number - config_.finality_depth;
+    if (freezer_->frozenCount() > freeze_to)
+        return Status::ok();
+
+    obs::ScopedTimer timer(*freezer_migrate_ns_);
+    obs::ScopedSpan span(config_.span_log, "freezer_migrate",
+                         "maintenance");
+    span.setArg(head_number);
 
     while (freezer_->frozenCount() <= freeze_to) {
         uint64_t number = freezer_->frozenCount();

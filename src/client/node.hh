@@ -34,6 +34,12 @@
 #include "client/indexers.hh"
 #include "client/statedb.hh"
 #include "eth/block.hh"
+#include "obs/metrics.hh"
+
+namespace ethkv::obs
+{
+class TraceEventLog;
+} // namespace ethkv::obs
 
 namespace ethkv::client
 {
@@ -60,6 +66,12 @@ struct NodeConfig
     uint64_t snapshot_scan_interval = 64; //!< Generator scans.
     uint64_t snapshot_root_interval = 100;
     uint64_t snapshot_generator_interval = 90;
+
+    //! Destination for node.* phase histograms; the global
+    //! registry when null.
+    obs::MetricsRegistry *metrics = nullptr;
+    //! Optional Chrome trace_event sink for per-block phase spans.
+    obs::TraceEventLog *span_log = nullptr;
 };
 
 /**
@@ -121,6 +133,14 @@ class FullNode
     NodeConfig config_;
     std::unique_ptr<CachingKVStore> cache_;
     kv::KVStore *store_; //!< cache_ when caching, else &base_.
+
+    // Pipeline phase instruments (one record per block per phase).
+    obs::LatencyHistogram *download_ns_;
+    obs::LatencyHistogram *verify_ns_;
+    obs::LatencyHistogram *execute_ns_;
+    obs::LatencyHistogram *commit_ns_;
+    obs::LatencyHistogram *maintenance_ns_;
+    obs::LatencyHistogram *freezer_migrate_ns_;
 
     std::unique_ptr<StateDB> state_;
     std::unique_ptr<TxIndexer> tx_indexer_;

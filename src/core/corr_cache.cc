@@ -81,9 +81,19 @@ CorrelationMiner::followers(uint64_t key_id,
 
 CachePolicySimulator::CachePolicySimulator(
     uint64_t capacity_bytes, const CorrelationMiner *miner,
-    const std::unordered_map<uint64_t, uint32_t> &sizes)
+    const std::unordered_map<uint64_t, uint32_t> &sizes,
+    const std::string &metrics_scope)
     : capacity_(capacity_bytes), miner_(miner), sizes_(sizes)
-{}
+{
+    if (!metrics_scope.empty()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        std::string prefix = "corrcache." + metrics_scope;
+        m_hits_ = &reg.counter(prefix + ".hits");
+        m_misses_ = &reg.counter(prefix + ".misses");
+        m_prefetch_hits_ = &reg.counter(prefix + ".prefetch_hits");
+        m_evictions_ = &reg.counter(prefix + ".evictions");
+    }
+}
 
 uint32_t
 CachePolicySimulator::sizeOf(uint64_t key_id) const
@@ -110,6 +120,8 @@ CachePolicySimulator::admit(uint64_t key_id, bool prefetched)
         index_.erase(victim.key_id);
         order_.pop_back();
         ++stats_.evictions;
+        if (m_evictions_)
+            m_evictions_->inc();
     }
 }
 
@@ -120,8 +132,12 @@ CachePolicySimulator::access(uint64_t key_id)
     auto it = index_.find(key_id);
     if (it != index_.end()) {
         ++stats_.hits;
+        if (m_hits_)
+            m_hits_->inc();
         if (it->second->prefetched) {
             ++stats_.prefetch_hits;
+            if (m_prefetch_hits_)
+                m_prefetch_hits_->inc();
             it->second->prefetched = false;
         }
         order_.splice(order_.begin(), order_, it->second);
@@ -129,6 +145,8 @@ CachePolicySimulator::access(uint64_t key_id)
     }
 
     ++stats_.demand_fetches;
+    if (m_misses_)
+        m_misses_->inc();
     admit(key_id, false);
 
     if (miner_) {
@@ -168,8 +186,10 @@ compareCachePolicies(const trace::TraceBuffer &trace,
     for (size_t i = 0; i < out.train_reads; ++i)
         miner.observe(reads[i]);
 
-    CachePolicySimulator lru(capacity_bytes, nullptr, sizes);
-    CachePolicySimulator correlated(capacity_bytes, &miner, sizes);
+    CachePolicySimulator lru(capacity_bytes, nullptr, sizes,
+                             "lru");
+    CachePolicySimulator correlated(capacity_bytes, &miner, sizes,
+                                    "correlated");
     for (size_t i = out.train_reads; i < reads.size(); ++i) {
         lru.access(reads[i]);
         correlated.access(reads[i]);

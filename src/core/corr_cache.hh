@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "trace/record.hh"
 
 namespace ethkv::core
@@ -112,10 +114,14 @@ class CachePolicySimulator
      * @param miner Follower source; nullptr disables prefetch
      *        (plain LRU baseline).
      * @param sizes Per-key-id entry sizes (key + value bytes).
+     * @param metrics_scope When non-empty, mirror outcomes into
+     *        global `corrcache.<scope>.*` counters so policy runs
+     *        show up in metrics exports alongside everything else.
      */
     CachePolicySimulator(
         uint64_t capacity_bytes, const CorrelationMiner *miner,
-        const std::unordered_map<uint64_t, uint32_t> &sizes);
+        const std::unordered_map<uint64_t, uint32_t> &sizes,
+        const std::string &metrics_scope = "");
 
     /** Feed one read access. */
     void access(uint64_t key_id);
@@ -141,6 +147,12 @@ class CachePolicySimulator
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
     uint64_t used_bytes_ = 0;
     CachePolicyStats stats_;
+
+    // Registry mirrors; null when no metrics_scope was given.
+    obs::Counter *m_hits_ = nullptr;
+    obs::Counter *m_misses_ = nullptr;
+    obs::Counter *m_prefetch_hits_ = nullptr;
+    obs::Counter *m_evictions_ = nullptr;
 };
 
 /**

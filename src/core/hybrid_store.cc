@@ -32,14 +32,30 @@ routeOf(client::KVClass cls)
     }
 }
 
+HybridKVStore::HybridKVStore() : HybridKVStore(Options{}) {}
+
 HybridKVStore::HybridKVStore(Options options)
     : log_(options.log), lazy_(options.lazy)
-{}
+{
+    obs::MetricsRegistry &reg = options.metrics
+                                    ? *options.metrics
+                                    : obs::MetricsRegistry::global();
+    route_ops_[static_cast<int>(Route::Ordered)] =
+        &reg.counter("hybrid.route.ordered");
+    route_ops_[static_cast<int>(Route::Log)] =
+        &reg.counter("hybrid.route.log");
+    route_ops_[static_cast<int>(Route::LazyLog)] =
+        &reg.counter("hybrid.route.lazylog");
+    route_ops_[static_cast<int>(Route::Hash)] =
+        &reg.counter("hybrid.route.hash");
+}
 
 kv::KVStore &
 HybridKVStore::engineFor(BytesView key)
 {
-    switch (routeOf(client::classify(key))) {
+    Route route = routeOf(client::classify(key));
+    route_ops_[static_cast<int>(route)]->inc();
+    switch (route) {
       case Route::Ordered: return ordered_;
       case Route::Log: return log_;
       case Route::LazyLog: return lazy_;

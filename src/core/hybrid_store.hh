@@ -32,6 +32,7 @@
 #include "kvstore/btree_store.hh"
 #include "kvstore/hash_store.hh"
 #include "kvstore/log_store.hh"
+#include "obs/metrics.hh"
 
 namespace ethkv::core
 {
@@ -60,9 +61,13 @@ class HybridKVStore : public kv::KVStore
     {
         kv::LogStoreOptions log;
         LazyIndexOptions lazy;
+        //! Destination for hybrid.route.* counters; the global
+        //! registry when null.
+        obs::MetricsRegistry *metrics = nullptr;
     };
 
-    explicit HybridKVStore(Options options = {});
+    HybridKVStore();
+    explicit HybridKVStore(Options options);
 
     Status put(BytesView key, BytesView value) override;
     Status get(BytesView key, Bytes &value) override;
@@ -87,6 +92,8 @@ class HybridKVStore : public kv::KVStore
     kv::AppendLogStore log_;
     LazyIndexStore lazy_;
     kv::HashStore hash_;
+    //! Ops routed per backend, indexed by Route.
+    obs::Counter *route_ops_[4];
     mutable kv::IOStats merged_stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/scoped_timer.hh"
 
 namespace ethkv::core
 {
@@ -75,6 +76,7 @@ Status
 LazyIndexStore::put(BytesView key, BytesView value)
 {
     ++stats_.user_writes;
+    stats_.logical_bytes_written += key.size() + value.size();
     known_deleted_.erase(Bytes(key));
 
     // A promoted key keeps its exact index current; dead bytes for
@@ -189,6 +191,7 @@ Status
 LazyIndexStore::del(BytesView key)
 {
     ++stats_.user_deletes;
+    stats_.logical_bytes_written += key.size();
     auto it = index_.find(Bytes(key));
     if (it != index_.end()) {
         Chunk *chunk = findChunk(it->second.chunk_id);
@@ -239,6 +242,10 @@ LazyIndexStore::maybeGc()
 void
 LazyIndexStore::gcChunk(size_t chunk_pos)
 {
+    // Maintenance-path instrument: looked up once, then lock-free.
+    static obs::LatencyHistogram &gc_ns =
+        obs::MetricsRegistry::global().histogram("kv.lazylog.gc_ns");
+    obs::ScopedTimer timer(gc_ns);
     ++stats_.gc_runs;
     Chunk victim = std::move(chunks_[chunk_pos]);
     chunks_.erase(chunks_.begin() + static_cast<long>(chunk_pos));

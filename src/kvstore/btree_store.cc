@@ -67,6 +67,7 @@ Status
 BTreeStore::put(BytesView key, BytesView value)
 {
     ++stats_.user_writes;
+    stats_.logical_bytes_written += key.size() + value.size();
     stats_.bytes_written += key.size() + value.size();
 
     Node *leaf = findLeaf(key);
@@ -157,6 +158,7 @@ Status
 BTreeStore::del(BytesView key)
 {
     ++stats_.user_deletes;
+    stats_.logical_bytes_written += key.size();
     Node *leaf = findLeaf(key);
     auto it =
         std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);

@@ -27,6 +27,7 @@ class HashStore : public KVStore
     put(BytesView key, BytesView value) override
     {
         ++stats_.user_writes;
+        stats_.logical_bytes_written += key.size() + value.size();
         stats_.bytes_written += key.size() + value.size();
         map_[Bytes(key)] = Bytes(value);
         return Status::ok();
@@ -48,6 +49,7 @@ class HashStore : public KVStore
     del(BytesView key) override
     {
         ++stats_.user_deletes;
+        stats_.logical_bytes_written += key.size();
         map_.erase(Bytes(key)); // in place: no tombstone, no rewrite
         return Status::ok();
     }

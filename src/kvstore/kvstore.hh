@@ -38,6 +38,10 @@ struct IOStats
     uint64_t user_writes = 0;       //!< put() calls (incl. batch).
     uint64_t user_deletes = 0;      //!< del() calls (incl. batch).
     uint64_t user_scans = 0;        //!< scan() calls.
+    //! Logical payload accepted from the user: key+value bytes per
+    //! put, key bytes per delete. The denominator of write
+    //! amplification.
+    uint64_t logical_bytes_written = 0;
     uint64_t bytes_written = 0;     //!< All bytes persisted.
     uint64_t bytes_read = 0;        //!< All bytes fetched.
     uint64_t flush_bytes = 0;       //!< Memtable flush volume.
@@ -52,11 +56,10 @@ struct IOStats
     double
     writeAmplification() const
     {
-        uint64_t logical = user_writes + user_deletes;
-        if (logical == 0)
+        if (logical_bytes_written == 0)
             return 0.0;
         return static_cast<double>(bytes_written) /
-               static_cast<double>(logical);
+               static_cast<double>(logical_bytes_written);
     }
 
     void
@@ -66,6 +69,7 @@ struct IOStats
         user_writes += o.user_writes;
         user_deletes += o.user_deletes;
         user_scans += o.user_scans;
+        logical_bytes_written += o.logical_bytes_written;
         bytes_written += o.bytes_written;
         bytes_read += o.bytes_read;
         flush_bytes += o.flush_bytes;

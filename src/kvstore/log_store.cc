@@ -1,6 +1,7 @@
 #include "kvstore/log_store.hh"
 
 #include "common/logging.hh"
+#include "obs/scoped_timer.hh"
 
 namespace ethkv::kv
 {
@@ -31,6 +32,7 @@ AppendLogStore::put(BytesView key, BytesView value)
 {
     ++stats_.user_writes;
     uint64_t bytes = key.size() + value.size();
+    stats_.logical_bytes_written += bytes;
     stats_.bytes_written += bytes;
 
     // Mark any older version dead.
@@ -74,6 +76,7 @@ Status
 AppendLogStore::del(BytesView key)
 {
     ++stats_.user_deletes;
+    stats_.logical_bytes_written += key.size();
     auto it = index_.find(Bytes(key));
     if (it == index_.end())
         return Status::ok();
@@ -134,6 +137,10 @@ AppendLogStore::maybeGc()
 void
 AppendLogStore::gcSegment(size_t segment_pos)
 {
+    // Maintenance-path instrument: looked up once, then lock-free.
+    static obs::LatencyHistogram &gc_ns =
+        obs::MetricsRegistry::global().histogram("kv.log.gc_ns");
+    obs::ScopedTimer timer(gc_ns);
     ++stats_.gc_runs;
     Segment seg = std::move(segments_[segment_pos]);
     segments_.erase(segments_.begin() +

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "kvstore/internal_iterator.hh"
+#include "obs/scoped_timer.hh"
 
 namespace fs = std::filesystem;
 
@@ -203,10 +204,13 @@ LSMStore::apply(const WriteBatch &batch)
         ++seq_;
         if (e.op == BatchOp::Put) {
             ++stats_.user_writes;
+            stats_.logical_bytes_written +=
+                e.key.size() + e.value.size();
             memtable_->add(e.key, e.value, seq_, EntryType::Put);
         } else {
             ++stats_.user_deletes;
             ++stats_.tombstones_written;
+            stats_.logical_bytes_written += e.key.size();
             memtable_->add(e.key, Bytes(), seq_,
                            EntryType::Tombstone);
         }
@@ -323,6 +327,11 @@ LSMStore::flushMemtable()
 {
     if (memtable_->empty())
         return Status::ok();
+
+    // Maintenance-path instrument: looked up once, then lock-free.
+    static obs::LatencyHistogram &flush_ns =
+        obs::MetricsRegistry::global().histogram("kv.lsm.flush_ns");
+    obs::ScopedTimer timer(flush_ns);
 
     uint64_t file_no = next_file_no_++;
     auto writer =
@@ -490,6 +499,11 @@ LSMStore::mergeTables(
 {
     if (inputs.empty())
         return Status::ok();
+
+    static obs::LatencyHistogram &compaction_ns =
+        obs::MetricsRegistry::global().histogram(
+            "kv.lsm.compaction_ns");
+    obs::ScopedTimer timer(compaction_ns);
 
     ++stats_.compactions;
 

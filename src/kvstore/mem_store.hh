@@ -28,6 +28,7 @@ class MemStore : public KVStore
     put(BytesView key, BytesView value) override
     {
         ++stats_.user_writes;
+        stats_.logical_bytes_written += key.size() + value.size();
         stats_.bytes_written += key.size() + value.size();
         map_[Bytes(key)] = Bytes(value);
         return Status::ok();
@@ -49,6 +50,7 @@ class MemStore : public KVStore
     del(BytesView key) override
     {
         ++stats_.user_deletes;
+        stats_.logical_bytes_written += key.size();
         map_.erase(Bytes(key));
         return Status::ok();
     }

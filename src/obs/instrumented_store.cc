@@ -1,0 +1,121 @@
+#include "obs/instrumented_store.hh"
+
+#include "obs/scoped_timer.hh"
+
+namespace ethkv::obs
+{
+
+InstrumentedKVStore::InstrumentedKVStore(kv::KVStore &inner,
+                                         MetricsRegistry &registry,
+                                         std::string scope,
+                                         int sample_shift)
+    : inner_(inner),
+      scope_(scope.empty() ? inner.name() : std::move(scope)),
+      sample_mask_((uint64_t(1) << sample_shift) - 1),
+      get_ns_(registry.histogram("op." + scope_ + ".get_ns")),
+      put_ns_(registry.histogram("op." + scope_ + ".put_ns")),
+      del_ns_(registry.histogram("op." + scope_ + ".del_ns")),
+      scan_ns_(registry.histogram("op." + scope_ + ".scan_ns")),
+      apply_ns_(registry.histogram("op." + scope_ + ".apply_ns")),
+      flush_ns_(registry.histogram("op." + scope_ + ".flush_ns")),
+      get_bytes_(registry.histogram("op." + scope_ + ".get_bytes")),
+      put_bytes_(registry.histogram("op." + scope_ + ".put_bytes")),
+      scan_bytes_(
+          registry.histogram("op." + scope_ + ".scan_bytes")),
+      apply_bytes_(
+          registry.histogram("op." + scope_ + ".apply_bytes")),
+      gets_(registry.counter("op." + scope_ + ".gets")),
+      get_misses_(registry.counter("op." + scope_ + ".get_misses")),
+      puts_(registry.counter("op." + scope_ + ".puts")),
+      dels_(registry.counter("op." + scope_ + ".dels")),
+      scans_(registry.counter("op." + scope_ + ".scans")),
+      applies_(registry.counter("op." + scope_ + ".applies")),
+      flushes_(registry.counter("op." + scope_ + ".flushes"))
+{}
+
+Status
+InstrumentedKVStore::put(BytesView key, BytesView value)
+{
+    if (!sampled(puts_.fetchInc()))
+        return inner_.put(key, value);
+    put_bytes_.record(key.size() + value.size());
+    ScopedTimer timer(put_ns_);
+    return inner_.put(key, value);
+}
+
+Status
+InstrumentedKVStore::get(BytesView key, Bytes &value)
+{
+    if (!sampled(gets_.fetchInc())) {
+        Status s = inner_.get(key, value);
+        if (s.isNotFound())
+            get_misses_.inc();
+        return s;
+    }
+    Status s;
+    {
+        ScopedTimer timer(get_ns_);
+        s = inner_.get(key, value);
+    }
+    if (s.isOk())
+        get_bytes_.record(key.size() + value.size());
+    else if (s.isNotFound())
+        get_misses_.inc();
+    return s;
+}
+
+Status
+InstrumentedKVStore::del(BytesView key)
+{
+    if (!sampled(dels_.fetchInc()))
+        return inner_.del(key);
+    ScopedTimer timer(del_ns_);
+    return inner_.del(key);
+}
+
+Status
+InstrumentedKVStore::scan(BytesView start, BytesView end,
+                          const kv::ScanCallback &cb)
+{
+    // Scans visit many pairs each; always time them.
+    scans_.inc();
+    uint64_t visited_bytes = 0;
+    Status s;
+    {
+        ScopedTimer timer(scan_ns_);
+        s = inner_.scan(start, end,
+                        [&](BytesView key, BytesView value) {
+                            visited_bytes +=
+                                key.size() + value.size();
+                            return cb(key, value);
+                        });
+    }
+    scan_bytes_.record(visited_bytes);
+    return s;
+}
+
+Status
+InstrumentedKVStore::apply(const kv::WriteBatch &batch)
+{
+    // Batches amortize their clock reads; always time them.
+    applies_.inc();
+    apply_bytes_.record(batch.byteSize());
+    ScopedTimer timer(apply_ns_);
+    return inner_.apply(batch);
+}
+
+bool
+InstrumentedKVStore::contains(BytesView key)
+{
+    return inner_.contains(key);
+}
+
+Status
+InstrumentedKVStore::flush()
+{
+    flushes_.inc();
+    ScopedTimer timer(flush_ns_);
+    return inner_.flush();
+}
+
+} // namespace ethkv::obs

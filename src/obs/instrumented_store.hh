@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Telemetry decorator for any KVStore.
+ *
+ * Wraps an engine and records, per operation class, a latency
+ * histogram (nanoseconds), a byte-size histogram, and outcome
+ * counters — without touching the engine's own hot loops. This is
+ * the same decorator pattern as the TracingKVStore shim, applied
+ * to measurement instead of capture, so any engine (or the whole
+ * hybrid router) can be profiled by wrapping it.
+ *
+ * Instrument names are scoped: `op.<scope>.get_ns`,
+ * `op.<scope>.put_bytes`, `op.<scope>.get_misses`, ... The scope
+ * defaults to the wrapped engine's name().
+ *
+ * Outcome counters are exact (one relaxed atomic add per op). The
+ * histograms are *sampled*: 1 in 2^sample_shift operations pays
+ * for the two clock reads and the latency/byte-size records. At
+ * the default 1/16 rate the decorator stays within the 5% overhead
+ * budget even on ~300ns in-memory ops, while any realistic run
+ * still collects thousands of samples per percentile. Pass
+ * sample_shift = 0 to time every operation (tests, slow engines).
+ */
+
+#ifndef ETHKV_OBS_INSTRUMENTED_STORE_HH
+#define ETHKV_OBS_INSTRUMENTED_STORE_HH
+
+#include <string>
+
+#include "kvstore/kvstore.hh"
+#include "obs/metrics.hh"
+
+namespace ethkv::obs
+{
+
+/** The measuring decorator; forwards everything to `inner`. */
+class InstrumentedKVStore : public kv::KVStore
+{
+  public:
+    /** Default histogram sampling: 1 in 16 operations. */
+    static constexpr int default_sample_shift = 4;
+
+    /**
+     * @param inner The engine to measure; not owned.
+     * @param registry Destination instruments (global() for the
+     *        process-wide registry, a private one for A/B runs).
+     * @param scope Metric-name scope; inner.name() when empty.
+     * @param sample_shift Time 1 in 2^sample_shift ops; 0 = all.
+     */
+    InstrumentedKVStore(kv::KVStore &inner,
+                        MetricsRegistry &registry,
+                        std::string scope = "",
+                        int sample_shift = default_sample_shift);
+
+    Status put(BytesView key, BytesView value) override;
+    Status get(BytesView key, Bytes &value) override;
+    Status del(BytesView key) override;
+    Status scan(BytesView start, BytesView end,
+                const kv::ScanCallback &cb) override;
+    Status apply(const kv::WriteBatch &batch) override;
+    bool contains(BytesView key) override;
+    Status flush() override;
+
+    const kv::IOStats &
+    stats() const override
+    {
+        return inner_.stats();
+    }
+
+    std::string
+    name() const override
+    {
+        return "obs(" + inner_.name() + ")";
+    }
+
+    uint64_t
+    liveKeyCount() override
+    {
+        return inner_.liveKeyCount();
+    }
+
+    const std::string &scope() const { return scope_; }
+
+  private:
+    /** Sampling decision from an op counter's previous value, so
+     *  counting and sampling share one atomic add. */
+    bool
+    sampled(uint64_t count_before) const
+    {
+        return (count_before & sample_mask_) == 0;
+    }
+
+    kv::KVStore &inner_;
+    std::string scope_;
+    uint64_t sample_mask_;
+
+    LatencyHistogram &get_ns_;
+    LatencyHistogram &put_ns_;
+    LatencyHistogram &del_ns_;
+    LatencyHistogram &scan_ns_;
+    LatencyHistogram &apply_ns_;
+    LatencyHistogram &flush_ns_;
+
+    LatencyHistogram &get_bytes_;
+    LatencyHistogram &put_bytes_;
+    LatencyHistogram &scan_bytes_;
+    LatencyHistogram &apply_bytes_;
+
+    Counter &gets_;
+    Counter &get_misses_;
+    Counter &puts_;
+    Counter &dels_;
+    Counter &scans_;
+    Counter &applies_;
+    Counter &flushes_;
+};
+
+} // namespace ethkv::obs
+
+#endif // ETHKV_OBS_INSTRUMENTED_STORE_HH

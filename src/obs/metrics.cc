@@ -1,0 +1,449 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ethkv::obs
+{
+
+namespace
+{
+
+/** Midpoint of a bucket: lower bound plus half the bucket width. */
+uint64_t
+bucketRepresentative(size_t index)
+{
+    uint64_t lower = LatencyHistogram::bucketLowerBound(index);
+    if (index < LatencyHistogram::sub_count)
+        return lower; // exact small values
+    uint64_t width =
+        LatencyHistogram::bucketLowerBound(index + 1) - lower;
+    return lower + width / 2;
+}
+
+uint64_t
+percentileOf(const std::vector<uint64_t> &buckets, uint64_t count,
+             uint64_t min, uint64_t max, double p)
+{
+    if (count == 0)
+        return 0;
+    if (p <= 0.0)
+        return min;
+    if (p >= 1.0)
+        return max;
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(count)));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= target) {
+            uint64_t v = bucketRepresentative(i);
+            return std::clamp(v, min, max);
+        }
+    }
+    return max;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+void
+appendU64(std::string &out, uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendI64(std::string &out, int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out += buf;
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    out += buf;
+}
+
+/** "1.23 ms"-style rendering for table output of _ns histograms. */
+std::string
+formatNanos(double ns)
+{
+    char buf[32];
+    if (ns >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+    return buf;
+}
+
+bool
+isNanoHistogram(const std::string &name)
+{
+    return name.size() >= 3 &&
+           name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+} // namespace
+
+uint64_t
+HistogramSnapshot::percentile(double p) const
+{
+    return percentileOf(buckets, count, min, max, p);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        uint64_t kept_min = other.min;
+        uint64_t kept_max = other.max;
+        buckets = other.buckets;
+        count = other.count;
+        sum = other.sum;
+        min = kept_min;
+        max = kept_max;
+        return;
+    }
+    if (buckets.size() < other.buckets.size())
+        buckets.resize(other.buckets.size(), 0);
+    for (size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+}
+
+uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    return snapshot().percentile(p);
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot(const std::string &name) const
+{
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.buckets.resize(num_buckets);
+    for (size_t i = 0; i < num_buckets; ++i)
+        snap.buckets[i] =
+            buckets_[i].load(std::memory_order_relaxed);
+    snap.count = count();
+    snap.sum = sum();
+    snap.min = min();
+    snap.max = max();
+    return snap;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    auto merge_values = [](auto &mine, const auto &theirs) {
+        for (const auto &[name, value] : theirs) {
+            bool found = false;
+            for (auto &[my_name, my_value] : mine) {
+                if (my_name == name) {
+                    my_value += value;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                mine.emplace_back(name, value);
+        }
+    };
+    merge_values(counters, other.counters);
+    merge_values(gauges, other.gauges);
+    for (const HistogramSnapshot &theirs : other.histograms) {
+        bool found = false;
+        for (HistogramSnapshot &mine : histograms) {
+            if (mine.name == theirs.name) {
+                mine.merge(theirs);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            histograms.push_back(theirs);
+    }
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::findHistogram(const std::string &name) const
+{
+    for (const HistogramSnapshot &h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+const uint64_t *
+MetricsSnapshot::findCounter(const std::string &name) const
+{
+    for (const auto &[counter_name, value] : counters)
+        if (counter_name == name)
+            return &value;
+    return nullptr;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\n  \"schema\": \"ethkv.metrics.v1\",\n";
+
+    out += "  \"counters\": {";
+    for (size_t i = 0; i < counters.size(); ++i) {
+        out += i ? ",\n    \"" : "\n    \"";
+        appendEscaped(out, counters[i].first);
+        out += "\": ";
+        appendU64(out, counters[i].second);
+    }
+    out += counters.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    for (size_t i = 0; i < gauges.size(); ++i) {
+        out += i ? ",\n    \"" : "\n    \"";
+        appendEscaped(out, gauges[i].first);
+        out += "\": ";
+        appendI64(out, gauges[i].second);
+    }
+    out += gauges.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    for (size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramSnapshot &h = histograms[i];
+        out += i ? ",\n    \"" : "\n    \"";
+        appendEscaped(out, h.name);
+        out += "\": {\"count\": ";
+        appendU64(out, h.count);
+        out += ", \"sum\": ";
+        appendU64(out, h.sum);
+        out += ", \"min\": ";
+        appendU64(out, h.min);
+        out += ", \"max\": ";
+        appendU64(out, h.max);
+        out += ", \"mean\": ";
+        appendDouble(out, h.mean());
+        out += ", \"p50\": ";
+        appendU64(out, h.percentile(0.50));
+        out += ", \"p90\": ";
+        appendU64(out, h.percentile(0.90));
+        out += ", \"p99\": ";
+        appendU64(out, h.percentile(0.99));
+        out += ", \"p999\": ";
+        appendU64(out, h.percentile(0.999));
+        out += "}";
+    }
+    out += histograms.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+MetricsSnapshot::printTable(std::FILE *out) const
+{
+    if (!out)
+        out = stdout;
+    if (!counters.empty()) {
+        std::fprintf(out, "%-42s %14s\n", "counter", "value");
+        for (const auto &[name, value] : counters)
+            std::fprintf(out, "%-42s %14" PRIu64 "\n",
+                         name.c_str(), value);
+    }
+    if (!gauges.empty()) {
+        std::fprintf(out, "%-42s %14s\n", "gauge", "value");
+        for (const auto &[name, value] : gauges)
+            std::fprintf(out, "%-42s %14" PRId64 "\n",
+                         name.c_str(), value);
+    }
+    if (histograms.empty())
+        return;
+    std::fprintf(out, "%-42s %10s %10s %10s %10s %10s %10s\n",
+                 "histogram", "count", "mean", "p50", "p90", "p99",
+                 "p99.9");
+    for (const HistogramSnapshot &h : histograms) {
+        if (h.count == 0)
+            continue;
+        if (isNanoHistogram(h.name)) {
+            std::fprintf(
+                out,
+                "%-42s %10" PRIu64 " %10s %10s %10s %10s %10s\n",
+                h.name.c_str(), h.count,
+                formatNanos(h.mean()).c_str(),
+                formatNanos(static_cast<double>(
+                                h.percentile(0.50)))
+                    .c_str(),
+                formatNanos(static_cast<double>(
+                                h.percentile(0.90)))
+                    .c_str(),
+                formatNanos(static_cast<double>(
+                                h.percentile(0.99)))
+                    .c_str(),
+                formatNanos(static_cast<double>(
+                                h.percentile(0.999)))
+                    .c_str());
+        } else {
+            std::fprintf(
+                out,
+                "%-42s %10" PRIu64 " %10.1f %10" PRIu64
+                " %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "\n",
+                h.name.c_str(), h.count, h.mean(),
+                h.percentile(0.50), h.percentile(0.90),
+                h.percentile(0.99), h.percentile(0.999));
+        }
+    }
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace_back(name, counter->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.emplace_back(name, gauge->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, hist] : histograms_)
+        snap.histograms.push_back(hist->snapshot(name));
+    return snap;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    return snapshot().toJson();
+}
+
+void
+MetricsRegistry::printTable(std::FILE *out) const
+{
+    snapshot().printTable(out);
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, hist] : histograms_)
+        hist->reset();
+}
+
+Status
+writeMetricsJson(const MetricsRegistry &registry,
+                 const std::string &path)
+{
+    std::string json = registry.toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return Status::ioError("metrics: cannot open " + path);
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    if (std::fclose(f) != 0 || written != json.size())
+        return Status::ioError("metrics: short write to " + path);
+    return Status::ok();
+}
+
+std::string
+consumeMetricsOutFlag(int *argc, char **argv)
+{
+    std::string path;
+    const char *env = std::getenv("ETHKV_METRICS_OUT");
+    if (env)
+        path = env;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--metrics-out") == 0 &&
+            i + 1 < *argc) {
+            path = argv[++i];
+            continue;
+        }
+        if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+            path = arg + 14;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    return path;
+}
+
+namespace
+{
+std::string exit_dump_path; // NOLINT: written once before atexit
+}
+
+void
+installExitDump(const std::string &path)
+{
+    if (path.empty())
+        return;
+    bool first = exit_dump_path.empty();
+    exit_dump_path = path;
+    if (!first)
+        return;
+    // Touch the registry BEFORE registering the handler: statics
+    // destruct in LIFO order with atexit callbacks, so the registry
+    // must be constructed first to still be alive when the dump
+    // runs.
+    MetricsRegistry::global();
+    std::atexit([] {
+        Status s = writeMetricsJson(MetricsRegistry::global(),
+                                    exit_dump_path);
+        if (!s.isOk())
+            warn("metrics dump failed: %s", s.toString().c_str());
+        else
+            inform("metrics snapshot written to %s",
+                   exit_dump_path.c_str());
+    });
+}
+
+} // namespace ethkv::obs

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Process-wide telemetry instruments: counters, gauges, and
+ * log-bucketed histograms behind a named registry.
+ *
+ * The paper's methodology is instrumentation at the KV-store seam
+ * (Section III-A); this module generalizes that idea to the whole
+ * stack so perf work can be explained, not just observed: per-op
+ * latency percentiles, per-phase pipeline timing, per-class cache
+ * telemetry, engine maintenance costs.
+ *
+ * Overhead budget: one relaxed atomic add per counter increment,
+ * one bucket add plus four relaxed atomics per histogram sample.
+ * The hot-path pieces (increment, record, registry lookup) are
+ * header-only so low-level libraries can record without linking
+ * the export code; snapshot/JSON/table rendering lives in
+ * metrics.cc. Callers cache instrument references — lookups take a
+ * mutex, increments never do.
+ */
+
+#ifndef ETHKV_OBS_METRICS_HH
+#define ETHKV_OBS_METRICS_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace ethkv::obs
+{
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Increment by one and return the PREVIOUS value, so callers
+     *  can derive decisions (e.g. sampling) from the same atomic
+     *  op that counts. */
+    uint64_t
+    fetchInc()
+    {
+        return value_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous signed level (queue depth, resident bytes, ...). */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * One read-only histogram state: percentile math and merging live
+ * here so snapshots from sharded or per-run registries compose.
+ */
+struct HistogramSnapshot
+{
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::vector<uint64_t> buckets;
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /**
+     * Value at quantile p in [0,1]; bucket-midpoint resolution
+     * (<= ~3% relative error with 16 sub-buckets per octave),
+     * clamped to the exact observed [min, max].
+     */
+    uint64_t percentile(double p) const;
+
+    void merge(const HistogramSnapshot &other);
+};
+
+/**
+ * Log-bucketed value histogram (HdrHistogram-style layout).
+ *
+ * Values are bucketed by power of two with 16 linear sub-buckets
+ * per octave, so relative resolution stays ~6% across the full
+ * uint64 range; values below 16 are exact. Suited to latencies in
+ * nanoseconds and byte sizes alike. Increments are relaxed
+ * atomics; no locks anywhere on the record path.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int sub_bits = 4;
+    static constexpr int sub_count = 1 << sub_bits;
+    static constexpr size_t num_buckets =
+        static_cast<size_t>(64 - sub_bits + 1) << sub_bits;
+
+    LatencyHistogram() : buckets_(num_buckets) {}
+
+    void
+    record(uint64_t value)
+    {
+        buckets_[bucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+        uint64_t seen = min_.load(std::memory_order_relaxed);
+        while (value < seen &&
+               !min_.compare_exchange_weak(
+                   seen, value, std::memory_order_relaxed)) {
+        }
+        seen = max_.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !max_.compare_exchange_weak(
+                   seen, value, std::memory_order_relaxed)) {
+        }
+    }
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    min() const
+    {
+        uint64_t v = min_.load(std::memory_order_relaxed);
+        return v == UINT64_MAX ? 0 : v;
+    }
+
+    uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    double
+    mean() const
+    {
+        uint64_t n = count();
+        return n ? static_cast<double>(sum()) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+
+    /** Convenience percentile over a point-in-time snapshot. */
+    uint64_t percentile(double p) const;
+
+    /** Copy out the current state (named `name` in the copy). */
+    HistogramSnapshot snapshot(const std::string &name = "") const;
+
+    void reset();
+
+    /** Bucket index for a value; exposed for boundary tests. */
+    static size_t
+    bucketIndex(uint64_t value)
+    {
+        if (value < sub_count)
+            return static_cast<size_t>(value);
+        int msb = 63 - std::countl_zero(value);
+        int shift = msb - sub_bits;
+        return (static_cast<size_t>(msb - sub_bits + 1)
+                << sub_bits) +
+               ((value >> shift) & (sub_count - 1));
+    }
+
+    /** Smallest value landing in bucket `index`. */
+    static uint64_t
+    bucketLowerBound(size_t index)
+    {
+        if (index < sub_count)
+            return index;
+        size_t group = index >> sub_bits;
+        uint64_t base = static_cast<uint64_t>(
+            sub_count + (index & (sub_count - 1)));
+        return base << (group - 1);
+    }
+
+  private:
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
+    std::atomic<uint64_t> max_{0};
+};
+
+/** Point-in-time copy of a whole registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    /** Combine with another snapshot (shards, repeated runs). */
+    void merge(const MetricsSnapshot &other);
+
+    const HistogramSnapshot *findHistogram(
+        const std::string &name) const;
+    const uint64_t *findCounter(const std::string &name) const;
+
+    /** Machine-readable export (schema ethkv.metrics.v1). */
+    std::string toJson() const;
+
+    /** Human-readable table; stdout when `out` is null. */
+    void printTable(std::FILE *out = nullptr) const;
+};
+
+/**
+ * Named instrument registry.
+ *
+ * Instruments are created on first lookup and live as long as the
+ * registry; returned references stay valid. One process-global
+ * registry serves the common case; tests and A/B benches can make
+ * private instances.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &
+    counter(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = counters_[name];
+        if (!slot)
+            slot = std::make_unique<Counter>();
+        return *slot;
+    }
+
+    Gauge &
+    gauge(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = gauges_[name];
+        if (!slot)
+            slot = std::make_unique<Gauge>();
+        return *slot;
+    }
+
+    LatencyHistogram &
+    histogram(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = histograms_[name];
+        if (!slot)
+            slot = std::make_unique<LatencyHistogram>();
+        return *slot;
+    }
+
+    /** The process-wide registry. */
+    static MetricsRegistry &
+    global()
+    {
+        static MetricsRegistry registry;
+        return registry;
+    }
+
+    MetricsSnapshot snapshot() const;
+    std::string toJson() const;
+    void printTable(std::FILE *out = nullptr) const;
+
+    /** Zero every instrument (A/B bench phases, test isolation). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>>
+        histograms_;
+};
+
+/** Write a registry snapshot as JSON to `path`. */
+Status writeMetricsJson(const MetricsRegistry &registry,
+                        const std::string &path);
+
+/**
+ * Strip a `--metrics-out <path>` / `--metrics-out=<path>` flag
+ * from argv (so downstream parsers never see it) and return the
+ * path; falls back to $ETHKV_METRICS_OUT, then "".
+ */
+std::string consumeMetricsOutFlag(int *argc, char **argv);
+
+/**
+ * Arrange for the global registry to be dumped as JSON to `path`
+ * when the process exits normally. No-op for an empty path.
+ */
+void installExitDump(const std::string &path);
+
+} // namespace ethkv::obs
+
+#endif // ETHKV_OBS_METRICS_HH

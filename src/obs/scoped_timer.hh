@@ -1,0 +1,76 @@
+/**
+ * @file
+ * RAII wall-clock timer that records elapsed nanoseconds into a
+ * LatencyHistogram on scope exit — including early returns and
+ * error paths, which is exactly where hand-rolled stop() calls get
+ * forgotten.
+ */
+
+#ifndef ETHKV_OBS_SCOPED_TIMER_HH
+#define ETHKV_OBS_SCOPED_TIMER_HH
+
+#include <chrono>
+
+#include "obs/metrics.hh"
+
+namespace ethkv::obs
+{
+
+/** Steady-clock nanosecond timestamp helper. */
+inline uint64_t
+nowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Records into the target histogram exactly once: at destruction,
+ * or earlier via stop(). dismiss() cancels recording entirely.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(LatencyHistogram &hist)
+        : hist_(&hist), start_(nowNanos())
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (hist_)
+            hist_->record(nowNanos() - start_);
+    }
+
+    /** Nanoseconds since construction (recording still pending). */
+    uint64_t
+    elapsedNs() const
+    {
+        return nowNanos() - start_;
+    }
+
+    /** Record now instead of at scope exit. */
+    void
+    stop()
+    {
+        if (hist_) {
+            hist_->record(nowNanos() - start_);
+            hist_ = nullptr;
+        }
+    }
+
+    /** Never record (e.g. aborted work that would skew tails). */
+    void dismiss() { hist_ = nullptr; }
+
+  private:
+    LatencyHistogram *hist_;
+    uint64_t start_;
+};
+
+} // namespace ethkv::obs
+
+#endif // ETHKV_OBS_SCOPED_TIMER_HH

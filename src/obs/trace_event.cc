@@ -1,0 +1,114 @@
+#include "obs/trace_event.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/scoped_timer.hh"
+
+namespace ethkv::obs
+{
+
+TraceEventLog::TraceEventLog() : epoch_ns_(nowNanos()) {}
+
+uint64_t
+TraceEventLog::nowUs() const
+{
+    return (nowNanos() - epoch_ns_) / 1000;
+}
+
+void
+TraceEventLog::addSpan(const std::string &name,
+                       const std::string &category,
+                       uint64_t start_us, uint64_t duration_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(
+        {name, category, start_us, duration_us, 0, false});
+}
+
+void
+TraceEventLog::addSpan(const std::string &name,
+                       const std::string &category,
+                       uint64_t start_us, uint64_t duration_us,
+                       uint64_t arg_value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(
+        {name, category, start_us, duration_us, arg_value, true});
+}
+
+size_t
+TraceEventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::string
+TraceEventLog::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "[";
+    char buf[256];
+    for (size_t i = 0; i < spans_.size(); ++i) {
+        const Span &span = spans_[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n{\"name\":\"%s\",\"cat\":\"%s\","
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                      "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64,
+                      i ? "," : "", span.name.c_str(),
+                      span.category.c_str(), span.start_us,
+                      span.duration_us);
+        out += buf;
+        if (span.has_arg) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"args\":{\"block\":%" PRIu64 "}",
+                          span.arg_value);
+            out += buf;
+        }
+        out += "}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+Status
+TraceEventLog::writeTo(const std::string &path) const
+{
+    std::string json = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return Status::ioError("trace_event: cannot open " + path);
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    if (std::fclose(f) != 0 || written != json.size())
+        return Status::ioError("trace_event: short write to " +
+                               path);
+    return Status::ok();
+}
+
+ScopedSpan::ScopedSpan(TraceEventLog *log, const char *name,
+                       const char *category)
+    : log_(log), name_(name), category_(category),
+      start_us_(log ? log->nowUs() : 0)
+{}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!log_)
+        return;
+    uint64_t duration = log_->nowUs() - start_us_;
+    if (has_arg_)
+        log_->addSpan(name_, category_, start_us_, duration,
+                      arg_value_);
+    else
+        log_->addSpan(name_, category_, start_us_, duration);
+}
+
+void
+ScopedSpan::setArg(uint64_t value)
+{
+    arg_value_ = value;
+    has_arg_ = true;
+}
+
+} // namespace ethkv::obs

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Chrome trace_event span log for the block pipeline.
+ *
+ * Collects complete ("ph":"X") spans and writes the JSON array
+ * format that chrome://tracing and Perfetto load directly, so a
+ * capture run's download/verify/execute/commit/maintenance phases
+ * can be inspected block by block on a timeline.
+ */
+
+#ifndef ETHKV_OBS_TRACE_EVENT_HH
+#define ETHKV_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace ethkv::obs
+{
+
+/** Accumulates spans in memory; thread-safe appends. */
+class TraceEventLog
+{
+  public:
+    /** One complete span; timestamps in microseconds from log
+     *  creation. */
+    struct Span
+    {
+        std::string name;
+        std::string category;
+        uint64_t start_us;
+        uint64_t duration_us;
+        uint64_t arg_value;
+        bool has_arg;
+    };
+
+    TraceEventLog();
+
+    /** Microseconds since the log was created. */
+    uint64_t nowUs() const;
+
+    void addSpan(const std::string &name,
+                 const std::string &category, uint64_t start_us,
+                 uint64_t duration_us);
+
+    /** Span with one numeric argument (e.g. the block number). */
+    void addSpan(const std::string &name,
+                 const std::string &category, uint64_t start_us,
+                 uint64_t duration_us, uint64_t arg_value);
+
+    size_t size() const;
+
+    /** Render the Chrome trace JSON array format. */
+    std::string toJson() const;
+
+    /** Write toJson() to a file. */
+    Status writeTo(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Span> spans_;
+    uint64_t epoch_ns_;
+};
+
+/**
+ * RAII span: opens at construction, appends to the log at
+ * destruction. A null log makes every operation a no-op, so call
+ * sites can be unconditional.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceEventLog *log, const char *name,
+               const char *category = "pipeline");
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach one numeric argument shown in the trace viewer. */
+    void setArg(uint64_t value);
+
+  private:
+    TraceEventLog *log_;
+    const char *name_;
+    const char *category_;
+    uint64_t start_us_;
+    uint64_t arg_value_ = 0;
+    bool has_arg_ = false;
+};
+
+} // namespace ethkv::obs
+
+#endif // ETHKV_OBS_TRACE_EVENT_HH

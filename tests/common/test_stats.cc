@@ -58,6 +58,57 @@ TEST(StreamingStatsTest, MergeEqualsSequential)
     EXPECT_EQ(a.max(), all.max());
 }
 
+TEST(StreamingStatsTest, MergeEmptyIntoPopulated)
+{
+    StreamingStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(StreamingStatsTest, MergePopulatedIntoEmpty)
+{
+    StreamingStats empty, b;
+    b.add(-2.0);
+    b.add(4.0);
+    empty.merge(b);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(empty.min(), -2.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 4.0);
+    // And merging does not alias: mutating the source afterwards
+    // must not change the destination.
+    b.add(1000.0);
+    EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(StreamingStatsTest, MergeTwoEmpties)
+{
+    StreamingStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeSingleSamples)
+{
+    // Both sides below the n>=2 variance threshold; the merged
+    // accumulator must still produce the exact two-sample stats.
+    StreamingStats a, b;
+    a.add(10.0);
+    b.add(20.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+    EXPECT_NEAR(a.variance(), 50.0, 1e-12); // sample variance
+    EXPECT_GT(a.ci95(), 0.0);
+}
+
 TEST(StreamingStatsTest, Ci95ShrinksWithSamples)
 {
     StreamingStats small, large;
@@ -92,6 +143,39 @@ TEST(ExactDistributionTest, Percentiles)
     EXPECT_EQ(d.percentile(0.0), 1u);
     EXPECT_EQ(d.percentile(0.5), 51u);
     EXPECT_EQ(d.percentile(1.0), 100u);
+}
+
+TEST(ExactDistributionTest, PercentileEdgeCases)
+{
+    ExactDistribution single;
+    single.add(42);
+    for (double p : {0.0, 0.25, 0.5, 0.999, 1.0})
+        EXPECT_EQ(single.percentile(p), 42u) << "p=" << p;
+
+    // Heavily skewed counts: 99 copies of 1, one copy of 100.
+    ExactDistribution skew;
+    skew.add(1, 99);
+    skew.add(100);
+    EXPECT_EQ(skew.percentile(0.5), 1u);
+    EXPECT_EQ(skew.percentile(0.98), 1u);
+    EXPECT_EQ(skew.percentile(1.0), 100u);
+
+    // Weighted entries must count weight times, not once.
+    ExactDistribution weighted;
+    weighted.add(10, 1);
+    weighted.add(20, 9);
+    EXPECT_EQ(weighted.percentile(0.05), 10u);
+    EXPECT_EQ(weighted.percentile(0.5), 20u);
+}
+
+TEST(ExactDistributionDeathTest, PercentileContractViolations)
+{
+    ExactDistribution empty;
+    EXPECT_DEATH(empty.percentile(0.5), "empty");
+    ExactDistribution d;
+    d.add(1);
+    EXPECT_DEATH(d.percentile(-0.1), "out of range");
+    EXPECT_DEATH(d.percentile(1.1), "out of range");
 }
 
 TEST(ExactDistributionTest, MergePreservesTotals)

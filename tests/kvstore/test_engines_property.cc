@@ -15,6 +15,7 @@
 #include "kvstore/log_store.hh"
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
+#include "obs/instrumented_store.hh"
 #include "test_util.hh"
 
 namespace ethkv::kv
@@ -141,6 +142,45 @@ TEST_P(EnginePropertyTest, AgreesWithReferenceMap)
                     return true;
                 });
     EXPECT_EQ(it, ref.end());
+}
+
+TEST_P(EnginePropertyTest, InstrumentedWrapperIsTransparent)
+{
+    auto [engine, seed] = GetParam();
+    ScratchDir dir("prop_obs_" + engine);
+    auto inner = makeEngine(engine, dir.path());
+    ASSERT_NE(inner, nullptr);
+
+    // The telemetry decorator must be invisible to the reference
+    // oracle: identical semantics, plus op counts that add up.
+    obs::MetricsRegistry registry;
+    obs::InstrumentedKVStore store(*inner, registry, "prop",
+                                   /*sample_shift=*/0);
+
+    Rng rng(seed + 7);
+    std::map<Bytes, Bytes> ref;
+    runRandomOps(store, ref, rng, 4000, 900);
+    verifyAll(store, ref);
+
+    obs::MetricsSnapshot snap = registry.snapshot();
+    const uint64_t *puts = snap.findCounter("op.prop.puts");
+    const uint64_t *dels = snap.findCounter("op.prop.dels");
+    const uint64_t *gets = snap.findCounter("op.prop.gets");
+    const uint64_t *misses =
+        snap.findCounter("op.prop.get_misses");
+    ASSERT_NE(puts, nullptr);
+    ASSERT_NE(dels, nullptr);
+    ASSERT_NE(gets, nullptr);
+    ASSERT_NE(misses, nullptr);
+    // runRandomOps issued 4000 mutations/reads; verifyAll re-read
+    // every live key, all hits.
+    EXPECT_EQ(*puts + *dels + *gets - ref.size(), 4000u);
+    EXPECT_LE(*misses, *gets);
+    const obs::HistogramSnapshot *put_ns =
+        snap.findHistogram("op.prop.put_ns");
+    ASSERT_NE(put_ns, nullptr);
+    EXPECT_EQ(put_ns->count, *puts);
+    EXPECT_GT(put_ns->max, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

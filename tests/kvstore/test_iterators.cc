@@ -136,18 +136,22 @@ TEST(IOStatsTest, MergeAndAmplification)
 {
     IOStats a, b;
     a.user_writes = 10;
+    a.logical_bytes_written = 40;
     a.bytes_written = 100;
     a.tombstones_written = 2;
     b.user_writes = 5;
     b.user_deletes = 5;
+    b.logical_bytes_written = 35;
     b.bytes_written = 50;
     b.compactions = 3;
     a.merge(b);
     EXPECT_EQ(a.user_writes, 15u);
     EXPECT_EQ(a.user_deletes, 5u);
+    EXPECT_EQ(a.logical_bytes_written, 75u);
     EXPECT_EQ(a.bytes_written, 150u);
     EXPECT_EQ(a.compactions, 3u);
-    EXPECT_DOUBLE_EQ(a.writeAmplification(), 150.0 / 20.0);
+    // Amplification is bytes persisted per logical byte, not per op.
+    EXPECT_DOUBLE_EQ(a.writeAmplification(), 150.0 / 75.0);
 
     IOStats empty;
     EXPECT_EQ(empty.writeAmplification(), 0.0);

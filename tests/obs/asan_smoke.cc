@@ -1,0 +1,94 @@
+/**
+ * @file
+ * AddressSanitizer smoke binary, always built with
+ * -fsanitize=address regardless of ETHKV_SANITIZE (see
+ * tests/CMakeLists.txt). It compiles the obs/ sources and the
+ * header-only engine hot path under ASan and drives them hard
+ * enough that heap-buffer-overflow or use-after-free in the
+ * telemetry layer fails `ctest` on every build, not just
+ * sanitizer-flagged ones.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "kvstore/mem_store.hh"
+#include "obs/instrumented_store.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
+#include "obs/trace_event.hh"
+
+using namespace ethkv;
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "asan_smoke: FAILED: %s\n", what);
+        ++failures;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    obs::MetricsRegistry registry;
+    kv::MemStore inner;
+    obs::InstrumentedKVStore store(inner, registry, "smoke");
+
+    // Churn the full op surface, including miss and delete paths.
+    for (int i = 0; i < 20000; ++i) {
+        std::string key = "key-" + std::to_string(i % 500);
+        store.put(key, std::string(1 + i % 128, 'v'))
+            .expectOk("put");
+        Bytes value;
+        store.get(key, value).expectOk("get");
+        store.get("missing-" + std::to_string(i), value);
+        if (i % 7 == 0)
+            store.del(key).expectOk("del");
+    }
+    int visited = 0;
+    store
+        .scan(BytesView(), BytesView(),
+              [&](BytesView, BytesView) { return ++visited < 50; })
+        .expectOk("scan");
+
+    // Histogram edges: bucket 0, the octave seams, and UINT64_MAX.
+    obs::LatencyHistogram &edges = registry.histogram("edges");
+    for (uint64_t v : {uint64_t(0), uint64_t(15), uint64_t(16),
+                       uint64_t(1) << 33, UINT64_MAX})
+        edges.record(v);
+    check(edges.count() == 5, "edge record count");
+    check(edges.max() == UINT64_MAX, "edge max");
+
+    {
+        obs::ScopedTimer timer(registry.histogram("timer_ns"));
+    }
+    obs::TraceEventLog log;
+    {
+        obs::ScopedSpan span(&log, "smoke");
+        span.setArg(42);
+    }
+    check(log.size() == 1, "span count");
+    check(!log.toJson().empty(), "trace json");
+
+    // Snapshot + merge + export stress the copy paths ASan watches.
+    obs::MetricsSnapshot snap = registry.snapshot();
+    snap.merge(registry.snapshot());
+    const uint64_t *puts = snap.findCounter("op.smoke.puts");
+    check(puts && *puts == 40000, "merged put count");
+    check(snap.toJson().find("ethkv.metrics.v1") !=
+              std::string::npos,
+          "json schema tag");
+
+    if (failures == 0)
+        std::printf("asan_smoke: ok\n");
+    return failures ? 1 : 0;
+}

@@ -1,0 +1,48 @@
+# Runs a bench binary with --metrics-out and validates the dump
+# with CMake's real JSON parser: the file must parse, carry the
+# ethkv.metrics.v1 schema tag, and contain at least one histogram
+# with a nonzero count.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) as:
+#   cmake -DBENCH=<bench binary> -DARGS=<extra args> -DOUT=<json>
+#         -P check_bench_metrics.cmake
+
+separate_arguments(bench_args UNIX_COMMAND "${ARGS}")
+execute_process(
+    COMMAND ${BENCH} ${bench_args} --metrics-out=${OUT}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench exited with ${rc}")
+endif()
+
+file(READ ${OUT} doc)
+
+string(JSON schema ERROR_VARIABLE err GET "${doc}" schema)
+if(NOT err STREQUAL "NOTFOUND" OR NOT schema STREQUAL
+   "ethkv.metrics.v1")
+    message(FATAL_ERROR
+            "bad or missing schema tag: '${schema}' (${err})")
+endif()
+
+string(JSON nhist ERROR_VARIABLE err LENGTH "${doc}" histograms)
+if(NOT err STREQUAL "NOTFOUND" OR nhist EQUAL 0)
+    message(FATAL_ERROR "no histograms in dump (${err})")
+endif()
+
+# Every histogram object must expose a parseable count; at least
+# one must be nonzero.
+set(nonzero 0)
+math(EXPR last "${nhist} - 1")
+foreach(i RANGE ${last})
+    string(JSON name MEMBER "${doc}" histograms ${i})
+    string(JSON count GET "${doc}" histograms "${name}" count)
+    if(count GREATER 0)
+        math(EXPR nonzero "${nonzero} + 1")
+    endif()
+endforeach()
+if(nonzero EQUAL 0)
+    message(FATAL_ERROR "all histogram counts are zero")
+endif()
+message(STATUS
+        "metrics dump ok: ${nhist} histograms, ${nonzero} nonzero")

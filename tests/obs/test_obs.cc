@@ -1,0 +1,684 @@
+/**
+ * @file
+ * Tests for the obs/ telemetry layer: histogram bucket math and
+ * percentiles, registry snapshot/merge, the RAII timer's
+ * record-exactly-once contract (including early returns), the
+ * InstrumentedKVStore decorator, and validity of the JSON exports
+ * (checked with a tiny recursive-descent parser rather than by eye).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "kvstore/mem_store.hh"
+#include "obs/instrumented_store.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
+#include "obs/trace_event.hh"
+
+namespace ethkv::obs
+{
+namespace
+{
+
+/**
+ * Minimal JSON syntax validator. Accepts exactly the value grammar
+ * of RFC 8259 (objects, arrays, strings, numbers, true/false/null);
+ * enough to prove the exporters emit parseable documents.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        size_t digits = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == digits)
+            return false;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            digits = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == digits)
+                return false;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            digits = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == digits)
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    members(char close, bool with_keys)
+    {
+        ++pos_; // opening brace/bracket
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == close) {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (with_keys) {
+                if (pos_ >= text_.size() || !string())
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return false;
+                ++pos_;
+            }
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == close) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+        case '{':
+            return members('}', true);
+        case '[':
+            return members(']', false);
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, SelfCheck)
+{
+    EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e2],"b":"x"})")
+                    .valid());
+    EXPECT_TRUE(JsonChecker("[]").valid());
+    EXPECT_FALSE(JsonChecker(R"({"a":1,})").valid());
+    EXPECT_FALSE(JsonChecker(R"({"a" 1})").valid());
+    EXPECT_FALSE(JsonChecker("{").valid());
+    EXPECT_FALSE(JsonChecker("01abc").valid());
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact)
+{
+    for (uint64_t v = 0; v < LatencyHistogram::sub_count; ++v)
+        EXPECT_EQ(LatencyHistogram::bucketIndex(v), v);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesRoundTrip)
+{
+    // The lower bound of every bucket must map back to that bucket,
+    // and one-less-than-it must map strictly before it.
+    for (size_t i = 0; i < 600; ++i) {
+        uint64_t lo = LatencyHistogram::bucketLowerBound(i);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(lo), i)
+            << "bucket " << i;
+        if (lo > 0) {
+            EXPECT_EQ(LatencyHistogram::bucketIndex(lo - 1), i - 1)
+                << "bucket " << i;
+        }
+    }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone)
+{
+    // Spot-check monotonicity across octave crossings.
+    uint64_t probes[] = {15,
+                         16,
+                         17,
+                         31,
+                         32,
+                         33,
+                         1023,
+                         1024,
+                         1025,
+                         uint64_t(1) << 20,
+                         uint64_t(1000000000),
+                         uint64_t(1000000000000),
+                         uint64_t(1000000000000000),
+                         UINT64_MAX / 2,
+                         UINT64_MAX};
+    size_t prev = 0;
+    for (uint64_t v : probes) {
+        size_t idx = LatencyHistogram::bucketIndex(v);
+        EXPECT_GE(idx, prev) << "value " << v;
+        EXPECT_LT(idx, LatencyHistogram::num_buckets);
+        prev = idx;
+    }
+}
+
+TEST(LatencyHistogramTest, CountSumMinMax)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    h.record(100);
+    h.record(300);
+    h.record(200);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 600u);
+    EXPECT_EQ(h.min(), 100u);
+    EXPECT_EQ(h.max(), 300u);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketResolution)
+{
+    LatencyHistogram h;
+    for (uint64_t v = 1; v <= 10000; ++v)
+        h.record(v);
+    // Log bucketing guarantees ~6% relative resolution.
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 5000.0,
+                0.07 * 5000.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 9000.0,
+                0.07 * 9000.0);
+    // Extremes clamp to the exact observed range.
+    EXPECT_EQ(h.percentile(0.0), 1u);
+    EXPECT_EQ(h.percentile(1.0), 10000u);
+}
+
+TEST(LatencyHistogramTest, PercentileOnEmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleValuePercentiles)
+{
+    LatencyHistogram h;
+    h.record(777);
+    for (double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(p), 777u) << "p=" << p;
+}
+
+TEST(LatencyHistogramTest, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(HistogramSnapshotTest, MergeMatchesCombinedStream)
+{
+    LatencyHistogram a, b, all;
+    for (uint64_t v = 1; v <= 3000; ++v) {
+        (v % 2 ? a : b).record(v * 7);
+        all.record(v * 7);
+    }
+    HistogramSnapshot sa = a.snapshot("a");
+    sa.merge(b.snapshot("b"));
+    HistogramSnapshot expect = all.snapshot();
+    EXPECT_EQ(sa.count, expect.count);
+    EXPECT_EQ(sa.sum, expect.sum);
+    EXPECT_EQ(sa.min, expect.min);
+    EXPECT_EQ(sa.max, expect.max);
+    EXPECT_EQ(sa.percentile(0.5), expect.percentile(0.5));
+    EXPECT_EQ(sa.percentile(0.999), expect.percentile(0.999));
+}
+
+TEST(HistogramSnapshotTest, MergeWithEmpty)
+{
+    LatencyHistogram a;
+    a.record(10);
+    HistogramSnapshot sa = a.snapshot("a");
+    sa.merge(HistogramSnapshot{});
+    EXPECT_EQ(sa.count, 1u);
+    EXPECT_EQ(sa.min, 10u);
+
+    HistogramSnapshot empty;
+    empty.merge(a.snapshot());
+    EXPECT_EQ(empty.count, 1u);
+    EXPECT_EQ(empty.min, 10u);
+    EXPECT_EQ(empty.max, 10u);
+}
+
+TEST(MetricsRegistryTest, LookupIsStableAndShared)
+{
+    MetricsRegistry reg;
+    Counter &c1 = reg.counter("x");
+    Counter &c2 = reg.counter("x");
+    EXPECT_EQ(&c1, &c2);
+    c1.inc(3);
+    EXPECT_EQ(c2.value(), 3u);
+    EXPECT_NE(&reg.counter("y"), &c1);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesEverything)
+{
+    MetricsRegistry reg;
+    reg.counter("ops").inc(7);
+    reg.gauge("depth").set(-4);
+    reg.histogram("lat_ns").record(1000);
+
+    MetricsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.findCounter("ops"), nullptr);
+    EXPECT_EQ(*snap.findCounter("ops"), 7u);
+    EXPECT_EQ(snap.findCounter("nope"), nullptr);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].second, -4);
+    const HistogramSnapshot *h = snap.findHistogram("lat_ns");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    EXPECT_EQ(snap.findHistogram("nope"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeAddsDisjointAndShared)
+{
+    MetricsRegistry a, b;
+    a.counter("shared").inc(1);
+    b.counter("shared").inc(2);
+    b.counter("only_b").inc(5);
+    a.histogram("h").record(10);
+    b.histogram("h").record(30);
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(*merged.findCounter("shared"), 3u);
+    EXPECT_EQ(*merged.findCounter("only_b"), 5u);
+    const HistogramSnapshot *h = merged.findHistogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2u);
+    EXPECT_EQ(h->min, 10u);
+    EXPECT_EQ(h->max, 30u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInstruments)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("c");
+    c.inc(9);
+    reg.gauge("g").set(9);
+    reg.histogram("h").record(9);
+    reg.reset();
+    // References stay valid; values go back to zero.
+    EXPECT_EQ(c.value(), 0u);
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(*snap.findCounter("c"), 0u);
+    EXPECT_EQ(snap.gauges[0].second, 0);
+    EXPECT_EQ(snap.findHistogram("h")->count, 0u);
+}
+
+TEST(ScopedTimerTest, RecordsOnceAtScopeExit)
+{
+    LatencyHistogram h;
+    {
+        ScopedTimer timer(h);
+        EXPECT_EQ(h.count(), 0u); // nothing until destruction
+    }
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsOnEveryExitPath)
+{
+    LatencyHistogram h;
+    // Early returns must record too — that is the whole point of
+    // RAII timing over hand-rolled stop() calls.
+    auto work = [&h](bool bail_early) {
+        ScopedTimer timer(h);
+        if (bail_early)
+            return 1;
+        return 2;
+    };
+    EXPECT_EQ(work(true), 1);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(work(false), 2);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ScopedTimerTest, StopRecordsExactlyOnce)
+{
+    LatencyHistogram h;
+    {
+        ScopedTimer timer(h);
+        timer.stop();
+        EXPECT_EQ(h.count(), 1u);
+        timer.stop(); // second stop is a no-op
+        EXPECT_EQ(h.count(), 1u);
+    } // destructor must not record again
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimerTest, DismissRecordsNothing)
+{
+    LatencyHistogram h;
+    {
+        ScopedTimer timer(h);
+        timer.dismiss();
+    }
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ScopedTimerTest, ElapsedIsMonotone)
+{
+    LatencyHistogram h;
+    ScopedTimer timer(h);
+    uint64_t first = timer.elapsedNs();
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+        sink = sink + i;
+    EXPECT_GE(timer.elapsedNs(), first);
+    timer.dismiss();
+}
+
+/** All decorator tests use a private registry: no global state. */
+class InstrumentedStoreTest : public ::testing::Test
+{
+  protected:
+    MetricsRegistry registry;
+    kv::MemStore inner;
+};
+
+TEST_F(InstrumentedStoreTest, CountsAndTimesEveryOp)
+{
+    // sample_shift 0: every op is timed, so counts are exact.
+    InstrumentedKVStore store(inner, registry, "", 0);
+    EXPECT_EQ(store.scope(), inner.name());
+    EXPECT_EQ(store.name(), "obs(" + inner.name() + ")");
+
+    ASSERT_TRUE(store.put("alpha", "12345678").isOk());
+    ASSERT_TRUE(store.put("beta", "x").isOk());
+    Bytes value;
+    ASSERT_TRUE(store.get("alpha", value).isOk());
+    EXPECT_EQ(value, "12345678");
+    EXPECT_TRUE(store.get("ghost", value).isNotFound());
+    ASSERT_TRUE(store.del("beta").isOk());
+    int visited = 0;
+    ASSERT_TRUE(store
+                    .scan(BytesView(), BytesView(),
+                          [&](BytesView, BytesView) {
+                              ++visited;
+                              return true;
+                          })
+                    .isOk());
+    EXPECT_EQ(visited, 1);
+    kv::WriteBatch batch;
+    batch.put("gamma", "yy");
+    ASSERT_TRUE(store.apply(batch).isOk());
+    ASSERT_TRUE(store.flush().isOk());
+
+    MetricsSnapshot snap = registry.snapshot();
+    const std::string scope = store.scope();
+    auto counter = [&](const std::string &leaf) {
+        const uint64_t *v =
+            snap.findCounter("op." + scope + "." + leaf);
+        return v ? *v : UINT64_MAX;
+    };
+    auto histCount = [&](const std::string &leaf) {
+        const HistogramSnapshot *h =
+            snap.findHistogram("op." + scope + "." + leaf);
+        return h ? h->count : UINT64_MAX;
+    };
+    EXPECT_EQ(counter("puts"), 2u);
+    EXPECT_EQ(counter("gets"), 2u);
+    EXPECT_EQ(counter("get_misses"), 1u);
+    EXPECT_EQ(counter("dels"), 1u);
+    EXPECT_EQ(counter("scans"), 1u);
+    EXPECT_EQ(counter("applies"), 1u);
+    EXPECT_EQ(counter("flushes"), 1u);
+    EXPECT_EQ(histCount("put_ns"), 2u);
+    EXPECT_EQ(histCount("get_ns"), 2u);
+    EXPECT_EQ(histCount("del_ns"), 1u);
+    EXPECT_EQ(histCount("scan_ns"), 1u);
+    EXPECT_EQ(histCount("apply_ns"), 1u);
+    EXPECT_EQ(histCount("flush_ns"), 1u);
+
+    // Byte-size histograms see payload sizes, not timings.
+    const HistogramSnapshot *put_bytes =
+        snap.findHistogram("op." + scope + ".put_bytes");
+    ASSERT_NE(put_bytes, nullptr);
+    EXPECT_EQ(put_bytes->count, 2u);
+    EXPECT_EQ(put_bytes->max,
+              std::string("alpha").size() +
+                  std::string("12345678").size());
+    const HistogramSnapshot *get_bytes =
+        snap.findHistogram("op." + scope + ".get_bytes");
+    ASSERT_NE(get_bytes, nullptr);
+    EXPECT_EQ(get_bytes->count, 1u); // misses record no bytes
+}
+
+TEST_F(InstrumentedStoreTest, SamplingThinsHistogramsNotCounters)
+{
+    // shift 2 = time 1 op in 4: with 8 puts the deterministic
+    // op sequence samples #0 and #4.
+    InstrumentedKVStore store(inner, registry, "sampled", 2);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(store.put("k" + std::to_string(i), "v").isOk());
+    Bytes value;
+    EXPECT_TRUE(store.get("missing", value).isNotFound());
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(*snap.findCounter("op.sampled.puts"), 8u);
+    EXPECT_EQ(snap.findHistogram("op.sampled.put_ns")->count, 2u);
+    EXPECT_EQ(snap.findHistogram("op.sampled.put_bytes")->count,
+              2u);
+    // Outcome counters stay exact on unsampled ops too.
+    EXPECT_EQ(*snap.findCounter("op.sampled.get_misses"), 1u);
+}
+
+TEST_F(InstrumentedStoreTest, ForwardsFaithfully)
+{
+    InstrumentedKVStore store(inner, registry, "custom");
+    EXPECT_EQ(store.scope(), "custom");
+    ASSERT_TRUE(store.put("k", "v").isOk());
+    // Data lands in the inner engine, stats are the inner's.
+    Bytes value;
+    EXPECT_TRUE(inner.get("k", value).isOk());
+    EXPECT_EQ(store.liveKeyCount(), 1u);
+    EXPECT_TRUE(store.contains("k"));
+    EXPECT_FALSE(store.contains("zz"));
+    EXPECT_EQ(&store.stats(), &inner.stats());
+}
+
+TEST(MetricsJsonTest, ExportIsValidJsonWithSchema)
+{
+    MetricsRegistry reg;
+    reg.counter("kv.ops").inc(12);
+    reg.gauge("kv.depth").set(-3);
+    for (uint64_t v = 1; v <= 500; ++v)
+        reg.histogram("op.mem.put_ns").record(v * 100);
+
+    std::string json = reg.toJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"ethkv.metrics.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"kv.ops\""), std::string::npos);
+    EXPECT_NE(json.find("\"op.mem.put_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsJsonTest, WriteMetricsJsonRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("c").inc(1);
+    std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        "ethkv_test_metrics.json";
+    ASSERT_TRUE(writeMetricsJson(reg, path.string()).isOk());
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_TRUE(JsonChecker(buf.str()).valid());
+    std::filesystem::remove(path);
+}
+
+TEST(MetricsFlagTest, ConsumesSeparateForm)
+{
+    const char *argv_init[] = {"prog", "--foo", "--metrics-out",
+                               "m.json", "--bar", nullptr};
+    char *argv[6];
+    for (int i = 0; i < 6; ++i)
+        argv[i] = const_cast<char *>(argv_init[i]);
+    int argc = 5;
+    EXPECT_EQ(consumeMetricsOutFlag(&argc, argv), "m.json");
+    EXPECT_EQ(argc, 3);
+    EXPECT_STREQ(argv[1], "--foo");
+    EXPECT_STREQ(argv[2], "--bar");
+    EXPECT_EQ(argv[3], nullptr);
+}
+
+TEST(MetricsFlagTest, ConsumesEqualsFormAndLeavesRestAlone)
+{
+    const char *argv_init[] = {"prog", "--metrics-out=x.json",
+                               "positional", nullptr};
+    char *argv[4];
+    for (int i = 0; i < 4; ++i)
+        argv[i] = const_cast<char *>(argv_init[i]);
+    int argc = 3;
+    EXPECT_EQ(consumeMetricsOutFlag(&argc, argv), "x.json");
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "positional");
+}
+
+TEST(MetricsFlagTest, NoFlagMeansEmptyPath)
+{
+    unsetenv("ETHKV_METRICS_OUT");
+    const char *argv_init[] = {"prog", "arg", nullptr};
+    char *argv[3];
+    for (int i = 0; i < 3; ++i)
+        argv[i] = const_cast<char *>(argv_init[i]);
+    int argc = 2;
+    EXPECT_EQ(consumeMetricsOutFlag(&argc, argv), "");
+    EXPECT_EQ(argc, 2);
+}
+
+TEST(TraceEventLogTest, SpansRenderAsValidChromeTrace)
+{
+    TraceEventLog log;
+    log.addSpan("download", "pipeline", 10, 25);
+    log.addSpan("commit", "pipeline", 40, 5, /*arg=*/1234);
+    EXPECT_EQ(log.size(), 2u);
+    std::string json = log.toJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"download\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("1234"), std::string::npos);
+}
+
+TEST(TraceEventLogTest, ScopedSpanAppendsOnDestruction)
+{
+    TraceEventLog log;
+    {
+        ScopedSpan span(&log, "verify");
+        span.setArg(7);
+        EXPECT_EQ(log.size(), 0u);
+    }
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_NE(log.toJson().find("\"verify\""), std::string::npos);
+}
+
+TEST(TraceEventLogTest, NullLogIsNoOp)
+{
+    ScopedSpan span(nullptr, "ignored");
+    span.setArg(1); // must not crash
+}
+
+} // namespace
+} // namespace ethkv::obs
