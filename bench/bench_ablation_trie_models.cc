@@ -95,11 +95,13 @@ runModel(trie::TrieStorageMode mode, uint64_t rounds,
     }
 
     uint64_t bytes = 0;
-    backend.store.scan(BytesView(), BytesView(),
-                       [&](BytesView k, BytesView v) {
-                           bytes += k.size() + v.size();
-                           return true;
-                       });
+    backend.store
+        .scan(BytesView(), BytesView(),
+              [&](BytesView k, BytesView v) {
+                  bytes += k.size() + v.size();
+                  return true;
+              })
+        .expectOk("size scan");
     const kv::IOStats &stats = backend.store.stats();
     return {backend.store.liveKeyCount(), bytes,
             stats.user_writes, stats.user_deletes,

@@ -324,10 +324,28 @@ synthesizeKey(uint16_t class_id, uint64_t key_id,
         return Bytes(client::uncleanShutdownKey());
       case KVClass::TrieJournal:
         return Bytes(client::trieJournalKey());
-      default: break;
+      // Everything else gets a synthesized key below.
+      case KVClass::TrieNodeStorage:
+      case KVClass::TrieNodeAccount:
+      case KVClass::SnapshotStorage:
+      case KVClass::SnapshotAccount:
+      case KVClass::TxLookup:
+      case KVClass::HeaderNumber:
+      case KVClass::BloomBits:
+      case KVClass::BloomBitsIndex:
+      case KVClass::Code:
+      case KVClass::SkeletonHeader:
+      case KVClass::BlockHeader:
+      case KVClass::BlockReceipts:
+      case KVClass::BlockBody:
+      case KVClass::StateID:
+      case KVClass::EthereumGenesis:
+      case KVClass::EthereumConfig:
+      case KVClass::Unknown:
+        break;
     }
 
-    const char *prefix;
+    const char *prefix = "?";
     switch (cls) {
       case KVClass::BlockHeader: prefix = "h"; break;
       case KVClass::BlockBody: prefix = "b"; break;
@@ -349,7 +367,24 @@ synthesizeKey(uint16_t class_id, uint64_t key_id,
       case KVClass::EthereumGenesis:
         prefix = "ethereum-genesis-";
         break;
-      default: prefix = "?"; break;
+      // Singletons returned above; unreachable here, but every
+      // enumerator must pick a branch (lint-enforced).
+      case KVClass::SnapshotJournal:
+      case KVClass::SnapshotGenerator:
+      case KVClass::SnapshotRecovery:
+      case KVClass::SnapshotRoot:
+      case KVClass::SkeletonSyncStatus:
+      case KVClass::TransactionIndexTail:
+      case KVClass::UncleanShutdown:
+      case KVClass::TrieJournal:
+      case KVClass::DatabaseVersion:
+      case KVClass::LastStateID:
+      case KVClass::LastBlock:
+      case KVClass::LastHeader:
+      case KVClass::LastFast:
+      case KVClass::Unknown:
+        prefix = "?";
+        break;
     }
 
     // Body bytes derive from a hash stream over the key id so that

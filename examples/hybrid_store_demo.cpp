@@ -78,9 +78,10 @@ main(int argc, char **argv)
             // Rare reads promote a handful of hot keys into the
             // lazy log's exact index.
             Bytes value;
-            for (const Bytes &path : hot_paths)
-                store.get(client::trieNodeAccountKey(path),
-                          value);
+            for (const Bytes &path : hot_paths) {
+                store.get(client::trieNodeAccountKey(path), value)
+                    .expectOk("hot read");
+            }
         }
 
         // The canonical-chain scan the chain indexer performs.

@@ -47,15 +47,19 @@ driveEngine(kv::KVStore &store, uint64_t ops)
                 .expectOk("put");
         } else if (dice < 8) {
             Bytes value;
-            store.get(key, value); // hit or miss, both measured
+            ETHKV_IGNORE_STATUS(
+                store.get(key, value),
+                "hit or miss, both outcomes are measured work");
         } else if (dice < 9) {
             store.del(key).expectOk("del");
         } else {
             int visited = 0;
-            store.scan(key, BytesView(),
-                       [&](BytesView, BytesView) {
-                           return ++visited < 20;
-                       });
+            store
+                .scan(key, BytesView(),
+                      [&](BytesView, BytesView) {
+                          return ++visited < 20;
+                      })
+                .expectOk("scan");
         }
     }
 }

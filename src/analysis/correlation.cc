@@ -28,8 +28,25 @@ classAbbrev(client::KVClass cls)
       case client::KVClass::TxLookup: return "TL";
       case client::KVClass::StateID: return "SI";
       case client::KVClass::SkeletonHeader: return "SK";
-      default: return client::kvClassName(cls);
+      // Rare metadata classes never dominate a correlation plot;
+      // their full names stay readable and unambiguous.
+      case client::KVClass::BloomBits:
+      case client::KVClass::BloomBitsIndex:
+      case client::KVClass::EthereumGenesis:
+      case client::KVClass::EthereumConfig:
+      case client::KVClass::SnapshotJournal:
+      case client::KVClass::SnapshotGenerator:
+      case client::KVClass::SnapshotRecovery:
+      case client::KVClass::SnapshotRoot:
+      case client::KVClass::SkeletonSyncStatus:
+      case client::KVClass::TransactionIndexTail:
+      case client::KVClass::UncleanShutdown:
+      case client::KVClass::TrieJournal:
+      case client::KVClass::DatabaseVersion:
+      case client::KVClass::Unknown:
+        return client::kvClassName(cls);
     }
+    return client::kvClassName(cls);
 }
 
 std::string

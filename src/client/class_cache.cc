@@ -60,9 +60,33 @@ CachingKVStore::groupOf(KVClass cls)
       case KVClass::BlockReceipts:
       case KVClass::HeaderNumber:
         return GroupBlockData;
-      default:
+      // Index, metadata, and singleton classes share one small
+      // "other" partition; listed explicitly so adding a class
+      // forces a caching decision here (lint enforces this).
+      case KVClass::TxLookup:
+      case KVClass::BloomBits:
+      case KVClass::BloomBitsIndex:
+      case KVClass::SkeletonHeader:
+      case KVClass::StateID:
+      case KVClass::EthereumGenesis:
+      case KVClass::EthereumConfig:
+      case KVClass::SnapshotJournal:
+      case KVClass::SnapshotGenerator:
+      case KVClass::SnapshotRecovery:
+      case KVClass::SnapshotRoot:
+      case KVClass::SkeletonSyncStatus:
+      case KVClass::TransactionIndexTail:
+      case KVClass::UncleanShutdown:
+      case KVClass::TrieJournal:
+      case KVClass::DatabaseVersion:
+      case KVClass::LastStateID:
+      case KVClass::LastBlock:
+      case KVClass::LastHeader:
+      case KVClass::LastFast:
+      case KVClass::Unknown:
         return GroupOther;
     }
+    return GroupOther;
 }
 
 bool

@@ -164,6 +164,72 @@ Freezer::read(FreezerTable table, uint64_t number, Bytes &out)
     return Status::ok();
 }
 
+Status
+Freezer::checkInvariants()
+{
+    auto corrupt = [](const std::string &table,
+                      const std::string &what) {
+        return Status::corruption("freezer invariant (" + table +
+                                  "): " + what);
+    };
+
+    uint64_t shortest = UINT64_MAX;
+    for (int i = 0; i < num_freezer_tables; ++i) {
+        Table &t = tables_[i];
+        const std::string name = table_names[i];
+        if (!t.data)
+            return corrupt(name, "table file not open");
+
+        // Records are back-to-back: each item's payload starts 4
+        // bytes (the length prefix) after the previous item ends.
+        uint64_t expected_offset = 4;
+        for (size_t item = 0; item < t.index.size(); ++item) {
+            auto [offset, len] = t.index[item];
+            if (offset != expected_offset) {
+                return corrupt(
+                    name, "item " + std::to_string(item) +
+                              " offset " + std::to_string(offset) +
+                              " breaks contiguity (expected " +
+                              std::to_string(expected_offset) +
+                              ")");
+            }
+            expected_offset = offset + len + 4;
+        }
+        uint64_t expected_tail =
+            t.index.empty()
+                ? 0
+                : t.index.back().first + t.index.back().second;
+        if (t.tail_offset != expected_tail)
+            return corrupt(name, "tail offset disagrees with index");
+
+        // The data file must end exactly at the tail (no torn or
+        // foreign bytes after the last intact record).
+        if (std::fflush(t.data) != 0)
+            return corrupt(name, "flush failed");
+        std::string data_path =
+            dir_ + "/" + std::string(table_names[i]) + ".dat";
+        std::error_code ec;
+        uint64_t disk_size =
+            std::filesystem::file_size(data_path, ec);
+        if (ec)
+            return corrupt(name, "data file unreadable");
+        if (disk_size != t.tail_offset) {
+            return corrupt(
+                name, "on-disk size " + std::to_string(disk_size) +
+                          " != indexed tail " +
+                          std::to_string(t.tail_offset));
+        }
+        shortest =
+            std::min<uint64_t>(shortest, t.index.size());
+    }
+    if (frozen_count_ != shortest)
+        return Status::corruption(
+            "freezer invariant: frozen count " +
+            std::to_string(frozen_count_) +
+            " != shortest table " + std::to_string(shortest));
+    return Status::ok();
+}
+
 uint64_t
 Freezer::totalBytes() const
 {

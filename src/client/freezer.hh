@@ -73,6 +73,20 @@ class Freezer
     /** Total bytes across all table files. */
     uint64_t totalBytes() const;
 
+    /**
+     * Verify block-contiguity invariants.
+     *
+     * Every table's index must describe back-to-back
+     * length-prefixed records starting at offset 0, the tail
+     * offset must equal the on-disk file size, and frozenCount()
+     * must equal the shortest table. Flushes table handles to
+     * compare against the filesystem, hence non-const.
+     *
+     * @return Ok, or Corruption naming the first violated
+     *         invariant.
+     */
+    Status checkInvariants();
+
   private:
     struct Table
     {

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Debug-build invariant checks (the DCHECK family).
+ *
+ * ETHKV_DCHECK(cond) panics when `cond` is false; the comparison
+ * forms (ETHKV_DCHECK_EQ and friends) additionally print both
+ * operand values. Checks compile in when NDEBUG is unset (Debug
+ * builds) or when ETHKV_FORCE_DCHECK is defined (the test suite
+ * forces them on so invariant violations fail ctest even in the
+ * default RelWithDebInfo tier-1 configuration); otherwise they
+ * compile to nothing — the condition is type-checked via sizeof
+ * but never evaluated, so hot paths pay zero cost.
+ *
+ * Use DCHECKs for internal invariants whose failure means a bug in
+ * ethkv itself. Expected, recoverable failures return Status
+ * instead (see common/status.hh); unconditional invariants that
+ * must hold even in release builds call panic() directly.
+ */
+
+#ifndef ETHKV_COMMON_DCHECK_HH
+#define ETHKV_COMMON_DCHECK_HH
+
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+
+#if !defined(NDEBUG) || defined(ETHKV_FORCE_DCHECK)
+#define ETHKV_DCHECK_ENABLED 1
+#else
+#define ETHKV_DCHECK_ENABLED 0
+#endif
+
+namespace ethkv::detail
+{
+
+/** Render a DCHECK operand; falls back to "<?>" for types without
+ *  an ostream inserter (detected via requires-expression). */
+template <typename T>
+std::string
+dcheckRepr(const T &v)
+{
+    if constexpr (requires(std::ostringstream &os) { os << v; }) {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    } else {
+        return "<?>";
+    }
+}
+
+[[noreturn]] inline void
+dcheckFail(const char *expr, const char *file, int line,
+           const std::string &detail)
+{
+    panic("DCHECK failed: %s at %s:%d%s%s", expr, file, line,
+          detail.empty() ? "" : " ", detail.c_str());
+}
+
+} // namespace ethkv::detail
+
+#if ETHKV_DCHECK_ENABLED
+
+#define ETHKV_DCHECK(cond)                                          \
+    do {                                                            \
+        if (!(cond)) {                                              \
+            ::ethkv::detail::dcheckFail(#cond, __FILE__, __LINE__,  \
+                                        std::string());             \
+        }                                                           \
+    } while (0)
+
+#define ETHKV_DCHECK_OP(op, a, b)                                   \
+    do {                                                            \
+        auto &&ethkv_dcheck_a = (a);                                \
+        auto &&ethkv_dcheck_b = (b);                                \
+        if (!(ethkv_dcheck_a op ethkv_dcheck_b)) {                  \
+            ::ethkv::detail::dcheckFail(                            \
+                #a " " #op " " #b, __FILE__, __LINE__,              \
+                "(" +                                               \
+                    ::ethkv::detail::dcheckRepr(ethkv_dcheck_a) +   \
+                    " vs " +                                        \
+                    ::ethkv::detail::dcheckRepr(ethkv_dcheck_b) +   \
+                    ")");                                           \
+        }                                                           \
+    } while (0)
+
+#else // !ETHKV_DCHECK_ENABLED
+
+// Type-check but never evaluate (and fold away entirely).
+#define ETHKV_DCHECK(cond) \
+    static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define ETHKV_DCHECK_OP(op, a, b) \
+    static_cast<void>(sizeof(static_cast<bool>((a) op (b))))
+
+#endif // ETHKV_DCHECK_ENABLED
+
+#define ETHKV_DCHECK_EQ(a, b) ETHKV_DCHECK_OP(==, a, b)
+#define ETHKV_DCHECK_NE(a, b) ETHKV_DCHECK_OP(!=, a, b)
+#define ETHKV_DCHECK_LT(a, b) ETHKV_DCHECK_OP(<, a, b)
+#define ETHKV_DCHECK_LE(a, b) ETHKV_DCHECK_OP(<=, a, b)
+#define ETHKV_DCHECK_GT(a, b) ETHKV_DCHECK_OP(>, a, b)
+#define ETHKV_DCHECK_GE(a, b) ETHKV_DCHECK_OP(>=, a, b)
+
+#endif // ETHKV_COMMON_DCHECK_HH

@@ -34,7 +34,9 @@ constexpr int pi_lanes[24] = {
 inline uint64_t
 rotl64(uint64_t x, int n)
 {
-    return (x << n) | (x >> (64 - n));
+    // Masking keeps the right shift below 64 even for n == 0
+    // (shift-width UB); compilers still emit a single rotate.
+    return (x << n) | (x >> ((64 - n) & 63));
 }
 
 void
@@ -103,9 +105,12 @@ keccak256(BytesView data)
     }
 
     // Final block with original-Keccak padding (0x01 ... 0x80).
+    // Empty input has a null data() — memcpy's pointers must be
+    // valid even for zero sizes (UBSan: nonnull-attribute).
     uint8_t block[rate];
     std::memset(block, 0, rate);
-    std::memcpy(block, p, remaining);
+    if (remaining > 0)
+        std::memcpy(block, p, remaining);
     block[remaining] = 0x01;
     block[rate - 1] |= 0x80;
     for (size_t i = 0; i < rate / 8; ++i) {

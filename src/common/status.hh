@@ -51,8 +51,14 @@ statusCodeName(StatusCode code)
  *
  * A default-constructed Status is Ok. Failure states carry a code and
  * an optional message describing the context.
+ *
+ * The class is [[nodiscard]]: any call that returns a Status by
+ * value and drops it is a compile error (the build adds
+ * -Werror=unused-result). Handle it, propagate it, or — when
+ * dropping is genuinely correct — annotate the site with
+ * ETHKV_IGNORE_STATUS and a reason.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     Status() : code_(StatusCode::Ok) {}
@@ -127,9 +133,11 @@ class Status
  * A value or a non-Ok Status.
  *
  * Result<T> keeps call sites simple: check ok(), then use value().
+ * Like Status it is [[nodiscard]]: a dropped Result is a dropped
+ * error.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /* implicit */ Result(T value)
@@ -179,5 +187,28 @@ class Result
 };
 
 } // namespace ethkv
+
+/**
+ * Deliberately drop a Status/Result, with a reason.
+ *
+ * The [[nodiscard]] sweep makes silently dropped statuses a compile
+ * error; the rare sites where dropping is correct (best-effort
+ * cleanup in destructors, double-reported errors) wrap the call:
+ *
+ *   ETHKV_IGNORE_STATUS(wal_->sync(),
+ *                       "best-effort durability in dtor");
+ *
+ * The reason must be a non-empty string literal — it is the
+ * documentation reviewers and the lint pass read — and the
+ * expression is still evaluated exactly once.
+ */
+#define ETHKV_IGNORE_STATUS(expr, reason)                           \
+    do {                                                            \
+        static_assert(sizeof(reason) > 1,                           \
+                      "ETHKV_IGNORE_STATUS needs a non-empty "      \
+                      "string-literal reason");                     \
+        auto ethkv_ignored_status = (expr);                         \
+        static_cast<void>(ethkv_ignored_status);                    \
+    } while (0)
 
 #endif // ETHKV_COMMON_STATUS_HH

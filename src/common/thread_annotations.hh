@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros.
+ *
+ * These wrap clang's `-Wthread-safety` attributes so shared state
+ * can declare its locking protocol in the type system: a member
+ * annotated GUARDED_BY(mu) may only be touched with `mu` held, a
+ * function annotated REQUIRES(mu) may only be called with `mu`
+ * held, and the analysis verifies both at compile time. Under gcc
+ * (which has no such analysis) every macro expands to nothing, so
+ * annotated code builds identically everywhere.
+ *
+ * The vocabulary and spelling follow the clang documentation and
+ * Abseil's thread_annotations.h; see src/common/mutex.hh for the
+ * annotated Mutex/MutexLock wrappers these attach to.
+ */
+
+#ifndef ETHKV_COMMON_THREAD_ANNOTATIONS_HH
+#define ETHKV_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ETHKV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ETHKV_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+//! Data member readable/writable only with the given lock held.
+#define GUARDED_BY(x) ETHKV_THREAD_ANNOTATION(guarded_by(x))
+
+//! Pointer member whose pointee is protected by the given lock.
+#define PT_GUARDED_BY(x) ETHKV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+//! Function callable only with the given lock(s) already held.
+#define REQUIRES(...) \
+    ETHKV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+//! Function callable only with the given lock(s) NOT held.
+#define EXCLUDES(...) \
+    ETHKV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+//! Function that acquires the given lock(s) and returns holding them.
+#define ACQUIRE(...) \
+    ETHKV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+//! Function that releases the given lock(s).
+#define RELEASE(...) \
+    ETHKV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+//! Function that acquires the lock when returning `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+    ETHKV_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+//! Class that models a lockable resource (mutexes).
+#define CAPABILITY(name) ETHKV_THREAD_ANNOTATION(capability(name))
+
+//! RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY ETHKV_THREAD_ANNOTATION(scoped_lockable)
+
+//! Function that returns the capability protecting its result.
+#define RETURN_CAPABILITY(x) \
+    ETHKV_THREAD_ANNOTATION(lock_returned(x))
+
+//! Escape hatch: suppress the analysis inside one function.
+#define NO_THREAD_SAFETY_ANALYSIS \
+    ETHKV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // ETHKV_COMMON_THREAD_ANNOTATIONS_HH

@@ -17,7 +17,9 @@ constexpr uint64_t prime5 = 0x27d4eb2f165667c5ULL;
 inline uint64_t
 rotl64(uint64_t x, int n)
 {
-    return (x << n) | (x >> (64 - n));
+    // Masking keeps the right shift below 64 even for n == 0
+    // (shift-width UB); compilers still emit a single rotate.
+    return (x << n) | (x >> ((64 - n) & 63));
 }
 
 inline uint64_t
@@ -87,12 +89,16 @@ xxhash64(BytesView data, uint64_t seed)
 
     h += data.size();
 
-    while (p + 8 <= end) {
+    // Tail loops compare remaining byte counts (end - p) rather
+    // than advancing p past end: empty input has p == end ==
+    // nullptr, and `nullptr + 8` is UB (UBSan: pointer-overflow)
+    // even when the comparison would reject it.
+    while (end - p >= 8) {
         h ^= round(0, read64(p));
         h = rotl64(h, 27) * prime1 + prime4;
         p += 8;
     }
-    if (p + 4 <= end) {
+    if (end - p >= 4) {
         h ^= static_cast<uint64_t>(read32(p)) * prime1;
         h = rotl64(h, 23) * prime2 + prime3;
         p += 4;

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include <set>
+
+#include "common/dcheck.hh"
 #include "common/logging.hh"
 #include "kvstore/internal_iterator.hh"
 #include "obs/scoped_timer.hh"
@@ -23,8 +26,12 @@ LSMStore::LSMStore(LSMOptions options)
 LSMStore::~LSMStore()
 {
     // Best effort: make buffered writes durable on clean shutdown.
-    if (wal_)
-        wal_->sync();
+    if (wal_) {
+        ETHKV_IGNORE_STATUS(wal_->sync(),
+                            "best-effort durability in dtor; a "
+                            "failed sync is re-covered by WAL "
+                            "replay on reopen");
+    }
 }
 
 std::string
@@ -363,6 +370,7 @@ LSMStore::flushMemtable()
     // Keep newest-first order at L0.
     std::rotate(levels_[0].begin(), levels_[0].end() - 1,
                 levels_[0].end());
+    ETHKV_DCHECK_EQ(levels_[0].front().file_no, file_no);
 
     memtable_ = std::make_unique<MemTable>();
     s = persistManifest();
@@ -611,6 +619,15 @@ LSMStore::mergeTables(
                   return x.reader->props().smallest_key <
                          y.reader->props().smallest_key;
               });
+#if ETHKV_DCHECK_ENABLED
+    // The freshly installed run must be non-overlapping.
+    for (size_t i = 1; i < levels_[target_level].size(); ++i) {
+        ETHKV_DCHECK(
+            levels_[target_level][i - 1].reader->props()
+                .largest_key <
+            levels_[target_level][i].reader->props().smallest_key);
+    }
+#endif
 
     return persistManifest();
 }
@@ -638,6 +655,102 @@ LSMStore::compactAll()
             deeper_empty = deeper_empty && levels_[d].empty();
         if (deeper_empty)
             break;
+    }
+    return Status::ok();
+}
+
+Status
+LSMStore::checkInvariants() const
+{
+    auto corrupt = [](const std::string &what) {
+        return Status::corruption("lsm invariant: " + what);
+    };
+
+    if (levels_.size() != static_cast<size_t>(max_levels))
+        return corrupt("level vector has wrong arity");
+
+    // Per-table sanity + global file-number uniqueness.
+    std::set<uint64_t> file_nos;
+    for (int level = 0; level < max_levels; ++level) {
+        for (const TableHandle &t : levels_[level]) {
+            const SSTableProps &p = t.reader->props();
+            if (p.smallest_key > p.largest_key) {
+                return corrupt("table " +
+                               std::to_string(t.file_no) +
+                               " has smallest_key > largest_key");
+            }
+            if (t.file_no >= next_file_no_) {
+                return corrupt("table " +
+                               std::to_string(t.file_no) +
+                               " not below next_file_no");
+            }
+            if (!file_nos.insert(t.file_no).second) {
+                return corrupt("duplicate file number " +
+                               std::to_string(t.file_no));
+            }
+        }
+    }
+
+    // L0 may overlap but is searched newest-first; deeper levels
+    // are a single sorted, non-overlapping run each.
+    for (size_t i = 1; i < levels_[0].size(); ++i) {
+        if (levels_[0][i - 1].file_no <= levels_[0][i].file_no)
+            return corrupt("L0 not ordered newest-first");
+    }
+    for (int level = 1; level < max_levels; ++level) {
+        const auto &files = levels_[level];
+        for (size_t i = 1; i < files.size(); ++i) {
+            const SSTableProps &prev =
+                files[i - 1].reader->props();
+            const SSTableProps &cur = files[i].reader->props();
+            if (prev.smallest_key > cur.smallest_key) {
+                return corrupt("L" + std::to_string(level) +
+                               " not sorted by smallest key");
+            }
+            if (prev.largest_key >= cur.smallest_key) {
+                return corrupt("L" + std::to_string(level) +
+                               " has overlapping key ranges");
+            }
+        }
+    }
+
+    // The on-disk MANIFEST must describe exactly the in-memory
+    // table set (it is rewritten on every flush/compaction).
+    std::set<std::pair<uint64_t, uint64_t>> manifest_files;
+    uint64_t manifest_next = 0, manifest_seq = 0;
+    std::FILE *mf = std::fopen(manifestPath().c_str(), "r");
+    const bool have_manifest = mf != nullptr;
+    if (mf) {
+        char line[128];
+        while (std::fgets(line, sizeof(line), mf)) {
+            uint64_t a, b;
+            if (std::sscanf(line, "next_file %" SCNu64, &a) == 1)
+                manifest_next = a;
+            else if (std::sscanf(line, "seq %" SCNu64, &a) == 1)
+                manifest_seq = a;
+            else if (std::sscanf(line, "file %" SCNu64 " %" SCNu64,
+                                 &a, &b) == 2)
+                manifest_files.insert({a, b});
+        }
+        std::fclose(mf);
+    }
+    std::set<std::pair<uint64_t, uint64_t>> live_files;
+    for (int level = 0; level < max_levels; ++level)
+        for (const TableHandle &t : levels_[level])
+            live_files.insert(
+                {static_cast<uint64_t>(level), t.file_no});
+    if (!have_manifest && !live_files.empty())
+        return corrupt("tables open but MANIFEST missing");
+    if (have_manifest) {
+        if (manifest_files != live_files)
+            return corrupt(
+                "MANIFEST table set disagrees with memory");
+        if (manifest_next > next_file_no_)
+            return corrupt("MANIFEST next_file ahead of memory");
+        // Writes since the last flush live in the WAL, so the
+        // manifest may lag seq_ but never lead it.
+        if (manifest_seq > seq_)
+            return corrupt("MANIFEST seq ahead of memory");
     }
     return Status::ok();
 }

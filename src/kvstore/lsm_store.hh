@@ -66,6 +66,21 @@ class LSMStore : public KVStore
     /** Force-compact everything down to the last populated level. */
     Status compactAll();
 
+    /**
+     * Verify the store's structural invariants.
+     *
+     * Checks the level shape (per-table key-range sanity, L1+
+     * sorted and non-overlapping, file numbers unique and below
+     * next_file_no_) and that the on-disk MANIFEST agrees with the
+     * in-memory table set. Debug builds additionally DCHECK these
+     * along the write path; tests call this directly after
+     * mutations and corruption injections.
+     *
+     * @return Ok, or Corruption naming the first violated
+     *         invariant.
+     */
+    Status checkInvariants() const;
+
     /** Number of SSTables per level (diagnostics and tests). */
     std::vector<size_t> levelFileCounts() const;
 

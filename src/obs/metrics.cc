@@ -338,7 +338,7 @@ MetricsSnapshot::printTable(std::FILE *out) const
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto &[name, counter] : counters_)
@@ -367,7 +367,7 @@ MetricsRegistry::printTable(std::FILE *out) const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &[name, counter] : counters_)
         counter->reset();
     for (auto &[name, gauge] : gauges_)

@@ -27,10 +27,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/status.hh"
 
 namespace ethkv::obs
@@ -272,9 +272,9 @@ class MetricsRegistry
 {
   public:
     Counter &
-    counter(const std::string &name)
+    counter(const std::string &name) EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &slot = counters_[name];
         if (!slot)
             slot = std::make_unique<Counter>();
@@ -282,9 +282,9 @@ class MetricsRegistry
     }
 
     Gauge &
-    gauge(const std::string &name)
+    gauge(const std::string &name) EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &slot = gauges_[name];
         if (!slot)
             slot = std::make_unique<Gauge>();
@@ -292,9 +292,9 @@ class MetricsRegistry
     }
 
     LatencyHistogram &
-    histogram(const std::string &name)
+    histogram(const std::string &name) EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &slot = histograms_[name];
         if (!slot)
             slot = std::make_unique<LatencyHistogram>();
@@ -309,19 +309,24 @@ class MetricsRegistry
         return registry;
     }
 
-    MetricsSnapshot snapshot() const;
+    MetricsSnapshot snapshot() const EXCLUDES(mutex_);
     std::string toJson() const;
     void printTable(std::FILE *out = nullptr) const;
 
     /** Zero every instrument (A/B bench phases, test isolation). */
-    void reset();
+    void reset() EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    // The mutex guards the name->instrument maps only; the
+    // instruments themselves are internally atomic, so returned
+    // references are used lock-free.
+    mutable Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<LatencyHistogram>>
-        histograms_;
+        histograms_ GUARDED_BY(mutex_);
 };
 
 /** Write a registry snapshot as JSON to `path`. */

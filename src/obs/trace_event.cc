@@ -21,7 +21,7 @@ TraceEventLog::addSpan(const std::string &name,
                        const std::string &category,
                        uint64_t start_us, uint64_t duration_us)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     spans_.push_back(
         {name, category, start_us, duration_us, 0, false});
 }
@@ -32,7 +32,7 @@ TraceEventLog::addSpan(const std::string &name,
                        uint64_t start_us, uint64_t duration_us,
                        uint64_t arg_value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     spans_.push_back(
         {name, category, start_us, duration_us, arg_value, true});
 }
@@ -40,14 +40,14 @@ TraceEventLog::addSpan(const std::string &name,
 size_t
 TraceEventLog::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return spans_.size();
 }
 
 std::string
 TraceEventLog::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::string out = "[";
     char buf[256];
     for (size_t i = 0; i < spans_.size(); ++i) {

@@ -12,10 +12,10 @@
 #define ETHKV_OBS_TRACE_EVENT_HH
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/status.hh"
 
 namespace ethkv::obs
@@ -44,25 +44,26 @@ class TraceEventLog
 
     void addSpan(const std::string &name,
                  const std::string &category, uint64_t start_us,
-                 uint64_t duration_us);
+                 uint64_t duration_us) EXCLUDES(mutex_);
 
     /** Span with one numeric argument (e.g. the block number). */
     void addSpan(const std::string &name,
                  const std::string &category, uint64_t start_us,
-                 uint64_t duration_us, uint64_t arg_value);
+                 uint64_t duration_us, uint64_t arg_value)
+        EXCLUDES(mutex_);
 
-    size_t size() const;
+    size_t size() const EXCLUDES(mutex_);
 
     /** Render the Chrome trace JSON array format. */
-    std::string toJson() const;
+    std::string toJson() const EXCLUDES(mutex_);
 
     /** Write toJson() to a file. */
     Status writeTo(const std::string &path) const;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<Span> spans_;
-    uint64_t epoch_ns_;
+    mutable Mutex mutex_;
+    std::vector<Span> spans_ GUARDED_BY(mutex_);
+    uint64_t epoch_ns_; //!< Immutable after construction.
 };
 
 /**

@@ -793,4 +793,216 @@ MerklePatriciaTrie::loadedNodeCount() const
     return countLoaded(root_.get());
 }
 
+namespace
+{
+
+Status
+trieCorruption(const std::string &what)
+{
+    return Status::corruption("trie invariant: " + what);
+}
+
+} // namespace
+
+Status
+MerklePatriciaTrie::checkLoadedNode(const Node &n) const
+{
+    switch (n.kind) {
+      case Node::Leaf:
+        if (n.value.empty())
+            return trieCorruption("leaf with empty value");
+        return Status::ok();
+
+      case Node::Ext:
+      case Node::Branch:
+        break;
+
+      default:
+        return trieCorruption("unknown node kind");
+    }
+
+    auto checkSlot = [&](const Node::ChildSlot &c) -> Status {
+        if (!c.present) {
+            if (c.node || !c.ref.empty()) {
+                return trieCorruption(
+                    "absent child slot holds a node or ref");
+            }
+            return Status::ok();
+        }
+        if (!c.node && c.ref.empty())
+            return trieCorruption("unresolvable child: no node "
+                                  "loaded and no reference");
+        if (c.node) {
+            if (c.node->dirty && !c.ref.empty()) {
+                return trieCorruption(
+                    "dirty child still carries a stale reference");
+            }
+            if (c.node->dirty && !n.dirty) {
+                return trieCorruption(
+                    "dirty child under a clean parent");
+            }
+            return checkLoadedNode(*c.node);
+        }
+        return Status::ok();
+    };
+
+    if (n.kind == Node::Ext) {
+        if (n.path.empty())
+            return trieCorruption("extension with empty path");
+        if (!n.child.present)
+            return trieCorruption("extension without child");
+        return checkSlot(n.child);
+    }
+
+    // Branch: must justify its existence (normalize() collapses
+    // thinner shapes into leaves or extensions).
+    int child_count = 0;
+    for (const auto &c : n.children)
+        child_count += c.present ? 1 : 0;
+    if (child_count < 1 ||
+        (child_count == 1 && n.value.empty())) {
+        return trieCorruption("non-canonical branch (occupancy " +
+                              std::to_string(child_count) + ")");
+    }
+    for (const auto &c : n.children) {
+        Status s = checkSlot(c);
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+Status
+MerklePatriciaTrie::checkPersistedNode(Bytes &path,
+                                       BytesView encoding,
+                                       int depth)
+{
+    // 64 nibbles of hashed key + a terminator of slack.
+    if (depth > 65)
+        return trieCorruption("persisted depth exceeds key width");
+
+    std::unique_ptr<Node> node;
+    Status s = decodeNode(encoding, node);
+    if (!s.isOk())
+        return s;
+
+    auto checkChild = [&](const Bytes &ref,
+                          uint8_t nibble_or_ext) -> Status {
+        size_t base = path.size();
+        if (node->kind == Node::Ext)
+            path += node->path;
+        else
+            path.push_back(static_cast<char>(nibble_or_ext));
+
+        Bytes child_enc;
+        bool hash_ref =
+            ref.size() == 33 &&
+            static_cast<uint8_t>(ref[0]) == 0xa0;
+        if (mode_ == TrieStorageMode::PathBased) {
+            const std::string child_hex = toHex(path);
+            Status rs = backend_.read(path, child_enc);
+            if (rs.isNotFound()) {
+                path.resize(base);
+                return trieCorruption(
+                    "missing child node at path " + child_hex);
+            }
+            if (!rs.isOk()) {
+                path.resize(base);
+                return rs;
+            }
+            // Path-key consistency: the node stored at this path
+            // must be exactly the node the parent references.
+            if (childReference(child_enc) != ref) {
+                path.resize(base);
+                return trieCorruption(
+                    "child at path " + child_hex +
+                    " does not match its parent's reference");
+            }
+        } else if (hash_ref) {
+            Status rs = backend_.read(ref.substr(1), child_enc);
+            if (rs.isNotFound()) {
+                path.resize(base);
+                return trieCorruption("missing hash-keyed child");
+            }
+            if (!rs.isOk()) {
+                path.resize(base);
+                return rs;
+            }
+            if (BytesView(keccak256Bytes(child_enc)) !=
+                BytesView(ref).substr(1)) {
+                path.resize(base);
+                return trieCorruption(
+                    "hash-keyed child does not hash to its key");
+            }
+        } else {
+            // Inline child: the reference is the encoding.
+            child_enc = ref;
+        }
+
+        Status cs = checkPersistedNode(path, child_enc, depth + 1);
+        path.resize(base);
+        return cs;
+    };
+
+    if (node->kind == Node::Ext)
+        return checkChild(node->child.ref, 0);
+    if (node->kind == Node::Branch) {
+        for (int i = 0; i < 16; ++i) {
+            if (!node->children[i].present)
+                continue;
+            Status cs = checkChild(node->children[i].ref,
+                                   static_cast<uint8_t>(i));
+            if (!cs.isOk())
+                return cs;
+        }
+    }
+    return Status::ok();
+}
+
+Status
+MerklePatriciaTrie::checkInvariants()
+{
+    if (root_) {
+        Status s = checkLoadedNode(*root_);
+        if (!s.isOk())
+            return s;
+    }
+
+    // The persisted structure only matches once every mutation has
+    // been committed; until then the in-memory pass is the whole
+    // check.
+    if (dirty_ || !pending_deletes_.empty())
+        return Status::ok();
+
+    Bytes root_enc;
+    Status s;
+    if (mode_ == TrieStorageMode::HashBased) {
+        if (root_hash_ == eth::emptyTrieRoot())
+            return Status::ok();
+        s = backend_.read(root_hash_.view(), root_enc);
+        if (s.isNotFound())
+            return trieCorruption("persisted root missing");
+        if (!s.isOk())
+            return s;
+        if (eth::hashOf(root_enc) != root_hash_)
+            return trieCorruption(
+                "root encoding does not hash to the root hash");
+    } else {
+        s = backend_.read(BytesView(), root_enc);
+        if (s.isNotFound())
+            return Status::ok(); // empty persisted trie
+        if (!s.isOk())
+            return s;
+        // A clean loaded root must agree with the stored one.
+        if (root_ && !root_->dirty &&
+            !root_->cached_enc.empty() &&
+            BytesView(root_->cached_enc) != BytesView(root_enc)) {
+            return trieCorruption(
+                "loaded root disagrees with persisted root");
+        }
+    }
+    Bytes path;
+    return checkPersistedNode(path, root_enc, 0);
+}
+
 } // namespace ethkv::trie

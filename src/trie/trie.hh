@@ -118,6 +118,26 @@ class MerklePatriciaTrie
     /** In-memory node count (diagnostics and cache experiments). */
     size_t loadedNodeCount() const;
 
+    /**
+     * Verify the trie's structural invariants.
+     *
+     * Two passes. The in-memory pass checks every loaded node:
+     * canonical shape (non-empty leaf values and extension paths,
+     * branches with enough occupancy to exist), child-slot
+     * consistency, and the dirtiness discipline (a dirty child
+     * under a clean parent, or a dirty child still carrying a
+     * stale reference, is a bug). When there are no uncommitted
+     * changes, the persisted pass additionally walks the backend
+     * from the root and verifies path-key consistency: every
+     * reachable child resolves at exactly the key its parent
+     * implies (its absolute path in path mode, its keccak hash in
+     * hash mode) and its encoding matches the parent's reference.
+     *
+     * @return Ok, or Corruption naming the first violated
+     *         invariant.
+     */
+    Status checkInvariants();
+
     /** The storage mode this trie persists under. */
     TrieStorageMode mode() const { return mode_; }
 
@@ -140,6 +160,9 @@ class MerklePatriciaTrie
                      kv::WriteBatch &batch);
     size_t countLoaded(const Node *node) const;
     void unloadChildren(Node &node);
+    Status checkLoadedNode(const Node &node) const;
+    Status checkPersistedNode(Bytes &path, BytesView encoding,
+                              int depth);
 
     NodeBackend &backend_;
     TrieStorageMode mode_;

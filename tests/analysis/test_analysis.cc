@@ -42,12 +42,16 @@ rec(OpType op, KVClass cls, uint64_t key, uint32_t vsize = 10)
 TEST(StoreInventoryTest, ClassifiesAndCounts)
 {
     kv::MemStore store;
-    store.put(client::snapshotAccountKey(eth::hashOf("a")),
-              Bytes(16, 'v'));
-    store.put(client::snapshotAccountKey(eth::hashOf("b")),
-              Bytes(20, 'v'));
-    store.put(client::txLookupKey(eth::hashOf("t")), "12345678");
-    store.put(client::lastBlockKey(), Bytes(32, 'h'));
+    ASSERT_TRUE(
+        store.put(client::snapshotAccountKey(eth::hashOf("a")),
+                  Bytes(16, 'v')).isOk());
+    ASSERT_TRUE(
+        store.put(client::snapshotAccountKey(eth::hashOf("b")),
+                  Bytes(20, 'v')).isOk());
+    ASSERT_TRUE(store.put(client::txLookupKey(eth::hashOf("t")),
+                          "12345678").isOk());
+    ASSERT_TRUE(
+        store.put(client::lastBlockKey(), Bytes(32, 'h')).isOk());
 
     StoreInventory inventory = analyzeStore(store);
     EXPECT_EQ(inventory.total_pairs, 4u);
@@ -108,9 +112,9 @@ TEST(ReadRatioTest, MatchesDefinition)
 {
     kv::MemStore store;
     for (int i = 0; i < 10; ++i) {
-        store.put(client::snapshotAccountKey(
-                      eth::hashOf(encodeBE64(i))),
-                  "v");
+        ASSERT_TRUE(store.put(client::snapshotAccountKey(
+                                  eth::hashOf(encodeBE64(i))),
+                              "v").isOk());
     }
     StoreInventory inventory = analyzeStore(store);
 

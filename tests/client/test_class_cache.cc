@@ -32,7 +32,7 @@ TEST(ClassCacheTest, ReadHitsSkipInner)
     kv::MemStore inner;
     CachingKVStore cache(inner, CacheConfig{});
 
-    cache.put(snapKey(1), "value");
+    ASSERT_TRUE(cache.put(snapKey(1), "value").isOk());
     uint64_t inner_reads = inner.stats().user_reads;
 
     Bytes value;
@@ -48,7 +48,7 @@ TEST(ClassCacheTest, ReadHitsSkipInner)
 TEST(ClassCacheTest, MissFillsThenHits)
 {
     kv::MemStore inner;
-    inner.put(snapKey(2), "cold");
+    ASSERT_TRUE(inner.put(snapKey(2), "cold").isOk());
     CachingKVStore cache(inner, CacheConfig{});
 
     Bytes value;
@@ -64,11 +64,11 @@ TEST(ClassCacheTest, UncachedClassesAlwaysReachInner)
     CachingKVStore cache(inner, CacheConfig{});
 
     // Singletons (GroupOther) have no cache, like Geth.
-    cache.put(lastBlockKey(), "hash");
+    ASSERT_TRUE(cache.put(lastBlockKey(), "hash").isOk());
     uint64_t reads = inner.stats().user_reads;
     Bytes value;
-    cache.get(lastBlockKey(), value);
-    cache.get(lastBlockKey(), value);
+    ASSERT_TRUE(cache.get(lastBlockKey(), value).isOk());
+    ASSERT_TRUE(cache.get(lastBlockKey(), value).isOk());
     EXPECT_EQ(inner.stats().user_reads, reads + 2);
 }
 
@@ -82,7 +82,7 @@ TEST(ClassCacheTest, WriteBackCoalescesTrieNodes)
     // Ten writes to the same trie path: only one reaches the
     // engine at flush (Geth's pathdb buffer behaviour).
     for (int i = 0; i < 10; ++i)
-        cache.put(trieKey(7), "version-" + std::to_string(i));
+        ASSERT_TRUE(cache.put(trieKey(7), "version-" + std::to_string(i)).isOk());
     EXPECT_EQ(inner.stats().user_writes, 0u);
     EXPECT_EQ(cache.cacheStats().writeback_coalesced, 9u);
 
@@ -102,10 +102,10 @@ TEST(ClassCacheTest, WriteBackCoalescesTrieNodes)
 TEST(ClassCacheTest, WriteBackDeleteShadowsInner)
 {
     kv::MemStore inner;
-    inner.put(trieKey(3), "old");
+    ASSERT_TRUE(inner.put(trieKey(3), "old").isOk());
     CachingKVStore cache(inner, CacheConfig{});
 
-    cache.del(trieKey(3));
+    ASSERT_TRUE(cache.del(trieKey(3)).isOk());
     Bytes value;
     EXPECT_TRUE(cache.get(trieKey(3), value).isNotFound());
     // Inner still has it until the buffer drains.
@@ -122,7 +122,7 @@ TEST(ClassCacheTest, WriteBackAutoFlushesAtBudget)
     CachingKVStore cache(inner, config);
 
     for (uint64_t i = 0; i < 100; ++i)
-        cache.put(trieKey(i), Bytes(100, 'v'));
+        ASSERT_TRUE(cache.put(trieKey(i), Bytes(100, 'v')).isOk());
     // The 4 KiB buffer cannot hold 100 x ~100 B: flushes happened.
     EXPECT_GT(cache.cacheStats().writeback_flushes, 0u);
     EXPECT_GT(inner.stats().user_writes, 0u);
@@ -137,7 +137,7 @@ TEST(ClassCacheTest, EvictionKeepsBudget)
     CachingKVStore cache(inner, config);
 
     for (uint64_t i = 0; i < 500; ++i)
-        cache.put(snapKey(i), Bytes(64, 'v'));
+        ASSERT_TRUE(cache.put(snapKey(i), Bytes(64, 'v')).isOk());
     EXPECT_GT(cache.cacheStats().evictions, 0u);
     EXPECT_LE(cache.cachedBytes(), config.total_bytes);
 
@@ -154,10 +154,10 @@ TEST(ClassCacheTest, DisabledModeIsTransparent)
     config.enabled = false;
     CachingKVStore cache(inner, config);
 
-    cache.put(snapKey(1), "v");
+    ASSERT_TRUE(cache.put(snapKey(1), "v").isOk());
     Bytes value;
-    cache.get(snapKey(1), value);
-    cache.get(snapKey(1), value);
+    ASSERT_TRUE(cache.get(snapKey(1), value).isOk());
+    ASSERT_TRUE(cache.get(snapKey(1), value).isOk());
     EXPECT_EQ(inner.stats().user_writes, 1u);
     EXPECT_EQ(inner.stats().user_reads, 2u);
     EXPECT_EQ(cache.cacheStats().hits, 0u);
@@ -186,8 +186,8 @@ TEST(ClassCacheTest, LiveKeyCountDrainsBuffer)
 {
     kv::MemStore inner;
     CachingKVStore cache(inner, CacheConfig{});
-    cache.put(trieKey(1), "a");
-    cache.put(snapKey(1), "b");
+    ASSERT_TRUE(cache.put(trieKey(1), "a").isOk());
+    ASSERT_TRUE(cache.put(snapKey(1), "b").isOk());
     EXPECT_EQ(cache.liveKeyCount(), 2u);
 }
 

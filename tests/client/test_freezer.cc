@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "client/freezer.hh"
 #include "../kvstore/test_util.hh"
@@ -187,9 +188,86 @@ TEST(FreezerTest, TotalBytesGrow)
     auto freezer = Freezer::open(dir.path());
     ASSERT_TRUE(freezer.ok());
     uint64_t before = freezer.value()->totalBytes();
-    freezer.value()->append(0, "h", Bytes(1000, 'x'),
-                            Bytes(2000, 'y'), Bytes(3000, 'z'));
+    ASSERT_TRUE(freezer.value()
+                    ->append(0, "h", Bytes(1000, 'x'),
+                             Bytes(2000, 'y'), Bytes(3000, 'z'))
+                    .isOk());
     EXPECT_GT(freezer.value()->totalBytes(), before + 6000);
+}
+
+TEST(FreezerInvariantsTest, HealthyFreezerPasses)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+
+    // Empty, mid-append, and reopened states all pass.
+    EXPECT_TRUE(freezer.value()->checkInvariants().isOk());
+    for (uint64_t n = 0; n < 25; ++n) {
+        ASSERT_TRUE(freezer.value()
+                        ->append(n, payload("hash", n),
+                                 payload("hdr", n),
+                                 payload("body", n),
+                                 payload("rcpt", n))
+                        .isOk());
+    }
+    EXPECT_TRUE(freezer.value()->checkInvariants().isOk());
+
+    freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    EXPECT_TRUE(freezer.value()->checkInvariants().isOk());
+}
+
+TEST(FreezerInvariantsTest, DetectsForeignBytesAfterTail)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    for (uint64_t n = 0; n < 5; ++n) {
+        ASSERT_TRUE(freezer.value()
+                        ->append(n, payload("hash", n),
+                                 payload("hdr", n),
+                                 payload("body", n),
+                                 payload("rcpt", n))
+                        .isOk());
+    }
+    ASSERT_TRUE(freezer.value()->checkInvariants().isOk());
+
+    // Another writer (or filesystem damage) grows a table behind
+    // the freezer's back: on-disk size disagrees with the index.
+    {
+        std::ofstream f(dir.path() + "/bodies.dat",
+                        std::ios::binary | std::ios::app);
+        f << "garbage-the-freezer-never-wrote";
+    }
+    Status s = freezer.value()->checkInvariants();
+    EXPECT_FALSE(s.isOk());
+    EXPECT_NE(s.toString().find("bodies"), std::string::npos);
+}
+
+TEST(FreezerInvariantsTest, DetectsTruncatedTable)
+{
+    ScratchDir dir("freezer");
+    auto freezer = Freezer::open(dir.path());
+    ASSERT_TRUE(freezer.ok());
+    for (uint64_t n = 0; n < 5; ++n) {
+        ASSERT_TRUE(freezer.value()
+                        ->append(n, payload("hash", n),
+                                 payload("hdr", n),
+                                 payload("body", n),
+                                 payload("rcpt", n))
+                        .isOk());
+    }
+    ASSERT_TRUE(freezer.value()->checkInvariants().isOk());
+
+    // Chop the headers table under a live freezer: its index now
+    // points past EOF.
+    std::string headers = dir.path() + "/headers.dat";
+    auto size = std::filesystem::file_size(headers);
+    std::filesystem::resize_file(headers, size - 2);
+    Status s = freezer.value()->checkInvariants();
+    EXPECT_FALSE(s.isOk());
+    EXPECT_NE(s.toString().find("headers"), std::string::npos);
 }
 
 } // namespace

@@ -39,10 +39,10 @@ void
 storeBlock(kv::KVStore &store, const eth::Block &block)
 {
     eth::Hash256 hash = block.header.hash();
-    store.put(canonicalHashKey(block.header.number),
-              hash.toBytes());
-    store.put(blockBodyKey(block.header.number, hash),
-              block.body.encode());
+    ASSERT_TRUE(store.put(canonicalHashKey(block.header.number),
+                          hash.toBytes()).isOk());
+    ASSERT_TRUE(store.put(blockBodyKey(block.header.number, hash),
+                          block.body.encode()).isOk());
 }
 
 TEST(TxIndexerTest, IndexesEveryTransaction)
@@ -244,7 +244,7 @@ TEST(SkeletonTest, HeadersWrittenReadAndRetired)
     // Status key updated on the configured cadence.
     EXPECT_TRUE(store.contains(skeletonSyncStatusKey()));
     Bytes status;
-    store.get(skeletonSyncStatusKey(), status);
+    ASSERT_TRUE(store.get(skeletonSyncStatusKey(), status).isOk());
     EXPECT_EQ(status.size(), 146u); // Table I value size
 }
 

@@ -196,16 +196,16 @@ TEST(NodeTest, BareModeProducesNoSnapshotKeys)
         ASSERT_TRUE(
             h.node.processBlock(h.generator->nextBlock()).isOk());
     int snapshot_keys = 0;
-    h.store.scan(Bytes("a"), Bytes("b"),
+    ASSERT_TRUE(h.store.scan(Bytes("a"), Bytes("b"),
                  [&](BytesView, BytesView) {
                      ++snapshot_keys;
                      return true;
-                 });
-    h.store.scan(Bytes("o"), Bytes("p"),
+                 }).isOk());
+    ASSERT_TRUE(h.store.scan(Bytes("o"), Bytes("p"),
                  [&](BytesView, BytesView) {
                      ++snapshot_keys;
                      return true;
-                 });
+                 }).isOk());
     EXPECT_EQ(snapshot_keys, 0);
 }
 

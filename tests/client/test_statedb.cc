@@ -204,11 +204,11 @@ TEST(StateDBTest, BareModeWritesNoSnapshotEntries)
     h.state.setAccount(addr(5), account);
     h.commit();
     int snapshot_keys = 0;
-    h.store.scan(Bytes("a"), Bytes("b"),
+    ASSERT_TRUE(h.store.scan(Bytes("a"), Bytes("b"),
                  [&](BytesView, BytesView) {
                      ++snapshot_keys;
                      return true;
-                 });
+                 }).isOk());
     EXPECT_EQ(snapshot_keys, 0);
 }
 

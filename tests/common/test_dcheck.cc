@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the ETHKV_DCHECK family (common/dcheck.hh).
+ *
+ * The test suite compiles with ETHKV_FORCE_DCHECK (see
+ * tests/CMakeLists.txt), so checks are enabled here even though
+ * the default build type defines NDEBUG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/dcheck.hh"
+
+namespace
+{
+
+static_assert(ETHKV_DCHECK_ENABLED,
+              "test suite must compile with DCHECKs enabled "
+              "(ETHKV_FORCE_DCHECK)");
+
+TEST(DCheck, PassingChecksAreSilent)
+{
+    ETHKV_DCHECK(true);
+    ETHKV_DCHECK(2 + 2 == 4);
+    ETHKV_DCHECK_EQ(7, 7);
+    ETHKV_DCHECK_NE(1, 2);
+    ETHKV_DCHECK_LT(1, 2);
+    ETHKV_DCHECK_LE(2, 2);
+    ETHKV_DCHECK_GT(3, 2);
+    ETHKV_DCHECK_GE(3, 3);
+}
+
+TEST(DCheckDeathTest, FailingCheckPanicsWithExpression)
+{
+    EXPECT_DEATH(ETHKV_DCHECK(1 == 2),
+                 "DCHECK failed: 1 == 2");
+}
+
+TEST(DCheckDeathTest, ComparisonFormPrintsBothOperands)
+{
+    int lhs = 41;
+    int rhs = 42;
+    EXPECT_DEATH(ETHKV_DCHECK_EQ(lhs, rhs),
+                 "DCHECK failed: lhs == rhs.*\\(41 vs 42\\)");
+}
+
+TEST(DCheckDeathTest, StringOperandsAreRendered)
+{
+    std::string got = "abc";
+    EXPECT_DEATH(ETHKV_DCHECK_EQ(got, std::string("xyz")),
+                 "\\(abc vs xyz\\)");
+}
+
+// A type with an equality operator but no ostream inserter: the
+// failure message falls back to "<?>" instead of refusing to
+// compile.
+struct Opaque
+{
+    int v;
+    bool operator==(const Opaque &o) const { return v == o.v; }
+};
+
+TEST(DCheckDeathTest, NonStreamableOperandsFallBack)
+{
+    Opaque a{1};
+    Opaque b{2};
+    EXPECT_DEATH(ETHKV_DCHECK_EQ(a, b), "\\(<\\?> vs <\\?>\\)");
+}
+
+TEST(DCheck, OperandsEvaluateExactlyOnce)
+{
+    int evals = 0;
+    auto bump = [&evals] { return ++evals; };
+    ETHKV_DCHECK_EQ(bump(), 1);
+    EXPECT_EQ(evals, 1);
+    ETHKV_DCHECK(bump() == 2);
+    EXPECT_EQ(evals, 2);
+}
+
+} // namespace

@@ -75,5 +75,76 @@ TEST(ResultTest, MutableValue)
     EXPECT_EQ(r.value(), "abcdef");
 }
 
+TEST(StatusTest, MoveSemantics)
+{
+    Status src = Status::corruption("movable");
+    Status moved = std::move(src);
+    EXPECT_EQ(moved.code(), StatusCode::Corruption);
+    EXPECT_EQ(moved.message(), "movable");
+
+    Status assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.toString(), "Corruption: movable");
+}
+
+TEST(ResultTest, MoveSemantics)
+{
+    Result<std::unique_ptr<int>> src(std::make_unique<int>(9));
+    Result<std::unique_ptr<int>> moved = std::move(src);
+    ASSERT_TRUE(moved.ok());
+    EXPECT_EQ(*moved.value(), 9);
+
+    Result<std::unique_ptr<int>> err(Status::ioError("disk"));
+    Result<std::unique_ptr<int>> err_moved = std::move(err);
+    EXPECT_FALSE(err_moved.ok());
+    EXPECT_EQ(err_moved.status().code(), StatusCode::IOError);
+}
+
+TEST(ResultTest, TakeLeavesMovedFromValue)
+{
+    Result<std::string> r(std::string("payload"));
+    std::string taken = r.take();
+    EXPECT_EQ(taken, "payload");
+    // The Result is still Ok (take() moves the value, not the
+    // status); the contained value is simply moved-from.
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(StatusTest, IgnoreStatusEvaluatesExactlyOnce)
+{
+    int calls = 0;
+    auto sideEffect = [&calls]() {
+        ++calls;
+        return Status::ioError("deliberately dropped");
+    };
+    ETHKV_IGNORE_STATUS(sideEffect(), "testing the macro");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(StatusTest, IgnoreStatusAcceptsResult)
+{
+    int calls = 0;
+    auto sideEffect = [&calls]() -> Result<int> {
+        ++calls;
+        return Status::notFound("dropped result");
+    };
+    ETHKV_IGNORE_STATUS(sideEffect(), "testing with Result<T>");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(StatusDeathTest, ExpectOkPanicsOnError)
+{
+    Status s = Status::corruption("bad block");
+    EXPECT_DEATH(s.expectOk("load"),
+                 "load failed: Corruption: bad block");
+}
+
+TEST(ResultDeathTest, TakeOnErrorPanics)
+{
+    Result<int> r(Status::notFound("gone"));
+    EXPECT_DEATH(static_cast<void>(r.take()),
+                 "Result::take\\(\\) on error");
+}
+
 } // namespace
 } // namespace ethkv

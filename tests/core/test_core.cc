@@ -37,7 +37,7 @@ TEST(LazyIndexTest, IndexOnlyGrowsOnRead)
 {
     LazyIndexStore store;
     for (uint64_t i = 0; i < 1000; ++i)
-        store.put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i)).isOk());
     // Finding 3's design: writes never build per-key index state.
     EXPECT_EQ(store.promotedKeyCount(), 0u);
 
@@ -56,14 +56,14 @@ TEST(LazyIndexTest, IndexOnlyGrowsOnRead)
 TEST(LazyIndexTest, OverwriteReturnsNewest)
 {
     LazyIndexStore store;
-    store.put("k", "old");
-    store.put("k", "new");
+    ASSERT_TRUE(store.put("k", "old").isOk());
+    ASSERT_TRUE(store.put("k", "new").isOk());
     Bytes value;
     ASSERT_TRUE(store.get("k", value).isOk());
     EXPECT_EQ(value, "new");
 
     // Promoted key overwritten again: index follows.
-    store.put("k", "newest");
+    ASSERT_TRUE(store.put("k", "newest").isOk());
     ASSERT_TRUE(store.get("k", value).isOk());
     EXPECT_EQ(value, "newest");
 }
@@ -74,15 +74,15 @@ TEST(LazyIndexTest, TombstoneShadowsOldVersions)
     options.chunk_bytes = 512; // many chunks
     LazyIndexStore store(options);
     for (uint64_t i = 0; i < 50; ++i)
-        store.put(makeKey(i), makeValue(i));
-    store.del(makeKey(7));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i)).isOk());
+    ASSERT_TRUE(store.del(makeKey(7)).isOk());
     // More writes push the tombstone into older chunks.
     for (uint64_t i = 50; i < 100; ++i)
-        store.put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i)).isOk());
     Bytes value;
     EXPECT_TRUE(store.get(makeKey(7), value).isNotFound());
     // Re-insert resurrects.
-    store.put(makeKey(7), "back");
+    ASSERT_TRUE(store.put(makeKey(7), "back").isOk());
     ASSERT_TRUE(store.get(makeKey(7), value).isOk());
     EXPECT_EQ(value, "back");
 }
@@ -96,7 +96,7 @@ TEST(LazyIndexTest, GcReclaimsDeletedSpace)
 
     // Promote everything so deletes account dead bytes exactly.
     for (uint64_t i = 0; i < 500; ++i)
-        store.put(makeKey(i), makeValue(i, 48));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i, 48)).isOk());
     Bytes value;
     for (uint64_t i = 0; i < 500; ++i)
         ASSERT_TRUE(store.get(makeKey(i), value).isOk());
@@ -104,7 +104,7 @@ TEST(LazyIndexTest, GcReclaimsDeletedSpace)
 
     for (uint64_t i = 0; i < 500; ++i)
         if (i % 4 != 0)
-            store.del(makeKey(i));
+            ASSERT_TRUE(store.del(makeKey(i)).isOk());
 
     EXPECT_GT(store.stats().gc_runs, 0u);
     EXPECT_LT(store.residentBytes(), before);
@@ -129,10 +129,10 @@ TEST(LazyIndexTest, MatchesReferenceUnderRandomOps)
         int op = static_cast<int>(rng.nextBounded(10));
         if (op < 5) {
             Bytes value = makeValue(rng.next(), 16);
-            store.put(key, value);
+            ASSERT_TRUE(store.put(key, value).isOk());
             ref[key] = value;
         } else if (op < 7) {
-            store.del(key);
+            ASSERT_TRUE(store.del(key).isOk());
             ref.erase(key);
         } else {
             Bytes value;
@@ -212,8 +212,10 @@ TEST(HybridStoreTest, ScansWorkOnlyForScanClasses)
 {
     HybridKVStore store;
     for (uint64_t n = 1; n <= 10; ++n) {
-        store.put(client::headerKey(n, eth::hashOf(encodeBE64(n))),
-                  "h");
+        ASSERT_TRUE(
+            store.put(client::headerKey(n,
+                                        eth::hashOf(encodeBE64(n))),
+                      "h").isOk());
     }
     int visited = 0;
     ASSERT_TRUE(store

@@ -41,8 +41,8 @@ TEST(BTreeTest, PutGetDelete)
 TEST(BTreeTest, OverwriteKeepsSingleEntry)
 {
     BTreeStore tree;
-    tree.put("k", "old");
-    tree.put("k", "new");
+    ASSERT_TRUE(tree.put("k", "old").isOk());
+    ASSERT_TRUE(tree.put("k", "new").isOk());
     Bytes v;
     ASSERT_TRUE(tree.get("k", v).isOk());
     EXPECT_EQ(v, "new");
@@ -53,7 +53,7 @@ TEST(BTreeTest, GrowsAndMaintainsInvariants)
 {
     BTreeStore tree;
     for (uint64_t i = 0; i < 5000; ++i) {
-        tree.put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(tree.put(makeKey(i), makeValue(i)).isOk());
         if (i % 500 == 0)
             tree.checkInvariants();
     }
@@ -72,10 +72,10 @@ TEST(BTreeTest, ShrinksBackToSingleLeaf)
 {
     BTreeStore tree;
     for (uint64_t i = 0; i < 2000; ++i)
-        tree.put(makeKey(i), "v");
+        ASSERT_TRUE(tree.put(makeKey(i), "v").isOk());
     EXPECT_GT(tree.height(), 1);
     for (uint64_t i = 0; i < 2000; ++i) {
-        tree.del(makeKey(i));
+        ASSERT_TRUE(tree.del(makeKey(i)).isOk());
         if (i % 200 == 0)
             tree.checkInvariants();
     }
@@ -88,16 +88,16 @@ TEST(BTreeTest, ScanRangeAndOrder)
 {
     BTreeStore tree;
     for (uint64_t i = 0; i < 1000; i += 2)
-        tree.put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(tree.put(makeKey(i), makeValue(i)).isOk());
 
     std::vector<Bytes> seen;
-    tree.scan(makeKey(100), makeKey(200),
+    ASSERT_TRUE(tree.scan(makeKey(100), makeKey(200),
               [&](BytesView k, BytesView v) {
                   seen.emplace_back(k);
                   EXPECT_EQ(Bytes(v), makeValue(
                       std::stoull(Bytes(k.substr(4, 8)))));
                   return true;
-              });
+              }).isOk());
     ASSERT_EQ(seen.size(), 50u);
     EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
     EXPECT_EQ(seen.front(), makeKey(100));
@@ -108,20 +108,21 @@ TEST(BTreeTest, ScanOpenEndAndEarlyStop)
 {
     BTreeStore tree;
     for (uint64_t i = 0; i < 100; ++i)
-        tree.put(makeKey(i), "v");
+        ASSERT_TRUE(tree.put(makeKey(i), "v").isOk());
 
     size_t count = 0;
-    tree.scan(makeKey(90), BytesView(),
+    ASSERT_TRUE(tree.scan(makeKey(90), BytesView(),
               [&](BytesView, BytesView) {
                   ++count;
                   return true;
-              });
+              }).isOk());
     EXPECT_EQ(count, 10u);
 
     count = 0;
-    tree.scan(BytesView(), BytesView(), [&](BytesView, BytesView) {
-        return ++count < 7;
-    });
+    ASSERT_TRUE(tree.scan(BytesView(), BytesView(),
+                          [&](BytesView, BytesView) {
+                              return ++count < 7;
+                          }).isOk());
     EXPECT_EQ(count, 7u);
 }
 
@@ -140,10 +141,10 @@ TEST_P(BTreeRandomOps, MatchesReferenceMap)
         int op = static_cast<int>(rng.nextBounded(10));
         if (op < 5) {
             Bytes value = makeValue(rng.next(), 8);
-            tree.put(key, value);
+            ASSERT_TRUE(tree.put(key, value).isOk());
             ref[key] = value;
         } else if (op < 8) {
-            tree.del(key);
+            ASSERT_TRUE(tree.del(key).isOk());
             ref.erase(key);
         } else {
             Bytes v;
@@ -164,14 +165,14 @@ TEST_P(BTreeRandomOps, MatchesReferenceMap)
 
     // Full scan equals the reference map.
     auto it = ref.begin();
-    tree.scan(BytesView(), BytesView(),
+    ASSERT_TRUE(tree.scan(BytesView(), BytesView(),
               [&](BytesView k, BytesView v) {
                   EXPECT_NE(it, ref.end());
                   EXPECT_EQ(Bytes(k), it->first);
                   EXPECT_EQ(Bytes(v), it->second);
                   ++it;
                   return true;
-              });
+              }).isOk());
     EXPECT_EQ(it, ref.end());
 }
 
@@ -182,7 +183,7 @@ TEST(BTreeTest, DescendingInsertionOrder)
 {
     BTreeStore tree;
     for (int i = 2000; i >= 0; --i)
-        tree.put(makeKey(static_cast<uint64_t>(i)), "v");
+        ASSERT_TRUE(tree.put(makeKey(static_cast<uint64_t>(i)), "v").isOk());
     tree.checkInvariants();
     EXPECT_EQ(tree.liveKeyCount(), 2001u);
 }

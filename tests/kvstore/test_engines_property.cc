@@ -131,7 +131,7 @@ TEST_P(EnginePropertyTest, AgreesWithReferenceMap)
         return; // unordered engine: contract checked elsewhere
     }
     auto it = ref.begin();
-    store->scan(BytesView(), BytesView(),
+    ASSERT_TRUE(store->scan(BytesView(), BytesView(),
                 [&](BytesView k, BytesView v) {
                     EXPECT_NE(it, ref.end());
                     if (it == ref.end())
@@ -140,7 +140,7 @@ TEST_P(EnginePropertyTest, AgreesWithReferenceMap)
                     EXPECT_EQ(Bytes(v), it->second);
                     ++it;
                     return true;
-                });
+                }).isOk());
     EXPECT_EQ(it, ref.end());
 }
 

@@ -34,8 +34,8 @@ TEST(LogStoreTest, PutGetDelete)
 TEST(LogStoreTest, OverwriteReturnsLatest)
 {
     AppendLogStore store;
-    store.put("k", "old");
-    store.put("k", "new");
+    ASSERT_TRUE(store.put("k", "old").isOk());
+    ASSERT_TRUE(store.put("k", "new").isOk());
     Bytes v;
     ASSERT_TRUE(store.get("k", v).isOk());
     EXPECT_EQ(v, "new");
@@ -45,7 +45,7 @@ TEST(LogStoreTest, OverwriteReturnsLatest)
 TEST(LogStoreTest, ScanUnsupported)
 {
     AppendLogStore store;
-    store.put("k", "v");
+    ASSERT_TRUE(store.put("k", "v").isOk());
     Status s = store.scan(BytesView(), BytesView(),
                           [](BytesView, BytesView) { return true; });
     EXPECT_EQ(s.code(), StatusCode::NotSupported);
@@ -57,7 +57,7 @@ TEST(LogStoreTest, SegmentsSealAsDataGrows)
     opts.segment_bytes = 4096;
     AppendLogStore store(opts);
     for (uint64_t i = 0; i < 500; ++i)
-        store.put(makeKey(i), makeValue(i, 64));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i, 64)).isOk());
     EXPECT_GT(store.segmentCount(), 3u);
     // All keys still readable across segments.
     for (uint64_t i = 0; i < 500; ++i) {
@@ -75,14 +75,14 @@ TEST(LogStoreTest, GcReclaimsDeletedSpace)
     AppendLogStore store(opts);
 
     for (uint64_t i = 0; i < 1000; ++i)
-        store.put(makeKey(i), makeValue(i, 64));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i, 64)).isOk());
     uint64_t before = store.residentBytes();
 
     // Delete 80% of the keys; sealed segments cross the dead
     // threshold and are rewritten.
     for (uint64_t i = 0; i < 1000; ++i)
         if (i % 5 != 0)
-            store.del(makeKey(i));
+            ASSERT_TRUE(store.del(makeKey(i)).isOk());
 
     EXPECT_GT(store.stats().gc_runs, 0u);
     EXPECT_GT(store.stats().gc_bytes, 0u);
@@ -105,9 +105,9 @@ TEST(LogStoreTest, DeleteHeavyChurnStaysBounded)
     AppendLogStore store(opts);
     const uint64_t window = 200;
     for (uint64_t i = 0; i < 5000; ++i) {
-        store.put(makeKey(i), makeValue(i, 40));
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i, 40)).isOk());
         if (i >= window)
-            store.del(makeKey(i - window));
+            ASSERT_TRUE(store.del(makeKey(i - window)).isOk());
     }
     EXPECT_EQ(store.liveKeyCount(), window);
     // Resident bytes should be within a small factor of live bytes,
@@ -118,8 +118,8 @@ TEST(LogStoreTest, DeleteHeavyChurnStaysBounded)
 TEST(LogStoreTest, NoTombstoneOverheadMetrics)
 {
     AppendLogStore store;
-    store.put("k", "v");
-    store.del("k");
+    ASSERT_TRUE(store.put("k", "v").isOk());
+    ASSERT_TRUE(store.del("k").isOk());
     EXPECT_EQ(store.stats().tombstones_written, 0u);
     EXPECT_EQ(store.stats().compaction_bytes, 0u);
 }
@@ -148,7 +148,7 @@ TEST(HashStoreTest, WriteAmplificationIsOne)
     for (uint64_t i = 0; i < 100; ++i) {
         Bytes k = makeKey(i), v = makeValue(i);
         logical += k.size() + v.size();
-        store.put(k, v);
+        ASSERT_TRUE(store.put(k, v).isOk());
     }
     EXPECT_EQ(store.stats().bytes_written, logical);
 }
@@ -156,7 +156,7 @@ TEST(HashStoreTest, WriteAmplificationIsOne)
 TEST(HashStoreTest, ContainsHelper)
 {
     HashStore store;
-    store.put("x", "1");
+    ASSERT_TRUE(store.put("x", "1").isOk());
     EXPECT_TRUE(store.contains("x"));
     EXPECT_FALSE(store.contains("y"));
 }

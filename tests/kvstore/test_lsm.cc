@@ -55,9 +55,9 @@ TEST(LsmTest, OverwriteAcrossFlush)
     auto store = LSMStore::open(smallOptions(dir.path()));
     ASSERT_TRUE(store.ok());
 
-    store.value()->put("k", "old");
+    ASSERT_TRUE(store.value()->put("k", "old").isOk());
     ASSERT_TRUE(store.value()->flush().isOk()); // "old" now on disk
-    store.value()->put("k", "new");
+    ASSERT_TRUE(store.value()->put("k", "new").isOk());
 
     Bytes v;
     ASSERT_TRUE(store.value()->get("k", v).isOk());
@@ -70,9 +70,9 @@ TEST(LsmTest, DeleteShadowsDiskVersion)
     auto store = LSMStore::open(smallOptions(dir.path()));
     ASSERT_TRUE(store.ok());
 
-    store.value()->put("k", "v");
+    ASSERT_TRUE(store.value()->put("k", "v").isOk());
     ASSERT_TRUE(store.value()->flush().isOk());
-    store.value()->del("k");
+    ASSERT_TRUE(store.value()->del("k").isOk());
 
     Bytes v;
     EXPECT_TRUE(store.value()->get("k", v).isNotFound());
@@ -110,20 +110,20 @@ TEST(LsmTest, ScanMergesAllLevels)
 
     // Interleave writes and flushes so keys spread across levels.
     for (uint64_t i = 0; i < 1000; ++i) {
-        store.value()->put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i)).isOk());
         if (i % 251 == 0)
-            store.value()->flush();
+            ASSERT_TRUE(store.value()->flush().isOk());
     }
     // Overwrite a band and delete another so the scan must resolve
     // shadowing correctly.
     for (uint64_t i = 100; i < 150; ++i)
-        store.value()->put(makeKey(i), "fresh");
+        ASSERT_TRUE(store.value()->put(makeKey(i), "fresh").isOk());
     for (uint64_t i = 200; i < 250; ++i)
-        store.value()->del(makeKey(i));
+        ASSERT_TRUE(store.value()->del(makeKey(i)).isOk());
 
     uint64_t count = 0;
     Bytes prev;
-    store.value()->scan(
+    ASSERT_TRUE(store.value()->scan(
         makeKey(0), makeKey(1000),
         [&](BytesView k, BytesView v) {
             if (count > 0)
@@ -135,7 +135,7 @@ TEST(LsmTest, ScanMergesAllLevels)
                 EXPECT_EQ(Bytes(v), "fresh");
             ++count;
             return true;
-        });
+        }).isOk());
     EXPECT_EQ(count, 950u);
 }
 
@@ -145,21 +145,21 @@ TEST(LsmTest, ScanRespectsRangeAndEarlyStop)
     auto store = LSMStore::open(smallOptions(dir.path()));
     ASSERT_TRUE(store.ok());
     for (uint64_t i = 0; i < 300; ++i)
-        store.value()->put(makeKey(i), "v");
+        ASSERT_TRUE(store.value()->put(makeKey(i), "v").isOk());
 
     uint64_t count = 0;
-    store.value()->scan(makeKey(50), makeKey(60),
+    ASSERT_TRUE(store.value()->scan(makeKey(50), makeKey(60),
                         [&](BytesView, BytesView) {
                             ++count;
                             return true;
-                        });
+                        }).isOk());
     EXPECT_EQ(count, 10u);
 
     count = 0;
-    store.value()->scan(BytesView(), BytesView(),
+    ASSERT_TRUE(store.value()->scan(BytesView(), BytesView(),
                         [&](BytesView, BytesView) {
                             return ++count < 5;
-                        });
+                        }).isOk());
     EXPECT_EQ(count, 5u);
 }
 
@@ -170,7 +170,7 @@ TEST(LsmTest, ReopenAfterCleanFlush)
         auto store = LSMStore::open(smallOptions(dir.path()));
         ASSERT_TRUE(store.ok());
         for (uint64_t i = 0; i < 1000; ++i)
-            store.value()->put(makeKey(i), makeValue(i));
+            ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i)).isOk());
         ASSERT_TRUE(store.value()->flush().isOk());
     }
     auto store = LSMStore::open(smallOptions(dir.path()));
@@ -191,8 +191,8 @@ TEST(LsmTest, ReopenRecoversUnflushedWritesFromWal)
         // Small enough to stay in the memtable (no flush): only the
         // WAL holds these when the store is dropped.
         for (uint64_t i = 0; i < 50; ++i)
-            store.value()->put(makeKey(i), makeValue(i));
-        store.value()->del(makeKey(7));
+            ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i)).isOk());
+        ASSERT_TRUE(store.value()->del(makeKey(7)).isOk());
         // Destructor syncs the WAL; no flush() call.
     }
     auto store = LSMStore::open(smallOptions(dir.path()));
@@ -217,7 +217,7 @@ TEST(LsmTest, TornWalTailLosesOnlyTail)
         auto store = LSMStore::open(smallOptions(dir.path()));
         ASSERT_TRUE(store.ok());
         for (uint64_t i = 0; i < 20; ++i)
-            store.value()->put(makeKey(i), "v");
+            ASSERT_TRUE(store.value()->put(makeKey(i), "v").isOk());
     }
     // Simulate a crash that tears the last WAL record.
     std::string wal = dir.path() + "/wal.log";
@@ -240,9 +240,9 @@ TEST(LsmTest, CompactAllDropsTombstones)
     ASSERT_TRUE(store.ok());
 
     for (uint64_t i = 0; i < 2000; ++i)
-        store.value()->put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i)).isOk());
     for (uint64_t i = 0; i < 2000; i += 2)
-        store.value()->del(makeKey(i));
+        ASSERT_TRUE(store.value()->del(makeKey(i)).isOk());
     ASSERT_TRUE(store.value()->compactAll().isOk());
 
     EXPECT_GT(store.value()->stats().tombstones_dropped, 0u);
@@ -278,14 +278,17 @@ TEST(LsmTest, StatsTrackUserOps)
     ScratchDir dir("lsm");
     auto store = LSMStore::open(smallOptions(dir.path()));
     ASSERT_TRUE(store.ok());
-    store.value()->put("a", "1");
-    store.value()->put("b", "2");
-    store.value()->del("a");
+    ASSERT_TRUE(store.value()->put("a", "1").isOk());
+    ASSERT_TRUE(store.value()->put("b", "2").isOk());
+    ASSERT_TRUE(store.value()->del("a").isOk());
     Bytes v;
-    store.value()->get("a", v);
-    store.value()->get("b", v);
-    store.value()->scan(BytesView(), BytesView(),
-                        [](BytesView, BytesView) { return true; });
+    EXPECT_TRUE(store.value()->get("a", v).isNotFound());
+    ASSERT_TRUE(store.value()->get("b", v).isOk());
+    ASSERT_TRUE(
+        store.value()
+            ->scan(BytesView(), BytesView(),
+                   [](BytesView, BytesView) { return true; })
+            .isOk());
 
     const IOStats &s = store.value()->stats();
     EXPECT_EQ(s.user_writes, 2u);
@@ -302,7 +305,7 @@ TEST(LsmTest, LevelFileCountsReflectStructure)
     auto store = LSMStore::open(smallOptions(dir.path()));
     ASSERT_TRUE(store.ok());
     for (uint64_t i = 0; i < 4000; ++i)
-        store.value()->put(makeKey(i), makeValue(i, 48));
+        ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i, 48)).isOk());
     auto counts = store.value()->levelFileCounts();
     ASSERT_EQ(counts.size(),
               static_cast<size_t>(LSMStore::max_levels));

@@ -43,15 +43,15 @@ TEST(LsmEdgeTest, TombstoneShadowsDeepLevels)
     // Push a band of keys deep via churn.
     for (uint64_t round = 0; round < 3; ++round)
         for (uint64_t i = 0; i < 800; ++i)
-            store.value()->put(makeKey(i), makeValue(i + round));
+            ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i + round)).isOk());
     ASSERT_TRUE(store.value()->compactAll().isOk());
 
     // Delete half, then churn unrelated keys to force the
     // tombstones through several compactions.
     for (uint64_t i = 0; i < 800; i += 2)
-        store.value()->del(makeKey(i));
+        ASSERT_TRUE(store.value()->del(makeKey(i)).isOk());
     for (uint64_t i = 10000; i < 11500; ++i)
-        store.value()->put(makeKey(i), makeValue(i));
+        ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i)).isOk());
 
     Bytes value;
     for (uint64_t i = 0; i < 800; ++i) {
@@ -115,8 +115,9 @@ TEST(LsmEdgeTest, RepeatedReopenCompactCycles)
         auto store = LSMStore::open(tinyOptions(dir.path()));
         ASSERT_TRUE(store.ok());
         for (uint64_t i = 0; i < 400; ++i) {
-            store.value()->put(
-                makeKey(i), makeValue(i + cycle * 1000));
+            ASSERT_TRUE(store.value()->put(
+                makeKey(i),
+                makeValue(i + cycle * 1000)).isOk());
         }
         if (cycle % 2 == 0)
             ASSERT_TRUE(store.value()->compactAll().isOk());
@@ -143,16 +144,18 @@ TEST(LsmEdgeTest, ScanAfterHeavyChurn)
     for (int round = 0; round < 6; ++round) {
         for (uint64_t i = 0; i < 300; ++i) {
             if (round == 5 && i % 3 == 0)
-                store.value()->del(makeKey(i));
+                ASSERT_TRUE(store.value()->del(makeKey(i)).isOk());
             else
-                store.value()->put(makeKey(i),
-                                   makeValue(i + round * 7));
+                ASSERT_TRUE(
+                    store.value()
+                        ->put(makeKey(i), makeValue(i + round * 7))
+                        .isOk());
         }
-        store.value()->flush();
+        ASSERT_TRUE(store.value()->flush().isOk());
     }
 
     uint64_t count = 0;
-    store.value()->scan(
+    ASSERT_TRUE(store.value()->scan(
         BytesView(), BytesView(),
         [&](BytesView k, BytesView v) {
             uint64_t id = std::stoull(Bytes(k.substr(4, 8)));
@@ -160,7 +163,7 @@ TEST(LsmEdgeTest, ScanAfterHeavyChurn)
             EXPECT_EQ(Bytes(v), makeValue(id + 35));
             ++count;
             return true;
-        });
+        }).isOk());
     EXPECT_EQ(count, 200u);
 }
 
@@ -172,7 +175,7 @@ TEST(LsmEdgeTest, StatsAreMonotone)
     uint64_t last_written = 0;
     for (int round = 0; round < 5; ++round) {
         for (uint64_t i = 0; i < 500; ++i)
-            store.value()->put(makeKey(i), makeValue(i));
+            ASSERT_TRUE(store.value()->put(makeKey(i), makeValue(i)).isOk());
         const IOStats &stats = store.value()->stats();
         EXPECT_GE(stats.bytes_written, last_written);
         last_written = stats.bytes_written;
@@ -207,11 +210,11 @@ TEST(LsmEdgeTest, KeysWithBinaryContent)
 
     // Scan order is bytewise.
     std::vector<Bytes> keys;
-    store.value()->scan(BytesView(), BytesView(),
+    ASSERT_TRUE(store.value()->scan(BytesView(), BytesView(),
                         [&](BytesView k, BytesView) {
                             keys.emplace_back(k);
                             return true;
-                        });
+                        }).isOk());
     ASSERT_EQ(keys.size(), 3u);
     EXPECT_EQ(keys[0], k1);
     EXPECT_EQ(keys[1], k2);

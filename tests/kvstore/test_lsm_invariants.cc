@@ -1,0 +1,137 @@
+/**
+ * @file
+ * LSMStore::checkInvariants() tests: a healthy store passes at
+ * every lifecycle stage, and each on-disk MANIFEST corruption we
+ * inject (phantom table, missing file, seq from the future,
+ * deleted manifest) is detected as Corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "kvstore/lsm_store.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+using testutil::makeKey;
+using testutil::makeValue;
+
+LSMOptions
+tinyOptions(const std::string &dir)
+{
+    LSMOptions opts;
+    opts.dir = dir;
+    opts.memtable_bytes = 8 << 10;
+    opts.l0_compaction_trigger = 2;
+    opts.level_base_bytes = 32 << 10;
+    opts.target_file_bytes = 8 << 10;
+    return opts;
+}
+
+/** Populate enough churn to create sstables on several levels. */
+void
+fill(LSMStore &store, uint64_t keys = 1200)
+{
+    for (uint64_t i = 0; i < keys; ++i)
+        ASSERT_TRUE(
+            store.put(makeKey(i), makeValue(i)).isOk());
+}
+
+TEST(LsmInvariantsTest, HealthyStorePassesAtEveryStage)
+{
+    ScratchDir dir("lsm_inv");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+
+    // Empty store.
+    EXPECT_TRUE(store.value()->checkInvariants().isOk());
+
+    // After memtable churn and automatic flushes.
+    fill(*store.value());
+    EXPECT_TRUE(store.value()->checkInvariants().isOk());
+
+    // After full compaction and after deletes.
+    ASSERT_TRUE(store.value()->compactAll().isOk());
+    EXPECT_TRUE(store.value()->checkInvariants().isOk());
+    for (uint64_t i = 0; i < 1200; i += 3)
+        ASSERT_TRUE(store.value()->del(makeKey(i)).isOk());
+    ASSERT_TRUE(store.value()->flush().isOk());
+    EXPECT_TRUE(store.value()->checkInvariants().isOk());
+}
+
+TEST(LsmInvariantsTest, HealthyStorePassesAfterReopen)
+{
+    ScratchDir dir("lsm_inv");
+    {
+        auto store = LSMStore::open(tinyOptions(dir.path()));
+        ASSERT_TRUE(store.ok());
+        fill(*store.value());
+    }
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE(store.value()->checkInvariants().isOk());
+}
+
+TEST(LsmInvariantsTest, DetectsPhantomManifestEntry)
+{
+    ScratchDir dir("lsm_inv");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    fill(*store.value());
+    ASSERT_TRUE(store.value()->flush().isOk());
+    ASSERT_TRUE(store.value()->checkInvariants().isOk());
+
+    // Claim a table the store never wrote.
+    {
+        std::ofstream mf(dir.path() + "/MANIFEST",
+                         std::ios::app);
+        mf << "file 1 9999\n";
+    }
+    Status s = store.value()->checkInvariants();
+    EXPECT_FALSE(s.isOk());
+    EXPECT_NE(s.toString().find("MANIFEST"), std::string::npos);
+}
+
+TEST(LsmInvariantsTest, DetectsManifestSeqFromTheFuture)
+{
+    ScratchDir dir("lsm_inv");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    fill(*store.value());
+    ASSERT_TRUE(store.value()->flush().isOk());
+
+    // A later `seq` line overrides the real one with a sequence
+    // number the store has never issued.
+    {
+        std::ofstream mf(dir.path() + "/MANIFEST",
+                         std::ios::app);
+        mf << "seq 99999999999\n";
+    }
+    Status s = store.value()->checkInvariants();
+    EXPECT_FALSE(s.isOk());
+}
+
+TEST(LsmInvariantsTest, DetectsDeletedManifest)
+{
+    ScratchDir dir("lsm_inv");
+    auto store = LSMStore::open(tinyOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    fill(*store.value());
+    ASSERT_TRUE(store.value()->flush().isOk());
+
+    std::filesystem::remove(dir.path() + "/MANIFEST");
+    Status s = store.value()->checkInvariants();
+    EXPECT_FALSE(s.isOk());
+    EXPECT_NE(s.toString().find("MANIFEST missing"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ethkv::kv

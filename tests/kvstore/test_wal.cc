@@ -75,7 +75,8 @@ TEST(WalTest, ReplayPreservesEntryContent)
         ASSERT_TRUE(wal.value()->sync().isOk());
     }
     int records = 0;
-    WriteAheadLog::replay(path, [&](const WriteBatch &b, uint64_t) {
+    ASSERT_TRUE(WriteAheadLog::replay(path, [&](const WriteBatch &b,
+                                                uint64_t) {
         ++records;
         ASSERT_EQ(b.size(), 3u);
         EXPECT_EQ(b.entries()[0].op, BatchOp::Put);
@@ -84,7 +85,7 @@ TEST(WalTest, ReplayPreservesEntryContent)
         EXPECT_EQ(b.entries()[1].op, BatchOp::Delete);
         EXPECT_EQ(b.entries()[1].key, "beta");
         EXPECT_EQ(b.entries()[2].key, "");
-    });
+    }).isOk());
     EXPECT_EQ(records, 1);
 }
 
@@ -167,9 +168,10 @@ TEST(WalTest, ResetTruncates)
     ASSERT_TRUE(wal.value()->sync().isOk());
 
     int records = 0;
-    WriteAheadLog::replay(path, [&](const WriteBatch &, uint64_t) {
-        ++records;
-    });
+    ASSERT_TRUE(WriteAheadLog::replay(
+                    path,
+                    [&](const WriteBatch &, uint64_t) { ++records; })
+                    .isOk());
     EXPECT_EQ(records, 1);
 }
 
@@ -181,18 +183,19 @@ TEST(WalTest, AppendAfterReopenPreservesOldRecords)
         auto wal = WriteAheadLog::open(path);
         ASSERT_TRUE(wal.ok());
         ASSERT_TRUE(wal.value()->append(sampleBatch(1), 1).isOk());
-        wal.value()->sync();
+        ASSERT_TRUE(wal.value()->sync().isOk());
     }
     {
         auto wal = WriteAheadLog::open(path);
         ASSERT_TRUE(wal.ok());
         ASSERT_TRUE(wal.value()->append(sampleBatch(2), 2).isOk());
-        wal.value()->sync();
+        ASSERT_TRUE(wal.value()->sync().isOk());
     }
     int records = 0;
-    WriteAheadLog::replay(path, [&](const WriteBatch &, uint64_t) {
-        ++records;
-    });
+    ASSERT_TRUE(WriteAheadLog::replay(
+                    path,
+                    [&](const WriteBatch &, uint64_t) { ++records; })
+                    .isOk());
     EXPECT_EQ(records, 2);
 }
 

@@ -50,7 +50,9 @@ main()
             .expectOk("put");
         Bytes value;
         store.get(key, value).expectOk("get");
-        store.get("missing-" + std::to_string(i), value);
+        Status miss =
+            store.get("missing-" + std::to_string(i), value);
+        check(miss.isNotFound(), "missing key lookup");
         if (i % 7 == 0)
             store.del(key).expectOk("del");
     }

@@ -52,10 +52,10 @@ TEST(TracingStoreTest, WriteVsUpdateClassification)
     Harness h;
     // First put: Write. Second put to same key: Update. After
     // delete: Write again (the paper's liveness rule).
-    h.store.put("key", "1");
-    h.store.put("key", "2");
-    h.store.del("key");
-    h.store.put("key", "3");
+    ASSERT_TRUE(h.store.put("key", "1").isOk());
+    ASSERT_TRUE(h.store.put("key", "2").isOk());
+    ASSERT_TRUE(h.store.del("key").isOk());
+    ASSERT_TRUE(h.store.put("key", "3").isOk());
 
     ASSERT_EQ(h.trace.size(), 4u);
     EXPECT_EQ(h.trace.records()[0].op, OpType::Write);
@@ -70,10 +70,10 @@ TEST(TracingStoreTest, WriteVsUpdateClassification)
 TEST(TracingStoreTest, RecordsCarrySizesAndClass)
 {
     Harness h;
-    h.store.put("xyz-key", Bytes(100, 'v'));
+    ASSERT_TRUE(h.store.put("xyz-key", Bytes(100, 'v')).isOk());
     Bytes value;
-    h.store.get("xyz-key", value);
-    h.store.get("missing", value);
+    ASSERT_TRUE(h.store.get("xyz-key", value).isOk());
+    EXPECT_TRUE(h.store.get("missing", value).isNotFound());
 
     ASSERT_EQ(h.trace.size(), 3u);
     const TraceRecord &w = h.trace.records()[0];
@@ -93,14 +93,15 @@ TEST(TracingStoreTest, RecordsCarrySizesAndClass)
 TEST(TracingStoreTest, ScanEmitsOneRecord)
 {
     Harness h;
-    h.store.put("a1", "x");
-    h.store.put("a2", "y");
+    ASSERT_TRUE(h.store.put("a1", "x").isOk());
+    ASSERT_TRUE(h.store.put("a2", "y").isOk());
     h.trace.clear();
     int visited = 0;
-    h.store.scan("a", "b", [&](BytesView, BytesView) {
-        ++visited;
-        return true;
-    });
+    ASSERT_TRUE(h.store.scan("a", "b",
+                             [&](BytesView, BytesView) {
+                                 ++visited;
+                                 return true;
+                             }).isOk());
     EXPECT_EQ(visited, 2);
     ASSERT_EQ(h.trace.size(), 1u);
     EXPECT_EQ(h.trace.records()[0].op, OpType::Scan);
@@ -126,9 +127,11 @@ TEST(TracingStoreTest, CaptureGateTracksLiveness)
 {
     Harness h;
     h.store.setCapture(false);
-    h.store.put("warm", "1"); // uncaptured, but key becomes live
+    // Uncaptured, but the key becomes live.
+    ASSERT_TRUE(h.store.put("warm", "1").isOk());
     h.store.setCapture(true);
-    h.store.put("warm", "2"); // must classify as Update
+    // Must classify as Update.
+    ASSERT_TRUE(h.store.put("warm", "2").isOk());
 
     ASSERT_EQ(h.trace.size(), 1u);
     EXPECT_EQ(h.trace.records()[0].op, OpType::Update);
@@ -137,7 +140,7 @@ TEST(TracingStoreTest, CaptureGateTracksLiveness)
 TEST(TracingStoreTest, ForwardsToInnerEngine)
 {
     Harness h;
-    h.store.put("k", "v");
+    ASSERT_TRUE(h.store.put("k", "v").isOk());
     Bytes value;
     ASSERT_TRUE(h.engine.get("k", value).isOk());
     EXPECT_EQ(value, "v");

@@ -340,10 +340,10 @@ TEST(TrieTest, PersistedNodeSetMatchesFreshBuild)
         Bytes key = keccak256Bytes(encodeBE64(rng.nextBounded(150)));
         if (rng.chance(0.6)) {
             Bytes value = rng.nextBytes(1 + rng.nextBounded(40));
-            trie.put(key, value);
+            ASSERT_TRUE(trie.put(key, value).isOk());
             ref[key] = value;
         } else {
-            trie.del(key);
+            ASSERT_TRUE(trie.del(key).isOk());
             ref.erase(key);
         }
         if (step % 100 == 99)
@@ -354,7 +354,7 @@ TEST(TrieTest, PersistedNodeSetMatchesFreshBuild)
     MapBackend fresh_backend;
     MerklePatriciaTrie fresh(fresh_backend);
     for (const auto &[key, value] : ref)
-        fresh.put(key, value);
+        ASSERT_TRUE(fresh.put(key, value).isOk());
     kv::WriteBatch batch;
     fresh.commit(batch);
     fresh_backend.apply(batch);

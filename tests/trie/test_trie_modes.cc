@@ -140,11 +140,11 @@ TEST(TrieModesTest, HashModeIssuesNoDeletes)
     MapBackend backend;
     MerklePatriciaTrie trie(backend, TrieStorageMode::HashBased);
     for (int i = 0; i < 100; ++i)
-        trie.put(keccak256Bytes(encodeBE64(i)), "v");
+        ASSERT_TRUE(trie.put(keccak256Bytes(encodeBE64(i)), "v").isOk());
     commitTo(trie, backend);
 
     for (int i = 0; i < 100; i += 2)
-        trie.del(keccak256Bytes(encodeBE64(i)));
+        ASSERT_TRUE(trie.del(keccak256Bytes(encodeBE64(i))).isOk());
     kv::WriteBatch batch;
     trie.commit(batch);
     for (const auto &e : batch.entries())
