@@ -1,12 +1,7 @@
 #include "client/freezer.hh"
 
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-
 #include "common/varint.hh"
-
-namespace fs = std::filesystem;
+#include "obs/metrics.hh"
 
 namespace ethkv::client
 {
@@ -19,29 +14,43 @@ const char *table_names[num_freezer_tables] = {
 
 } // namespace
 
-Freezer::Freezer(std::string dir) : dir_(std::move(dir)) {}
+Freezer::Freezer(std::string dir, Env *env)
+    : dir_(std::move(dir)), env_(env)
+{}
 
 Freezer::~Freezer()
 {
-    for (Table &t : tables_)
-        if (t.data)
-            std::fclose(t.data);
+    for (Table &t : tables_) {
+        if (t.writer) {
+            ETHKV_IGNORE_STATUS(t.writer->close(),
+                                "best-effort close in dtor; "
+                                "unsynced appends were never "
+                                "promised durable");
+        }
+    }
 }
 
 Result<std::unique_ptr<Freezer>>
-Freezer::open(const std::string &dir)
+Freezer::open(const std::string &dir, Env *env)
 {
-    std::error_code ec;
-    fs::create_directories(dir, ec);
-    if (ec)
-        return Status::ioError("freezer: cannot create " + dir);
+    if (!env)
+        env = Env::defaultEnv();
+    Status dir_s = env->createDirs(dir);
+    if (!dir_s.isOk())
+        return dir_s;
 
-    auto freezer = std::unique_ptr<Freezer>(new Freezer(dir));
+    auto freezer = std::unique_ptr<Freezer>(new Freezer(dir, env));
     for (int i = 0; i < num_freezer_tables; ++i) {
         Status s = freezer->openTable(i, table_names[i]);
         if (!s.isOk())
             return s;
     }
+    // The table files may have just been created; persist their
+    // directory entries before acknowledging the open.
+    Status sync_s = env->syncDir(dir);
+    if (!sync_s.isOk())
+        return sync_s;
+
     // Frozen count is bounded by the shortest table (a torn append
     // leaves later tables behind; re-freezing is idempotent).
     uint64_t count = freezer->tables_[0].index.size();
@@ -55,54 +64,69 @@ Status
 Freezer::openTable(int idx, const std::string &name)
 {
     Table &table = tables_[idx];
-    std::string data_path = dir_ + "/" + name + ".dat";
+    table.path = dir_ + "/" + name + ".dat";
 
     // Rebuild the index by walking the length-prefixed records.
-    std::FILE *f = std::fopen(data_path.c_str(), "rb");
-    if (f) {
-        std::fseek(f, 0, SEEK_END);
-        uint64_t file_size =
-            static_cast<uint64_t>(std::ftell(f));
-        std::fseek(f, 0, SEEK_SET);
-        Bytes header(4, '\0');
+    if (env_->fileExists(table.path)) {
+        Bytes data;
+        Status s = env_->readFileToString(table.path, data);
+        if (!s.isOk())
+            return s;
         uint64_t offset = 0;
-        for (;;) {
-            if (std::fread(header.data(), 1, 4, f) < 4)
-                break;
+        while (offset + 4 <= data.size()) {
             uint32_t len = 0;
             for (int i = 0; i < 4; ++i) {
                 len = (len << 8) |
-                      static_cast<uint8_t>(header[i]);
+                      static_cast<uint8_t>(data[offset + i]);
             }
-            // A torn tail append leaves a record whose payload
-            // runs past EOF; it is discarded (and re-frozen by
-            // the idempotent repair path).
-            if (offset + 4 + len > file_size)
+            // A torn tail append leaves a record whose payload runs
+            // past EOF; indexing stops before it.
+            if (offset + 4 + len > data.size())
                 break;
-            std::fseek(f, static_cast<long>(len), SEEK_CUR);
             table.index.emplace_back(offset + 4, len);
             offset += 4 + len;
         }
-        std::fclose(f);
         table.tail_offset = offset;
-        // Drop torn garbage so future appends land directly after
-        // the last intact record.
-        if (offset < file_size) {
-            std::error_code ec;
-            fs::resize_file(data_path, offset, ec);
-            if (ec) {
-                return Status::ioError(
-                    "freezer: truncate failed for " + data_path);
+        // Salvage torn garbage (never silently delete it) so future
+        // appends land directly after the last intact record.
+        if (offset < data.size()) {
+            uint64_t salvaged = 0;
+            s = env_->quarantineTail(table.path, offset,
+                                     dir_ + "/quarantine",
+                                     &salvaged);
+            if (!s.isOk())
+                return s;
+            if (salvaged > 0) {
+                quarantined_bytes_ += salvaged;
+                obs::MetricsRegistry::global()
+                    .counter("kv.quarantined_bytes")
+                    .inc(salvaged);
             }
         }
     }
 
-    table.data = std::fopen(data_path.c_str(), "ab+");
-    if (!table.data) {
-        return Status::ioError("freezer: open " + data_path +
-                               ": " + std::strerror(errno));
-    }
+    auto writer = env_->newAppendableFile(table.path);
+    if (!writer.ok())
+        return writer.status();
+    table.writer = writer.take();
+    auto reader = env_->newRandomAccessFile(table.path);
+    if (!reader.ok())
+        return reader.status();
+    table.reader = reader.take();
     return Status::ok();
+}
+
+Status
+Freezer::degradeOnIOError(Status s)
+{
+    if (s.code() != StatusCode::IOError || degraded_)
+        return s;
+    degraded_ = true;
+    degraded_reason_ = s.toString();
+    obs::MetricsRegistry::global()
+        .counter("kv.degraded_transitions")
+        .inc();
+    return s;
 }
 
 Status
@@ -114,10 +138,9 @@ Freezer::appendOne(Table &table, BytesView payload)
     for (int shift = 24; shift >= 0; shift -= 8)
         record.push_back(static_cast<char>((len >> shift) & 0xff));
     record += payload;
-    if (std::fwrite(record.data(), 1, record.size(), table.data) !=
-        record.size()) {
-        return Status::ioError("freezer: short append");
-    }
+    Status s = table.writer->append(record);
+    if (!s.isOk())
+        return s;
     table.index.emplace_back(table.tail_offset + 4, len);
     table.tail_offset += record.size();
     return Status::ok();
@@ -127,6 +150,11 @@ Status
 Freezer::append(uint64_t number, BytesView hash, BytesView header,
                 BytesView body, BytesView receipts)
 {
+    if (degraded_) {
+        return Status::ioDegraded("freezer: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
     if (number != frozen_count_) {
         return Status::invalidArgument(
             "freezer: non-contiguous append");
@@ -139,7 +167,7 @@ Freezer::append(uint64_t number, BytesView hash, BytesView header,
             continue;
         Status s = appendOne(tables_[i], payloads[i]);
         if (!s.isOk())
-            return s;
+            return degradeOnIOError(std::move(s));
     }
     ++frozen_count_;
     return Status::ok();
@@ -152,15 +180,22 @@ Freezer::read(FreezerTable table, uint64_t number, Bytes &out)
     if (number >= t.index.size())
         return Status::notFound("freezer: item not frozen");
     auto [offset, len] = t.index[number];
-    out.resize(len);
-    std::fflush(t.data);
-    if (std::fseek(t.data, static_cast<long>(offset), SEEK_SET) !=
-            0 ||
-        std::fread(out.data(), 1, len, t.data) != len) {
-        return Status::ioError("freezer: read failed");
+    return t.reader->read(offset, len, out);
+}
+
+Status
+Freezer::sync()
+{
+    if (degraded_) {
+        return Status::ioDegraded("freezer: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
     }
-    // Restore append position.
-    std::fseek(t.data, 0, SEEK_END);
+    for (Table &t : tables_) {
+        Status s = t.writer->sync();
+        if (!s.isOk())
+            return degradeOnIOError(std::move(s));
+    }
     return Status::ok();
 }
 
@@ -177,7 +212,7 @@ Freezer::checkInvariants()
     for (int i = 0; i < num_freezer_tables; ++i) {
         Table &t = tables_[i];
         const std::string name = table_names[i];
-        if (!t.data)
+        if (!t.writer || !t.reader)
             return corrupt(name, "table file not open");
 
         // Records are back-to-back: each item's payload starts 4
@@ -204,18 +239,13 @@ Freezer::checkInvariants()
 
         // The data file must end exactly at the tail (no torn or
         // foreign bytes after the last intact record).
-        if (std::fflush(t.data) != 0)
-            return corrupt(name, "flush failed");
-        std::string data_path =
-            dir_ + "/" + std::string(table_names[i]) + ".dat";
-        std::error_code ec;
-        uint64_t disk_size =
-            std::filesystem::file_size(data_path, ec);
-        if (ec)
+        auto disk_size = env_->fileSize(t.path);
+        if (!disk_size.ok())
             return corrupt(name, "data file unreadable");
-        if (disk_size != t.tail_offset) {
+        if (disk_size.value() != t.tail_offset) {
             return corrupt(
-                name, "on-disk size " + std::to_string(disk_size) +
+                name, "on-disk size " +
+                          std::to_string(disk_size.value()) +
                           " != indexed tail " +
                           std::to_string(t.tail_offset));
         }

@@ -16,12 +16,12 @@
 #define ETHKV_CLIENT_FREEZER_HH
 
 #include <array>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hh"
+#include "common/env.hh"
 #include "common/status.hh"
 
 namespace ethkv::client
@@ -46,9 +46,15 @@ constexpr int num_freezer_tables = 4;
 class Freezer
 {
   public:
-    /** Open (or create) freezer files under dir. */
+    /**
+     * Open (or create) freezer files under dir, rebuilding each
+     * table's index and salvaging any torn tail into
+     * <dir>/quarantine/.
+     *
+     * @param env Filesystem to use; nullptr = Env::defaultEnv().
+     */
     static Result<std::unique_ptr<Freezer>> open(
-        const std::string &dir);
+        const std::string &dir, Env *env = nullptr);
 
     ~Freezer();
 
@@ -67,8 +73,24 @@ class Freezer
     /** Read one item back from a table. */
     Status read(FreezerTable table, uint64_t number, Bytes &out);
 
+    /** Make all appended items durable (fdatasync every table). */
+    Status sync();
+
     /** Number of frozen blocks (next expected append number). */
     uint64_t frozenCount() const { return frozen_count_; }
+
+    /** True once a persistent I/O failure made the freezer
+     *  read-only. Reads of already-indexed items keep working. */
+    bool isDegraded() const { return degraded_; }
+
+    /** Why the freezer degraded; empty while healthy. */
+    const std::string &degradedReason() const
+    {
+        return degraded_reason_;
+    }
+
+    /** Torn-tail bytes salvaged to quarantine/ during open. */
+    uint64_t quarantinedBytes() const { return quarantined_bytes_; }
 
     /** Total bytes across all table files. */
     uint64_t totalBytes() const;
@@ -90,19 +112,27 @@ class Freezer
   private:
     struct Table
     {
-        std::FILE *data = nullptr;
+        std::string path;
+        std::unique_ptr<WritableFile> writer;
+        std::unique_ptr<RandomAccessFile> reader;
         std::vector<std::pair<uint64_t, uint32_t>> index;
         uint64_t tail_offset = 0;
     };
 
-    explicit Freezer(std::string dir);
+    Freezer(std::string dir, Env *env);
 
     Status openTable(int idx, const std::string &name);
     Status appendOne(Table &table, BytesView payload);
+    /** See LSMStore::degradeOnIOError. */
+    Status degradeOnIOError(Status s);
 
     std::string dir_;
+    Env *env_;
     std::array<Table, num_freezer_tables> tables_;
     uint64_t frozen_count_ = 0;
+    bool degraded_ = false;
+    std::string degraded_reason_;
+    uint64_t quarantined_bytes_ = 0;
 };
 
 } // namespace ethkv::client

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * ethkv::Env — the single seam between the storage stack and the
+ * operating system's filesystem.
+ *
+ * Every component that persists bytes (WAL, SSTable writer/reader,
+ * LSM manifest, log store, freezer, trace files, metrics export)
+ * opens files through an Env instead of calling fopen/fstream
+ * directly. That buys two things the paper's durability claims
+ * depend on:
+ *
+ *  1. Real durability primitives. WritableFile::sync() reaches the
+ *     platter (fdatasync), not just the OS page cache, and
+ *     Env::syncDir() makes directory entries (new files, renames)
+ *     survive power loss. std::fflush — the seed's only "sync" —
+ *     guarantees neither.
+ *
+ *  2. A fault-injection seam. FaultInjectionEnv (common/fault_env.hh)
+ *     implements this interface over a real directory and can drop
+ *     unsynced data at a simulated crash, tear writes at arbitrary
+ *     byte offsets, fail syncs, inject read EIO, and lose unsynced
+ *     renames — the crash-recovery stress harness drives every
+ *     engine through it.
+ *
+ * The contract at each durability point:
+ *
+ *  - append() data is only guaranteed after a subsequent sync()
+ *    returns Ok. flush() moves bytes from userspace to the OS and
+ *    guarantees nothing across power loss.
+ *  - A newly created file's *name* is only guaranteed after
+ *    syncDir() on its parent directory returns Ok (syncing the file
+ *    itself does not persist the directory entry).
+ *  - renameFile() is atomic with respect to crashes (either name
+ *    wins, never a mix), but which one wins is only pinned down
+ *    after syncDir() on the parent.
+ *
+ * The lint gate (tools/ethkv_lint, rule 4) flags direct
+ * fopen/fstream use under src/ outside the PosixEnv implementation
+ * so this seam cannot silently erode.
+ */
+
+#ifndef ETHKV_COMMON_ENV_HH
+#define ETHKV_COMMON_ENV_HH
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+
+namespace ethkv
+{
+
+/**
+ * Append-only output file.
+ *
+ * Writes are acknowledged (Ok) once accepted by the Env; they are
+ * durable only after sync() returns Ok. close() does NOT imply
+ * sync — exactly like POSIX close(2).
+ */
+class WritableFile
+{
+  public:
+    virtual ~WritableFile() = default;
+
+    /** Append data at the end of the file. */
+    virtual Status append(BytesView data) = 0;
+
+    /** Push userspace buffers to the OS (no durability). */
+    virtual Status flush() = 0;
+
+    /** Make all appended data durable (flush + fdatasync). */
+    virtual Status sync() = 0;
+
+    /** Close the file; further appends are a bug. Idempotent. */
+    virtual Status close() = 0;
+};
+
+/** Positioned reads over an immutable or append-only file. */
+class RandomAccessFile
+{
+  public:
+    virtual ~RandomAccessFile() = default;
+
+    /**
+     * Read exactly n bytes at offset into out.
+     *
+     * @return IOError if fewer than n bytes are available.
+     */
+    virtual Status read(uint64_t offset, size_t n,
+                        Bytes &out) const = 0;
+};
+
+/** Forward-only reads (log replay, whole-file scans). */
+class SequentialFile
+{
+  public:
+    virtual ~SequentialFile() = default;
+
+    /**
+     * Read up to n bytes into out.
+     *
+     * out is resized to the bytes actually read; empty means EOF.
+     */
+    virtual Status read(size_t n, Bytes &out) = 0;
+};
+
+/**
+ * The filesystem abstraction. Implementations: PosixEnv (the
+ * default, env_posix.cc) and FaultInjectionEnv (fault_env.hh).
+ */
+class Env
+{
+  public:
+    virtual ~Env() = default;
+
+    /** The process-wide PosixEnv. */
+    static Env *defaultEnv();
+
+    /** Create (truncating if present) a file for writing. */
+    virtual Result<std::unique_ptr<WritableFile>> newWritableFile(
+        const std::string &path) = 0;
+
+    /** Open (creating if absent) a file for appending. */
+    virtual Result<std::unique_ptr<WritableFile>> newAppendableFile(
+        const std::string &path) = 0;
+
+    virtual Result<std::unique_ptr<RandomAccessFile>>
+    newRandomAccessFile(const std::string &path) = 0;
+
+    virtual Result<std::unique_ptr<SequentialFile>>
+    newSequentialFile(const std::string &path) = 0;
+
+    virtual bool fileExists(const std::string &path) = 0;
+
+    virtual Result<uint64_t> fileSize(const std::string &path) = 0;
+
+    /** mkdir -p. */
+    virtual Status createDirs(const std::string &dir) = 0;
+
+    /** Remove one file; removing an absent file is an error. */
+    virtual Status removeFile(const std::string &path) = 0;
+
+    /** Truncate (or extend with zeros) to size bytes. */
+    virtual Status truncateFile(const std::string &path,
+                                uint64_t size) = 0;
+
+    /**
+     * Atomically rename from -> to, replacing to if it exists.
+     * Durable only after syncDir() on the parent directory.
+     */
+    virtual Status renameFile(const std::string &from,
+                              const std::string &to) = 0;
+
+    /** fsync a directory: persist its entries (creates/renames). */
+    virtual Status syncDir(const std::string &dir) = 0;
+
+    // -- Convenience helpers built on the virtuals ---------------
+
+    /** Slurp an entire file. */
+    Status readFileToString(const std::string &path, Bytes &out);
+
+    /**
+     * Write a whole file in one shot (truncating), optionally
+     * syncing the data before close. Does not sync the directory.
+     */
+    Status writeStringToFile(const std::string &path, BytesView data,
+                             bool sync);
+
+    /**
+     * Salvage a torn file tail instead of silently deleting it.
+     *
+     * Copies bytes [valid_bytes, EOF) of path into quarantine_dir
+     * (created on demand) as "<basename>.<valid_bytes>.tail", then
+     * truncates path back to valid_bytes. No-op when the file has
+     * no bytes past valid_bytes.
+     *
+     * @param salvaged If non-null, receives the tail length moved
+     *        to quarantine (0 on the no-op path).
+     */
+    Status quarantineTail(const std::string &path,
+                          uint64_t valid_bytes,
+                          const std::string &quarantine_dir,
+                          uint64_t *salvaged = nullptr);
+};
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_ENV_HH

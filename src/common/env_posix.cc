@@ -1,0 +1,395 @@
+/**
+ * @file
+ * PosixEnv: the production Env over the real filesystem.
+ *
+ * This is the only translation unit in src/ allowed to open files
+ * directly (lint rule 4). Files use raw fds so sync() can reach
+ * fdatasync(2) and directories can be fsynced — the durability
+ * primitives stdio cannot express.
+ */
+
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+namespace fs = std::filesystem;
+
+namespace ethkv
+{
+
+namespace
+{
+
+Status
+errnoStatus(const std::string &what, const std::string &path)
+{
+    return Status::ioError(what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/** fd-backed appender; write-through (no userspace buffer), so
+ *  flush() is a no-op and sync() is a plain fdatasync. */
+class PosixWritableFile : public WritableFile
+{
+  public:
+    PosixWritableFile(std::string path, int fd)
+        : path_(std::move(path)), fd_(fd)
+    {}
+
+    ~PosixWritableFile() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    Status
+    append(BytesView data) override
+    {
+        const char *p = data.data();
+        size_t left = data.size();
+        while (left > 0) {
+            ssize_t n = ::write(fd_, p, left);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return errnoStatus("write", path_);
+            }
+            p += n;
+            left -= static_cast<size_t>(n);
+        }
+        return Status::ok();
+    }
+
+    Status
+    flush() override
+    {
+        return Status::ok(); // write-through: already in the OS
+    }
+
+    Status
+    sync() override
+    {
+        if (::fdatasync(fd_) != 0)
+            return errnoStatus("fdatasync", path_);
+        return Status::ok();
+    }
+
+    Status
+    close() override
+    {
+        if (fd_ < 0)
+            return Status::ok();
+        int fd = fd_;
+        fd_ = -1;
+        if (::close(fd) != 0)
+            return errnoStatus("close", path_);
+        return Status::ok();
+    }
+
+  private:
+    std::string path_;
+    int fd_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile
+{
+  public:
+    PosixRandomAccessFile(std::string path, int fd)
+        : path_(std::move(path)), fd_(fd)
+    {}
+
+    ~PosixRandomAccessFile() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    Status
+    read(uint64_t offset, size_t n, Bytes &out) const override
+    {
+        out.resize(n);
+        char *p = out.data();
+        size_t left = n;
+        uint64_t off = offset;
+        while (left > 0) {
+            ssize_t got = ::pread(fd_, p, left,
+                                  static_cast<off_t>(off));
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                return errnoStatus("pread", path_);
+            }
+            if (got == 0) {
+                return Status::ioError("pread " + path_ +
+                                       ": short read");
+            }
+            p += got;
+            left -= static_cast<size_t>(got);
+            off += static_cast<uint64_t>(got);
+        }
+        return Status::ok();
+    }
+
+  private:
+    std::string path_;
+    int fd_;
+};
+
+class PosixSequentialFile : public SequentialFile
+{
+  public:
+    PosixSequentialFile(std::string path, int fd)
+        : path_(std::move(path)), fd_(fd)
+    {}
+
+    ~PosixSequentialFile() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    Status
+    read(size_t n, Bytes &out) override
+    {
+        out.resize(n);
+        size_t filled = 0;
+        while (filled < n) {
+            ssize_t got =
+                ::read(fd_, out.data() + filled, n - filled);
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                return errnoStatus("read", path_);
+            }
+            if (got == 0)
+                break; // EOF
+            filled += static_cast<size_t>(got);
+        }
+        out.resize(filled);
+        return Status::ok();
+    }
+
+  private:
+    std::string path_;
+    int fd_;
+};
+
+class PosixEnv : public Env
+{
+  public:
+    Result<std::unique_ptr<WritableFile>>
+    newWritableFile(const std::string &path) override
+    {
+        int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+        if (fd < 0)
+            return errnoStatus("open(w)", path);
+        return std::unique_ptr<WritableFile>(
+            std::make_unique<PosixWritableFile>(path, fd));
+    }
+
+    Result<std::unique_ptr<WritableFile>>
+    newAppendableFile(const std::string &path) override
+    {
+        int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                        0644);
+        if (fd < 0)
+            return errnoStatus("open(a)", path);
+        return std::unique_ptr<WritableFile>(
+            std::make_unique<PosixWritableFile>(path, fd));
+    }
+
+    Result<std::unique_ptr<RandomAccessFile>>
+    newRandomAccessFile(const std::string &path) override
+    {
+        int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0)
+            return errnoStatus("open(r)", path);
+        return std::unique_ptr<RandomAccessFile>(
+            std::make_unique<PosixRandomAccessFile>(path, fd));
+    }
+
+    Result<std::unique_ptr<SequentialFile>>
+    newSequentialFile(const std::string &path) override
+    {
+        int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0)
+            return errnoStatus("open(r)", path);
+        return std::unique_ptr<SequentialFile>(
+            std::make_unique<PosixSequentialFile>(path, fd));
+    }
+
+    bool
+    fileExists(const std::string &path) override
+    {
+        return ::access(path.c_str(), F_OK) == 0;
+    }
+
+    Result<uint64_t>
+    fileSize(const std::string &path) override
+    {
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0)
+            return errnoStatus("stat", path);
+        return static_cast<uint64_t>(st.st_size);
+    }
+
+    Status
+    createDirs(const std::string &dir) override
+    {
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        if (ec) {
+            return Status::ioError("mkdir " + dir + ": " +
+                                   ec.message());
+        }
+        return Status::ok();
+    }
+
+    Status
+    removeFile(const std::string &path) override
+    {
+        if (::unlink(path.c_str()) != 0)
+            return errnoStatus("unlink", path);
+        return Status::ok();
+    }
+
+    Status
+    truncateFile(const std::string &path, uint64_t size) override
+    {
+        if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+            return errnoStatus("truncate", path);
+        return Status::ok();
+    }
+
+    Status
+    renameFile(const std::string &from,
+               const std::string &to) override
+    {
+        if (::rename(from.c_str(), to.c_str()) != 0)
+            return errnoStatus("rename", from + " -> " + to);
+        return Status::ok();
+    }
+
+    Status
+    syncDir(const std::string &dir) override
+    {
+        int fd = ::open(dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+        if (fd < 0)
+            return errnoStatus("open(dir)", dir);
+        int rc = ::fsync(fd);
+        int saved_errno = errno;
+        ::close(fd);
+        if (rc != 0) {
+            errno = saved_errno;
+            return errnoStatus("fsync(dir)", dir);
+        }
+        return Status::ok();
+    }
+};
+
+} // namespace
+
+Env *
+Env::defaultEnv()
+{
+    static PosixEnv env;
+    return &env;
+}
+
+Status
+Env::readFileToString(const std::string &path, Bytes &out)
+{
+    auto size = fileSize(path);
+    if (!size.ok())
+        return size.status();
+    auto file = newSequentialFile(path);
+    if (!file.ok())
+        return file.status();
+    out.clear();
+    // Size the first read to the stat result but tolerate growth
+    // between stat and read by draining to EOF.
+    Bytes chunk;
+    size_t want = static_cast<size_t>(size.value()) + 1;
+    for (;;) {
+        Status s = file.value()->read(want, chunk);
+        if (!s.isOk())
+            return s;
+        if (chunk.empty())
+            break;
+        out += chunk;
+        want = 4096;
+    }
+    return Status::ok();
+}
+
+Status
+Env::writeStringToFile(const std::string &path, BytesView data,
+                       bool sync)
+{
+    auto file = newWritableFile(path);
+    if (!file.ok())
+        return file.status();
+    Status s = file.value()->append(data);
+    if (s.isOk() && sync)
+        s = file.value()->sync();
+    Status close_s = file.value()->close();
+    if (!s.isOk())
+        return s;
+    return close_s;
+}
+
+Status
+Env::quarantineTail(const std::string &path, uint64_t valid_bytes,
+                    const std::string &quarantine_dir,
+                    uint64_t *salvaged)
+{
+    if (salvaged)
+        *salvaged = 0;
+    auto size = fileSize(path);
+    if (!size.ok())
+        return size.status();
+    if (size.value() <= valid_bytes)
+        return Status::ok();
+
+    Bytes data;
+    Status s = readFileToString(path, data);
+    if (!s.isOk())
+        return s;
+    if (data.size() <= valid_bytes)
+        return Status::ok(); // shrank between stat and read
+    BytesView tail = BytesView(data).substr(valid_bytes);
+
+    s = createDirs(quarantine_dir);
+    if (!s.isOk())
+        return s;
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::string dest = quarantine_dir + "/" + base + "." +
+                       std::to_string(valid_bytes) + ".tail";
+    // Copy out first, truncate second: a crash in between leaves
+    // the tail duplicated, never lost.
+    s = writeStringToFile(dest, tail, /*sync=*/false);
+    if (!s.isOk())
+        return s;
+    s = truncateFile(path, valid_bytes);
+    if (!s.isOk())
+        return s;
+    if (salvaged)
+        *salvaged = tail.size();
+    return Status::ok();
+}
+
+} // namespace ethkv

@@ -1,0 +1,618 @@
+#include "common/fault_env.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace ethkv
+{
+
+namespace
+{
+
+std::string
+parentDir(const std::string &path)
+{
+    return std::filesystem::path(path).parent_path().string();
+}
+
+Status
+deadHandle(const char *what)
+{
+    return Status::ioError(std::string("fault_env: ") + what +
+                           " on handle from before the crash");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// File handle wrappers
+// ---------------------------------------------------------------
+
+/** Appends go to the env's pending shadow until synced. */
+class FaultWritableFile : public WritableFile
+{
+  public:
+    FaultWritableFile(FaultInjectionEnv *env, std::string path,
+                      uint64_t generation)
+        : env_(env), path_(std::move(path)),
+          generation_(generation)
+    {}
+
+    Status
+    append(BytesView data) override
+    {
+        Status s = env_->checkOp(generation_);
+        if (!s.isOk())
+            return s;
+        return env_->appendPending(path_, data);
+    }
+
+    Status
+    flush() override
+    {
+        // Userspace -> OS only: pending data stays crash-volatile.
+        return env_->checkOp(generation_);
+    }
+
+    Status
+    sync() override
+    {
+        Status s = env_->checkOp(generation_);
+        if (!s.isOk())
+            return s;
+        return env_->syncFile(path_);
+    }
+
+    Status
+    close() override
+    {
+        // Like POSIX close(2): pending data stays unsynced (and
+        // is lost if the machine crashes before a sync).
+        closed_ = true;
+        return Status::ok();
+    }
+
+  private:
+    FaultInjectionEnv *env_;
+    std::string path_;
+    uint64_t generation_;
+    bool closed_ = false;
+};
+
+/** Positioned reads over the logical (synced + pending) content. */
+class FaultRandomAccessFile : public RandomAccessFile
+{
+  public:
+    FaultRandomAccessFile(FaultInjectionEnv *env, std::string path,
+                          uint64_t generation)
+        : env_(env), path_(std::move(path)),
+          generation_(generation)
+    {}
+
+    Status
+    read(uint64_t offset, size_t n, Bytes &out) const override
+    {
+        Status s = env_->checkOp(generation_);
+        if (!s.isOk())
+            return s;
+        s = env_->maybeInjectReadError("pread");
+        if (!s.isOk())
+            return s;
+        Bytes whole;
+        s = env_->logicalRead(path_, whole);
+        if (!s.isOk())
+            return s;
+        if (offset + n > whole.size()) {
+            return Status::ioError("fault_env: pread " + path_ +
+                                   ": short read");
+        }
+        out.assign(whole, static_cast<size_t>(offset), n);
+        return Status::ok();
+    }
+
+  private:
+    FaultInjectionEnv *env_;
+    std::string path_;
+    uint64_t generation_;
+};
+
+/** Forward reads over a snapshot of the logical content. */
+class FaultSequentialFile : public SequentialFile
+{
+  public:
+    FaultSequentialFile(FaultInjectionEnv *env, Bytes snapshot,
+                        uint64_t generation)
+        : env_(env), snapshot_(std::move(snapshot)),
+          generation_(generation)
+    {}
+
+    Status
+    read(size_t n, Bytes &out) override
+    {
+        Status s = env_->checkOp(generation_);
+        if (!s.isOk())
+            return s;
+        s = env_->maybeInjectReadError("read");
+        if (!s.isOk())
+            return s;
+        size_t left = snapshot_.size() - pos_;
+        size_t take = std::min(n, left);
+        out.assign(snapshot_, pos_, take);
+        pos_ += take;
+        return Status::ok();
+    }
+
+  private:
+    FaultInjectionEnv *env_;
+    Bytes snapshot_;
+    size_t pos_ = 0;
+    uint64_t generation_;
+};
+
+// ---------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------
+
+FaultInjectionEnv::FaultInjectionEnv(Env *base, uint64_t seed)
+    : base_(base), rng_(seed)
+{}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+Status
+FaultInjectionEnv::checkOp(uint64_t generation) const
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive "
+                               "(simulated crash)");
+    if (generation != generation_)
+        return deadHandle("op");
+    return Status::ok();
+}
+
+Status
+FaultInjectionEnv::maybeInjectReadError(const char *what)
+{
+    MutexLock lock(mutex_);
+    if (permanent_read_error_) {
+        return Status::ioError(std::string("fault_env: injected "
+                                           "permanent EIO on ") +
+                               what);
+    }
+    if (read_error_one_in_ > 0 &&
+        rng_.nextBounded(read_error_one_in_) == 0) {
+        return Status::ioError(std::string("fault_env: injected "
+                                           "transient EIO on ") +
+                               what);
+    }
+    return Status::ok();
+}
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectionEnv::newWritableFile(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    bool existed = base_->fileExists(path);
+    auto base_file = base_->newWritableFile(path);
+    if (!base_file.ok())
+        return base_file.status();
+    FileState &state = files_[path];
+    state.synced_size = 0;
+    state.pending.clear();
+    state.base_writer = base_file.take();
+    if (!existed) {
+        pending_dir_ops_.push_back(
+            {DirOp::Create, parentDir(path), path, "", false, {}});
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<FaultWritableFile>(this, path,
+                                            generation_));
+}
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectionEnv::newAppendableFile(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    bool existed = base_->fileExists(path);
+    auto base_file = base_->newAppendableFile(path);
+    if (!base_file.ok())
+        return base_file.status();
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+        // First sighting: whatever is on the base disk is durable.
+        FileState state;
+        auto size = base_->fileSize(path);
+        state.synced_size = size.ok() ? size.value() : 0;
+        state.base_writer = base_file.take();
+        files_[path] = std::move(state);
+    } else {
+        it->second.base_writer = base_file.take();
+    }
+    if (!existed) {
+        pending_dir_ops_.push_back(
+            {DirOp::Create, parentDir(path), path, "", false, {}});
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<FaultWritableFile>(this, path,
+                                            generation_));
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::newRandomAccessFile(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    if (files_.find(path) == files_.end() &&
+        !base_->fileExists(path)) {
+        return Status::ioError("fault_env: open(r) " + path +
+                               ": no such file");
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<FaultRandomAccessFile>(this, path,
+                                                generation_));
+}
+
+Result<std::unique_ptr<SequentialFile>>
+FaultInjectionEnv::newSequentialFile(const std::string &path)
+{
+    uint64_t generation;
+    {
+        MutexLock lock(mutex_);
+        if (!active_)
+            return Status::ioError("fault_env: filesystem inactive");
+        generation = generation_;
+    }
+    Bytes snapshot;
+    Status s = logicalRead(path, snapshot);
+    if (!s.isOk())
+        return s;
+    return std::unique_ptr<SequentialFile>(
+        std::make_unique<FaultSequentialFile>(
+            this, std::move(snapshot), generation));
+}
+
+bool
+FaultInjectionEnv::fileExists(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    return files_.find(path) != files_.end() ||
+           base_->fileExists(path);
+}
+
+Result<uint64_t>
+FaultInjectionEnv::fileSize(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    auto it = files_.find(path);
+    if (it != files_.end()) {
+        return it->second.synced_size +
+               static_cast<uint64_t>(it->second.pending.size());
+    }
+    return base_->fileSize(path);
+}
+
+Status
+FaultInjectionEnv::createDirs(const std::string &dir)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    // Directory creation is modeled as immediately durable; the
+    // interesting crash windows are file data and entries.
+    return base_->createDirs(dir);
+}
+
+Status
+FaultInjectionEnv::removeFile(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    files_.erase(path);
+    return base_->removeFile(path);
+}
+
+Status
+FaultInjectionEnv::truncateFile(const std::string &path,
+                                uint64_t size)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    auto it = files_.find(path);
+    if (it == files_.end())
+        return base_->truncateFile(path, size);
+    FileState &state = it->second;
+    uint64_t logical =
+        state.synced_size + state.pending.size();
+    if (size >= logical)
+        return Status::ok(); // engines never extend via truncate
+    if (size >= state.synced_size) {
+        state.pending.resize(
+            static_cast<size_t>(size - state.synced_size));
+        return Status::ok();
+    }
+    state.pending.clear();
+    state.synced_size = size;
+    state.base_writer.reset(); // reopen after base truncate
+    return base_->truncateFile(path, size);
+}
+
+Status
+FaultInjectionEnv::renameFile(const std::string &from,
+                              const std::string &to)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+
+    DirOp op;
+    op.kind = DirOp::Rename;
+    op.dir = parentDir(to);
+    op.path = to;
+    op.from = from;
+    op.had_dest = files_.find(to) != files_.end() ||
+                  base_->fileExists(to);
+    if (op.had_dest) {
+        // Backup = logical bytes: synced base prefix + any
+        // pending tail the destination still had.
+        Status s = base_->readFileToString(to, op.dest_backup);
+        if (!s.isOk())
+            return s;
+        auto dest_it = files_.find(to);
+        if (dest_it != files_.end()) {
+            op.dest_backup.resize(
+                static_cast<size_t>(dest_it->second.synced_size));
+            op.dest_backup += dest_it->second.pending;
+        }
+    }
+
+    Status s = base_->renameFile(from, to);
+    if (!s.isOk())
+        return s;
+
+    // Move the shadow state with the name.
+    auto from_it = files_.find(from);
+    files_.erase(to);
+    if (from_it != files_.end()) {
+        FileState state = std::move(from_it->second);
+        state.base_writer.reset(); // path-bound; reopen on demand
+        files_.erase(from_it);
+        files_[to] = std::move(state);
+    }
+    pending_dir_ops_.push_back(std::move(op));
+    return Status::ok();
+}
+
+Status
+FaultInjectionEnv::syncDir(const std::string &dir)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    if (sync_error_) {
+        return Status::ioError(
+            "fault_env: injected fsync(dir) failure");
+    }
+    Status s = base_->syncDir(dir);
+    if (!s.isOk())
+        return s;
+    pending_dir_ops_.erase(
+        std::remove_if(pending_dir_ops_.begin(),
+                       pending_dir_ops_.end(),
+                       [&](const DirOp &op) {
+                           return op.dir == dir;
+                       }),
+        pending_dir_ops_.end());
+    return Status::ok();
+}
+
+Status
+FaultInjectionEnv::appendPending(const std::string &path,
+                                 BytesView data)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    if (write_error_) {
+        return Status::ioError(
+            "fault_env: injected write failure");
+    }
+    files_[path].pending += data;
+    return Status::ok();
+}
+
+Status
+FaultInjectionEnv::syncFileLocked(const std::string &path)
+{
+    auto it = files_.find(path);
+    if (it == files_.end())
+        return Status::ok(); // nothing buffered
+    FileState &state = it->second;
+    if (state.pending.empty())
+        return Status::ok();
+    if (!state.base_writer) {
+        auto writer = base_->newAppendableFile(path);
+        if (!writer.ok())
+            return writer.status();
+        state.base_writer = writer.take();
+    }
+    Status s = state.base_writer->append(state.pending);
+    if (!s.isOk())
+        return s;
+    s = state.base_writer->sync();
+    if (!s.isOk())
+        return s;
+    state.synced_size += state.pending.size();
+    state.pending.clear();
+    return Status::ok();
+}
+
+Status
+FaultInjectionEnv::syncFile(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    if (!active_)
+        return Status::ioError("fault_env: filesystem inactive");
+    if (sync_error_)
+        return Status::ioError("fault_env: injected fsync failure");
+    return syncFileLocked(path);
+}
+
+Status
+FaultInjectionEnv::logicalRead(const std::string &path, Bytes &out)
+{
+    MutexLock lock(mutex_);
+    auto it = files_.find(path);
+    if (it == files_.end())
+        return base_->readFileToString(path, out);
+    Status s = base_->readFileToString(path, out);
+    if (!s.isOk())
+        return s;
+    // The base file holds exactly the synced bytes; defensively
+    // clamp, then overlay the pending tail.
+    out.resize(static_cast<size_t>(it->second.synced_size));
+    out += it->second.pending;
+    return Status::ok();
+}
+
+void
+FaultInjectionEnv::setWriteError(bool fail)
+{
+    MutexLock lock(mutex_);
+    write_error_ = fail;
+}
+
+void
+FaultInjectionEnv::setSyncError(bool fail)
+{
+    MutexLock lock(mutex_);
+    sync_error_ = fail;
+}
+
+void
+FaultInjectionEnv::setReadErrorOneIn(uint32_t n)
+{
+    MutexLock lock(mutex_);
+    read_error_one_in_ = n;
+}
+
+void
+FaultInjectionEnv::setPermanentReadError(bool fail)
+{
+    MutexLock lock(mutex_);
+    permanent_read_error_ = fail;
+}
+
+void
+FaultInjectionEnv::crashKeepUnsyncedBytes(int64_t n)
+{
+    MutexLock lock(mutex_);
+    crash_keep_bytes_ = n;
+}
+
+void
+FaultInjectionEnv::simulateCrash()
+{
+    MutexLock lock(mutex_);
+    active_ = false;
+    ++generation_;
+
+    // 1. Tear the data: every file keeps its synced prefix plus a
+    //    prefix of its unsynced bytes.
+    for (auto &[path, state] : files_) {
+        size_t keep;
+        if (crash_keep_bytes_ >= 0) {
+            keep = std::min<size_t>(
+                static_cast<size_t>(crash_keep_bytes_),
+                state.pending.size());
+        } else {
+            keep = static_cast<size_t>(rng_.nextBounded(
+                static_cast<uint64_t>(state.pending.size()) + 1));
+        }
+        dropped_bytes_ += state.pending.size() - keep;
+        if (keep > 0) {
+            if (!state.base_writer) {
+                auto writer = base_->newAppendableFile(path);
+                if (writer.ok())
+                    state.base_writer = writer.take();
+            }
+            if (state.base_writer) {
+                ETHKV_IGNORE_STATUS(
+                    state.base_writer->append(
+                        BytesView(state.pending).substr(0, keep)),
+                    "crash simulation is best-effort about the "
+                    "torn prefix; losing it entirely is also a "
+                    "legal crash outcome");
+                state.synced_size += keep;
+            }
+        }
+        state.pending.clear();
+        state.base_writer.reset();
+    }
+
+    // 2. Lose the metadata: unwind unsynced directory ops, newest
+    //    first, so chains (create then rename) revert cleanly.
+    for (auto it = pending_dir_ops_.rbegin();
+         it != pending_dir_ops_.rend(); ++it) {
+        const DirOp &op = *it;
+        if (op.kind == DirOp::Create) {
+            if (base_->fileExists(op.path)) {
+                ETHKV_IGNORE_STATUS(
+                    base_->removeFile(op.path),
+                    "unsynced create may already be gone via a "
+                    "reverted rename chain");
+            }
+            files_.erase(op.path);
+        } else {
+            ETHKV_IGNORE_STATUS(
+                base_->renameFile(op.path, op.from),
+                "unsynced rename revert: destination may have "
+                "been renamed onward already");
+            if (op.had_dest) {
+                ETHKV_IGNORE_STATUS(
+                    base_->writeStringToFile(op.path,
+                                             op.dest_backup,
+                                             /*sync=*/false),
+                    "restoring the pre-rename destination is "
+                    "best-effort");
+            }
+            files_.erase(op.path);
+            files_.erase(op.from);
+        }
+    }
+    pending_dir_ops_.clear();
+
+    // 3. Forget all shadow state: after "reboot", what is on the
+    //    base disk is the durable truth.
+    files_.clear();
+}
+
+void
+FaultInjectionEnv::reactivate()
+{
+    MutexLock lock(mutex_);
+    active_ = true;
+}
+
+bool
+FaultInjectionEnv::isActive() const
+{
+    MutexLock lock(mutex_);
+    return active_;
+}
+
+uint64_t
+FaultInjectionEnv::droppedBytes() const
+{
+    MutexLock lock(mutex_);
+    return dropped_bytes_;
+}
+
+} // namespace ethkv

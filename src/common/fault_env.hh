@@ -1,0 +1,175 @@
+/**
+ * @file
+ * FaultInjectionEnv: an Env wrapper that simulates crashes and I/O
+ * faults over a real directory (RocksDB FaultInjectionTestFS
+ * style).
+ *
+ * The wrapper holds every appended-but-unsynced byte in memory and
+ * only writes it through to the base Env when the file is synced.
+ * Directory entries (file creates, renames) are likewise pending
+ * until syncDir() on the parent. simulateCrash() then models
+ * power loss exactly:
+ *
+ *  - each file keeps its synced prefix plus a torn tail — a
+ *    random-length (or pinned, see crashKeepUnsyncedBytes) prefix
+ *    of its unsynced bytes;
+ *  - unsynced file creates vanish; unsynced renames revert
+ *    (the previous destination content is restored);
+ *  - every handle opened before the crash goes dead (IOError), as
+ *    if the process had been killed.
+ *
+ * Orthogonally, the env can inject failed writes, failed syncs,
+ * transient one-in-N read errors, and permanent read EIO — the
+ * inputs for the engines' degraded-mode transitions.
+ *
+ * Reads observe unsynced data (it would be in the OS page cache on
+ * a real system); only a crash loses it.
+ */
+
+#ifndef ETHKV_COMMON_FAULT_ENV_HH
+#define ETHKV_COMMON_FAULT_ENV_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/mutex.hh"
+#include "common/rand.hh"
+
+namespace ethkv
+{
+
+/** Env decorator injecting crashes and I/O faults; see file doc. */
+class FaultInjectionEnv : public Env
+{
+  public:
+    /**
+     * @param base The real Env to decorate (files land there).
+     * @param seed Seeds the deterministic fault/tear RNG.
+     */
+    explicit FaultInjectionEnv(Env *base, uint64_t seed = 0);
+    ~FaultInjectionEnv() override;
+
+    FaultInjectionEnv(const FaultInjectionEnv &) = delete;
+    FaultInjectionEnv &operator=(const FaultInjectionEnv &) = delete;
+
+    // -- Env interface -------------------------------------------
+
+    Result<std::unique_ptr<WritableFile>> newWritableFile(
+        const std::string &path) override;
+    Result<std::unique_ptr<WritableFile>> newAppendableFile(
+        const std::string &path) override;
+    Result<std::unique_ptr<RandomAccessFile>> newRandomAccessFile(
+        const std::string &path) override;
+    Result<std::unique_ptr<SequentialFile>> newSequentialFile(
+        const std::string &path) override;
+    bool fileExists(const std::string &path) override;
+    Result<uint64_t> fileSize(const std::string &path) override;
+    Status createDirs(const std::string &dir) override;
+    Status removeFile(const std::string &path) override;
+    Status truncateFile(const std::string &path,
+                        uint64_t size) override;
+    Status renameFile(const std::string &from,
+                      const std::string &to) override;
+    Status syncDir(const std::string &dir) override;
+
+    // -- Fault controls ------------------------------------------
+
+    /** All subsequent appends fail with IOError. */
+    void setWriteError(bool fail);
+
+    /** All subsequent file syncs and dir syncs fail; data stays
+     *  unsynced (and is lost on a later crash). */
+    void setSyncError(bool fail);
+
+    /** Each read op fails with probability 1/n (0 disables). */
+    void setReadErrorOneIn(uint32_t n);
+
+    /** Every read fails until cleared — a dead disk. */
+    void setPermanentReadError(bool fail);
+
+    /**
+     * Pin the torn-tail length for the next crash: every file
+     * keeps exactly min(n, unsynced) unsynced bytes. Pass a
+     * negative value to restore random tearing.
+     */
+    void crashKeepUnsyncedBytes(int64_t n);
+
+    /**
+     * Simulate power loss: drop unsynced data (keeping torn
+     * prefixes), erase unsynced creates, revert unsynced renames,
+     * and kill all pre-crash handles. The env starts inactive;
+     * call reactivate() to model the reboot before reopening.
+     */
+    void simulateCrash();
+
+    /** Mark the simulated machine rebooted; new opens work again. */
+    void reactivate();
+
+    /** False between simulateCrash() and reactivate(). */
+    bool isActive() const;
+
+    /** Unsynced bytes discarded by crashes so far (telemetry). */
+    uint64_t droppedBytes() const;
+
+  private:
+    friend class FaultWritableFile;
+    friend class FaultRandomAccessFile;
+    friend class FaultSequentialFile;
+
+    /** Unsynced shadow state for one file. */
+    struct FileState
+    {
+        uint64_t synced_size = 0; //!< Bytes durable in the base env.
+        Bytes pending;            //!< Appended but unsynced bytes.
+        //! Cached base append handle, positioned at synced_size.
+        std::unique_ptr<WritableFile> base_writer;
+    };
+
+    /** A directory entry mutation not yet pinned by syncDir. */
+    struct DirOp
+    {
+        enum Kind
+        {
+            Create,
+            Rename
+        };
+        Kind kind;
+        std::string dir;  //!< Parent directory (syncDir key).
+        std::string path; //!< Created path, or rename destination.
+        std::string from; //!< Rename source ("" for Create).
+        bool had_dest = false; //!< Rename: destination existed.
+        Bytes dest_backup;     //!< Rename: old destination bytes.
+    };
+
+    Status checkOp(uint64_t generation) const EXCLUDES(mutex_);
+    Status appendPending(const std::string &path, BytesView data)
+        EXCLUDES(mutex_);
+    Status syncFile(const std::string &path) EXCLUDES(mutex_);
+    /** Logical (synced + pending) content of a file. */
+    Status logicalRead(const std::string &path, Bytes &out)
+        EXCLUDES(mutex_);
+    Status maybeInjectReadError(const char *what) EXCLUDES(mutex_);
+    Status syncFileLocked(const std::string &path) REQUIRES(mutex_);
+
+    Env *base_;
+    mutable Mutex mutex_;
+    bool active_ GUARDED_BY(mutex_) = true;
+    uint64_t generation_ GUARDED_BY(mutex_) = 0;
+    bool write_error_ GUARDED_BY(mutex_) = false;
+    bool sync_error_ GUARDED_BY(mutex_) = false;
+    bool permanent_read_error_ GUARDED_BY(mutex_) = false;
+    uint32_t read_error_one_in_ GUARDED_BY(mutex_) = 0;
+    int64_t crash_keep_bytes_ GUARDED_BY(mutex_) = -1;
+    uint64_t dropped_bytes_ GUARDED_BY(mutex_) = 0;
+    Rng rng_ GUARDED_BY(mutex_);
+    std::map<std::string, FileState> files_ GUARDED_BY(mutex_);
+    std::vector<DirOp> pending_dir_ops_ GUARDED_BY(mutex_);
+};
+
+} // namespace ethkv
+
+#endif // ETHKV_COMMON_FAULT_ENV_HH

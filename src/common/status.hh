@@ -29,6 +29,9 @@ enum class StatusCode
     IOError,
     InvalidArgument,
     NotSupported,
+    //! The store survived a persistent I/O failure by degrading to
+    //! read-only service; writes are refused with this code.
+    IODegraded,
 };
 
 /** Human-readable name of a StatusCode. */
@@ -42,6 +45,7 @@ statusCodeName(StatusCode code)
       case StatusCode::IOError: return "IOError";
       case StatusCode::InvalidArgument: return "InvalidArgument";
       case StatusCode::NotSupported: return "NotSupported";
+      case StatusCode::IODegraded: return "IODegraded";
     }
     return "Unknown";
 }
@@ -95,8 +99,18 @@ class [[nodiscard]] Status
         return Status(StatusCode::NotSupported, std::move(msg));
     }
 
+    static Status
+    ioDegraded(std::string msg = "")
+    {
+        return Status(StatusCode::IODegraded, std::move(msg));
+    }
+
     bool isOk() const { return code_ == StatusCode::Ok; }
     bool isNotFound() const { return code_ == StatusCode::NotFound; }
+    bool isIODegraded() const
+    {
+        return code_ == StatusCode::IODegraded;
+    }
     StatusCode code() const { return code_; }
     const std::string &message() const { return message_; }
 

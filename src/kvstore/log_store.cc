@@ -12,6 +12,97 @@ AppendLogStore::AppendLogStore(LogStoreOptions options)
     segments_.push_back(Segment{next_segment_id_++, {}, 0, 0, false});
 }
 
+Result<std::unique_ptr<AppendLogStore>>
+AppendLogStore::open(const LogStoreOptions &options)
+{
+    auto store = std::make_unique<AppendLogStore>(options);
+    if (options.dir.empty())
+        return store; // in-memory mode
+    Status s = store->recoverDurable();
+    if (!s.isOk())
+        return s;
+    return store;
+}
+
+Status
+AppendLogStore::recoverDurable()
+{
+    env_ = options_.env ? options_.env : Env::defaultEnv();
+    Status s = env_->createDirs(options_.dir);
+    if (!s.isOk())
+        return s;
+
+    uint64_t valid_bytes = 0;
+    s = WriteAheadLog::replay(
+        logPath(),
+        [this](const WriteBatch &batch, uint64_t first_seq) {
+            for (const BatchEntry &e : batch.entries()) {
+                if (e.op == BatchOp::Put)
+                    putInMemory(e.key, e.value);
+                else
+                    delInMemory(e.key);
+            }
+            uint64_t end = first_seq + batch.size() - 1;
+            if (end > seq_)
+                seq_ = end;
+        },
+        env_, &valid_bytes);
+    if (!s.isOk())
+        return s;
+    if (env_->fileExists(logPath())) {
+        uint64_t salvaged = 0;
+        s = env_->quarantineTail(logPath(), valid_bytes,
+                                 options_.dir + "/quarantine",
+                                 &salvaged);
+        if (!s.isOk())
+            return s;
+        if (salvaged > 0) {
+            quarantined_bytes_ += salvaged;
+            obs::MetricsRegistry::global()
+                .counter("kv.quarantined_bytes")
+                .inc(salvaged);
+        }
+    }
+
+    auto wal = WriteAheadLog::open(logPath(), env_);
+    if (!wal.ok())
+        return wal.status();
+    wal_ = wal.take();
+    // A freshly created log needs its directory entry persisted.
+    return env_->syncDir(options_.dir);
+}
+
+Status
+AppendLogStore::degradeOnIOError(Status s)
+{
+    if (s.code() != StatusCode::IOError || degraded_)
+        return s;
+    degraded_ = true;
+    degraded_reason_ = s.toString();
+    obs::MetricsRegistry::global()
+        .counter("kv.degraded_transitions")
+        .inc();
+    return s;
+}
+
+Status
+AppendLogStore::logAppend(BatchOp op, BytesView key, BytesView value)
+{
+    if (!wal_)
+        return Status::ok();
+    WriteBatch batch;
+    if (op == BatchOp::Put)
+        batch.put(key, value);
+    else
+        batch.del(key);
+    Status s = wal_->append(batch, ++seq_);
+    if (!s.isOk())
+        return s;
+    if (options_.sync_appends)
+        return wal_->sync();
+    return Status::ok();
+}
+
 AppendLogStore::Segment &
 AppendLogStore::activeSegment()
 {
@@ -27,13 +118,10 @@ AppendLogStore::findSegment(uint64_t id)
     return nullptr;
 }
 
-Status
-AppendLogStore::put(BytesView key, BytesView value)
+void
+AppendLogStore::putInMemory(BytesView key, BytesView value)
 {
-    ++stats_.user_writes;
     uint64_t bytes = key.size() + value.size();
-    stats_.logical_bytes_written += bytes;
-    stats_.bytes_written += bytes;
 
     // Mark any older version dead.
     auto it = index_.find(Bytes(key));
@@ -53,6 +141,40 @@ AppendLogStore::put(BytesView key, BytesView value)
 
     sealIfFull();
     maybeGc();
+}
+
+void
+AppendLogStore::delInMemory(BytesView key)
+{
+    auto it = index_.find(Bytes(key));
+    if (it == index_.end())
+        return;
+    Segment *seg = findSegment(it->second.segment_id);
+    if (seg) {
+        seg->dead_bytes += it->second.bytes;
+        seg->live_bytes -= it->second.bytes;
+    }
+    index_.erase(it);
+    maybeGc();
+}
+
+Status
+AppendLogStore::put(BytesView key, BytesView value)
+{
+    if (degraded_) {
+        return Status::ioDegraded("log store: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
+    Status s = logAppend(BatchOp::Put, key, value);
+    if (!s.isOk())
+        return degradeOnIOError(std::move(s));
+
+    ++stats_.user_writes;
+    uint64_t bytes = key.size() + value.size();
+    stats_.logical_bytes_written += bytes;
+    stats_.bytes_written += bytes;
+    putInMemory(key, value);
     return Status::ok();
 }
 
@@ -75,18 +197,18 @@ AppendLogStore::get(BytesView key, Bytes &value)
 Status
 AppendLogStore::del(BytesView key)
 {
+    if (degraded_) {
+        return Status::ioDegraded("log store: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
+    Status s = logAppend(BatchOp::Delete, key, BytesView());
+    if (!s.isOk())
+        return degradeOnIOError(std::move(s));
+
     ++stats_.user_deletes;
     stats_.logical_bytes_written += key.size();
-    auto it = index_.find(Bytes(key));
-    if (it == index_.end())
-        return Status::ok();
-    Segment *seg = findSegment(it->second.segment_id);
-    if (seg) {
-        seg->dead_bytes += it->second.bytes;
-        seg->live_bytes -= it->second.bytes;
-    }
-    index_.erase(it);
-    maybeGc();
+    delInMemory(key);
     return Status::ok();
 }
 
@@ -100,7 +222,14 @@ AppendLogStore::scan(BytesView, BytesView, const ScanCallback &)
 Status
 AppendLogStore::flush()
 {
-    return Status::ok();
+    if (!wal_)
+        return Status::ok();
+    if (degraded_) {
+        return Status::ioDegraded("log store: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
+    return degradeOnIOError(wal_->sync());
 }
 
 void

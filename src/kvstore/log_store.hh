@@ -17,9 +17,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
+#include "common/env.hh"
 #include "kvstore/kvstore.hh"
+#include "kvstore/wal.hh"
 
 namespace ethkv::kv
 {
@@ -29,17 +33,36 @@ struct LogStoreOptions
 {
     uint64_t segment_bytes = 1u << 20; //!< Seal threshold.
     double gc_dead_ratio = 0.5;        //!< GC trigger per segment.
+    //! Non-empty = durable mode: every put/del is logged to
+    //! <dir>/log.wal before it is applied, and open() replays the
+    //! log. Empty (the default) keeps the store purely in-memory.
+    std::string dir;
+    bool sync_appends = false; //!< fdatasync per durable append.
+    Env *env = nullptr;        //!< nullptr = defaultEnv().
 };
 
 /**
  * Append-only segmented log with an in-memory key index.
  *
  * Scans are unsupported (the router sends scan classes elsewhere).
+ *
+ * Durability: the segment/GC machinery is an in-memory layout; in
+ * durable mode the logical key->value map is persisted through a
+ * WriteAheadLog and rebuilt by replay on open. The log grows with
+ * write volume (no log GC yet — see ROADMAP).
  */
 class AppendLogStore : public KVStore
 {
   public:
+    /** In-memory constructor; ignores options.dir. */
     explicit AppendLogStore(LogStoreOptions options = {});
+
+    /**
+     * Open a store, replaying (and salvaging the torn tail of) its
+     * write-ahead log when options.dir is non-empty.
+     */
+    static Result<std::unique_ptr<AppendLogStore>> open(
+        const LogStoreOptions &options);
 
     Status put(BytesView key, BytesView value) override;
     Status get(BytesView key, Bytes &value) override;
@@ -56,6 +79,18 @@ class AppendLogStore : public KVStore
 
     /** Total bytes currently occupied by all segments. */
     uint64_t residentBytes() const;
+
+    /** True once a persistent I/O failure made the store read-only. */
+    bool isDegraded() const { return degraded_; }
+
+    /** Why the store degraded; empty while healthy. */
+    const std::string &degradedReason() const
+    {
+        return degraded_reason_;
+    }
+
+    /** Log bytes salvaged to quarantine/ during recovery. */
+    uint64_t quarantinedBytes() const { return quarantined_bytes_; }
 
   private:
     struct Record
@@ -86,11 +121,29 @@ class AppendLogStore : public KVStore
     void gcSegment(size_t segment_pos);
     Segment *findSegment(uint64_t id);
 
+    /** Apply a put to the in-memory layout (no WAL, no op stats). */
+    void putInMemory(BytesView key, BytesView value);
+    /** Apply a delete to the in-memory layout. */
+    void delInMemory(BytesView key);
+    /** Durable-mode WAL append for one op; Ok when in-memory. */
+    Status logAppend(BatchOp op, BytesView key, BytesView value);
+    /** Replay + tail salvage + log open for durable mode. */
+    Status recoverDurable();
+    /** See LSMStore::degradeOnIOError. */
+    Status degradeOnIOError(Status s);
+    std::string logPath() const { return options_.dir + "/log.wal"; }
+
     LogStoreOptions options_;
     std::deque<Segment> segments_;
     std::unordered_map<Bytes, IndexEntry> index_;
     uint64_t next_segment_id_ = 0;
     IOStats stats_;
+    Env *env_ = nullptr;
+    std::unique_ptr<WriteAheadLog> wal_;
+    uint64_t seq_ = 0;
+    bool degraded_ = false;
+    std::string degraded_reason_;
+    uint64_t quarantined_bytes_ = 0;
 };
 
 } // namespace ethkv::kv

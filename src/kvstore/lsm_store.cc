@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <filesystem>
 
 #include <set>
 
@@ -12,13 +11,51 @@
 #include "kvstore/internal_iterator.hh"
 #include "obs/scoped_timer.hh"
 
-namespace fs = std::filesystem;
-
 namespace ethkv::kv
 {
 
+namespace
+{
+
+/** Decoded MANIFEST contents (plain text, one directive a line). */
+struct ManifestImage
+{
+    uint64_t next_file = 0;
+    uint64_t seq = 0;
+    //! (level, file_no) pairs in file order.
+    std::vector<std::pair<uint64_t, uint64_t>> files;
+};
+
+void
+parseManifest(BytesView data, ManifestImage &out)
+{
+    size_t pos = 0;
+    while (pos < data.size()) {
+        size_t eol = data.find('\n', pos);
+        size_t len =
+            eol == BytesView::npos ? data.size() - pos : eol - pos;
+        std::string line(data.substr(pos, len));
+        pos = eol == BytesView::npos ? data.size() : eol + 1;
+        uint64_t a, b;
+        if (std::sscanf(line.c_str(), "next_file %" SCNu64, &a) ==
+            1) {
+            out.next_file = a;
+        } else if (std::sscanf(line.c_str(), "seq %" SCNu64, &a) ==
+                   1) {
+            out.seq = a;
+        } else if (std::sscanf(line.c_str(),
+                               "file %" SCNu64 " %" SCNu64, &a,
+                               &b) == 2) {
+            out.files.emplace_back(a, b);
+        }
+    }
+}
+
+} // namespace
+
 LSMStore::LSMStore(LSMOptions options)
     : options_(std::move(options)),
+      env_(options_.env ? options_.env : Env::defaultEnv()),
       memtable_(std::make_unique<MemTable>()),
       levels_(max_levels)
 {}
@@ -59,10 +96,10 @@ LSMStore::open(const LSMOptions &options)
 {
     if (options.dir.empty())
         return Status::invalidArgument("lsm: empty directory");
-    std::error_code ec;
-    fs::create_directories(options.dir, ec);
-    if (ec)
-        return Status::ioError("lsm: cannot create " + options.dir);
+    Env *env = options.env ? options.env : Env::defaultEnv();
+    Status dir_s = env->createDirs(options.dir);
+    if (!dir_s.isOk())
+        return dir_s;
 
     auto store =
         std::unique_ptr<LSMStore>(new LSMStore(options));
@@ -75,7 +112,7 @@ LSMStore::open(const LSMOptions &options)
 Status
 LSMStore::openTable(int level, uint64_t file_no)
 {
-    auto reader = SSTableReader::open(tablePath(file_no));
+    auto reader = SSTableReader::open(tablePath(file_no), env_);
     if (!reader.ok())
         return reader.status();
     levels_[level].push_back({file_no, reader.take()});
@@ -83,33 +120,42 @@ LSMStore::openTable(int level, uint64_t file_no)
 }
 
 Status
+LSMStore::degradeOnIOError(Status s)
+{
+    if (s.code() != StatusCode::IOError || degraded_)
+        return s;
+    degraded_ = true;
+    degraded_reason_ = s.toString();
+    obs::MetricsRegistry::global()
+        .counter("kv.degraded_transitions")
+        .inc();
+    return s;
+}
+
+Status
 LSMStore::recover()
 {
     // Manifest: plain text, one directive per line.
-    std::FILE *mf = std::fopen(manifestPath().c_str(), "r");
-    if (mf) {
-        char line[128];
-        while (std::fgets(line, sizeof(line), mf)) {
-            uint64_t a, b;
-            if (std::sscanf(line, "next_file %" SCNu64, &a) == 1) {
-                next_file_no_ = a;
-            } else if (std::sscanf(line, "seq %" SCNu64, &a) == 1) {
-                seq_ = a;
-            } else if (std::sscanf(line, "file %" SCNu64 " %" SCNu64,
-                                   &a, &b) == 2) {
-                if (a >= max_levels) {
-                    std::fclose(mf);
-                    return Status::corruption(
-                        "lsm: manifest level out of range");
-                }
-                Status s = openTable(static_cast<int>(a), b);
-                if (!s.isOk()) {
-                    std::fclose(mf);
-                    return s;
-                }
+    if (env_->fileExists(manifestPath())) {
+        Bytes data;
+        Status ms = env_->readFileToString(manifestPath(), data);
+        if (!ms.isOk())
+            return ms;
+        ManifestImage img;
+        img.next_file = next_file_no_;
+        img.seq = seq_;
+        parseManifest(data, img);
+        next_file_no_ = img.next_file;
+        seq_ = img.seq;
+        for (auto [level, file_no] : img.files) {
+            if (level >= max_levels) {
+                return Status::corruption(
+                    "lsm: manifest level out of range");
             }
+            Status s = openTable(static_cast<int>(level), file_no);
+            if (!s.isOk())
+                return s;
         }
-        std::fclose(mf);
     }
 
     // L0 is searched newest-first; deeper levels are ordered by key.
@@ -125,9 +171,13 @@ LSMStore::recover()
                   });
     }
 
-    // Replay the WAL into a fresh memtable.
+    // Replay the WAL into a fresh memtable; quarantine any torn
+    // tail before appending to the log again (appending past a torn
+    // record would leave the new records unreachable to replay).
+    uint64_t valid_bytes = 0;
     Status s = WriteAheadLog::replay(
-        walPath(), [this](const WriteBatch &batch, uint64_t first_seq) {
+        walPath(),
+        [this](const WriteBatch &batch, uint64_t first_seq) {
             uint64_t seq = first_seq;
             for (const BatchEntry &e : batch.entries()) {
                 memtable_->add(e.key, e.value, seq,
@@ -138,43 +188,61 @@ LSMStore::recover()
             }
             if (seq > seq_)
                 seq_ = seq;
-        });
+        },
+        env_, &valid_bytes);
     if (!s.isOk())
         return s;
+    if (env_->fileExists(walPath())) {
+        uint64_t salvaged = 0;
+        s = env_->quarantineTail(walPath(), valid_bytes,
+                                 options_.dir + "/quarantine",
+                                 &salvaged);
+        if (!s.isOk())
+            return s;
+        if (salvaged > 0) {
+            quarantined_bytes_ += salvaged;
+            obs::MetricsRegistry::global()
+                .counter("kv.quarantined_bytes")
+                .inc(salvaged);
+        }
+    }
 
-    auto wal = WriteAheadLog::open(walPath());
+    auto wal = WriteAheadLog::open(walPath(), env_);
     if (!wal.ok())
         return wal.status();
     wal_ = wal.take();
-    return Status::ok();
+    // The log may have just been created; fdatasync on the file
+    // alone never persists its directory entry.
+    return env_->syncDir(options_.dir);
 }
 
 Status
 LSMStore::persistManifest()
 {
-    std::string tmp = manifestPath() + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f)
-        return Status::ioError("lsm: manifest open failed");
-    std::fprintf(f, "ethkv-manifest v1\n");
-    std::fprintf(f, "next_file %" PRIu64 "\n", next_file_no_);
-    std::fprintf(f, "seq %" PRIu64 "\n", seq_);
+    std::string body = "ethkv-manifest v1\n";
+    body += "next_file " + std::to_string(next_file_no_) + "\n";
+    body += "seq " + std::to_string(seq_) + "\n";
     for (int level = 0; level < max_levels; ++level) {
         for (const TableHandle &t : levels_[level]) {
-            std::fprintf(f, "file %d %" PRIu64 "\n", level,
-                         t.file_no);
+            body += "file " + std::to_string(level) + " " +
+                    std::to_string(t.file_no) + "\n";
         }
     }
-    if (std::fflush(f) != 0) {
-        std::fclose(f);
-        return Status::ioError("lsm: manifest flush failed");
-    }
-    std::fclose(f);
-    std::error_code ec;
-    fs::rename(tmp, manifestPath(), ec);
-    if (ec)
-        return Status::ioError("lsm: manifest rename failed");
-    return Status::ok();
+
+    // Commit protocol: sync the temp file, rename it over MANIFEST,
+    // then fsync the directory. Skipping either sync re-creates the
+    // seed's bug where a crash could surface an empty or stale
+    // manifest whose rename never reached disk.
+    std::string tmp = manifestPath() + ".tmp";
+    Status s = env_->writeStringToFile(tmp, body, /*sync=*/true);
+    if (!s.isOk())
+        return s;
+    s = env_->renameFile(tmp, manifestPath());
+    if (!s.isOk())
+        return s;
+    // This also persists the directory entries of any SSTables
+    // created since the last commit (same directory).
+    return env_->syncDir(options_.dir);
 }
 
 Status
@@ -196,16 +264,21 @@ LSMStore::del(BytesView key)
 Status
 LSMStore::apply(const WriteBatch &batch)
 {
+    if (degraded_) {
+        return Status::ioDegraded("lsm: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
     if (batch.empty())
         return Status::ok();
     uint64_t first_seq = seq_ + 1;
     Status s = wal_->append(batch, first_seq);
     if (!s.isOk())
-        return s;
+        return degradeOnIOError(std::move(s));
     if (options_.sync_wal) {
         s = wal_->sync();
         if (!s.isOk())
-            return s;
+            return degradeOnIOError(std::move(s));
     }
     for (const BatchEntry &e : batch.entries()) {
         ++seq_;
@@ -223,7 +296,7 @@ LSMStore::apply(const WriteBatch &batch)
         }
         stats_.bytes_written += e.key.size() + e.value.size();
     }
-    return maybeFlushMemtable();
+    return degradeOnIOError(maybeFlushMemtable());
 }
 
 Status
@@ -343,7 +416,7 @@ LSMStore::flushMemtable()
     uint64_t file_no = next_file_no_++;
     auto writer =
         SSTableWriter::create(tablePath(file_no),
-                              memtable_->entryCount());
+                              memtable_->entryCount(), env_);
     if (!writer.ok())
         return writer.status();
 
@@ -385,10 +458,15 @@ LSMStore::flushMemtable()
 Status
 LSMStore::flush()
 {
+    if (degraded_) {
+        return Status::ioDegraded("lsm: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
     Status s = flushMemtable();
     if (!s.isOk())
-        return s;
-    return wal_->sync();
+        return degradeOnIOError(std::move(s));
+    return degradeOnIOError(wal_->sync());
 }
 
 uint64_t
@@ -564,7 +642,7 @@ LSMStore::mergeTables(
             uint64_t file_no = next_file_no_++;
             output_nos.push_back(file_no);
             auto w = SSTableWriter::create(tablePath(file_no),
-                                           input_entries);
+                                           input_entries, env_);
             if (!w.ok())
                 return w.status();
             writer = w.take();
@@ -587,9 +665,21 @@ LSMStore::mergeTables(
     stats_.compaction_bytes += new_bytes;
     stats_.bytes_written += new_bytes;
 
-    // Retire inputs: capture read counters, remove handles, delete
-    // files. Remove by descending index within each level so the
-    // indices stay valid.
+    // Open the outputs before touching anything, so a failure here
+    // leaves the store exactly as it was.
+    std::vector<TableHandle> new_handles;
+    for (uint64_t file_no : output_nos) {
+        auto reader = SSTableReader::open(tablePath(file_no), env_);
+        if (!reader.ok())
+            return reader.status();
+        new_handles.push_back({file_no, reader.take()});
+    }
+
+    // Retire input handles by descending index within each level so
+    // the indices stay valid. The files stay on disk until the
+    // manifest commit stops referencing them: deleting first (as
+    // the seed did) means a crash that loses the manifest rename
+    // leaves a manifest pointing at vanished tables.
     std::vector<std::pair<int, size_t>> sorted_inputs = inputs;
     std::sort(sorted_inputs.begin(), sorted_inputs.end(),
               [](const auto &x, const auto &y) {
@@ -597,22 +687,18 @@ LSMStore::mergeTables(
                       return x.first < y.first;
                   return x.second > y.second;
               });
+    std::vector<std::string> input_paths;
     for (auto [level, idx] : sorted_inputs) {
         TableHandle &t = levels_[level][idx];
         retired_reader_bytes_ += t.reader->bytesRead();
-        std::string path = t.reader->path();
+        input_paths.push_back(t.reader->path());
         levels_[level].erase(levels_[level].begin() +
                              static_cast<long>(idx));
-        std::error_code ec;
-        fs::remove(path, ec);
     }
 
     // Install outputs at the target level, keeping key order.
-    for (uint64_t file_no : output_nos) {
-        s = openTable(target_level, file_no);
-        if (!s.isOk())
-            return s;
-    }
+    for (TableHandle &h : new_handles)
+        levels_[target_level].push_back(std::move(h));
     std::sort(levels_[target_level].begin(),
               levels_[target_level].end(),
               [](const TableHandle &x, const TableHandle &y) {
@@ -629,25 +715,39 @@ LSMStore::mergeTables(
     }
 #endif
 
-    return persistManifest();
+    s = persistManifest();
+    if (!s.isOk())
+        return s;
+    for (const std::string &path : input_paths) {
+        ETHKV_IGNORE_STATUS(
+            env_->removeFile(path),
+            "the manifest no longer references this input table; "
+            "leaking it costs disk, not correctness");
+    }
+    return Status::ok();
 }
 
 Status
 LSMStore::compactAll()
 {
+    if (degraded_) {
+        return Status::ioDegraded("lsm: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
     Status s = flushMemtable();
     if (!s.isOk())
-        return s;
+        return degradeOnIOError(std::move(s));
     if (!levels_[0].empty()) {
         s = compactL0();
         if (!s.isOk())
-            return s;
+            return degradeOnIOError(std::move(s));
     }
     for (int level = 1; level < max_levels - 1; ++level) {
         while (!levels_[level].empty()) {
             s = compactLevel(level);
             if (!s.isOk())
-                return s;
+                return degradeOnIOError(std::move(s));
         }
         // Stop once everything is in one level.
         bool deeper_empty = true;
@@ -715,24 +815,25 @@ LSMStore::checkInvariants() const
     }
 
     // The on-disk MANIFEST must describe exactly the in-memory
-    // table set (it is rewritten on every flush/compaction).
+    // table set (it is rewritten on every flush/compaction). A
+    // degraded store is exempt: the failed commit that degraded it
+    // may legitimately have left the manifest behind memory.
+    if (degraded_)
+        return Status::ok();
     std::set<std::pair<uint64_t, uint64_t>> manifest_files;
     uint64_t manifest_next = 0, manifest_seq = 0;
-    std::FILE *mf = std::fopen(manifestPath().c_str(), "r");
-    const bool have_manifest = mf != nullptr;
-    if (mf) {
-        char line[128];
-        while (std::fgets(line, sizeof(line), mf)) {
-            uint64_t a, b;
-            if (std::sscanf(line, "next_file %" SCNu64, &a) == 1)
-                manifest_next = a;
-            else if (std::sscanf(line, "seq %" SCNu64, &a) == 1)
-                manifest_seq = a;
-            else if (std::sscanf(line, "file %" SCNu64 " %" SCNu64,
-                                 &a, &b) == 2)
-                manifest_files.insert({a, b});
-        }
-        std::fclose(mf);
+    const bool have_manifest = env_->fileExists(manifestPath());
+    if (have_manifest) {
+        Bytes data;
+        Status ms = env_->readFileToString(manifestPath(), data);
+        if (!ms.isOk())
+            return ms;
+        ManifestImage img;
+        parseManifest(data, img);
+        manifest_next = img.next_file;
+        manifest_seq = img.seq;
+        for (auto [level, file_no] : img.files)
+            manifest_files.insert({level, file_no});
     }
     std::set<std::pair<uint64_t, uint64_t>> live_files;
     for (int level = 0; level < max_levels; ++level)

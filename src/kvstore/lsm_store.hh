@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "kvstore/kvstore.hh"
 #include "kvstore/memtable.hh"
 #include "kvstore/sstable.hh"
@@ -36,7 +37,8 @@ struct LSMOptions
     uint64_t level_base_bytes = 8u << 20; //!< L1 size budget.
     double level_multiplier = 10.0;     //!< Per-level budget growth.
     uint64_t target_file_bytes = 2u << 20; //!< Output split size.
-    bool sync_wal = false;              //!< fflush per batch.
+    bool sync_wal = false;              //!< fdatasync per batch.
+    Env *env = nullptr;                 //!< nullptr = defaultEnv().
 };
 
 /**
@@ -80,6 +82,22 @@ class LSMStore : public KVStore
      *         invariant.
      */
     Status checkInvariants() const;
+
+    /**
+     * True once a persistent write-path I/O failure has switched
+     * the store to read-only service. Reads keep working; every
+     * mutating call returns Status::ioDegraded.
+     */
+    bool isDegraded() const { return degraded_; }
+
+    /** Why the store degraded; empty while healthy. */
+    const std::string &degradedReason() const
+    {
+        return degraded_reason_;
+    }
+
+    /** WAL bytes salvaged to quarantine/ during recovery. */
+    uint64_t quarantinedBytes() const { return quarantined_bytes_; }
 
     /** Number of SSTables per level (diagnostics and tests). */
     std::vector<size_t> levelFileCounts() const;
@@ -125,11 +143,22 @@ class LSMStore : public KVStore
     Status persistManifest();
     Status openTable(int level, uint64_t file_no);
 
+    /**
+     * Route a write-path failure: I/O errors flip the store into
+     * read-only degraded mode (once) and are returned unchanged so
+     * the caller still sees the root cause.
+     */
+    Status degradeOnIOError(Status s);
+
     /** True if no table below `level` may contain keys in range. */
     bool bottommostForRange(int level, BytesView smallest,
                             BytesView largest) const;
 
     LSMOptions options_;
+    Env *env_ = nullptr;
+    bool degraded_ = false;
+    std::string degraded_reason_;
+    uint64_t quarantined_bytes_ = 0;
     std::unique_ptr<MemTable> memtable_;
     std::unique_ptr<WriteAheadLog> wal_;
     std::vector<std::vector<TableHandle>> levels_;

@@ -1,8 +1,5 @@
 #include "kvstore/sstable.hh"
 
-#include <cerrno>
-#include <cstring>
-
 #include "common/logging.hh"
 #include "common/varint.hh"
 
@@ -77,27 +74,33 @@ readString(BytesView data, size_t &pos, Bytes &out)
 // SSTableWriter
 // ---------------------------------------------------------------
 
-SSTableWriter::SSTableWriter(std::string path, std::FILE *file,
+SSTableWriter::SSTableWriter(std::string path,
+                             std::unique_ptr<WritableFile> file,
                              size_t expected_keys)
-    : path_(std::move(path)), file_(file), filter_(expected_keys)
+    : path_(std::move(path)), file_(std::move(file)),
+      filter_(expected_keys)
 {}
 
 SSTableWriter::~SSTableWriter()
 {
-    if (file_)
-        std::fclose(file_);
+    if (file_) {
+        ETHKV_IGNORE_STATUS(file_->close(),
+                            "abandoned writer; the partial table is "
+                            "never referenced by a manifest");
+    }
 }
 
 Result<std::unique_ptr<SSTableWriter>>
-SSTableWriter::create(const std::string &path, size_t expected_keys)
+SSTableWriter::create(const std::string &path, size_t expected_keys,
+                      Env *env)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        return Status::ioError("sstable create " + path + ": " +
-                               std::strerror(errno));
-    }
+    if (!env)
+        env = Env::defaultEnv();
+    auto file = env->newWritableFile(path);
+    if (!file.ok())
+        return file.status();
     return std::unique_ptr<SSTableWriter>(
-        new SSTableWriter(path, f, expected_keys));
+        new SSTableWriter(path, file.take(), expected_keys));
 }
 
 Status
@@ -135,10 +138,9 @@ SSTableWriter::flushBlock()
 {
     if (block_.empty())
         return Status::ok();
-    if (std::fwrite(block_.data(), 1, block_.size(), file_) !=
-        block_.size()) {
-        return Status::ioError("sstable: block write failed");
-    }
+    Status s = file_->append(block_);
+    if (!s.isOk())
+        return s;
     index_.push_back({block_last_key_, file_offset_, block_.size()});
     file_offset_ += block_.size();
     block_.clear();
@@ -188,16 +190,18 @@ SSTableWriter::finish()
     appendBE64(tail, props_block.size());
     appendBE64(tail, sstable_magic);
 
-    if (std::fwrite(tail.data(), 1, tail.size(), file_) !=
-        tail.size()) {
-        return Status::ioError("sstable: tail write failed");
-    }
+    s = file_->append(tail);
+    if (!s.isOk())
+        return s;
     file_offset_ += tail.size();
 
-    if (std::fflush(file_) != 0)
-        return Status::ioError("sstable: flush failed");
-    std::fclose(file_);
-    file_ = nullptr;
+    s = file_->sync();
+    if (!s.isOk())
+        return s;
+    s = file_->close();
+    if (!s.isOk())
+        return s;
+    file_.reset();
     finished_ = true;
     return Status::ok();
 }
@@ -206,47 +210,43 @@ SSTableWriter::finish()
 // SSTableReader
 // ---------------------------------------------------------------
 
-SSTableReader::SSTableReader(std::string path, std::FILE *file)
-    : path_(std::move(path)), file_(file)
+SSTableReader::SSTableReader(std::string path,
+                             std::unique_ptr<RandomAccessFile> file)
+    : path_(std::move(path)), file_(std::move(file))
 {}
 
-SSTableReader::~SSTableReader()
-{
-    if (file_)
-        std::fclose(file_);
-}
+SSTableReader::~SSTableReader() = default;
 
 Result<std::unique_ptr<SSTableReader>>
-SSTableReader::open(const std::string &path)
+SSTableReader::open(const std::string &path, Env *env)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f) {
-        return Status::ioError("sstable open " + path + ": " +
-                               std::strerror(errno));
-    }
+    if (!env)
+        env = Env::defaultEnv();
+    auto file = env->newRandomAccessFile(path);
+    if (!file.ok())
+        return file.status();
+    auto size = env->fileSize(path);
+    if (!size.ok())
+        return size.status();
     auto reader = std::unique_ptr<SSTableReader>(
-        new SSTableReader(path, f));
-    Status s = reader->load();
+        new SSTableReader(path, file.take()));
+    Status s = reader->load(size.value());
     if (!s.isOk())
         return s;
     return reader;
 }
 
 Status
-SSTableReader::load()
+SSTableReader::load(uint64_t file_bytes)
 {
-    if (std::fseek(file_, 0, SEEK_END) != 0)
-        return Status::ioError("sstable: seek failed");
-    long size = std::ftell(file_);
-    if (size < 56)
+    if (file_bytes < 56)
         return Status::corruption("sstable: file too small");
-    file_bytes_ = static_cast<uint64_t>(size);
+    file_bytes_ = file_bytes;
 
-    Bytes footer(56, '\0');
-    if (std::fseek(file_, size - 56, SEEK_SET) != 0 ||
-        std::fread(footer.data(), 1, 56, file_) != 56) {
-        return Status::ioError("sstable: footer read failed");
-    }
+    Bytes footer;
+    Status fs = file_->read(file_bytes_ - 56, 56, footer);
+    if (!fs.isOk())
+        return fs;
     uint64_t filter_off = decodeBE64(BytesView(footer).substr(0, 8));
     uint64_t filter_len = decodeBE64(BytesView(footer).substr(8, 8));
     uint64_t index_off = decodeBE64(BytesView(footer).substr(16, 8));
@@ -264,11 +264,9 @@ SSTableReader::load()
 
     auto read_section = [&](uint64_t off, uint64_t len,
                             Bytes &out) -> Status {
-        out.resize(len);
-        if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0 ||
-            std::fread(out.data(), 1, len, file_) != len) {
-            return Status::ioError("sstable: section read failed");
-        }
+        Status s = file_->read(off, len, out);
+        if (!s.isOk())
+            return s;
         bytes_read_ += len;
         return Status::ok();
     };
@@ -341,12 +339,10 @@ SSTableReader::readBlock(size_t block_idx,
     if (block_idx >= index_.size())
         panic("sstable: block index out of range");
     const IndexEntry &ie = index_[block_idx];
-    Bytes block(ie.size, '\0');
-    if (std::fseek(file_, static_cast<long>(ie.offset), SEEK_SET) !=
-            0 ||
-        std::fread(block.data(), 1, ie.size, file_) != ie.size) {
-        return Status::ioError("sstable: block read failed");
-    }
+    Bytes block;
+    Status s = file_->read(ie.offset, ie.size, block);
+    if (!s.isOk())
+        return s;
     bytes_read_ += ie.size;
 
     entries.clear();

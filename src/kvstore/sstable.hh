@@ -20,12 +20,12 @@
 #ifndef ETHKV_KVSTORE_SSTABLE_HH
 #define ETHKV_KVSTORE_SSTABLE_HH
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hh"
+#include "common/env.hh"
 #include "common/status.hh"
 #include "kvstore/bloom.hh"
 #include "kvstore/entry.hh"
@@ -57,9 +57,11 @@ class SSTableWriter
      *
      * @param path Destination file (truncated if present).
      * @param expected_keys Sizing hint for the bloom filter.
+     * @param env Filesystem to use; nullptr = Env::defaultEnv().
      */
     static Result<std::unique_ptr<SSTableWriter>> create(
-        const std::string &path, size_t expected_keys);
+        const std::string &path, size_t expected_keys,
+        Env *env = nullptr);
 
     ~SSTableWriter();
 
@@ -69,14 +71,22 @@ class SSTableWriter
     /** Append one entry; key must exceed the previous key. */
     Status add(const InternalEntry &entry);
 
-    /** Flush blocks, write filter/index/props/footer, close. */
+    /**
+     * Flush blocks, write filter/index/props/footer, fsync, close.
+     *
+     * The sync is part of the contract: once finish() returns Ok
+     * the table's bytes are durable, so the manifest may reference
+     * it (the directory entry still needs a dir sync, which the
+     * manifest commit performs).
+     */
     Status finish();
 
     const SSTableProps &props() const { return props_; }
     uint64_t fileBytes() const { return file_offset_; }
 
   private:
-    SSTableWriter(std::string path, std::FILE *file,
+    SSTableWriter(std::string path,
+                  std::unique_ptr<WritableFile> file,
                   size_t expected_keys);
 
     Status flushBlock();
@@ -84,7 +94,7 @@ class SSTableWriter
     static constexpr size_t block_target_bytes = 4096;
 
     std::string path_;
-    std::FILE *file_;
+    std::unique_ptr<WritableFile> file_;
     BloomFilter filter_;
     Bytes block_;
     Bytes block_last_key_;
@@ -111,8 +121,9 @@ class SSTableWriter
 class SSTableReader
 {
   public:
+    /** @param env Filesystem to use; nullptr = Env::defaultEnv(). */
     static Result<std::unique_ptr<SSTableReader>> open(
-        const std::string &path);
+        const std::string &path, Env *env = nullptr);
 
     ~SSTableReader();
 
@@ -143,9 +154,10 @@ class SSTableReader
   private:
     friend class SSTableIterator;
 
-    SSTableReader(std::string path, std::FILE *file);
+    SSTableReader(std::string path,
+                  std::unique_ptr<RandomAccessFile> file);
 
-    Status load();
+    Status load(uint64_t file_bytes);
 
     /** Read and decode data block i into entries. */
     Status readBlock(size_t block_idx,
@@ -162,7 +174,7 @@ class SSTableReader
     };
 
     std::string path_;
-    std::FILE *file_;
+    std::unique_ptr<RandomAccessFile> file_;
     std::vector<IndexEntry> index_;
     std::unique_ptr<BloomFilter> filter_;
     SSTableProps props_;

@@ -1,9 +1,5 @@
 #include "kvstore/wal.hh"
 
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-
 #include "common/bytes.hh"
 #include "common/varint.hh"
 #include "common/xxhash.hh"
@@ -94,32 +90,36 @@ decodePayload(BytesView payload, WriteBatch &batch,
 
 } // namespace
 
-WriteAheadLog::WriteAheadLog(std::string path, std::FILE *file,
+WriteAheadLog::WriteAheadLog(std::string path, Env *env,
+                             std::unique_ptr<WritableFile> file,
                              uint64_t size_bytes)
-    : path_(std::move(path)), file_(file), size_bytes_(size_bytes)
+    : path_(std::move(path)), env_(env), file_(std::move(file)),
+      size_bytes_(size_bytes)
 {}
 
 WriteAheadLog::~WriteAheadLog()
 {
-    if (file_)
-        std::fclose(file_);
+    if (file_) {
+        ETHKV_IGNORE_STATUS(file_->close(),
+                            "best-effort close in dtor; unsynced "
+                            "bytes were never promised durable");
+    }
 }
 
 Result<std::unique_ptr<WriteAheadLog>>
-WriteAheadLog::open(const std::string &path)
+WriteAheadLog::open(const std::string &path, Env *env)
 {
-    std::FILE *f = std::fopen(path.c_str(), "ab");
-    if (!f) {
-        return Status::ioError("wal open " + path + ": " +
-                               std::strerror(errno));
-    }
+    if (!env)
+        env = Env::defaultEnv();
+    auto file = env->newAppendableFile(path);
+    if (!file.ok())
+        return file.status();
     uint64_t size = 0;
-    std::error_code ec;
-    auto fs_size = std::filesystem::file_size(path, ec);
-    if (!ec)
-        size = fs_size;
-    return std::unique_ptr<WriteAheadLog>(
-        new WriteAheadLog(path, f, size));
+    auto fs_size = env->fileSize(path);
+    if (fs_size.ok())
+        size = fs_size.value();
+    return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(
+        path, env, file.take(), size));
 }
 
 Status
@@ -132,10 +132,9 @@ WriteAheadLog::append(const WriteBatch &batch, uint64_t first_seq)
     appendBE64(record, xxhash64(payload));
     record += payload;
 
-    if (std::fwrite(record.data(), 1, record.size(), file_) !=
-        record.size()) {
-        return Status::ioError("wal append: short write");
-    }
+    Status s = file_->append(record);
+    if (!s.isOk())
+        return s;
     size_bytes_ += record.size();
     return Status::ok();
 }
@@ -143,18 +142,20 @@ WriteAheadLog::append(const WriteBatch &batch, uint64_t first_seq)
 Status
 WriteAheadLog::sync()
 {
-    if (std::fflush(file_) != 0)
-        return Status::ioError("wal sync: flush failed");
-    return Status::ok();
+    return file_->sync();
 }
 
 Status
 WriteAheadLog::reset()
 {
-    std::fclose(file_);
-    file_ = std::fopen(path_.c_str(), "wb");
-    if (!file_)
-        return Status::ioError("wal reset: reopen failed");
+    Status s = file_->close();
+    if (!s.isOk())
+        return s;
+    auto file = env_->newWritableFile(path_);
+    if (!file.ok())
+        return Status::ioError("wal reset: reopen failed: " +
+                               file.status().toString());
+    file_ = file.take();
     size_bytes_ = 0;
     return Status::ok();
 }
@@ -162,25 +163,32 @@ WriteAheadLog::reset()
 Status
 WriteAheadLog::replay(
     const std::string &path,
-    const std::function<void(const WriteBatch &, uint64_t)> &cb)
+    const std::function<void(const WriteBatch &, uint64_t)> &cb,
+    Env *env, uint64_t *valid_bytes)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    if (!env)
+        env = Env::defaultEnv();
+    if (valid_bytes)
+        *valid_bytes = 0;
+    if (!env->fileExists(path))
         return Status::ok(); // no log yet: empty store
 
-    Bytes header(12, '\0');
-    Bytes payload;
+    Bytes data;
+    Status read_s = env->readFileToString(path, data);
+    if (!read_s.isOk())
+        return read_s;
+
+    size_t pos = 0;
     for (;;) {
-        size_t got = std::fread(header.data(), 1, 12, f);
-        if (got < 12)
+        if (pos + 12 > data.size())
             break; // clean EOF or torn header
-        const auto *hp =
-            reinterpret_cast<const unsigned char *>(header.data());
+        const auto *hp = reinterpret_cast<const unsigned char *>(
+            data.data() + pos);
         uint32_t len = readBE32(hp);
         uint64_t checksum = readBE64(hp + 4);
-        payload.resize(len);
-        if (std::fread(payload.data(), 1, len, f) < len)
+        if (pos + 12 + len > data.size())
             break; // torn payload
+        BytesView payload = BytesView(data).substr(pos + 12, len);
         if (xxhash64(payload) != checksum)
             break; // corrupt record; stop replay here
 
@@ -188,9 +196,11 @@ WriteAheadLog::replay(
         uint64_t first_seq;
         if (!decodePayload(payload, batch, first_seq))
             break;
+        pos += 12 + len;
+        if (valid_bytes)
+            *valid_bytes = pos;
         cb(batch, first_seq);
     }
-    std::fclose(f);
     return Status::ok();
 }
 

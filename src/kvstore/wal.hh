@@ -1,21 +1,26 @@
 /**
  * @file
- * Write-ahead log for the LSM engine.
+ * Write-ahead log for the LSM engine (and the durable log store).
  *
  * Every batch is appended to the WAL before it touches the memtable,
- * so an LSM store reopened after a crash replays the log and loses
- * nothing. Records are checksummed; replay stops cleanly at the first
- * torn or corrupt record, which models a crash mid-append.
+ * so a store reopened after a crash replays the log and loses
+ * nothing that was synced. Records are checksummed; replay stops
+ * cleanly at the first torn or corrupt record, which models a crash
+ * mid-append, and reports how many bytes of intact prefix it
+ * consumed so the owner can salvage (quarantine) the torn tail.
+ *
+ * All I/O goes through ethkv::Env; sync() is a real fdatasync via
+ * WritableFile::sync, not a userspace flush.
  */
 
 #ifndef ETHKV_KVSTORE_WAL_HH
 #define ETHKV_KVSTORE_WAL_HH
 
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 
+#include "common/env.hh"
 #include "common/status.hh"
 #include "kvstore/write_batch.hh"
 
@@ -34,9 +39,13 @@ namespace ethkv::kv
 class WriteAheadLog
 {
   public:
-    /** Open (creating or appending to) the log at path. */
+    /**
+     * Open (creating or appending to) the log at path.
+     *
+     * @param env Filesystem to use; nullptr = Env::defaultEnv().
+     */
     static Result<std::unique_ptr<WriteAheadLog>> open(
-        const std::string &path);
+        const std::string &path, Env *env = nullptr);
 
     ~WriteAheadLog();
 
@@ -46,7 +55,7 @@ class WriteAheadLog
     /** Append one batch with the sequence of its first entry. */
     Status append(const WriteBatch &batch, uint64_t first_seq);
 
-    /** Flush userspace buffers to the OS. */
+    /** Make all appended records durable (fdatasync). */
     Status sync();
 
     /** Truncate the log (after a successful memtable flush). */
@@ -62,17 +71,24 @@ class WriteAheadLog
      * stops replay without error, mirroring crash recovery.
      *
      * @param cb Invoked as cb(batch, first_seq) per intact record.
+     * @param env Filesystem to use; nullptr = Env::defaultEnv().
+     * @param valid_bytes If non-null, receives the byte length of
+     *        the intact record prefix (bytes past it are torn or
+     *        corrupt and can be quarantined by the caller).
      */
     static Status replay(
         const std::string &path,
-        const std::function<void(const WriteBatch &, uint64_t)> &cb);
+        const std::function<void(const WriteBatch &, uint64_t)> &cb,
+        Env *env = nullptr, uint64_t *valid_bytes = nullptr);
 
   private:
-    WriteAheadLog(std::string path, std::FILE *file,
+    WriteAheadLog(std::string path, Env *env,
+                  std::unique_ptr<WritableFile> file,
                   uint64_t size_bytes);
 
     std::string path_;
-    std::FILE *file_;
+    Env *env_;
+    std::unique_ptr<WritableFile> file_;
     uint64_t size_bytes_;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace ethkv::obs
@@ -381,13 +382,8 @@ writeMetricsJson(const MetricsRegistry &registry,
                  const std::string &path)
 {
     std::string json = registry.toJson();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return Status::ioError("metrics: cannot open " + path);
-    size_t written = std::fwrite(json.data(), 1, json.size(), f);
-    if (std::fclose(f) != 0 || written != json.size())
-        return Status::ioError("metrics: short write to " + path);
-    return Status::ok();
+    return Env::defaultEnv()->writeStringToFile(path, json,
+                                                /*sync=*/false);
 }
 
 std::string

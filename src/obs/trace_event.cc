@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/env.hh"
 #include "obs/scoped_timer.hh"
 
 namespace ethkv::obs
@@ -76,14 +77,8 @@ Status
 TraceEventLog::writeTo(const std::string &path) const
 {
     std::string json = toJson();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return Status::ioError("trace_event: cannot open " + path);
-    size_t written = std::fwrite(json.data(), 1, json.size(), f);
-    if (std::fclose(f) != 0 || written != json.size())
-        return Status::ioError("trace_event: short write to " +
-                               path);
-    return Status::ok();
+    return Env::defaultEnv()->writeStringToFile(path, json,
+                                                /*sync=*/false);
 }
 
 ScopedSpan::ScopedSpan(TraceEventLog *log, const char *name,

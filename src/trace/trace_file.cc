@@ -1,6 +1,5 @@
 #include "trace/trace_file.hh"
 
-#include <cerrno>
 #include <cstring>
 
 #include "common/varint.hh"
@@ -17,31 +16,34 @@ constexpr size_t flush_threshold = 1u << 20;
 
 } // namespace
 
-TraceFileWriter::TraceFileWriter(std::string path, std::FILE *file)
-    : path_(std::move(path)), file_(file)
+TraceFileWriter::TraceFileWriter(std::string path,
+                                 std::unique_ptr<WritableFile> file)
+    : path_(std::move(path)), file_(std::move(file))
 {}
 
 TraceFileWriter::~TraceFileWriter()
 {
-    if (file_)
-        std::fclose(file_);
+    if (file_) {
+        ETHKV_IGNORE_STATUS(file_->close(),
+                            "abandoned trace writer; without its "
+                            "trailer the file is unreadable anyway");
+    }
 }
 
 Result<std::unique_ptr<TraceFileWriter>>
-TraceFileWriter::create(const std::string &path)
+TraceFileWriter::create(const std::string &path, Env *env)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        return Status::ioError("trace create " + path + ": " +
-                               std::strerror(errno));
-    }
-    if (std::fwrite(file_magic, 1, sizeof(file_magic), f) !=
-        sizeof(file_magic)) {
-        std::fclose(f);
-        return Status::ioError("trace: header write failed");
-    }
+    if (!env)
+        env = Env::defaultEnv();
+    auto file = env->newWritableFile(path);
+    if (!file.ok())
+        return file.status();
+    Status s = file.value()->append(
+        BytesView(file_magic, sizeof(file_magic)));
+    if (!s.isOk())
+        return s;
     return std::unique_ptr<TraceFileWriter>(
-        new TraceFileWriter(path, f));
+        new TraceFileWriter(path, file.take()));
 }
 
 void
@@ -54,7 +56,9 @@ TraceFileWriter::append(const TraceRecord &record)
     appendVarint(buffer_, record.value_size);
     ++count_;
     if (buffer_.size() >= flush_threshold) {
-        std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+        Status s = file_->append(buffer_);
+        if (!s.isOk() && pending_error_.isOk())
+            pending_error_ = std::move(s);
         buffer_.clear();
     }
 }
@@ -64,51 +68,45 @@ TraceFileWriter::finish()
 {
     if (finished_)
         return Status::ok();
+    if (!pending_error_.isOk())
+        return pending_error_;
     if (!buffer_.empty()) {
-        if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-            buffer_.size()) {
-            return Status::ioError("trace: body write failed");
-        }
+        Status s = file_->append(buffer_);
+        if (!s.isOk())
+            return s;
         buffer_.clear();
     }
     Bytes trailer;
     appendBE64(trailer, count_);
-    if (std::fwrite(trailer.data(), 1, trailer.size(), file_) !=
-        trailer.size()) {
-        return Status::ioError("trace: trailer write failed");
-    }
-    if (std::fflush(file_) != 0)
-        return Status::ioError("trace: flush failed");
-    std::fclose(file_);
-    file_ = nullptr;
+    Status s = file_->append(trailer);
+    if (!s.isOk())
+        return s;
+    s = file_->sync();
+    if (!s.isOk())
+        return s;
+    s = file_->close();
+    if (!s.isOk())
+        return s;
+    file_.reset();
     finished_ = true;
     return Status::ok();
 }
 
 Status
 readTraceFile(const std::string &path,
-              const std::function<void(const TraceRecord &)> &cb)
+              const std::function<void(const TraceRecord &)> &cb,
+              Env *env)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f) {
-        return Status::ioError("trace open " + path + ": " +
-                               std::strerror(errno));
-    }
+    if (!env)
+        env = Env::defaultEnv();
     // Slurp: trace files are bounded by the in-memory analysis
     // scale anyway.
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    if (size < static_cast<long>(sizeof(file_magic)) + 8) {
-        std::fclose(f);
+    Bytes data;
+    Status read_s = env->readFileToString(path, data);
+    if (!read_s.isOk())
+        return read_s;
+    if (data.size() < sizeof(file_magic) + 8)
         return Status::corruption("trace: file too small");
-    }
-    Bytes data(static_cast<size_t>(size), '\0');
-    if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
-        std::fclose(f);
-        return Status::ioError("trace: read failed");
-    }
-    std::fclose(f);
 
     if (std::memcmp(data.data(), file_magic, sizeof(file_magic)) !=
         0) {
@@ -146,12 +144,11 @@ readTraceFile(const std::string &path,
 }
 
 Result<TraceBuffer>
-loadTraceFile(const std::string &path)
+loadTraceFile(const std::string &path, Env *env)
 {
     TraceBuffer buffer;
-    Status s = readTraceFile(path, [&](const TraceRecord &r) {
-        buffer.append(r);
-    });
+    Status s = readTraceFile(
+        path, [&](const TraceRecord &r) { buffer.append(r); }, env);
     if (!s.isOk())
         return s;
     return buffer;

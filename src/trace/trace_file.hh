@@ -11,11 +11,11 @@
 #ifndef ETHKV_TRACE_TRACE_FILE_HH
 #define ETHKV_TRACE_TRACE_FILE_HH
 
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 
+#include "common/env.hh"
 #include "common/status.hh"
 #include "trace/record.hh"
 
@@ -26,25 +26,34 @@ namespace ethkv::trace
 class TraceFileWriter : public TraceSink
 {
   public:
+    /** @param env Filesystem to use; nullptr = Env::defaultEnv(). */
     static Result<std::unique_ptr<TraceFileWriter>> create(
-        const std::string &path);
+        const std::string &path, Env *env = nullptr);
 
     ~TraceFileWriter() override;
 
+    /**
+     * Buffer one record. The TraceSink interface is void; an I/O
+     * failure on a buffer flush is remembered and surfaced by
+     * finish().
+     */
     void append(const TraceRecord &record) override;
 
-    /** Write the trailer (record count) and close. */
+    /** Write the trailer (record count), sync, and close. Returns
+     *  the first error any earlier append encountered. */
     Status finish();
 
     uint64_t recordsWritten() const { return count_; }
 
   private:
-    TraceFileWriter(std::string path, std::FILE *file);
+    TraceFileWriter(std::string path,
+                    std::unique_ptr<WritableFile> file);
 
     std::string path_;
-    std::FILE *file_;
+    std::unique_ptr<WritableFile> file_;
     uint64_t count_ = 0;
     Bytes buffer_;
+    Status pending_error_;
     bool finished_ = false;
 };
 
@@ -55,10 +64,12 @@ class TraceFileWriter : public TraceSink
  */
 Status readTraceFile(
     const std::string &path,
-    const std::function<void(const TraceRecord &)> &cb);
+    const std::function<void(const TraceRecord &)> &cb,
+    Env *env = nullptr);
 
 /** Convenience: load an entire file into a TraceBuffer. */
-Result<TraceBuffer> loadTraceFile(const std::string &path);
+Result<TraceBuffer> loadTraceFile(const std::string &path,
+                                  Env *env = nullptr);
 
 } // namespace ethkv::trace
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * PosixEnv tests: file lifecycle, append/sync/read-back, rename,
+ * truncation, the whole-file helpers, and torn-tail quarantine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/env.hh"
+#include "../kvstore/test_util.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+
+TEST(EnvTest, WriteSyncReadBack)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/data.bin";
+
+    auto file = env->newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("hello ").isOk());
+    ASSERT_TRUE(file.value()->append("world").isOk());
+    ASSERT_TRUE(file.value()->sync().isOk());
+    ASSERT_TRUE(file.value()->close().isOk());
+
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "hello world");
+    auto size = env->fileSize(path);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), 11u);
+}
+
+TEST(EnvTest, WritableFileTruncatesExisting)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/data.bin";
+    ASSERT_TRUE(
+        env->writeStringToFile(path, "old content", false).isOk());
+
+    auto file = env->newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("new").isOk());
+    ASSERT_TRUE(file.value()->close().isOk());
+
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "new");
+}
+
+TEST(EnvTest, AppendableFilePreservesExisting)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/log.bin";
+    ASSERT_TRUE(env->writeStringToFile(path, "first|", false).isOk());
+
+    auto file = env->newAppendableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("second").isOk());
+    ASSERT_TRUE(file.value()->close().isOk());
+
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "first|second");
+}
+
+TEST(EnvTest, RandomAccessPositionedReads)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/data.bin";
+    ASSERT_TRUE(
+        env->writeStringToFile(path, "0123456789", false).isOk());
+
+    auto file = env->newRandomAccessFile(path);
+    ASSERT_TRUE(file.ok());
+    Bytes out;
+    ASSERT_TRUE(file.value()->read(3, 4, out).isOk());
+    EXPECT_EQ(out, "3456");
+    ASSERT_TRUE(file.value()->read(0, 10, out).isOk());
+    EXPECT_EQ(out, "0123456789");
+    // Short reads are errors, not silent truncation.
+    EXPECT_EQ(file.value()->read(8, 5, out).code(),
+              StatusCode::IOError);
+}
+
+TEST(EnvTest, SequentialReadToEof)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/data.bin";
+    ASSERT_TRUE(
+        env->writeStringToFile(path, "abcdefgh", false).isOk());
+
+    auto file = env->newSequentialFile(path);
+    ASSERT_TRUE(file.ok());
+    Bytes out;
+    ASSERT_TRUE(file.value()->read(5, out).isOk());
+    EXPECT_EQ(out, "abcde");
+    ASSERT_TRUE(file.value()->read(5, out).isOk());
+    EXPECT_EQ(out, "fgh");
+    ASSERT_TRUE(file.value()->read(5, out).isOk());
+    EXPECT_TRUE(out.empty()); // EOF
+}
+
+TEST(EnvTest, FileExistsAndRemove)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/victim.bin";
+    EXPECT_FALSE(env->fileExists(path));
+    ASSERT_TRUE(env->writeStringToFile(path, "x", false).isOk());
+    EXPECT_TRUE(env->fileExists(path));
+    ASSERT_TRUE(env->removeFile(path).isOk());
+    EXPECT_FALSE(env->fileExists(path));
+    // Removing an absent file is an error, not a silent no-op.
+    EXPECT_FALSE(env->removeFile(path).isOk());
+}
+
+TEST(EnvTest, MissingFileErrors)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/nope.bin";
+    EXPECT_FALSE(env->newRandomAccessFile(path).ok());
+    EXPECT_FALSE(env->newSequentialFile(path).ok());
+    EXPECT_FALSE(env->fileSize(path).ok());
+    Bytes out;
+    EXPECT_FALSE(env->readFileToString(path, out).isOk());
+}
+
+TEST(EnvTest, CreateDirsNested)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string nested = dir.path() + "/a/b/c";
+    ASSERT_TRUE(env->createDirs(nested).isOk());
+    // Idempotent.
+    ASSERT_TRUE(env->createDirs(nested).isOk());
+    ASSERT_TRUE(
+        env->writeStringToFile(nested + "/f", "x", false).isOk());
+    EXPECT_TRUE(env->fileExists(nested + "/f"));
+}
+
+TEST(EnvTest, RenameReplacesAndSyncDirSucceeds)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string from = dir.path() + "/manifest.tmp";
+    std::string to = dir.path() + "/manifest";
+    ASSERT_TRUE(env->writeStringToFile(to, "old", true).isOk());
+    ASSERT_TRUE(env->writeStringToFile(from, "new", true).isOk());
+
+    ASSERT_TRUE(env->renameFile(from, to).isOk());
+    ASSERT_TRUE(env->syncDir(dir.path()).isOk());
+
+    EXPECT_FALSE(env->fileExists(from));
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(to, out).isOk());
+    EXPECT_EQ(out, "new");
+}
+
+TEST(EnvTest, TruncateFile)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/data.bin";
+    ASSERT_TRUE(
+        env->writeStringToFile(path, "0123456789", false).isOk());
+    ASSERT_TRUE(env->truncateFile(path, 4).isOk());
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "0123");
+}
+
+TEST(EnvTest, QuarantineTailSalvagesAndTruncates)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/wal.log";
+    std::string quarantine = dir.path() + "/quarantine";
+    ASSERT_TRUE(
+        env->writeStringToFile(path, "intactTORNTAIL", false).isOk());
+
+    uint64_t salvaged = 0;
+    ASSERT_TRUE(
+        env->quarantineTail(path, 6, quarantine, &salvaged).isOk());
+    EXPECT_EQ(salvaged, 8u);
+
+    // The torn bytes moved, byte for byte, into quarantine/ ...
+    Bytes tail;
+    ASSERT_TRUE(
+        env->readFileToString(quarantine + "/wal.log.6.tail", tail)
+            .isOk());
+    EXPECT_EQ(tail, "TORNTAIL");
+    // ... and the file shrank back to its intact prefix.
+    Bytes head;
+    ASSERT_TRUE(env->readFileToString(path, head).isOk());
+    EXPECT_EQ(head, "intact");
+}
+
+TEST(EnvTest, QuarantineTailNoOpWhenNothingTorn)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/wal.log";
+    std::string quarantine = dir.path() + "/quarantine";
+    ASSERT_TRUE(
+        env->writeStringToFile(path, "intact", false).isOk());
+
+    uint64_t salvaged = 99;
+    ASSERT_TRUE(
+        env->quarantineTail(path, 6, quarantine, &salvaged).isOk());
+    EXPECT_EQ(salvaged, 0u);
+    EXPECT_FALSE(env->fileExists(quarantine + "/wal.log.6.tail"));
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "intact");
+}
+
+TEST(EnvTest, WriteStringToFileSyncVariant)
+{
+    ScratchDir dir("env");
+    Env *env = Env::defaultEnv();
+    std::string path = dir.path() + "/synced.bin";
+    ASSERT_TRUE(env->writeStringToFile(path, "durable", true).isOk());
+    Bytes out;
+    ASSERT_TRUE(env->readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "durable");
+}
+
+} // namespace
+} // namespace ethkv

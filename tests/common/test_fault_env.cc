@@ -1,0 +1,289 @@
+/**
+ * @file
+ * FaultInjectionEnv tests: the crash model (unsynced data loss,
+ * torn tails, dir-entry unwind, dead handles) and the orthogonal
+ * fault injectors (write/sync/read errors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/env.hh"
+#include "common/fault_env.hh"
+#include "../kvstore/test_util.hh"
+
+namespace ethkv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+
+/** Create path under `fault` with `content`, sync data + dir. */
+void
+writeDurable(FaultInjectionEnv &fault, const std::string &dir,
+             const std::string &path, BytesView content)
+{
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append(content).isOk());
+    ASSERT_TRUE(file.value()->sync().isOk());
+    ASSERT_TRUE(file.value()->close().isOk());
+    ASSERT_TRUE(fault.syncDir(dir).isOk());
+}
+
+TEST(FaultEnvTest, SyncedBytesSurviveCrashUnsyncedVanish)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/wal.log";
+
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("durable").isOk());
+    ASSERT_TRUE(file.value()->sync().isOk());
+    ASSERT_TRUE(fault.syncDir(dir.path()).isOk());
+    ASSERT_TRUE(file.value()->append("volatile").isOk());
+
+    fault.crashKeepUnsyncedBytes(0);
+    fault.simulateCrash();
+    fault.reactivate();
+
+    Bytes out;
+    ASSERT_TRUE(fault.readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "durable");
+    EXPECT_EQ(fault.droppedBytes(), 8u);
+}
+
+TEST(FaultEnvTest, CrashKeepsPinnedTornPrefix)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/wal.log";
+
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("base|").isOk());
+    ASSERT_TRUE(file.value()->sync().isOk());
+    ASSERT_TRUE(fault.syncDir(dir.path()).isOk());
+    ASSERT_TRUE(file.value()->append("abcdefgh").isOk());
+
+    fault.crashKeepUnsyncedBytes(3);
+    fault.simulateCrash();
+    fault.reactivate();
+
+    Bytes out;
+    ASSERT_TRUE(fault.readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "base|abc"); // synced prefix + 3-byte torn tail
+    EXPECT_EQ(fault.droppedBytes(), 5u);
+}
+
+TEST(FaultEnvTest, ReadsObservePendingBytes)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/data.bin";
+
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("unsynced").isOk());
+
+    // Page-cache model: unsynced bytes are visible to readers and
+    // counted by fileSize; only a crash loses them.
+    auto size = fault.fileSize(path);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), 8u);
+    auto reader = fault.newRandomAccessFile(path);
+    ASSERT_TRUE(reader.ok());
+    Bytes out;
+    ASSERT_TRUE(reader.value()->read(2, 4, out).isOk());
+    EXPECT_EQ(out, "sync");
+}
+
+TEST(FaultEnvTest, UnsyncedCreateVanishesOnCrash)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/new.bin";
+
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("data").isOk());
+    // File data synced — but the directory entry never was.
+    ASSERT_TRUE(file.value()->sync().isOk());
+
+    fault.simulateCrash();
+    fault.reactivate();
+    EXPECT_FALSE(fault.fileExists(path));
+}
+
+TEST(FaultEnvTest, UnsyncedRenameRevertsAndRestoresDest)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string tmp = dir.path() + "/manifest.tmp";
+    std::string manifest = dir.path() + "/manifest";
+    writeDurable(fault, dir.path(), manifest, "old manifest");
+    writeDurable(fault, dir.path(), tmp, "new manifest");
+
+    ASSERT_TRUE(fault.renameFile(tmp, manifest).isOk());
+    // No syncDir: the rename is still volatile at crash time.
+    fault.simulateCrash();
+    fault.reactivate();
+
+    Bytes out;
+    ASSERT_TRUE(fault.readFileToString(manifest, out).isOk());
+    EXPECT_EQ(out, "old manifest");
+    ASSERT_TRUE(fault.readFileToString(tmp, out).isOk());
+    EXPECT_EQ(out, "new manifest");
+}
+
+TEST(FaultEnvTest, SyncedRenameSurvivesCrash)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string tmp = dir.path() + "/manifest.tmp";
+    std::string manifest = dir.path() + "/manifest";
+    writeDurable(fault, dir.path(), manifest, "old manifest");
+    writeDurable(fault, dir.path(), tmp, "new manifest");
+
+    ASSERT_TRUE(fault.renameFile(tmp, manifest).isOk());
+    ASSERT_TRUE(fault.syncDir(dir.path()).isOk());
+    fault.simulateCrash();
+    fault.reactivate();
+
+    Bytes out;
+    ASSERT_TRUE(fault.readFileToString(manifest, out).isOk());
+    EXPECT_EQ(out, "new manifest");
+    EXPECT_FALSE(fault.fileExists(tmp));
+}
+
+TEST(FaultEnvTest, PreCrashHandlesDie)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/wal.log";
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("x").isOk());
+
+    fault.simulateCrash();
+    fault.reactivate();
+
+    // The old handle belongs to the dead process image.
+    EXPECT_EQ(file.value()->append("y").code(), StatusCode::IOError);
+    EXPECT_EQ(file.value()->sync().code(), StatusCode::IOError);
+}
+
+TEST(FaultEnvTest, InactiveBetweenCrashAndReactivate)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    EXPECT_TRUE(fault.isActive());
+    fault.simulateCrash();
+    EXPECT_FALSE(fault.isActive());
+    EXPECT_FALSE(
+        fault.newWritableFile(dir.path() + "/f.bin").ok());
+    fault.reactivate();
+    EXPECT_TRUE(fault.isActive());
+    EXPECT_TRUE(fault.newWritableFile(dir.path() + "/f.bin").ok());
+}
+
+TEST(FaultEnvTest, WriteErrorInjection)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    auto file = fault.newWritableFile(dir.path() + "/f.bin");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("ok").isOk());
+
+    fault.setWriteError(true);
+    EXPECT_EQ(file.value()->append("fails").code(),
+              StatusCode::IOError);
+    fault.setWriteError(false);
+    EXPECT_TRUE(file.value()->append("ok again").isOk());
+}
+
+TEST(FaultEnvTest, SyncErrorLeavesDataVolatile)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/f.bin";
+    auto file = fault.newWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(fault.syncDir(dir.path()).isOk());
+    ASSERT_TRUE(file.value()->append("payload").isOk());
+
+    fault.setSyncError(true);
+    EXPECT_EQ(file.value()->sync().code(), StatusCode::IOError);
+    EXPECT_EQ(fault.syncDir(dir.path()).code(), StatusCode::IOError);
+
+    // The failed sync must not have made the data durable.
+    fault.crashKeepUnsyncedBytes(0);
+    fault.simulateCrash();
+    fault.reactivate();
+    Bytes out;
+    ASSERT_TRUE(fault.readFileToString(path, out).isOk());
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(FaultEnvTest, PermanentReadError)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/f.bin";
+    ASSERT_TRUE(fault.writeStringToFile(path, "data", true).isOk());
+
+    auto reader = fault.newRandomAccessFile(path);
+    ASSERT_TRUE(reader.ok());
+    Bytes out;
+    ASSERT_TRUE(reader.value()->read(0, 4, out).isOk());
+
+    fault.setPermanentReadError(true);
+    EXPECT_EQ(reader.value()->read(0, 4, out).code(),
+              StatusCode::IOError);
+    fault.setPermanentReadError(false);
+    EXPECT_TRUE(reader.value()->read(0, 4, out).isOk());
+}
+
+TEST(FaultEnvTest, TransientReadErrorOneInOneAlwaysFires)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/f.bin";
+    ASSERT_TRUE(fault.writeStringToFile(path, "data", true).isOk());
+
+    auto reader = fault.newRandomAccessFile(path);
+    ASSERT_TRUE(reader.ok());
+    fault.setReadErrorOneIn(1);
+    Bytes out;
+    EXPECT_EQ(reader.value()->read(0, 4, out).code(),
+              StatusCode::IOError);
+    fault.setReadErrorOneIn(0);
+    EXPECT_TRUE(reader.value()->read(0, 4, out).isOk());
+}
+
+TEST(FaultEnvTest, AppendableReopenSeesDurableTruth)
+{
+    ScratchDir dir("fault");
+    FaultInjectionEnv fault(Env::defaultEnv(), 1);
+    std::string path = dir.path() + "/wal.log";
+    writeDurable(fault, dir.path(), path, "gen1|");
+
+    fault.simulateCrash();
+    fault.reactivate();
+
+    // The post-reboot process appends where the durable bytes end.
+    auto file = fault.newAppendableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->append("gen2").isOk());
+    ASSERT_TRUE(file.value()->sync().isOk());
+    Bytes out;
+    ASSERT_TRUE(fault.readFileToString(path, out).isOk());
+    EXPECT_EQ(out, "gen1|gen2");
+}
+
+} // namespace
+} // namespace ethkv

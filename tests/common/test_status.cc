@@ -40,6 +40,20 @@ TEST(StatusTest, FactoryCodesAndMessages)
     EXPECT_EQ(s.message(), "checksum mismatch");
 }
 
+TEST(StatusTest, IODegraded)
+{
+    Status s = Status::ioDegraded("read-only after EIO");
+    EXPECT_TRUE(s.isIODegraded());
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::IODegraded);
+    EXPECT_EQ(s.toString(), "IODegraded: read-only after EIO");
+    EXPECT_STREQ(statusCodeName(StatusCode::IODegraded),
+                 "IODegraded");
+    // The plain IOError that triggers degradation is a distinct
+    // code, so callers can tell root cause from aftermath.
+    EXPECT_FALSE(Status::ioError("root cause").isIODegraded());
+}
+
 TEST(StatusTest, CodeNames)
 {
     EXPECT_STREQ(statusCodeName(StatusCode::Ok), "Ok");

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Crash-recovery stress harness.
+ *
+ * Drives each durable engine (LSM, log store, freezer) through
+ * randomized workload / crash / reopen cycles and checks the
+ * recovery contract after every reopen:
+ *
+ *  - no acked-synced write is lost (everything before the last
+ *    successful sync point survives);
+ *  - no write is partially applied: the recovered state equals the
+ *    state after some PREFIX of the issued operations, never a
+ *    subset or a reordering;
+ *  - the engine's own checkInvariants() passes;
+ *  - for the LSM engine, a Merkle Patricia Trie built over the
+ *    recovered keys re-derives the same root as one built over the
+ *    model state (state-root integrity across crashes).
+ *
+ * Crashes come from FaultInjectionEnv::simulateCrash(), which drops
+ * unsynced bytes with a random torn tail per file; "--env posix"
+ * runs the same workloads with clean close/reopen cycles instead
+ * (recovery must then be exact). Deterministic for a fixed --seed.
+ *
+ * Usage:
+ *   crash_recovery [--cycles N] [--seed S]
+ *                  [--engine lsm|log|freezer|all]
+ *                  [--env posix|fault|both]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/fault_env.hh"
+#include "common/rand.hh"
+#include "client/freezer.hh"
+#include "kvstore/log_store.hh"
+#include "kvstore/lsm_store.hh"
+#include "trie/trie.hh"
+#include "../kvstore/test_util.hh"
+
+namespace
+{
+
+using namespace ethkv;
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "crash_recovery: FAIL: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+check(bool ok, const std::string &msg)
+{
+    if (!ok)
+        fail(msg);
+}
+
+void
+checkStatus(const Status &s, const std::string &what)
+{
+    if (!s.isOk())
+        fail(what + ": " + s.toString());
+}
+
+// ---------------------------------------------------------------
+// Workload model: an op history plus prefix-state evaluation.
+// ---------------------------------------------------------------
+
+struct Op
+{
+    bool is_put;
+    Bytes key;
+    Bytes value;
+};
+
+using Model = std::map<Bytes, Bytes>;
+
+/** State after applying ops[0, k) on top of base. */
+Model
+stateAfter(const Model &base, const std::vector<Op> &ops, size_t k)
+{
+    Model state = base;
+    for (size_t i = 0; i < k; ++i) {
+        if (ops[i].is_put)
+            state[ops[i].key] = ops[i].value;
+        else
+            state.erase(ops[i].key);
+    }
+    return state;
+}
+
+/** Whether the store's live state equals candidate exactly. */
+bool
+matchesState(kv::KVStore &store, const Model &candidate)
+{
+    if (store.liveKeyCount() != candidate.size())
+        return false;
+    Bytes value;
+    for (const auto &[key, want] : candidate) {
+        if (!store.get(key, value).isOk() || value != want)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The core recovery invariant: the recovered state must equal the
+ * state after ops[0, k) for some k with durable_mark <= k <=
+ * ops.size(). Returns that state (the new model base).
+ */
+Model
+findRecoveredPrefix(kv::KVStore &store, const Model &base,
+                    const std::vector<Op> &ops, size_t durable_mark,
+                    const std::string &what)
+{
+    // Walk down from the full history: clean closes recover
+    // everything, so the common match is k == ops.size().
+    for (size_t k = ops.size() + 1; k > durable_mark; --k) {
+        Model candidate = stateAfter(base, ops, k - 1);
+        if (matchesState(store, candidate))
+            return candidate;
+    }
+    fail(what + ": recovered state matches no acked prefix "
+                "(durable_mark=" +
+         std::to_string(durable_mark) + ", ops=" +
+         std::to_string(ops.size()) + ")");
+}
+
+/** Trie node storage over a plain map (as the trie tests use). */
+class MapBackend : public trie::NodeBackend
+{
+  public:
+    Status
+    read(BytesView path, Bytes &encoding) override
+    {
+        auto it = nodes.find(Bytes(path));
+        if (it == nodes.end())
+            return Status::notFound();
+        encoding = it->second;
+        return Status::ok();
+    }
+
+    void
+    write(kv::WriteBatch &batch, BytesView path,
+          BytesView encoding) override
+    {
+        batch.put(path, encoding);
+    }
+
+    void
+    remove(kv::WriteBatch &batch, BytesView path) override
+    {
+        batch.del(path);
+    }
+
+    std::map<Bytes, Bytes> nodes;
+};
+
+/** Root of a trie holding exactly `state`. */
+eth::Hash256
+trieRootOf(const Model &state, bool reverse_insertion)
+{
+    MapBackend backend;
+    trie::MerklePatriciaTrie trie(backend);
+    auto insert = [&](const Bytes &key, const Bytes &value) {
+        // Trie values must be non-empty; tag defensively.
+        checkStatus(trie.put(key, Bytes("v") + value),
+                    "trie put during root derivation");
+    };
+    if (reverse_insertion) {
+        for (auto it = state.rbegin(); it != state.rend(); ++it)
+            insert(it->first, it->second);
+    } else {
+        for (const auto &[key, value] : state)
+            insert(key, value);
+    }
+    kv::WriteBatch batch;
+    return trie.commit(batch);
+}
+
+// ---------------------------------------------------------------
+// Harness configuration
+// ---------------------------------------------------------------
+
+struct HarnessOptions
+{
+    uint64_t cycles = 100;
+    uint64_t seed = 0xe7;
+    std::string engine = "all"; // lsm | log | freezer | all
+    std::string env = "both";   // posix | fault | both
+};
+
+struct CycleStats
+{
+    uint64_t cycles = 0;
+    uint64_t ops = 0;
+    uint64_t crashes = 0;
+};
+
+constexpr uint64_t key_space = 160;
+constexpr size_t ops_per_cycle_max = 40;
+
+Bytes
+workloadValue(Rng &rng)
+{
+    return rng.nextBytes(8 + rng.nextBounded(24));
+}
+
+// ---------------------------------------------------------------
+// KV engines (LSM, log store): shared cycle loop
+// ---------------------------------------------------------------
+
+/**
+ * Run crash/reopen cycles against a KVStore-family engine.
+ *
+ * Each cycle reopens the store with per-op fdatasync either on or
+ * off (coin flip): synced cycles assert zero acked-write loss,
+ * buffered cycles let the crash tear the log tail so recovery has
+ * to find the intact prefix.
+ *
+ * @param opener  (Env*, sync_every_op) -> opened store; nullptr
+ *        env = PosixEnv.
+ * @param fault  The crash source, or nullptr for clean closes.
+ */
+template <typename Opener>
+CycleStats
+runKvCycles(const std::string &what, const Opener &opener,
+            FaultInjectionEnv *fault, uint64_t cycles,
+            uint64_t seed, bool derive_trie_root)
+{
+    Rng rng(seed);
+    Model base;
+    std::vector<Op> ops;
+    size_t durable_mark = 0;
+    bool sync_every_op = true;
+    CycleStats stats;
+
+    for (uint64_t cycle = 0; cycle < cycles; ++cycle) {
+        sync_every_op = rng.nextBounded(2) == 0;
+        std::unique_ptr<kv::KVStore> store =
+            opener(fault ? static_cast<Env *>(fault) : nullptr,
+                   sync_every_op);
+
+        // -- Verify recovery of the previous cycle's history.
+        base = findRecoveredPrefix(*store, base, ops, durable_mark,
+                                   what + " cycle " +
+                                       std::to_string(cycle));
+        if (derive_trie_root) {
+            // The state root must be a pure function of the
+            // recovered key set, independent of build order.
+            check(trieRootOf(base, false) == trieRootOf(base, true),
+                  what + ": trie root not re-derivable from the "
+                         "recovered state");
+        }
+        ops.clear();
+        durable_mark = 0;
+
+        // -- Random workload burst.
+        size_t burst = 1 + rng.nextBounded(ops_per_cycle_max);
+        for (size_t i = 0; i < burst; ++i) {
+            Op op;
+            op.is_put = rng.nextBounded(100) < 75;
+            op.key = testutil::makeKey(rng.nextBounded(key_space));
+            Status s;
+            if (op.is_put) {
+                op.value = workloadValue(rng);
+                s = store->put(op.key, op.value);
+            } else {
+                s = store->del(op.key);
+            }
+            checkStatus(s, what + " workload op");
+            ops.push_back(std::move(op));
+            ++stats.ops;
+            if (sync_every_op)
+                durable_mark = ops.size();
+            // Occasional explicit sync point.
+            if (rng.nextBounded(10) == 0) {
+                checkStatus(store->flush(), what + " flush");
+                durable_mark = ops.size();
+            }
+        }
+
+        // -- Crash (fault env) or clean close (posix).
+        if (fault) {
+            // Crash BEFORE destroying the store: destructors are
+            // clean-shutdown code (the LSM dtor syncs its WAL) and
+            // a real power loss never runs them. Post-crash the
+            // dtor's best-effort syncs hit dead handles, which is
+            // exactly the kill -9 model.
+            fault->simulateCrash();
+            store.reset();
+            fault->reactivate();
+            ++stats.crashes;
+        } else {
+            // A clean close loses nothing: everything appended
+            // reached the OS, and no crash follows.
+            store.reset();
+            durable_mark = ops.size();
+        }
+        ++stats.cycles;
+    }
+
+    // Final reopen: the last cycle's writes must recover too.
+    std::unique_ptr<kv::KVStore> store =
+        opener(fault ? static_cast<Env *>(fault) : nullptr,
+               sync_every_op);
+    findRecoveredPrefix(*store, base, ops, durable_mark,
+                        what + " final reopen");
+    return stats;
+}
+
+CycleStats
+runLsm(const std::string &dir, FaultInjectionEnv *fault,
+       uint64_t cycles, uint64_t seed)
+{
+    auto opener = [&](Env *env, bool sync_every_op)
+        -> std::unique_ptr<kv::KVStore> {
+        kv::LSMOptions options;
+        options.dir = dir;
+        options.env = env;
+        options.sync_wal = sync_every_op;
+        // Small memtable so cycles exercise flush + compaction.
+        options.memtable_bytes = 16u << 10;
+        options.l0_compaction_trigger = 2;
+        auto store = kv::LSMStore::open(options);
+        if (!store.ok())
+            fail("lsm open: " + store.status().toString());
+        checkStatus(store.value()->checkInvariants(),
+                    "lsm invariants after open");
+        return store.take();
+    };
+    return runKvCycles("lsm", opener, fault, cycles, seed,
+                       /*derive_trie_root=*/true);
+}
+
+CycleStats
+runLog(const std::string &dir, FaultInjectionEnv *fault,
+       uint64_t cycles, uint64_t seed)
+{
+    auto opener = [&](Env *env, bool sync_every_op)
+        -> std::unique_ptr<kv::KVStore> {
+        kv::LogStoreOptions options;
+        options.dir = dir;
+        options.env = env;
+        options.sync_appends = sync_every_op;
+        options.segment_bytes = 8u << 10;
+        auto store = kv::AppendLogStore::open(options);
+        if (!store.ok())
+            fail("log open: " + store.status().toString());
+        return store.take();
+    };
+    return runKvCycles("log", opener, fault, cycles, seed,
+                       /*derive_trie_root=*/false);
+}
+
+// ---------------------------------------------------------------
+// Freezer cycles
+// ---------------------------------------------------------------
+
+Bytes
+freezerPayload(const char *tag, uint64_t n)
+{
+    Rng rng(n * 0x9e3779b97f4a7c15ull + tag[0]);
+    return Bytes(tag) + rng.nextBytes(8 + rng.nextBounded(40));
+}
+
+CycleStats
+runFreezer(const std::string &dir, FaultInjectionEnv *fault,
+           uint64_t cycles, uint64_t seed)
+{
+    Rng rng(seed);
+    uint64_t durable_count = 0;
+    uint64_t appended_count = 0;
+    CycleStats stats;
+
+    for (uint64_t cycle = 0; cycle <= cycles; ++cycle) {
+        auto freezer = client::Freezer::open(
+            dir, fault ? static_cast<Env *>(fault) : nullptr);
+        if (!freezer.ok())
+            fail("freezer open: " + freezer.status().toString());
+
+        // -- Verify recovery: synced blocks all present, nothing
+        //    past what was appended, every surviving item intact.
+        uint64_t frozen = freezer.value()->frozenCount();
+        check(frozen >= durable_count,
+              "freezer lost synced blocks: frozen=" +
+                  std::to_string(frozen) + " < durable=" +
+                  std::to_string(durable_count));
+        check(frozen <= appended_count,
+              "freezer invented blocks: frozen=" +
+                  std::to_string(frozen) + " > appended=" +
+                  std::to_string(appended_count));
+        checkStatus(freezer.value()->checkInvariants(),
+                    "freezer invariants after open");
+        for (uint64_t n = frozen > 8 ? frozen - 8 : 0; n < frozen;
+             ++n) {
+            Bytes out;
+            checkStatus(freezer.value()->read(
+                            client::FreezerTable::Bodies, n, out),
+                        "freezer read block " + std::to_string(n));
+            check(out == freezerPayload("body", n),
+                  "freezer block " + std::to_string(n) +
+                      " corrupted");
+        }
+        // Blocks past the torn boundary are gone; re-freeze from
+        // the recovered boundary (idempotent repair path).
+        appended_count = frozen;
+        if (cycle == cycles)
+            break;
+
+        // -- Append a burst, syncing at a random point.
+        uint64_t burst = 1 + rng.nextBounded(12);
+        for (uint64_t i = 0; i < burst; ++i) {
+            uint64_t n = appended_count;
+            checkStatus(
+                freezer.value()->append(
+                    n, freezerPayload("hash", n),
+                    freezerPayload("hdr", n),
+                    freezerPayload("body", n),
+                    freezerPayload("rcpt", n)),
+                "freezer append " + std::to_string(n));
+            ++appended_count;
+            ++stats.ops;
+            if (rng.nextBounded(4) == 0) {
+                checkStatus(freezer.value()->sync(),
+                            "freezer sync");
+                durable_count = appended_count;
+            }
+        }
+
+        if (fault) {
+            // Crash with the handle live, as a real power loss
+            // would (see runKvCycles).
+            fault->simulateCrash();
+            freezer.value().reset();
+            fault->reactivate();
+            ++stats.crashes;
+        } else {
+            freezer.value().reset();
+            durable_count = appended_count;
+        }
+        ++stats.cycles;
+    }
+    return stats;
+}
+
+// ---------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------
+
+CycleStats
+runEngine(const std::string &engine, const std::string &env_mode,
+          uint64_t cycles, uint64_t seed)
+{
+    testutil::ScratchDir dir("crash_" + engine + "_" + env_mode);
+    std::unique_ptr<FaultInjectionEnv> fault;
+    if (env_mode == "fault") {
+        fault = std::make_unique<FaultInjectionEnv>(
+            Env::defaultEnv(), seed);
+    }
+    CycleStats stats;
+    if (engine == "lsm")
+        stats = runLsm(dir.path(), fault.get(), cycles, seed);
+    else if (engine == "log")
+        stats = runLog(dir.path(), fault.get(), cycles, seed);
+    else if (engine == "freezer")
+        stats = runFreezer(dir.path(), fault.get(), cycles, seed);
+    else
+        fail("unknown engine: " + engine);
+    std::string dropped;
+    if (fault) {
+        dropped = ", " + std::to_string(fault->droppedBytes()) +
+                  " bytes dropped";
+    }
+    std::printf("crash_recovery: %-7s %-5s ok  "
+                "(%" PRIu64 " cycles, %" PRIu64 " ops, %" PRIu64
+                " crashes%s)\n",
+                engine.c_str(), env_mode.c_str(), stats.cycles,
+                stats.ops, stats.crashes, dropped.c_str());
+    return stats;
+}
+
+uint64_t
+parseUint(const char *arg, const char *flag)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0')
+        fail(std::string("bad value for ") + flag);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    HarnessOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fail("missing value after " + arg);
+            return argv[++i];
+        };
+        if (arg == "--cycles")
+            options.cycles = parseUint(next(), "--cycles");
+        else if (arg == "--seed")
+            options.seed = parseUint(next(), "--seed");
+        else if (arg == "--engine")
+            options.engine = next();
+        else if (arg == "--env")
+            options.env = next();
+        else
+            fail("unknown flag: " + arg);
+    }
+
+    std::vector<std::string> engines;
+    if (options.engine == "all")
+        engines = {"lsm", "log", "freezer"};
+    else
+        engines = {options.engine};
+    std::vector<std::string> envs;
+    if (options.env == "both")
+        envs = {"posix", "fault"};
+    else
+        envs = {options.env};
+
+    for (const std::string &engine : engines) {
+        for (const std::string &env_mode : envs) {
+            runEngine(engine, env_mode, options.cycles,
+                      options.seed);
+        }
+    }
+    std::printf("crash_recovery: PASS\n");
+    return 0;
+}

@@ -27,6 +27,14 @@
  *     include their own header first (LLVM rule: proves headers
  *     are self-contained); no "../" relative includes anywhere.
  *
+ *  4. Filesystem access goes through ethkv::Env. Direct
+ *     fopen/freopen/fstream use under src/ bypasses the durability
+ *     contract (fdatasync, dir fsync) and the fault-injection seam
+ *     the crash harness depends on, so only the PosixEnv
+ *     implementation (common/env_posix.cc) may touch the OS
+ *     directly. Tools, benches, and tests are exempt: they are not
+ *     part of the storage stack.
+ *
  * Exit status 0 when clean; 1 with one "file:line: message" per
  * violation otherwise, so the `lint.ethkv_lint` ctest entry fails
  * on any new violation.
@@ -444,6 +452,36 @@ checkIncludes(const fs::path &path, const fs::path &rel,
     }
 }
 
+// --- Rule 4: filesystem access only through ethkv::Env ----------
+
+/** The one translation unit allowed to open files directly. */
+bool
+directIOAllowlisted(const fs::path &rel)
+{
+    return rel == fs::path("src/common/env_posix.cc");
+}
+
+void
+checkDirectIO(const fs::path &rel,
+              const std::vector<std::string> &lines)
+{
+    if (*rel.begin() != fs::path("src") || directIOAllowlisted(rel))
+        return;
+    static const char *banned[] = {"fopen", "freopen", "fstream",
+                                   "ifstream", "ofstream"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        for (const char *token : banned) {
+            if (containsToken(lines[i], token)) {
+                report(rel.string(), i + 1,
+                       std::string("direct file I/O (") + token +
+                           ") in src/ — open files through "
+                           "ethkv::Env so durability and fault "
+                           "injection stay enforceable");
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -492,6 +530,7 @@ main(int argc, char **argv)
             checkKVClassSwitches(rel, text, enumerators);
             checkNakedNew(rel, lines);
             checkIncludes(rel, rel, lines);
+            checkDirectIO(rel, lines);
             if (ext == ".hh" &&
                 *rel.begin() == fs::path("src")) {
                 checkHeaderGuard(rel, rel, text);
