@@ -1,0 +1,608 @@
+/**
+ * @file
+ * Closed-loop load generator for ethkvd (ethkv.wire.v1).
+ *
+ * Drives C pipelined connections from T threads against a running
+ * server and reports throughput plus p50/p99/p999 latency. Three
+ * synthetic modes plus trace replay:
+ *
+ *  - mixed  (default): Zipf-distributed GET/PUT over a key space
+ *    spread across the schema classes, so `--engine hybrid`
+ *    exercises every route. `--read-pct` sets the mix.
+ *  - fill:  deterministically PUT keys [base, base+keys); every
+ *    acked key id is written to --acked-file as it completes, so a
+ *    crash harness knows exactly which writes the server
+ *    acknowledged before it died. A connection dying mid-fill exits
+ *    with code 75 (expected under kill -9), after flushing the
+ *    acked file.
+ *  - verify: GET every key listed in --acked-file (or the whole
+ *    range when absent) through a fresh connection and compare
+ *    against the deterministic fill value; any miss or mismatch is
+ *    a data-loss failure (exit 1).
+ *  - --trace <file>: replay a captured ethkv::trace through the
+ *    wire instead of synthesizing ops (Read->GET, Write/Update->PUT,
+ *    Delete->DELETE, Scan->SCAN).
+ *
+ * Latencies land in the process-global metrics registry
+ * (bench.server.<op>.latency_ns) and dump as ethkv.metrics.v1 JSON
+ * via --metrics-out; a human summary goes to stdout.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "common/rand.hh"
+#include "common/status.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
+#include "server/client.hh"
+#include "trace/trace_file.hh"
+
+namespace
+{
+
+using namespace ethkv;
+using bench::synthesizeKey;
+using bench::synthesizeValue;
+
+struct Flags
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string port_file;
+    int connections = 8;
+    int threads = 2;
+    uint64_t ops = 100000;
+    size_t window = 32;
+    uint64_t keys = 50000;
+    uint64_t key_base = 0;
+    uint32_t value_bytes = 256;
+    double zipf = 0.99;
+    int read_pct = 50;
+    uint64_t seed = 42;
+    std::string mode = "mixed";
+    std::string trace_path;
+    std::string acked_file;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --port <n> [options]\n"
+        "  --host <ipv4>        server address (default"
+        " 127.0.0.1)\n"
+        "  --port <n>           server port\n"
+        "  --port-file <path>   read the port from a file (polls"
+        " up to 10s)\n"
+        "  --connections <n>    pipelined connections (default 8)\n"
+        "  --threads <n>        client threads (default 2)\n"
+        "  --ops <n>            total operations (default 100000)\n"
+        "  --window <n>         in-flight window per connection"
+        " (default 32)\n"
+        "  --keys <n>           key-space size (default 50000)\n"
+        "  --key-base <n>       first key id (separates fill and"
+        " mixed key spaces)\n"
+        "  --value-bytes <n>    value size (default 256)\n"
+        "  --zipf <s>           Zipf skew (default 0.99)\n"
+        "  --read-pct <n>       GET share in mixed mode (default"
+        " 50)\n"
+        "  --seed <n>           RNG seed (default 42)\n"
+        "  --mode <mixed|fill|verify>\n"
+        "  --trace <path>       replay a captured trace instead\n"
+        "  --acked-file <path>  fill: record acked key ids;"
+        " verify: check them\n"
+        "  --metrics-out <path> dump ethkv.metrics.v1 JSON\n",
+        argv0);
+}
+
+bool
+parseFlags(int argc, char **argv, Flags &f)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", what);
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            f.host = next("--host");
+        } else if (arg == "--port") {
+            f.port = std::atoi(next("--port"));
+        } else if (arg == "--port-file") {
+            f.port_file = next("--port-file");
+        } else if (arg == "--connections") {
+            f.connections = std::atoi(next("--connections"));
+        } else if (arg == "--threads") {
+            f.threads = std::atoi(next("--threads"));
+        } else if (arg == "--ops") {
+            f.ops = std::strtoull(next("--ops"), nullptr, 10);
+        } else if (arg == "--window") {
+            f.window = std::strtoull(next("--window"), nullptr, 10);
+        } else if (arg == "--keys") {
+            f.keys = std::strtoull(next("--keys"), nullptr, 10);
+        } else if (arg == "--key-base") {
+            f.key_base =
+                std::strtoull(next("--key-base"), nullptr, 10);
+        } else if (arg == "--value-bytes") {
+            f.value_bytes = static_cast<uint32_t>(
+                std::strtoul(next("--value-bytes"), nullptr, 10));
+        } else if (arg == "--zipf") {
+            f.zipf = std::atof(next("--zipf"));
+        } else if (arg == "--read-pct") {
+            f.read_pct = std::atoi(next("--read-pct"));
+        } else if (arg == "--seed") {
+            f.seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--mode") {
+            f.mode = next("--mode");
+        } else if (arg == "--trace") {
+            f.trace_path = next("--trace");
+        } else if (arg == "--acked-file") {
+            f.acked_file = next("--acked-file");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Resolve the target port, polling --port-file (written tmp+rename
+ * by ethkvd) so a harness can start both processes back to back.
+ */
+int
+resolvePort(const Flags &f)
+{
+    if (f.port_file.empty())
+        return f.port;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        std::FILE *fp = std::fopen(f.port_file.c_str(), "r");
+        if (fp) {
+            int port = 0;
+            int got = std::fscanf(fp, "%d", &port);
+            std::fclose(fp);
+            if (got == 1 && port > 0)
+                return port;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+    fatal("port file %s never appeared", f.port_file.c_str());
+}
+
+/**
+ * The deterministic key id -> class mapping. Spreading ids over
+ * classes from all four hybrid routes means one load run exercises
+ * the B+-tree, both logs, and the hash store; fill and verify use
+ * the same mapping, so recovered data is checked against the exact
+ * bytes that were acked.
+ */
+client::KVClass
+classOfKeyId(uint64_t key_id)
+{
+    using client::KVClass;
+    static const KVClass classes[] = {
+        KVClass::TrieNodeAccount,  // LazyLog route
+        KVClass::TrieNodeStorage,  // LazyLog
+        KVClass::SnapshotAccount,  // Ordered
+        KVClass::SnapshotStorage,  // Ordered
+        KVClass::Code,             // LazyLog
+        KVClass::BlockBody,        // Log
+        KVClass::HeaderNumber,     // Hash
+        KVClass::StateID,          // Hash
+    };
+    return classes[key_id % (sizeof(classes) /
+                             sizeof(classes[0]))];
+}
+
+/** A key size classify() accepts for the class (schema.cc). */
+uint16_t
+keySizeOf(client::KVClass cls)
+{
+    if (cls == client::KVClass::SnapshotStorage)
+        return 65;
+    if (cls == client::KVClass::BlockBody)
+        return 41;
+    return 33;
+}
+
+Bytes
+keyOf(uint64_t key_id)
+{
+    client::KVClass cls = classOfKeyId(key_id);
+    return synthesizeKey(static_cast<uint16_t>(cls), key_id,
+                         keySizeOf(cls));
+}
+
+/** Per-op latency histograms, shared by every worker thread. */
+struct Instruments
+{
+    obs::LatencyHistogram *all;
+    obs::LatencyHistogram *get;
+    obs::LatencyHistogram *put;
+    obs::Counter *acked;
+    obs::Counter *errors;
+
+    static Instruments
+    fromRegistry()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        return Instruments{
+            &reg.histogram("bench.server.all.latency_ns"),
+            &reg.histogram("bench.server.get.latency_ns"),
+            &reg.histogram("bench.server.put.latency_ns"),
+            &reg.counter("bench.server.acked"),
+            &reg.counter("bench.server.errors"),
+        };
+    }
+};
+
+/**
+ * One pipelined connection plus the submission-order key queue its
+ * completion callback pops (ethkvd answers a connection FIFO, so
+ * the front of the queue is always the key being completed).
+ */
+struct Conn
+{
+    std::unique_ptr<server::PipelinedClient> client;
+    std::deque<uint64_t> submitted_keys;
+    std::vector<uint64_t> acked_keys; //!< fill mode only.
+    bool record_acks = false;
+};
+
+/** What one worker thread reports back. */
+struct WorkerResult
+{
+    uint64_t ops_done = 0;
+    uint64_t errors = 0;
+    bool connection_died = false;
+};
+
+Result<std::unique_ptr<server::PipelinedClient>>
+openConn(const Flags &f, int port, Conn &conn,
+         const Instruments &ins)
+{
+    return server::PipelinedClient::open(
+        f.host, static_cast<uint16_t>(port), f.window,
+        [&conn, ins](server::Opcode op, server::WireStatus status,
+                     uint64_t latency_ns, const Bytes &) {
+            ins.all->record(latency_ns);
+            if (op == server::Opcode::Get)
+                ins.get->record(latency_ns);
+            else if (op == server::Opcode::Put)
+                ins.put->record(latency_ns);
+            uint64_t key_id = 0;
+            if (!conn.submitted_keys.empty()) {
+                key_id = conn.submitted_keys.front();
+                conn.submitted_keys.pop_front();
+            }
+            bool ok = status == server::WireStatus::Ok ||
+                      (op == server::Opcode::Get &&
+                       status == server::WireStatus::NotFound);
+            if (!ok) {
+                ins.errors->inc();
+                return;
+            }
+            ins.acked->inc();
+            if (conn.record_acks && op == server::Opcode::Put)
+                conn.acked_keys.push_back(key_id);
+        });
+}
+
+/** Mixed Zipf GET/PUT, closed loop. */
+WorkerResult
+runMixed(const Flags &f, std::vector<Conn> &conns, uint64_t my_ops,
+         uint64_t thread_seed)
+{
+    WorkerResult result;
+    Rng rng(thread_seed);
+    ZipfGenerator zipf(f.keys, f.zipf);
+    for (uint64_t i = 0; i < my_ops; ++i) {
+        Conn &conn = conns[i % conns.size()];
+        uint64_t key_id = f.key_base + zipf.sample(rng);
+        Bytes key = keyOf(key_id);
+        conn.submitted_keys.push_back(key_id);
+        Status s;
+        if (rng.nextBounded(100) <
+            static_cast<uint64_t>(f.read_pct)) {
+            s = conn.client->submitGet(key);
+        } else {
+            s = conn.client->submitPut(
+                key, synthesizeValue(key_id, f.value_bytes));
+        }
+        if (!s.isOk()) {
+            result.connection_died = true;
+            return result;
+        }
+        ++result.ops_done;
+    }
+    for (Conn &conn : conns) {
+        if (!conn.client->drain().isOk())
+            result.connection_died = true;
+    }
+    return result;
+}
+
+/** Deterministic PUT of a contiguous key-id slice. */
+WorkerResult
+runFill(const Flags &f, std::vector<Conn> &conns, uint64_t lo,
+        uint64_t hi)
+{
+    WorkerResult result;
+    for (uint64_t key_id = lo; key_id < hi; ++key_id) {
+        Conn &conn = conns[key_id % conns.size()];
+        conn.submitted_keys.push_back(key_id);
+        Status s = conn.client->submitPut(
+            keyOf(key_id), synthesizeValue(key_id, f.value_bytes));
+        if (!s.isOk()) {
+            result.connection_died = true;
+            return result;
+        }
+        ++result.ops_done;
+    }
+    for (Conn &conn : conns) {
+        if (!conn.client->drain().isOk())
+            result.connection_died = true;
+    }
+    return result;
+}
+
+/** Replay a slice of trace records through the wire. */
+WorkerResult
+runTrace(std::vector<Conn> &conns,
+         const trace::TraceBuffer &buffer, uint64_t lo,
+         uint64_t hi)
+{
+    WorkerResult result;
+    const std::vector<trace::TraceRecord> &records =
+        buffer.records();
+    for (uint64_t i = lo; i < hi; ++i) {
+        const trace::TraceRecord &rec = records[i];
+        Conn &conn = conns[i % conns.size()];
+        Bytes key = synthesizeKey(rec.class_id, rec.key_id,
+                                  rec.key_size);
+        conn.submitted_keys.push_back(rec.key_id);
+        Status s;
+        switch (rec.op) {
+          case trace::OpType::Read:
+            s = conn.client->submitGet(key);
+            break;
+          case trace::OpType::Write:
+          case trace::OpType::Update:
+            s = conn.client->submitPut(
+                key, synthesizeValue(rec.key_id, rec.value_size));
+            break;
+          case trace::OpType::Delete:
+            s = conn.client->submitDelete(key);
+            break;
+          case trace::OpType::Scan: {
+            Bytes end = key;
+            end.push_back('\xff');
+            s = conn.client->submitScan(key, end, 128);
+            break;
+          }
+        }
+        if (!s.isOk()) {
+            result.connection_died = true;
+            return result;
+        }
+        ++result.ops_done;
+    }
+    for (Conn &conn : conns) {
+        if (!conn.client->drain().isOk())
+            result.connection_died = true;
+    }
+    return result;
+}
+
+/** Append acked key ids (one per line) for the crash harness. */
+void
+writeAckedFile(const std::string &path,
+               const std::vector<Conn *> &conns)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "w");
+    if (!fp)
+        fatal("cannot write %s", path.c_str());
+    uint64_t total = 0;
+    for (const Conn *conn : conns) {
+        for (uint64_t key_id : conn->acked_keys) {
+            std::fprintf(fp, "%llu\n",
+                         static_cast<unsigned long long>(key_id));
+            ++total;
+        }
+    }
+    std::fclose(fp);
+    inform("bench_server_load: %llu acked key ids -> %s",
+           static_cast<unsigned long long>(total), path.c_str());
+}
+
+/**
+ * Verify mode: every acked key must come back with the exact fill
+ * value. Runs single-threaded over a blocking client — correctness
+ * checking, not a throughput path.
+ */
+int
+runVerify(const Flags &f, int port)
+{
+    std::vector<uint64_t> key_ids;
+    if (!f.acked_file.empty()) {
+        std::FILE *fp = std::fopen(f.acked_file.c_str(), "r");
+        if (!fp)
+            fatal("cannot read %s", f.acked_file.c_str());
+        unsigned long long id = 0;
+        while (std::fscanf(fp, "%llu", &id) == 1)
+            key_ids.push_back(id);
+        std::fclose(fp);
+    } else {
+        for (uint64_t i = 0; i < f.keys; ++i)
+            key_ids.push_back(f.key_base + i);
+    }
+
+    auto client =
+        server::Client::open(f.host, static_cast<uint16_t>(port));
+    client.status().expectOk("verify connect");
+
+    uint64_t missing = 0;
+    uint64_t mismatched = 0;
+    Bytes value;
+    for (uint64_t key_id : key_ids) {
+        Status s = client.value()->get(keyOf(key_id), value);
+        if (!s.isOk()) {
+            ++missing;
+            continue;
+        }
+        if (value != synthesizeValue(key_id, f.value_bytes))
+            ++mismatched;
+    }
+    std::printf(
+        "verify: keys=%zu missing=%llu mismatched=%llu -> %s\n",
+        key_ids.size(),
+        static_cast<unsigned long long>(missing),
+        static_cast<unsigned long long>(mismatched),
+        missing + mismatched ? "DATA LOSS" : "ok");
+    return missing + mismatched ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initTelemetry(&argc, argv);
+    Flags flags;
+    if (!parseFlags(argc, argv, flags))
+        return 2;
+    if (flags.connections < flags.threads)
+        flags.connections = flags.threads;
+    int port = resolvePort(flags);
+    if (port <= 0)
+        fatal("need --port or --port-file");
+
+    if (flags.mode == "verify")
+        return runVerify(flags, port);
+    bool fill = flags.mode == "fill";
+    if (!fill && flags.mode != "mixed")
+        fatal("unknown --mode %s", flags.mode.c_str());
+
+    trace::TraceBuffer trace_buffer;
+    if (!flags.trace_path.empty()) {
+        auto loaded = trace::loadTraceFile(flags.trace_path);
+        loaded.status().expectOk("trace load");
+        trace_buffer = loaded.take();
+        flags.ops = trace_buffer.records().size();
+    }
+    if (fill)
+        flags.ops = flags.keys;
+
+    Instruments ins = Instruments::fromRegistry();
+
+    // Each thread owns its share of connections outright (clients
+    // are not thread-safe), so the hot loop takes no locks.
+    int threads = flags.threads;
+    std::vector<std::vector<Conn>> per_thread(threads);
+    for (int c = 0; c < flags.connections; ++c) {
+        Conn conn;
+        conn.record_acks = fill;
+        per_thread[c % threads].push_back(std::move(conn));
+    }
+    for (std::vector<Conn> &conns : per_thread) {
+        for (Conn &conn : conns) {
+            auto opened = openConn(flags, port, conn, ins);
+            opened.status().expectOk("connect");
+            conn.client = opened.take();
+        }
+    }
+
+    std::vector<WorkerResult> results(threads);
+    uint64_t per_thread_ops = flags.ops / threads;
+    uint64_t start_ns = obs::nowNanos();
+    {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < threads; ++t) {
+            uint64_t lo = t * per_thread_ops;
+            uint64_t hi = t + 1 == threads ? flags.ops
+                                           : lo + per_thread_ops;
+            workers.emplace_back([&, t, lo, hi] {
+                std::vector<Conn> &conns = per_thread[t];
+                if (!flags.trace_path.empty())
+                    results[t] =
+                        runTrace(conns, trace_buffer, lo, hi);
+                else if (fill)
+                    results[t] =
+                        runFill(flags, conns, flags.key_base + lo,
+                                flags.key_base + hi);
+                else
+                    results[t] =
+                        runMixed(flags, conns, hi - lo,
+                                 flags.seed * 7919 + t);
+            });
+        }
+        for (std::thread &w : workers)
+            w.join();
+    }
+    uint64_t elapsed_ns = obs::nowNanos() - start_ns;
+
+    uint64_t ops_done = 0;
+    bool died = false;
+    for (const WorkerResult &r : results) {
+        ops_done += r.ops_done;
+        died = died || r.connection_died;
+    }
+    if (fill && !flags.acked_file.empty()) {
+        std::vector<Conn *> all;
+        for (std::vector<Conn> &conns : per_thread)
+            for (Conn &conn : conns)
+                all.push_back(&conn);
+        writeAckedFile(flags.acked_file, all);
+    }
+
+    double secs = static_cast<double>(elapsed_ns) / 1e9;
+    double ops_per_sec =
+        secs > 0 ? static_cast<double>(ins.acked->value()) / secs
+                 : 0;
+    std::printf(
+        "bench_server_load: mode=%s conns=%d threads=%d\n"
+        "  submitted=%llu acked=%llu errors=%llu in %.2fs"
+        " (%.0f ops/s)\n"
+        "  latency p50=%lluus p99=%lluus p999=%lluus\n",
+        flags.mode.c_str(), flags.connections, flags.threads,
+        static_cast<unsigned long long>(ops_done),
+        static_cast<unsigned long long>(ins.acked->value()),
+        static_cast<unsigned long long>(ins.errors->value()),
+        secs, ops_per_sec,
+        static_cast<unsigned long long>(
+            ins.all->percentile(50) / 1000),
+        static_cast<unsigned long long>(
+            ins.all->percentile(99) / 1000),
+        static_cast<unsigned long long>(
+            ins.all->percentile(99.9) / 1000));
+
+    if (died) {
+        // Expected when the crash harness kills the server
+        // mid-load; the acked file above still names every write
+        // the server acknowledged first.
+        std::fprintf(stderr,
+                     "bench_server_load: connection died\n");
+        return 75;
+    }
+    if (!fill && ins.errors->value() > 0)
+        return 1;
+    return 0;
+}

@@ -158,6 +158,7 @@ CachingKVStore::get(BytesView key, Bytes &value)
     if (!config_.enabled)
         return inner_.get(key, value);
 
+    MutexLock lock(mutex_);
     KVClass cls = classify(key);
     Group group = groupOf(cls);
     if (isWriteBackClass(cls)) {
@@ -190,7 +191,13 @@ CachingKVStore::put(BytesView key, BytesView value)
 {
     if (!config_.enabled)
         return inner_.put(key, value);
+    MutexLock lock(mutex_);
+    return putLocked(key, value);
+}
 
+Status
+CachingKVStore::putLocked(BytesView key, BytesView value)
+{
     KVClass cls = classify(key);
     if (isWriteBackClass(cls)) {
         auto [it, inserted] =
@@ -206,7 +213,7 @@ CachingKVStore::put(BytesView key, BytesView value)
         wb_bytes_ += value.size();
         lruErase(groupOf(cls), key);
         if (wb_bytes_ > config_.write_back_bytes)
-            return flushWriteBack();
+            return flushWriteBackLocked();
         return Status::ok();
     }
 
@@ -221,7 +228,13 @@ CachingKVStore::del(BytesView key)
 {
     if (!config_.enabled)
         return inner_.del(key);
+    MutexLock lock(mutex_);
+    return delLocked(key);
+}
 
+Status
+CachingKVStore::delLocked(BytesView key)
+{
     KVClass cls = classify(key);
     if (isWriteBackClass(cls)) {
         auto [it, inserted] =
@@ -249,14 +262,16 @@ CachingKVStore::apply(const kv::WriteBatch &batch)
 
     // Split: write-back classes are absorbed here; the rest pass
     // through as one batch so the engine still sees Geth's batched
-    // end-of-block commit.
+    // end-of-block commit. One lock acquisition for the whole
+    // batch, composing the *Locked bodies.
+    MutexLock lock(mutex_);
     kv::WriteBatch pass_through;
     for (const kv::BatchEntry &e : batch.entries()) {
         KVClass cls = classify(e.key);
         if (isWriteBackClass(cls)) {
             Status s = e.op == kv::BatchOp::Put
-                           ? put(e.key, e.value)
-                           : del(e.key);
+                           ? putLocked(e.key, e.value)
+                           : delLocked(e.key);
             if (!s.isOk())
                 return s;
             continue;
@@ -286,6 +301,13 @@ CachingKVStore::scan(BytesView start, BytesView end,
 Status
 CachingKVStore::flushWriteBack()
 {
+    MutexLock lock(mutex_);
+    return flushWriteBackLocked();
+}
+
+Status
+CachingKVStore::flushWriteBackLocked()
+{
     if (wb_.empty())
         return Status::ok();
     ++cache_stats_.writeback_flushes;
@@ -307,7 +329,8 @@ CachingKVStore::flushWriteBack()
 Status
 CachingKVStore::flush()
 {
-    Status s = flushWriteBack();
+    MutexLock lock(mutex_);
+    Status s = flushWriteBackLocked();
     if (!s.isOk())
         return s;
     return inner_.flush();
@@ -316,14 +339,16 @@ CachingKVStore::flush()
 uint64_t
 CachingKVStore::liveKeyCount()
 {
+    MutexLock lock(mutex_);
     // Only exact after the write-back buffer drains.
-    flushWriteBack().expectOk("cache flush for liveKeyCount");
+    flushWriteBackLocked().expectOk("cache flush for liveKeyCount");
     return inner_.liveKeyCount();
 }
 
 uint64_t
 CachingKVStore::cachedBytes() const
 {
+    MutexLock lock(mutex_);
     uint64_t total = 0;
     for (const LruCache &cache : groups_)
         total += cache.bytes;

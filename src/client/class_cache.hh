@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "client/schema.hh"
+#include "common/mutex.hh"
 #include "kvstore/kvstore.hh"
 #include "obs/metrics.hh"
 
@@ -68,6 +69,12 @@ struct CacheStats
 
 /**
  * The caching wrapper.
+ *
+ * Thread-safe: one mutex guards the LRU groups, the write-back
+ * buffer, and the aggregate stats, and is held across the inner
+ * store call so a miss-fill never races a concurrent invalidation.
+ * The lock order is always cache -> inner (the inner store never
+ * calls back up), so wrapping an internally-locked engine is safe.
  */
 class CachingKVStore : public kv::KVStore
 {
@@ -93,15 +100,26 @@ class CachingKVStore : public kv::KVStore
     uint64_t liveKeyCount() override;
 
     /** Drain the trie-node write-back buffer to the inner store. */
-    Status flushWriteBack();
+    Status flushWriteBack() EXCLUDES(mutex_);
 
-    const CacheStats &cacheStats() const { return cache_stats_; }
+    /** Aggregate cache telemetry (consistent point-in-time copy). */
+    CacheStats
+    cacheStats() const EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return cache_stats_;
+    }
 
     /** Bytes currently charged to the LRU caches. */
-    uint64_t cachedBytes() const;
+    uint64_t cachedBytes() const EXCLUDES(mutex_);
 
     /** Bytes currently buffered in the write-back layer. */
-    uint64_t writeBackBytes() const { return wb_bytes_; }
+    uint64_t
+    writeBackBytes() const EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return wb_bytes_;
+    }
 
   private:
     /** Cache groups mirroring Geth's separate cache instances. */
@@ -134,24 +152,39 @@ class CachingKVStore : public kv::KVStore
     static const char *groupName(Group group);
     static bool isWriteBackClass(KVClass cls);
 
-    bool lruGet(Group group, BytesView key, Bytes &value);
-    void lruPut(Group group, BytesView key, BytesView value);
-    void lruErase(Group group, BytesView key);
+    bool lruGet(Group group, BytesView key, Bytes &value)
+        REQUIRES(mutex_);
+    void lruPut(Group group, BytesView key, BytesView value)
+        REQUIRES(mutex_);
+    void lruErase(Group group, BytesView key) REQUIRES(mutex_);
+
+    // Lock-held bodies of the public ops (apply() composes them
+    // without re-acquiring the non-recursive mutex).
+    Status putLocked(BytesView key, BytesView value)
+        REQUIRES(mutex_);
+    Status delLocked(BytesView key) REQUIRES(mutex_);
+    Status flushWriteBackLocked() REQUIRES(mutex_);
 
     kv::KVStore &inner_;
     CacheConfig config_;
-    std::vector<LruCache> groups_;
 
-    // Per-group registry counters, indexed by Group.
+    // Guards every piece of cache state below; held across inner_
+    // calls (see the class comment for the lock order argument).
+    mutable Mutex mutex_;
+    std::vector<LruCache> groups_ GUARDED_BY(mutex_);
+
+    // Per-group registry counters, indexed by Group. Internally
+    // atomic, so they live outside the mutex.
     obs::Counter *group_hits_[num_groups];
     obs::Counter *group_misses_[num_groups];
     obs::Counter *group_evictions_[num_groups];
 
     // Write-back buffer: key -> value (nullopt = pending delete).
-    std::unordered_map<Bytes, std::optional<Bytes>> wb_;
-    uint64_t wb_bytes_ = 0;
+    std::unordered_map<Bytes, std::optional<Bytes>> wb_
+        GUARDED_BY(mutex_);
+    uint64_t wb_bytes_ GUARDED_BY(mutex_) = 0;
 
-    CacheStats cache_stats_;
+    CacheStats cache_stats_ GUARDED_BY(mutex_);
 };
 
 } // namespace ethkv::client

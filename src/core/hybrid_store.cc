@@ -74,11 +74,17 @@ HybridKVStore::HybridKVStore(Options options)
         &reg.counter("hybrid.route.hash");
 }
 
-kv::KVStore &
-HybridKVStore::engineFor(BytesView key)
+Route
+HybridKVStore::routeFor(BytesView key)
 {
     Route route = routeOf(client::classify(key));
     route_ops_[static_cast<int>(route)]->inc();
+    return route;
+}
+
+kv::KVStore &
+HybridKVStore::engineAt(Route route)
+{
     switch (route) {
       case Route::Ordered: return ordered_;
       case Route::Log: return log_;
@@ -91,19 +97,25 @@ HybridKVStore::engineFor(BytesView key)
 Status
 HybridKVStore::put(BytesView key, BytesView value)
 {
-    return engineFor(key).put(key, value);
+    Route route = routeFor(key);
+    MutexLock lock(mutexAt(route));
+    return engineAt(route).put(key, value);
 }
 
 Status
 HybridKVStore::get(BytesView key, Bytes &value)
 {
-    return engineFor(key).get(key, value);
+    Route route = routeFor(key);
+    MutexLock lock(mutexAt(route));
+    return engineAt(route).get(key, value);
 }
 
 Status
 HybridKVStore::del(BytesView key)
 {
-    return engineFor(key).del(key);
+    Route route = routeFor(key);
+    MutexLock lock(mutexAt(route));
+    return engineAt(route).del(key);
 }
 
 Status
@@ -112,41 +124,53 @@ HybridKVStore::scan(BytesView start, BytesView end,
 {
     // A scan stays within one class (keys share the class prefix),
     // so the start key's route decides. Non-ordered routes reject,
-    // matching the design's deliberate trade-off.
-    return engineFor(start).scan(start, end, cb);
+    // matching the design's deliberate trade-off. The shard lock is
+    // held for the whole iteration; callbacks must not call back
+    // into the store.
+    Route route = routeFor(start);
+    MutexLock lock(mutexAt(route));
+    return engineAt(route).scan(start, end, cb);
 }
 
 Status
 HybridKVStore::flush()
 {
-    Status s = ordered_.flush();
-    if (!s.isOk())
-        return s;
-    s = log_.flush();
-    if (!s.isOk())
-        return s;
-    s = lazy_.flush();
-    if (!s.isOk())
-        return s;
-    return hash_.flush();
+    for (Route route : {Route::Ordered, Route::Log, Route::LazyLog,
+                        Route::Hash}) {
+        MutexLock lock(mutexAt(route));
+        Status s = engineAt(route).flush();
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
 }
 
 const kv::IOStats &
 HybridKVStore::stats() const
 {
-    merged_stats_ = kv::IOStats();
-    merged_stats_.merge(ordered_.stats());
-    merged_stats_.merge(log_.stats());
-    merged_stats_.merge(lazy_.stats());
-    merged_stats_.merge(hash_.stats());
-    return merged_stats_;
+    // Merge into thread-local storage under the shard locks so
+    // concurrent stats() calls never race on a shared copy.
+    thread_local kv::IOStats merged;
+    merged = kv::IOStats();
+    auto *self = const_cast<HybridKVStore *>(this);
+    for (Route route : {Route::Ordered, Route::Log, Route::LazyLog,
+                        Route::Hash}) {
+        MutexLock lock(mutexAt(route));
+        merged.merge(self->engineAt(route).stats());
+    }
+    return merged;
 }
 
 uint64_t
 HybridKVStore::liveKeyCount()
 {
-    return ordered_.liveKeyCount() + log_.liveKeyCount() +
-           lazy_.liveKeyCount() + hash_.liveKeyCount();
+    uint64_t total = 0;
+    for (Route route : {Route::Ordered, Route::Log, Route::LazyLog,
+                        Route::Hash}) {
+        MutexLock lock(mutexAt(route));
+        total += engineAt(route).liveKeyCount();
+    }
+    return total;
 }
 
 } // namespace ethkv::core

@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "client/schema.hh"
+#include "common/mutex.hh"
 #include "core/lazy_index_store.hh"
 #include "kvstore/btree_store.hh"
 #include "kvstore/hash_store.hh"
@@ -53,6 +54,14 @@ Route routeOf(client::KVClass cls);
  * The router. Implements the full KVStore interface; scans work
  * for ordered classes and fail (NotSupported) for the classes the
  * paper observes never scanning.
+ *
+ * Thread-safe via per-route shard locks: every op classifies its
+ * key, then takes the mutex of the route it lands on, so ethkvd
+ * workers touching different classes never contend. Whole-store
+ * ops (flush, stats, liveKeyCount) take the four shard locks one
+ * at a time in Route order. The engines themselves stay
+ * single-threaded; the shard lock is their only protection, which
+ * is what the pinned TSan stress test exercises.
  */
 class HybridKVStore : public kv::KVStore
 {
@@ -79,22 +88,36 @@ class HybridKVStore : public kv::KVStore
     std::string name() const override { return "hybrid"; }
     uint64_t liveKeyCount() override;
 
-    /** Engine access for the ablation bench's breakdowns. */
+    /**
+     * Engine access for the ablation bench's breakdowns.
+     * Single-threaded use only: these bypass the shard locks.
+     */
     kv::BTreeStore &ordered() { return ordered_; }
     kv::AppendLogStore &log() { return log_; }
     LazyIndexStore &lazyLog() { return lazy_; }
     kv::HashStore &hash() { return hash_; }
 
   private:
-    kv::KVStore &engineFor(BytesView key);
+    /** Classify the key and count the op on its route. */
+    Route routeFor(BytesView key);
+    /** The engine serving a route. */
+    kv::KVStore &engineAt(Route route);
+    /** The shard lock guarding a route's engine. */
+    Mutex &mutexAt(Route route) const
+    {
+        return route_mutex_[static_cast<int>(route)];
+    }
 
+    // Each engine is guarded by the same-index route_mutex_ (a
+    // runtime association GUARDED_BY cannot express; the TSan
+    // stress ctest is the executable check instead).
     kv::BTreeStore ordered_;
     kv::AppendLogStore log_;
     LazyIndexStore lazy_;
     kv::HashStore hash_;
+    mutable Mutex route_mutex_[4];
     //! Ops routed per backend, indexed by Route.
     obs::Counter *route_ops_[4];
-    mutable kv::IOStats merged_stats_;
 };
 
 } // namespace ethkv::core

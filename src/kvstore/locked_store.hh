@@ -1,0 +1,114 @@
+/**
+ * @file
+ * LockedKVStore: a decorator making any KVStore safe for concurrent
+ * callers with one big lock.
+ *
+ * The single-threaded engines (MemStore, HashStore, BTreeStore,
+ * AppendLogStore, LSMStore, LazyIndexStore) are written without
+ * internal synchronization so the paper's single-threaded replay
+ * benchmarks measure engine cost, not lock traffic. ethkvd serves
+ * them from many worker threads, so it wraps them in this decorator.
+ * HybridKVStore and CachingKVStore lock internally (per-route
+ * shards / one cache lock) and are served bare.
+ *
+ * Coarse by design: correctness first, contention measured by the
+ * server's per-op latency histograms. scan() holds the lock for the
+ * whole iteration — callbacks must not call back into the store.
+ */
+
+#ifndef ETHKV_KVSTORE_LOCKED_STORE_HH
+#define ETHKV_KVSTORE_LOCKED_STORE_HH
+
+#include <string>
+
+#include "common/mutex.hh"
+#include "kvstore/kvstore.hh"
+
+namespace ethkv::kv
+{
+
+class LockedKVStore final : public KVStore
+{
+  public:
+    /** Wrap `inner`; the caller keeps ownership and lifetime. */
+    explicit LockedKVStore(KVStore &inner) : inner_(inner) {}
+
+    Status
+    put(BytesView key, BytesView value) override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.put(key, value);
+    }
+
+    Status
+    get(BytesView key, Bytes &value) override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.get(key, value);
+    }
+
+    Status
+    del(BytesView key) override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.del(key);
+    }
+
+    Status
+    scan(BytesView start, BytesView end,
+         const ScanCallback &cb) override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.scan(start, end, cb);
+    }
+
+    Status
+    apply(const WriteBatch &batch) override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.apply(batch);
+    }
+
+    bool
+    contains(BytesView key) override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.contains(key);
+    }
+
+    Status
+    flush() override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.flush();
+    }
+
+    const IOStats &
+    stats() const override EXCLUDES(mutex_)
+    {
+        // Copy under the lock into thread-local storage so each
+        // caller sees a consistent struct and concurrent stats()
+        // calls never race on a shared copy.
+        thread_local IOStats copy;
+        MutexLock lock(mutex_);
+        copy = inner_.stats();
+        return copy;
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+    uint64_t
+    liveKeyCount() override EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return inner_.liveKeyCount();
+    }
+
+  private:
+    KVStore &inner_;
+    mutable Mutex mutex_;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_LOCKED_STORE_HH

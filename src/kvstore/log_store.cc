@@ -32,6 +32,33 @@ AppendLogStore::recoverDurable()
     if (!s.isOk())
         return s;
 
+    // A snapshot.tmp is a checkpoint that never committed (crash
+    // before the rename); the old snapshot+WAL pair is authoritative.
+    const std::string tmp = snapshotPath() + ".tmp";
+    if (env_->fileExists(tmp)) {
+        ETHKV_IGNORE_STATUS(env_->removeFile(tmp),
+                            "stale tmp also gets removed by the "
+                            "next checkpoint");
+    }
+
+    // Base state first, then the WAL on top of it.
+    s = WriteAheadLog::replay(
+        snapshotPath(),
+        [this](const WriteBatch &batch, uint64_t first_seq) {
+            for (const BatchEntry &e : batch.entries()) {
+                if (e.op == BatchOp::Put)
+                    putInMemory(e.key, e.value);
+                else
+                    delInMemory(e.key);
+            }
+            uint64_t end = first_seq + batch.size() - 1;
+            if (end > seq_)
+                seq_ = end;
+        },
+        env_);
+    if (!s.isOk())
+        return s;
+
     uint64_t valid_bytes = 0;
     s = WriteAheadLog::replay(
         logPath(),
@@ -100,6 +127,99 @@ AppendLogStore::logAppend(BatchOp op, BytesView key, BytesView value)
         return s;
     if (options_.sync_appends)
         return wal_->sync();
+    return Status::ok();
+}
+
+void
+AppendLogStore::maybeCheckpoint()
+{
+    if (!wal_ || options_.checkpoint_wal_bytes == 0 || degraded_)
+        return;
+    if (wal_->sizeBytes() < options_.checkpoint_wal_bytes)
+        return;
+    // A checkpoint failure degrades the store inside checkpoint();
+    // the write that triggered us is already safe in the old WAL.
+    ETHKV_IGNORE_STATUS(checkpoint(),
+                        "failure degrades the store; the "
+                        "triggering write is already durable");
+}
+
+Status
+AppendLogStore::checkpoint()
+{
+    if (!wal_)
+        return Status::ok(); // in-memory mode has no WAL
+    if (degraded_) {
+        return Status::ioDegraded("log store: read-only after I/O "
+                                  "failure: " +
+                                  degraded_reason_);
+    }
+    static obs::LatencyHistogram &checkpoint_ns =
+        obs::MetricsRegistry::global().histogram(
+            "kv.log.checkpoint_ns");
+    obs::ScopedTimer timer(checkpoint_ns);
+
+    const std::string tmp = snapshotPath() + ".tmp";
+    if (env_->fileExists(tmp)) {
+        ETHKV_IGNORE_STATUS(env_->removeFile(tmp),
+                            "newWritableFile truncates it anyway");
+    }
+
+    // 1. Write every live entry to the tmp snapshot (WAL format).
+    auto snap_result = WriteAheadLog::open(tmp, env_);
+    if (!snap_result.ok())
+        return degradeOnIOError(snap_result.status());
+    std::unique_ptr<WriteAheadLog> snap = snap_result.take();
+    WriteBatch batch;
+    uint64_t next_seq = 1;
+    Status s = Status::ok();
+    for (const auto &[key, entry] : index_) {
+        Segment *seg = findSegment(entry.segment_id);
+        if (!seg)
+            panic("log store: index points at missing segment");
+        const Record &rec = seg->records[entry.record_idx];
+        batch.put(rec.key, rec.value);
+        if (batch.size() >= 512) {
+            s = snap->append(batch, next_seq);
+            if (!s.isOk())
+                return degradeOnIOError(std::move(s));
+            next_seq += batch.size();
+            batch.clear();
+        }
+    }
+    if (!batch.empty()) {
+        s = snap->append(batch, next_seq);
+        if (!s.isOk())
+            return degradeOnIOError(std::move(s));
+    }
+    s = snap->sync();
+    if (!s.isOk())
+        return degradeOnIOError(std::move(s));
+    uint64_t snapshot_bytes = snap->sizeBytes();
+    snap.reset(); // destroy = close the tmp file
+
+    // 2. Commit: rename over the old snapshot, sync the directory.
+    s = env_->renameFile(tmp, snapshotPath());
+    if (!s.isOk())
+        return degradeOnIOError(std::move(s));
+    s = env_->syncDir(options_.dir);
+    if (!s.isOk())
+        return degradeOnIOError(std::move(s));
+
+    // 3. Only now is the WAL redundant: truncate it.
+    s = wal_->reset();
+    if (!s.isOk())
+        return degradeOnIOError(std::move(s));
+
+    ++checkpoints_;
+    stats_.flush_bytes += snapshot_bytes;
+    stats_.bytes_written += snapshot_bytes;
+    obs::MetricsRegistry::global()
+        .counter("kv.log.checkpoints")
+        .inc();
+    obs::MetricsRegistry::global()
+        .counter("kv.log.checkpoint_bytes")
+        .inc(snapshot_bytes);
     return Status::ok();
 }
 
@@ -175,6 +295,7 @@ AppendLogStore::put(BytesView key, BytesView value)
     stats_.logical_bytes_written += bytes;
     stats_.bytes_written += bytes;
     putInMemory(key, value);
+    maybeCheckpoint();
     return Status::ok();
 }
 
@@ -209,6 +330,7 @@ AppendLogStore::del(BytesView key)
     ++stats_.user_deletes;
     stats_.logical_bytes_written += key.size();
     delInMemory(key);
+    maybeCheckpoint();
     return Status::ok();
 }
 

@@ -39,6 +39,9 @@ struct LogStoreOptions
     std::string dir;
     bool sync_appends = false; //!< fdatasync per durable append.
     Env *env = nullptr;        //!< nullptr = defaultEnv().
+    //! Checkpoint (snapshot + truncate) the WAL once it exceeds
+    //! this many bytes; 0 disables automatic checkpoints.
+    uint64_t checkpoint_wal_bytes = 0;
 };
 
 /**
@@ -48,8 +51,17 @@ struct LogStoreOptions
  *
  * Durability: the segment/GC machinery is an in-memory layout; in
  * durable mode the logical key->value map is persisted through a
- * WriteAheadLog and rebuilt by replay on open. The log grows with
- * write volume (no log GC yet — see ROADMAP).
+ * WriteAheadLog and rebuilt by replay on open.
+ *
+ * Checkpointing bounds WAL growth: checkpoint() writes every live
+ * entry to <dir>/snapshot.tmp (WAL record format), syncs it,
+ * atomically renames it over <dir>/snapshot, syncs the directory,
+ * and only then truncates log.wal. Recovery replays the snapshot
+ * first, then the WAL on top. Every crash window is safe: before
+ * the rename the old snapshot+WAL pair is intact; between the
+ * rename and the truncate, replaying the full old WAL over the new
+ * snapshot is idempotent (the snapshot is exactly the WAL's final
+ * state, and per-key last-writer-wins replay reproduces it).
  */
 class AppendLogStore : public KVStore
 {
@@ -92,6 +104,23 @@ class AppendLogStore : public KVStore
     /** Log bytes salvaged to quarantine/ during recovery. */
     uint64_t quarantinedBytes() const { return quarantined_bytes_; }
 
+    /**
+     * Compact the WAL now: persist a snapshot of the live state and
+     * truncate the log. No-op in in-memory mode. An I/O failure
+     * degrades the store (the triggering state is still safe in the
+     * old WAL/snapshot pair on disk).
+     */
+    Status checkpoint();
+
+    /** Current WAL length (0 in in-memory mode). */
+    uint64_t walSizeBytes() const
+    {
+        return wal_ ? wal_->sizeBytes() : 0;
+    }
+
+    /** Checkpoints taken since open. */
+    uint64_t checkpointCount() const { return checkpoints_; }
+
   private:
     struct Record
     {
@@ -131,7 +160,13 @@ class AppendLogStore : public KVStore
     Status recoverDurable();
     /** See LSMStore::degradeOnIOError. */
     Status degradeOnIOError(Status s);
+    /** Auto-checkpoint when the WAL crosses its threshold. */
+    void maybeCheckpoint();
     std::string logPath() const { return options_.dir + "/log.wal"; }
+    std::string snapshotPath() const
+    {
+        return options_.dir + "/snapshot";
+    }
 
     LogStoreOptions options_;
     std::deque<Segment> segments_;
@@ -144,6 +179,7 @@ class AppendLogStore : public KVStore
     bool degraded_ = false;
     std::string degraded_reason_;
     uint64_t quarantined_bytes_ = 0;
+    uint64_t checkpoints_ = 0;
 };
 
 } // namespace ethkv::kv

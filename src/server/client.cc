@@ -1,0 +1,322 @@
+#include "server/client.hh"
+
+#include <chrono>
+
+#include "server/net_socket.hh"
+
+namespace ethkv::server
+{
+
+namespace
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Read frames off a blocking fd until the reader yields one.
+ * Shared by both clients.
+ */
+Status
+recvFrame(int fd, FrameReader &reader, Bytes &scratch, Frame &out)
+{
+    while (true) {
+        Status s = reader.next(out);
+        if (s.isOk())
+            return s;
+        if (!s.isNotFound())
+            return s; // framing corruption from the server
+        scratch.clear();
+        size_t n = 0;
+        Status err;
+        switch (net::readSome(fd, scratch, 64u << 10, n, err)) {
+          case net::IoResult::Ok:
+            reader.feed(scratch);
+            break;
+          case net::IoResult::Eof:
+            return Status::ioError("server closed the connection");
+          case net::IoResult::WouldBlock: {
+            Status w = net::waitReadable(fd, -1);
+            if (!w.isOk())
+                return w;
+            break;
+          }
+          case net::IoResult::Error:
+            return err;
+        }
+    }
+}
+
+/** Turn a response frame into a Status (Ok keeps payload as data). */
+Status
+responseStatus(const Frame &reply)
+{
+    auto code = static_cast<WireStatus>(reply.type);
+    if (code == WireStatus::Ok)
+        return Status::ok();
+    return statusOfWire(code, reply.payload);
+}
+
+} // namespace
+
+// -- Client ------------------------------------------------------
+
+Result<std::unique_ptr<Client>>
+Client::open(const std::string &host, uint16_t port)
+{
+    auto fd = net::connectTcp(host, port);
+    if (!fd.ok())
+        return fd.status();
+    return std::unique_ptr<Client>(new Client(fd.value()));
+}
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        net::closeFd(fd_);
+        fd_ = -1;
+    }
+}
+
+Status
+Client::roundTrip(Opcode op, BytesView payload, Frame &reply)
+{
+    if (fd_ < 0)
+        return Status::ioError("client is closed");
+    uint32_t id = next_id_++;
+    Bytes frame;
+    appendFrame(frame, static_cast<uint8_t>(op), id, payload);
+    Status s = net::writeAll(fd_, frame);
+    if (!s.isOk())
+        return s;
+
+    FrameReader reader; // one frame per round trip: local reader
+    s = recvFrame(fd_, reader, scratch_, reply);
+    if (!s.isOk())
+        return s;
+    if (reply.request_id != id) {
+        return Status::corruption(
+            "response id mismatch: sent " + std::to_string(id) +
+            ", got " + std::to_string(reply.request_id));
+    }
+    return Status::ok();
+}
+
+Status
+Client::get(BytesView key, Bytes &value_out)
+{
+    Bytes payload;
+    encodeGet(payload, key);
+    Frame reply;
+    Status s = roundTrip(Opcode::Get, payload, reply);
+    if (!s.isOk())
+        return s;
+    s = responseStatus(reply);
+    if (s.isOk())
+        value_out = std::move(reply.payload);
+    return s;
+}
+
+Status
+Client::put(BytesView key, BytesView value)
+{
+    Bytes payload;
+    encodePut(payload, key, value);
+    Frame reply;
+    Status s = roundTrip(Opcode::Put, payload, reply);
+    return s.isOk() ? responseStatus(reply) : s;
+}
+
+Status
+Client::del(BytesView key)
+{
+    Bytes payload;
+    encodeDelete(payload, key);
+    Frame reply;
+    Status s = roundTrip(Opcode::Delete, payload, reply);
+    return s.isOk() ? responseStatus(reply) : s;
+}
+
+Status
+Client::apply(const kv::WriteBatch &batch)
+{
+    Bytes payload;
+    encodeBatch(payload, batch);
+    Frame reply;
+    Status s = roundTrip(Opcode::Batch, payload, reply);
+    return s.isOk() ? responseStatus(reply) : s;
+}
+
+Status
+Client::scan(BytesView start, BytesView end, uint64_t limit,
+             ScanResult &out)
+{
+    Bytes payload;
+    encodeScan(payload, start, end, limit);
+    Frame reply;
+    Status s = roundTrip(Opcode::Scan, payload, reply);
+    if (!s.isOk())
+        return s;
+    s = responseStatus(reply);
+    if (!s.isOk())
+        return s;
+    return decodeScanResponse(reply.payload, out.entries,
+                              out.truncated);
+}
+
+Status
+Client::stats(Bytes &json_out)
+{
+    Frame reply;
+    Status s = roundTrip(Opcode::Stats, BytesView(), reply);
+    if (!s.isOk())
+        return s;
+    s = responseStatus(reply);
+    if (s.isOk())
+        json_out = std::move(reply.payload);
+    return s;
+}
+
+// -- PipelinedClient ---------------------------------------------
+
+Result<std::unique_ptr<PipelinedClient>>
+PipelinedClient::open(const std::string &host, uint16_t port,
+                      size_t window, Completion on_complete)
+{
+    if (window == 0)
+        return Status::invalidArgument("window must be >= 1");
+    auto fd = net::connectTcp(host, port);
+    if (!fd.ok())
+        return fd.status();
+    return std::unique_ptr<PipelinedClient>(new PipelinedClient(
+        fd.value(), window, std::move(on_complete)));
+}
+
+PipelinedClient::~PipelinedClient()
+{
+    close();
+}
+
+void
+PipelinedClient::close()
+{
+    if (fd_ >= 0) {
+        net::closeFd(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+Status
+PipelinedClient::submit(Opcode op, BytesView payload)
+{
+    if (fd_ < 0)
+        return Status::ioError("client is closed");
+    // Window full: finish the oldest request before sending more.
+    if (pending_.size() >= window_) {
+        Status s = reapOne();
+        if (!s.isOk())
+            return s;
+    }
+    uint32_t id = next_id_++;
+    Bytes frame;
+    appendFrame(frame, static_cast<uint8_t>(op), id, payload);
+    Status s = net::writeAll(fd_, frame);
+    if (!s.isOk())
+        return s;
+    pending_.push_back({id, op, nowNs()});
+    return Status::ok();
+}
+
+Status
+PipelinedClient::reapOne()
+{
+    if (pending_.empty())
+        return Status::ok();
+    Frame reply;
+    Status s = recvFrame(fd_, reader_, scratch_, reply);
+    if (!s.isOk())
+        return s;
+    Pending oldest = pending_.front();
+    pending_.pop_front();
+    // Responses are FIFO per connection; a mismatched id means the
+    // server and client disagree about the stream.
+    if (reply.request_id != oldest.id) {
+        return Status::corruption(
+            "pipelined response out of order: expected " +
+            std::to_string(oldest.id) + ", got " +
+            std::to_string(reply.request_id));
+    }
+    if (on_complete_) {
+        on_complete_(oldest.op,
+                     static_cast<WireStatus>(reply.type),
+                     nowNs() - oldest.t_start_ns, reply.payload);
+    }
+    return Status::ok();
+}
+
+Status
+PipelinedClient::drain()
+{
+    while (!pending_.empty()) {
+        Status s = reapOne();
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+Status
+PipelinedClient::submitGet(BytesView key)
+{
+    Bytes payload;
+    encodeGet(payload, key);
+    return submit(Opcode::Get, payload);
+}
+
+Status
+PipelinedClient::submitPut(BytesView key, BytesView value)
+{
+    Bytes payload;
+    encodePut(payload, key, value);
+    return submit(Opcode::Put, payload);
+}
+
+Status
+PipelinedClient::submitDelete(BytesView key)
+{
+    Bytes payload;
+    encodeDelete(payload, key);
+    return submit(Opcode::Delete, payload);
+}
+
+Status
+PipelinedClient::submitBatch(const kv::WriteBatch &batch)
+{
+    Bytes payload;
+    encodeBatch(payload, batch);
+    return submit(Opcode::Batch, payload);
+}
+
+Status
+PipelinedClient::submitScan(BytesView start, BytesView end,
+                            uint64_t limit)
+{
+    Bytes payload;
+    encodeScan(payload, start, end, limit);
+    return submit(Opcode::Scan, payload);
+}
+
+} // namespace ethkv::server

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Client library for ethkvd (protocol ethkv.wire.v1).
+ *
+ * Two clients share one codec (server/protocol.hh):
+ *
+ *  - Client: blocking request/response. One outstanding request at
+ *    a time; the natural fit for tests and interactive tools. Its
+ *    API mirrors kv::KVStore (get/put/del/apply/scan) plus stats().
+ *
+ *  - PipelinedClient: asynchronous with a bounded in-flight window.
+ *    submit*() encodes a request and flushes it; once the window is
+ *    full, the oldest response is reaped first. ethkvd processes
+ *    frames of one connection in order, so responses come back FIFO
+ *    and the client needs no request-id matching table (ids are
+ *    still echoed and verified). This is what the load generator
+ *    uses to keep the server busy without a thread per request.
+ *
+ * Neither client is thread-safe; use one instance per thread.
+ */
+
+#ifndef ETHKV_SERVER_CLIENT_HH
+#define ETHKV_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+#include "kvstore/write_batch.hh"
+#include "server/protocol.hh"
+
+namespace ethkv::server
+{
+
+/** Result of one SCAN request. */
+struct ScanResult
+{
+    std::vector<ScanEntry> entries;
+    bool truncated = false; //!< Server hit its per-request cap.
+};
+
+/** Blocking request/response client. */
+class Client
+{
+  public:
+    /** Establish a TCP session with an ethkvd at host:port. */
+    static Result<std::unique_ptr<Client>> open(
+        const std::string &host, uint16_t port);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    Status get(BytesView key, Bytes &value_out);
+    Status put(BytesView key, BytesView value);
+    Status del(BytesView key);
+    Status apply(const kv::WriteBatch &batch);
+    Status scan(BytesView start, BytesView end, uint64_t limit,
+                ScanResult &out);
+
+    /** Fetch the server's stats JSON (ethkv.server.stats.v1). */
+    Status stats(Bytes &json_out);
+
+    /** Close the session; further calls return IOError. */
+    void close();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    /** Send one request, wait for its response frame. */
+    Status roundTrip(Opcode op, BytesView payload, Frame &reply);
+
+    int fd_;
+    uint32_t next_id_ = 1;
+    Bytes scratch_;
+};
+
+/**
+ * Pipelined client: up to `window` requests in flight.
+ *
+ * Completions are delivered to a callback in submission order:
+ *   cb(op, wire_status, latency_ns, response_payload)
+ * Write errors (broken connection) surface on the next submit or
+ * drain as IOError; after that the client is dead.
+ */
+class PipelinedClient
+{
+  public:
+    using Completion = std::function<void(
+        Opcode op, WireStatus status, uint64_t latency_ns,
+        const Bytes &payload)>;
+
+    static Result<std::unique_ptr<PipelinedClient>> open(
+        const std::string &host, uint16_t port, size_t window,
+        Completion on_complete);
+
+    ~PipelinedClient();
+
+    PipelinedClient(const PipelinedClient &) = delete;
+    PipelinedClient &operator=(const PipelinedClient &) = delete;
+
+    Status submitGet(BytesView key);
+    Status submitPut(BytesView key, BytesView value);
+    Status submitDelete(BytesView key);
+    Status submitBatch(const kv::WriteBatch &batch);
+    Status submitScan(BytesView start, BytesView end,
+                      uint64_t limit);
+
+    /** Wait for every in-flight request to complete. */
+    Status drain();
+
+    size_t inFlight() const { return pending_.size(); }
+
+    void close();
+
+  private:
+    PipelinedClient(int fd, size_t window, Completion on_complete)
+        : fd_(fd), window_(window),
+          on_complete_(std::move(on_complete))
+    {}
+
+    /** Encode+send one request; reap one response if window full. */
+    Status submit(Opcode op, BytesView payload);
+
+    /** Block for the oldest outstanding response. */
+    Status reapOne();
+
+    struct Pending
+    {
+        uint32_t id;
+        Opcode op;
+        uint64_t t_start_ns;
+    };
+
+    int fd_;
+    size_t window_;
+    Completion on_complete_;
+    uint32_t next_id_ = 1;
+    std::deque<Pending> pending_;
+    FrameReader reader_;
+    Bytes scratch_;
+};
+
+} // namespace ethkv::server
+
+#endif // ETHKV_SERVER_CLIENT_HH

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * ethkvd — the ethkv network server.
+ *
+ * Serves any engine from the stack over the ethkv.wire.v1 protocol:
+ *
+ *   ethkvd --engine hybrid --port 7070 --workers 4
+ *   ethkvd --engine log --dir /tmp/d --sync --port 0 \
+ *          --port-file /tmp/d/port
+ *
+ * Engines without internal locking (mem, hash, btree, log, lsm) are
+ * wrapped in kv::LockedKVStore; hybrid and cached lock internally.
+ * --port 0 binds an ephemeral port; --port-file writes the bound
+ * port for test harnesses to discover. --env fault serves the
+ * durable engines through a FaultInjectionEnv so fault drills can
+ * exercise degraded mode end to end. SIGINT/SIGTERM trigger a
+ * graceful shutdown that flushes the engine before exit, so every
+ * acknowledged synced write survives. --metrics-out dumps the
+ * process-global registry (ethkv.metrics.v1) at exit.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/env.hh"
+#include "common/fault_env.hh"
+#include "common/logging.hh"
+#include "common/status.hh"
+#include "core/hybrid_store.hh"
+#include "client/class_cache.hh"
+#include "kvstore/btree_store.hh"
+#include "kvstore/hash_store.hh"
+#include "kvstore/locked_store.hh"
+#include "kvstore/log_store.hh"
+#include "kvstore/lsm_store.hh"
+#include "kvstore/mem_store.hh"
+#include "obs/metrics.hh"
+#include "server/net_socket.hh"
+#include "server/server.hh"
+
+namespace
+{
+
+using namespace ethkv;
+
+//! eventfd the signal handler pokes; main blocks on it.
+int g_shutdown_fd = -1;
+
+extern "C" void
+onSignal(int)
+{
+    // Async-signal-safe: one write(2) on an eventfd.
+    server::net::signalEventFd(g_shutdown_fd);
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --engine <mem|hash|btree|log|lsm|hybrid|cached>"
+        "  (default hybrid)\n"
+        "  --host <ipv4>            bind address"
+        " (default 127.0.0.1)\n"
+        "  --port <n>               0 = ephemeral (default 7070)\n"
+        "  --port-file <path>       write the bound port here\n"
+        "  --workers <n>            event-loop threads"
+        " (default 4)\n"
+        "  --dir <path>             data dir (durable log/lsm)\n"
+        "  --sync                   fdatasync per acked write\n"
+        "  --env <posix|fault>      filesystem env (default"
+        " posix)\n"
+        "  --fault-seed <n>         FaultInjectionEnv seed\n"
+        "  --checkpoint-wal-bytes <n>  log engine WAL checkpoint"
+        " threshold (0 = off)\n"
+        "  --max-frame-bytes <n>    per-frame payload cap\n"
+        "  --scan-limit <n>         server-side SCAN cap\n"
+        "  --metrics-out <path>     dump ethkv.metrics.v1 JSON at"
+        " exit\n",
+        argv0);
+}
+
+/** Owns whichever engine stack --engine selected. */
+struct EngineStack
+{
+    std::unique_ptr<FaultInjectionEnv> fault_env;
+    std::unique_ptr<kv::KVStore> base;      //!< The engine itself.
+    std::unique_ptr<kv::KVStore> wrapper;   //!< Lock or cache shim.
+    kv::KVStore *serve = nullptr;           //!< What ethkvd serves.
+};
+
+struct Flags
+{
+    std::string engine = "hybrid";
+    std::string host = "127.0.0.1";
+    int port = 7070;
+    std::string port_file;
+    int workers = 4;
+    std::string dir;
+    bool sync = false;
+    std::string env_kind = "posix";
+    uint64_t fault_seed = 1;
+    uint64_t checkpoint_wal_bytes = 0;
+    size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
+    uint64_t scan_limit = 4096;
+};
+
+bool
+parseFlags(int argc, char **argv, Flags &f)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", what);
+            return argv[++i];
+        };
+        if (arg == "--engine") {
+            f.engine = next("--engine");
+        } else if (arg == "--host") {
+            f.host = next("--host");
+        } else if (arg == "--port") {
+            f.port = std::atoi(next("--port"));
+        } else if (arg == "--port-file") {
+            f.port_file = next("--port-file");
+        } else if (arg == "--workers") {
+            f.workers = std::atoi(next("--workers"));
+        } else if (arg == "--dir") {
+            f.dir = next("--dir");
+        } else if (arg == "--sync") {
+            f.sync = true;
+        } else if (arg == "--env") {
+            f.env_kind = next("--env");
+        } else if (arg == "--fault-seed") {
+            f.fault_seed = std::strtoull(
+                next("--fault-seed"), nullptr, 10);
+        } else if (arg == "--checkpoint-wal-bytes") {
+            f.checkpoint_wal_bytes = std::strtoull(
+                next("--checkpoint-wal-bytes"), nullptr, 10);
+        } else if (arg == "--max-frame-bytes") {
+            f.max_frame_bytes = std::strtoull(
+                next("--max-frame-bytes"), nullptr, 10);
+        } else if (arg == "--scan-limit") {
+            f.scan_limit = std::strtoull(next("--scan-limit"),
+                                         nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+Status
+buildEngine(const Flags &f, EngineStack &stack)
+{
+    Env *env = Env::defaultEnv();
+    if (f.env_kind == "fault") {
+        stack.fault_env = std::make_unique<FaultInjectionEnv>(
+            env, f.fault_seed);
+        env = stack.fault_env.get();
+    } else if (f.env_kind != "posix") {
+        return Status::invalidArgument("unknown --env " +
+                                       f.env_kind);
+    }
+    if (!f.dir.empty()) {
+        Status s = env->createDirs(f.dir);
+        if (!s.isOk())
+            return s;
+    }
+
+    kv::LogStoreOptions log_options;
+    log_options.dir = f.dir;
+    log_options.sync_appends = f.sync;
+    log_options.env = env;
+    log_options.checkpoint_wal_bytes = f.checkpoint_wal_bytes;
+
+    bool needs_lock = true;
+    if (f.engine == "mem") {
+        stack.base = std::make_unique<kv::MemStore>();
+    } else if (f.engine == "hash") {
+        stack.base = std::make_unique<kv::HashStore>();
+    } else if (f.engine == "btree") {
+        stack.base = std::make_unique<kv::BTreeStore>();
+    } else if (f.engine == "log") {
+        auto store = kv::AppendLogStore::open(log_options);
+        if (!store.ok())
+            return store.status();
+        stack.base = store.take();
+    } else if (f.engine == "lsm") {
+        if (f.dir.empty())
+            return Status::invalidArgument(
+                "--engine lsm needs --dir");
+        kv::LSMOptions options;
+        options.dir = f.dir;
+        options.sync_wal = f.sync;
+        options.env = env;
+        auto store = kv::LSMStore::open(options);
+        if (!store.ok())
+            return store.status();
+        stack.base = store.take();
+    } else if (f.engine == "hybrid" || f.engine == "cached") {
+        // The hybrid router locks internally (per-route shards);
+        // its engines are in-memory (log dir is ignored there).
+        core::HybridKVStore::Options options;
+        stack.base =
+            std::make_unique<core::HybridKVStore>(options);
+        needs_lock = false;
+        if (f.engine == "cached") {
+            stack.wrapper = std::make_unique<client::CachingKVStore>(
+                *stack.base, client::CacheConfig{});
+        }
+    } else {
+        return Status::invalidArgument("unknown --engine " +
+                                       f.engine);
+    }
+
+    if (needs_lock) {
+        stack.wrapper =
+            std::make_unique<kv::LockedKVStore>(*stack.base);
+    }
+    stack.serve =
+        stack.wrapper ? stack.wrapper.get() : stack.base.get();
+    return Status::ok();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string metrics_out =
+        obs::consumeMetricsOutFlag(&argc, argv);
+    Flags flags;
+    if (!parseFlags(argc, argv, flags))
+        return 2;
+    obs::installExitDump(metrics_out);
+
+    EngineStack stack;
+    buildEngine(flags, stack).expectOk("engine setup");
+
+    server::ServerOptions options;
+    options.host = flags.host;
+    options.port = static_cast<uint16_t>(flags.port);
+    options.workers = flags.workers;
+    options.max_frame_bytes = flags.max_frame_bytes;
+    options.scan_limit_max = flags.scan_limit;
+
+    server::Server srv(*stack.serve, options);
+    srv.start().expectOk("server start");
+
+    if (!flags.port_file.empty()) {
+        // The port file is how test harnesses discover an
+        // ephemeral port; write it via the Env seam (tmp+rename so
+        // a reader never sees a partial file).
+        Env *env = Env::defaultEnv();
+        std::string tmp = flags.port_file + ".tmp";
+        auto file = env->newWritableFile(tmp);
+        file.status().expectOk("port file");
+        std::string text = std::to_string(srv.port()) + "\n";
+        file.value()->append(text).expectOk("port file write");
+        file.value()->close().expectOk("port file close");
+        env->renameFile(tmp, flags.port_file)
+            .expectOk("port file rename");
+    }
+
+    inform("ethkvd: engine=%s addr=%s:%u workers=%d%s",
+           srv.engineName().c_str(), flags.host.c_str(),
+           static_cast<unsigned>(srv.port()), flags.workers,
+           flags.sync ? " sync" : "");
+
+    auto shutdown_fd = server::net::makeEventFd();
+    shutdown_fd.status().expectOk("shutdown eventfd");
+    g_shutdown_fd = shutdown_fd.value();
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    // A client vanishing mid-write must not kill the server.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Block until a signal arrives.
+    Status s = server::net::waitReadable(g_shutdown_fd, -1);
+    static_cast<void>(s.isOk());
+
+    inform("ethkvd: shutting down");
+    srv.stop(); // joins threads, flushes the engine
+    return 0;
+}

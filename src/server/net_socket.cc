@@ -1,0 +1,414 @@
+#include "server/net_socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ethkv::server::net
+{
+
+namespace
+{
+
+Status
+errnoStatus(const char *what)
+{
+    return Status::ioError(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+/** Fill a sockaddr_in from a dotted-quad host string. */
+Status
+makeAddr(const std::string &host, uint16_t port,
+         sockaddr_in &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (host.empty() || host == "0.0.0.0") {
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+        return Status::ok();
+    }
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return Status::invalidArgument(
+            "not an IPv4 address: " + host);
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Result<int>
+listenTcp(const std::string &host, uint16_t port, int backlog)
+{
+    sockaddr_in addr;
+    Status s = makeAddr(host, port, addr);
+    if (!s.isOk())
+        return s;
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return errnoStatus("socket");
+    int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) != 0) {
+        Status e = errnoStatus("setsockopt(SO_REUSEADDR)");
+        ::close(fd);
+        return e;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        Status e = errnoStatus("bind");
+        ::close(fd);
+        return e;
+    }
+    if (::listen(fd, backlog) != 0) {
+        Status e = errnoStatus("listen");
+        ::close(fd);
+        return e;
+    }
+    s = setNonBlocking(fd, true);
+    if (!s.isOk()) {
+        ::close(fd);
+        return s;
+    }
+    return fd;
+}
+
+Result<int>
+connectTcp(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr;
+    Status s = makeAddr(host.empty() ? "127.0.0.1" : host, port,
+                        addr);
+    if (!s.isOk())
+        return s;
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return errnoStatus("socket");
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        Status e = errnoStatus("connect");
+        ::close(fd);
+        return e;
+    }
+    s = setNoDelay(fd);
+    if (!s.isOk()) {
+        ::close(fd);
+        return s;
+    }
+    return fd;
+}
+
+Result<uint16_t>
+localPort(int fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        return errnoStatus("getsockname");
+    }
+    return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int>
+acceptOn(int listen_fd)
+{
+    int fd;
+    do {
+        fd = ::accept4(listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return Status::notFound("no pending connection");
+        return errnoStatus("accept");
+    }
+    // Nagle off: responses are small frames and latency-sensitive.
+    Status s = setNoDelay(fd);
+    if (!s.isOk()) {
+        ::close(fd);
+        return s;
+    }
+    return fd;
+}
+
+Status
+setNonBlocking(int fd, bool enable)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return errnoStatus("fcntl(F_GETFL)");
+    if (enable)
+        flags |= O_NONBLOCK;
+    else
+        flags &= ~O_NONBLOCK;
+    if (::fcntl(fd, F_SETFL, flags) < 0)
+        return errnoStatus("fcntl(F_SETFL)");
+    return Status::ok();
+}
+
+Status
+setNoDelay(int fd)
+{
+    int one = 1;
+    if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one)) != 0) {
+        return errnoStatus("setsockopt(TCP_NODELAY)");
+    }
+    return Status::ok();
+}
+
+IoResult
+readSome(int fd, Bytes &buf, size_t cap, size_t &n, Status &err)
+{
+    n = 0;
+    size_t old = buf.size();
+    buf.resize(old + cap);
+    ssize_t rc;
+    do {
+        rc = ::read(fd, buf.data() + old, cap);
+    } while (rc < 0 && errno == EINTR);
+    if (rc > 0) {
+        buf.resize(old + static_cast<size_t>(rc));
+        n = static_cast<size_t>(rc);
+        return IoResult::Ok;
+    }
+    buf.resize(old);
+    if (rc == 0)
+        return IoResult::Eof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return IoResult::WouldBlock;
+    err = errnoStatus("read");
+    return IoResult::Error;
+}
+
+IoResult
+writeSome(int fd, BytesView data, size_t &n, Status &err)
+{
+    n = 0;
+    ssize_t rc;
+    do {
+        rc = ::write(fd, data.data(), data.size());
+    } while (rc < 0 && errno == EINTR);
+    if (rc >= 0) {
+        n = static_cast<size_t>(rc);
+        return IoResult::Ok;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return IoResult::WouldBlock;
+    err = errnoStatus("write");
+    return IoResult::Error;
+}
+
+Status
+writeAll(int fd, BytesView data)
+{
+    while (!data.empty()) {
+        size_t n = 0;
+        Status err;
+        switch (writeSome(fd, data, n, err)) {
+          case IoResult::Ok:
+            data.remove_prefix(n);
+            break;
+          case IoResult::WouldBlock: {
+            // Blocking fd should not return EAGAIN, but a socket
+            // with a send timeout can; wait for buffer space.
+            pollfd pfd;
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            pfd.revents = 0;
+            int rc;
+            do {
+                rc = ::poll(&pfd, 1, 1000);
+            } while (rc < 0 && errno == EINTR);
+            break;
+          }
+          case IoResult::Eof:
+            return Status::ioError("write: peer closed");
+          case IoResult::Error:
+            return err;
+        }
+    }
+    return Status::ok();
+}
+
+Status
+readExactly(int fd, size_t n, Bytes &out)
+{
+    while (n > 0) {
+        size_t got = 0;
+        Status err;
+        switch (readSome(fd, out, n, got, err)) {
+          case IoResult::Ok:
+            n -= got;
+            break;
+          case IoResult::Eof:
+            return Status::ioError(
+                "read: connection closed mid-frame");
+          case IoResult::WouldBlock: {
+            Status w = waitReadable(fd, 1000);
+            static_cast<void>(w.isOk());
+            break;
+          }
+          case IoResult::Error:
+            return err;
+        }
+    }
+    return Status::ok();
+}
+
+Result<int>
+epollCreate()
+{
+    int fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0)
+        return errnoStatus("epoll_create1");
+    return fd;
+}
+
+namespace
+{
+
+uint32_t
+toEpollBits(uint32_t events)
+{
+    uint32_t bits = 0;
+    if (events & kEventRead)
+        bits |= EPOLLIN;
+    if (events & kEventWrite)
+        bits |= EPOLLOUT;
+    bits |= EPOLLRDHUP; // always observe half-close
+    return bits;
+}
+
+Status
+epollCtl(int epfd, int op, int fd, uint32_t events, uint64_t tag)
+{
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = toEpollBits(events);
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epfd, op, fd, &ev) != 0)
+        return errnoStatus("epoll_ctl");
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+epollAdd(int epfd, int fd, uint32_t events, uint64_t tag)
+{
+    return epollCtl(epfd, EPOLL_CTL_ADD, fd, events, tag);
+}
+
+Status
+epollMod(int epfd, int fd, uint32_t events, uint64_t tag)
+{
+    return epollCtl(epfd, EPOLL_CTL_MOD, fd, events, tag);
+}
+
+Status
+epollDel(int epfd, int fd)
+{
+    if (::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr) != 0)
+        return errnoStatus("epoll_ctl(DEL)");
+    return Status::ok();
+}
+
+Result<int>
+epollWait(int epfd, PollEvent *out, int max_events, int timeout_ms)
+{
+    epoll_event events[64];
+    if (max_events > 64)
+        max_events = 64;
+    int rc;
+    do {
+        rc = ::epoll_wait(epfd, events, max_events, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        return errnoStatus("epoll_wait");
+    for (int i = 0; i < rc; ++i) {
+        out[i].tag = events[i].data.u64;
+        out[i].events = 0;
+        if (events[i].events & EPOLLIN)
+            out[i].events |= kEventRead;
+        if (events[i].events & EPOLLOUT)
+            out[i].events |= kEventWrite;
+        if (events[i].events &
+            (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) {
+            out[i].events |= kEventHangup;
+        }
+    }
+    return rc;
+}
+
+Result<int>
+makeEventFd()
+{
+    int fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (fd < 0)
+        return errnoStatus("eventfd");
+    return fd;
+}
+
+void
+signalEventFd(int fd)
+{
+    // Async-signal-safe: one write(2), no locks, no allocation.
+    uint64_t one = 1;
+    ssize_t rc;
+    do {
+        rc = ::write(fd, &one, sizeof(one));
+    } while (rc < 0 && errno == EINTR);
+}
+
+void
+drainEventFd(int fd)
+{
+    uint64_t count;
+    ssize_t rc;
+    do {
+        rc = ::read(fd, &count, sizeof(count));
+    } while (rc > 0 || (rc < 0 && errno == EINTR));
+}
+
+Status
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        return errnoStatus("poll");
+    if (rc == 0)
+        return Status::notFound("poll timeout");
+    return Status::ok();
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace ethkv::server::net

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The socket seam: every raw POSIX socket/epoll/eventfd syscall in
+ * the storage stack lives behind this interface, mirroring what
+ * common/env.hh does for the filesystem.
+ *
+ * Rationale (lint rule 5 enforces it): error mapping to Status,
+ * EINTR retries, and non-blocking semantics are easy to get subtly
+ * wrong, so they are written once here; and a single seam keeps
+ * the door open for a fault-injecting or in-memory transport the
+ * way FaultInjectionEnv wraps PosixEnv. Only src/server/net_*.cc
+ * may call socket(2), read(2), write(2), epoll_*(2) and friends
+ * directly.
+ *
+ * All functions are thread-safe (no shared state); fds are plain
+ * ints owned by the caller and returned to the OS via closeFd().
+ */
+
+#ifndef ETHKV_SERVER_NET_SOCKET_HH
+#define ETHKV_SERVER_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+
+namespace ethkv::server::net
+{
+
+/** Outcome of a non-blocking read/write attempt. */
+enum class IoResult
+{
+    Ok,         //!< Some bytes moved.
+    WouldBlock, //!< Retry after the fd is ready again.
+    Eof,        //!< Peer closed (reads only).
+    Error,      //!< Connection is dead; see the Status out-param.
+};
+
+/**
+ * Create a listening TCP socket bound to host:port.
+ *
+ * port 0 binds an ephemeral port (query it with localPort). The
+ * socket has SO_REUSEADDR set and is non-blocking.
+ */
+Result<int> listenTcp(const std::string &host, uint16_t port,
+                      int backlog = 128);
+
+/** Blocking connect to host:port; returns a blocking fd. */
+Result<int> connectTcp(const std::string &host, uint16_t port);
+
+/** The locally bound port of a socket (after listenTcp port 0). */
+Result<uint16_t> localPort(int fd);
+
+/**
+ * Accept one pending connection on a non-blocking listener.
+ *
+ * @return Ok(fd) with the new connection set non-blocking;
+ *         NotFound when no connection is pending (EAGAIN).
+ */
+Result<int> acceptOn(int listen_fd);
+
+/** Toggle O_NONBLOCK. */
+Status setNonBlocking(int fd, bool enable);
+
+/** Disable Nagle (TCP_NODELAY) — latency over tiny frames. */
+Status setNoDelay(int fd);
+
+/**
+ * Read up to cap bytes into buf (appended). EINTR is retried.
+ *
+ * @param n Receives the byte count on Ok.
+ * @param err Receives the error on IoResult::Error.
+ */
+IoResult readSome(int fd, Bytes &buf, size_t cap, size_t &n,
+                  Status &err);
+
+/** Write up to len bytes from data; n receives the count on Ok. */
+IoResult writeSome(int fd, BytesView data, size_t &n, Status &err);
+
+/** Write ALL of data on a blocking fd (client side). */
+Status writeAll(int fd, BytesView data);
+
+/**
+ * Read exactly n bytes on a blocking fd, appended to out.
+ *
+ * @return IOError on EOF before n bytes.
+ */
+Status readExactly(int fd, size_t n, Bytes &out);
+
+// -- epoll -------------------------------------------------------
+
+/** Event bits for epollAdd/epollWait (mapped to EPOLLIN etc.). */
+constexpr uint32_t kEventRead = 1u << 0;
+constexpr uint32_t kEventWrite = 1u << 1;
+constexpr uint32_t kEventHangup = 1u << 2; //!< HUP/ERR/RDHUP.
+
+/** One readiness notification. */
+struct PollEvent
+{
+    uint64_t tag = 0;    //!< The tag registered with epollAdd.
+    uint32_t events = 0; //!< kEvent* bits.
+};
+
+Result<int> epollCreate();
+Status epollAdd(int epfd, int fd, uint32_t events, uint64_t tag);
+Status epollMod(int epfd, int fd, uint32_t events, uint64_t tag);
+Status epollDel(int epfd, int fd);
+
+/**
+ * Wait for events (blocking up to timeout_ms; -1 = forever).
+ *
+ * @return the number of events stored in out (0 on timeout).
+ */
+Result<int> epollWait(int epfd, PollEvent *out, int max_events,
+                      int timeout_ms);
+
+// -- eventfd (worker wakeups, signal delivery) -------------------
+
+/** Create a non-blocking eventfd counter. */
+Result<int> makeEventFd();
+
+/** Increment the counter, waking any epollWait. Async-signal-safe. */
+void signalEventFd(int fd);
+
+/** Consume all pending increments. */
+void drainEventFd(int fd);
+
+/** Block until fd is readable (timeout_ms -1 = forever). */
+Status waitReadable(int fd, int timeout_ms);
+
+/** close(2); ignores errors (fd is gone either way). */
+void closeFd(int fd);
+
+} // namespace ethkv::server::net
+
+#endif // ETHKV_SERVER_NET_SOCKET_HH

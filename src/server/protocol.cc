@@ -1,0 +1,345 @@
+#include "server/protocol.hh"
+
+#include "common/varint.hh"
+#include "common/xxhash.hh"
+
+namespace ethkv::server
+{
+
+namespace
+{
+
+void
+appendU32(Bytes &out, uint32_t v)
+{
+    out.push_back(static_cast<char>(v >> 24));
+    out.push_back(static_cast<char>(v >> 16));
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v));
+}
+
+void
+appendU64(Bytes &out, uint64_t v)
+{
+    appendU32(out, static_cast<uint32_t>(v >> 32));
+    appendU32(out, static_cast<uint32_t>(v));
+}
+
+uint32_t
+readU32(BytesView data, size_t pos)
+{
+    auto b = [&](size_t i) {
+        return static_cast<uint32_t>(
+            static_cast<uint8_t>(data[pos + i]));
+    };
+    return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+uint64_t
+readU64(BytesView data, size_t pos)
+{
+    return (static_cast<uint64_t>(readU32(data, pos)) << 32) |
+           readU32(data, pos + 4);
+}
+
+/** Read a varint-prefixed byte string; false on overrun. */
+bool
+readBlob(BytesView payload, size_t &pos, Bytes &out)
+{
+    uint64_t len = 0;
+    if (!readVarint(payload, pos, len))
+        return false;
+    if (len > payload.size() - pos)
+        return false;
+    out.assign(payload.substr(pos, len));
+    pos += len;
+    return true;
+}
+
+void
+appendBlob(Bytes &out, BytesView data)
+{
+    appendVarint(out, data.size());
+    out.append(data);
+}
+
+Status
+malformed(const char *what)
+{
+    return Status::invalidArgument(
+        std::string("malformed payload: ") + what);
+}
+
+} // namespace
+
+WireStatus
+wireStatusOf(const Status &s)
+{
+    switch (s.code()) {
+      case StatusCode::Ok: return WireStatus::Ok;
+      case StatusCode::NotFound: return WireStatus::NotFound;
+      case StatusCode::Corruption: return WireStatus::Corruption;
+      case StatusCode::IOError: return WireStatus::IOError;
+      case StatusCode::InvalidArgument:
+        return WireStatus::InvalidArgument;
+      case StatusCode::NotSupported:
+        return WireStatus::NotSupported;
+      case StatusCode::IODegraded: return WireStatus::IODegraded;
+    }
+    return WireStatus::IOError;
+}
+
+Status
+statusOfWire(WireStatus code, const std::string &msg)
+{
+    switch (code) {
+      case WireStatus::Ok: return Status::ok();
+      case WireStatus::NotFound: return Status::notFound(msg);
+      case WireStatus::Corruption: return Status::corruption(msg);
+      case WireStatus::IOError: return Status::ioError(msg);
+      case WireStatus::InvalidArgument:
+        return Status::invalidArgument(msg);
+      case WireStatus::NotSupported:
+        return Status::notSupported(msg);
+      case WireStatus::IODegraded: return Status::ioDegraded(msg);
+      case WireStatus::BadFrame:
+        return Status::corruption("peer rejected frame: " + msg);
+    }
+    return Status::ioError("unknown wire status: " + msg);
+}
+
+void
+appendFrame(Bytes &out, uint8_t type, uint32_t request_id,
+            BytesView payload)
+{
+    out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+    out.push_back('E');
+    out.push_back('K');
+    out.push_back(static_cast<char>(kWireVersion));
+    out.push_back(static_cast<char>(type));
+    appendU32(out, request_id);
+    appendU32(out, static_cast<uint32_t>(payload.size()));
+    appendU64(out, xxhash64(payload));
+    out.append(payload);
+}
+
+void
+FrameReader::feed(BytesView data)
+{
+    if (broken_)
+        return; // bytes after a framing error are undecodable
+    // Compact lazily so long sessions don't grow the buffer.
+    if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data);
+}
+
+Status
+FrameReader::next(Frame &out)
+{
+    if (broken_)
+        return Status::corruption("frame stream is broken");
+    if (buf_.size() - pos_ < kFrameHeaderBytes)
+        return Status::notFound(); // need more bytes
+    BytesView head = BytesView(buf_).substr(pos_);
+    if (head[0] != 'E' || head[1] != 'K') {
+        broken_ = true;
+        return Status::corruption("bad frame magic");
+    }
+    if (static_cast<uint8_t>(head[2]) != kWireVersion) {
+        broken_ = true;
+        return Status::corruption(
+            "unsupported protocol version " +
+            std::to_string(static_cast<uint8_t>(head[2])));
+    }
+    uint32_t len = readU32(head, 8);
+    if (len > max_payload_) {
+        broken_ = true;
+        return Status::corruption("frame payload of " +
+                                  std::to_string(len) +
+                                  " bytes exceeds limit");
+    }
+    if (buf_.size() - pos_ < kFrameHeaderBytes + len)
+        return Status::notFound(); // payload still in flight
+    BytesView payload = head.substr(kFrameHeaderBytes, len);
+    if (xxhash64(payload) != readU64(head, 12)) {
+        broken_ = true;
+        return Status::corruption("frame checksum mismatch");
+    }
+    out.type = static_cast<uint8_t>(head[3]);
+    out.request_id = readU32(head, 4);
+    out.payload.assign(payload);
+    pos_ += kFrameHeaderBytes + len;
+    return Status::ok();
+}
+
+// -- Payload codecs ----------------------------------------------
+
+void
+encodeGet(Bytes &out, BytesView key)
+{
+    appendBlob(out, key);
+}
+
+void
+encodePut(Bytes &out, BytesView key, BytesView value)
+{
+    appendBlob(out, key);
+    appendBlob(out, value);
+}
+
+void
+encodeDelete(Bytes &out, BytesView key)
+{
+    appendBlob(out, key);
+}
+
+void
+encodeBatch(Bytes &out, const kv::WriteBatch &batch)
+{
+    appendVarint(out, batch.size());
+    for (const kv::BatchEntry &e : batch.entries()) {
+        out.push_back(static_cast<char>(e.op));
+        appendBlob(out, e.key);
+        if (e.op == kv::BatchOp::Put)
+            appendBlob(out, e.value);
+    }
+}
+
+void
+encodeScan(Bytes &out, BytesView start, BytesView end,
+           uint64_t limit)
+{
+    appendBlob(out, start);
+    appendBlob(out, end);
+    appendVarint(out, limit);
+}
+
+Status
+decodeGet(BytesView payload, Bytes &key)
+{
+    size_t pos = 0;
+    if (!readBlob(payload, pos, key))
+        return malformed("GET key");
+    if (pos != payload.size())
+        return malformed("GET trailing bytes");
+    return Status::ok();
+}
+
+Status
+decodePut(BytesView payload, Bytes &key, Bytes &value)
+{
+    size_t pos = 0;
+    if (!readBlob(payload, pos, key))
+        return malformed("PUT key");
+    if (!readBlob(payload, pos, value))
+        return malformed("PUT value");
+    if (pos != payload.size())
+        return malformed("PUT trailing bytes");
+    return Status::ok();
+}
+
+Status
+decodeDelete(BytesView payload, Bytes &key)
+{
+    size_t pos = 0;
+    if (!readBlob(payload, pos, key))
+        return malformed("DELETE key");
+    if (pos != payload.size())
+        return malformed("DELETE trailing bytes");
+    return Status::ok();
+}
+
+Status
+decodeBatch(BytesView payload, kv::WriteBatch &batch)
+{
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (!readVarint(payload, pos, count))
+        return malformed("BATCH count");
+    // Each entry is at least 2 bytes (op + empty-key varint); an
+    // absurd count is rejected before any allocation.
+    if (count > payload.size())
+        return malformed("BATCH count exceeds payload");
+    for (uint64_t i = 0; i < count; ++i) {
+        if (pos >= payload.size())
+            return malformed("BATCH truncated entry");
+        auto op = static_cast<uint8_t>(payload[pos++]);
+        if (op != static_cast<uint8_t>(kv::BatchOp::Put) &&
+            op != static_cast<uint8_t>(kv::BatchOp::Delete)) {
+            return malformed("BATCH bad op byte");
+        }
+        Bytes key;
+        if (!readBlob(payload, pos, key))
+            return malformed("BATCH key");
+        if (op == static_cast<uint8_t>(kv::BatchOp::Put)) {
+            Bytes value;
+            if (!readBlob(payload, pos, value))
+                return malformed("BATCH value");
+            batch.put(key, value);
+        } else {
+            batch.del(key);
+        }
+    }
+    if (pos != payload.size())
+        return malformed("BATCH trailing bytes");
+    return Status::ok();
+}
+
+Status
+decodeScan(BytesView payload, Bytes &start, Bytes &end,
+           uint64_t &limit)
+{
+    size_t pos = 0;
+    if (!readBlob(payload, pos, start))
+        return malformed("SCAN start");
+    if (!readBlob(payload, pos, end))
+        return malformed("SCAN end");
+    if (!readVarint(payload, pos, limit))
+        return malformed("SCAN limit");
+    if (pos != payload.size())
+        return malformed("SCAN trailing bytes");
+    return Status::ok();
+}
+
+void
+encodeScanResponse(Bytes &out, const std::vector<ScanEntry> &entries,
+                   bool truncated)
+{
+    appendVarint(out, entries.size());
+    for (const ScanEntry &e : entries) {
+        appendBlob(out, e.key);
+        appendBlob(out, e.value);
+    }
+    out.push_back(truncated ? 1 : 0);
+}
+
+Status
+decodeScanResponse(BytesView payload, std::vector<ScanEntry> &entries,
+                   bool &truncated)
+{
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (!readVarint(payload, pos, count))
+        return malformed("SCAN response count");
+    if (count > payload.size())
+        return malformed("SCAN response count exceeds payload");
+    entries.clear();
+    entries.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        ScanEntry e;
+        if (!readBlob(payload, pos, e.key))
+            return malformed("SCAN response key");
+        if (!readBlob(payload, pos, e.value))
+            return malformed("SCAN response value");
+        entries.push_back(std::move(e));
+    }
+    if (pos + 1 != payload.size())
+        return malformed("SCAN response trailer");
+    truncated = payload[pos] != 0;
+    return Status::ok();
+}
+
+} // namespace ethkv::server

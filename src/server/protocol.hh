@@ -1,0 +1,189 @@
+/**
+ * @file
+ * ethkv wire protocol (ethkv.wire.v1): framing and payload codecs.
+ *
+ * ethkvd speaks a length-prefixed binary protocol over TCP. Every
+ * message — request or response — is one frame:
+ *
+ *   offset  size  field
+ *        0     2  magic "EK"
+ *        2     1  version (kWireVersion)
+ *        3     1  type: opcode (request) or status (response)
+ *        4     4  request id, big-endian (echoed in the response)
+ *        8     4  payload length, big-endian
+ *       12     8  xxhash64(payload), big-endian
+ *       20   len  payload
+ *
+ * Payloads are varint-encoded (common/varint.hh):
+ *
+ *   GET    klen key
+ *   PUT    klen key vlen value
+ *   DELETE klen key
+ *   BATCH  count, then per entry: op(1B) klen key [vlen value]
+ *   SCAN   slen start elen end limit
+ *   STATS  (empty)
+ *
+ *   GET response    value bytes (raw)
+ *   SCAN response   count, per entry klen key vlen value,
+ *                   truncated(1B)
+ *   STATS response  JSON (engine name + IOStats + server counters)
+ *   error response  human-readable message (raw)
+ *
+ * This module is pure — no sockets, no I/O — so the frame fuzz
+ * tests can hammer it directly and the server and client libraries
+ * share one codec. Malformed bytes never crash the decoder: the
+ * FrameReader either needs more input, yields a frame, or parks in
+ * a sticky Error state (the connection must then be torn down,
+ * since frame boundaries are lost).
+ */
+
+#ifndef ETHKV_SERVER_PROTOCOL_HH
+#define ETHKV_SERVER_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/status.hh"
+#include "kvstore/write_batch.hh"
+
+namespace ethkv::server
+{
+
+/** Protocol version this build speaks. */
+constexpr uint8_t kWireVersion = 1;
+
+/** Frame header length in bytes. */
+constexpr size_t kFrameHeaderBytes = 20;
+
+/** Default per-frame payload cap (guards allocation on decode). */
+constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/** Request opcodes (frame type byte of a request). */
+enum class Opcode : uint8_t
+{
+    Get = 1,
+    Put = 2,
+    Delete = 3,
+    Batch = 4,
+    Scan = 5,
+    Stats = 6,
+};
+
+/**
+ * Response status (frame type byte of a response).
+ *
+ * Codes 0-6 mirror ethkv::StatusCode one-for-one so engine errors
+ * — including the degraded read-only mode — cross the wire
+ * losslessly. BadFrame is protocol-level: the peer sent bytes that
+ * do not parse as a frame.
+ */
+enum class WireStatus : uint8_t
+{
+    Ok = 0,
+    NotFound = 1,
+    Corruption = 2,
+    IOError = 3,
+    InvalidArgument = 4,
+    NotSupported = 5,
+    IODegraded = 6,
+    BadFrame = 100,
+};
+
+/** Map an engine Status to its wire code. */
+WireStatus wireStatusOf(const Status &s);
+
+/** Map a wire code back to a Status (msg used for non-Ok codes). */
+Status statusOfWire(WireStatus code, const std::string &msg);
+
+/** One decoded frame: header fields plus owned payload bytes. */
+struct Frame
+{
+    uint8_t type = 0; //!< Opcode (request) or WireStatus (response).
+    uint32_t request_id = 0;
+    Bytes payload;
+};
+
+/** Append a fully framed message (header + payload) to out. */
+void appendFrame(Bytes &out, uint8_t type, uint32_t request_id,
+                 BytesView payload);
+
+/**
+ * Incremental frame decoder.
+ *
+ * Feed arbitrary byte chunks with feed(); pull complete frames
+ * with next(). Once a header or checksum is invalid the reader is
+ * permanently in error (frame boundaries are unrecoverable on a
+ * byte stream) and the owner must close the connection.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(size_t max_payload = kDefaultMaxFrameBytes)
+        : max_payload_(max_payload)
+    {}
+
+    /** Append raw bytes from the peer. */
+    void feed(BytesView data);
+
+    /**
+     * Decode the next complete frame into out.
+     *
+     * @return Ok with a frame; NotFound when more bytes are needed;
+     *         Corruption (sticky) on a malformed header, oversized
+     *         length, or checksum mismatch.
+     */
+    Status next(Frame &out);
+
+    /** True once the stream is unrecoverable. */
+    bool broken() const { return broken_; }
+
+    /** Bytes buffered but not yet consumed. */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    size_t max_payload_;
+    Bytes buf_;
+    size_t pos_ = 0;
+    bool broken_ = false;
+};
+
+// -- Payload codecs ----------------------------------------------
+//
+// Encoders append to an existing buffer. Decoders return
+// InvalidArgument on malformed payloads (truncated varints, length
+// overruns, trailing garbage); the connection survives — payload
+// corruption inside an intact frame does not lose framing.
+
+void encodeGet(Bytes &out, BytesView key);
+void encodePut(Bytes &out, BytesView key, BytesView value);
+void encodeDelete(Bytes &out, BytesView key);
+void encodeBatch(Bytes &out, const kv::WriteBatch &batch);
+void encodeScan(Bytes &out, BytesView start, BytesView end,
+                uint64_t limit);
+
+Status decodeGet(BytesView payload, Bytes &key);
+Status decodePut(BytesView payload, Bytes &key, Bytes &value);
+Status decodeDelete(BytesView payload, Bytes &key);
+Status decodeBatch(BytesView payload, kv::WriteBatch &batch);
+Status decodeScan(BytesView payload, Bytes &start, Bytes &end,
+                  uint64_t &limit);
+
+/** One scan hit in a SCAN response. */
+struct ScanEntry
+{
+    Bytes key;
+    Bytes value;
+};
+
+void encodeScanResponse(Bytes &out,
+                        const std::vector<ScanEntry> &entries,
+                        bool truncated);
+Status decodeScanResponse(BytesView payload,
+                          std::vector<ScanEntry> &entries,
+                          bool &truncated);
+
+} // namespace ethkv::server
+
+#endif // ETHKV_SERVER_PROTOCOL_HH

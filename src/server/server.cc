@@ -1,0 +1,581 @@
+#include "server/server.hh"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "server/net_socket.hh"
+
+namespace ethkv::server
+{
+
+namespace
+{
+
+/** Monotonic nanoseconds for op latency histograms. */
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Instrument-array index for an opcode (0 = unknown/other). */
+int
+opIndex(uint8_t op)
+{
+    return (op >= 1 && op <= 6) ? op : 0;
+}
+
+const char *const kOpNames[7] = {"other",  "get",  "put", "delete",
+                                 "batch", "scan", "stats"};
+
+constexpr size_t kReadChunk = 64u << 10;
+
+/** JSON string escape for the tiny STATS payload. */
+void
+appendJsonString(Bytes &out, BytesView s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.append("\\u0020");
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+/** One client connection, owned by exactly one worker. */
+struct Server::Connection
+{
+    explicit Connection(int fd_arg, size_t max_frame)
+        : fd(fd_arg), reader(max_frame)
+    {}
+
+    int fd;
+    FrameReader reader;
+    Bytes out;          //!< Encoded, not-yet-written responses.
+    size_t out_pos = 0; //!< Bytes of `out` already written.
+    bool paused = false;     //!< Reads off (backpressure).
+    bool want_write = false; //!< EPOLLOUT registered.
+    uint64_t ops = 0;        //!< Lifetime frames served.
+};
+
+/** One event-loop thread plus its handoff queue. */
+struct Server::Worker
+{
+    int epfd = -1;
+    int wake_fd = -1;
+    Mutex mutex;
+    std::vector<int> pending GUARDED_BY(mutex);
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    std::thread thread;
+};
+
+Server::Server(kv::KVStore &store, ServerOptions options)
+    : store_(store), options_(std::move(options)),
+      metrics_(options_.metrics ? *options_.metrics
+                                : obs::MetricsRegistry::global())
+{
+    conns_accepted_ = &metrics_.counter("server.conns.accepted");
+    conns_closed_ = &metrics_.counter("server.conns.closed");
+    conns_active_ = &metrics_.gauge("server.conns.active");
+    bytes_in_ = &metrics_.counter("server.bytes_in");
+    bytes_out_ = &metrics_.counter("server.bytes_out");
+    frames_bad_ = &metrics_.counter("server.frames.bad");
+    backpressure_paused_ =
+        &metrics_.counter("server.backpressure.paused");
+    backpressure_dropped_ =
+        &metrics_.counter("server.backpressure.dropped");
+    for (int i = 0; i < 7; ++i) {
+        std::string name = std::string("server.op.") + kOpNames[i];
+        op_count_[i] = &metrics_.counter(name);
+        op_errors_[i] = &metrics_.counter(name + ".errors");
+        op_latency_[i] =
+            &metrics_.histogram(name + ".latency_ns");
+    }
+    conn_lifetime_ops_ =
+        &metrics_.histogram("server.conn.lifetime_ops");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+Status
+Server::start()
+{
+    if (started_.exchange(true))
+        return Status::invalidArgument("server already started");
+    if (options_.workers < 1)
+        return Status::invalidArgument("need at least one worker");
+
+    auto listener =
+        net::listenTcp(options_.host, options_.port);
+    if (!listener.ok())
+        return listener.status();
+    listen_fd_ = listener.value();
+    auto port = net::localPort(listen_fd_);
+    if (!port.ok())
+        return port.status();
+    port_ = port.value();
+
+    auto wake = net::makeEventFd();
+    if (!wake.ok())
+        return wake.status();
+    accept_wake_fd_ = wake.value();
+
+    for (int i = 0; i < options_.workers; ++i) {
+        auto worker = std::make_unique<Worker>();
+        auto ep = net::epollCreate();
+        if (!ep.ok())
+            return ep.status();
+        worker->epfd = ep.value();
+        auto wfd = net::makeEventFd();
+        if (!wfd.ok())
+            return wfd.status();
+        worker->wake_fd = wfd.value();
+        Status s = net::epollAdd(
+            worker->epfd, worker->wake_fd, net::kEventRead,
+            static_cast<uint64_t>(worker->wake_fd));
+        if (!s.isOk())
+            return s;
+        workers_.push_back(std::move(worker));
+    }
+
+    running_.store(true);
+    for (auto &worker : workers_) {
+        Worker *w = worker.get();
+        w->thread = std::thread([this, w] { workerLoop(*w); });
+    }
+    acceptor_ = std::thread([this] { acceptorLoop(); });
+    return Status::ok();
+}
+
+void
+Server::stop()
+{
+    // Never started, or a second stop(): nothing to do.
+    if (!running_.exchange(false))
+        return;
+    net::signalEventFd(accept_wake_fd_);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    for (auto &worker : workers_) {
+        net::signalEventFd(worker->wake_fd);
+        if (worker->thread.joinable())
+            worker->thread.join();
+        net::closeFd(worker->wake_fd);
+        net::closeFd(worker->epfd);
+    }
+    net::closeFd(listen_fd_);
+    net::closeFd(accept_wake_fd_);
+    listen_fd_ = accept_wake_fd_ = -1;
+
+    // The shutdown contract: every acknowledged write is persisted
+    // before the process exits (WAL fdatasync via the Env seam).
+    Status s = store_.flush();
+    if (!s.isOk()) {
+        warn("ethkvd: engine flush on shutdown failed: %s",
+             s.toString().c_str());
+    }
+}
+
+void
+Server::acceptorLoop()
+{
+    auto ep = net::epollCreate();
+    if (!ep.ok()) {
+        warn("ethkvd acceptor: %s", ep.status().toString().c_str());
+        return;
+    }
+    int epfd = ep.value();
+    Status s = net::epollAdd(epfd, listen_fd_, net::kEventRead,
+                             static_cast<uint64_t>(listen_fd_));
+    if (s.isOk()) {
+        s = net::epollAdd(epfd, accept_wake_fd_, net::kEventRead,
+                          static_cast<uint64_t>(accept_wake_fd_));
+    }
+    if (!s.isOk()) {
+        warn("ethkvd acceptor: %s", s.toString().c_str());
+        net::closeFd(epfd);
+        return;
+    }
+
+    net::PollEvent events[8];
+    while (running_.load()) {
+        auto n = net::epollWait(epfd, events, 8, -1);
+        if (!n.ok())
+            break;
+        for (int i = 0; i < n.value(); ++i) {
+            if (events[i].tag ==
+                static_cast<uint64_t>(accept_wake_fd_)) {
+                net::drainEventFd(accept_wake_fd_);
+                continue; // running_ re-checked by the loop
+            }
+            // Drain the accept queue.
+            while (true) {
+                auto conn = net::acceptOn(listen_fd_);
+                if (!conn.ok())
+                    break; // NotFound = queue empty
+                conns_accepted_->inc();
+                conns_active_->add(1);
+                Worker &w = *workers_[next_worker_];
+                next_worker_ =
+                    (next_worker_ + 1) % workers_.size();
+                {
+                    MutexLock lock(w.mutex);
+                    w.pending.push_back(conn.value());
+                }
+                net::signalEventFd(w.wake_fd);
+            }
+        }
+    }
+    net::closeFd(epfd);
+}
+
+/** (Re)register the epoll interest matching a connection's state. */
+void
+Server::applyBackpressure(Worker &worker, Connection &conn)
+{
+    size_t queued = conn.out.size() - conn.out_pos;
+    if (!conn.paused && queued > options_.write_queue_soft_bytes) {
+        conn.paused = true;
+        backpressure_paused_->inc();
+    } else if (conn.paused &&
+               queued < options_.write_queue_soft_bytes / 2) {
+        conn.paused = false;
+    }
+    bool want_write = queued > 0;
+    uint32_t events = (conn.paused ? 0u : net::kEventRead) |
+                      (want_write ? net::kEventWrite : 0u);
+    // Level-triggered epoll: always reflect current interest.
+    ETHKV_IGNORE_STATUS(
+        net::epollMod(worker.epfd, conn.fd, events,
+                      static_cast<uint64_t>(conn.fd)),
+        "EPOLL_CTL_MOD can only fail on a closing fd");
+    conn.want_write = want_write;
+}
+
+void
+Server::flushWrites(Worker &worker, Connection &conn)
+{
+    while (conn.out_pos < conn.out.size()) {
+        size_t n = 0;
+        Status err;
+        net::IoResult r = net::writeSome(
+            conn.fd,
+            BytesView(conn.out).substr(conn.out_pos), n, err);
+        if (r == net::IoResult::Ok) {
+            conn.out_pos += n;
+            bytes_out_->inc(n);
+            continue;
+        }
+        if (r == net::IoResult::WouldBlock)
+            break;
+        closeConnection(worker, conn);
+        return;
+    }
+    if (conn.out_pos == conn.out.size()) {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if (conn.out_pos > (1u << 20)) {
+        conn.out.erase(0, conn.out_pos);
+        conn.out_pos = 0;
+    }
+    applyBackpressure(worker, conn);
+}
+
+void
+Server::closeConnection(Worker &worker, Connection &conn)
+{
+    ETHKV_IGNORE_STATUS(net::epollDel(worker.epfd, conn.fd),
+                        "closing fd is removed from epoll anyway");
+    net::closeFd(conn.fd);
+    conns_closed_->inc();
+    conns_active_->add(-1);
+    conn_lifetime_ops_->record(conn.ops);
+    worker.conns.erase(static_cast<uint64_t>(conn.fd));
+    // `conn` is dangling from here.
+}
+
+Bytes
+Server::statsJson()
+{
+    const kv::IOStats &io = store_.stats();
+    Bytes out = "{\"schema\":\"ethkv.server.stats.v1\",";
+    out += "\"engine\":";
+    appendJsonString(out, store_.name());
+    auto field = [&out](const char *name, uint64_t v) {
+        out += ",\"";
+        out += name;
+        out += "\":";
+        out += std::to_string(v);
+    };
+    field("user_reads", io.user_reads);
+    field("user_writes", io.user_writes);
+    field("user_deletes", io.user_deletes);
+    field("user_scans", io.user_scans);
+    field("bytes_read", io.bytes_read);
+    field("bytes_written", io.bytes_written);
+    field("flush_bytes", io.flush_bytes);
+    field("compaction_bytes", io.compaction_bytes);
+    field("gc_bytes", io.gc_bytes);
+    field("connections_active",
+          static_cast<uint64_t>(conns_active_->value()));
+    out += "}";
+    return out;
+}
+
+void
+Server::execOp(Connection &, const Frame &frame,
+               uint8_t &wire_status, Bytes &payload)
+{
+    auto fail = [&](const Status &s) {
+        wire_status = static_cast<uint8_t>(wireStatusOf(s));
+        payload = s.message();
+    };
+    switch (static_cast<Opcode>(frame.type)) {
+      case Opcode::Get: {
+        Bytes key;
+        Status s = decodeGet(frame.payload, key);
+        if (s.isOk())
+            s = store_.get(key, payload);
+        if (!s.isOk())
+            fail(s);
+        return;
+      }
+      case Opcode::Put: {
+        Bytes key, value;
+        Status s = decodePut(frame.payload, key, value);
+        if (s.isOk())
+            s = store_.put(key, value);
+        if (!s.isOk())
+            fail(s);
+        return;
+      }
+      case Opcode::Delete: {
+        Bytes key;
+        Status s = decodeDelete(frame.payload, key);
+        if (s.isOk())
+            s = store_.del(key);
+        if (!s.isOk())
+            fail(s);
+        return;
+      }
+      case Opcode::Batch: {
+        kv::WriteBatch batch;
+        Status s = decodeBatch(frame.payload, batch);
+        if (s.isOk())
+            s = store_.apply(batch);
+        if (!s.isOk())
+            fail(s);
+        return;
+      }
+      case Opcode::Scan: {
+        Bytes start, end;
+        uint64_t limit = 0;
+        Status s = decodeScan(frame.payload, start, end, limit);
+        if (!s.isOk()) {
+            fail(s);
+            return;
+        }
+        if (limit == 0 || limit > options_.scan_limit_max)
+            limit = options_.scan_limit_max;
+        std::vector<ScanEntry> entries;
+        // Visit one extra entry to learn whether we truncated.
+        s = store_.scan(start, end,
+                        [&entries, limit](BytesView k,
+                                          BytesView v) {
+                            entries.push_back(
+                                {Bytes(k), Bytes(v)});
+                            return entries.size() < limit + 1;
+                        });
+        if (!s.isOk()) {
+            fail(s);
+            return;
+        }
+        bool truncated = entries.size() > limit;
+        if (truncated)
+            entries.pop_back();
+        encodeScanResponse(payload, entries, truncated);
+        return;
+      }
+      case Opcode::Stats:
+        payload = statsJson();
+        return;
+    }
+    fail(Status::invalidArgument(
+        "unknown opcode " + std::to_string(frame.type)));
+}
+
+void
+Server::handleFrame(Worker &worker, Connection &conn,
+                    const Frame &frame)
+{
+    static_cast<void>(worker);
+    int idx = opIndex(frame.type);
+    op_count_[idx]->inc();
+    ++conn.ops;
+
+    uint8_t wire_status = static_cast<uint8_t>(WireStatus::Ok);
+    Bytes payload;
+    uint64_t t0 = nowNs();
+    execOp(conn, frame, wire_status, payload);
+    op_latency_[idx]->record(nowNs() - t0);
+    if (wire_status != static_cast<uint8_t>(WireStatus::Ok))
+        op_errors_[idx]->inc();
+
+    appendFrame(conn.out, wire_status, frame.request_id, payload);
+}
+
+void
+Server::workerLoop(Worker &worker)
+{
+    net::PollEvent events[64];
+    Bytes chunk;
+    while (running_.load()) {
+        auto n = net::epollWait(worker.epfd, events, 64, -1);
+        if (!n.ok())
+            break;
+        for (int i = 0; i < n.value(); ++i) {
+            uint64_t tag = events[i].tag;
+            if (tag == static_cast<uint64_t>(worker.wake_fd)) {
+                net::drainEventFd(worker.wake_fd);
+                // Adopt handed-off connections.
+                std::vector<int> adopted;
+                {
+                    MutexLock lock(worker.mutex);
+                    adopted.swap(worker.pending);
+                }
+                for (int fd : adopted) {
+                    auto conn = std::make_unique<Connection>(
+                        fd, options_.max_frame_bytes);
+                    Status s = net::epollAdd(
+                        worker.epfd, fd, net::kEventRead,
+                        static_cast<uint64_t>(fd));
+                    if (!s.isOk()) {
+                        net::closeFd(fd);
+                        conns_closed_->inc();
+                        conns_active_->add(-1);
+                        continue;
+                    }
+                    conn->want_write = false;
+                    worker.conns.emplace(
+                        static_cast<uint64_t>(fd),
+                        std::move(conn));
+                }
+                continue;
+            }
+
+            auto it = worker.conns.find(tag);
+            if (it == worker.conns.end())
+                continue; // closed earlier in this batch
+            Connection &conn = *it->second;
+
+            if (events[i].events & net::kEventWrite)
+                flushWrites(worker, conn);
+            if (worker.conns.find(tag) == worker.conns.end())
+                continue; // flush closed it
+
+            bool peer_gone = false;
+            if ((events[i].events & net::kEventRead) &&
+                !conn.paused) {
+                while (true) {
+                    chunk.clear();
+                    size_t got = 0;
+                    Status err;
+                    net::IoResult r = net::readSome(
+                        conn.fd, chunk, kReadChunk, got, err);
+                    if (r == net::IoResult::Ok) {
+                        bytes_in_->inc(got);
+                        conn.reader.feed(chunk);
+                        if (got < kReadChunk)
+                            break; // drained the socket
+                        continue;
+                    }
+                    if (r == net::IoResult::WouldBlock)
+                        break;
+                    peer_gone = true; // EOF or error
+                    break;
+                }
+
+                // Decode and serve every complete frame.
+                while (true) {
+                    Frame frame;
+                    Status s = conn.reader.next(frame);
+                    if (s.isNotFound())
+                        break;
+                    if (!s.isOk()) {
+                        // Unrecoverable framing: best-effort error
+                        // frame, then drop the connection.
+                        frames_bad_->inc();
+                        appendFrame(
+                            conn.out,
+                            static_cast<uint8_t>(
+                                WireStatus::BadFrame),
+                            0, s.message());
+                        flushWrites(worker, conn);
+                        if (worker.conns.find(tag) !=
+                            worker.conns.end()) {
+                            closeConnection(worker, conn);
+                        }
+                        peer_gone = false; // already closed
+                        break;
+                    }
+                    handleFrame(worker, conn, frame);
+                    size_t queued =
+                        conn.out.size() - conn.out_pos;
+                    if (queued >
+                        options_.write_queue_hard_bytes) {
+                        backpressure_dropped_->inc();
+                        closeConnection(worker, conn);
+                        peer_gone = false;
+                        break;
+                    }
+                }
+                if (worker.conns.find(tag) == worker.conns.end())
+                    continue;
+                flushWrites(worker, conn);
+                if (worker.conns.find(tag) == worker.conns.end())
+                    continue;
+            }
+
+            if (peer_gone ||
+                ((events[i].events & net::kEventHangup) &&
+                 !(events[i].events & net::kEventRead))) {
+                closeConnection(worker, conn);
+            }
+        }
+    }
+
+    // Shutdown: best-effort flush of queued responses, then close.
+    for (auto &[tag, conn] : worker.conns) {
+        if (conn->out_pos < conn->out.size()) {
+            size_t n = 0;
+            Status err;
+            net::IoResult r = net::writeSome(
+                conn->fd,
+                BytesView(conn->out).substr(conn->out_pos), n,
+                err);
+            static_cast<void>(r);
+        }
+        net::closeFd(conn->fd);
+        conns_closed_->inc();
+        conns_active_->add(-1);
+        conn_lifetime_ops_->record(conn->ops);
+    }
+    worker.conns.clear();
+}
+
+} // namespace ethkv::server

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ethkvd's server core: a multi-threaded, epoll-based TCP server
+ * over any ethkv::kv::KVStore.
+ *
+ * Threading model (DESIGN.md §9):
+ *
+ *  - One acceptor thread owns the listening socket. Accepted
+ *    connections are handed to workers round-robin via a small
+ *    mutex-guarded queue plus an eventfd wakeup (fd handoff, so
+ *    one connection lives on exactly one worker forever — no
+ *    cross-worker state, no per-frame locking).
+ *  - N worker threads each run a private epoll loop over their
+ *    connections. A worker reads bytes, decodes frames
+ *    (server/protocol.hh), executes ops against the shared store,
+ *    and queues response frames on the connection's write buffer.
+ *
+ * The store must be safe for concurrent callers: HybridKVStore and
+ * CachingKVStore lock internally; anything else is wrapped in
+ * kv::LockedKVStore by the caller (ethkvd does this).
+ *
+ * Backpressure: each connection has a bounded write queue. Above
+ * the soft limit the worker stops reading from that connection
+ * (requests stop entering, the pipe fills, the client blocks — a
+ * closed loop). Above the hard limit — a client that keeps
+ * pipelining but never reads — the connection is dropped.
+ *
+ * Error discipline: engine Statuses map 1:1 onto wire codes, so a
+ * store that degraded to read-only after an I/O failure surfaces
+ * to every client as IODegraded, not a generic error. Protocol
+ * violations (bad magic, oversized length, checksum mismatch) get
+ * a best-effort BadFrame response, then the connection closes —
+ * framing is unrecoverable on a byte stream.
+ *
+ * Graceful shutdown: stop() stops accepting, closes connections,
+ * joins all threads, then flushes the engine (WAL sync) so an
+ * orderly SIGTERM never loses acknowledged writes.
+ */
+
+#ifndef ETHKV_SERVER_SERVER_HH
+#define ETHKV_SERVER_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hh"
+#include "common/status.hh"
+#include "kvstore/kvstore.hh"
+#include "obs/metrics.hh"
+#include "server/protocol.hh"
+
+namespace ethkv::server
+{
+
+/** Server tuning knobs. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0; //!< 0 = ephemeral (query with port()).
+    int workers = 4;
+    //! Largest request/response payload accepted on the wire.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    //! Stop reading from a connection whose pending responses
+    //! exceed this (closed-loop backpressure).
+    size_t write_queue_soft_bytes = 1u << 20;
+    //! Drop a connection whose pending responses exceed this.
+    size_t write_queue_hard_bytes = 8u << 20;
+    //! Server-side cap on SCAN results per request.
+    uint64_t scan_limit_max = 4096;
+    //! Destination for server.* instruments; global when null.
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * The server. Construct over a store, start(), stop().
+ *
+ * One Server instance may be started and stopped once; tests that
+ * need a fresh server construct a fresh instance.
+ */
+class Server
+{
+  public:
+    Server(kv::KVStore &store, ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the acceptor + worker threads. */
+    Status start();
+
+    /**
+     * Graceful shutdown: stop accepting, close connections, join
+     * threads, flush the engine. Idempotent.
+     */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    /** Name of the engine being served. */
+    std::string engineName() const { return store_.name(); }
+
+  private:
+    struct Connection;
+    struct Worker;
+
+    void acceptorLoop();
+    void workerLoop(Worker &worker);
+    void handleFrame(Worker &worker, Connection &conn,
+                     const Frame &frame);
+    void execOp(Connection &conn, const Frame &frame,
+                uint8_t &wire_status, Bytes &payload);
+    Bytes statsJson();
+    void closeConnection(Worker &worker, Connection &conn);
+    void flushWrites(Worker &worker, Connection &conn);
+    void applyBackpressure(Worker &worker, Connection &conn);
+
+    kv::KVStore &store_;
+    ServerOptions options_;
+    obs::MetricsRegistry &metrics_;
+
+    int listen_fd_ = -1;
+    int accept_wake_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> started_{false};
+    std::thread acceptor_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    size_t next_worker_ = 0;
+
+    // Cached instruments (lookups lock; increments are lock-free).
+    obs::Counter *conns_accepted_;
+    obs::Counter *conns_closed_;
+    obs::Gauge *conns_active_;
+    obs::Counter *bytes_in_;
+    obs::Counter *bytes_out_;
+    obs::Counter *frames_bad_;
+    obs::Counter *backpressure_paused_;
+    obs::Counter *backpressure_dropped_;
+    obs::Counter *op_count_[7];
+    obs::Counter *op_errors_[7];
+    obs::LatencyHistogram *op_latency_[7];
+    obs::LatencyHistogram *conn_lifetime_ops_;
+};
+
+} // namespace ethkv::server
+
+#endif // ETHKV_SERVER_SERVER_HH

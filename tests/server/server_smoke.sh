@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end ethkvd smoke drills, run by ctest.
+#
+#   server_smoke.sh smoke <ethkvd> <bench_server_load> <scratch>
+#       Start the server on an ephemeral port, push a short mixed
+#       burst through it, SIGTERM, and require a clean exit. The
+#       ctest entry points <ethkvd> at the ASan build, so any
+#       leak/overflow in the accept/frame/op/response path fails
+#       the suite.
+#
+#   server_smoke.sh crash <ethkvd> <bench_server_load> <scratch>
+#       The acceptance drill: fill a durable sync engine, kill -9
+#       the server mid-load, restart on the same directory, and
+#       verify that every acknowledged write survived (zero
+#       acked-synced data loss).
+set -u
+
+MODE=$1
+ETHKVD=$2
+LOADGEN=$3
+SCRATCH=$4
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH/data"
+SERVER_PID=""
+
+cleanup() {
+    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -9 "$SERVER_PID" 2>/dev/null
+        wait "$SERVER_PID" 2>/dev/null
+    fi
+    rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "server_smoke($MODE): FAILED: $1" >&2
+    exit 1
+}
+
+wait_port_file() {
+    for _ in $(seq 1 500); do
+        [ -s "$1" ] && return 0
+        sleep 0.02
+    done
+    fail "port file $1 never appeared"
+}
+
+case "$MODE" in
+  smoke)
+    "$ETHKVD" --engine hybrid --port 0 \
+        --port-file "$SCRATCH/port" --workers 4 &
+    SERVER_PID=$!
+    wait_port_file "$SCRATCH/port"
+
+    "$LOADGEN" --port-file "$SCRATCH/port" --connections 8 \
+        --threads 2 --ops 20000 --keys 4000 --read-pct 50 \
+        || fail "load burst (rc=$?)"
+
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID"
+    RC=$?
+    SERVER_PID=""
+    [ "$RC" -eq 0 ] || fail "server exit code $RC after SIGTERM"
+    ;;
+
+  crash)
+    "$ETHKVD" --engine log --dir "$SCRATCH/data" --sync \
+        --port 0 --port-file "$SCRATCH/port" --workers 2 &
+    SERVER_PID=$!
+    wait_port_file "$SCRATCH/port"
+
+    # Fill in the background; every acked key id lands in the
+    # acked file as its response arrives.
+    "$LOADGEN" --port-file "$SCRATCH/port" --mode fill \
+        --keys 200000 --connections 4 --threads 2 \
+        --acked-file "$SCRATCH/acked" &
+    LOAD_PID=$!
+
+    # Let some writes through, then pull the plug.
+    sleep 0.5
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null
+    SERVER_PID=""
+
+    wait "$LOAD_PID"
+    LOAD_RC=$?
+    # 0 = fill finished before the kill (raise --keys); 75 = died
+    # mid-load as intended. Anything else is a load-gen bug.
+    [ "$LOAD_RC" -eq 0 ] || [ "$LOAD_RC" -eq 75 ] \
+        || fail "fill exit code $LOAD_RC"
+    [ -s "$SCRATCH/acked" ] || fail "no writes were acked"
+    ACKED=$(wc -l < "$SCRATCH/acked")
+    echo "server_smoke(crash): $ACKED writes acked before kill -9"
+
+    # Restart on the same directory; recovery must surface every
+    # acked (therefore synced) write.
+    "$ETHKVD" --engine log --dir "$SCRATCH/data" --sync \
+        --port 0 --port-file "$SCRATCH/port2" --workers 2 &
+    SERVER_PID=$!
+    wait_port_file "$SCRATCH/port2"
+
+    "$LOADGEN" --port-file "$SCRATCH/port2" --mode verify \
+        --acked-file "$SCRATCH/acked" \
+        || fail "acked-synced data lost across kill -9"
+
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID"
+    SERVER_PID=""
+    ;;
+
+  *)
+    fail "unknown mode $MODE"
+    ;;
+esac
+
+echo "server_smoke($MODE): PASS"
+exit 0

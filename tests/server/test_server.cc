@@ -1,0 +1,413 @@
+/**
+ * @file
+ * End-to-end server tests: a real ethkv::server::Server on an
+ * ephemeral port, driven through the client library over loopback
+ * TCP. Covers every opcode, error-frame semantics (NotFound,
+ * NotSupported, IODegraded as a distinct wire code), pipelined
+ * FIFO completion, multi-connection concurrency, and a hostile
+ * peer sending garbage bytes at an intact server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault_env.hh"
+#include "kvstore/btree_store.hh"
+#include "kvstore/hash_store.hh"
+#include "kvstore/locked_store.hh"
+#include "kvstore/log_store.hh"
+#include "server/client.hh"
+#include "server/net_socket.hh"
+#include "server/server.hh"
+#include "../kvstore/test_util.hh"
+
+namespace ethkv::server
+{
+namespace
+{
+
+using testutil::makeKey;
+using testutil::makeValue;
+using testutil::ScratchDir;
+
+/**
+ * Read from a raw socket until the reader yields one frame.
+ * @return false on EOF/error before a frame arrived.
+ */
+bool
+recvRawFrame(int fd, FrameReader &reader, Frame &frame)
+{
+    for (;;) {
+        if (reader.next(frame).isOk())
+            return true;
+        if (reader.broken())
+            return false;
+        Bytes buf;
+        size_t n = 0;
+        Status err;
+        net::IoResult r = net::readSome(fd, buf, 4096, n, err);
+        if (r == net::IoResult::Eof ||
+            r == net::IoResult::Error)
+            return false;
+        if (n > 0)
+            reader.feed(buf);
+    }
+}
+
+/** A running server over a locked B+-tree, torn down on scope exit. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(ServerOptions options = {})
+        : locked_(store_), server_(locked_, options)
+    {
+        server_.start().expectOk("test server start");
+    }
+
+    ~ServerFixture() { server_.stop(); }
+
+    uint16_t port() const { return server_.port(); }
+    kv::BTreeStore &store() { return store_; }
+
+    std::unique_ptr<Client>
+    connect()
+    {
+        auto client = Client::open("127.0.0.1", port());
+        EXPECT_TRUE(client.ok()) << client.status().message();
+        return client.take();
+    }
+
+  private:
+    kv::BTreeStore store_;
+    kv::LockedKVStore locked_;
+    Server server_;
+};
+
+TEST(ServerTest, AllFiveOpsRoundTrip)
+{
+    ServerFixture fx;
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+
+    // PUT then GET.
+    ASSERT_TRUE(client->put("alpha", "one").isOk());
+    Bytes value;
+    ASSERT_TRUE(client->get("alpha", value).isOk());
+    EXPECT_EQ(value, "one");
+
+    // DELETE; the key is gone.
+    ASSERT_TRUE(client->del("alpha").isOk());
+    EXPECT_TRUE(client->get("alpha", value).isNotFound());
+
+    // BATCH applies atomically through the wire.
+    kv::WriteBatch batch;
+    batch.put("b1", "v1");
+    batch.put("b2", "v2");
+    batch.del("b1");
+    ASSERT_TRUE(client->apply(batch).isOk());
+    EXPECT_TRUE(client->get("b1", value).isNotFound());
+    ASSERT_TRUE(client->get("b2", value).isOk());
+    EXPECT_EQ(value, "v2");
+
+    // SCAN over an ordered range.
+    for (uint64_t i = 0; i < 20; ++i)
+        ASSERT_TRUE(
+            client->put(makeKey(i, "s"), makeValue(i)).isOk());
+    ScanResult scan;
+    ASSERT_TRUE(client
+                    ->scan(makeKey(5, "s"), makeKey(15, "s"), 100,
+                           scan)
+                    .isOk());
+    ASSERT_EQ(scan.entries.size(), 10u);
+    EXPECT_EQ(scan.entries[0].key, makeKey(5, "s"));
+    EXPECT_FALSE(scan.truncated);
+
+    // STATS returns the JSON document.
+    Bytes json;
+    ASSERT_TRUE(client->stats(json).isOk());
+    EXPECT_NE(json.find("ethkv.server.stats.v1"),
+              std::string::npos);
+    EXPECT_NE(json.find("btree"), std::string::npos);
+}
+
+TEST(ServerTest, ScanHonorsServerSideCap)
+{
+    ServerOptions options;
+    options.scan_limit_max = 8;
+    ServerFixture fx(options);
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    for (uint64_t i = 0; i < 50; ++i)
+        ASSERT_TRUE(
+            client->put(makeKey(i, "cap"), makeValue(i)).isOk());
+    ScanResult scan;
+    ASSERT_TRUE(client
+                    ->scan(makeKey(0, "cap"), makeKey(49, "cap"),
+                           1000, scan)
+                    .isOk());
+    EXPECT_EQ(scan.entries.size(), 8u);
+    EXPECT_TRUE(scan.truncated);
+}
+
+TEST(ServerTest, LargeValuesSurviveTheWire)
+{
+    ServerFixture fx;
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    Bytes big(1u << 20, 'q');
+    big[12345] = 'Z';
+    ASSERT_TRUE(client->put("big", big).isOk());
+    Bytes back;
+    ASSERT_TRUE(client->get("big", back).isOk());
+    EXPECT_EQ(back, big);
+}
+
+TEST(ServerTest, ManyConnectionsConcurrently)
+{
+    ServerFixture fx;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kOpsEach = 300;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&fx, &failures, t] {
+            auto client = fx.connect();
+            if (!client) {
+                ++failures;
+                return;
+            }
+            std::string salt = "t" + std::to_string(t);
+            Bytes value;
+            for (uint64_t i = 0; i < kOpsEach; ++i) {
+                if (!client->put(makeKey(i, salt), makeValue(i))
+                         .isOk() ||
+                    !client->get(makeKey(i, salt), value).isOk() ||
+                    value != makeValue(i)) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(fx.store().liveKeyCount(), kThreads * kOpsEach);
+}
+
+TEST(ServerTest, PipelinedFifoCompletions)
+{
+    ServerFixture fx;
+    std::vector<Opcode> completed;
+    std::vector<WireStatus> statuses;
+    auto client = PipelinedClient::open(
+        "127.0.0.1", fx.port(), 16,
+        [&](Opcode op, WireStatus status, uint64_t,
+            const Bytes &) {
+            completed.push_back(op);
+            statuses.push_back(status);
+        });
+    ASSERT_TRUE(client.ok()) << client.status().message();
+    auto &pipe = *client.value();
+
+    for (uint64_t i = 0; i < 100; ++i)
+        ASSERT_TRUE(
+            pipe.submitPut(makeKey(i, "p"), makeValue(i)).isOk());
+    for (uint64_t i = 0; i < 100; ++i)
+        ASSERT_TRUE(pipe.submitGet(makeKey(i, "p")).isOk());
+    ASSERT_TRUE(pipe.submitGet("no-such-key").isOk());
+    ASSERT_TRUE(pipe.drain().isOk());
+
+    ASSERT_EQ(completed.size(), 201u);
+    for (size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(completed[i], Opcode::Put);
+        EXPECT_EQ(statuses[i], WireStatus::Ok);
+    }
+    for (size_t i = 100; i < 200; ++i) {
+        EXPECT_EQ(completed[i], Opcode::Get);
+        EXPECT_EQ(statuses[i], WireStatus::Ok);
+    }
+    EXPECT_EQ(statuses[200], WireStatus::NotFound);
+}
+
+TEST(ServerTest, NotSupportedCrossesTheWire)
+{
+    // Serve an engine without scan support; the client must see
+    // NotSupported, not a dropped connection.
+    kv::HashStore hash;
+    kv::LockedKVStore locked(hash);
+    ServerOptions options;
+    Server server(locked, options);
+    server.start().expectOk("start");
+    auto client = Client::open("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value()->put("k", "v").isOk());
+    ScanResult scan;
+    Status s = client.value()->scan("a", "z", 10, scan);
+    EXPECT_EQ(s.code(), StatusCode::NotSupported);
+    // The session survives the error frame.
+    Bytes v;
+    ASSERT_TRUE(client.value()->get("k", v).isOk());
+    server.stop();
+}
+
+TEST(ServerTest, IODegradedSurfacesAsDistinctWireCode)
+{
+    // A durable engine that degrades mid-session must report
+    // IODegraded — not IOError — to every client, while reads
+    // keep serving.
+    ScratchDir dir("srv_degraded");
+    FaultInjectionEnv fault(Env::defaultEnv(), 5);
+    kv::LogStoreOptions log_options;
+    log_options.dir = dir.path();
+    log_options.sync_appends = true;
+    log_options.env = &fault;
+    auto opened = kv::AppendLogStore::open(log_options);
+    ASSERT_TRUE(opened.ok());
+    auto store = opened.take();
+    kv::LockedKVStore locked(*store);
+    Server server(locked, ServerOptions{});
+    server.start().expectOk("start");
+
+    auto client = Client::open("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value()->put("healthy", "yes").isOk());
+
+    fault.setSyncError(true);
+    // The triggering write surfaces its own I/O error; the store
+    // is degraded from then on.
+    Status s = client.value()->put("doomed", "write");
+    EXPECT_EQ(s.code(), StatusCode::IOError) << s.toString();
+    // Degraded is sticky and crosses the wire as its own code.
+    EXPECT_TRUE(
+        client.value()->del("healthy").isIODegraded());
+    EXPECT_TRUE(
+        client.value()->put("doomed", "again").isIODegraded());
+    Bytes v;
+    ASSERT_TRUE(client.value()->get("healthy", v).isOk());
+    EXPECT_EQ(v, "yes");
+    fault.setSyncError(false);
+    server.stop();
+}
+
+TEST(ServerTest, GarbageBytesGetBadFrameThenClose)
+{
+    // A peer speaking noise instead of the protocol: the server
+    // answers with a best-effort BadFrame frame and closes. It
+    // must never crash, and other connections are unaffected.
+    ServerFixture fx;
+    auto probe = fx.connect(); // healthy control connection
+    ASSERT_TRUE(probe);
+
+    auto fd = net::connectTcp("127.0.0.1", fx.port());
+    ASSERT_TRUE(fd.ok());
+    Bytes garbage = "this is definitely not an EK frame........";
+    ASSERT_TRUE(net::writeAll(fd.value(), garbage).isOk());
+
+    // Read until EOF; the server's parting shot must be a
+    // BadFrame response.
+    FrameReader reader;
+    Frame frame;
+    bool saw_bad_frame =
+        recvRawFrame(fd.value(), reader, frame) &&
+        frame.type == static_cast<uint8_t>(WireStatus::BadFrame);
+    net::closeFd(fd.value());
+    EXPECT_TRUE(saw_bad_frame);
+
+    // The server is intact: the control connection still works.
+    ASSERT_TRUE(probe->put("still", "alive").isOk());
+    Bytes v;
+    ASSERT_TRUE(probe->get("still", v).isOk());
+    EXPECT_EQ(v, "alive");
+}
+
+TEST(ServerTest, TruncatedFrameThenDisconnectIsHarmless)
+{
+    // Half a header then a hangup — the server must just reap the
+    // connection.
+    ServerFixture fx;
+    for (int round = 0; round < 10; ++round) {
+        auto fd = net::connectTcp("127.0.0.1", fx.port());
+        ASSERT_TRUE(fd.ok());
+        Bytes partial("EK", 2);
+        partial.push_back(static_cast<char>(kWireVersion));
+        ASSERT_TRUE(net::writeAll(fd.value(), partial).isOk());
+        net::closeFd(fd.value());
+    }
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    ASSERT_TRUE(client->put("after", "storm").isOk());
+}
+
+TEST(ServerTest, MalformedPayloadKeepsConnectionAlive)
+{
+    // An intact frame whose payload does not decode (truncated
+    // varint) earns InvalidArgument — payload damage inside a good
+    // frame never loses framing, so the session continues.
+    ServerFixture fx;
+    auto fd = net::connectTcp("127.0.0.1", fx.port());
+    ASSERT_TRUE(fd.ok());
+
+    Bytes bogus_payload;
+    bogus_payload.push_back('\x7f'); // klen=127, no key bytes
+    Bytes wire;
+    appendFrame(wire, static_cast<uint8_t>(Opcode::Get), 31,
+                bogus_payload);
+    ASSERT_TRUE(net::writeAll(fd.value(), wire).isOk());
+
+    FrameReader reader;
+    Frame frame;
+    ASSERT_TRUE(recvRawFrame(fd.value(), reader, frame));
+    EXPECT_EQ(frame.type,
+              static_cast<uint8_t>(WireStatus::InvalidArgument));
+    EXPECT_EQ(frame.request_id, 31u);
+
+    // Same socket still serves well-formed requests.
+    Bytes good_payload;
+    encodePut(good_payload, "k-after", "v-after");
+    wire.clear();
+    appendFrame(wire, static_cast<uint8_t>(Opcode::Put), 32,
+                good_payload);
+    ASSERT_TRUE(net::writeAll(fd.value(), wire).isOk());
+    ASSERT_TRUE(recvRawFrame(fd.value(), reader, frame));
+    EXPECT_EQ(frame.type, static_cast<uint8_t>(WireStatus::Ok));
+    EXPECT_EQ(frame.request_id, 32u);
+    net::closeFd(fd.value());
+}
+
+TEST(ServerTest, GracefulStopFlushesEngine)
+{
+    // An orderly stop() must flush the engine: every acked write
+    // is on disk when the process would exit.
+    ScratchDir dir("srv_flush");
+    kv::LogStoreOptions log_options;
+    log_options.dir = dir.path();
+    log_options.sync_appends = false; // flush() does the sync
+    auto opened = kv::AppendLogStore::open(log_options);
+    ASSERT_TRUE(opened.ok());
+    auto store = opened.take();
+    kv::LockedKVStore locked(*store);
+    auto server = std::make_unique<Server>(locked,
+                                           ServerOptions{});
+    server->start().expectOk("start");
+    auto client = Client::open("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok());
+    for (uint64_t i = 0; i < 100; ++i)
+        ASSERT_TRUE(client.value()
+                        ->put(makeKey(i, "g"), makeValue(i))
+                        .isOk());
+    client.value()->close();
+    server->stop();
+    store.reset(); // close without another flush
+
+    auto reopened = kv::AppendLogStore::open(log_options);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value()->liveKeyCount(), 100u);
+}
+
+} // namespace
+} // namespace ethkv::server

@@ -35,6 +35,15 @@
  *     directly. Tools, benches, and tests are exempt: they are not
  *     part of the storage stack.
  *
+ *  5. Socket and fd syscalls go through server/net_socket.hh.
+ *     Raw socket()/accept()/epoll_*()/read()/write() calls under
+ *     src/ bypass the EINTR handling, nonblocking discipline, and
+ *     IoResult error mapping the server's event loops depend on,
+ *     so only the net seam itself (server/net_socket.cc) — plus
+ *     PosixEnv, which owns the file-side syscalls — may invoke
+ *     them. Member calls (file->read(...)) and qualified names
+ *     (net::readSome) are not syscalls and do not trip the rule.
+ *
  * Exit status 0 when clean; 1 with one "file:line: message" per
  * violation otherwise, so the `lint.ethkv_lint` ctest entry fails
  * on any new violation.
@@ -43,6 +52,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -482,6 +492,98 @@ checkDirectIO(const fs::path &rel,
     }
 }
 
+// --- Rule 5: socket syscalls only through server/net_socket -----
+
+/** Translation units allowed to make raw fd/socket syscalls. */
+bool
+directNetAllowlisted(const fs::path &rel)
+{
+    return rel == fs::path("src/server/net_socket.cc") ||
+           rel == fs::path("src/common/env_posix.cc");
+}
+
+/**
+ * True when lines[i] at `pos` looks like a free-function call of a
+ * syscall: the token is followed by '(' and not preceded by '.',
+ * "->", a scope qualifier (net::, std::), or an identifier (which
+ * would make it a declaration like `Status read(...)`). A global
+ * `::read(` is still the syscall and still flagged.
+ */
+bool
+isFreeCall(const std::string &line, size_t pos, size_t token_len)
+{
+    size_t after = pos + token_len;
+    while (after < line.size() && line[after] == ' ')
+        ++after;
+    if (after >= line.size() || line[after] != '(')
+        return false;
+    size_t before = pos;
+    while (before > 0 && line[before - 1] == ' ')
+        --before;
+    if (before == 0) {
+        // Start of line: a definition whose return type sits on
+        // the previous line (`Status\n read(...)`). A real call
+        // here would also discard the syscall's return value,
+        // which compliant code never does.
+        return false;
+    }
+    char prev = line[before - 1];
+    if (prev == '.' || isIdentChar(prev))
+        return false; // member access or declaration return type
+    if (prev == '>' && before >= 2 && line[before - 2] == '-')
+        return false; // ptr->member
+    if (prev == ':') {
+        // Qualified name: skip unless it is the global "::call".
+        if (before >= 2 && line[before - 2] == ':') {
+            size_t q = before - 2;
+            return q == 0 || !isIdentChar(line[q - 1]);
+        }
+        return false; // case label "case X:" etc.
+    }
+    return true;
+}
+
+void
+checkDirectNet(const fs::path &rel,
+               const std::vector<std::string> &lines)
+{
+    if (*rel.begin() != fs::path("src") ||
+        directNetAllowlisted(rel)) {
+        return;
+    }
+    static const char *banned[] = {
+        "socket",     "accept",     "accept4",  "bind",
+        "listen",     "connect",    "setsockopt",
+        "getsockname", "epoll_create1", "epoll_ctl",
+        "epoll_wait", "eventfd",    "recv",     "send",
+        "recvfrom",   "sendto",     "read",     "write",
+    };
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        for (const char *token : banned) {
+            size_t len = std::strlen(token);
+            size_t pos = 0;
+            while ((pos = line.find(token, pos)) !=
+                   std::string::npos) {
+                bool whole =
+                    (pos == 0 || !isIdentChar(line[pos - 1])) &&
+                    (pos + len >= line.size() ||
+                     !isIdentChar(line[pos + len]));
+                if (whole && isFreeCall(line, pos, len)) {
+                    report(rel.string(), i + 1,
+                           std::string("raw syscall ") + token +
+                               "() in src/ — go through "
+                               "server/net_socket.hh (or "
+                               "ethkv::Env for files) so EINTR, "
+                               "nonblocking, and error mapping "
+                               "stay centralized");
+                }
+                ++pos;
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -531,6 +633,7 @@ main(int argc, char **argv)
             checkNakedNew(rel, lines);
             checkIncludes(rel, rel, lines);
             checkDirectIO(rel, lines);
+            checkDirectNet(rel, lines);
             if (ext == ".hh" &&
                 *rel.begin() == fs::path("src")) {
                 checkHeaderGuard(rel, rel, text);
