@@ -588,11 +588,11 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(ins.errors->value()),
         secs, ops_per_sec,
         static_cast<unsigned long long>(
-            ins.all->percentile(50) / 1000),
+            ins.all->percentile(0.50) / 1000),
         static_cast<unsigned long long>(
-            ins.all->percentile(99) / 1000),
+            ins.all->percentile(0.99) / 1000),
         static_cast<unsigned long long>(
-            ins.all->percentile(99.9) / 1000));
+            ins.all->percentile(0.999) / 1000));
 
     if (died) {
         // Expected when the crash harness kills the server

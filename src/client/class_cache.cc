@@ -29,6 +29,15 @@ CachingKVStore::CachingKVStore(kv::KVStore &inner,
         group_misses_[g] = &reg.counter(prefix + ".misses");
         group_evictions_[g] = &reg.counter(prefix + ".evictions");
     }
+    degraded_read_hits_ = &reg.counter("cache.degraded_read_hits");
+}
+
+Status
+CachingKVStore::noteInnerStatusLocked(Status s)
+{
+    if (s.isIODegraded())
+        degraded_ = true;
+    return s;
 }
 
 const char *
@@ -166,6 +175,8 @@ CachingKVStore::get(BytesView key, Bytes &value)
         if (it != wb_.end()) {
             ++cache_stats_.hits;
             group_hits_[group]->inc();
+            if (degraded_)
+                degraded_read_hits_->inc();
             if (!it->second.has_value())
                 return Status::notFound();
             value = *it->second;
@@ -176,11 +187,16 @@ CachingKVStore::get(BytesView key, Bytes &value)
     if (lruGet(group, key, value)) {
         ++cache_stats_.hits;
         group_hits_[group]->inc();
+        // Hits stay Ok while degraded — the cache keeps absorbing
+        // reads through an outage — but the masking is counted so
+        // operators can see it.
+        if (degraded_)
+            degraded_read_hits_->inc();
         return Status::ok();
     }
     ++cache_stats_.misses;
     group_misses_[group]->inc();
-    Status s = inner_.get(key, value);
+    Status s = noteInnerStatusLocked(inner_.get(key, value));
     if (s.isOk())
         lruPut(group, key, value);
     return s;
@@ -198,6 +214,11 @@ CachingKVStore::put(BytesView key, BytesView value)
 Status
 CachingKVStore::putLocked(BytesView key, BytesView value)
 {
+    // Fail fast once degraded: absorbing a write into the
+    // write-back buffer acknowledges it, and a degraded inner
+    // store can never make that acknowledgement durable.
+    if (degraded_)
+        return Status::ioDegraded("cache inner store degraded");
     KVClass cls = classify(key);
     if (isWriteBackClass(cls)) {
         auto [it, inserted] =
@@ -217,7 +238,7 @@ CachingKVStore::putLocked(BytesView key, BytesView value)
         return Status::ok();
     }
 
-    Status s = inner_.put(key, value);
+    Status s = noteInnerStatusLocked(inner_.put(key, value));
     if (s.isOk())
         lruPut(groupOf(cls), key, value);
     return s;
@@ -235,6 +256,8 @@ CachingKVStore::del(BytesView key)
 Status
 CachingKVStore::delLocked(BytesView key)
 {
+    if (degraded_)
+        return Status::ioDegraded("cache inner store degraded");
     KVClass cls = classify(key);
     if (isWriteBackClass(cls)) {
         auto [it, inserted] =
@@ -251,7 +274,7 @@ CachingKVStore::delLocked(BytesView key)
     }
 
     lruErase(groupOf(cls), key);
-    return inner_.del(key);
+    return noteInnerStatusLocked(inner_.del(key));
 }
 
 Status
@@ -286,7 +309,7 @@ CachingKVStore::apply(const kv::WriteBatch &batch)
     }
     if (pass_through.empty())
         return Status::ok();
-    return inner_.apply(pass_through);
+    return noteInnerStatusLocked(inner_.apply(pass_through));
 }
 
 Status
@@ -310,6 +333,8 @@ CachingKVStore::flushWriteBackLocked()
 {
     if (wb_.empty())
         return Status::ok();
+    if (degraded_)
+        return Status::ioDegraded("cache inner store degraded");
     ++cache_stats_.writeback_flushes;
     kv::WriteBatch batch;
     for (auto &[key, value] : wb_) {
@@ -317,13 +342,23 @@ CachingKVStore::flushWriteBackLocked()
             batch.put(key, *value);
         else
             batch.del(key);
-        // Flushed nodes stay hot: promote into the clean cache.
+    }
+    // Apply FIRST: the buffered entries are acknowledged writes,
+    // so they must stay in the buffer (still readable, retried by
+    // the next flush) if the inner store rejects the batch.
+    // Clearing before the apply silently dropped acked writes on
+    // failure.
+    Status s = noteInnerStatusLocked(inner_.apply(batch));
+    if (!s.isOk())
+        return s;
+    // Flushed nodes stay hot: promote into the clean cache.
+    for (auto &[key, value] : wb_) {
         if (value.has_value())
             lruPut(GroupTrieClean, key, *value);
     }
     wb_.clear();
     wb_bytes_ = 0;
-    return inner_.apply(batch);
+    return Status::ok();
 }
 
 Status
@@ -333,15 +368,18 @@ CachingKVStore::flush()
     Status s = flushWriteBackLocked();
     if (!s.isOk())
         return s;
-    return inner_.flush();
+    return noteInnerStatusLocked(inner_.flush());
 }
 
 uint64_t
 CachingKVStore::liveKeyCount()
 {
     MutexLock lock(mutex_);
-    // Only exact after the write-back buffer drains.
-    flushWriteBackLocked().expectOk("cache flush for liveKeyCount");
+    // Only exact after the write-back buffer drains; a degraded
+    // inner store can't drain, so the count is best-effort then.
+    Status s = flushWriteBackLocked();
+    if (!s.isOk() && !s.isIODegraded())
+        s.expectOk("cache flush for liveKeyCount");
     return inner_.liveKeyCount();
 }
 

@@ -113,6 +113,20 @@ class CachingKVStore : public kv::KVStore
     /** Bytes currently charged to the LRU caches. */
     uint64_t cachedBytes() const EXCLUDES(mutex_);
 
+    /**
+     * True once the inner store has reported IODegraded. From then
+     * on every mutation fails fast with IODegraded — the write-back
+     * buffer must not keep acknowledging writes it can never flush
+     * — while reads keep serving cache hits (counted in
+     * cache.degraded_read_hits).
+     */
+    bool
+    isDegraded() const EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return degraded_;
+    }
+
     /** Bytes currently buffered in the write-back layer. */
     uint64_t
     writeBackBytes() const EXCLUDES(mutex_)
@@ -165,6 +179,10 @@ class CachingKVStore : public kv::KVStore
     Status delLocked(BytesView key) REQUIRES(mutex_);
     Status flushWriteBackLocked() REQUIRES(mutex_);
 
+    /** Latch degraded_ when the inner store reports IODegraded;
+     *  returns `s` unchanged so callers surface the root cause. */
+    Status noteInnerStatusLocked(Status s) REQUIRES(mutex_);
+
     kv::KVStore &inner_;
     CacheConfig config_;
 
@@ -178,6 +196,12 @@ class CachingKVStore : public kv::KVStore
     obs::Counter *group_hits_[num_groups];
     obs::Counter *group_misses_[num_groups];
     obs::Counter *group_evictions_[num_groups];
+    //! Cache hits served while the inner store was degraded — the
+    //! window where the cache masks the outage from readers.
+    obs::Counter *degraded_read_hits_;
+
+    //! Sticky: set once inner_ returns IODegraded anywhere.
+    bool degraded_ GUARDED_BY(mutex_) = false;
 
     // Write-back buffer: key -> value (nullopt = pending delete).
     std::unordered_map<Bytes, std::optional<Bytes>> wb_

@@ -1,9 +1,48 @@
 #include "kvstore/internal_iterator.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ethkv::kv
 {
+
+VectorIterator::VectorIterator(std::vector<InternalEntry> entries)
+    : entries_(std::move(entries))
+{}
+
+void
+VectorIterator::seek(BytesView target)
+{
+    pos_ = std::lower_bound(entries_.begin(), entries_.end(), target,
+                            [](const InternalEntry &e, BytesView t) {
+                                return BytesView(e.key) < t;
+                            }) -
+           entries_.begin();
+    positioned_ = true;
+}
+
+bool
+VectorIterator::valid() const
+{
+    return positioned_ && pos_ < entries_.size();
+}
+
+void
+VectorIterator::next()
+{
+    if (!valid())
+        panic("VectorIterator::next on invalid iterator");
+    ++pos_;
+}
+
+const InternalEntry &
+VectorIterator::entry() const
+{
+    if (!valid())
+        panic("VectorIterator::entry on invalid iterator");
+    return entries_[pos_];
+}
 
 MergingIterator::MergingIterator(
     std::vector<std::unique_ptr<InternalIterator>> sources)

@@ -44,6 +44,30 @@ class InternalIterator
 };
 
 /**
+ * Cursor over an in-memory vector of entries already sorted by
+ * ascending key.
+ *
+ * Scans use this to iterate a point-in-time copy of the active
+ * memtable without holding the store mutex (the live memtable keeps
+ * mutating underneath, so its own iterator is only safe under lock).
+ */
+class VectorIterator : public InternalIterator
+{
+  public:
+    explicit VectorIterator(std::vector<InternalEntry> entries);
+
+    void seek(BytesView target) override;
+    bool valid() const override;
+    void next() override;
+    const InternalEntry &entry() const override;
+
+  private:
+    std::vector<InternalEntry> entries_;
+    size_t pos_ = 0;
+    bool positioned_ = false;
+};
+
+/**
  * Merges several sources into one ascending stream, newest first.
  *
  * Sources must be ordered newest-to-oldest. When multiple sources

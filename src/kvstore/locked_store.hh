@@ -12,14 +12,23 @@
  * shards / one cache lock) and are served bare.
  *
  * Coarse by design: correctness first, contention measured by the
- * server's per-op latency histograms. scan() holds the lock for the
- * whole iteration — callbacks must not call back into the store.
+ * server's per-op latency histograms. scan() copies a bounded chunk
+ * of entries under the lock, then runs the user callback with the
+ * lock released and resumes past the last delivered key — so a slow
+ * consumer cannot stall every other connection, and callbacks may
+ * safely call back into the store (the server's scan handler sits on
+ * this path). The price is that a scan is no longer a point-in-time
+ * snapshot across chunk boundaries: concurrent writes between chunks
+ * may or may not be observed, which matches the wire contract
+ * (paged scans resume from the last key anyway).
  */
 
 #ifndef ETHKV_KVSTORE_LOCKED_STORE_HH
 #define ETHKV_KVSTORE_LOCKED_STORE_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/mutex.hh"
 #include "kvstore/kvstore.hh"
@@ -58,8 +67,41 @@ class LockedKVStore final : public KVStore
     scan(BytesView start, BytesView end,
          const ScanCallback &cb) override EXCLUDES(mutex_)
     {
-        MutexLock lock(mutex_);
-        return inner_.scan(start, end, cb);
+        // Chunked: copy up to kScanChunk entries under the lock,
+        // deliver them unlocked, then re-enter just past the last
+        // key. Keeps lock hold time O(chunk) instead of O(range)
+        // and makes reentrant callbacks safe.
+        static constexpr size_t kScanChunk = 256;
+        Bytes cursor(start);
+        for (;;) {
+            std::vector<std::pair<Bytes, Bytes>> chunk;
+            chunk.reserve(kScanChunk);
+            {
+                MutexLock lock(mutex_);
+                Status s = inner_.scan(
+                    cursor, end,
+                    [&chunk](BytesView k, BytesView v) {
+                        chunk.emplace_back(Bytes(k), Bytes(v));
+                        return chunk.size() < kScanChunk;
+                    });
+                // NotSupported (and any other failure) passes
+                // through untouched so callers see the engine's
+                // own verdict.
+                if (!s.isOk())
+                    return s;
+            }
+            bool maybe_more = chunk.size() == kScanChunk;
+            for (const auto &entry : chunk) {
+                if (!cb(entry.first, entry.second))
+                    return Status::ok();
+            }
+            if (!maybe_more)
+                return Status::ok();
+            // Smallest key strictly greater than the last one
+            // delivered.
+            cursor = chunk.back().first;
+            cursor.push_back('\0');
+        }
     }
 
     Status

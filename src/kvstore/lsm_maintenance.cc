@@ -1,0 +1,86 @@
+#include "kvstore/lsm_maintenance.hh"
+
+#include <utility>
+
+namespace ethkv::kv
+{
+
+MaintenanceThread::MaintenanceThread(std::function<bool()> step)
+    : step_(std::move(step))
+{}
+
+MaintenanceThread::~MaintenanceThread() { stop(); }
+
+void
+MaintenanceThread::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_.native());
+        if (started_)
+            return;
+        started_ = true;
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+MaintenanceThread::signal()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_.native());
+        pending_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+MaintenanceThread::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_.native());
+        if (!started_)
+            return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+bool
+MaintenanceThread::busy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_.native());
+    return pending_ || running_;
+}
+
+void
+MaintenanceThread::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    while (true) {
+        cv_.wait(lock, [this] { return pending_ || stop_; });
+        if (stop_)
+            return;
+        pending_ = false;
+        running_ = true;
+        lock.unlock();
+        // Drain: the step function reports whether another round
+        // may find work. A signal() arriving meanwhile re-arms
+        // pending_, so a false return never loses a wakeup.
+        bool more = true;
+        while (more) {
+            {
+                std::lock_guard<std::mutex> check(mutex_.native());
+                if (stop_)
+                    more = false;
+            }
+            if (more)
+                more = step_();
+        }
+        lock.lock();
+        running_ = false;
+    }
+}
+
+} // namespace ethkv::kv

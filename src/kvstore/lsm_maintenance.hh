@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Background maintenance thread for the LSM engine.
+ *
+ * This module is the only place in src/kvstore allowed to create
+ * threads (lint rule 6 enforces it): every flush and compaction the
+ * engine schedules runs on one MaintenanceThread, so the rest of
+ * the engine reasons about exactly two actors — foreground callers
+ * (serialized per-operation by the store mutex) and this worker.
+ *
+ * The thread runs a classic signal/drain loop: signal() marks work
+ * pending and wakes the worker, which calls the step function until
+ * it reports no more work, then sleeps. The step function owns all
+ * engine state and locking; MaintenanceThread knows nothing about
+ * LSM internals, which keeps the unavoidable thread lifecycle code
+ * (spurious wakeups, missed-signal races, join-on-shutdown) in one
+ * small, separately testable class.
+ */
+
+#ifndef ETHKV_KVSTORE_LSM_MAINTENANCE_HH
+#define ETHKV_KVSTORE_LSM_MAINTENANCE_HH
+
+#include <condition_variable>
+#include <functional>
+#include <thread>
+
+#include "common/mutex.hh"
+
+namespace ethkv::kv
+{
+
+/** One background worker driving a caller-supplied step function. */
+class MaintenanceThread
+{
+  public:
+    /**
+     * @param step Invoked on the worker thread whenever work is
+     *        signalled; returns true when it made progress and
+     *        should be called again, false when there is nothing
+     *        left to do. Must not block indefinitely.
+     */
+    explicit MaintenanceThread(std::function<bool()> step);
+
+    /** Stops and joins the worker (idempotent with stop()). */
+    ~MaintenanceThread();
+
+    MaintenanceThread(const MaintenanceThread &) = delete;
+    MaintenanceThread &operator=(const MaintenanceThread &) = delete;
+
+    /** Spawn the worker thread; call once before any signal(). */
+    void start();
+
+    /** Mark work pending and wake the worker. Safe from any
+     *  thread, including the step function itself. */
+    void signal();
+
+    /**
+     * Ask the worker to exit and join it. Any step in progress
+     * completes first; pending signals are discarded. Idempotent.
+     */
+    void stop();
+
+    /** True while the worker is inside the step function or has a
+     *  pending signal (diagnostics; racy by nature). */
+    bool busy() const;
+
+  private:
+    void loop();
+
+    std::function<bool()> step_;
+    std::thread thread_;
+
+    mutable Mutex mutex_;
+    std::condition_variable cv_;
+    bool pending_ GUARDED_BY(mutex_) = false;
+    bool running_ GUARDED_BY(mutex_) = false;
+    bool stop_ GUARDED_BY(mutex_) = false;
+    bool started_ GUARDED_BY(mutex_) = false;
+};
+
+} // namespace ethkv::kv
+
+#endif // ETHKV_KVSTORE_LSM_MAINTENANCE_HH

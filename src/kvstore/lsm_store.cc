@@ -1,6 +1,7 @@
 #include "kvstore/lsm_store.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
@@ -24,6 +25,8 @@ struct ManifestImage
     uint64_t seq = 0;
     //! (level, file_no) pairs in file order.
     std::vector<std::pair<uint64_t, uint64_t>> files;
+    //! Sealed WAL segments (imm-<n>.wal) not yet flushed to L0.
+    std::vector<uint64_t> wals;
 };
 
 void
@@ -47,21 +50,73 @@ parseManifest(BytesView data, ManifestImage &out)
                                "file %" SCNu64 " %" SCNu64, &a,
                                &b) == 2) {
             out.files.emplace_back(a, b);
+        } else if (std::sscanf(line.c_str(), "wal %" SCNu64, &a) ==
+                   1) {
+            out.wals.push_back(a);
         }
     }
 }
 
 } // namespace
 
+LSMStore::TableHandle::~TableHandle()
+{
+    if (obsolete.load(std::memory_order_acquire)) {
+        ETHKV_IGNORE_STATUS(
+            env->removeFile(reader->path()),
+            "the manifest no longer references this input table; "
+            "leaking it costs disk, not correctness");
+    }
+}
+
+LSMStore::CompactionScope::CompactionScope(
+    LSMStore &store, std::unique_lock<std::mutex> &lock)
+    : store_(store), lock_(lock)
+{
+    ETHKV_DCHECK(lock_.owns_lock());
+    ETHKV_DCHECK(!store_.in_compaction_);
+    store_.in_compaction_ = true;
+}
+
+LSMStore::CompactionScope::~CompactionScope()
+{
+    // Any early return or exception between pick and install lands
+    // here; re-acquire the lock if the error path left it released
+    // so the flag can never stay stuck and disable compaction.
+    if (!lock_.owns_lock())
+        lock_.lock();
+    store_.in_compaction_ = false;
+    store_.updateQueueGaugeLocked();
+    store_.cv_.notify_all();
+}
+
 LSMStore::LSMStore(LSMOptions options)
     : options_(std::move(options)),
       env_(options_.env ? options_.env : Env::defaultEnv()),
       memtable_(std::make_unique<MemTable>()),
-      levels_(max_levels)
-{}
+      version_(std::make_shared<Version>())
+{
+    l0_slowdown_files_ = options_.l0_slowdown_files > 0
+                             ? options_.l0_slowdown_files
+                             : 2 * options_.l0_compaction_trigger;
+    l0_stop_files_ = options_.l0_stop_files > 0
+                         ? options_.l0_stop_files
+                         : 3 * options_.l0_compaction_trigger;
+    if (options_.max_immutable_memtables < 1)
+        options_.max_immutable_memtables = 1;
+}
 
 LSMStore::~LSMStore()
 {
+    {
+        std::unique_lock<std::mutex> lock(mutex_.native());
+        shutting_down_ = true;
+    }
+    cv_.notify_all();
+    if (maintenance_)
+        maintenance_->stop();
+    // Unflushed immutable memtables stay behind as imm-<n>.wal
+    // segments listed in the MANIFEST; recovery flushes them.
     // Best effort: make buffered writes durable on clean shutdown.
     if (wal_) {
         ETHKV_IGNORE_STATUS(wal_->sync(),
@@ -83,6 +138,15 @@ std::string
 LSMStore::walPath() const
 {
     return options_.dir + "/wal.log";
+}
+
+std::string
+LSMStore::immWalPath(uint64_t wal_no) const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/imm-%06" PRIu64 ".wal",
+                  wal_no);
+    return options_.dir + buf;
 }
 
 std::string
@@ -109,39 +173,62 @@ LSMStore::open(const LSMOptions &options)
     return store;
 }
 
-Status
-LSMStore::openTable(int level, uint64_t file_no)
+void
+LSMStore::degradeLocked(const Status &cause)
 {
-    auto reader = SSTableReader::open(tablePath(file_no), env_);
-    if (!reader.ok())
-        return reader.status();
-    levels_[level].push_back({file_no, reader.take()});
-    return Status::ok();
-}
-
-Status
-LSMStore::degradeOnIOError(Status s)
-{
-    if (s.code() != StatusCode::IOError || degraded_)
-        return s;
+    if (degraded_)
+        return;
     degraded_ = true;
-    degraded_reason_ = s.toString();
+    degraded_reason_ = cause.toString();
     obs::MetricsRegistry::global()
         .counter("kv.degraded_transitions")
         .inc();
+    // Unblock stalled writers and flush() barriers: there will be
+    // no more background progress for them to wait on.
+    cv_.notify_all();
+}
+
+Status
+LSMStore::degradeOnIOErrorLocked(Status s)
+{
+    if (s.code() != StatusCode::IOError || degraded_)
+        return s;
+    degradeLocked(s);
     return s;
+}
+
+void
+LSMStore::recordBgErrorLocked(const Status &cause)
+{
+    static obs::Counter &bg_errors =
+        obs::MetricsRegistry::global().counter("kv.bg_errors");
+    bg_errors.inc();
+    // A failed background flush means the immutable queue can never
+    // drain (its WAL segment is already sealed), so any background
+    // failure — not just IOError — must go sticky: the foreground
+    // path surfaces IODegraded instead of stalling forever.
+    degradeLocked(cause);
+}
+
+Status
+LSMStore::ioDegradedStatusLocked() const
+{
+    return Status::ioDegraded("lsm: read-only after I/O failure: " +
+                              degraded_reason_);
 }
 
 Status
 LSMStore::recover()
 {
-    // Manifest: plain text, one directive per line.
+    // Recovery is single-threaded: the maintenance thread starts
+    // only at the end, so "Locked" helpers are safe to call bare.
+    std::vector<TableVec> levels(max_levels);
+    ManifestImage img;
     if (env_->fileExists(manifestPath())) {
         Bytes data;
         Status ms = env_->readFileToString(manifestPath(), data);
         if (!ms.isOk())
             return ms;
-        ManifestImage img;
         img.next_file = next_file_no_;
         img.seq = seq_;
         parseManifest(data, img);
@@ -152,28 +239,115 @@ LSMStore::recover()
                 return Status::corruption(
                     "lsm: manifest level out of range");
             }
-            Status s = openTable(static_cast<int>(level), file_no);
-            if (!s.isOk())
-                return s;
+            auto reader =
+                SSTableReader::open(tablePath(file_no), env_);
+            if (!reader.ok())
+                return reader.status();
+            levels[level].push_back(std::make_shared<TableHandle>(
+                file_no, reader.take(), env_));
         }
     }
 
     // L0 is searched newest-first; deeper levels are ordered by key.
-    std::sort(levels_[0].begin(), levels_[0].end(),
-              [](const TableHandle &x, const TableHandle &y) {
-                  return x.file_no > y.file_no;
+    std::sort(levels[0].begin(), levels[0].end(),
+              [](const auto &x, const auto &y) {
+                  return x->file_no > y->file_no;
               });
     for (int level = 1; level < max_levels; ++level) {
-        std::sort(levels_[level].begin(), levels_[level].end(),
-                  [](const TableHandle &x, const TableHandle &y) {
-                      return x.reader->props().smallest_key <
-                             y.reader->props().smallest_key;
+        std::sort(levels[level].begin(), levels[level].end(),
+                  [](const auto &x, const auto &y) {
+                      return x->reader->props().smallest_key <
+                             y->reader->props().smallest_key;
                   });
     }
 
-    // Replay the WAL into a fresh memtable; quarantine any torn
-    // tail before appending to the log again (appending past a torn
-    // record would leave the new records unreachable to replay).
+    // Sealed WAL segments are memtables that were queued for
+    // background flush when the process died. Flush each inline to
+    // an L0 table (LevelDB-style), oldest first so newer segments
+    // get higher file numbers and sort first in L0.
+    std::vector<uint64_t> recovered_wals = img.wals;
+    std::sort(recovered_wals.begin(), recovered_wals.end());
+    std::vector<std::string> flushed_wal_paths;
+    for (uint64_t wal_no : recovered_wals) {
+        std::string path = immWalPath(wal_no);
+        if (!env_->fileExists(path)) {
+            // Crash window between the manifest listing the segment
+            // and the wal.log rename: the records are still in
+            // wal.log and get replayed below.
+            continue;
+        }
+        MemTable mem;
+        uint64_t valid_bytes = 0;
+        Status s = WriteAheadLog::replay(
+            path,
+            [&](const WriteBatch &batch, uint64_t first_seq) {
+                uint64_t seq = first_seq;
+                for (const BatchEntry &e : batch.entries()) {
+                    mem.add(e.key, e.value, seq,
+                            e.op == BatchOp::Put
+                                ? EntryType::Put
+                                : EntryType::Tombstone);
+                    ++seq;
+                }
+                if (seq > seq_)
+                    seq_ = seq;
+            },
+            env_, &valid_bytes);
+        if (!s.isOk())
+            return s;
+        uint64_t salvaged = 0;
+        s = env_->quarantineTail(path, valid_bytes,
+                                 options_.dir + "/quarantine",
+                                 &salvaged);
+        if (!s.isOk())
+            return s;
+        if (salvaged > 0) {
+            quarantined_bytes_ += salvaged;
+            obs::MetricsRegistry::global()
+                .counter("kv.quarantined_bytes")
+                .inc(salvaged);
+        }
+        if (!mem.empty()) {
+            uint64_t file_no = next_file_no_++;
+            uint64_t file_bytes = 0;
+            s = writeTableFromMem(mem, file_no, file_bytes);
+            if (!s.isOk())
+                return s;
+            stats_.flush_bytes += file_bytes;
+            stats_.bytes_written += file_bytes;
+            auto reader =
+                SSTableReader::open(tablePath(file_no), env_);
+            if (!reader.ok())
+                return reader.status();
+            levels[0].insert(levels[0].begin(),
+                             std::make_shared<TableHandle>(
+                                 file_no, reader.take(), env_));
+        }
+        flushed_wal_paths.push_back(path);
+    }
+
+    auto ver = std::make_shared<Version>();
+    ver->levels = std::move(levels);
+    version_ = std::move(ver);
+
+    if (!img.wals.empty()) {
+        // Commit the recovered tables and drop the wal directives
+        // before deleting the segments they replaced.
+        Status s = persistManifestLocked();
+        if (!s.isOk())
+            return s;
+        for (const std::string &path : flushed_wal_paths) {
+            ETHKV_IGNORE_STATUS(
+                env_->removeFile(path),
+                "the manifest no longer references this sealed "
+                "WAL; leaking it costs disk, not correctness");
+        }
+    }
+
+    // Replay the active WAL into a fresh memtable; quarantine any
+    // torn tail before appending to the log again (appending past a
+    // torn record would leave the new records unreachable to
+    // replay).
     uint64_t valid_bytes = 0;
     Status s = WriteAheadLog::replay(
         walPath(),
@@ -213,21 +387,35 @@ LSMStore::recover()
     wal_ = wal.take();
     // The log may have just been created; fdatasync on the file
     // alone never persists its directory entry.
-    return env_->syncDir(options_.dir);
+    s = env_->syncDir(options_.dir);
+    if (!s.isOk())
+        return s;
+
+    maintenance_ = std::make_unique<MaintenanceThread>(
+        [this] { return backgroundStep(); });
+    maintenance_->start();
+    return Status::ok();
 }
 
 Status
-LSMStore::persistManifest()
+LSMStore::persistManifestLocked()
 {
     std::string body = "ethkv-manifest v1\n";
     body += "next_file " + std::to_string(next_file_no_) + "\n";
     body += "seq " + std::to_string(seq_) + "\n";
     for (int level = 0; level < max_levels; ++level) {
-        for (const TableHandle &t : levels_[level]) {
+        for (const auto &t : version_->levels[level]) {
             body += "file " + std::to_string(level) + " " +
-                    std::to_string(t.file_no) + "\n";
+                    std::to_string(t->file_no) + "\n";
         }
     }
+    // Sealed-but-unflushed WAL segments, oldest first. A `wal n`
+    // directive is written BEFORE wal.log is renamed to
+    // imm-<n>.wal, so a crash in between leaves a directive whose
+    // file is missing — recovery skips it and finds the records
+    // still in wal.log.
+    for (const ImmutableMemtable &imm : imm_)
+        body += "wal " + std::to_string(imm.wal_no) + "\n";
 
     // Commit protocol: sync the temp file, rename it over MANIFEST,
     // then fsync the directory. Skipping either sync re-creates the
@@ -261,24 +449,71 @@ LSMStore::del(BytesView key)
     return apply(batch);
 }
 
+void
+LSMStore::maybeStallLocked(std::unique_lock<std::mutex> &lock)
+{
+    static obs::Counter &stall_micros =
+        obs::MetricsRegistry::global().counter("kv.stall_micros");
+
+    auto over_hard_limit = [this] {
+        return imm_.size() >= static_cast<size_t>(
+                                  options_.max_immutable_memtables) ||
+               version_->levels[0].size() >=
+                   static_cast<size_t>(l0_stop_files_);
+    };
+
+    using Clock = std::chrono::steady_clock;
+    if (over_hard_limit()) {
+        auto begin = Clock::now();
+        cv_.wait(lock, [&] {
+            return degraded_ || shutting_down_ || !over_hard_limit();
+        });
+        auto waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - begin)
+                .count();
+        stall_micros.inc(static_cast<uint64_t>(waited));
+        return;
+    }
+    if (version_->levels[0].size() >=
+        static_cast<size_t>(l0_slowdown_files_)) {
+        // Soft backpressure: cede ~1 ms so maintenance can catch up
+        // before L0 reaches the hard stop. Implemented as a timed
+        // wait so a background install releases the writer early.
+        auto begin = Clock::now();
+        cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            return degraded_ || shutting_down_ ||
+                   version_->levels[0].size() <
+                       static_cast<size_t>(l0_slowdown_files_);
+        });
+        auto waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - begin)
+                .count();
+        stall_micros.inc(static_cast<uint64_t>(waited));
+    }
+}
+
 Status
 LSMStore::apply(const WriteBatch &batch)
 {
-    if (degraded_) {
-        return Status::ioDegraded("lsm: read-only after I/O "
-                                  "failure: " +
-                                  degraded_reason_);
-    }
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    if (degraded_)
+        return ioDegradedStatusLocked();
     if (batch.empty())
         return Status::ok();
+    maybeStallLocked(lock);
+    if (degraded_)
+        return ioDegradedStatusLocked();
+
     uint64_t first_seq = seq_ + 1;
     Status s = wal_->append(batch, first_seq);
     if (!s.isOk())
-        return degradeOnIOError(std::move(s));
+        return degradeOnIOErrorLocked(std::move(s));
     if (options_.sync_wal) {
         s = wal_->sync();
         if (!s.isOk())
-            return degradeOnIOError(std::move(s));
+            return degradeOnIOErrorLocked(std::move(s));
     }
     for (const BatchEntry &e : batch.entries()) {
         ++seq_;
@@ -296,12 +531,420 @@ LSMStore::apply(const WriteBatch &batch)
         }
         stats_.bytes_written += e.key.size() + e.value.size();
     }
-    return degradeOnIOError(maybeFlushMemtable());
+    if (memtable_->approximateBytes() >= options_.memtable_bytes)
+        return sealMemtableLocked();
+    return Status::ok();
+}
+
+Status
+LSMStore::sealMemtableLocked()
+{
+    if (memtable_->empty())
+        return Status::ok();
+
+    uint64_t wal_no = next_file_no_++;
+    // Close the active log so the rename below moves a quiesced
+    // file; a failure anywhere past this point leaves wal_ null,
+    // which is safe because the store degrades (no more writes).
+    wal_.reset();
+    imm_.push_back({std::shared_ptr<const MemTable>(
+                        memtable_.release()),
+                    wal_no});
+    memtable_ = std::make_unique<MemTable>();
+
+    Status s = persistManifestLocked();
+    if (!s.isOk()) {
+        degradeLocked(s);
+        return s;
+    }
+    s = env_->renameFile(walPath(), immWalPath(wal_no));
+    if (!s.isOk()) {
+        degradeLocked(s);
+        return s;
+    }
+    s = env_->syncDir(options_.dir);
+    if (!s.isOk()) {
+        degradeLocked(s);
+        return s;
+    }
+    auto wal = WriteAheadLog::open(walPath(), env_);
+    if (!wal.ok()) {
+        degradeLocked(wal.status());
+        return wal.status();
+    }
+    wal_ = wal.take();
+
+    updateQueueGaugeLocked();
+    maintenance_->signal();
+    return Status::ok();
+}
+
+bool
+LSMStore::backgroundStep()
+{
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    if (shutting_down_ || degraded_)
+        return false;
+    if (!imm_.empty()) {
+        Status s = backgroundFlush(lock);
+        if (!s.isOk()) {
+            recordBgErrorLocked(s);
+            return false;
+        }
+        return true;
+    }
+    // compactAll runs inline compactions with in_compaction_ held
+    // across its own unlock windows; never double-claim.
+    if (!in_compaction_ && compactionNeededLocked()) {
+        Status s = backgroundCompact(lock);
+        if (!s.isOk()) {
+            recordBgErrorLocked(s);
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+Status
+LSMStore::writeTableFromMem(const MemTable &mem, uint64_t file_no,
+                            uint64_t &file_bytes)
+{
+    auto writer = SSTableWriter::create(tablePath(file_no),
+                                        mem.entryCount(), env_);
+    if (!writer.ok())
+        return writer.status();
+    Status add_status = Status::ok();
+    mem.forEach(BytesView(), BytesView(),
+                [&](const InternalEntry &e) {
+                    add_status = writer.value()->add(e);
+                    return add_status.isOk();
+                });
+    if (!add_status.isOk())
+        return add_status;
+    Status s = writer.value()->finish();
+    if (!s.isOk())
+        return s;
+    file_bytes = writer.value()->fileBytes();
+    return Status::ok();
+}
+
+void
+LSMStore::installL0Locked(std::shared_ptr<TableHandle> handle)
+{
+    auto next = std::make_shared<Version>(*version_);
+    next->levels[0].insert(next->levels[0].begin(),
+                           std::move(handle));
+    version_ = std::move(next);
+}
+
+Status
+LSMStore::backgroundFlush(std::unique_lock<std::mutex> &lock)
+{
+    static obs::LatencyHistogram &flush_ns =
+        obs::MetricsRegistry::global().histogram("kv.lsm.flush_ns");
+    obs::ScopedTimer timer(flush_ns);
+
+    ImmutableMemtable imm = imm_.front();
+    uint64_t file_no = next_file_no_++;
+    lock.unlock();
+
+    // Table build runs without the lock: the sealed memtable is
+    // frozen, and file numbers were claimed above.
+    uint64_t file_bytes = 0;
+    Status s = writeTableFromMem(*imm.mem, file_no, file_bytes);
+    std::shared_ptr<TableHandle> handle;
+    if (s.isOk()) {
+        auto reader = SSTableReader::open(tablePath(file_no), env_);
+        if (!reader.ok())
+            s = reader.status();
+        else
+            handle = std::make_shared<TableHandle>(
+                file_no, reader.take(), env_);
+    }
+
+    lock.lock();
+    if (!s.isOk())
+        return s;
+    stats_.flush_bytes += file_bytes;
+    stats_.bytes_written += file_bytes;
+    installL0Locked(std::move(handle));
+    ETHKV_DCHECK_EQ(version_->levels[0].front()->file_no, file_no);
+    ETHKV_DCHECK(!imm_.empty());
+    imm_.pop_front();
+    s = persistManifestLocked();
+    if (!s.isOk())
+        return s;
+    updateQueueGaugeLocked();
+    cv_.notify_all();
+
+    lock.unlock();
+    ETHKV_IGNORE_STATUS(
+        env_->removeFile(immWalPath(imm.wal_no)),
+        "the manifest no longer references this sealed WAL; "
+        "leaking it costs disk, not correctness");
+    lock.lock();
+    return Status::ok();
+}
+
+bool
+LSMStore::compactionNeededLocked() const
+{
+    if (version_->levels[0].size() >=
+        static_cast<size_t>(options_.l0_compaction_trigger)) {
+        return true;
+    }
+    for (int level = 1; level < max_levels - 1; ++level) {
+        if (!version_->levels[level].empty() &&
+            levelBytesLocked(level) > levelLimit(level)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+LSMStore::pickCompactionLocked(TableVec &inputs, int &target_level)
+{
+    const auto &levels = version_->levels;
+    if (levels[0].size() >=
+        static_cast<size_t>(options_.l0_compaction_trigger)) {
+        // All of L0 (kept newest-first) plus everything it overlaps
+        // at L1.
+        Bytes smallest, largest;
+        bool first = true;
+        for (const auto &t : levels[0]) {
+            const SSTableProps &p = t->reader->props();
+            if (first || p.smallest_key < smallest)
+                smallest = p.smallest_key;
+            if (first || p.largest_key > largest)
+                largest = p.largest_key;
+            first = false;
+            inputs.push_back(t);
+        }
+        for (const auto &t : levels[1]) {
+            const SSTableProps &p = t->reader->props();
+            if (BytesView(p.largest_key) < BytesView(smallest) ||
+                BytesView(p.smallest_key) > BytesView(largest)) {
+                continue;
+            }
+            inputs.push_back(t);
+        }
+        target_level = 1;
+        return true;
+    }
+    for (int level = 1; level < max_levels - 1; ++level) {
+        if (levels[level].empty() ||
+            levelBytesLocked(level) <= levelLimit(level)) {
+            continue;
+        }
+        // Pick the file with the smallest key (simple deterministic
+        // rotation) plus everything it overlaps one level down.
+        inputs.push_back(levels[level][0]);
+        const SSTableProps &p = levels[level][0]->reader->props();
+        for (const auto &t : levels[level + 1]) {
+            const SSTableProps &q = t->reader->props();
+            if (BytesView(q.largest_key) <
+                    BytesView(p.smallest_key) ||
+                BytesView(q.smallest_key) >
+                    BytesView(p.largest_key)) {
+                continue;
+            }
+            inputs.push_back(t);
+        }
+        target_level = level + 1;
+        return true;
+    }
+    return false;
+}
+
+Status
+LSMStore::backgroundCompact(std::unique_lock<std::mutex> &lock)
+{
+    TableVec inputs;
+    int target_level = 0;
+    if (!pickCompactionLocked(inputs, target_level))
+        return Status::ok();
+    CompactionScope scope(*this, lock);
+    return runCompaction(lock, inputs, target_level);
+}
+
+Status
+LSMStore::runCompaction(std::unique_lock<std::mutex> &lock,
+                        const TableVec &inputs, int target_level)
+{
+    ETHKV_DCHECK(lock.owns_lock());
+    ETHKV_DCHECK(in_compaction_);
+    if (inputs.empty())
+        return Status::ok();
+
+    static obs::LatencyHistogram &compaction_ns =
+        obs::MetricsRegistry::global().histogram(
+            "kv.lsm.compaction_ns");
+    obs::ScopedTimer timer(compaction_ns);
+
+    ++stats_.compactions;
+
+    Bytes smallest, largest;
+    uint64_t input_entries = 0;
+    bool first = true;
+    for (const auto &t : inputs) {
+        const SSTableProps &p = t->reader->props();
+        if (first || p.smallest_key < smallest)
+            smallest = p.smallest_key;
+        if (first || p.largest_key > largest)
+            largest = p.largest_key;
+        first = false;
+        input_entries += p.entry_count;
+    }
+    bool drop_tombstones =
+        bottommostForRangeLocked(target_level, smallest, largest);
+
+    // The merge itself runs without the lock. The input tables are
+    // pinned by the shared_ptrs in `inputs`; concurrent flushes may
+    // prepend new L0 tables meanwhile, which is fine because the
+    // install below removes inputs by file number, not position.
+    lock.unlock();
+
+    std::vector<std::unique_ptr<InternalIterator>> sources;
+    for (const auto &t : inputs)
+        sources.push_back(t->reader->newIterator());
+    MergingIterator merged(std::move(sources));
+    merged.seek(BytesView());
+
+    std::unique_ptr<SSTableWriter> writer;
+    uint64_t new_bytes = 0;
+    uint64_t dropped_tombstones = 0;
+    std::vector<uint64_t> output_nos;
+
+    auto close_writer = [&]() -> Status {
+        if (!writer)
+            return Status::ok();
+        Status cs = writer->finish();
+        if (!cs.isOk())
+            return cs;
+        new_bytes += writer->fileBytes();
+        writer.reset();
+        return Status::ok();
+    };
+
+    Status s = Status::ok();
+    while (merged.valid()) {
+        const InternalEntry &e = merged.entry();
+        if (e.type == EntryType::Tombstone && drop_tombstones) {
+            ++dropped_tombstones;
+            merged.next();
+            continue;
+        }
+        if (!writer) {
+            uint64_t file_no;
+            {
+                std::lock_guard<std::mutex> no_lock(
+                    mutex_.native());
+                file_no = next_file_no_++;
+            }
+            output_nos.push_back(file_no);
+            auto w = SSTableWriter::create(tablePath(file_no),
+                                           input_entries, env_);
+            if (!w.ok()) {
+                s = w.status();
+                break;
+            }
+            writer = w.take();
+        }
+        s = writer->add(e);
+        if (!s.isOk())
+            break;
+        if (writer->props().data_bytes >
+            options_.target_file_bytes) {
+            s = close_writer();
+            if (!s.isOk())
+                break;
+        }
+        merged.next();
+    }
+    if (s.isOk())
+        s = close_writer();
+
+    // Open the outputs before touching the version, so a failure
+    // here leaves the table set exactly as it was.
+    std::vector<std::shared_ptr<TableHandle>> new_handles;
+    if (s.isOk()) {
+        for (uint64_t file_no : output_nos) {
+            auto reader =
+                SSTableReader::open(tablePath(file_no), env_);
+            if (!reader.ok()) {
+                s = reader.status();
+                break;
+            }
+            new_handles.push_back(std::make_shared<TableHandle>(
+                file_no, reader.take(), env_));
+        }
+    }
+
+    lock.lock();
+    if (!s.isOk())
+        return s;
+
+    stats_.compaction_bytes += new_bytes;
+    stats_.bytes_written += new_bytes;
+    stats_.tombstones_dropped += dropped_tombstones;
+
+    // Install: rebuild the version without the inputs and with the
+    // outputs merged into the target level's sorted run.
+    std::set<uint64_t> input_nos;
+    for (const auto &t : inputs)
+        input_nos.insert(t->file_no);
+    auto next = std::make_shared<Version>();
+    next->levels.resize(max_levels);
+    for (int level = 0; level < max_levels; ++level) {
+        for (const auto &t : version_->levels[level]) {
+            if (!input_nos.count(t->file_no))
+                next->levels[level].push_back(t);
+        }
+    }
+    for (auto &h : new_handles)
+        next->levels[target_level].push_back(std::move(h));
+    std::sort(next->levels[target_level].begin(),
+              next->levels[target_level].end(),
+              [](const auto &x, const auto &y) {
+                  return x->reader->props().smallest_key <
+                         y->reader->props().smallest_key;
+              });
+#if ETHKV_DCHECK_ENABLED
+    // The freshly installed run must be non-overlapping.
+    for (size_t i = 1; i < next->levels[target_level].size(); ++i) {
+        ETHKV_DCHECK(
+            next->levels[target_level][i - 1]->reader->props()
+                .largest_key <
+            next->levels[target_level][i]->reader->props()
+                .smallest_key);
+    }
+#endif
+    version_ = std::move(next);
+
+    s = persistManifestLocked();
+    if (!s.isOk())
+        return s;
+
+    // Only after the manifest stops referencing the inputs may they
+    // be deleted; the last Version snapshot holding a handle does
+    // the actual unlink when it drops it.
+    for (const auto &t : inputs) {
+        retired_reader_bytes_.fetch_add(
+            t->reader->bytesRead(), std::memory_order_relaxed);
+        t->obsolete.store(true, std::memory_order_release);
+    }
+
+    updateQueueGaugeLocked();
+    cv_.notify_all();
+    return Status::ok();
 }
 
 Status
 LSMStore::get(BytesView key, Bytes &value)
 {
+    std::unique_lock<std::mutex> lock(mutex_.native());
     ++stats_.user_reads;
 
     InternalEntry entry;
@@ -312,9 +955,26 @@ LSMStore::get(BytesView key, Bytes &value)
         return Status::ok();
     }
 
+    // Snapshot the frozen state, then search without the lock.
+    std::vector<std::shared_ptr<const MemTable>> imms;
+    imms.reserve(imm_.size());
+    for (auto it = imm_.rbegin(); it != imm_.rend(); ++it)
+        imms.push_back(it->mem); // Newest first.
+    std::shared_ptr<const Version> ver = version_;
+    lock.unlock();
+
+    for (const auto &mem : imms) {
+        if (mem->get(key, entry)) {
+            if (entry.type == EntryType::Tombstone)
+                return Status::notFound();
+            value = entry.value;
+            return Status::ok();
+        }
+    }
+
     // L0: newest first; files may overlap.
-    for (const TableHandle &t : levels_[0]) {
-        Status s = t.reader->get(key, entry);
+    for (const auto &t : ver->levels[0]) {
+        Status s = t->reader->get(key, entry);
         if (s.isOk()) {
             if (entry.type == EntryType::Tombstone)
                 return Status::notFound();
@@ -327,14 +987,15 @@ LSMStore::get(BytesView key, Bytes &value)
 
     // Deeper levels: at most one candidate file per level.
     for (int level = 1; level < max_levels; ++level) {
-        const auto &files = levels_[level];
+        const auto &files = ver->levels[level];
         if (files.empty())
             continue;
         // Last file whose smallest key <= key.
         size_t lo = 0, hi = files.size();
         while (lo < hi) {
             size_t mid = (lo + hi) / 2;
-            if (BytesView(files[mid].reader->props().smallest_key) <=
+            if (BytesView(
+                    files[mid]->reader->props().smallest_key) <=
                 key) {
                 lo = mid + 1;
             } else {
@@ -343,10 +1004,10 @@ LSMStore::get(BytesView key, Bytes &value)
         }
         if (lo == 0)
             continue;
-        const TableHandle &t = files[lo - 1];
-        if (key > BytesView(t.reader->props().largest_key))
+        const auto &t = files[lo - 1];
+        if (key > BytesView(t->reader->props().largest_key))
             continue;
-        Status s = t.reader->get(key, entry);
+        Status s = t->reader->get(key, entry);
         if (s.isOk()) {
             if (entry.type == EntryType::Tombstone)
                 return Status::notFound();
@@ -362,20 +1023,40 @@ LSMStore::get(BytesView key, Bytes &value)
 Status
 LSMStore::scan(BytesView start, BytesView end, const ScanCallback &cb)
 {
+    std::unique_lock<std::mutex> lock(mutex_.native());
     ++stats_.user_scans;
 
+    // The live memtable mutates under concurrent writers, so copy
+    // the requested range out under the lock (bounded by
+    // memtable_bytes). Sealed memtables and tables are frozen and
+    // iterate lock-free via the snapshot.
+    std::vector<InternalEntry> active;
+    memtable_->forEach(start, end, [&](const InternalEntry &e) {
+        active.push_back(e);
+        return true;
+    });
+    std::vector<std::shared_ptr<const MemTable>> imms;
+    imms.reserve(imm_.size());
+    for (auto it = imm_.rbegin(); it != imm_.rend(); ++it)
+        imms.push_back(it->mem); // Newest first.
+    std::shared_ptr<const Version> ver = version_;
+    lock.unlock();
+
     std::vector<std::unique_ptr<InternalIterator>> sources;
-    sources.push_back(memtable_->newIterator());
-    for (const TableHandle &t : levels_[0])
-        sources.push_back(t.reader->newIterator());
+    sources.push_back(
+        std::make_unique<VectorIterator>(std::move(active)));
+    for (const auto &mem : imms)
+        sources.push_back(mem->newIterator());
+    for (const auto &t : ver->levels[0])
+        sources.push_back(t->reader->newIterator());
     for (int level = 1; level < max_levels; ++level) {
-        for (const TableHandle &t : levels_[level]) {
-            const SSTableProps &p = t.reader->props();
+        for (const auto &t : ver->levels[level]) {
+            const SSTableProps &p = t->reader->props();
             if (!end.empty() && BytesView(p.smallest_key) >= end)
                 continue;
             if (BytesView(p.largest_key) < start)
                 continue;
-            sources.push_back(t.reader->newIterator());
+            sources.push_back(t->reader->newIterator());
         }
     }
 
@@ -395,86 +1076,38 @@ LSMStore::scan(BytesView start, BytesView end, const ScanCallback &cb)
 }
 
 Status
-LSMStore::maybeFlushMemtable()
-{
-    if (memtable_->approximateBytes() < options_.memtable_bytes)
-        return Status::ok();
-    return flushMemtable();
-}
-
-Status
-LSMStore::flushMemtable()
-{
-    if (memtable_->empty())
-        return Status::ok();
-
-    // Maintenance-path instrument: looked up once, then lock-free.
-    static obs::LatencyHistogram &flush_ns =
-        obs::MetricsRegistry::global().histogram("kv.lsm.flush_ns");
-    obs::ScopedTimer timer(flush_ns);
-
-    uint64_t file_no = next_file_no_++;
-    auto writer =
-        SSTableWriter::create(tablePath(file_no),
-                              memtable_->entryCount(), env_);
-    if (!writer.ok())
-        return writer.status();
-
-    Status add_status = Status::ok();
-    memtable_->forEach(
-        BytesView(), BytesView(),
-        [&](const InternalEntry &e) {
-            add_status = writer.value()->add(e);
-            return add_status.isOk();
-        });
-    if (!add_status.isOk())
-        return add_status;
-    Status s = writer.value()->finish();
-    if (!s.isOk())
-        return s;
-
-    uint64_t file_bytes = writer.value()->fileBytes();
-    stats_.flush_bytes += file_bytes;
-    stats_.bytes_written += file_bytes;
-
-    s = openTable(0, file_no);
-    if (!s.isOk())
-        return s;
-    // Keep newest-first order at L0.
-    std::rotate(levels_[0].begin(), levels_[0].end() - 1,
-                levels_[0].end());
-    ETHKV_DCHECK_EQ(levels_[0].front().file_no, file_no);
-
-    memtable_ = std::make_unique<MemTable>();
-    s = persistManifest();
-    if (!s.isOk())
-        return s;
-    s = wal_->reset();
-    if (!s.isOk())
-        return s;
-    return maybeCompact();
-}
-
-Status
 LSMStore::flush()
 {
-    if (degraded_) {
-        return Status::ioDegraded("lsm: read-only after I/O "
-                                  "failure: " +
-                                  degraded_reason_);
-    }
-    Status s = flushMemtable();
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    if (degraded_)
+        return ioDegradedStatusLocked();
+    Status s = sealMemtableLocked();
     if (!s.isOk())
-        return degradeOnIOError(std::move(s));
-    return degradeOnIOError(wal_->sync());
+        return s;
+    maintenance_->signal();
+    // Barrier: wait for full quiescence so callers (and tests) see
+    // every write in an SSTable and the level shape settled.
+    cv_.wait(lock, [this] {
+        return degraded_ || shutting_down_ ||
+               (imm_.empty() && !in_compaction_ &&
+                !compactionNeededLocked());
+    });
+    if (degraded_)
+        return ioDegradedStatusLocked();
+    if (wal_) {
+        s = wal_->sync();
+        if (!s.isOk())
+            return degradeOnIOErrorLocked(std::move(s));
+    }
+    return Status::ok();
 }
 
 uint64_t
-LSMStore::levelBytes(int level) const
+LSMStore::levelBytesLocked(int level) const
 {
     uint64_t total = 0;
-    for (const TableHandle &t : levels_[level])
-        total += t.reader->fileBytes();
+    for (const auto &t : version_->levels[level])
+        total += t->reader->fileBytes();
     return total;
 }
 
@@ -487,42 +1120,13 @@ LSMStore::levelLimit(int level) const
     return static_cast<uint64_t>(limit);
 }
 
-Status
-LSMStore::maybeCompact()
-{
-    if (in_compaction_)
-        return Status::ok();
-    in_compaction_ = true;
-    Status result = Status::ok();
-    bool progressed = true;
-    while (progressed && result.isOk()) {
-        progressed = false;
-        if (levels_[0].size() >=
-            static_cast<size_t>(options_.l0_compaction_trigger)) {
-            result = compactL0();
-            progressed = true;
-            continue;
-        }
-        for (int level = 1; level < max_levels - 1; ++level) {
-            if (!levels_[level].empty() &&
-                levelBytes(level) > levelLimit(level)) {
-                result = compactLevel(level);
-                progressed = true;
-                break;
-            }
-        }
-    }
-    in_compaction_ = false;
-    return result;
-}
-
 bool
-LSMStore::bottommostForRange(int level, BytesView smallest,
-                             BytesView largest) const
+LSMStore::bottommostForRangeLocked(int level, BytesView smallest,
+                                   BytesView largest) const
 {
     for (int deeper = level + 1; deeper < max_levels; ++deeper) {
-        for (const TableHandle &t : levels_[deeper]) {
-            const SSTableProps &p = t.reader->props();
+        for (const auto &t : version_->levels[deeper]) {
+            const SSTableProps &p = t->reader->props();
             if (BytesView(p.largest_key) < smallest)
                 continue;
             if (BytesView(p.smallest_key) > largest)
@@ -534,225 +1138,75 @@ LSMStore::bottommostForRange(int level, BytesView smallest,
 }
 
 Status
-LSMStore::compactL0()
-{
-    std::vector<std::pair<int, size_t>> inputs;
-    Bytes smallest, largest;
-    bool first = true;
-    for (size_t i = 0; i < levels_[0].size(); ++i) {
-        const SSTableProps &p = levels_[0][i].reader->props();
-        if (first || p.smallest_key < smallest)
-            smallest = p.smallest_key;
-        if (first || p.largest_key > largest)
-            largest = p.largest_key;
-        first = false;
-        inputs.emplace_back(0, i);
-    }
-    for (size_t i = 0; i < levels_[1].size(); ++i) {
-        const SSTableProps &p = levels_[1][i].reader->props();
-        if (BytesView(p.largest_key) < BytesView(smallest) ||
-            BytesView(p.smallest_key) > BytesView(largest)) {
-            continue;
-        }
-        inputs.emplace_back(1, i);
-    }
-    return mergeTables(inputs, 1);
-}
-
-Status
-LSMStore::compactLevel(int level)
-{
-    // Pick the file with the smallest key (simple deterministic
-    // rotation) plus everything it overlaps one level down.
-    std::vector<std::pair<int, size_t>> inputs;
-    inputs.emplace_back(level, 0);
-    const SSTableProps &p = levels_[level][0].reader->props();
-    for (size_t i = 0; i < levels_[level + 1].size(); ++i) {
-        const SSTableProps &q = levels_[level + 1][i].reader->props();
-        if (BytesView(q.largest_key) < BytesView(p.smallest_key) ||
-            BytesView(q.smallest_key) > BytesView(p.largest_key)) {
-            continue;
-        }
-        inputs.emplace_back(level + 1, i);
-    }
-    return mergeTables(inputs, level + 1);
-}
-
-Status
-LSMStore::mergeTables(
-    const std::vector<std::pair<int, size_t>> &inputs,
-    int target_level)
-{
-    if (inputs.empty())
-        return Status::ok();
-
-    static obs::LatencyHistogram &compaction_ns =
-        obs::MetricsRegistry::global().histogram(
-            "kv.lsm.compaction_ns");
-    obs::ScopedTimer timer(compaction_ns);
-
-    ++stats_.compactions;
-
-    Bytes smallest, largest;
-    uint64_t input_entries = 0;
-    bool first = true;
-    std::vector<std::unique_ptr<InternalIterator>> sources;
-    for (auto [level, idx] : inputs) {
-        SSTableReader *reader = levels_[level][idx].reader.get();
-        const SSTableProps &p = reader->props();
-        if (first || p.smallest_key < smallest)
-            smallest = p.smallest_key;
-        if (first || p.largest_key > largest)
-            largest = p.largest_key;
-        first = false;
-        input_entries += p.entry_count;
-        sources.push_back(reader->newIterator());
-    }
-
-    bool drop_tombstones =
-        bottommostForRange(target_level, smallest, largest);
-
-    MergingIterator merged(std::move(sources));
-    merged.seek(BytesView());
-
-    std::vector<TableHandle> outputs;
-    std::unique_ptr<SSTableWriter> writer;
-    uint64_t new_bytes = 0;
-    std::vector<uint64_t> output_nos;
-
-    auto close_writer = [&]() -> Status {
-        if (!writer)
-            return Status::ok();
-        Status s = writer->finish();
-        if (!s.isOk())
-            return s;
-        new_bytes += writer->fileBytes();
-        writer.reset();
-        return Status::ok();
-    };
-
-    while (merged.valid()) {
-        const InternalEntry &e = merged.entry();
-        if (e.type == EntryType::Tombstone && drop_tombstones) {
-            ++stats_.tombstones_dropped;
-            merged.next();
-            continue;
-        }
-        if (!writer) {
-            uint64_t file_no = next_file_no_++;
-            output_nos.push_back(file_no);
-            auto w = SSTableWriter::create(tablePath(file_no),
-                                           input_entries, env_);
-            if (!w.ok())
-                return w.status();
-            writer = w.take();
-        }
-        Status s = writer->add(e);
-        if (!s.isOk())
-            return s;
-        if (writer->props().data_bytes >
-            options_.target_file_bytes) {
-            s = close_writer();
-            if (!s.isOk())
-                return s;
-        }
-        merged.next();
-    }
-    Status s = close_writer();
-    if (!s.isOk())
-        return s;
-
-    stats_.compaction_bytes += new_bytes;
-    stats_.bytes_written += new_bytes;
-
-    // Open the outputs before touching anything, so a failure here
-    // leaves the store exactly as it was.
-    std::vector<TableHandle> new_handles;
-    for (uint64_t file_no : output_nos) {
-        auto reader = SSTableReader::open(tablePath(file_no), env_);
-        if (!reader.ok())
-            return reader.status();
-        new_handles.push_back({file_no, reader.take()});
-    }
-
-    // Retire input handles by descending index within each level so
-    // the indices stay valid. The files stay on disk until the
-    // manifest commit stops referencing them: deleting first (as
-    // the seed did) means a crash that loses the manifest rename
-    // leaves a manifest pointing at vanished tables.
-    std::vector<std::pair<int, size_t>> sorted_inputs = inputs;
-    std::sort(sorted_inputs.begin(), sorted_inputs.end(),
-              [](const auto &x, const auto &y) {
-                  if (x.first != y.first)
-                      return x.first < y.first;
-                  return x.second > y.second;
-              });
-    std::vector<std::string> input_paths;
-    for (auto [level, idx] : sorted_inputs) {
-        TableHandle &t = levels_[level][idx];
-        retired_reader_bytes_ += t.reader->bytesRead();
-        input_paths.push_back(t.reader->path());
-        levels_[level].erase(levels_[level].begin() +
-                             static_cast<long>(idx));
-    }
-
-    // Install outputs at the target level, keeping key order.
-    for (TableHandle &h : new_handles)
-        levels_[target_level].push_back(std::move(h));
-    std::sort(levels_[target_level].begin(),
-              levels_[target_level].end(),
-              [](const TableHandle &x, const TableHandle &y) {
-                  return x.reader->props().smallest_key <
-                         y.reader->props().smallest_key;
-              });
-#if ETHKV_DCHECK_ENABLED
-    // The freshly installed run must be non-overlapping.
-    for (size_t i = 1; i < levels_[target_level].size(); ++i) {
-        ETHKV_DCHECK(
-            levels_[target_level][i - 1].reader->props()
-                .largest_key <
-            levels_[target_level][i].reader->props().smallest_key);
-    }
-#endif
-
-    s = persistManifest();
-    if (!s.isOk())
-        return s;
-    for (const std::string &path : input_paths) {
-        ETHKV_IGNORE_STATUS(
-            env_->removeFile(path),
-            "the manifest no longer references this input table; "
-            "leaking it costs disk, not correctness");
-    }
-    return Status::ok();
-}
-
-Status
 LSMStore::compactAll()
 {
-    if (degraded_) {
-        return Status::ioDegraded("lsm: read-only after I/O "
-                                  "failure: " +
-                                  degraded_reason_);
-    }
-    Status s = flushMemtable();
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    if (degraded_)
+        return ioDegradedStatusLocked();
+    Status s = sealMemtableLocked();
     if (!s.isOk())
-        return degradeOnIOError(std::move(s));
-    if (!levels_[0].empty()) {
-        s = compactL0();
+        return s;
+    maintenance_->signal();
+    // Drain the flush queue and any in-flight background
+    // compaction, then run the full compaction inline while
+    // in_compaction_ keeps the background thread out.
+    cv_.wait(lock, [this] {
+        return degraded_ || (imm_.empty() && !in_compaction_);
+    });
+    if (degraded_)
+        return ioDegradedStatusLocked();
+
+    CompactionScope scope(*this, lock);
+    if (!version_->levels[0].empty()) {
+        TableVec inputs;
+        Bytes smallest, largest;
+        bool first = true;
+        for (const auto &t : version_->levels[0]) {
+            const SSTableProps &p = t->reader->props();
+            if (first || p.smallest_key < smallest)
+                smallest = p.smallest_key;
+            if (first || p.largest_key > largest)
+                largest = p.largest_key;
+            first = false;
+            inputs.push_back(t);
+        }
+        for (const auto &t : version_->levels[1]) {
+            const SSTableProps &p = t->reader->props();
+            if (BytesView(p.largest_key) < BytesView(smallest) ||
+                BytesView(p.smallest_key) > BytesView(largest)) {
+                continue;
+            }
+            inputs.push_back(t);
+        }
+        s = runCompaction(lock, inputs, 1);
         if (!s.isOk())
-            return degradeOnIOError(std::move(s));
+            return degradeOnIOErrorLocked(std::move(s));
     }
     for (int level = 1; level < max_levels - 1; ++level) {
-        while (!levels_[level].empty()) {
-            s = compactLevel(level);
+        while (!version_->levels[level].empty()) {
+            TableVec inputs;
+            inputs.push_back(version_->levels[level][0]);
+            const SSTableProps &p =
+                version_->levels[level][0]->reader->props();
+            for (const auto &t : version_->levels[level + 1]) {
+                const SSTableProps &q = t->reader->props();
+                if (BytesView(q.largest_key) <
+                        BytesView(p.smallest_key) ||
+                    BytesView(q.smallest_key) >
+                        BytesView(p.largest_key)) {
+                    continue;
+                }
+                inputs.push_back(t);
+            }
+            s = runCompaction(lock, inputs, level + 1);
             if (!s.isOk())
-                return degradeOnIOError(std::move(s));
+                return degradeOnIOErrorLocked(std::move(s));
         }
         // Stop once everything is in one level.
         bool deeper_empty = true;
         for (int d = level + 1; d < max_levels; ++d)
-            deeper_empty = deeper_empty && levels_[d].empty();
+            deeper_empty =
+                deeper_empty && version_->levels[d].empty();
         if (deeper_empty)
             break;
     }
@@ -766,43 +1220,47 @@ LSMStore::checkInvariants() const
         return Status::corruption("lsm invariant: " + what);
     };
 
-    if (levels_.size() != static_cast<size_t>(max_levels))
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    std::shared_ptr<const Version> ver = version_;
+
+    if (ver->levels.size() != static_cast<size_t>(max_levels))
         return corrupt("level vector has wrong arity");
 
     // Per-table sanity + global file-number uniqueness.
     std::set<uint64_t> file_nos;
     for (int level = 0; level < max_levels; ++level) {
-        for (const TableHandle &t : levels_[level]) {
-            const SSTableProps &p = t.reader->props();
+        for (const auto &t : ver->levels[level]) {
+            const SSTableProps &p = t->reader->props();
             if (p.smallest_key > p.largest_key) {
                 return corrupt("table " +
-                               std::to_string(t.file_no) +
+                               std::to_string(t->file_no) +
                                " has smallest_key > largest_key");
             }
-            if (t.file_no >= next_file_no_) {
+            if (t->file_no >= next_file_no_) {
                 return corrupt("table " +
-                               std::to_string(t.file_no) +
+                               std::to_string(t->file_no) +
                                " not below next_file_no");
             }
-            if (!file_nos.insert(t.file_no).second) {
+            if (!file_nos.insert(t->file_no).second) {
                 return corrupt("duplicate file number " +
-                               std::to_string(t.file_no));
+                               std::to_string(t->file_no));
             }
         }
     }
 
     // L0 may overlap but is searched newest-first; deeper levels
     // are a single sorted, non-overlapping run each.
-    for (size_t i = 1; i < levels_[0].size(); ++i) {
-        if (levels_[0][i - 1].file_no <= levels_[0][i].file_no)
+    for (size_t i = 1; i < ver->levels[0].size(); ++i) {
+        if (ver->levels[0][i - 1]->file_no <=
+            ver->levels[0][i]->file_no)
             return corrupt("L0 not ordered newest-first");
     }
     for (int level = 1; level < max_levels; ++level) {
-        const auto &files = levels_[level];
+        const auto &files = ver->levels[level];
         for (size_t i = 1; i < files.size(); ++i) {
             const SSTableProps &prev =
-                files[i - 1].reader->props();
-            const SSTableProps &cur = files[i].reader->props();
+                files[i - 1]->reader->props();
+            const SSTableProps &cur = files[i]->reader->props();
             if (prev.smallest_key > cur.smallest_key) {
                 return corrupt("L" + std::to_string(level) +
                                " not sorted by smallest key");
@@ -814,13 +1272,21 @@ LSMStore::checkInvariants() const
         }
     }
 
+    // Sealed WAL segments queue oldest-first with unique numbers.
+    for (size_t i = 1; i < imm_.size(); ++i) {
+        if (imm_[i - 1].wal_no >= imm_[i].wal_no)
+            return corrupt("immutable queue not oldest-first");
+    }
+
     // The on-disk MANIFEST must describe exactly the in-memory
-    // table set (it is rewritten on every flush/compaction). A
-    // degraded store is exempt: the failed commit that degraded it
-    // may legitimately have left the manifest behind memory.
+    // table set and sealed-WAL queue (it is rewritten on every
+    // seal/flush/compaction). A degraded store is exempt: the
+    // failed commit that degraded it may legitimately have left the
+    // manifest behind memory.
     if (degraded_)
         return Status::ok();
     std::set<std::pair<uint64_t, uint64_t>> manifest_files;
+    std::set<uint64_t> manifest_wals;
     uint64_t manifest_next = 0, manifest_seq = 0;
     const bool have_manifest = env_->fileExists(manifestPath());
     if (have_manifest) {
@@ -834,18 +1300,25 @@ LSMStore::checkInvariants() const
         manifest_seq = img.seq;
         for (auto [level, file_no] : img.files)
             manifest_files.insert({level, file_no});
+        manifest_wals.insert(img.wals.begin(), img.wals.end());
     }
     std::set<std::pair<uint64_t, uint64_t>> live_files;
     for (int level = 0; level < max_levels; ++level)
-        for (const TableHandle &t : levels_[level])
+        for (const auto &t : ver->levels[level])
             live_files.insert(
-                {static_cast<uint64_t>(level), t.file_no});
+                {static_cast<uint64_t>(level), t->file_no});
+    std::set<uint64_t> live_wals;
+    for (const ImmutableMemtable &imm : imm_)
+        live_wals.insert(imm.wal_no);
     if (!have_manifest && !live_files.empty())
         return corrupt("tables open but MANIFEST missing");
     if (have_manifest) {
         if (manifest_files != live_files)
             return corrupt(
                 "MANIFEST table set disagrees with memory");
+        if (manifest_wals != live_wals)
+            return corrupt(
+                "MANIFEST sealed-WAL set disagrees with memory");
         if (manifest_next > next_file_no_)
             return corrupt("MANIFEST next_file ahead of memory");
         // Writes since the last flush live in the WAL, so the
@@ -859,28 +1332,50 @@ LSMStore::checkInvariants() const
 const IOStats &
 LSMStore::stats() const
 {
-    uint64_t read_bytes = retired_reader_bytes_;
-    for (const auto &level : levels_)
-        for (const TableHandle &t : level)
-            read_bytes += t.reader->bytesRead();
+    // Same pattern as LockedKVStore::stats(): each caller thread
+    // gets its own stable snapshot.
+    static thread_local IOStats snapshot;
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    uint64_t read_bytes =
+        retired_reader_bytes_.load(std::memory_order_relaxed);
+    for (const auto &level : version_->levels)
+        for (const auto &t : level)
+            read_bytes += t->reader->bytesRead();
     stats_.bytes_read = read_bytes;
-    return stats_;
+    snapshot = stats_;
+    return snapshot;
 }
 
 uint64_t
 LSMStore::liveKeyCount()
 {
-    uint64_t count = 0;
     // Bypass scan() so diagnostics don't perturb user_scans.
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    std::vector<InternalEntry> active;
+    memtable_->forEach(BytesView(), BytesView(),
+                       [&](const InternalEntry &e) {
+                           active.push_back(e);
+                           return true;
+                       });
+    std::vector<std::shared_ptr<const MemTable>> imms;
+    for (auto it = imm_.rbegin(); it != imm_.rend(); ++it)
+        imms.push_back(it->mem);
+    std::shared_ptr<const Version> ver = version_;
+    lock.unlock();
+
     std::vector<std::unique_ptr<InternalIterator>> sources;
-    sources.push_back(memtable_->newIterator());
-    for (const TableHandle &t : levels_[0])
-        sources.push_back(t.reader->newIterator());
+    sources.push_back(
+        std::make_unique<VectorIterator>(std::move(active)));
+    for (const auto &mem : imms)
+        sources.push_back(mem->newIterator());
+    for (const auto &t : ver->levels[0])
+        sources.push_back(t->reader->newIterator());
     for (int level = 1; level < max_levels; ++level)
-        for (const TableHandle &t : levels_[level])
-            sources.push_back(t.reader->newIterator());
+        for (const auto &t : ver->levels[level])
+            sources.push_back(t->reader->newIterator());
     MergingIterator merged(std::move(sources));
     merged.seek(BytesView());
+    uint64_t count = 0;
     while (merged.valid()) {
         if (merged.entry().type == EntryType::Put)
             ++count;
@@ -889,12 +1384,51 @@ LSMStore::liveKeyCount()
     return count;
 }
 
+bool
+LSMStore::isDegraded() const
+{
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    return degraded_;
+}
+
+std::string
+LSMStore::degradedReason() const
+{
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    return degraded_reason_;
+}
+
+uint64_t
+LSMStore::quarantinedBytes() const
+{
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    return quarantined_bytes_;
+}
+
+bool
+LSMStore::compactionInProgressForTest() const
+{
+    std::unique_lock<std::mutex> lock(mutex_.native());
+    return in_compaction_;
+}
+
+void
+LSMStore::updateQueueGaugeLocked() const
+{
+    static obs::Gauge &depth =
+        obs::MetricsRegistry::global().gauge(
+            "kv.compaction_queue_depth");
+    depth.set(static_cast<int64_t>(imm_.size()) +
+              (in_compaction_ ? 1 : 0));
+}
+
 std::vector<size_t>
 LSMStore::levelFileCounts() const
 {
+    std::unique_lock<std::mutex> lock(mutex_.native());
     std::vector<size_t> counts;
-    counts.reserve(levels_.size());
-    for (const auto &level : levels_)
+    counts.reserve(version_->levels.size());
+    for (const auto &level : version_->levels)
         counts.push_back(level.size());
     return counts;
 }
@@ -902,10 +1436,11 @@ LSMStore::levelFileCounts() const
 uint64_t
 LSMStore::tableBytes() const
 {
+    std::unique_lock<std::mutex> lock(mutex_.native());
     uint64_t total = 0;
-    for (const auto &level : levels_)
-        for (const TableHandle &t : level)
-            total += t.reader->fileBytes();
+    for (const auto &level : version_->levels)
+        for (const auto &t : level)
+            total += t->reader->fileBytes();
     return total;
 }
 

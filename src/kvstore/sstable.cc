@@ -267,7 +267,7 @@ SSTableReader::load(uint64_t file_bytes)
         Status s = file_->read(off, len, out);
         if (!s.isOk())
             return s;
-        bytes_read_ += len;
+        bytes_read_.fetch_add(len, std::memory_order_relaxed);
         return Status::ok();
     };
 
@@ -343,7 +343,7 @@ SSTableReader::readBlock(size_t block_idx,
     Status s = file_->read(ie.offset, ie.size, block);
     if (!s.isOk())
         return s;
-    bytes_read_ += ie.size;
+    bytes_read_.fetch_add(ie.size, std::memory_order_relaxed);
 
     entries.clear();
     size_t pos = 0;

@@ -20,6 +20,7 @@
 #ifndef ETHKV_KVSTORE_SSTABLE_HH
 #define ETHKV_KVSTORE_SSTABLE_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -149,7 +150,10 @@ class SSTableReader
     uint64_t fileBytes() const { return file_bytes_; }
 
     /** Bytes fetched from disk by this reader so far. */
-    uint64_t bytesRead() const { return bytes_read_; }
+    uint64_t bytesRead() const
+    {
+        return bytes_read_.load(std::memory_order_relaxed);
+    }
 
   private:
     friend class SSTableIterator;
@@ -179,7 +183,9 @@ class SSTableReader
     std::unique_ptr<BloomFilter> filter_;
     SSTableProps props_;
     uint64_t file_bytes_ = 0;
-    uint64_t bytes_read_ = 0;
+    //!< Atomic: concurrent gets/scans against a version snapshot
+    //!< share one reader.
+    std::atomic<uint64_t> bytes_read_{0};
 };
 
 } // namespace ethkv::kv

@@ -8,8 +8,11 @@
  *   ethkvd --engine log --dir /tmp/d --sync --port 0 \
  *          --port-file /tmp/d/port
  *
- * Engines without internal locking (mem, hash, btree, log, lsm) are
- * wrapped in kv::LockedKVStore; hybrid and cached lock internally.
+ * Engines without internal locking (mem, hash, btree, log) are
+ * wrapped in kv::LockedKVStore; lsm, hybrid, and cached lock
+ * internally (the LSM engine additionally runs its own background
+ * maintenance thread, so serving it bare keeps connections from
+ * serializing behind flushes and compactions).
  * --port 0 binds an ephemeral port; --port-file writes the bound
  * port for test harnesses to discover. --env fault serves the
  * durable engines through a FaultInjectionEnv so fault drills can
@@ -78,8 +81,12 @@ usage(const char *argv0)
         "  --fault-seed <n>         FaultInjectionEnv seed\n"
         "  --checkpoint-wal-bytes <n>  log engine WAL checkpoint"
         " threshold (0 = off)\n"
+        "  --memtable-bytes <n>     lsm memtable seal threshold"
+        " (0 = default)\n"
         "  --max-frame-bytes <n>    per-frame payload cap\n"
         "  --scan-limit <n>         server-side SCAN cap\n"
+        "  --scan-byte-budget <n>   SCAN response byte cap"
+        " (0 = auto)\n"
         "  --metrics-out <path>     dump ethkv.metrics.v1 JSON at"
         " exit\n",
         argv0);
@@ -106,8 +113,10 @@ struct Flags
     std::string env_kind = "posix";
     uint64_t fault_seed = 1;
     uint64_t checkpoint_wal_bytes = 0;
+    uint64_t memtable_bytes = 0;
     size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
     uint64_t scan_limit = 4096;
+    uint64_t scan_byte_budget = 0;
 };
 
 bool
@@ -142,12 +151,18 @@ parseFlags(int argc, char **argv, Flags &f)
         } else if (arg == "--checkpoint-wal-bytes") {
             f.checkpoint_wal_bytes = std::strtoull(
                 next("--checkpoint-wal-bytes"), nullptr, 10);
+        } else if (arg == "--memtable-bytes") {
+            f.memtable_bytes = std::strtoull(
+                next("--memtable-bytes"), nullptr, 10);
         } else if (arg == "--max-frame-bytes") {
             f.max_frame_bytes = std::strtoull(
                 next("--max-frame-bytes"), nullptr, 10);
         } else if (arg == "--scan-limit") {
             f.scan_limit = std::strtoull(next("--scan-limit"),
                                          nullptr, 10);
+        } else if (arg == "--scan-byte-budget") {
+            f.scan_byte_budget = std::strtoull(
+                next("--scan-byte-budget"), nullptr, 10);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -205,10 +220,16 @@ buildEngine(const Flags &f, EngineStack &stack)
         options.dir = f.dir;
         options.sync_wal = f.sync;
         options.env = env;
+        if (f.memtable_bytes > 0)
+            options.memtable_bytes = f.memtable_bytes;
         auto store = kv::LSMStore::open(options);
         if (!store.ok())
             return store.status();
         stack.base = store.take();
+        // LSMStore is internally thread-safe with background
+        // maintenance; serving it bare keeps worker threads from
+        // serializing behind flushes and compactions.
+        needs_lock = false;
     } else if (f.engine == "hybrid" || f.engine == "cached") {
         // The hybrid router locks internally (per-route shards);
         // its engines are in-memory (log dir is ignored there).
@@ -255,6 +276,7 @@ main(int argc, char **argv)
     options.workers = flags.workers;
     options.max_frame_bytes = flags.max_frame_bytes;
     options.scan_limit_max = flags.scan_limit;
+    options.scan_byte_budget = flags.scan_byte_budget;
 
     server::Server srv(*stack.serve, options);
     srv.start().expectOk("server start");

@@ -86,6 +86,16 @@ Server::Server(kv::KVStore &store, ServerOptions options)
       metrics_(options_.metrics ? *options_.metrics
                                 : obs::MetricsRegistry::global())
 {
+    if (options_.scan_byte_budget == 0) {
+        // Leave headroom for the varint count, per-entry length
+        // prefixes, and the truncated byte so the encoded response
+        // always fits in one frame.
+        size_t headroom = 1024;
+        options_.scan_byte_budget =
+            options_.max_frame_bytes > headroom
+                ? options_.max_frame_bytes - headroom
+                : options_.max_frame_bytes;
+    }
     conns_accepted_ = &metrics_.counter("server.conns.accepted");
     conns_closed_ = &metrics_.counter("server.conns.closed");
     conns_active_ = &metrics_.gauge("server.conns.active");
@@ -393,10 +403,26 @@ Server::execOp(Connection &, const Frame &frame,
         if (limit == 0 || limit > options_.scan_limit_max)
             limit = options_.scan_limit_max;
         std::vector<ScanEntry> entries;
-        // Visit one extra entry to learn whether we truncated.
+        // Truncate on whichever cap hits first: the entry-count
+        // limit (visit one extra entry to detect it) or the
+        // response byte budget. Each entry costs its key + value
+        // plus ~10 bytes of varint length prefixes on the wire. An
+        // over-budget entry is not stored — the client resumes from
+        // the last returned key — but the first entry is always
+        // accepted so a giant value can't wedge the scan.
+        size_t budget = options_.scan_byte_budget;
+        size_t used = 0;
+        bool byte_truncated = false;
         s = store_.scan(start, end,
-                        [&entries, limit](BytesView k,
-                                          BytesView v) {
+                        [&](BytesView k, BytesView v) {
+                            size_t cost =
+                                10 + k.size() + v.size();
+                            if (!entries.empty() &&
+                                used + cost > budget) {
+                                byte_truncated = true;
+                                return false;
+                            }
+                            used += cost;
                             entries.push_back(
                                 {Bytes(k), Bytes(v)});
                             return entries.size() < limit + 1;
@@ -405,8 +431,9 @@ Server::execOp(Connection &, const Frame &frame,
             fail(s);
             return;
         }
-        bool truncated = entries.size() > limit;
-        if (truncated)
+        bool truncated =
+            byte_truncated || entries.size() > limit;
+        if (entries.size() > limit)
             entries.pop_back();
         encodeScanResponse(payload, entries, truncated);
         return;

@@ -71,6 +71,13 @@ struct ServerOptions
     size_t write_queue_hard_bytes = 8u << 20;
     //! Server-side cap on SCAN results per request.
     uint64_t scan_limit_max = 4096;
+    //! Byte cap on one SCAN response payload. The entry-count cap
+    //! alone cannot bound the response: 4096 entries of 32 KiB each
+    //! overflow max_frame_bytes and the encoder would abort the
+    //! connection. 0 = derive from max_frame_bytes minus encoding
+    //! headroom. The first entry is always returned even if it
+    //! alone exceeds the budget, so progress is guaranteed.
+    size_t scan_byte_budget = 0;
     //! Destination for server.* instruments; global when null.
     obs::MetricsRegistry *metrics = nullptr;
 };

@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "client/class_cache.hh"
+#include "common/fault_env.hh"
+#include "kvstore/log_store.hh"
 #include "kvstore/mem_store.hh"
+#include "obs/metrics.hh"
+#include "../kvstore/test_util.hh"
 
 namespace ethkv::client
 {
@@ -189,6 +193,89 @@ TEST(ClassCacheTest, LiveKeyCountDrainsBuffer)
     ASSERT_TRUE(cache.put(trieKey(1), "a").isOk());
     ASSERT_TRUE(cache.put(snapKey(1), "b").isOk());
     EXPECT_EQ(cache.liveKeyCount(), 2u);
+}
+
+TEST(ClassCacheTest, FailedWriteBackFlushKeepsAckedWrites)
+{
+    // The write-back buffer holds acknowledged writes. A flush
+    // whose inner apply fails must leave them buffered (still
+    // readable, retried later) — the old code cleared the buffer
+    // before applying, silently dropping them on failure.
+    testutil::ScratchDir dir("cache_degraded");
+    FaultInjectionEnv fenv(Env::defaultEnv(), 1);
+    kv::LogStoreOptions options;
+    options.dir = dir.path();
+    options.env = &fenv;
+    options.sync_appends = true;
+    auto inner = kv::AppendLogStore::open(options);
+    ASSERT_TRUE(inner.ok()) << inner.status().message();
+    CachingKVStore cache(*inner.value(), CacheConfig{});
+
+    ASSERT_TRUE(cache.put(trieKey(1), "acked").isOk());
+    EXPECT_GT(cache.writeBackBytes(), 0u);
+
+    fenv.setWriteError(true);
+    Status s = cache.flushWriteBack();
+    EXPECT_FALSE(s.isOk());
+
+    // The acked write is still served from the buffer.
+    Bytes value;
+    ASSERT_TRUE(cache.get(trieKey(1), value).isOk());
+    EXPECT_EQ(value, "acked");
+    EXPECT_GT(cache.writeBackBytes(), 0u);
+}
+
+TEST(ClassCacheTest, DegradedInnerStoreStopsMutationsNotCachedReads)
+{
+    testutil::ScratchDir dir("cache_degraded");
+    FaultInjectionEnv fenv(Env::defaultEnv(), 1);
+    kv::LogStoreOptions options;
+    options.dir = dir.path();
+    options.env = &fenv;
+    options.sync_appends = true;
+    auto inner = kv::AppendLogStore::open(options);
+    ASSERT_TRUE(inner.ok()) << inner.status().message();
+    CachingKVStore cache(*inner.value(), CacheConfig{});
+
+    // One write-through entry (fills the LRU) and one write-back
+    // entry (sits in the buffer) before the fault.
+    ASSERT_TRUE(cache.put(snapKey(1), "lru-val").isOk());
+    ASSERT_TRUE(cache.put(trieKey(1), "wb-val").isOk());
+
+    // First failing write degrades the inner store (IOError to the
+    // caller); the next one surfaces IODegraded and latches the
+    // cache's own sticky flag.
+    fenv.setWriteError(true);
+    EXPECT_FALSE(cache.put(snapKey(2), "x").isOk());
+    EXPECT_TRUE(cache.put(snapKey(3), "x").isIODegraded());
+    EXPECT_TRUE(cache.isDegraded());
+
+    // Mutations now fail fast — including write-back classes,
+    // which must not keep acknowledging writes the buffer can
+    // never flush.
+    uint64_t wb_before = cache.writeBackBytes();
+    EXPECT_TRUE(cache.put(trieKey(2), "y").isIODegraded());
+    EXPECT_TRUE(cache.del(snapKey(1)).isIODegraded());
+    EXPECT_EQ(cache.writeBackBytes(), wb_before);
+
+    // Cache hits keep serving reads through the outage, and the
+    // masking is visible in the degraded-read-hit counter.
+    obs::Counter &masked =
+        obs::MetricsRegistry::global().counter(
+            "cache.degraded_read_hits");
+    uint64_t masked_before = masked.value();
+    Bytes value;
+    ASSERT_TRUE(cache.get(snapKey(1), value).isOk());
+    EXPECT_EQ(value, "lru-val");
+    ASSERT_TRUE(cache.get(trieKey(1), value).isOk());
+    EXPECT_EQ(value, "wb-val");
+    EXPECT_EQ(masked.value(), masked_before + 2);
+
+    // Sticky: clearing the fault does not un-degrade.
+    fenv.setWriteError(false);
+    EXPECT_TRUE(cache.put(snapKey(4), "z").isIODegraded());
+    EXPECT_TRUE(cache.flushWriteBack().isIODegraded());
+    EXPECT_TRUE(cache.isDegraded());
 }
 
 } // namespace

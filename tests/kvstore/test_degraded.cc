@@ -258,6 +258,100 @@ TEST(LogStoreDegradedTest, TornLogTailQuarantinedOnReopen)
     EXPECT_EQ(value, makeValue(9));
 }
 
+TEST(LsmDegradedTest, BackgroundFlushFailureSurfacesSticky)
+{
+    // A failure on the background maintenance thread (here: the
+    // freshly written L0 table cannot be read back) must degrade
+    // the store so the foreground path reports IODegraded instead
+    // of stalling forever behind an immutable queue that can never
+    // drain.
+    ScratchDir dir("lsm_degraded");
+    FaultInjectionEnv fault(Env::defaultEnv(), 7);
+    LSMOptions options;
+    options.dir = dir.path();
+    options.env = &fault;
+    options.memtable_bytes = 1024; // Seal quickly.
+    auto store = LSMStore::open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        store.value()->put(makeKey(0), makeValue(0)).isOk());
+
+    uint64_t bg_before = obs::MetricsRegistry::global()
+                             .counter("kv.bg_errors")
+                             .value();
+    fault.setPermanentReadError(true);
+    for (uint64_t i = 1; i < 100; ++i) {
+        Status s = store.value()->put(makeKey(i), makeValue(i));
+        if (s.isIODegraded())
+            break; // The background failure already surfaced.
+        ASSERT_TRUE(s.isOk()) << s.toString();
+    }
+    // The barrier cannot outrun the failure: the queue only drains
+    // through the failing background flush.
+    EXPECT_TRUE(store.value()->flush().isIODegraded());
+    EXPECT_TRUE(store.value()->isDegraded());
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .counter("kv.bg_errors")
+                  .value(),
+              bg_before);
+
+    // Sticky: clearing the fault does not resurrect the store ...
+    fault.setPermanentReadError(false);
+    EXPECT_TRUE(store.value()
+                    ->put(makeKey(200), makeValue(200))
+                    .isIODegraded());
+    // ... and in-memory reads (memtable + sealed memtables) still
+    // answer.
+    Bytes value;
+    ASSERT_TRUE(store.value()->get(makeKey(0), value).isOk());
+    EXPECT_EQ(value, makeValue(0));
+    EXPECT_TRUE(store.value()->checkInvariants().isOk());
+}
+
+TEST(LsmDegradedTest, FailedCompactionClearsInProgressGuard)
+{
+    // in_compaction_ is owned by an RAII scope: an error return out
+    // of a compaction must clear it, or maintenance is silently
+    // disabled forever. (Tests run with ETHKV_FORCE_DCHECK, so a
+    // leaked flag would also trip the scope's DCHECK on the next
+    // compaction attempt.)
+    ScratchDir dir("lsm_degraded");
+    FaultInjectionEnv fault(Env::defaultEnv(), 7);
+    LSMOptions options;
+    options.dir = dir.path();
+    options.env = &fault;
+    options.l0_compaction_trigger = 4; // Stay below it.
+    auto store = LSMStore::open(options);
+    ASSERT_TRUE(store.ok());
+
+    // Two quiesced L0 tables; under the trigger, so nothing
+    // compacts in the background.
+    for (uint64_t i = 0; i < 20; ++i)
+        ASSERT_TRUE(
+            store.value()->put(makeKey(i), makeValue(i)).isOk());
+    ASSERT_TRUE(store.value()->flush().isOk());
+    for (uint64_t i = 20; i < 40; ++i)
+        ASSERT_TRUE(
+            store.value()->put(makeKey(i), makeValue(i)).isOk());
+    ASSERT_TRUE(store.value()->flush().isOk());
+
+    fault.setWriteError(true);
+    Status s = store.value()->compactAll();
+    EXPECT_EQ(s.code(), StatusCode::IOError) << s.toString();
+    EXPECT_FALSE(store.value()->compactionInProgressForTest());
+    EXPECT_TRUE(store.value()->isDegraded());
+
+    fault.setWriteError(false);
+    EXPECT_TRUE(store.value()->compactAll().isIODegraded());
+    EXPECT_FALSE(store.value()->compactionInProgressForTest());
+    // Reads survive the failed compaction untouched.
+    Bytes value;
+    for (uint64_t i = 0; i < 40; ++i) {
+        ASSERT_TRUE(store.value()->get(makeKey(i), value).isOk());
+        EXPECT_EQ(value, makeValue(i));
+    }
+}
+
 TEST(LogStoreDegradedTest, InMemoryModeNeverDegrades)
 {
     // No dir: the store takes no I/O at all, so injected faults

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ThreadSanitizer stress for the LSM engine's background
+ * maintenance, always built with -fsanitize=thread (see
+ * tests/CMakeLists.txt, ctest entry lsm.tsan_bg_compaction).
+ *
+ * Eight writers and two scanners hammer one LSMStore with a tiny
+ * memtable for five seconds, so the maintenance thread flushes and
+ * compacts continuously underneath them, while a stats thread polls
+ * every diagnostic the server's STATS op can reach. This is the
+ * executable proof for the engine's concurrency model — version
+ * snapshot handoff, immutable-memtable queue, backpressure waits,
+ * the compaction scope — on every plain `ctest` run: a data race
+ * anywhere in that machinery fails the build's test suite.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hh"
+#include "kvstore/lsm_store.hh"
+#include "test_util.hh"
+
+using namespace ethkv;
+
+namespace
+{
+
+std::atomic<int> failures{0};
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "tsan_lsm_stress: FAILED: %s\n", what);
+        ++failures;
+    }
+}
+
+constexpr int num_writers = 8;
+constexpr int num_scanners = 2;
+constexpr auto run_time = std::chrono::seconds(5);
+
+Bytes
+key(int writer, uint64_t i)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "w%02d-%010llu", writer,
+                  static_cast<unsigned long long>(i));
+    return buf;
+}
+
+void
+writerBody(kv::LSMStore &store,
+           std::chrono::steady_clock::time_point deadline,
+           int writer)
+{
+    Bytes value(128, static_cast<char>('a' + writer));
+    uint64_t i = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        // Cycle a bounded keyspace so overwrites and tombstones
+        // keep flowing through compactions.
+        uint64_t k = i % 4000;
+        Status s = store.put(key(writer, k), value);
+        check(s.isOk(), "writer put");
+        if (i % 7 == 0) {
+            s = store.del(key(writer, (k + 2000) % 4000));
+            check(s.isOk(), "writer del");
+        }
+        if (i % 997 == 0) {
+            Bytes got;
+            s = store.get(key(writer, k), got);
+            check(s.isOk(), "writer read-own-write");
+        }
+        ++i;
+    }
+}
+
+void
+scannerBody(kv::LSMStore &store,
+            std::chrono::steady_clock::time_point deadline,
+            int scanner)
+{
+    while (std::chrono::steady_clock::now() < deadline) {
+        // Each pass covers one writer's keyspace; entries must
+        // arrive in strictly ascending key order no matter what
+        // flush/compaction installs mid-scan.
+        int target = scanner * 3 % num_writers;
+        Bytes prev;
+        Status s = store.scan(
+            key(target, 0), key(target, 9999999999ull),
+            [&prev](BytesView k, BytesView) {
+                if (!prev.empty() && BytesView(prev) >= k) {
+                    check(false, "scan order");
+                    return false;
+                }
+                prev = Bytes(k);
+                return true;
+            });
+        check(s.isOk(), "scan status");
+    }
+}
+
+void
+statsBody(kv::LSMStore &store,
+          std::chrono::steady_clock::time_point deadline)
+{
+    while (std::chrono::steady_clock::now() < deadline) {
+        store.stats();
+        store.levelFileCounts();
+        store.tableBytes();
+        check(!store.isDegraded(), "not degraded");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    testutil::ScratchDir dir("tsan_lsm");
+    kv::LSMOptions options;
+    options.dir = dir.path();
+    // Tiny memtable + aggressive level budgets: seals every few
+    // hundred writes, so flush and compaction run the whole time.
+    options.memtable_bytes = 32 << 10;
+    options.l0_compaction_trigger = 3;
+    options.level_base_bytes = 64 << 10;
+    options.target_file_bytes = 16 << 10;
+
+    auto opened = kv::LSMStore::open(options);
+    if (!opened.ok()) {
+        std::fprintf(stderr, "tsan_lsm_stress: open failed: %s\n",
+                     opened.status().toString().c_str());
+        return 1;
+    }
+    kv::LSMStore &store = *opened.value();
+
+    auto deadline = std::chrono::steady_clock::now() + run_time;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < num_writers; ++w)
+        threads.emplace_back(
+            [&store, deadline, w] { writerBody(store, deadline, w); });
+    for (int s = 0; s < num_scanners; ++s)
+        threads.emplace_back(
+            [&store, deadline, s] { scannerBody(store, deadline, s); });
+    threads.emplace_back(
+        [&store, deadline] { statsBody(store, deadline); });
+    for (std::thread &t : threads)
+        t.join();
+
+    check(store.flush().isOk(), "final flush");
+    check(store.checkInvariants().isOk(), "invariants");
+    check(store.compactAll().isOk(), "compactAll");
+    check(store.checkInvariants().isOk(), "invariants after compact");
+
+    kv::IOStats io = store.stats();
+    std::fprintf(stderr,
+                 "tsan_lsm_stress: flush_bytes=%llu compactions=%llu"
+                 " live=%llu\n",
+                 static_cast<unsigned long long>(io.flush_bytes),
+                 static_cast<unsigned long long>(io.compactions),
+                 static_cast<unsigned long long>(
+                     store.liveKeyCount()));
+    check(io.flush_bytes > 0, "background flush ran");
+    check(io.compactions > 0, "background compaction ran");
+
+    if (failures) {
+        std::fprintf(stderr, "tsan_lsm_stress: %d failures\n",
+                     failures.load());
+        return 1;
+    }
+    std::fprintf(stderr, "tsan_lsm_stress: PASS\n");
+    return 0;
+}

@@ -8,17 +8,23 @@
 #       leak/overflow in the accept/frame/op/response path fails
 #       the suite.
 #
-#   server_smoke.sh crash <ethkvd> <bench_server_load> <scratch>
-#       The acceptance drill: fill a durable sync engine, kill -9
-#       the server mid-load, restart on the same directory, and
-#       verify that every acknowledged write survived (zero
-#       acked-synced data loss).
+#   server_smoke.sh crash <ethkvd> <bench_server_load> <scratch> \
+#       [engine [extra-flags...]]
+#       The acceptance drill: fill a durable sync engine (default
+#       log; "lsm" exercises kill -9 while background flushes and
+#       compactions are mid-flight), kill -9 the server mid-load,
+#       restart on the same directory, and verify that every
+#       acknowledged write survived (zero acked-synced data loss).
 set -u
 
 MODE=$1
 ETHKVD=$2
 LOADGEN=$3
 SCRATCH=$4
+ENGINE=${5:-log}
+shift 4
+[ $# -gt 0 ] && shift
+EXTRA_FLAGS=("$@")
 
 rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH/data"
@@ -65,7 +71,8 @@ case "$MODE" in
     ;;
 
   crash)
-    "$ETHKVD" --engine log --dir "$SCRATCH/data" --sync \
+    "$ETHKVD" --engine "$ENGINE" --dir "$SCRATCH/data" --sync \
+        ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} \
         --port 0 --port-file "$SCRATCH/port" --workers 2 &
     SERVER_PID=$!
     wait_port_file "$SCRATCH/port"
@@ -95,7 +102,8 @@ case "$MODE" in
 
     # Restart on the same directory; recovery must surface every
     # acked (therefore synced) write.
-    "$ETHKVD" --engine log --dir "$SCRATCH/data" --sync \
+    "$ETHKVD" --engine "$ENGINE" --dir "$SCRATCH/data" --sync \
+        ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} \
         --port 0 --port-file "$SCRATCH/port2" --workers 2 &
     SERVER_PID=$!
     wait_port_file "$SCRATCH/port2"

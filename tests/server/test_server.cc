@@ -153,6 +153,53 @@ TEST(ServerTest, ScanHonorsServerSideCap)
     EXPECT_TRUE(scan.truncated);
 }
 
+TEST(ServerTest, ScanHonorsByteBudget)
+{
+    // A scan whose entries would blow past the response byte
+    // budget must truncate instead of emitting an over-sized
+    // frame; the client pages through via the truncated flag.
+    ServerOptions options;
+    options.scan_byte_budget = 2048;
+    ServerFixture fx(options);
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+
+    const std::string value(100, 'v');
+    for (uint64_t i = 0; i < 100; ++i)
+        ASSERT_TRUE(client->put(makeKey(i, "bb"), value).isOk());
+
+    ScanResult scan;
+    ASSERT_TRUE(client
+                    ->scan(makeKey(0, "bb"), makeKey(100, "bb"),
+                           1000, scan)
+                    .isOk());
+    EXPECT_TRUE(scan.truncated);
+    ASSERT_FALSE(scan.entries.empty());
+    // ~130 wire bytes per entry against a 2048-byte budget.
+    EXPECT_LT(scan.entries.size(), 20u);
+
+    // Page through the remainder: resume each scan just past the
+    // last key returned. Every entry arrives exactly once.
+    size_t total = scan.entries.size();
+    Bytes cursor = scan.entries.back().key;
+    while (scan.truncated) {
+        Bytes next_start = cursor + '\0';
+        ASSERT_TRUE(client
+                        ->scan(next_start, makeKey(100, "bb"),
+                               1000, scan)
+                        .isOk());
+        ASSERT_FALSE(scan.entries.empty());
+        total += scan.entries.size();
+        cursor = scan.entries.back().key;
+    }
+    EXPECT_EQ(total, 100u);
+
+    // The connection survived the truncated scans.
+    Bytes got;
+    ASSERT_TRUE(client->get(makeKey(0, "bb"), got).isOk());
+    EXPECT_EQ(got, value);
+}
+
 TEST(ServerTest, LargeValuesSurviveTheWire)
 {
     ServerFixture fx;

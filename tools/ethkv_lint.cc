@@ -4,7 +4,7 @@
  *
  * Usage: ethkv_lint <repo-root>
  *
- * Three rule families, each tuned to an invariant this codebase
+ * Six rule families, each tuned to an invariant this codebase
  * depends on:
  *
  *  1. KVClass switch exhaustiveness. The paper's whole analysis
@@ -43,6 +43,14 @@
  *     PosixEnv, which owns the file-side syscalls — may invoke
  *     them. Member calls (file->read(...)) and qualified names
  *     (net::readSome) are not syscalls and do not trip the rule.
+ *
+ *  6. Engine threads only via MaintenanceThread. Inside
+ *     src/kvstore, std::thread / std::jthread / pthread_create are
+ *     confined to lsm_maintenance.{hh,cc}: engines hand background
+ *     work to the MaintenanceThread rather than spawning ad-hoc
+ *     threads, so start/drain/join-before-teardown lives in one
+ *     reviewed place and the TSan stress target knows what to
+ *     cover.
  *
  * Exit status 0 when clean; 1 with one "file:line: message" per
  * violation otherwise, so the `lint.ethkv_lint` ctest entry fails
@@ -584,6 +592,50 @@ checkDirectNet(const fs::path &rel,
     }
 }
 
+// --- Rule 6: engine threads only via MaintenanceThread ----------
+
+/**
+ * The only translation units in src/kvstore allowed to create
+ * threads. Everything else coordinates with the maintenance thread
+ * through MaintenanceThread's signal/stop interface, so engine
+ * thread lifecycle (start, drain, join-before-teardown) stays in
+ * one reviewed place.
+ */
+bool
+kvstoreThreadAllowlisted(const fs::path &rel)
+{
+    return rel == fs::path("src/kvstore/lsm_maintenance.cc") ||
+           rel == fs::path("src/kvstore/lsm_maintenance.hh");
+}
+
+void
+checkKvstoreThreads(const fs::path &rel,
+                    const std::vector<std::string> &lines)
+{
+    auto it = rel.begin();
+    if (it == rel.end() || *it != fs::path("src"))
+        return;
+    ++it;
+    if (it == rel.end() || *it != fs::path("kvstore"))
+        return;
+    if (kvstoreThreadAllowlisted(rel))
+        return;
+    static const char *banned[] = {"std::thread", "pthread_create",
+                                   "std::jthread"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        for (const char *token : banned) {
+            if (containsToken(lines[i], token)) {
+                report(rel.string(), i + 1,
+                       std::string(token) +
+                           " in src/kvstore — engine background "
+                           "work runs on the MaintenanceThread "
+                           "(lsm_maintenance.hh) so thread "
+                           "lifecycle stays in one place");
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -634,6 +686,7 @@ main(int argc, char **argv)
             checkIncludes(rel, rel, lines);
             checkDirectIO(rel, lines);
             checkDirectNet(rel, lines);
+            checkKvstoreThreads(rel, lines);
             if (ext == ".hh" &&
                 *rel.begin() == fs::path("src")) {
                 checkHeaderGuard(rel, rel, text);
