@@ -24,8 +24,14 @@
  *    Delete->DELETE, Scan->SCAN).
  *
  * Latencies land in the process-global metrics registry
- * (bench.server.<op>.latency_ns) and dump as ethkv.metrics.v1 JSON
- * via --metrics-out; a human summary goes to stdout.
+ * (bench.server.<op>.latency_ns); a human summary goes to stdout.
+ * --metrics-out writes one combined ethkv.bench_server_load.v1
+ * document: the client-side registry plus a STATS scrape of the
+ * server's metrics, so a single artifact holds both ends of the
+ * run. --trace-out records a client-side span per request (traced
+ * wire-v2 frames), fetches the server's span log over TRACEDUMP,
+ * and writes the merged Chrome trace — one timeline, both
+ * processes, request ids linking the spans.
  */
 
 #include <atomic>
@@ -40,11 +46,14 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rand.hh"
 #include "common/status.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/scoped_timer.hh"
+#include "obs/trace_event.hh"
 #include "server/client.hh"
 #include "trace/trace_file.hh"
 
@@ -73,6 +82,8 @@ struct Flags
     std::string mode = "mixed";
     std::string trace_path;
     std::string acked_file;
+    std::string trace_out;
+    std::string metrics_out;
 };
 
 void
@@ -103,7 +114,10 @@ usage(const char *argv0)
         "  --trace <path>       replay a captured trace instead\n"
         "  --acked-file <path>  fill: record acked key ids;"
         " verify: check them\n"
-        "  --metrics-out <path> dump ethkv.metrics.v1 JSON\n",
+        "  --metrics-out <path> combined client+server JSON"
+        " (ethkv.bench_server_load.v1)\n"
+        "  --trace-out <path>   merged client+server Chrome trace"
+        " JSON\n",
         argv0);
 }
 
@@ -151,6 +165,10 @@ parseFlags(int argc, char **argv, Flags &f)
             f.trace_path = next("--trace");
         } else if (arg == "--acked-file") {
             f.acked_file = next("--acked-file");
+        } else if (arg == "--trace-out") {
+            f.trace_out = next("--trace-out");
+        } else if (arg == "--metrics-out") {
+            f.metrics_out = next("--metrics-out");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -480,12 +498,108 @@ runVerify(const Flags &f, int port)
     return missing + mismatched ? 1 : 0;
 }
 
+void
+writeFileOrWarn(const std::string &path, const std::string &doc)
+{
+    Status s = Env::defaultEnv()->writeStringToFile(path, doc,
+                                                    /*sync=*/false);
+    if (!s.isOk()) {
+        warn("bench_server_load: write %s failed: %s",
+             path.c_str(), s.toString().c_str());
+    }
+}
+
+/**
+ * End-of-run artifacts: the merged Chrome trace (--trace-out) and
+ * the combined client+server metrics document (--metrics-out).
+ * Server-side data comes from one fresh blocking connection; if the
+ * server is already gone (crash harness), the client side is still
+ * written with "server": null.
+ */
+void
+writeRunArtifacts(const Flags &f, int port,
+                  const obs::TraceEventLog *client_log,
+                  uint64_t ops_done, uint64_t acked,
+                  uint64_t errors, uint64_t elapsed_ns)
+{
+    if (f.trace_out.empty() && f.metrics_out.empty())
+        return;
+
+    Bytes server_stats;
+    Bytes server_trace;
+    auto client =
+        server::Client::open(f.host, static_cast<uint16_t>(port));
+    if (client.ok()) {
+        if (!f.metrics_out.empty()) {
+            ETHKV_IGNORE_STATUS(
+                client.value()->stats(server_stats),
+                "a failed scrape degrades the artifact to "
+                "client-only; the run itself already finished");
+        }
+        if (!f.trace_out.empty()) {
+            ETHKV_IGNORE_STATUS(
+                client.value()->traceDump(server_trace),
+                "a server without --trace returns an empty log; "
+                "the client spans still stand alone");
+        }
+    } else {
+        warn("bench_server_load: scrape connection failed: %s",
+             client.status().toString().c_str());
+    }
+
+    if (!f.trace_out.empty()) {
+        std::string client_json =
+            client_log ? client_log->toJson() : std::string();
+        writeFileOrWarn(
+            f.trace_out,
+            obs::mergeTraceJson(client_json,
+                                std::string(server_trace)));
+        inform("bench_server_load: merged trace (%zu client spans"
+               " + %zu server bytes) -> %s",
+               client_log ? client_log->size() : 0,
+               server_trace.size(), f.trace_out.c_str());
+    }
+
+    if (!f.metrics_out.empty()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema");
+        w.value("ethkv.bench_server_load.v1");
+        w.key("mode");
+        w.value(f.mode);
+        w.key("connections");
+        w.value(f.connections);
+        w.key("threads");
+        w.value(f.threads);
+        w.key("ops_submitted");
+        w.value(ops_done);
+        w.key("acked");
+        w.value(acked);
+        w.key("errors");
+        w.value(errors);
+        w.key("elapsed_ns");
+        w.value(elapsed_ns);
+        w.key("client");
+        w.rawValue(obs::MetricsRegistry::global().toJson());
+        w.key("server");
+        if (server_stats.empty())
+            w.null();
+        else
+            w.rawValue(server_stats);
+        w.endObject();
+        writeFileOrWarn(f.metrics_out, w.take());
+        inform("bench_server_load: combined metrics -> %s%s",
+               f.metrics_out.c_str(),
+               server_stats.empty() ? " (server scrape missing)"
+                                    : "");
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bench::initTelemetry(&argc, argv);
     Flags flags;
     if (!parseFlags(argc, argv, flags))
         return 2;
@@ -513,6 +627,15 @@ main(int argc, char **argv)
 
     Instruments ins = Instruments::fromRegistry();
 
+    // Absolute clock so these spans merge with the server's
+    // TRACEDUMP output onto one timeline. Capped: a huge --ops run
+    // should bound the trace, not the address space.
+    std::unique_ptr<obs::TraceEventLog> trace_log;
+    if (!flags.trace_out.empty()) {
+        trace_log = std::make_unique<obs::TraceEventLog>(
+            /*absolute_clock=*/true, /*max_spans=*/262144);
+    }
+
     // Each thread owns its share of connections outright (clients
     // are not thread-safe), so the hot loop takes no locks.
     int threads = flags.threads;
@@ -522,11 +645,21 @@ main(int argc, char **argv)
         conn.record_acks = fill;
         per_thread[c % threads].push_back(std::move(conn));
     }
+    uint32_t conn_index = 0;
     for (std::vector<Conn> &conns : per_thread) {
         for (Conn &conn : conns) {
             auto opened = openConn(flags, port, conn, ins);
             opened.status().expectOk("connect");
             conn.client = opened.take();
+            ++conn_index;
+            if (trace_log) {
+                // Disjoint id ranges per connection keep trace ids
+                // unique across the whole run; tid = connection.
+                conn.client->enableTrace(
+                    trace_log.get(),
+                    static_cast<uint64_t>(conn_index) << 32,
+                    conn_index);
+            }
         }
     }
 
@@ -600,8 +733,15 @@ main(int argc, char **argv)
         // the server acknowledged first.
         std::fprintf(stderr,
                      "bench_server_load: connection died\n");
+        writeRunArtifacts(flags, port, trace_log.get(), ops_done,
+                          ins.acked->value(), ins.errors->value(),
+                          elapsed_ns);
         return 75;
     }
+
+    writeRunArtifacts(flags, port, trace_log.get(), ops_done,
+                      ins.acked->value(), ins.errors->value(),
+                      elapsed_ns);
     if (!fill && ins.errors->value() > 0)
         return 1;
     return 0;

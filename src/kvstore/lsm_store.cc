@@ -11,12 +11,21 @@
 #include "common/logging.hh"
 #include "kvstore/internal_iterator.hh"
 #include "obs/scoped_timer.hh"
+#include "obs/trace_event.hh"
 
 namespace ethkv::kv
 {
 
 namespace
 {
+
+/**
+ * Track identity for maintenance-thread spans: the server process
+ * is pid 1 (workers take tids 1..N), so the maintenance thread gets
+ * a tid far above any worker and shows up as its own lane.
+ */
+constexpr uint32_t kMaintenanceTracePid = 1;
+constexpr uint32_t kMaintenanceTraceTid = 1000;
 
 /** Decoded MANIFEST contents (plain text, one directive a line). */
 struct ManifestImage
@@ -644,6 +653,9 @@ LSMStore::backgroundFlush(std::unique_lock<std::mutex> &lock)
     static obs::LatencyHistogram &flush_ns =
         obs::MetricsRegistry::global().histogram("kv.lsm.flush_ns");
     obs::ScopedTimer timer(flush_ns);
+    obs::ScopedSpan span(options_.trace_log, "maint.flush",
+                         "maintenance");
+    span.setTrack(kMaintenanceTracePid, kMaintenanceTraceTid);
 
     ImmutableMemtable imm = imm_.front();
     uint64_t file_no = next_file_no_++;
@@ -663,6 +675,7 @@ LSMStore::backgroundFlush(std::unique_lock<std::mutex> &lock)
                 file_no, reader.take(), env_);
     }
 
+    span.setArg("bytes", file_bytes);
     lock.lock();
     if (!s.isOk())
         return s;
@@ -782,6 +795,9 @@ LSMStore::runCompaction(std::unique_lock<std::mutex> &lock,
         obs::MetricsRegistry::global().histogram(
             "kv.lsm.compaction_ns");
     obs::ScopedTimer timer(compaction_ns);
+    obs::ScopedSpan span(options_.trace_log, "maint.compact",
+                         "maintenance");
+    span.setTrack(kMaintenanceTracePid, kMaintenanceTraceTid);
 
     ++stats_.compactions;
 
@@ -886,6 +902,7 @@ LSMStore::runCompaction(std::unique_lock<std::mutex> &lock,
     if (!s.isOk())
         return s;
 
+    span.setArg("bytes", new_bytes);
     stats_.compaction_bytes += new_bytes;
     stats_.bytes_written += new_bytes;
     stats_.tombstones_dropped += dropped_tombstones;

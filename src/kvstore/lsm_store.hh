@@ -41,6 +41,11 @@
 #include "kvstore/sstable.hh"
 #include "kvstore/wal.hh"
 
+namespace ethkv::obs
+{
+class TraceEventLog;
+}
+
 namespace ethkv::kv
 {
 
@@ -65,6 +70,11 @@ struct LSMOptions
     //! L0 file count that hard-stalls writers; 0 = 3 *
     //! l0_compaction_trigger.
     int l0_stop_files = 0;
+    //! Span sink for background flush/compaction work (shows the
+    //! maintenance thread as its own track in merged request
+    //! timelines); tracing off when null. Not owned; must outlive
+    //! the store.
+    obs::TraceEventLog *trace_log = nullptr;
 };
 
 /**

@@ -1,0 +1,469 @@
+#include "obs/json.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace ethkv::obs
+{
+
+// ---------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------
+
+void
+JsonWriter::beforeValue()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // comma was written with the key
+    }
+    if (!wrote_elem_.empty()) {
+        if (wrote_elem_.back())
+            out_.push_back(',');
+        wrote_elem_.back() = true;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_.push_back('{');
+    wrote_elem_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    if (wrote_elem_.empty())
+        panic("JsonWriter::endObject with no open container");
+    wrote_elem_.pop_back();
+    out_.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_.push_back('[');
+    wrote_elem_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    if (wrote_elem_.empty())
+        panic("JsonWriter::endArray with no open container");
+    wrote_elem_.pop_back();
+    out_.push_back(']');
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    if (wrote_elem_.empty())
+        panic("JsonWriter::key outside an object");
+    if (wrote_elem_.back())
+        out_.push_back(',');
+    wrote_elem_.back() = true;
+    appendJsonString(out_, name);
+    out_.push_back(':');
+    pending_key_ = true;
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    appendJsonString(out_, s);
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+}
+
+void
+JsonWriter::rawValue(std::string_view json)
+{
+    while (!json.empty() &&
+           (json.back() == '\n' || json.back() == ' ' ||
+            json.back() == '\t' || json.back() == '\r'))
+        json.remove_suffix(1);
+    beforeValue();
+    out_ += json;
+}
+
+// ---------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(std::string_view name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[key, value] : members)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number || number <= 0.0)
+        return 0;
+    return static_cast<uint64_t>(number);
+}
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Status
+    parse(JsonValue &out)
+    {
+        // Reset a reused value: parseValue fills fields in place,
+        // so stale members/items from a previous parse would leak
+        // through otherwise (mon polls reuse their DOM).
+        out = JsonValue{};
+        Status s = parseValue(out, 0);
+        if (!s.isOk())
+            return s;
+        skipWs();
+        if (pos_ != text_.size())
+            return Status::corruption(
+                "json: trailing garbage at offset " +
+                std::to_string(pos_));
+        return Status::ok();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    fail(const char *what)
+    {
+        return Status::corruption(
+            std::string("json: ") + what + " at offset " +
+            std::to_string(pos_));
+    }
+
+    Status
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        case 't':
+            if (text_.substr(pos_, 4) == "true") {
+                pos_ += 4;
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = true;
+                return Status::ok();
+            }
+            return fail("bad literal");
+        case 'f':
+            if (text_.substr(pos_, 5) == "false") {
+                pos_ += 5;
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = false;
+                return Status::ok();
+            }
+            return fail("bad literal");
+        case 'n':
+            if (text_.substr(pos_, 4) == "null") {
+                pos_ += 4;
+                out.kind = JsonValue::Kind::Null;
+                return Status::ok();
+            }
+            return fail("bad literal");
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    Status
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return Status::ok();
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected member name");
+            std::string name;
+            Status s = parseString(name);
+            if (!s.isOk())
+                return s;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            s = parseValue(value, depth + 1);
+            if (!s.isOk())
+                return s;
+            out.members.emplace_back(std::move(name),
+                                     std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status::ok();
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    Status
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return Status::ok();
+        while (true) {
+            JsonValue value;
+            Status s = parseValue(value, depth + 1);
+            if (!s.isOk())
+                return s;
+            out.items.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status::ok();
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    /** UTF-8-encode one code point (BMP + supplementary). */
+    static void
+    appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    Status
+    parseHex4(uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + static_cast<size_t>(i)];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+        }
+        pos_ += 4;
+        return Status::ok();
+    }
+
+    Status
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return Status::ok();
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out.push_back(e);
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                uint32_t cp = 0;
+                Status s = parseHex4(cp);
+                if (!s.isOk())
+                    return s;
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    pos_ + 1 < text_.size() &&
+                    text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+                    pos_ += 2;
+                    uint32_t low = 0;
+                    s = parseHex4(low);
+                    if (!s.isOk())
+                        return s;
+                    if (low >= 0xDC00 && low <= 0xDFFF)
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (low - 0xDC00);
+                    else
+                        return fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                return fail("bad escape");
+            }
+        }
+    }
+
+    Status
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '+' || c == '-')
+                ++pos_;
+            else
+                break;
+        }
+        if (pos_ == start)
+            return fail("expected value");
+        std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return Status::ok();
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Status
+parseJson(std::string_view text, JsonValue &out)
+{
+    Parser parser(text);
+    return parser.parse(out);
+}
+
+} // namespace ethkv::obs

@@ -8,6 +8,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace ethkv::obs
 {
@@ -52,14 +53,12 @@ percentileOf(const std::vector<uint64_t> &buckets, uint64_t count,
     return max;
 }
 
+/** JSON-escape via the shared helper so control characters in
+ *  metric names can't produce invalid documents. */
 void
 appendEscaped(std::string &out, const std::string &s)
 {
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
+    appendJsonEscaped(out, s);
 }
 
 void
@@ -350,6 +349,22 @@ MetricsRegistry::snapshot() const
     snap.histograms.reserve(histograms_.size());
     for (const auto &[name, hist] : histograms_)
         snap.histograms.push_back(hist->snapshot(name));
+    // Synthesize percentile gauges from the same histogram copies
+    // so downstream tooling never re-derives quantiles from raw
+    // buckets (and cannot disagree with this snapshot).
+    for (const HistogramSnapshot &h : snap.histograms) {
+        if (h.count == 0)
+            continue;
+        snap.gauges.emplace_back(
+            h.name + ".p50",
+            static_cast<int64_t>(h.percentile(0.50)));
+        snap.gauges.emplace_back(
+            h.name + ".p99",
+            static_cast<int64_t>(h.percentile(0.99)));
+        snap.gauges.emplace_back(
+            h.name + ".p999",
+            static_cast<int64_t>(h.percentile(0.999)));
+    }
     return snap;
 }
 

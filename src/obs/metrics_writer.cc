@@ -1,0 +1,163 @@
+#include "obs/metrics_writer.hh"
+
+#include <chrono>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/scoped_timer.hh"
+
+namespace ethkv::obs
+{
+
+PeriodicMetricsWriter::PeriodicMetricsWriter(Options options)
+    : options_(std::move(options))
+{
+    if (!options_.registry)
+        options_.registry = &MetricsRegistry::global();
+    if (!options_.env)
+        options_.env = Env::defaultEnv();
+    if (options_.interval_ms == 0)
+        options_.interval_ms = 1000;
+}
+
+PeriodicMetricsWriter::~PeriodicMetricsWriter() { stop(); }
+
+void
+PeriodicMetricsWriter::start()
+{
+    if (options_.path.empty() || running_)
+        return;
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+PeriodicMetricsWriter::stop()
+{
+    if (!running_)
+        return;
+    {
+        MutexLock lock(mutex_);
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    running_ = false;
+}
+
+std::string
+PeriodicMetricsWriter::renderOnce(uint64_t elapsed_ms)
+{
+    MetricsSnapshot cur = options_.registry->snapshot();
+    double seconds =
+        static_cast<double>(elapsed_ms ? elapsed_ms : 1) / 1000.0;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("ethkv.metrics.live.v1");
+    w.key("seq");
+    w.value(seq_++);
+    w.key("interval_ms");
+    w.value(elapsed_ms);
+
+    // Counter increments since the previous tick, and the same as
+    // per-second rates. A counter absent from the previous
+    // snapshot (created mid-run) counts from zero.
+    w.key("deltas");
+    w.beginObject();
+    for (const auto &[name, value] : cur.counters) {
+        uint64_t before = 0;
+        if (have_prev_) {
+            const uint64_t *p = prev_.findCounter(name);
+            if (p)
+                before = *p;
+        }
+        uint64_t delta = value >= before ? value - before : 0;
+        w.key(name);
+        w.value(delta);
+    }
+    w.endObject();
+
+    w.key("rates_per_sec");
+    w.beginObject();
+    for (const auto &[name, value] : cur.counters) {
+        uint64_t before = 0;
+        if (have_prev_) {
+            const uint64_t *p = prev_.findCounter(name);
+            if (p)
+                before = *p;
+        }
+        uint64_t delta = value >= before ? value - before : 0;
+        w.key(name);
+        w.value(static_cast<double>(delta) / seconds);
+    }
+    for (const HistogramSnapshot &h : cur.histograms) {
+        uint64_t before = 0;
+        if (have_prev_) {
+            const HistogramSnapshot *p =
+                prev_.findHistogram(h.name);
+            if (p)
+                before = p->count;
+        }
+        uint64_t delta = h.count >= before ? h.count - before : 0;
+        w.key(h.name + ".samples");
+        w.value(static_cast<double>(delta) / seconds);
+    }
+    w.endObject();
+
+    w.key("metrics");
+    w.rawValue(cur.toJson());
+    w.endObject();
+
+    prev_ = std::move(cur);
+    have_prev_ = true;
+    std::string out = w.take();
+    out += "\n";
+    return out;
+}
+
+Status
+PeriodicMetricsWriter::writeFile(const std::string &doc)
+{
+    std::string tmp = options_.path + ".tmp";
+    Status s =
+        options_.env->writeStringToFile(tmp, doc, /*sync=*/false);
+    if (!s.isOk())
+        return s;
+    return options_.env->renameFile(tmp, options_.path);
+}
+
+void
+PeriodicMetricsWriter::loop()
+{
+    auto last = std::chrono::steady_clock::now();
+    while (true) {
+        bool stopping = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_.native());
+            cv_.wait_for(
+                lock,
+                std::chrono::milliseconds(options_.interval_ms),
+                [this]() NO_THREAD_SAFETY_ANALYSIS {
+                    return stop_requested_;
+                });
+            stopping = stop_requested_;
+        }
+        auto now = std::chrono::steady_clock::now();
+        uint64_t elapsed_ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<
+                std::chrono::milliseconds>(now - last)
+                .count());
+        last = now;
+        std::string doc = renderOnce(elapsed_ms);
+        Status s = writeFile(doc);
+        if (!s.isOk())
+            warn("metrics writer: %s", s.toString().c_str());
+        if (stopping)
+            return;
+    }
+}
+
+} // namespace ethkv::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Periodic metrics snapshot-to-file writer.
+ *
+ * ethkvd's --metrics-interval points this at a path; every tick it
+ * snapshots the registry, computes deltas against the previous
+ * tick (counter increments and per-second rates, plus histogram
+ * sample-count rates), and atomically replaces the file
+ * (tmp + rename) with a ethkv.metrics.live.v1 document. External
+ * collectors and `watch`-style tooling read the file without
+ * talking to the server's wire protocol at all.
+ */
+
+#ifndef ETHKV_OBS_METRICS_WRITER_HH
+#define ETHKV_OBS_METRICS_WRITER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/mutex.hh"
+#include "common/status.hh"
+#include "obs/metrics.hh"
+
+namespace ethkv
+{
+class Env;
+}
+
+namespace ethkv::obs
+{
+
+class PeriodicMetricsWriter
+{
+  public:
+    struct Options
+    {
+        std::string path;           //!< Destination file.
+        uint64_t interval_ms = 1000;
+        MetricsRegistry *registry = nullptr; //!< null = global().
+        Env *env = nullptr;                  //!< null = default.
+    };
+
+    explicit PeriodicMetricsWriter(Options options);
+    ~PeriodicMetricsWriter();
+
+    PeriodicMetricsWriter(const PeriodicMetricsWriter &) = delete;
+    PeriodicMetricsWriter &
+    operator=(const PeriodicMetricsWriter &) = delete;
+
+    /** Spawn the writer thread. No-op when path is empty. */
+    void start();
+
+    /** Stop and join; final snapshot is written on the way out. */
+    void stop();
+
+    /**
+     * One snapshot+delta document without touching the file or
+     * the thread — the building block the loop uses, exposed so
+     * tests exercise delta math deterministically.
+     *
+     * @param elapsed_ms Wall time attributed to the delta (rates
+     *        are per second of this span).
+     */
+    std::string renderOnce(uint64_t elapsed_ms);
+
+  private:
+    void loop();
+    Status writeFile(const std::string &doc);
+
+    Options options_;
+    MetricsSnapshot prev_;
+    bool have_prev_ = false;
+    uint64_t seq_ = 0;
+
+    Mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_requested_ GUARDED_BY(mutex_) = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+} // namespace ethkv::obs
+
+#endif // ETHKV_OBS_METRICS_WRITER_HH

@@ -1,0 +1,109 @@
+#include "obs/slow_op_log.hh"
+
+#include <algorithm>
+
+#include "obs/json.hh"
+
+namespace ethkv::obs
+{
+
+SlowOpLog::SlowOpLog(size_t capacity)
+    : slots_(capacity ? capacity : 1)
+{}
+
+void
+SlowOpLog::record(const SlowOpRecord &rec)
+{
+    uint64_t ticket =
+        head_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[ticket % slots_.size()];
+    uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    // Claim the slot: even -> odd. Losing the race means another
+    // writer lapped us on this slot; drop rather than block.
+    if (seq & 1 ||
+        !slot.seq.compare_exchange_strong(
+            seq, seq + 1, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    slot.rec = rec;
+    slot.seq.store(seq + 2, std::memory_order_release);
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SlowOpRecord>
+SlowOpLog::snapshot() const
+{
+    std::vector<SlowOpRecord> out;
+    uint64_t head = head_.load(std::memory_order_acquire);
+    size_t n = slots_.size();
+    uint64_t want = std::min<uint64_t>(head, n);
+    out.reserve(want);
+    // Walk backwards from the most recently claimed slot.
+    for (uint64_t i = 0; i < want; ++i) {
+        const Slot &slot = slots_[(head - 1 - i) % n];
+        uint64_t before =
+            slot.seq.load(std::memory_order_acquire);
+        if (before == 0 || (before & 1))
+            continue; // never written, or write in flight
+        SlowOpRecord rec = slot.rec;
+        uint64_t after =
+            slot.seq.load(std::memory_order_acquire);
+        if (after != before)
+            continue; // overwritten while copying
+        out.push_back(rec);
+    }
+    return out;
+}
+
+std::string
+SlowOpLog::toJson() const
+{
+    std::vector<SlowOpRecord> records = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("ethkv.slowops.v1");
+    w.key("capacity");
+    w.value(static_cast<uint64_t>(capacity()));
+    w.key("recorded");
+    w.value(recorded());
+    w.key("dropped");
+    w.value(dropped());
+    w.key("ops");
+    w.beginArray();
+    for (const SlowOpRecord &rec : records) {
+        w.beginObject();
+        w.key("start_us");
+        w.value(rec.start_us);
+        w.key("trace_id");
+        w.value(rec.trace_id);
+        w.key("opcode");
+        w.value(static_cast<uint64_t>(rec.opcode));
+        w.key("wire_status");
+        w.value(static_cast<uint64_t>(rec.wire_status));
+        w.key("worker");
+        w.value(static_cast<uint64_t>(rec.worker));
+        w.key("total_ns");
+        w.value(rec.total_ns);
+        w.key("exec_ns");
+        w.value(rec.exec_ns);
+        w.key("decode_ns");
+        w.value(rec.decode_ns);
+        w.key("encode_ns");
+        w.value(rec.encode_ns);
+        w.key("request_bytes");
+        w.value(static_cast<uint64_t>(rec.request_bytes));
+        w.key("response_bytes");
+        w.value(static_cast<uint64_t>(rec.response_bytes));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::string out = w.take();
+    out += "\n";
+    return out;
+}
+
+} // namespace ethkv::obs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lock-free ring of the most recent slow requests.
+ *
+ * ethkvd records one fixed-size SlowOpRecord per request whose
+ * server-side time exceeds --slow-op-micros; the ring keeps the
+ * last `capacity` of them for SIGUSR1 dumps and the SLOWLOG wire
+ * op. The write path is wait-free in the common case: claim a slot
+ * index with one fetch_add, then publish through a per-slot
+ * sequence word (even = stable, odd = being written). A writer
+ * that loses the CAS on a contended slot drops its record rather
+ * than spin — this is a diagnostic buffer, not an audit log, and
+ * the drop counter says how often it happened.
+ */
+
+#ifndef ETHKV_OBS_SLOW_OP_LOG_HH
+#define ETHKV_OBS_SLOW_OP_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ethkv::obs
+{
+
+/** One slow request, fixed size so slot publication can't tear
+ *  across allocations. */
+struct SlowOpRecord
+{
+    uint64_t start_us = 0;  //!< Monotonic clock, microseconds.
+    uint64_t trace_id = 0;  //!< 0 when the frame carried none.
+    uint64_t total_ns = 0;  //!< decode + exec + encode.
+    uint64_t exec_ns = 0;
+    uint64_t decode_ns = 0;
+    uint64_t encode_ns = 0;
+    uint32_t request_bytes = 0;
+    uint32_t response_bytes = 0;
+    uint16_t worker = 0;
+    uint8_t opcode = 0;
+    uint8_t wire_status = 0;
+};
+
+class SlowOpLog
+{
+  public:
+    explicit SlowOpLog(size_t capacity = 256);
+
+    SlowOpLog(const SlowOpLog &) = delete;
+    SlowOpLog &operator=(const SlowOpLog &) = delete;
+
+    /** Lock-free; drops the record on per-slot contention. */
+    void record(const SlowOpRecord &rec);
+
+    size_t capacity() const { return slots_.size(); }
+
+    /** Total records accepted (not a ring occupancy count). */
+    uint64_t
+    recorded() const
+    {
+        return recorded_.load(std::memory_order_relaxed);
+    }
+
+    /** Records dropped to slot contention. */
+    uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Stable copy, newest first; torn slots are skipped. */
+    std::vector<SlowOpRecord> snapshot() const;
+
+    /** snapshot() rendered as a JSON document (schema
+     *  ethkv.slowops.v1). */
+    std::string toJson() const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> seq{0};
+        SlowOpRecord rec;
+    };
+
+    std::vector<Slot> slots_;
+    std::atomic<uint64_t> head_{0};
+    std::atomic<uint64_t> recorded_{0};
+    std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace ethkv::obs
+
+#endif // ETHKV_OBS_SLOW_OP_LOG_HH

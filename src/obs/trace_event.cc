@@ -4,12 +4,20 @@
 #include <cstdio>
 
 #include "common/env.hh"
+#include "obs/json.hh"
 #include "obs/scoped_timer.hh"
 
 namespace ethkv::obs
 {
 
-TraceEventLog::TraceEventLog() : epoch_ns_(nowNanos()) {}
+TraceEventLog::TraceEventLog()
+    : max_spans_(0), epoch_ns_(nowNanos())
+{}
+
+TraceEventLog::TraceEventLog(bool absolute_clock, size_t max_spans)
+    : max_spans_(max_spans),
+      epoch_ns_(absolute_clock ? 0 : nowNanos())
+{}
 
 uint64_t
 TraceEventLog::nowUs() const
@@ -22,9 +30,12 @@ TraceEventLog::addSpan(const std::string &name,
                        const std::string &category,
                        uint64_t start_us, uint64_t duration_us)
 {
-    MutexLock lock(mutex_);
-    spans_.push_back(
-        {name, category, start_us, duration_us, 0, false});
+    Span span;
+    span.name = name;
+    span.category = category;
+    span.start_us = start_us;
+    span.duration_us = duration_us;
+    addSpanFull(span);
 }
 
 void
@@ -33,9 +44,39 @@ TraceEventLog::addSpan(const std::string &name,
                        uint64_t start_us, uint64_t duration_us,
                        uint64_t arg_value)
 {
+    Span span;
+    span.name = name;
+    span.category = category;
+    span.start_us = start_us;
+    span.duration_us = duration_us;
+    span.arg_value = arg_value;
+    span.has_arg = true;
+    addSpanFull(span);
+}
+
+void
+TraceEventLog::addSpanFull(const Span &span)
+{
     MutexLock lock(mutex_);
-    spans_.push_back(
-        {name, category, start_us, duration_us, arg_value, true});
+    if (max_spans_ && spans_.size() >= max_spans_) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back(span);
+}
+
+void
+TraceEventLog::setProcessLabel(uint32_t pid,
+                               const std::string &name)
+{
+    MutexLock lock(mutex_);
+    for (auto &[existing_pid, existing_name] : process_labels_) {
+        if (existing_pid == pid) {
+            existing_name = name;
+            return;
+        }
+    }
+    process_labels_.emplace_back(pid, name);
 }
 
 size_t
@@ -45,26 +86,46 @@ TraceEventLog::size() const
     return spans_.size();
 }
 
+uint64_t
+TraceEventLog::dropped() const
+{
+    MutexLock lock(mutex_);
+    return dropped_;
+}
+
 std::string
 TraceEventLog::toJson() const
 {
     MutexLock lock(mutex_);
     std::string out = "[";
     char buf[256];
-    for (size_t i = 0; i < spans_.size(); ++i) {
-        const Span &span = spans_[i];
+    size_t emitted = 0;
+    for (const auto &[pid, name] : process_labels_) {
         std::snprintf(buf, sizeof(buf),
-                      "%s\n{\"name\":\"%s\",\"cat\":\"%s\","
-                      "\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                      "%s\n{\"name\":\"process_name\","
+                      "\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                      "\"args\":{\"name\":\"",
+                      emitted++ ? "," : "", pid);
+        out += buf;
+        appendJsonEscaped(out, name);
+        out += "\"}}";
+    }
+    for (const Span &span : spans_) {
+        out += emitted++ ? ",\n{\"name\":\"" : "\n{\"name\":\"";
+        appendJsonEscaped(out, span.name);
+        out += "\",\"cat\":\"";
+        appendJsonEscaped(out, span.category);
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
                       "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64,
-                      i ? "," : "", span.name.c_str(),
-                      span.category.c_str(), span.start_us,
+                      span.pid, span.tid, span.start_us,
                       span.duration_us);
         out += buf;
         if (span.has_arg) {
+            out += ",\"args\":{\"";
+            appendJsonEscaped(out, span.arg_name);
             std::snprintf(buf, sizeof(buf),
-                          ",\"args\":{\"block\":%" PRIu64 "}",
-                          span.arg_value);
+                          "\":%" PRIu64 "}", span.arg_value);
             out += buf;
         }
         out += "}";
@@ -81,6 +142,46 @@ TraceEventLog::writeTo(const std::string &path) const
                                                 /*sync=*/false);
 }
 
+namespace
+{
+
+/** Contents of a top-level JSON array, "" when not one. */
+std::string_view
+arrayBody(const std::string &json)
+{
+    size_t begin = json.find_first_not_of(" \t\r\n");
+    size_t end = json.find_last_not_of(" \t\r\n");
+    if (begin == std::string::npos || json[begin] != '[' ||
+        json[end] != ']' || end <= begin)
+        return {};
+    std::string_view body(json.data() + begin + 1,
+                          end - begin - 1);
+    while (!body.empty() &&
+           (body.front() == '\n' || body.front() == ' '))
+        body.remove_prefix(1);
+    while (!body.empty() &&
+           (body.back() == '\n' || body.back() == ' '))
+        body.remove_suffix(1);
+    return body;
+}
+
+} // namespace
+
+std::string
+mergeTraceJson(const std::string &a, const std::string &b)
+{
+    std::string_view body_a = arrayBody(a);
+    std::string_view body_b = arrayBody(b);
+    std::string out = "[";
+    out += "\n";
+    out += body_a;
+    if (!body_a.empty() && !body_b.empty())
+        out += ",\n";
+    out += body_b;
+    out += "\n]\n";
+    return out;
+}
+
 ScopedSpan::ScopedSpan(TraceEventLog *log, const char *name,
                        const char *category)
     : log_(log), name_(name), category_(category),
@@ -91,12 +192,17 @@ ScopedSpan::~ScopedSpan()
 {
     if (!log_)
         return;
-    uint64_t duration = log_->nowUs() - start_us_;
-    if (has_arg_)
-        log_->addSpan(name_, category_, start_us_, duration,
-                      arg_value_);
-    else
-        log_->addSpan(name_, category_, start_us_, duration);
+    TraceEventLog::Span span;
+    span.name = name_;
+    span.category = category_;
+    span.start_us = start_us_;
+    span.duration_us = log_->nowUs() - start_us_;
+    span.arg_value = arg_value_;
+    span.has_arg = has_arg_;
+    span.arg_name = arg_name_;
+    span.tid = tid_;
+    span.pid = pid_;
+    log_->addSpanFull(span);
 }
 
 void
@@ -104,6 +210,21 @@ ScopedSpan::setArg(uint64_t value)
 {
     arg_value_ = value;
     has_arg_ = true;
+}
+
+void
+ScopedSpan::setArg(const char *name, uint64_t value)
+{
+    arg_name_ = name;
+    arg_value_ = value;
+    has_arg_ = true;
+}
+
+void
+ScopedSpan::setTrack(uint32_t pid, uint32_t tid)
+{
+    pid_ = pid;
+    tid_ = tid;
 }
 
 } // namespace ethkv::obs

@@ -1,11 +1,23 @@
 /**
  * @file
- * Chrome trace_event span log for the block pipeline.
+ * Chrome trace_event span log for the block pipeline and the
+ * ethkvd request pipeline.
  *
  * Collects complete ("ph":"X") spans and writes the JSON array
- * format that chrome://tracing and Perfetto load directly, so a
- * capture run's download/verify/execute/commit/maintenance phases
- * can be inspected block by block on a timeline.
+ * format that chrome://tracing and Perfetto load directly. Two
+ * clock modes:
+ *
+ *  - relative (default): timestamps are microseconds since log
+ *    creation — fine for a single-process capture run.
+ *  - absolute: timestamps are the raw monotonic clock in
+ *    microseconds, so logs recorded by different processes on the
+ *    same machine (ethkvd and a tracing client) line up when
+ *    merged into one timeline with mergeTraceJson().
+ *
+ * Spans carry a pid/tid pair (Chrome's track identity) and an
+ * optional named numeric argument; the legacy two-arg addSpan
+ * overloads keep pid=1 tid=1 arg-name "block" for the capture
+ * pipeline.
  */
 
 #ifndef ETHKV_OBS_TRACE_EVENT_HH
@@ -25,21 +37,35 @@ namespace ethkv::obs
 class TraceEventLog
 {
   public:
-    /** One complete span; timestamps in microseconds from log
-     *  creation. */
+    /** One complete span; timestamps in microseconds (see clock
+     *  modes above). */
     struct Span
     {
         std::string name;
         std::string category;
-        uint64_t start_us;
-        uint64_t duration_us;
-        uint64_t arg_value;
-        bool has_arg;
+        uint64_t start_us = 0;
+        uint64_t duration_us = 0;
+        uint64_t arg_value = 0;
+        bool has_arg = false;
+        const char *arg_name = "block"; //!< Static storage only.
+        uint32_t tid = 1;
+        uint32_t pid = 1;
     };
 
+    /** Default: relative clock, unbounded capacity. */
     TraceEventLog();
 
-    /** Microseconds since the log was created. */
+    /**
+     * @param absolute_clock Use raw monotonic microseconds so logs
+     *        from cooperating processes merge onto one timeline.
+     * @param max_spans Drop (and count) spans beyond this many;
+     *        0 = unbounded. Servers cap so a long-lived tracing
+     *        run can't grow without bound.
+     */
+    explicit TraceEventLog(bool absolute_clock,
+                           size_t max_spans = 0);
+
+    /** Microseconds on this log's clock (see clock modes). */
     uint64_t nowUs() const;
 
     void addSpan(const std::string &name,
@@ -52,7 +78,21 @@ class TraceEventLog
                  uint64_t duration_us, uint64_t arg_value)
         EXCLUDES(mutex_);
 
+    /** Fully-specified span (tid/pid/named arg). */
+    void addSpanFull(const Span &span) EXCLUDES(mutex_);
+
+    /**
+     * Chrome "M"-phase process_name metadata record, so merged
+     * traces label each pid track ("ethkvd", "client"). Emitted
+     * ahead of the spans in toJson().
+     */
+    void setProcessLabel(uint32_t pid, const std::string &name)
+        EXCLUDES(mutex_);
+
     size_t size() const EXCLUDES(mutex_);
+
+    /** Spans discarded because max_spans was reached. */
+    uint64_t dropped() const EXCLUDES(mutex_);
 
     /** Render the Chrome trace JSON array format. */
     std::string toJson() const EXCLUDES(mutex_);
@@ -63,8 +103,21 @@ class TraceEventLog
   private:
     mutable Mutex mutex_;
     std::vector<Span> spans_ GUARDED_BY(mutex_);
-    uint64_t epoch_ns_; //!< Immutable after construction.
+    std::vector<std::pair<uint32_t, std::string>> process_labels_
+        GUARDED_BY(mutex_);
+    uint64_t dropped_ GUARDED_BY(mutex_) = 0;
+    size_t max_spans_;  //!< Immutable after construction; 0 = off.
+    uint64_t epoch_ns_; //!< Immutable; 0 in absolute-clock mode.
 };
+
+/**
+ * Textually splice two Chrome trace JSON arrays into one. Inputs
+ * must be toJson()-style top-level arrays; the result is a single
+ * array with a's events followed by b's. An empty or non-array
+ * input contributes nothing.
+ */
+std::string mergeTraceJson(const std::string &a,
+                           const std::string &b);
 
 /**
  * RAII span: opens at construction, appends to the log at
@@ -84,13 +137,22 @@ class ScopedSpan
     /** Attach one numeric argument shown in the trace viewer. */
     void setArg(uint64_t value);
 
+    /** Argument with an explicit name (static storage only). */
+    void setArg(const char *name, uint64_t value);
+
+    /** Override the span's track identity (default tid=1 pid=1). */
+    void setTrack(uint32_t pid, uint32_t tid);
+
   private:
     TraceEventLog *log_;
     const char *name_;
     const char *category_;
+    const char *arg_name_ = "block";
     uint64_t start_us_;
     uint64_t arg_value_ = 0;
     bool has_arg_ = false;
+    uint32_t tid_ = 1;
+    uint32_t pid_ = 1;
 };
 
 } // namespace ethkv::obs

@@ -63,6 +63,31 @@ responseStatus(const Frame &reply)
     return statusOfWire(code, reply.payload);
 }
 
+/** Chrome-trace process id for client-side spans (server = 1). */
+constexpr uint32_t kClientTracePid = 2;
+
+/** One client-side span covering send → response. */
+void
+emitClientSpan(obs::TraceEventLog *log, Opcode op, uint32_t tid,
+               uint64_t start_ns, uint64_t end_ns,
+               uint64_t trace_id)
+{
+    obs::TraceEventLog::Span span;
+    span.name = std::string("cli.") +
+                opcodeName(static_cast<uint8_t>(op));
+    span.category = "client";
+    uint64_t now_ns = nowNs();
+    uint64_t now_us = log->nowUs();
+    span.start_us = now_us - (now_ns - start_ns) / 1000;
+    span.duration_us = (end_ns - start_ns) / 1000;
+    span.pid = kClientTracePid;
+    span.tid = tid;
+    span.arg_name = "trace_id";
+    span.arg_value = trace_id;
+    span.has_arg = true;
+    log->addSpanFull(span);
+}
+
 } // namespace
 
 // -- Client ------------------------------------------------------
@@ -90,14 +115,35 @@ Client::close()
     }
 }
 
+void
+Client::enableTrace(obs::TraceEventLog *log,
+                    uint64_t trace_id_base, uint32_t tid)
+{
+    trace_log_ = log;
+    trace_id_next_ = trace_id_base;
+    trace_tid_ = tid;
+    if (log)
+        log->setProcessLabel(kClientTracePid, "client");
+}
+
 Status
 Client::roundTrip(Opcode op, BytesView payload, Frame &reply)
 {
     if (fd_ < 0)
         return Status::ioError("client is closed");
     uint32_t id = next_id_++;
+    bool traced = trace_log_ != nullptr;
+    uint64_t trace_id = 0;
     Bytes frame;
-    appendFrame(frame, static_cast<uint8_t>(op), id, payload);
+    if (traced) {
+        trace_id = trace_id_next_++;
+        appendFrameTraced(frame, static_cast<uint8_t>(op), id,
+                          payload,
+                          {trace_id, kTraceFlagSampled});
+    } else {
+        appendFrame(frame, static_cast<uint8_t>(op), id, payload);
+    }
+    uint64_t start_ns = nowNs();
     Status s = net::writeAll(fd_, frame);
     if (!s.isOk())
         return s;
@@ -111,6 +157,9 @@ Client::roundTrip(Opcode op, BytesView payload, Frame &reply)
             "response id mismatch: sent " + std::to_string(id) +
             ", got " + std::to_string(reply.request_id));
     }
+    if (traced)
+        emitClientSpan(trace_log_, op, trace_tid_, start_ns,
+                       nowNs(), trace_id);
     return Status::ok();
 }
 
@@ -189,6 +238,32 @@ Client::stats(Bytes &json_out)
     return s;
 }
 
+Status
+Client::traceDump(Bytes &json_out)
+{
+    Frame reply;
+    Status s = roundTrip(Opcode::TraceDump, BytesView(), reply);
+    if (!s.isOk())
+        return s;
+    s = responseStatus(reply);
+    if (s.isOk())
+        json_out = std::move(reply.payload);
+    return s;
+}
+
+Status
+Client::slowLog(Bytes &json_out)
+{
+    Frame reply;
+    Status s = roundTrip(Opcode::SlowLog, BytesView(), reply);
+    if (!s.isOk())
+        return s;
+    s = responseStatus(reply);
+    if (s.isOk())
+        json_out = std::move(reply.payload);
+    return s;
+}
+
 // -- PipelinedClient ---------------------------------------------
 
 Result<std::unique_ptr<PipelinedClient>>
@@ -219,6 +294,17 @@ PipelinedClient::close()
     pending_.clear();
 }
 
+void
+PipelinedClient::enableTrace(obs::TraceEventLog *log,
+                             uint64_t trace_id_base, uint32_t tid)
+{
+    trace_log_ = log;
+    trace_id_next_ = trace_id_base;
+    trace_tid_ = tid;
+    if (log)
+        log->setProcessLabel(kClientTracePid, "client");
+}
+
 Status
 PipelinedClient::submit(Opcode op, BytesView payload)
 {
@@ -231,12 +317,21 @@ PipelinedClient::submit(Opcode op, BytesView payload)
             return s;
     }
     uint32_t id = next_id_++;
+    bool traced = trace_log_ != nullptr;
+    uint64_t trace_id = 0;
     Bytes frame;
-    appendFrame(frame, static_cast<uint8_t>(op), id, payload);
+    if (traced) {
+        trace_id = trace_id_next_++;
+        appendFrameTraced(frame, static_cast<uint8_t>(op), id,
+                          payload,
+                          {trace_id, kTraceFlagSampled});
+    } else {
+        appendFrame(frame, static_cast<uint8_t>(op), id, payload);
+    }
     Status s = net::writeAll(fd_, frame);
     if (!s.isOk())
         return s;
-    pending_.push_back({id, op, nowNs()});
+    pending_.push_back({id, op, nowNs(), trace_id, traced});
     return Status::ok();
 }
 
@@ -259,10 +354,16 @@ PipelinedClient::reapOne()
             std::to_string(oldest.id) + ", got " +
             std::to_string(reply.request_id));
     }
+    uint64_t end_ns = nowNs();
+    if (oldest.traced && trace_log_) {
+        emitClientSpan(trace_log_, oldest.op, trace_tid_,
+                       oldest.t_start_ns, end_ns,
+                       oldest.trace_id);
+    }
     if (on_complete_) {
         on_complete_(oldest.op,
                      static_cast<WireStatus>(reply.type),
-                     nowNs() - oldest.t_start_ns, reply.payload);
+                     end_ns - oldest.t_start_ns, reply.payload);
     }
     return Status::ok();
 }

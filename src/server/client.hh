@@ -32,6 +32,7 @@
 #include "common/bytes.hh"
 #include "common/status.hh"
 #include "kvstore/write_batch.hh"
+#include "obs/trace_event.hh"
 #include "server/protocol.hh"
 
 namespace ethkv::server
@@ -64,8 +65,25 @@ class Client
     Status scan(BytesView start, BytesView end, uint64_t limit,
                 ScanResult &out);
 
-    /** Fetch the server's stats JSON (ethkv.server.stats.v1). */
+    /** Fetch the server's stats JSON (ethkv.server.stats.v2). */
     Status stats(Bytes &json_out);
+
+    /** Fetch the server's Chrome trace JSON (TRACEDUMP). */
+    Status traceDump(Bytes &json_out);
+
+    /** Fetch the server's slow-op log JSON (SLOWLOG). */
+    Status slowLog(Bytes &json_out);
+
+    /**
+     * Send every subsequent request as a traced (wire v2) frame
+     * and record a client-side span per round trip. Trace ids are
+     * trace_id_base + a per-request sequence; pick disjoint bases
+     * per connection so merged timelines stay unambiguous. Spans
+     * land on pid 2 (servers emit on pid 1), track `tid`. Pass a
+     * null log to turn tracing back off.
+     */
+    void enableTrace(obs::TraceEventLog *log,
+                     uint64_t trace_id_base, uint32_t tid = 1);
 
     /** Close the session; further calls return IOError. */
     void close();
@@ -79,6 +97,9 @@ class Client
     int fd_;
     uint32_t next_id_ = 1;
     Bytes scratch_;
+    obs::TraceEventLog *trace_log_ = nullptr;
+    uint64_t trace_id_next_ = 0;
+    uint32_t trace_tid_ = 1;
 };
 
 /**
@@ -112,6 +133,11 @@ class PipelinedClient
     Status submitScan(BytesView start, BytesView end,
                       uint64_t limit);
 
+    /** Same contract as Client::enableTrace; spans cover submit →
+     *  completion for every request in the window. */
+    void enableTrace(obs::TraceEventLog *log,
+                     uint64_t trace_id_base, uint32_t tid = 1);
+
     /** Wait for every in-flight request to complete. */
     Status drain();
 
@@ -136,6 +162,8 @@ class PipelinedClient
         uint32_t id;
         Opcode op;
         uint64_t t_start_ns;
+        uint64_t trace_id;
+        bool traced;
     };
 
     int fd_;
@@ -145,6 +173,9 @@ class PipelinedClient
     std::deque<Pending> pending_;
     FrameReader reader_;
     Bytes scratch_;
+    obs::TraceEventLog *trace_log_ = nullptr;
+    uint64_t trace_id_next_ = 0;
+    uint32_t trace_tid_ = 1;
 };
 
 } // namespace ethkv::server

@@ -20,6 +20,13 @@
  * graceful shutdown that flushes the engine before exit, so every
  * acknowledged synced write survives. --metrics-out dumps the
  * process-global registry (ethkv.metrics.v1) at exit.
+ *
+ * Observability (DESIGN.md §11): --trace <path> records the request
+ * pipeline as Chrome trace_event spans and writes them at exit (and
+ * on SIGUSR1); --slow-op-micros keeps a ring of the slowest
+ * requests, dumped to stderr on SIGUSR1 and queryable over the wire
+ * (SLOWLOG); --metrics-interval streams live metric snapshots with
+ * deltas and rates to --metrics-file for dashboards (ethkv_mon).
  */
 
 #include <csignal>
@@ -41,7 +48,11 @@
 #include "kvstore/log_store.hh"
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
+#include "obs/instrumented_store.hh"
 #include "obs/metrics.hh"
+#include "obs/metrics_writer.hh"
+#include "obs/slow_op_log.hh"
+#include "obs/trace_event.hh"
 #include "server/net_socket.hh"
 #include "server/server.hh"
 
@@ -50,13 +61,24 @@ namespace
 
 using namespace ethkv;
 
-//! eventfd the signal handler pokes; main blocks on it.
+//! eventfd the signal handlers poke; main blocks on it.
 int g_shutdown_fd = -1;
+//! Which signal woke us: shutdown vs dump-and-keep-running.
+volatile std::sig_atomic_t g_got_term = 0;
+volatile std::sig_atomic_t g_got_usr1 = 0;
 
 extern "C" void
 onSignal(int)
 {
-    // Async-signal-safe: one write(2) on an eventfd.
+    // Async-signal-safe: a flag plus one write(2) on an eventfd.
+    g_got_term = 1;
+    server::net::signalEventFd(g_shutdown_fd);
+}
+
+extern "C" void
+onUsr1(int)
+{
+    g_got_usr1 = 1;
     server::net::signalEventFd(g_shutdown_fd);
 }
 
@@ -88,7 +110,22 @@ usage(const char *argv0)
         "  --scan-byte-budget <n>   SCAN response byte cap"
         " (0 = auto)\n"
         "  --metrics-out <path>     dump ethkv.metrics.v1 JSON at"
-        " exit\n",
+        " exit\n"
+        "  --trace <path|off>       write Chrome trace_event JSON"
+        " at exit / SIGUSR1\n"
+        "  --trace-sample-shift <n> trace 1-in-2^n untraced"
+        " requests (default 4)\n"
+        "  --stage-sample-shift <n> stage histograms time"
+        " 1-in-2^n requests (default 4)\n"
+        "  --slow-op-micros <n>     ring-log requests slower than"
+        " n us; -1 = off (default 1000)\n"
+        "  --slow-op-capacity <n>   slow-op ring size"
+        " (default 256)\n"
+        "  --metrics-interval <ms>  live snapshot period; 0 = off\n"
+        "  --metrics-file <path>    live snapshot destination\n"
+        "\n"
+        "SIGUSR1 dumps the slow-op log to stderr and rewrites the"
+        " --trace file.\n",
         argv0);
 }
 
@@ -117,6 +154,13 @@ struct Flags
     size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
     uint64_t scan_limit = 4096;
     uint64_t scan_byte_budget = 0;
+    std::string trace_path;
+    int trace_sample_shift = 4;
+    int stage_sample_shift = 4;
+    int64_t slow_op_micros = 1000;
+    uint64_t slow_op_capacity = 256;
+    uint64_t metrics_interval_ms = 0;
+    std::string metrics_file;
 };
 
 bool
@@ -163,6 +207,27 @@ parseFlags(int argc, char **argv, Flags &f)
         } else if (arg == "--scan-byte-budget") {
             f.scan_byte_budget = std::strtoull(
                 next("--scan-byte-budget"), nullptr, 10);
+        } else if (arg == "--trace") {
+            f.trace_path = next("--trace");
+            if (f.trace_path == "off")
+                f.trace_path.clear();
+        } else if (arg == "--trace-sample-shift") {
+            f.trace_sample_shift =
+                std::atoi(next("--trace-sample-shift"));
+        } else if (arg == "--stage-sample-shift") {
+            f.stage_sample_shift =
+                std::atoi(next("--stage-sample-shift"));
+        } else if (arg == "--slow-op-micros") {
+            f.slow_op_micros = std::strtoll(
+                next("--slow-op-micros"), nullptr, 10);
+        } else if (arg == "--slow-op-capacity") {
+            f.slow_op_capacity = std::strtoull(
+                next("--slow-op-capacity"), nullptr, 10);
+        } else if (arg == "--metrics-interval") {
+            f.metrics_interval_ms = std::strtoull(
+                next("--metrics-interval"), nullptr, 10);
+        } else if (arg == "--metrics-file") {
+            f.metrics_file = next("--metrics-file");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -177,7 +242,8 @@ parseFlags(int argc, char **argv, Flags &f)
 }
 
 Status
-buildEngine(const Flags &f, EngineStack &stack)
+buildEngine(const Flags &f, obs::TraceEventLog *trace_log,
+            EngineStack &stack)
 {
     Env *env = Env::defaultEnv();
     if (f.env_kind == "fault") {
@@ -220,6 +286,7 @@ buildEngine(const Flags &f, EngineStack &stack)
         options.dir = f.dir;
         options.sync_wal = f.sync;
         options.env = env;
+        options.trace_log = trace_log;
         if (f.memtable_bytes > 0)
             options.memtable_bytes = f.memtable_bytes;
         auto store = kv::LSMStore::open(options);
@@ -255,6 +322,47 @@ buildEngine(const Flags &f, EngineStack &stack)
     return Status::ok();
 }
 
+/** Write the trace log as Chrome trace JSON (tmp + rename). */
+void
+writeTraceFile(const obs::TraceEventLog &log,
+               const std::string &path)
+{
+    if (path.empty())
+        return;
+    Env *env = Env::defaultEnv();
+    std::string tmp = path + ".tmp";
+    Status s =
+        env->writeStringToFile(tmp, log.toJson(), /*sync=*/false);
+    if (s.isOk())
+        s = env->renameFile(tmp, path);
+    if (!s.isOk()) {
+        warn("ethkvd: trace write to %s failed: %s", path.c_str(),
+             s.toString().c_str());
+        return;
+    }
+    inform("ethkvd: wrote %zu trace spans to %s (%llu dropped)",
+           log.size(), path.c_str(),
+           static_cast<unsigned long long>(log.dropped()));
+}
+
+/** SIGUSR1 handler body: slow-op log to stderr, trace to disk. */
+void
+dumpDiagnostics(const server::Server &srv,
+                const obs::TraceEventLog *trace_log,
+                const std::string &trace_path)
+{
+    if (const obs::SlowOpLog *slow = srv.slowOpLog()) {
+        std::string doc = slow->toJson();
+        doc.push_back('\n');
+        std::fputs(doc.c_str(), stderr);
+        std::fflush(stderr);
+    } else {
+        warn("ethkvd: SIGUSR1 but --slow-op-micros is off");
+    }
+    if (trace_log != nullptr)
+        writeTraceFile(*trace_log, trace_path);
+}
+
 } // namespace
 
 int
@@ -267,8 +375,23 @@ main(int argc, char **argv)
         return 2;
     obs::installExitDump(metrics_out);
 
+    // Absolute-clock log: spans line up with tracing clients when
+    // merged. ~64k spans caps a long run at a few MB of trace.
+    std::unique_ptr<obs::TraceEventLog> trace_log;
+    if (!flags.trace_path.empty()) {
+        trace_log = std::make_unique<obs::TraceEventLog>(
+            /*absolute_clock=*/true, /*max_spans=*/65536);
+        trace_log->setProcessLabel(1, "ethkvd");
+    }
+
     EngineStack stack;
-    buildEngine(flags, stack).expectOk("engine setup");
+    buildEngine(flags, trace_log.get(), stack)
+        .expectOk("engine setup");
+
+    // Serve through the measuring decorator so op.engine.* metrics
+    // (and the engine rows in STATS) are always populated.
+    obs::InstrumentedKVStore instrumented(
+        *stack.serve, obs::MetricsRegistry::global(), "engine");
 
     server::ServerOptions options;
     options.host = flags.host;
@@ -277,9 +400,26 @@ main(int argc, char **argv)
     options.max_frame_bytes = flags.max_frame_bytes;
     options.scan_limit_max = flags.scan_limit;
     options.scan_byte_budget = flags.scan_byte_budget;
+    options.trace_log = trace_log.get();
+    options.trace_sample_shift = flags.trace_sample_shift;
+    options.stage_sample_shift = flags.stage_sample_shift;
+    options.slow_op_micros = flags.slow_op_micros;
+    options.slow_op_capacity =
+        static_cast<size_t>(flags.slow_op_capacity);
 
-    server::Server srv(*stack.serve, options);
+    server::Server srv(instrumented, options);
     srv.start().expectOk("server start");
+
+    obs::PeriodicMetricsWriter::Options writer_options;
+    writer_options.path = flags.metrics_file;
+    writer_options.interval_ms = flags.metrics_interval_ms;
+    std::unique_ptr<obs::PeriodicMetricsWriter> metrics_writer;
+    if (flags.metrics_interval_ms > 0 &&
+        !flags.metrics_file.empty()) {
+        metrics_writer = std::make_unique<obs::PeriodicMetricsWriter>(
+            writer_options);
+        metrics_writer->start();
+    }
 
     if (!flags.port_file.empty()) {
         // The port file is how test harnesses discover an
@@ -306,14 +446,31 @@ main(int argc, char **argv)
     g_shutdown_fd = shutdown_fd.value();
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    std::signal(SIGUSR1, onUsr1);
     // A client vanishing mid-write must not kill the server.
     std::signal(SIGPIPE, SIG_IGN);
 
-    // Block until a signal arrives.
-    Status s = server::net::waitReadable(g_shutdown_fd, -1);
-    static_cast<void>(s.isOk());
+    // Block until a signal arrives. SIGUSR1 dumps diagnostics and
+    // keeps serving; SIGINT/SIGTERM fall through to shutdown.
+    while (true) {
+        Status s = server::net::waitReadable(g_shutdown_fd, -1);
+        if (!s.isOk())
+            break;
+        server::net::drainEventFd(g_shutdown_fd);
+        if (g_got_term)
+            break;
+        if (g_got_usr1) {
+            g_got_usr1 = 0;
+            dumpDiagnostics(srv, trace_log.get(),
+                            flags.trace_path);
+        }
+    }
 
     inform("ethkvd: shutting down");
+    if (metrics_writer)
+        metrics_writer->stop(); // writes one final snapshot
     srv.stop(); // joins threads, flushes the engine
+    if (trace_log)
+        writeTraceFile(*trace_log, flags.trace_path);
     return 0;
 }

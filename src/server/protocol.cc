@@ -72,6 +72,22 @@ malformed(const char *what)
 
 } // namespace
 
+const char *
+opcodeName(uint8_t opcode)
+{
+    switch (static_cast<Opcode>(opcode)) {
+      case Opcode::Get: return "get";
+      case Opcode::Put: return "put";
+      case Opcode::Delete: return "delete";
+      case Opcode::Batch: return "batch";
+      case Opcode::Scan: return "scan";
+      case Opcode::Stats: return "stats";
+      case Opcode::TraceDump: return "tracedump";
+      case Opcode::SlowLog: return "slowlog";
+    }
+    return "other";
+}
+
 WireStatus
 wireStatusOf(const Status &s)
 {
@@ -124,6 +140,30 @@ appendFrame(Bytes &out, uint8_t type, uint32_t request_id,
 }
 
 void
+appendFrameTraced(Bytes &out, uint8_t type, uint32_t request_id,
+                  BytesView payload, const TraceContext &trace)
+{
+    // The checksum covers the whole body (trace context +
+    // payload), so bit flips in the trace id are caught like any
+    // other body corruption.
+    Bytes body;
+    body.reserve(kTraceContextBytes + payload.size());
+    appendU64(body, trace.id);
+    body.push_back(static_cast<char>(trace.flags));
+    body.append(payload);
+
+    out.reserve(out.size() + kFrameHeaderBytes + body.size());
+    out.push_back('E');
+    out.push_back('K');
+    out.push_back(static_cast<char>(kWireVersionTraced));
+    out.push_back(static_cast<char>(type));
+    appendU32(out, request_id);
+    appendU32(out, static_cast<uint32_t>(body.size()));
+    appendU64(out, xxhash64(body));
+    out.append(body);
+}
+
+void
 FrameReader::feed(BytesView data)
 {
     if (broken_)
@@ -148,11 +188,19 @@ FrameReader::next(Frame &out)
         broken_ = true;
         return Status::corruption("bad frame magic");
     }
-    if (static_cast<uint8_t>(head[2]) != kWireVersion) {
+    uint8_t version = static_cast<uint8_t>(head[2]);
+    if (version != kWireVersion &&
+        version != kWireVersionTraced) {
         broken_ = true;
         return Status::corruption(
             "unsupported protocol version " +
-            std::to_string(static_cast<uint8_t>(head[2])));
+            std::to_string(version));
+    }
+    bool traced = version == kWireVersionTraced;
+    if (traced && !accept_traced_) {
+        broken_ = true;
+        return Status::corruption(
+            "traced frame rejected: peer pinned to wire v1");
     }
     uint32_t len = readU32(head, 8);
     if (len > max_payload_) {
@@ -161,16 +209,30 @@ FrameReader::next(Frame &out)
                                   std::to_string(len) +
                                   " bytes exceeds limit");
     }
+    if (traced && len < kTraceContextBytes) {
+        broken_ = true;
+        return Status::corruption(
+            "traced frame body too short for trace context");
+    }
     if (buf_.size() - pos_ < kFrameHeaderBytes + len)
         return Status::notFound(); // payload still in flight
-    BytesView payload = head.substr(kFrameHeaderBytes, len);
-    if (xxhash64(payload) != readU64(head, 12)) {
+    BytesView body = head.substr(kFrameHeaderBytes, len);
+    if (xxhash64(body) != readU64(head, 12)) {
         broken_ = true;
         return Status::corruption("frame checksum mismatch");
     }
     out.type = static_cast<uint8_t>(head[3]);
     out.request_id = readU32(head, 4);
-    out.payload.assign(payload);
+    if (traced) {
+        out.has_trace = true;
+        out.trace.id = readU64(body, 0);
+        out.trace.flags = static_cast<uint8_t>(body[8]);
+        out.payload.assign(body.substr(kTraceContextBytes));
+    } else {
+        out.has_trace = false;
+        out.trace = TraceContext{};
+        out.payload.assign(body);
+    }
     pos_ += kFrameHeaderBytes + len;
     return Status::ok();
 }

@@ -7,12 +7,26 @@
  *
  *   offset  size  field
  *        0     2  magic "EK"
- *        2     1  version (kWireVersion)
+ *        2     1  version (kWireVersion or kWireVersionTraced)
  *        3     1  type: opcode (request) or status (response)
  *        4     4  request id, big-endian (echoed in the response)
- *        8     4  payload length, big-endian
- *       12     8  xxhash64(payload), big-endian
- *       20   len  payload
+ *        8     4  body length, big-endian
+ *       12     8  xxhash64(body), big-endian
+ *       20   len  body
+ *
+ * Version 1 bodies are the bare payload. Version 2 (the minor
+ * "traced" revision, ethkv.wire.v1 + trace context) prefixes the
+ * payload with a 9-byte trace context:
+ *
+ *   offset  size  field
+ *        0     8  trace id, big-endian (client-generated)
+ *        8     1  trace flags (kTraceFlagSampled, ...)
+ *        9   ...  payload as in version 1
+ *
+ * Old peers that only speak version 1 never see version-2 frames
+ * unless the client opts into tracing; new decoders accept both,
+ * and can be pinned to version 1 (accept_traced=false) to prove
+ * the compatibility story both ways.
  *
  * Payloads are varint-encoded (common/varint.hh):
  *
@@ -22,11 +36,16 @@
  *   BATCH  count, then per entry: op(1B) klen key [vlen value]
  *   SCAN   slen start elen end limit
  *   STATS  (empty)
+ *   TRACEDUMP (empty)
+ *   SLOWLOG   (empty)
  *
  *   GET response    value bytes (raw)
  *   SCAN response   count, per entry klen key vlen value,
  *                   truncated(1B)
- *   STATS response  JSON (engine name + IOStats + server counters)
+ *   STATS response  JSON (ethkv.server.stats.v2: engine name,
+ *                   IOStats, full ethkv.metrics.v1 snapshot)
+ *   TRACEDUMP resp  Chrome trace JSON array of server spans
+ *   SLOWLOG resp    JSON (ethkv.slowops.v1)
  *   error response  human-readable message (raw)
  *
  * This module is pure — no sockets, no I/O — so the frame fuzz
@@ -54,8 +73,17 @@ namespace ethkv::server
 /** Protocol version this build speaks. */
 constexpr uint8_t kWireVersion = 1;
 
+/** Minor revision: version-1 frame with a trace-context prefix. */
+constexpr uint8_t kWireVersionTraced = 2;
+
 /** Frame header length in bytes. */
 constexpr size_t kFrameHeaderBytes = 20;
+
+/** Trace-context prefix length in a version-2 frame body. */
+constexpr size_t kTraceContextBytes = 9;
+
+/** Trace flag: request chosen by the client-side sampler. */
+constexpr uint8_t kTraceFlagSampled = 0x1;
 
 /** Default per-frame payload cap (guards allocation on decode). */
 constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
@@ -69,7 +97,12 @@ enum class Opcode : uint8_t
     Batch = 4,
     Scan = 5,
     Stats = 6,
+    TraceDump = 7,
+    SlowLog = 8,
 };
+
+/** Lower-case opcode name ("get", ...; "other" when unknown). */
+const char *opcodeName(uint8_t opcode);
 
 /**
  * Response status (frame type byte of a response).
@@ -97,17 +130,31 @@ WireStatus wireStatusOf(const Status &s);
 /** Map a wire code back to a Status (msg used for non-Ok codes). */
 Status statusOfWire(WireStatus code, const std::string &msg);
 
+/** Client-generated tracing identity carried by v2 frames. */
+struct TraceContext
+{
+    uint64_t id = 0;
+    uint8_t flags = 0;
+};
+
 /** One decoded frame: header fields plus owned payload bytes. */
 struct Frame
 {
     uint8_t type = 0; //!< Opcode (request) or WireStatus (response).
     uint32_t request_id = 0;
     Bytes payload;
+    bool has_trace = false; //!< Frame was version 2.
+    TraceContext trace;
 };
 
 /** Append a fully framed message (header + payload) to out. */
 void appendFrame(Bytes &out, uint8_t type, uint32_t request_id,
                  BytesView payload);
+
+/** Same, as a version-2 frame carrying `trace`. */
+void appendFrameTraced(Bytes &out, uint8_t type,
+                       uint32_t request_id, BytesView payload,
+                       const TraceContext &trace);
 
 /**
  * Incremental frame decoder.
@@ -120,8 +167,14 @@ void appendFrame(Bytes &out, uint8_t type, uint32_t request_id,
 class FrameReader
 {
   public:
-    explicit FrameReader(size_t max_payload = kDefaultMaxFrameBytes)
-        : max_payload_(max_payload)
+    /**
+     * @param accept_traced Decode version-2 (traced) frames. When
+     *        false the reader is a strict v1 peer: a traced frame
+     *        is a clean, sticky Corruption, not a crash.
+     */
+    explicit FrameReader(size_t max_payload = kDefaultMaxFrameBytes,
+                         bool accept_traced = true)
+        : max_payload_(max_payload), accept_traced_(accept_traced)
     {}
 
     /** Append raw bytes from the peer. */
@@ -144,6 +197,7 @@ class FrameReader
 
   private:
     size_t max_payload_;
+    bool accept_traced_;
     Bytes buf_;
     size_t pos_ = 0;
     bool broken_ = false;

@@ -1,9 +1,11 @@
 #include "server/server.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 #include "server/net_socket.hh"
 
 namespace ethkv::server
@@ -26,30 +28,39 @@ nowNs()
 int
 opIndex(uint8_t op)
 {
-    return (op >= 1 && op <= 6) ? op : 0;
+    return (op >= 1 && op <= 8) ? op : 0;
 }
-
-const char *const kOpNames[7] = {"other",  "get",  "put", "delete",
-                                 "batch", "scan", "stats"};
 
 constexpr size_t kReadChunk = 64u << 10;
 
-/** JSON string escape for the tiny STATS payload. */
+/** Chrome-trace process id for server-side spans; tracing clients
+ *  use pid 2, so a merged timeline shows two process tracks. */
+constexpr uint32_t kServerTracePid = 1;
+
+/**
+ * Append one server-stage span. Span timestamps live on the trace
+ * log's clock; the (now_ns, now_us) pair anchors the histogram
+ * clock onto it, so this works for both clock modes.
+ */
 void
-appendJsonString(Bytes &out, BytesView s)
+emitSpan(obs::TraceEventLog *log, const char *name,
+         uint32_t worker_tid, uint64_t start_ns, uint64_t end_ns,
+         uint64_t now_ns, uint64_t now_us,
+         const char *arg_name = nullptr, uint64_t arg_value = 0)
 {
-    out.push_back('"');
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out.push_back('\\');
-            out.push_back(c);
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            out.append("\\u0020");
-        } else {
-            out.push_back(c);
-        }
+    obs::TraceEventLog::Span span;
+    span.name = name;
+    span.category = "server";
+    span.start_us = now_us - (now_ns - start_ns) / 1000;
+    span.duration_us = (end_ns - start_ns) / 1000;
+    span.pid = kServerTracePid;
+    span.tid = worker_tid;
+    if (arg_name) {
+        span.arg_name = arg_name;
+        span.arg_value = arg_value;
+        span.has_arg = true;
     }
-    out.push_back('"');
+    log->addSpanFull(span);
 }
 
 } // namespace
@@ -68,6 +79,10 @@ struct Server::Connection
     bool paused = false;     //!< Reads off (backpressure).
     bool want_write = false; //!< EPOLLOUT registered.
     uint64_t ops = 0;        //!< Lifetime frames served.
+    //! This connection's contribution to the write-queue gauge.
+    size_t reported_queue = 0;
+    //! Responses queued on `out` but not yet fully flushed.
+    uint32_t resp_inflight = 0;
 };
 
 /** One event-loop thread plus its handoff queue. */
@@ -75,6 +90,7 @@ struct Server::Worker
 {
     int epfd = -1;
     int wake_fd = -1;
+    uint32_t index = 0; //!< Trace tid = index + 1.
     Mutex mutex;
     std::vector<int> pending GUARDED_BY(mutex);
     std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
@@ -96,18 +112,35 @@ Server::Server(kv::KVStore &store, ServerOptions options)
                 ? options_.max_frame_bytes - headroom
                 : options_.max_frame_bytes;
     }
+    trace_log_ = options_.trace_log;
+    if (options_.slow_op_micros >= 0) {
+        slow_log_ = std::make_unique<obs::SlowOpLog>(
+            options_.slow_op_capacity);
+        slow_op_ns_ =
+            static_cast<uint64_t>(options_.slow_op_micros) * 1000;
+    }
+    int stage_shift =
+        std::clamp(options_.stage_sample_shift, 0, 62);
+    int trace_shift =
+        std::clamp(options_.trace_sample_shift, 0, 62);
+    stage_sample_mask_ = (uint64_t{1} << stage_shift) - 1;
+    trace_sample_mask_ = (uint64_t{1} << trace_shift) - 1;
+
     conns_accepted_ = &metrics_.counter("server.conns.accepted");
     conns_closed_ = &metrics_.counter("server.conns.closed");
     conns_active_ = &metrics_.gauge("server.conns.active");
     bytes_in_ = &metrics_.counter("server.bytes_in");
     bytes_out_ = &metrics_.counter("server.bytes_out");
     frames_bad_ = &metrics_.counter("server.frames.bad");
+    frames_received_ =
+        &metrics_.counter("server.frames.received");
     backpressure_paused_ =
         &metrics_.counter("server.backpressure.paused");
     backpressure_dropped_ =
         &metrics_.counter("server.backpressure.dropped");
-    for (int i = 0; i < 7; ++i) {
-        std::string name = std::string("server.op.") + kOpNames[i];
+    for (int i = 0; i < 9; ++i) {
+        std::string name = std::string("server.op.") +
+                           opcodeName(static_cast<uint8_t>(i));
         op_count_[i] = &metrics_.counter(name);
         op_errors_[i] = &metrics_.counter(name + ".errors");
         op_latency_[i] =
@@ -115,6 +148,36 @@ Server::Server(kv::KVStore &store, ServerOptions options)
     }
     conn_lifetime_ops_ =
         &metrics_.histogram("server.conn.lifetime_ops");
+
+    stage_read_ns_ = &metrics_.histogram("op.server.read_ns");
+    stage_decode_ns_ = &metrics_.histogram("op.server.decode_ns");
+    stage_exec_ns_ = &metrics_.histogram("op.server.exec_ns");
+    stage_encode_ns_ = &metrics_.histogram("op.server.encode_ns");
+    stage_flush_ns_ = &metrics_.histogram("op.server.flush_ns");
+    stage_total_ns_ = &metrics_.histogram("op.server.total_ns");
+    write_queue_bytes_ =
+        &metrics_.gauge("server.write_queue_bytes");
+    responses_inflight_ =
+        &metrics_.gauge("server.responses_inflight");
+    slow_ops_recorded_ =
+        &metrics_.counter("server.slowops.recorded");
+    traces_emitted_ = &metrics_.counter("server.traces.emitted");
+}
+
+bool
+Server::stageSampleHit()
+{
+    return (stage_sample_seq_.fetch_add(
+                1, std::memory_order_relaxed) &
+            stage_sample_mask_) == 0;
+}
+
+bool
+Server::traceSampleHit()
+{
+    return (trace_sample_seq_.fetch_add(
+                1, std::memory_order_relaxed) &
+            trace_sample_mask_) == 0;
 }
 
 Server::~Server()
@@ -147,6 +210,7 @@ Server::start()
 
     for (int i = 0; i < options_.workers; ++i) {
         auto worker = std::make_unique<Worker>();
+        worker->index = static_cast<uint32_t>(i);
         auto ep = net::epollCreate();
         if (!ep.ok())
             return ep.status();
@@ -259,6 +323,10 @@ void
 Server::applyBackpressure(Worker &worker, Connection &conn)
 {
     size_t queued = conn.out.size() - conn.out_pos;
+    write_queue_bytes_->add(
+        static_cast<int64_t>(queued) -
+        static_cast<int64_t>(conn.reported_queue));
+    conn.reported_queue = queued;
     if (!conn.paused && queued > options_.write_queue_soft_bytes) {
         conn.paused = true;
         backpressure_paused_->inc();
@@ -280,6 +348,26 @@ Server::applyBackpressure(Worker &worker, Connection &conn)
 void
 Server::flushWrites(Worker &worker, Connection &conn)
 {
+    uint64_t start_ns = nowNs();
+    size_t wrote_total = 0;
+    uint32_t worker_tid = worker.index + 1;
+
+    // Stage attribution for the flush, shared by the normal and
+    // connection-closing exits (after closeConnection the conn is
+    // dangling, so only locals may be touched).
+    auto account = [&]() {
+        if (wrote_total == 0)
+            return;
+        uint64_t end_ns = nowNs();
+        if (stageSampleHit())
+            stage_flush_ns_->record(end_ns - start_ns);
+        if (trace_log_ && traceSampleHit()) {
+            emitSpan(trace_log_, "write.flush", worker_tid,
+                     start_ns, end_ns, end_ns,
+                     trace_log_->nowUs(), "bytes", wrote_total);
+        }
+    };
+
     while (conn.out_pos < conn.out.size()) {
         size_t n = 0;
         Status err;
@@ -289,20 +377,26 @@ Server::flushWrites(Worker &worker, Connection &conn)
         if (r == net::IoResult::Ok) {
             conn.out_pos += n;
             bytes_out_->inc(n);
+            wrote_total += n;
             continue;
         }
         if (r == net::IoResult::WouldBlock)
             break;
+        account();
         closeConnection(worker, conn);
         return;
     }
     if (conn.out_pos == conn.out.size()) {
         conn.out.clear();
         conn.out_pos = 0;
+        responses_inflight_->add(
+            -static_cast<int64_t>(conn.resp_inflight));
+        conn.resp_inflight = 0;
     } else if (conn.out_pos > (1u << 20)) {
         conn.out.erase(0, conn.out_pos);
         conn.out_pos = 0;
     }
+    account();
     applyBackpressure(worker, conn);
 }
 
@@ -315,6 +409,10 @@ Server::closeConnection(Worker &worker, Connection &conn)
     conns_closed_->inc();
     conns_active_->add(-1);
     conn_lifetime_ops_->record(conn.ops);
+    write_queue_bytes_->add(
+        -static_cast<int64_t>(conn.reported_queue));
+    responses_inflight_->add(
+        -static_cast<int64_t>(conn.resp_inflight));
     worker.conns.erase(static_cast<uint64_t>(conn.fd));
     // `conn` is dangling from here.
 }
@@ -323,28 +421,43 @@ Bytes
 Server::statsJson()
 {
     const kv::IOStats &io = store_.stats();
-    Bytes out = "{\"schema\":\"ethkv.server.stats.v1\",";
-    out += "\"engine\":";
-    appendJsonString(out, store_.name());
-    auto field = [&out](const char *name, uint64_t v) {
-        out += ",\"";
-        out += name;
-        out += "\":";
-        out += std::to_string(v);
-    };
-    field("user_reads", io.user_reads);
-    field("user_writes", io.user_writes);
-    field("user_deletes", io.user_deletes);
-    field("user_scans", io.user_scans);
-    field("bytes_read", io.bytes_read);
-    field("bytes_written", io.bytes_written);
-    field("flush_bytes", io.flush_bytes);
-    field("compaction_bytes", io.compaction_bytes);
-    field("gc_bytes", io.gc_bytes);
-    field("connections_active",
-          static_cast<uint64_t>(conns_active_->value()));
-    out += "}";
-    return out;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("ethkv.server.stats.v2");
+    w.key("engine");
+    w.value(store_.name());
+    w.key("io");
+    w.beginObject();
+    w.key("user_reads");
+    w.value(io.user_reads);
+    w.key("user_writes");
+    w.value(io.user_writes);
+    w.key("user_deletes");
+    w.value(io.user_deletes);
+    w.key("user_scans");
+    w.value(io.user_scans);
+    w.key("bytes_read");
+    w.value(io.bytes_read);
+    w.key("bytes_written");
+    w.value(io.bytes_written);
+    w.key("flush_bytes");
+    w.value(io.flush_bytes);
+    w.key("compaction_bytes");
+    w.value(io.compaction_bytes);
+    w.key("gc_bytes");
+    w.value(io.gc_bytes);
+    w.endObject();
+    w.key("connections_active");
+    w.value(conns_active_->value());
+    // Full registry snapshot (ethkv.metrics.v1): engine metrics,
+    // per-stage histograms with percentile gauges, stall and
+    // maintenance counters — the whole telemetry plane in one
+    // remote scrape.
+    w.key("metrics");
+    w.rawValue(metrics_.toJson());
+    w.endObject();
+    return Bytes(w.take());
 }
 
 void
@@ -441,6 +554,36 @@ Server::execOp(Connection &, const Frame &frame,
       case Opcode::Stats:
         payload = statsJson();
         return;
+      case Opcode::TraceDump: {
+        if (trace_log_) {
+            payload = trace_log_->toJson();
+        } else {
+            payload = "[]";
+        }
+        return;
+      }
+      case Opcode::SlowLog: {
+        if (slow_log_) {
+            payload = slow_log_->toJson();
+            return;
+        }
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema");
+        w.value("ethkv.slowops.v1");
+        w.key("capacity");
+        w.value(uint64_t{0});
+        w.key("recorded");
+        w.value(uint64_t{0});
+        w.key("dropped");
+        w.value(uint64_t{0});
+        w.key("ops");
+        w.beginArray();
+        w.endArray();
+        w.endObject();
+        payload = w.take();
+        return;
+      }
     }
     fail(Status::invalidArgument(
         "unknown opcode " + std::to_string(frame.type)));
@@ -448,22 +591,92 @@ Server::execOp(Connection &, const Frame &frame,
 
 void
 Server::handleFrame(Worker &worker, Connection &conn,
-                    const Frame &frame)
+                    const Frame &frame, uint64_t decode_start_ns,
+                    uint64_t decode_end_ns)
 {
-    static_cast<void>(worker);
     int idx = opIndex(frame.type);
     op_count_[idx]->inc();
+    frames_received_->inc();
     ++conn.ops;
 
     uint8_t wire_status = static_cast<uint8_t>(WireStatus::Ok);
     Bytes payload;
-    uint64_t t0 = nowNs();
+    uint64_t exec_start_ns = nowNs();
     execOp(conn, frame, wire_status, payload);
-    op_latency_[idx]->record(nowNs() - t0);
+    uint64_t exec_end_ns = nowNs();
+    op_latency_[idx]->record(exec_end_ns - exec_start_ns);
     if (wire_status != static_cast<uint8_t>(WireStatus::Ok))
         op_errors_[idx]->inc();
 
-    appendFrame(conn.out, wire_status, frame.request_id, payload);
+    size_t out_before = conn.out.size();
+    // A traced request gets a traced response (context echoed), so
+    // the client can reconcile without per-request client state;
+    // v1 requests get v1 responses and never see the revision.
+    if (frame.has_trace) {
+        appendFrameTraced(conn.out, wire_status, frame.request_id,
+                          payload, frame.trace);
+    } else {
+        appendFrame(conn.out, wire_status, frame.request_id,
+                    payload);
+    }
+    uint64_t encode_end_ns = nowNs();
+    ++conn.resp_inflight;
+    responses_inflight_->add(1);
+
+    uint64_t decode_ns = decode_end_ns - decode_start_ns;
+    uint64_t exec_ns = exec_end_ns - exec_start_ns;
+    uint64_t encode_ns = encode_end_ns - exec_end_ns;
+    uint64_t total_ns = encode_end_ns - decode_start_ns;
+
+    if (stageSampleHit()) {
+        stage_decode_ns_->record(decode_ns);
+        stage_exec_ns_->record(exec_ns);
+        stage_encode_ns_->record(encode_ns);
+        stage_total_ns_->record(total_ns);
+    }
+
+    if (slow_log_ && total_ns >= slow_op_ns_) {
+        obs::SlowOpRecord rec;
+        rec.start_us = decode_start_ns / 1000;
+        rec.trace_id = frame.has_trace ? frame.trace.id : 0;
+        rec.total_ns = total_ns;
+        rec.exec_ns = exec_ns;
+        rec.decode_ns = decode_ns;
+        rec.encode_ns = encode_ns;
+        rec.request_bytes =
+            static_cast<uint32_t>(frame.payload.size());
+        rec.response_bytes =
+            static_cast<uint32_t>(conn.out.size() - out_before);
+        rec.worker = static_cast<uint16_t>(worker.index);
+        rec.opcode = frame.type;
+        rec.wire_status = wire_status;
+        slow_log_->record(rec);
+        slow_ops_recorded_->inc();
+    }
+
+    if (trace_log_ && (frame.has_trace || traceSampleHit())) {
+        traces_emitted_->inc();
+        uint32_t tid = worker.index + 1;
+        uint64_t now_ns = encode_end_ns;
+        uint64_t now_us = trace_log_->nowUs();
+        std::string req_name =
+            std::string("req.") + opcodeName(frame.type);
+        if (frame.has_trace) {
+            emitSpan(trace_log_, req_name.c_str(), tid,
+                     decode_start_ns, encode_end_ns, now_ns,
+                     now_us, "trace_id", frame.trace.id);
+        } else {
+            emitSpan(trace_log_, req_name.c_str(), tid,
+                     decode_start_ns, encode_end_ns, now_ns,
+                     now_us);
+        }
+        emitSpan(trace_log_, "frame.decode", tid, decode_start_ns,
+                 decode_end_ns, now_ns, now_us);
+        emitSpan(trace_log_, "op.exec", tid, exec_start_ns,
+                 exec_end_ns, now_ns, now_us);
+        emitSpan(trace_log_, "resp.encode", tid, exec_end_ns,
+                 encode_end_ns, now_ns, now_us);
+    }
 }
 
 void
@@ -518,6 +731,8 @@ Server::workerLoop(Worker &worker)
             bool peer_gone = false;
             if ((events[i].events & net::kEventRead) &&
                 !conn.paused) {
+                uint64_t read_start_ns = nowNs();
+                size_t read_total = 0;
                 while (true) {
                     chunk.clear();
                     size_t got = 0;
@@ -526,6 +741,7 @@ Server::workerLoop(Worker &worker)
                         conn.fd, chunk, kReadChunk, got, err);
                     if (r == net::IoResult::Ok) {
                         bytes_in_->inc(got);
+                        read_total += got;
                         conn.reader.feed(chunk);
                         if (got < kReadChunk)
                             break; // drained the socket
@@ -536,10 +752,24 @@ Server::workerLoop(Worker &worker)
                     peer_gone = true; // EOF or error
                     break;
                 }
+                if (read_total > 0) {
+                    uint64_t read_end_ns = nowNs();
+                    if (stageSampleHit())
+                        stage_read_ns_->record(read_end_ns -
+                                               read_start_ns);
+                    if (trace_log_ && traceSampleHit()) {
+                        emitSpan(trace_log_, "sock.read",
+                                 worker.index + 1, read_start_ns,
+                                 read_end_ns, read_end_ns,
+                                 trace_log_->nowUs(), "bytes",
+                                 read_total);
+                    }
+                }
 
                 // Decode and serve every complete frame.
                 while (true) {
                     Frame frame;
+                    uint64_t decode_start_ns = nowNs();
                     Status s = conn.reader.next(frame);
                     if (s.isNotFound())
                         break;
@@ -560,7 +790,8 @@ Server::workerLoop(Worker &worker)
                         peer_gone = false; // already closed
                         break;
                     }
-                    handleFrame(worker, conn, frame);
+                    handleFrame(worker, conn, frame,
+                                decode_start_ns, nowNs());
                     size_t queued =
                         conn.out.size() - conn.out_pos;
                     if (queued >
@@ -601,6 +832,10 @@ Server::workerLoop(Worker &worker)
         conns_closed_->inc();
         conns_active_->add(-1);
         conn_lifetime_ops_->record(conn->ops);
+        write_queue_bytes_->add(
+            -static_cast<int64_t>(conn->reported_queue));
+        responses_inflight_->add(
+            -static_cast<int64_t>(conn->resp_inflight));
     }
     worker.conns.clear();
 }

@@ -51,6 +51,8 @@
 #include "common/status.hh"
 #include "kvstore/kvstore.hh"
 #include "obs/metrics.hh"
+#include "obs/slow_op_log.hh"
+#include "obs/trace_event.hh"
 #include "server/protocol.hh"
 
 namespace ethkv::server
@@ -80,6 +82,21 @@ struct ServerOptions
     size_t scan_byte_budget = 0;
     //! Destination for server.* instruments; global when null.
     obs::MetricsRegistry *metrics = nullptr;
+    //! Request-pipeline span sink; tracing off when null. For
+    //! merged client+server timelines the log should use the
+    //! absolute clock (TraceEventLog(true, cap)).
+    obs::TraceEventLog *trace_log = nullptr;
+    //! When tracing is on, untraced (v1) requests are still traced
+    //! at a 1-in-2^shift sample so server-only captures work.
+    int trace_sample_shift = 4;
+    //! op.server.<stage>_ns histograms record 1-in-2^shift
+    //! requests (same budget discipline as InstrumentedKVStore).
+    int stage_sample_shift = 4;
+    //! Record requests slower than this (decode+exec+encode) in
+    //! the slow-op ring; negative = disabled.
+    int64_t slow_op_micros = -1;
+    //! Ring capacity for the slow-op log.
+    size_t slow_op_capacity = 256;
 };
 
 /**
@@ -112,6 +129,13 @@ class Server
     /** Name of the engine being served. */
     std::string engineName() const { return store_.name(); }
 
+    /** The slow-op ring; null when slow_op_micros < 0. Valid for
+     *  the server's lifetime (SIGUSR1 dumps read through this). */
+    const obs::SlowOpLog *slowOpLog() const
+    {
+        return slow_log_.get();
+    }
+
   private:
     struct Connection;
     struct Worker;
@@ -119,7 +143,8 @@ class Server
     void acceptorLoop();
     void workerLoop(Worker &worker);
     void handleFrame(Worker &worker, Connection &conn,
-                     const Frame &frame);
+                     const Frame &frame, uint64_t decode_start_ns,
+                     uint64_t decode_end_ns);
     void execOp(Connection &conn, const Frame &frame,
                 uint8_t &wire_status, Bytes &payload);
     Bytes statsJson();
@@ -127,9 +152,21 @@ class Server
     void flushWrites(Worker &worker, Connection &conn);
     void applyBackpressure(Worker &worker, Connection &conn);
 
+    /** 1-in-2^stage_sample_shift decision, one relaxed atomic. */
+    bool stageSampleHit();
+    /** Sampler for server-initiated traces of untraced frames. */
+    bool traceSampleHit();
+
     kv::KVStore &store_;
     ServerOptions options_;
     obs::MetricsRegistry &metrics_;
+    obs::TraceEventLog *trace_log_ = nullptr;
+    std::unique_ptr<obs::SlowOpLog> slow_log_;
+    uint64_t slow_op_ns_ = 0;
+    std::atomic<uint64_t> stage_sample_seq_{0};
+    std::atomic<uint64_t> trace_sample_seq_{0};
+    uint64_t stage_sample_mask_ = 0;
+    uint64_t trace_sample_mask_ = 0;
 
     int listen_fd_ = -1;
     int accept_wake_fd_ = -1;
@@ -147,12 +184,25 @@ class Server
     obs::Counter *bytes_in_;
     obs::Counter *bytes_out_;
     obs::Counter *frames_bad_;
+    obs::Counter *frames_received_;
     obs::Counter *backpressure_paused_;
     obs::Counter *backpressure_dropped_;
-    obs::Counter *op_count_[7];
-    obs::Counter *op_errors_[7];
-    obs::LatencyHistogram *op_latency_[7];
+    obs::Counter *op_count_[9];
+    obs::Counter *op_errors_[9];
+    obs::LatencyHistogram *op_latency_[9];
     obs::LatencyHistogram *conn_lifetime_ops_;
+
+    // Per-stage attribution (sampled; DESIGN.md §11).
+    obs::LatencyHistogram *stage_read_ns_;
+    obs::LatencyHistogram *stage_decode_ns_;
+    obs::LatencyHistogram *stage_exec_ns_;
+    obs::LatencyHistogram *stage_encode_ns_;
+    obs::LatencyHistogram *stage_flush_ns_;
+    obs::LatencyHistogram *stage_total_ns_;
+    obs::Gauge *write_queue_bytes_;   //!< Sum over connections.
+    obs::Gauge *responses_inflight_;  //!< Queued, not yet flushed.
+    obs::Counter *slow_ops_recorded_;
+    obs::Counter *traces_emitted_;
 };
 
 } // namespace ethkv::server

@@ -16,11 +16,16 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "kvstore/mem_store.hh"
 #include "obs/instrumented_store.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/metrics_writer.hh"
 #include "obs/scoped_timer.hh"
+#include "obs/slow_op_log.hh"
 #include "obs/trace_event.hh"
 
 namespace ethkv::obs
@@ -363,7 +368,9 @@ TEST(MetricsRegistryTest, SnapshotCapturesEverything)
     ASSERT_NE(snap.findCounter("ops"), nullptr);
     EXPECT_EQ(*snap.findCounter("ops"), 7u);
     EXPECT_EQ(snap.findCounter("nope"), nullptr);
-    ASSERT_EQ(snap.gauges.size(), 1u);
+    // The explicit gauge plus the synthesized percentile gauges
+    // (lat_ns.p50/.p99/.p999) of the one nonempty histogram.
+    ASSERT_EQ(snap.gauges.size(), 4u);
     EXPECT_EQ(snap.gauges[0].second, -4);
     const HistogramSnapshot *h = snap.findHistogram("lat_ns");
     ASSERT_NE(h, nullptr);
@@ -678,6 +685,353 @@ TEST(TraceEventLogTest, NullLogIsNoOp)
 {
     ScopedSpan span(nullptr, "ignored");
     span.setArg(1); // must not crash
+}
+
+// -- obs/json: writer and parser ---------------------------------
+
+TEST(JsonWriterTest, NestedStructureWithCommas)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a");
+    w.value(uint64_t{1});
+    w.key("b");
+    w.beginArray();
+    w.value("x");
+    w.value(int64_t{-2});
+    w.value(true);
+    w.null();
+    w.endArray();
+    w.key("c");
+    w.beginObject();
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              R"({"a":1,"b":["x",-2,true,null],"c":{}})");
+}
+
+TEST(JsonWriterTest, EscapesHostileStrings)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("k\"ey");
+    w.value("line\nbreak\ttab\x01\\");
+    w.endObject();
+    const std::string &out = w.str();
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_NE(out.find("\\u0001"), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    // Round trip through the parser restores the raw bytes.
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(out, doc).isOk());
+    const JsonValue *v = doc.find("k\"ey");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->string, "line\nbreak\ttab\x01\\");
+}
+
+TEST(JsonWriterTest, RawValueSplicesVerbatim)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("nested");
+    w.rawValue("{\"x\":1}\n");
+    w.key("after");
+    w.value(uint64_t{2});
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"nested":{"x":1},"after":2})");
+}
+
+TEST(JsonParseTest, ScalarsAndContainers)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(
+                    R"({"s":"hi","n":-12.5,"t":true,"f":false,)"
+                    R"("z":null,"a":[1,2,3]})",
+                    doc)
+                    .isOk());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("s")->string, "hi");
+    EXPECT_DOUBLE_EQ(doc.find("n")->number, -12.5);
+    EXPECT_TRUE(doc.find("t")->boolean);
+    EXPECT_FALSE(doc.find("f")->boolean);
+    EXPECT_TRUE(doc.find("z")->isNull());
+    const JsonValue *a = doc.find("a");
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items.size(), 3u);
+    EXPECT_EQ(a->items[2].asU64(), 3u);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapesIncludingUnicode)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(
+                    R"(["a\"b", "c\\d", "e\nf", "Aé"])",
+                    doc)
+                    .isOk());
+    ASSERT_EQ(doc.items.size(), 4u);
+    EXPECT_EQ(doc.items[0].string, "a\"b");
+    EXPECT_EQ(doc.items[1].string, "c\\d");
+    EXPECT_EQ(doc.items[2].string, "e\nf");
+    EXPECT_EQ(doc.items[3].string, "A\xc3\xa9"); // UTF-8 e-acute
+}
+
+TEST(JsonParseTest, RejectsGarbage)
+{
+    JsonValue doc;
+    EXPECT_FALSE(parseJson("", doc).isOk());
+    EXPECT_FALSE(parseJson("{", doc).isOk());
+    EXPECT_FALSE(parseJson("{\"a\":}", doc).isOk());
+    EXPECT_FALSE(parseJson("[1,2,]", doc).isOk());
+    EXPECT_FALSE(parseJson("treu", doc).isOk());
+    EXPECT_FALSE(parseJson("{} trailing", doc).isOk());
+    EXPECT_FALSE(parseJson("\"unterminated", doc).isOk());
+}
+
+TEST(JsonParseTest, U64ClampsNegatives)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson("[-5, 7]", doc).isOk());
+    EXPECT_EQ(doc.items[0].asU64(), 0u);
+    EXPECT_EQ(doc.items[1].asU64(), 7u);
+}
+
+// -- percentile gauges vs the histogram's own percentile ---------
+
+TEST(MetricsRegistryTest, PercentileGaugesMatchHistogram)
+{
+    // The snapshot synthesizes <hist>.p50/.p99/.p999 gauges for
+    // remote scrapers; they must agree with the histogram's own
+    // percentile() on the very same snapshot.
+    MetricsRegistry reg;
+    LatencyHistogram &h = reg.histogram("stage_ns");
+    for (uint64_t v = 1; v <= 20000; ++v)
+        h.record(v * 13);
+
+    MetricsSnapshot snap = reg.snapshot();
+    const HistogramSnapshot *hs = snap.findHistogram("stage_ns");
+    ASSERT_NE(hs, nullptr);
+    auto gauge = [&](const std::string &name) -> int64_t {
+        for (const auto &g : snap.gauges)
+            if (g.first == name)
+                return g.second;
+        ADD_FAILURE() << "missing gauge " << name;
+        return -1;
+    };
+    EXPECT_EQ(gauge("stage_ns.p50"),
+              static_cast<int64_t>(hs->percentile(0.5)));
+    EXPECT_EQ(gauge("stage_ns.p99"),
+              static_cast<int64_t>(hs->percentile(0.99)));
+    EXPECT_EQ(gauge("stage_ns.p999"),
+              static_cast<int64_t>(hs->percentile(0.999)));
+
+    // And the JSON export carries the same numbers.
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(reg.toJson(), doc).isOk());
+    const JsonValue *hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *exported = hists->find("stage_ns");
+    ASSERT_NE(exported, nullptr);
+    EXPECT_EQ(exported->find("p50")->asU64(), hs->percentile(0.5));
+    EXPECT_EQ(exported->find("p999")->asU64(),
+              hs->percentile(0.999));
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramSynthesizesNoGauges)
+{
+    MetricsRegistry reg;
+    reg.histogram("quiet_ns");
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.gauges.empty());
+}
+
+// -- slow-op ring ------------------------------------------------
+
+TEST(SlowOpLogTest, KeepsNewestUpToCapacity)
+{
+    SlowOpLog log(4);
+    EXPECT_EQ(log.capacity(), 4u);
+    for (uint64_t i = 1; i <= 10; ++i) {
+        SlowOpRecord rec;
+        rec.start_us = i;
+        rec.total_ns = i * 100;
+        rec.opcode = 1;
+        log.record(rec);
+    }
+    EXPECT_EQ(log.recorded(), 10u);
+    EXPECT_EQ(log.dropped(), 0u);
+    std::vector<SlowOpRecord> snap = log.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    // Newest first: records 10, 9, 8, 7.
+    EXPECT_EQ(snap[0].start_us, 10u);
+    EXPECT_EQ(snap[3].start_us, 7u);
+}
+
+TEST(SlowOpLogTest, JsonExportParsesAndCountsMatch)
+{
+    SlowOpLog log(8);
+    SlowOpRecord rec;
+    rec.trace_id = 0xfeedbeef;
+    rec.total_ns = 4242;
+    rec.exec_ns = 4000;
+    rec.opcode = 2;
+    log.record(rec);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(log.toJson(), doc).isOk());
+    EXPECT_EQ(doc.find("schema")->string, "ethkv.slowops.v1");
+    EXPECT_EQ(doc.find("capacity")->asU64(), 8u);
+    EXPECT_EQ(doc.find("recorded")->asU64(), 1u);
+    const JsonValue *ops = doc.find("ops");
+    ASSERT_NE(ops, nullptr);
+    ASSERT_EQ(ops->items.size(), 1u);
+    EXPECT_EQ(ops->items[0].find("trace_id")->asU64(),
+              0xfeedbeefu);
+    EXPECT_EQ(ops->items[0].find("total_ns")->asU64(), 4242u);
+    EXPECT_EQ(ops->items[0].find("opcode")->asU64(), 2u);
+}
+
+TEST(SlowOpLogTest, ConcurrentWritersNeverTearRecords)
+{
+    SlowOpLog log(16);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kEach = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&log, t] {
+            for (uint64_t i = 0; i < kEach; ++i) {
+                SlowOpRecord rec;
+                // total_ns encodes the writer so a torn record
+                // (mixed fields) is detectable below.
+                rec.total_ns = static_cast<uint64_t>(t) + 1;
+                rec.exec_ns = (static_cast<uint64_t>(t) + 1) * 10;
+                log.record(rec);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(log.recorded() + log.dropped(), kThreads * kEach);
+    for (const SlowOpRecord &rec : log.snapshot()) {
+        ASSERT_GE(rec.total_ns, 1u);
+        ASSERT_LE(rec.total_ns, 4u);
+        EXPECT_EQ(rec.exec_ns, rec.total_ns * 10);
+    }
+}
+
+// -- periodic metrics writer delta math --------------------------
+
+TEST(PeriodicMetricsWriterTest, RenderOnceComputesDeltasAndRates)
+{
+    MetricsRegistry reg;
+    Counter &ops = reg.counter("srv.ops");
+    ops.inc(100);
+
+    PeriodicMetricsWriter::Options options;
+    options.registry = &reg;
+    PeriodicMetricsWriter writer(options);
+
+    // First render: baseline, no deltas yet.
+    JsonValue first;
+    ASSERT_TRUE(parseJson(writer.renderOnce(1000), first).isOk());
+    EXPECT_EQ(first.find("schema")->string,
+              "ethkv.metrics.live.v1");
+
+    // 150 more ops over a simulated 500 ms → delta 150, 300/s.
+    ops.inc(150);
+    JsonValue second;
+    ASSERT_TRUE(parseJson(writer.renderOnce(500), second).isOk());
+    const JsonValue *deltas = second.find("deltas");
+    ASSERT_NE(deltas, nullptr);
+    EXPECT_EQ(deltas->find("srv.ops")->asU64(), 150u);
+    const JsonValue *rates = second.find("rates_per_sec");
+    ASSERT_NE(rates, nullptr);
+    EXPECT_NEAR(rates->find("srv.ops")->number, 300.0, 0.5);
+    // Full snapshot rides along for absolute values.
+    const JsonValue *metrics = second.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const JsonValue *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("srv.ops")->asU64(), 250u);
+}
+
+TEST(PeriodicMetricsWriterTest, StopWritesFinalSnapshot)
+{
+    MetricsRegistry reg;
+    reg.counter("final.ops").inc(3);
+    std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        "ethkv_test_live_metrics.json";
+    std::filesystem::remove(path);
+
+    PeriodicMetricsWriter::Options options;
+    options.path = path.string();
+    options.interval_ms = 60000; // only the final write matters
+    options.registry = &reg;
+    PeriodicMetricsWriter writer(options);
+    writer.start();
+    writer.stop();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(buf.str(), doc).isOk()) << buf.str();
+    EXPECT_EQ(doc.find("schema")->string, "ethkv.metrics.live.v1");
+    std::filesystem::remove(path);
+}
+
+// -- trace merging -----------------------------------------------
+
+TEST(TraceEventLogTest, MergeSplicesTwoArrays)
+{
+    TraceEventLog a(/*absolute_clock=*/true);
+    TraceEventLog b(/*absolute_clock=*/true);
+    a.setProcessLabel(1, "server");
+    b.setProcessLabel(2, "client");
+    a.addSpan("srv.op", "pipeline", 100, 10);
+    b.addSpan("cli.op", "pipeline", 90, 30);
+
+    std::string merged = mergeTraceJson(a.toJson(), b.toJson());
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(merged, doc).isOk()) << merged;
+    ASSERT_TRUE(doc.isArray());
+    // Two spans + two process_name metadata records.
+    ASSERT_EQ(doc.items.size(), 4u);
+    size_t spans = 0, meta = 0;
+    for (const JsonValue &ev : doc.items) {
+        const JsonValue *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "X")
+            ++spans;
+        else if (ph->string == "M")
+            ++meta;
+    }
+    EXPECT_EQ(spans, 2u);
+    EXPECT_EQ(meta, 2u);
+}
+
+TEST(TraceEventLogTest, MergeToleratesEmptyInputs)
+{
+    TraceEventLog a;
+    a.addSpan("only", "pipeline", 1, 2);
+    std::string only_a = mergeTraceJson(a.toJson(), "");
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(only_a, doc).isOk()) << only_a;
+    ASSERT_EQ(doc.items.size(), 1u);
+    std::string none = mergeTraceJson("", "");
+    ASSERT_TRUE(parseJson(none, doc).isOk()) << none;
+    EXPECT_TRUE(doc.items.empty());
+}
+
+TEST(TraceEventLogTest, MaxSpansDropsAndCounts)
+{
+    TraceEventLog log(/*absolute_clock=*/false, /*max_spans=*/3);
+    for (int i = 0; i < 10; ++i)
+        log.addSpan("s" + std::to_string(i), "c", i, 1);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.dropped(), 7u);
 }
 
 } // namespace

@@ -15,16 +15,22 @@
 #       compactions are mid-flight), kill -9 the server mid-load,
 #       restart on the same directory, and verify that every
 #       acknowledged write survived (zero acked-synced data loss).
+#
+#   server_smoke.sh trace <ethkvd> <bench_server_load> <scratch> \
+#       <ethkv_mon> <ethkv_trace_check>
+#       The observability drill: run a traced load burst against a
+#       fully instrumented server, then check every output surface —
+#       merged client+server Chrome trace (with matching trace ids
+#       and nested server stage spans), the combined metrics JSON,
+#       the live dashboard over the wire and from the snapshot
+#       file, and the SIGUSR1 slow-op dump on stderr.
 set -u
 
 MODE=$1
 ETHKVD=$2
 LOADGEN=$3
 SCRATCH=$4
-ENGINE=${5:-log}
 shift 4
-[ $# -gt 0 ] && shift
-EXTRA_FLAGS=("$@")
 
 rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH/data"
@@ -71,6 +77,9 @@ case "$MODE" in
     ;;
 
   crash)
+    ENGINE=${1:-log}
+    [ $# -gt 0 ] && shift
+    EXTRA_FLAGS=("$@")
     "$ETHKVD" --engine "$ENGINE" --dir "$SCRATCH/data" --sync \
         ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} \
         --port 0 --port-file "$SCRATCH/port" --workers 2 &
@@ -115,6 +124,90 @@ case "$MODE" in
     kill -TERM "$SERVER_PID"
     wait "$SERVER_PID"
     SERVER_PID=""
+    ;;
+
+  trace)
+    MON=$1
+    TRACE_CHECK=$2
+
+    # Everything on: full-rate tracing + stage stats, slow-op log
+    # that records every request, live metrics snapshots.
+    "$ETHKVD" --engine btree --port 0 \
+        --port-file "$SCRATCH/port" --workers 2 \
+        --trace "$SCRATCH/server_trace.json" \
+        --trace-sample-shift 0 --stage-sample-shift 0 \
+        --slow-op-micros 0 \
+        --metrics-interval 100 \
+        --metrics-file "$SCRATCH/live.json" \
+        2> "$SCRATCH/server.err" &
+    SERVER_PID=$!
+    wait_port_file "$SCRATCH/port"
+
+    # Traced load: client spans + server TRACEDUMP merge into one
+    # timeline, and the combined metrics doc scrapes STATS.
+    "$LOADGEN" --port-file "$SCRATCH/port" --connections 4 \
+        --threads 2 --ops 20000 --keys 2000 --read-pct 50 \
+        --trace-out "$SCRATCH/merged_trace.json" \
+        --metrics-out "$SCRATCH/combined.json" \
+        || fail "traced load burst (rc=$?)"
+
+    # Merged trace: client spans, server spans, shared trace ids,
+    # stage spans nested inside request spans.
+    [ -s "$SCRATCH/merged_trace.json" ] \
+        || fail "merged trace not written"
+    "$TRACE_CHECK" "$SCRATCH/merged_trace.json" \
+        --require-server --require-client --require-match \
+        || fail "merged trace validation"
+
+    # Combined metrics doc: bench schema, client histograms, and
+    # the server's per-stage latency attribution via STATS.
+    [ -s "$SCRATCH/combined.json" ] \
+        || fail "combined metrics doc not written"
+    grep -q "ethkv.bench_server_load.v1" "$SCRATCH/combined.json" \
+        || fail "combined doc schema missing"
+    grep -q "op.server.exec_ns" "$SCRATCH/combined.json" \
+        || fail "server stage histograms missing from combined doc"
+    grep -q "p999" "$SCRATCH/combined.json" \
+        || fail "percentile gauges missing from combined doc"
+
+    # Live dashboard: one frame over the wire and one from the
+    # periodic snapshot file.
+    "$MON" --port-file "$SCRATCH/port" --once \
+        > "$SCRATCH/mon_wire.txt" \
+        || fail "ethkv_mon wire poll (rc=$?)"
+    grep -q "get" "$SCRATCH/mon_wire.txt" \
+        || fail "mon wire output missing per-op table"
+    for _ in $(seq 1 100); do
+        [ -s "$SCRATCH/live.json" ] && break
+        sleep 0.05
+    done
+    [ -s "$SCRATCH/live.json" ] \
+        || fail "live metrics file never appeared"
+    "$MON" --file "$SCRATCH/live.json" --once \
+        > "$SCRATCH/mon_file.txt" \
+        || fail "ethkv_mon file poll (rc=$?)"
+
+    # SIGUSR1: slow-op dump lands on stderr as one JSON document.
+    kill -USR1 "$SERVER_PID"
+    for _ in $(seq 1 100); do
+        grep -q "ethkv.slowops.v1" "$SCRATCH/server.err" && break
+        sleep 0.05
+    done
+    grep -q "ethkv.slowops.v1" "$SCRATCH/server.err" \
+        || fail "SIGUSR1 slow-op dump missing from stderr"
+
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID"
+    RC=$?
+    SERVER_PID=""
+    [ "$RC" -eq 0 ] || fail "server exit code $RC after SIGTERM"
+
+    # The server wrote its own trace file on shutdown; it must be
+    # a valid Chrome trace with request spans.
+    [ -s "$SCRATCH/server_trace.json" ] \
+        || fail "server trace file not written"
+    "$TRACE_CHECK" "$SCRATCH/server_trace.json" --require-server \
+        || fail "server trace file validation"
     ;;
 
   *)

@@ -17,6 +17,8 @@
 
 #include "common/fault_env.hh"
 #include "kvstore/btree_store.hh"
+#include "obs/json.hh"
+#include "obs/trace_event.hh"
 #include "kvstore/hash_store.hh"
 #include "kvstore/locked_store.hh"
 #include "kvstore/log_store.hh"
@@ -129,7 +131,7 @@ TEST(ServerTest, AllFiveOpsRoundTrip)
     // STATS returns the JSON document.
     Bytes json;
     ASSERT_TRUE(client->stats(json).isOk());
-    EXPECT_NE(json.find("ethkv.server.stats.v1"),
+    EXPECT_NE(json.find("ethkv.server.stats.v2"),
               std::string::npos);
     EXPECT_NE(json.find("btree"), std::string::npos);
 }
@@ -424,6 +426,218 @@ TEST(ServerTest, MalformedPayloadKeepsConnectionAlive)
     EXPECT_EQ(frame.type, static_cast<uint8_t>(WireStatus::Ok));
     EXPECT_EQ(frame.request_id, 32u);
     net::closeFd(fd.value());
+}
+
+/**
+ * Forwarding decorator with a hostile engine name — quotes,
+ * backslashes, and control characters that must survive STATS JSON
+ * emission byte-correct.
+ */
+class HostileNameStore : public kv::KVStore
+{
+  public:
+    explicit HostileNameStore(kv::KVStore &inner) : inner_(inner) {}
+
+    Status put(BytesView key, BytesView value) override
+    {
+        return inner_.put(key, value);
+    }
+    Status get(BytesView key, Bytes &value) override
+    {
+        return inner_.get(key, value);
+    }
+    Status del(BytesView key) override { return inner_.del(key); }
+    Status scan(BytesView start, BytesView end,
+                const kv::ScanCallback &cb) override
+    {
+        return inner_.scan(start, end, cb);
+    }
+    Status flush() override { return inner_.flush(); }
+    const kv::IOStats &stats() const override
+    {
+        return inner_.stats();
+    }
+    std::string name() const override
+    {
+        return "ev\"il\\engine\n\tname\x01";
+    }
+    uint64_t liveKeyCount() override
+    {
+        return inner_.liveKeyCount();
+    }
+
+  private:
+    kv::KVStore &inner_;
+};
+
+TEST(ServerTest, StatsEscapesHostileEngineName)
+{
+    // Regression: engine names with quotes/control characters used
+    // to be spliced into the STATS document verbatim, producing
+    // invalid JSON. The shared obs JSON writer must escape them.
+    kv::BTreeStore store;
+    HostileNameStore hostile(store);
+    kv::LockedKVStore locked(hostile);
+    Server server(locked, ServerOptions{});
+    server.start().expectOk("start");
+    auto client = Client::open("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+
+    Bytes json;
+    ASSERT_TRUE(client.value()->stats(json).isOk());
+    server.stop();
+
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(json, doc).isOk())
+        << "json: " << json;
+    const obs::JsonValue *engine = doc.find("engine");
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->isString());
+    // The parser round-trips the escapes back to the raw bytes.
+    EXPECT_EQ(engine->string, "ev\"il\\engine\n\tname\x01");
+    // And the wire bytes hold the escaped forms, never raw ctrls.
+    EXPECT_NE(json.find("\\\"il\\\\engine\\n\\tname\\u0001"),
+              std::string::npos)
+        << json;
+}
+
+TEST(ServerTest, SlowLogCapturesOpsOverTheWire)
+{
+    // slow_op_micros = 0 marks every request slow, so a couple of
+    // ops must show up in the SLOWLOG response.
+    ServerOptions options;
+    options.slow_op_micros = 0;
+    options.slow_op_capacity = 16;
+    ServerFixture fx(options);
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    ASSERT_TRUE(client->put("slow", "op").isOk());
+    Bytes value;
+    ASSERT_TRUE(client->get("slow", value).isOk());
+
+    Bytes json;
+    ASSERT_TRUE(client->slowLog(json).isOk());
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(json, doc).isOk()) << json;
+    const obs::JsonValue *schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string, "ethkv.slowops.v1");
+    const obs::JsonValue *recorded = doc.find("recorded");
+    ASSERT_NE(recorded, nullptr);
+    EXPECT_GE(recorded->asU64(), 2u);
+    const obs::JsonValue *ops = doc.find("ops");
+    ASSERT_NE(ops, nullptr);
+    ASSERT_TRUE(ops->isArray());
+    ASSERT_FALSE(ops->items.empty());
+    bool saw_put = false;
+    for (const obs::JsonValue &op : ops->items) {
+        const obs::JsonValue *opcode = op.find("opcode");
+        ASSERT_NE(opcode, nullptr);
+        if (opcode->asU64() ==
+            static_cast<uint64_t>(Opcode::Put))
+            saw_put = true;
+        const obs::JsonValue *total = op.find("total_ns");
+        ASSERT_NE(total, nullptr);
+    }
+    EXPECT_TRUE(saw_put) << json;
+}
+
+TEST(ServerTest, SlowLogDisabledReturnsEmptyDocument)
+{
+    ServerFixture fx; // default: slow_op_micros = -1, off
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    ASSERT_TRUE(client->put("k", "v").isOk());
+    Bytes json;
+    ASSERT_TRUE(client->slowLog(json).isOk());
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(json, doc).isOk()) << json;
+    const obs::JsonValue *capacity = doc.find("capacity");
+    ASSERT_NE(capacity, nullptr);
+    EXPECT_EQ(capacity->asU64(), 0u);
+    const obs::JsonValue *ops = doc.find("ops");
+    ASSERT_NE(ops, nullptr);
+    EXPECT_TRUE(ops->items.empty());
+}
+
+TEST(ServerTest, TracedRequestsProduceMatchingServerSpans)
+{
+    // End to end: a tracing client against a tracing server. The
+    // server's TRACEDUMP must hold req.* spans carrying the same
+    // trace ids the client generated, so the two logs merge into
+    // one attributable timeline.
+    obs::TraceEventLog server_log(/*absolute_clock=*/true);
+    obs::TraceEventLog client_log(/*absolute_clock=*/true);
+    ServerOptions options;
+    options.trace_log = &server_log;
+    options.trace_sample_shift = 0; // trace every request
+    ServerFixture fx(options);
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    constexpr uint64_t kBase = 0xAB00000000000000ull;
+    client->enableTrace(&client_log, kBase, /*tid=*/1);
+
+    ASSERT_TRUE(client->put("traced", "value").isOk());
+    Bytes value;
+    ASSERT_TRUE(client->get("traced", value).isOk());
+    EXPECT_EQ(value, "value");
+
+    // Client-side spans exist and sit on pid 2.
+    ASSERT_GE(client_log.size(), 2u);
+    obs::JsonValue client_doc;
+    ASSERT_TRUE(
+        obs::parseJson(client_log.toJson(), client_doc).isOk());
+    for (const obs::JsonValue &ev : client_doc.items) {
+        const obs::JsonValue *name = ev.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->string.rfind("cli.", 0) != 0)
+            continue;
+        const obs::JsonValue *pid = ev.find("pid");
+        ASSERT_NE(pid, nullptr);
+        EXPECT_EQ(pid->asU64(), 2u);
+    }
+
+    // Server-side dump: req.* spans on pid 1 whose trace_id args
+    // land in the client's id range.
+    Bytes dump;
+    ASSERT_TRUE(client->traceDump(dump).isOk());
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(dump, doc).isOk());
+    ASSERT_TRUE(doc.isArray());
+    size_t matched = 0;
+    for (const obs::JsonValue &ev : doc.items) {
+        const obs::JsonValue *name = ev.find("name");
+        if (name == nullptr ||
+            name->string.rfind("req.", 0) != 0)
+            continue;
+        const obs::JsonValue *pid = ev.find("pid");
+        ASSERT_NE(pid, nullptr);
+        EXPECT_EQ(pid->asU64(), 1u);
+        const obs::JsonValue *args = ev.find("args");
+        if (args == nullptr)
+            continue;
+        const obs::JsonValue *tid = args->find("trace_id");
+        if (tid != nullptr && (tid->asU64() & kBase) == kBase)
+            ++matched;
+    }
+    EXPECT_GE(matched, 2u) << dump;
+}
+
+TEST(ServerTest, UntracedClientAgainstTracingServerStillWorks)
+{
+    // Wire v1 traffic at a tracing-enabled server: requests work
+    // and no req.* span claims a trace id.
+    obs::TraceEventLog server_log(/*absolute_clock=*/true);
+    ServerOptions options;
+    options.trace_log = &server_log;
+    options.trace_sample_shift = 0;
+    ServerFixture fx(options);
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    ASSERT_TRUE(client->put("plain", "v1").isOk());
+    Bytes value;
+    ASSERT_TRUE(client->get("plain", value).isOk());
+    EXPECT_EQ(value, "v1");
 }
 
 TEST(ServerTest, GracefulStopFlushesEngine)

@@ -4,7 +4,7 @@
  *
  * Usage: ethkv_lint <repo-root>
  *
- * Six rule families, each tuned to an invariant this codebase
+ * Seven rule families, each tuned to an invariant this codebase
  * depends on:
  *
  *  1. KVClass switch exhaustiveness. The paper's whole analysis
@@ -51,6 +51,15 @@
  *     threads, so start/drain/join-before-teardown lives in one
  *     reviewed place and the TSan stress target knows what to
  *     cover.
+ *
+ *  7. No hand-rolled JSON in src/server. String literals that
+ *     build JSON inline (`{\"` or `\":` escape sequences) caused
+ *     the STATS escaping bug; all wire-visible JSON must go
+ *     through obs/json.hh (JsonWriter / appendJsonEscaped) so
+ *     quoting is handled in exactly one place. This rule scans the
+ *     RAW source text — the other rules' comment/string stripper
+ *     blanks string literals, which is precisely where this
+ *     violation lives.
  *
  * Exit status 0 when clean; 1 with one "file:line: message" per
  * violation otherwise, so the `lint.ethkv_lint` ctest entry fails
@@ -636,6 +645,55 @@ checkKvstoreThreads(const fs::path &rel,
     }
 }
 
+// --- Rule 7: no hand-rolled JSON literals in src/server ---------
+
+/**
+ * Flags C++ string literals that assemble JSON by hand: the raw
+ * source sequences `{\"` (an opening brace immediately followed by
+ * an escaped quote) and `\":` (an escaped quote closing a member
+ * key). Runs on RAW lines — unlike every other rule — because the
+ * stripper blanks string literals. Comment lines are skipped so
+ * documentation may show JSON shapes.
+ */
+void
+checkServerJsonLiterals(const fs::path &rel,
+                        const std::vector<std::string> &raw_lines)
+{
+    auto it = rel.begin();
+    if (it == rel.end() || *it != fs::path("src"))
+        return;
+    ++it;
+    if (it == rel.end() || *it != fs::path("server"))
+        return;
+    bool in_block_comment = false;
+    for (size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string &line = raw_lines[i];
+        size_t first = line.find_first_not_of(" \t");
+        std::string head = first == std::string::npos
+                               ? std::string()
+                               : line.substr(first, 2);
+        if (in_block_comment) {
+            if (line.find("*/") != std::string::npos)
+                in_block_comment = false;
+            continue;
+        }
+        if (head == "//" || head == "/*" || head == "*" ||
+            head == "*/") {
+            if (head == "/*" &&
+                line.find("*/") == std::string::npos)
+                in_block_comment = true;
+            continue;
+        }
+        if (line.find("{\\\"") != std::string::npos ||
+            line.find("\\\":") != std::string::npos) {
+            report(rel.string(), i + 1,
+                   "hand-rolled JSON string literal in src/server "
+                   "— emit JSON through obs/json.hh (JsonWriter) "
+                   "so escaping stays correct in one place");
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -677,8 +735,8 @@ main(int argc, char **argv)
                 continue;
             }
             fs::path rel = path.lexically_relative(root);
-            std::string text =
-                stripCommentsAndStrings(readFile(path));
+            std::string raw = readFile(path);
+            std::string text = stripCommentsAndStrings(raw);
             std::vector<std::string> lines = splitLines(text);
 
             checkKVClassSwitches(rel, text, enumerators);
@@ -687,6 +745,7 @@ main(int argc, char **argv)
             checkDirectIO(rel, lines);
             checkDirectNet(rel, lines);
             checkKvstoreThreads(rel, lines);
+            checkServerJsonLiterals(rel, splitLines(raw));
             if (ext == ".hh" &&
                 *rel.begin() == fs::path("src")) {
                 checkHeaderGuard(rel, rel, text);

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * ethkv_trace_check — structural validator for the Chrome traces
+ * ethkvd and bench_server_load emit.
+ *
+ * Chrome trace JSON is "whatever chrome://tracing happens to
+ * accept", so regressions (a missing comma from the textual merge,
+ * spans with the wrong track, server stages that stopped nesting
+ * inside their request span) would otherwise only surface when a
+ * human loads the file. This tool makes the contract testable:
+ *
+ *   ethkv_trace_check trace.json                 # parses + shape
+ *   ethkv_trace_check trace.json --require-server
+ *   ethkv_trace_check trace.json --require-client --require-match
+ *
+ *  --require-server  at least one server req.* span (pid 1) with a
+ *                    nested op.exec stage span on the same track
+ *  --require-client  at least one client cli.* span (pid 2)
+ *  --require-match   some trace_id appears in both a client span
+ *                    and a server req.* span (the merged-timeline
+ *                    guarantee)
+ *
+ * Exit 0 on success, 1 on any violation (with a reason on stderr).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/status.hh"
+#include "obs/json.hh"
+
+namespace
+{
+
+using namespace ethkv;
+
+/** The fields of one "ph":"X" event this tool cares about. */
+struct SpanView
+{
+    std::string name;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+    uint64_t pid = 0;
+    uint64_t tid = 0;
+    uint64_t trace_id = 0;
+    bool has_trace_id = false;
+};
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+int
+fail(const char *what)
+{
+    std::fprintf(stderr, "ethkv_trace_check: FAIL: %s\n", what);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool require_server = false;
+    bool require_client = false;
+    bool require_match = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--require-server") == 0)
+            require_server = true;
+        else if (std::strcmp(argv[i], "--require-client") == 0)
+            require_client = true;
+        else if (std::strcmp(argv[i], "--require-match") == 0)
+            require_match = true;
+        else if (path.empty())
+            path = argv[i];
+        else
+            return fail("more than one trace file argument");
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: ethkv_trace_check <trace.json>"
+                     " [--require-server] [--require-client]"
+                     " [--require-match]\n");
+        return 2;
+    }
+
+    Bytes text;
+    Status s = Env::defaultEnv()->readFileToString(path, text);
+    if (!s.isOk()) {
+        std::fprintf(stderr, "ethkv_trace_check: read %s: %s\n",
+                     path.c_str(), s.toString().c_str());
+        return 1;
+    }
+
+    obs::JsonValue root;
+    s = obs::parseJson(text, root);
+    if (!s.isOk()) {
+        std::fprintf(stderr,
+                     "ethkv_trace_check: %s is not valid JSON:"
+                     " %s\n",
+                     path.c_str(), s.toString().c_str());
+        return 1;
+    }
+    if (!root.isArray())
+        return fail("top level is not a JSON array");
+
+    std::vector<SpanView> spans;
+    size_t metadata_events = 0;
+    for (const obs::JsonValue &event : root.items) {
+        if (!event.isObject())
+            return fail("trace event is not an object");
+        const obs::JsonValue *ph = event.find("ph");
+        if (!ph || !ph->isString())
+            return fail("trace event without a \"ph\" phase");
+        if (ph->string == "M") {
+            ++metadata_events;
+            continue;
+        }
+        if (ph->string != "X")
+            return fail("unexpected event phase (not X or M)");
+        const obs::JsonValue *name = event.find("name");
+        const obs::JsonValue *ts = event.find("ts");
+        const obs::JsonValue *dur = event.find("dur");
+        const obs::JsonValue *pid = event.find("pid");
+        const obs::JsonValue *tid = event.find("tid");
+        if (!name || !name->isString() || !ts || !ts->isNumber() ||
+            !dur || !dur->isNumber() || !pid || !tid)
+            return fail("span missing name/ts/dur/pid/tid");
+        SpanView view;
+        view.name = name->string;
+        view.ts = ts->asU64();
+        view.dur = dur->asU64();
+        view.pid = pid->asU64();
+        view.tid = tid->asU64();
+        if (const obs::JsonValue *args = event.find("args")) {
+            if (const obs::JsonValue *id =
+                    args->find("trace_id")) {
+                view.trace_id = id->asU64();
+                view.has_trace_id = true;
+            }
+        }
+        spans.push_back(std::move(view));
+    }
+    if (spans.empty())
+        return fail("trace contains no spans");
+
+    if (require_server) {
+        // A server request span must exist, and at least one must
+        // contain its op.exec stage on the same track — the
+        // nesting chrome://tracing renders as parent/child.
+        bool nested = false;
+        for (const SpanView &req : spans) {
+            if (req.pid != 1 || !startsWith(req.name, "req."))
+                continue;
+            for (const SpanView &stage : spans) {
+                if (stage.pid == req.pid &&
+                    stage.tid == req.tid &&
+                    stage.name == "op.exec" &&
+                    stage.ts >= req.ts &&
+                    stage.ts + stage.dur <= req.ts + req.dur) {
+                    nested = true;
+                    break;
+                }
+            }
+            if (nested)
+                break;
+        }
+        if (!nested)
+            return fail("no server req.* span with a nested"
+                        " op.exec stage");
+    }
+
+    if (require_client) {
+        bool found = false;
+        for (const SpanView &span : spans)
+            found = found ||
+                    (span.pid == 2 && startsWith(span.name,
+                                                 "cli."));
+        if (!found)
+            return fail("no client cli.* span on pid 2");
+    }
+
+    if (require_match) {
+        bool matched = false;
+        for (const SpanView &cli : spans) {
+            if (cli.pid != 2 || !cli.has_trace_id)
+                continue;
+            for (const SpanView &req : spans) {
+                if (req.pid == 1 && req.has_trace_id &&
+                    startsWith(req.name, "req.") &&
+                    req.trace_id == cli.trace_id) {
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                break;
+        }
+        if (!matched)
+            return fail("no trace_id shared between a client span"
+                        " and a server req.* span");
+    }
+
+    std::printf("ethkv_trace_check: ok: %zu spans, %zu metadata"
+                " events\n",
+                spans.size(), metadata_events);
+    return 0;
+}
