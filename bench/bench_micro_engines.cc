@@ -22,7 +22,7 @@
 #include "kvstore/log_store.hh"
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "obs/metrics.hh"
 
 using namespace ethkv;
@@ -50,11 +50,11 @@ benchValue(uint64_t i)
 }
 
 /** Decorator + owned inner engine in one allocation-friendly box. */
-class OwnedObsStore : public obs::InstrumentedKVStore
+class OwnedObsStore : public kv::InstrumentedKVStore
 {
   public:
     explicit OwnedObsStore(std::unique_ptr<kv::KVStore> inner)
-        : obs::InstrumentedKVStore(*inner,
+        : kv::InstrumentedKVStore(*inner,
                                    obs::MetricsRegistry::global()),
           inner_owned_(std::move(inner))
     {}

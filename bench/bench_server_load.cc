@@ -54,6 +54,10 @@
 #include "obs/metrics.hh"
 #include "obs/scoped_timer.hh"
 #include "obs/trace_event.hh"
+// The load harness is operator tooling that drives ethkvd over
+// the wire through its client library; it is the one bench
+// binary allowed to see the server module.
+// ethkv-analyze:allow(layering)
 #include "server/client.hh"
 #include "trace/trace_file.hh"
 

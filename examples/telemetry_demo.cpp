@@ -25,7 +25,7 @@
 #include "common/stats.hh"
 #include "kvstore/btree_store.hh"
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "obs/metrics.hh"
 #include "workload/sim.hh"
 
@@ -160,8 +160,8 @@ main(int argc, char **argv)
                 "engines...\n\n");
     kv::MemStore mem;
     kv::BTreeStore btree;
-    obs::InstrumentedKVStore obs_mem(mem, registry);
-    obs::InstrumentedKVStore obs_btree(btree, registry);
+    kv::InstrumentedKVStore obs_mem(mem, registry);
+    kv::InstrumentedKVStore obs_btree(btree, registry);
     driveEngine(obs_mem, 60000);
     driveEngine(obs_btree, 60000);
 

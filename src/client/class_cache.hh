@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "client/schema.hh"
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "kvstore/kvstore.hh"
 #include "obs/metrics.hh"
@@ -188,7 +189,7 @@ class CachingKVStore : public kv::KVStore
 
     // Guards every piece of cache state below; held across inner_
     // calls (see the class comment for the lock order argument).
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kClassCache};
     std::vector<LruCache> groups_ GUARDED_BY(mutex_);
 
     // Per-group registry counters, indexed by Group. Internally

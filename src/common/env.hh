@@ -34,9 +34,9 @@
  *    wins, never a mix), but which one wins is only pinned down
  *    after syncDir() on the parent.
  *
- * The lint gate (tools/ethkv_lint, rule 4) flags direct
- * fopen/fstream use under src/ outside the PosixEnv implementation
- * so this seam cannot silently erode.
+ * The lint gate (tools/ethkv_analyze, rule `direct-io`) flags
+ * direct fopen/fstream use under src/ outside the PosixEnv
+ * implementation so this seam cannot silently erode.
  */
 
 #ifndef ETHKV_COMMON_ENV_HH

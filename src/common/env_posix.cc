@@ -3,8 +3,8 @@
  * PosixEnv: the production Env over the real filesystem.
  *
  * This is the only translation unit in src/ allowed to open files
- * directly (lint rule 4). Files use raw fds so sync() can reach
- * fdatasync(2) and directories can be fsynced — the durability
+ * directly (the `direct-io` lint rule). Files use raw fds so
+ * sync() can reach fdatasync(2) and directories can be fsynced — the durability
  * primitives stdio cannot express.
  */
 

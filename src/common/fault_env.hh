@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "common/rand.hh"
 
@@ -156,7 +157,7 @@ class FaultInjectionEnv : public Env
     Status syncFileLocked(const std::string &path) REQUIRES(mutex_);
 
     Env *base_;
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kFaultEnv};
     bool active_ GUARDED_BY(mutex_) = true;
     uint64_t generation_ GUARDED_BY(mutex_) = 0;
     bool write_error_ GUARDED_BY(mutex_) = false;

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Global lock-rank table.
+ *
+ * Every long-lived Mutex in src/ has a rank; a thread may only
+ * acquire mutexes in strictly increasing rank order. Two
+ * enforcement mechanisms consume this one table, so they cannot
+ * drift apart:
+ *
+ *  - Runtime (debug builds): Mutex constructed with a rank checks
+ *    the per-thread held-rank stack on every lock() and panics on
+ *    an out-of-order acquire (common/mutex.hh, ETHKV_DCHECK-gated,
+ *    zero cost in release). Locks taken through Mutex::native()
+ *    (the condition-variable idiom in the LSM and maintenance
+ *    thread) bypass the runtime check — those paths are covered
+ *    statically.
+ *  - Static (every build): tools/ethkv_analyze parses kLockRanks,
+ *    builds the whole-repo lock acquisition graph, and fails the
+ *    lint.ethkv_analyze ctest if any held→acquired edge does not
+ *    climb in rank, if an entry names an unknown mutex, or if a
+ *    Mutex member has no entry (rule `lock-rank`).
+ *
+ * Entry names are the analyzer's node ids: "Class::member" for
+ * Mutex members, "Class::accessor()" for mutexes reached through
+ * an accessor (the hybrid router's per-route locks).
+ *
+ * Ordering rationale (outermost first): the server worker loop is
+ * the outermost frame; engine decorators (router, cache, big-lock)
+ * nest inside it; the LSM core may signal its maintenance thread
+ * and record metrics while holding its own lock, so the
+ * maintenance and observability locks rank above it; the metrics
+ * registry is a leaf everyone may record into and ranks last.
+ */
+
+#ifndef ETHKV_COMMON_LOCK_RANKS_HH
+#define ETHKV_COMMON_LOCK_RANKS_HH
+
+namespace ethkv::lock_ranks
+{
+
+inline constexpr int kServerWorker = 10;
+inline constexpr int kHybridRoute = 20;
+inline constexpr int kClassCache = 25;
+inline constexpr int kLockedStore = 30;
+inline constexpr int kLSMStore = 40;
+inline constexpr int kFaultEnv = 45;
+inline constexpr int kMaintenance = 50;
+inline constexpr int kMetricsWriter = 55;
+inline constexpr int kTraceLog = 60;
+inline constexpr int kMetricsRegistry = 70;
+
+struct Entry
+{
+    const char *mutex; //!< analyzer node id
+    int rank;
+};
+
+/** The authoritative rank table (parsed by tools/ethkv_analyze —
+ *  keep entries in the `{ "name", constant }` shape). */
+inline constexpr Entry kLockRanks[] = {
+    {"Server::Worker::mutex", kServerWorker},
+    {"HybridKVStore::route_mutex_", kHybridRoute},
+    {"HybridKVStore::mutexAt()", kHybridRoute},
+    {"CachingKVStore::mutex_", kClassCache},
+    {"LockedKVStore::mutex_", kLockedStore},
+    {"LSMStore::mutex_", kLSMStore},
+    {"FaultInjectionEnv::mutex_", kFaultEnv},
+    {"MaintenanceThread::mutex_", kMaintenance},
+    {"PeriodicMetricsWriter::mutex_", kMetricsWriter},
+    {"TraceEventLog::mutex_", kTraceLog},
+    {"MetricsRegistry::mutex_", kMetricsRegistry},
+};
+
+} // namespace ethkv::lock_ranks
+
+#endif // ETHKV_COMMON_LOCK_RANKS_HH

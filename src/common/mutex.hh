@@ -11,6 +11,17 @@
  * access. Under gcc the annotations vanish and Mutex is a plain
  * std::mutex with zero overhead (every method is an inline
  * forward).
+ *
+ * A Mutex may additionally carry a lock rank (common/
+ * lock_ranks.hh). In debug builds (ETHKV_DCHECK_ENABLED) every
+ * lock() of a ranked mutex checks a thread-local stack of held
+ * ranks and panics when acquisition order is not strictly
+ * increasing — the runtime half of the deadlock defense whose
+ * static half is the lock-order pass in tools/ethkv_analyze. In
+ * release builds the rank is a dormant int and the checks compile
+ * to nothing. Locks taken through native() (condition-variable
+ * waits) bypass the runtime stack; those call sites are covered
+ * by the static pass only.
  */
 
 #ifndef ETHKV_COMMON_MUTEX_HH
@@ -18,28 +29,104 @@
 
 #include <mutex>
 
+#include "common/dcheck.hh"
 #include "common/thread_annotations.hh"
+
+#if ETHKV_DCHECK_ENABLED
+#include <vector>
+#endif
 
 namespace ethkv
 {
 
-/** std::mutex with thread-safety capability annotations. */
+/** std::mutex with thread-safety capability annotations and an
+ *  optional debug-checked lock rank. */
 class CAPABILITY("mutex") Mutex
 {
   public:
     Mutex() = default;
+    /** Ranked mutex (see common/lock_ranks.hh). Intentionally
+     *  non-explicit so ranked mutex arrays can brace-init their
+     *  elements ({kRank, kRank, ...}). */
+    Mutex(int rank) : rank_(rank) {}
     Mutex(const Mutex &) = delete;
     Mutex &operator=(const Mutex &) = delete;
 
-    void lock() ACQUIRE() { mutex_.lock(); }
-    void unlock() RELEASE() { mutex_.unlock(); }
-    bool tryLock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+    void
+    lock() ACQUIRE()
+    {
+        mutex_.lock();
+        rankOnAcquire();
+    }
 
-    /** Underlying handle for condition-variable waits. */
+    void
+    unlock() RELEASE()
+    {
+        rankOnRelease();
+        mutex_.unlock();
+    }
+
+    bool
+    tryLock() TRY_ACQUIRE(true)
+    {
+        if (!mutex_.try_lock())
+            return false;
+        rankOnAcquire();
+        return true;
+    }
+
+    /** Underlying handle for condition-variable waits. Bypasses
+     *  rank tracking — covered statically by ethkv_analyze. */
     std::mutex &native() RETURN_CAPABILITY(this) { return mutex_; }
 
+    int rank() const { return rank_; }
+
   private:
+#if ETHKV_DCHECK_ENABLED
+    static std::vector<int> &
+    heldRanks()
+    {
+        thread_local std::vector<int> held;
+        return held;
+    }
+
+    void
+    rankOnAcquire()
+    {
+        if (rank_ == 0)
+            return;
+        std::vector<int> &held = heldRanks();
+        // Ranked acquisitions are strictly increasing, so the
+        // stack top is the maximum held rank.
+        if (!held.empty() && held.back() >= rank_) {
+            panic("lock rank violation: acquiring rank %d while "
+                  "holding rank %d (see common/lock_ranks.hh)",
+                  rank_, held.back());
+        }
+        held.push_back(rank_);
+    }
+
+    void
+    rankOnRelease()
+    {
+        if (rank_ == 0)
+            return;
+        std::vector<int> &held = heldRanks();
+        for (size_t i = held.size(); i-- > 0;) {
+            if (held[i] == rank_) {
+                held.erase(held.begin() +
+                           static_cast<long>(i));
+                return;
+            }
+        }
+    }
+#else
+    void rankOnAcquire() {}
+    void rankOnRelease() {}
+#endif
+
     std::mutex mutex_;
+    int rank_ = 0; //!< 0 = unranked (not order-checked)
 };
 
 /** RAII critical section over a Mutex (std::lock_guard shape). */

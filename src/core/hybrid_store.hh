@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "client/schema.hh"
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "core/lazy_index_store.hh"
 #include "kvstore/btree_store.hh"
@@ -115,7 +116,11 @@ class HybridKVStore : public kv::KVStore
     kv::AppendLogStore log_;
     LazyIndexStore lazy_;
     kv::HashStore hash_;
-    mutable Mutex route_mutex_[4];
+    mutable Mutex route_mutex_[4] = {
+        {lock_ranks::kHybridRoute},
+        {lock_ranks::kHybridRoute},
+        {lock_ranks::kHybridRoute},
+        {lock_ranks::kHybridRoute}};
     //! Ops routed per backend, indexed by Route.
     obs::Counter *route_ops_[4];
 };

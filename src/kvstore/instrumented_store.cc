@@ -1,12 +1,12 @@
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 
 #include "obs/scoped_timer.hh"
 
-namespace ethkv::obs
+namespace ethkv::kv
 {
 
-InstrumentedKVStore::InstrumentedKVStore(kv::KVStore &inner,
-                                         MetricsRegistry &registry,
+InstrumentedKVStore::InstrumentedKVStore(KVStore &inner,
+                                         obs::MetricsRegistry &registry,
                                          std::string scope,
                                          int sample_shift)
     : inner_(inner),
@@ -39,7 +39,7 @@ InstrumentedKVStore::put(BytesView key, BytesView value)
     if (!sampled(puts_.fetchInc()))
         return inner_.put(key, value);
     put_bytes_.record(key.size() + value.size());
-    ScopedTimer timer(put_ns_);
+    obs::ScopedTimer timer(put_ns_);
     return inner_.put(key, value);
 }
 
@@ -54,7 +54,7 @@ InstrumentedKVStore::get(BytesView key, Bytes &value)
     }
     Status s;
     {
-        ScopedTimer timer(get_ns_);
+        obs::ScopedTimer timer(get_ns_);
         s = inner_.get(key, value);
     }
     if (s.isOk())
@@ -69,20 +69,20 @@ InstrumentedKVStore::del(BytesView key)
 {
     if (!sampled(dels_.fetchInc()))
         return inner_.del(key);
-    ScopedTimer timer(del_ns_);
+    obs::ScopedTimer timer(del_ns_);
     return inner_.del(key);
 }
 
 Status
 InstrumentedKVStore::scan(BytesView start, BytesView end,
-                          const kv::ScanCallback &cb)
+                          const ScanCallback &cb)
 {
     // Scans visit many pairs each; always time them.
     scans_.inc();
     uint64_t visited_bytes = 0;
     Status s;
     {
-        ScopedTimer timer(scan_ns_);
+        obs::ScopedTimer timer(scan_ns_);
         s = inner_.scan(start, end,
                         [&](BytesView key, BytesView value) {
                             visited_bytes +=
@@ -95,12 +95,12 @@ InstrumentedKVStore::scan(BytesView start, BytesView end,
 }
 
 Status
-InstrumentedKVStore::apply(const kv::WriteBatch &batch)
+InstrumentedKVStore::apply(const WriteBatch &batch)
 {
     // Batches amortize their clock reads; always time them.
     applies_.inc();
     apply_bytes_.record(batch.byteSize());
-    ScopedTimer timer(apply_ns_);
+    obs::ScopedTimer timer(apply_ns_);
     return inner_.apply(batch);
 }
 
@@ -114,8 +114,8 @@ Status
 InstrumentedKVStore::flush()
 {
     flushes_.inc();
-    ScopedTimer timer(flush_ns_);
+    obs::ScopedTimer timer(flush_ns_);
     return inner_.flush();
 }
 
-} // namespace ethkv::obs
+} // namespace ethkv::kv

@@ -22,19 +22,19 @@
  * sample_shift = 0 to time every operation (tests, slow engines).
  */
 
-#ifndef ETHKV_OBS_INSTRUMENTED_STORE_HH
-#define ETHKV_OBS_INSTRUMENTED_STORE_HH
+#ifndef ETHKV_KVSTORE_INSTRUMENTED_STORE_HH
+#define ETHKV_KVSTORE_INSTRUMENTED_STORE_HH
 
 #include <string>
 
 #include "kvstore/kvstore.hh"
 #include "obs/metrics.hh"
 
-namespace ethkv::obs
+namespace ethkv::kv
 {
 
 /** The measuring decorator; forwards everything to `inner`. */
-class InstrumentedKVStore : public kv::KVStore
+class InstrumentedKVStore : public KVStore
 {
   public:
     /** Default histogram sampling: 1 in 16 operations. */
@@ -47,8 +47,8 @@ class InstrumentedKVStore : public kv::KVStore
      * @param scope Metric-name scope; inner.name() when empty.
      * @param sample_shift Time 1 in 2^sample_shift ops; 0 = all.
      */
-    InstrumentedKVStore(kv::KVStore &inner,
-                        MetricsRegistry &registry,
+    InstrumentedKVStore(KVStore &inner,
+                        obs::MetricsRegistry &registry,
                         std::string scope = "",
                         int sample_shift = default_sample_shift);
 
@@ -56,12 +56,12 @@ class InstrumentedKVStore : public kv::KVStore
     Status get(BytesView key, Bytes &value) override;
     Status del(BytesView key) override;
     Status scan(BytesView start, BytesView end,
-                const kv::ScanCallback &cb) override;
-    Status apply(const kv::WriteBatch &batch) override;
+                const ScanCallback &cb) override;
+    Status apply(const WriteBatch &batch) override;
     bool contains(BytesView key) override;
     Status flush() override;
 
-    const kv::IOStats &
+    const IOStats &
     stats() const override
     {
         return inner_.stats();
@@ -90,31 +90,31 @@ class InstrumentedKVStore : public kv::KVStore
         return (count_before & sample_mask_) == 0;
     }
 
-    kv::KVStore &inner_;
+    KVStore &inner_;
     std::string scope_;
     uint64_t sample_mask_;
 
-    LatencyHistogram &get_ns_;
-    LatencyHistogram &put_ns_;
-    LatencyHistogram &del_ns_;
-    LatencyHistogram &scan_ns_;
-    LatencyHistogram &apply_ns_;
-    LatencyHistogram &flush_ns_;
+    obs::LatencyHistogram &get_ns_;
+    obs::LatencyHistogram &put_ns_;
+    obs::LatencyHistogram &del_ns_;
+    obs::LatencyHistogram &scan_ns_;
+    obs::LatencyHistogram &apply_ns_;
+    obs::LatencyHistogram &flush_ns_;
 
-    LatencyHistogram &get_bytes_;
-    LatencyHistogram &put_bytes_;
-    LatencyHistogram &scan_bytes_;
-    LatencyHistogram &apply_bytes_;
+    obs::LatencyHistogram &get_bytes_;
+    obs::LatencyHistogram &put_bytes_;
+    obs::LatencyHistogram &scan_bytes_;
+    obs::LatencyHistogram &apply_bytes_;
 
-    Counter &gets_;
-    Counter &get_misses_;
-    Counter &puts_;
-    Counter &dels_;
-    Counter &scans_;
-    Counter &applies_;
-    Counter &flushes_;
+    obs::Counter &gets_;
+    obs::Counter &get_misses_;
+    obs::Counter &puts_;
+    obs::Counter &dels_;
+    obs::Counter &scans_;
+    obs::Counter &applies_;
+    obs::Counter &flushes_;
 };
 
-} // namespace ethkv::obs
+} // namespace ethkv::kv
 
-#endif // ETHKV_OBS_INSTRUMENTED_STORE_HH
+#endif // ETHKV_KVSTORE_INSTRUMENTED_STORE_HH

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "kvstore/kvstore.hh"
 
@@ -148,7 +149,7 @@ class LockedKVStore final : public KVStore
 
   private:
     KVStore &inner_;
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kLockedStore};
 };
 
 } // namespace ethkv::kv

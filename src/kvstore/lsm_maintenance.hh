@@ -3,8 +3,9 @@
  * Background maintenance thread for the LSM engine.
  *
  * This module is the only place in src/kvstore allowed to create
- * threads (lint rule 6 enforces it): every flush and compaction the
- * engine schedules runs on one MaintenanceThread, so the rest of
+ * threads (the `kvstore-thread` lint rule enforces it): every
+ * flush and compaction the engine schedules runs on one
+ * MaintenanceThread, so the rest of
  * the engine reasons about exactly two actors — foreground callers
  * (serialized per-operation by the store mutex) and this worker.
  *
@@ -24,6 +25,7 @@
 #include <functional>
 #include <thread>
 
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 
 namespace ethkv::kv
@@ -70,7 +72,7 @@ class MaintenanceThread
     std::function<bool()> step_;
     std::thread thread_;
 
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kMaintenance};
     std::condition_variable cv_;
     bool pending_ GUARDED_BY(mutex_) = false;
     bool running_ GUARDED_BY(mutex_) = false;

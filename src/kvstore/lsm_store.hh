@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "kvstore/kvstore.hh"
 #include "kvstore/lsm_maintenance.hh"
@@ -301,7 +302,7 @@ class LSMStore : public KVStore
      * because the stall/barrier paths need condition_variable
      * waits.
      */
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kLSMStore};
     //! Signaled on every background install, degradation, and
     //! shutdown; stalled writers and flush() barriers wait on it.
     mutable std::condition_variable cv_;

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "common/status.hh"
 
@@ -320,7 +321,7 @@ class MetricsRegistry
     // The mutex guards the name->instrument maps only; the
     // instruments themselves are internally atomic, so returned
     // references are used lock-free.
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kMetricsRegistry};
     std::map<std::string, std::unique_ptr<Counter>> counters_
         GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Gauge>> gauges_

@@ -19,6 +19,7 @@
 #include <string>
 #include <thread>
 
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "common/status.hh"
 #include "obs/metrics.hh"
@@ -74,7 +75,7 @@ class PeriodicMetricsWriter
     bool have_prev_ = false;
     uint64_t seq_ = 0;
 
-    Mutex mutex_;
+    Mutex mutex_{lock_ranks::kMetricsWriter};
     std::condition_variable cv_;
     bool stop_requested_ GUARDED_BY(mutex_) = false;
     bool running_ = false;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.hh"
 #include "common/mutex.hh"
 #include "common/status.hh"
 
@@ -101,7 +102,7 @@ class TraceEventLog
     Status writeTo(const std::string &path) const;
 
   private:
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{lock_ranks::kTraceLog};
     std::vector<Span> spans_ GUARDED_BY(mutex_);
     std::vector<std::pair<uint32_t, std::string>> process_labels_
         GUARDED_BY(mutex_);

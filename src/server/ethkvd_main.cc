@@ -48,7 +48,7 @@
 #include "kvstore/log_store.hh"
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_writer.hh"
 #include "obs/slow_op_log.hh"
@@ -390,7 +390,7 @@ main(int argc, char **argv)
 
     // Serve through the measuring decorator so op.engine.* metrics
     // (and the engine rows in STATS) are always populated.
-    obs::InstrumentedKVStore instrumented(
+    kv::InstrumentedKVStore instrumented(
         *stack.serve, obs::MetricsRegistry::global(), "engine");
 
     server::ServerOptions options;

@@ -4,8 +4,9 @@
  * the storage stack lives behind this interface, mirroring what
  * common/env.hh does for the filesystem.
  *
- * Rationale (lint rule 5 enforces it): error mapping to Status,
- * EINTR retries, and non-blocking semantics are easy to get subtly
+ * Rationale (the `direct-net` lint rule enforces it): error
+ * mapping to Status, EINTR retries, and
+ * non-blocking semantics are easy to get subtly
  * wrong, so they are written once here; and a single seam keeps
  * the door open for a fault-injecting or in-memory transport the
  * way FaultInjectionEnv wraps PosixEnv. Only src/server/net_*.cc

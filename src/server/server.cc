@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "common/lock_ranks.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "server/net_socket.hh"
@@ -91,7 +92,7 @@ struct Server::Worker
     int epfd = -1;
     int wake_fd = -1;
     uint32_t index = 0; //!< Trace tid = index + 1.
-    Mutex mutex;
+    Mutex mutex{lock_ranks::kServerWorker};
     std::vector<int> pending GUARDED_BY(mutex);
     std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
     std::thread thread;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime lock-rank assertion (common/mutex.hh). These tests
+ * compile with ETHKV_FORCE_DCHECK, so the rank stack is live even
+ * though the default build defines NDEBUG; the static half of the
+ * same defense (the lock-rank rule in tools/ethkv_analyze) is
+ * covered by tests/tools/test_analyze.cc.
+ */
+
+#include "common/mutex.hh"
+
+#include <gtest/gtest.h>
+
+namespace ethkv
+{
+namespace
+{
+
+TEST(MutexRank, InOrderAcquireIsFine)
+{
+    Mutex low(10);
+    Mutex high(20);
+    low.lock();
+    high.lock();
+    high.unlock();
+    low.unlock();
+    // The held-rank stack unwound: low may be taken again.
+    low.lock();
+    low.unlock();
+}
+
+TEST(MutexRank, UnrankedMutexesAreNotChecked)
+{
+    Mutex ranked(20);
+    Mutex plain;
+    ranked.lock();
+    plain.lock(); // rank 0: exempt even under a ranked lock
+    plain.unlock();
+    ranked.unlock();
+}
+
+TEST(MutexRank, TryLockParticipates)
+{
+    Mutex low(10);
+    Mutex high(20);
+    ASSERT_TRUE(low.tryLock());
+    ASSERT_TRUE(high.tryLock());
+    high.unlock();
+    low.unlock();
+}
+
+TEST(MutexRankDeathTest, OutOfOrderAcquirePanics)
+{
+    Mutex low(10);
+    Mutex high(20);
+    high.lock();
+    EXPECT_DEATH(low.lock(), "lock rank violation");
+    high.unlock();
+}
+
+TEST(MutexRankDeathTest, EqualRankAcquirePanics)
+{
+    Mutex a(10);
+    Mutex b(10);
+    a.lock();
+    EXPECT_DEATH(b.lock(), "lock rank violation");
+    a.unlock();
+}
+
+} // namespace
+} // namespace ethkv

@@ -15,7 +15,7 @@
 #include "kvstore/log_store.hh"
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "test_util.hh"
 
 namespace ethkv::kv
@@ -154,7 +154,7 @@ TEST_P(EnginePropertyTest, InstrumentedWrapperIsTransparent)
     // The telemetry decorator must be invisible to the reference
     // oracle: identical semantics, plus op counts that add up.
     obs::MetricsRegistry registry;
-    obs::InstrumentedKVStore store(*inner, registry, "prop",
+    kv::InstrumentedKVStore store(*inner, registry, "prop",
                                    /*sample_shift=*/0);
 
     Rng rng(seed + 7);

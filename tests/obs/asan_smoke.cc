@@ -13,7 +13,7 @@
 #include <string>
 
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "obs/metrics.hh"
 #include "obs/scoped_timer.hh"
 #include "obs/trace_event.hh"
@@ -41,7 +41,7 @@ main()
 {
     obs::MetricsRegistry registry;
     kv::MemStore inner;
-    obs::InstrumentedKVStore store(inner, registry, "smoke");
+    kv::InstrumentedKVStore store(inner, registry, "smoke");
 
     // Churn the full op surface, including miss and delete paths.
     for (int i = 0; i < 20000; ++i) {

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_writer.hh"
@@ -487,7 +487,7 @@ class InstrumentedStoreTest : public ::testing::Test
 TEST_F(InstrumentedStoreTest, CountsAndTimesEveryOp)
 {
     // sample_shift 0: every op is timed, so counts are exact.
-    InstrumentedKVStore store(inner, registry, "", 0);
+    kv::InstrumentedKVStore store(inner, registry, "", 0);
     EXPECT_EQ(store.scope(), inner.name());
     EXPECT_EQ(store.name(), "obs(" + inner.name() + ")");
 
@@ -556,7 +556,7 @@ TEST_F(InstrumentedStoreTest, SamplingThinsHistogramsNotCounters)
 {
     // shift 2 = time 1 op in 4: with 8 puts the deterministic
     // op sequence samples #0 and #4.
-    InstrumentedKVStore store(inner, registry, "sampled", 2);
+    kv::InstrumentedKVStore store(inner, registry, "sampled", 2);
     for (int i = 0; i < 8; ++i)
         ASSERT_TRUE(store.put("k" + std::to_string(i), "v").isOk());
     Bytes value;
@@ -573,7 +573,7 @@ TEST_F(InstrumentedStoreTest, SamplingThinsHistogramsNotCounters)
 
 TEST_F(InstrumentedStoreTest, ForwardsFaithfully)
 {
-    InstrumentedKVStore store(inner, registry, "custom");
+    kv::InstrumentedKVStore store(inner, registry, "custom");
     EXPECT_EQ(store.scope(), "custom");
     ASSERT_TRUE(store.put("k", "v").isOk());
     // Data lands in the inner engine, stats are the inner's.

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "kvstore/mem_store.hh"
-#include "obs/instrumented_store.hh"
+#include "kvstore/instrumented_store.hh"
 #include "obs/metrics.hh"
 #include "obs/scoped_timer.hh"
 #include "obs/trace_event.hh"
@@ -46,7 +46,7 @@ writerBody(int id, obs::MetricsRegistry &registry,
            obs::TraceEventLog &log)
 {
     kv::MemStore inner;
-    obs::InstrumentedKVStore store(
+    kv::InstrumentedKVStore store(
         inner, registry, "w" + std::to_string(id));
     // Shared instruments: every thread bumps the same counter and
     // histogram objects, racing creation on first touch.

@@ -1,0 +1,11 @@
+namespace ethkv::trace
+{
+
+bool
+probe(const char *path)
+{
+    void *f = fopen(path, "r");
+    return f != nullptr;
+}
+
+} // namespace ethkv::trace

@@ -1,0 +1,13 @@
+// File access goes through the Env seam.
+#include "common/env.hh"
+
+namespace ethkv::trace
+{
+
+bool
+probe(Env &env, const char *path)
+{
+    return env.fileExists(path);
+}
+
+} // namespace ethkv::trace

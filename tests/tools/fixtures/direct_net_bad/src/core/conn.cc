@@ -1,0 +1,11 @@
+namespace ethkv::core
+{
+
+int
+openConn()
+{
+    int fd = socket(2, 1, 0);
+    return fd;
+}
+
+} // namespace ethkv::core

@@ -1,0 +1,12 @@
+// Networking goes through the net:: wrapper namespace; qualified
+// wrapper calls are not raw syscalls.
+namespace ethkv::core
+{
+
+int
+sendAll(int fd, const char *buf, int n)
+{
+    return net::send(fd, buf, n);
+}
+
+} // namespace ethkv::core

@@ -1,0 +1,25 @@
+// workerLoop -> persist -> fsync: a blocking durability syscall
+// reachable from the server request path.
+namespace ethkv::server
+{
+
+class Server
+{
+  public:
+    void
+    workerLoop()
+    {
+        persist();
+    }
+
+  private:
+    void
+    persist()
+    {
+        fsync(fd_);
+    }
+
+    int fd_ = -1;
+};
+
+} // namespace ethkv::server

@@ -1,0 +1,24 @@
+// The worker loop only enqueues; durability happens elsewhere.
+namespace ethkv::server
+{
+
+class Server
+{
+  public:
+    void
+    workerLoop()
+    {
+        enqueue();
+    }
+
+  private:
+    void
+    enqueue()
+    {
+        ++pending_;
+    }
+
+    int pending_ = 0;
+};
+
+} // namespace ethkv::server

@@ -1,0 +1,18 @@
+// Two violations: a misnamed include guard (expected
+// ETHKV_ETH_THING_HH) and a "../" relative include.
+#ifndef ETHKV_WRONG_HH
+#define ETHKV_WRONG_HH
+
+#include "../common/bytes.hh"
+
+namespace ethkv::eth
+{
+
+struct Thing
+{
+    int v = 0;
+};
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_WRONG_HH

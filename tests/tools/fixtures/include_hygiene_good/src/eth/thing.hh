@@ -1,0 +1,16 @@
+#ifndef ETHKV_ETH_THING_HH
+#define ETHKV_ETH_THING_HH
+
+#include "common/bytes.hh"
+
+namespace ethkv::eth
+{
+
+struct Thing
+{
+    int v = 0;
+};
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_ETH_THING_HH

@@ -1,0 +1,16 @@
+#ifndef ETHKV_ETH_KVCLASS_HH
+#define ETHKV_ETH_KVCLASS_HH
+
+namespace ethkv::eth
+{
+
+enum class KVClass
+{
+    CodeA,
+    CodeB,
+    Unknown,
+};
+
+} // namespace ethkv::eth
+
+#endif // ETHKV_ETH_KVCLASS_HH

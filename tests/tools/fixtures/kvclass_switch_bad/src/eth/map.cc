@@ -1,0 +1,19 @@
+// Dispatches on KVClass but only mentions CodeA: the CodeB and
+// Unknown arms were silently lost.
+#include "eth/kvclass.hh"
+
+namespace ethkv::eth
+{
+
+int
+weight(KVClass c)
+{
+    switch (c) {
+    case KVClass::CodeA:
+        return 1;
+    default:
+        return 0;
+    }
+}
+
+} // namespace ethkv::eth

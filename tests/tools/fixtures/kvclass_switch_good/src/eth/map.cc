@@ -1,0 +1,21 @@
+// Every enumerator has an arm.
+#include "eth/kvclass.hh"
+
+namespace ethkv::eth
+{
+
+int
+weight(KVClass c)
+{
+    switch (c) {
+    case KVClass::CodeA:
+        return 1;
+    case KVClass::CodeB:
+        return 2;
+    case KVClass::Unknown:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace ethkv::eth

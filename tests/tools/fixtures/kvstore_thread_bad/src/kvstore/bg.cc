@@ -1,0 +1,13 @@
+#include <thread>
+
+namespace ethkv::kv
+{
+
+void
+spawnFlusher()
+{
+    std::thread t([] {});
+    t.detach();
+}
+
+} // namespace ethkv::kv

@@ -1,0 +1,19 @@
+// Background work is handed to the MaintenanceThread instead of
+// spawning ad-hoc threads in the engine.
+namespace ethkv::kv
+{
+
+class Flusher
+{
+  public:
+    void
+    schedule()
+    {
+        ++scheduled_;
+    }
+
+  private:
+    int scheduled_ = 0;
+};
+
+} // namespace ethkv::kv

@@ -1,0 +1,13 @@
+// eth may depend on common.
+#include "common/bytes.hh"
+
+namespace ethkv::eth
+{
+
+int
+addrBytes()
+{
+    return 20;
+}
+
+} // namespace ethkv::eth

@@ -1,0 +1,31 @@
+// Two mutexes acquired in both orders: a_ -> b_ in lockForward,
+// b_ -> a_ in lockBackward. The lock graph has a 2-cycle.
+namespace ethkv::kv
+{
+
+class Pair
+{
+  public:
+    void
+    lockForward()
+    {
+        MutexLock la(a_);
+        MutexLock lb(b_);
+        ++hits_;
+    }
+
+    void
+    lockBackward()
+    {
+        MutexLock lb(b_);
+        MutexLock la(a_);
+        ++hits_;
+    }
+
+  private:
+    Mutex a_;
+    Mutex b_;
+    int hits_ = 0;
+};
+
+} // namespace ethkv::kv

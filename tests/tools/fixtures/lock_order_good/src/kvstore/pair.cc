@@ -1,0 +1,30 @@
+// Both paths acquire a_ before b_; the lock graph is acyclic.
+namespace ethkv::kv
+{
+
+class Pair
+{
+  public:
+    void
+    lockForward()
+    {
+        MutexLock la(a_);
+        MutexLock lb(b_);
+        ++hits_;
+    }
+
+    void
+    lockForwardAgain()
+    {
+        MutexLock la(a_);
+        MutexLock lb(b_);
+        ++hits_;
+    }
+
+  private:
+    Mutex a_;
+    Mutex b_;
+    int hits_ = 0;
+};
+
+} // namespace ethkv::kv

@@ -1,0 +1,25 @@
+// Rank table that contradicts the code: Pair::a_ outranks
+// Pair::b_, but pair.cc acquires a_ before b_.
+#ifndef ETHKV_COMMON_LOCK_RANKS_HH
+#define ETHKV_COMMON_LOCK_RANKS_HH
+
+namespace ethkv::lock_ranks
+{
+
+inline constexpr int kA = 20;
+inline constexpr int kB = 10;
+
+struct Entry
+{
+    const char *mutex;
+    int rank;
+};
+
+inline constexpr Entry kLockRanks[] = {
+    {"Pair::a_", kA},
+    {"Pair::b_", kB},
+};
+
+} // namespace ethkv::lock_ranks
+
+#endif // ETHKV_COMMON_LOCK_RANKS_HH

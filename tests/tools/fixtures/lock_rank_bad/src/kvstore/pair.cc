@@ -1,0 +1,21 @@
+namespace ethkv::kv
+{
+
+class Pair
+{
+  public:
+    void
+    lockBoth()
+    {
+        MutexLock la(a_);
+        MutexLock lb(b_);
+        ++hits_;
+    }
+
+  private:
+    Mutex a_;
+    Mutex b_;
+    int hits_ = 0;
+};
+
+} // namespace ethkv::kv

@@ -1,0 +1,25 @@
+// Table agrees with the code: a_ (10) is acquired before b_ (20),
+// and both mutexes have entries.
+#ifndef ETHKV_COMMON_LOCK_RANKS_HH
+#define ETHKV_COMMON_LOCK_RANKS_HH
+
+namespace ethkv::lock_ranks
+{
+
+inline constexpr int kA = 10;
+inline constexpr int kB = 20;
+
+struct Entry
+{
+    const char *mutex;
+    int rank;
+};
+
+inline constexpr Entry kLockRanks[] = {
+    {"Pair::a_", kA},
+    {"Pair::b_", kB},
+};
+
+} // namespace ethkv::lock_ranks
+
+#endif // ETHKV_COMMON_LOCK_RANKS_HH

@@ -1,0 +1,10 @@
+namespace ethkv::core
+{
+
+int *
+makeCounter()
+{
+    return new int(0);
+}
+
+} // namespace ethkv::core

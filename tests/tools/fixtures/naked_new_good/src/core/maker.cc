@@ -1,0 +1,12 @@
+#include <memory>
+
+namespace ethkv::core
+{
+
+std::unique_ptr<int>
+makeCounter()
+{
+    return std::make_unique<int>(0);
+}
+
+} // namespace ethkv::core

@@ -1,0 +1,10 @@
+namespace ethkv::server
+{
+
+const char *
+statsBody()
+{
+    return "{\"ops\":1}";
+}
+
+} // namespace ethkv::server

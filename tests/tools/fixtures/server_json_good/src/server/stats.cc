@@ -1,0 +1,14 @@
+// JSON is emitted through the writer, never hand-rolled.
+#include "obs/json.hh"
+
+namespace ethkv::server
+{
+
+void
+statsBody(obs::JsonWriter &w)
+{
+    w.key("ops");
+    w.value(1);
+}
+
+} // namespace ethkv::server

@@ -1,0 +1,35 @@
+// Three Status-discipline violations: a (void)-discarded Status,
+// a value() with no dominating ok() check, and a Status local
+// that is never consulted.
+namespace ethkv::kv
+{
+
+Status doWork();
+
+class Thing
+{
+  public:
+    void
+    dropIt()
+    {
+        (void)doWork();
+    }
+
+    int
+    peek(Result<int> r)
+    {
+        return r.value();
+    }
+
+    void
+    forgetIt()
+    {
+        Status s = doWork();
+        ++calls_;
+    }
+
+  private:
+    int calls_ = 0;
+};
+
+} // namespace ethkv::kv

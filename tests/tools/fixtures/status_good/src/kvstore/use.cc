@@ -1,0 +1,26 @@
+// Every Status is consulted; value() is dominated by ok().
+namespace ethkv::kv
+{
+
+Status doWork();
+
+class Thing
+{
+  public:
+    bool
+    checkIt()
+    {
+        Status s = doWork();
+        return s.ok();
+    }
+
+    int
+    peek(Result<int> r)
+    {
+        if (!r.ok())
+            return -1;
+        return r.value();
+    }
+};
+
+} // namespace ethkv::kv

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Fixture tests for tools/ethkv_analyze (ctest:
+ * tools.analyze_fixtures).
+ *
+ * Three layers of proof:
+ *
+ *  - every rule family has a good/bad fixture pair under
+ *    tests/tools/fixtures/ — the bad tree must fire the family's
+ *    pass, the good tree must not (a rule whose bad fixture stops
+ *    failing has silently died);
+ *  - line-number fidelity: CRLF endings and backslash-spliced
+ *    lines must not shift reported lines (the bug class that
+ *    motivated retiring the regex linter);
+ *  - the driver end to end: suppression comments, the baseline
+ *    write/compare cycle, and the lock-graph DOT export, through
+ *    the same analyzeMain() the ctest gate runs.
+ */
+
+#include "analyze/analyze.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ethkv::analyze
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(ETHKV_ANALYZE_FIXTURES) + "/" + name;
+}
+
+struct Family
+{
+    const char *dir;  //!< fixture pair prefix (dir + "_bad"/"_good")
+    const char *rule; //!< expected Finding::rule
+    void (*run)(const RepoModel &, Findings &);
+};
+
+const Family kFamilies[] = {
+    {"lock_order", "lock-order", runLockOrder},
+    {"lock_rank", "lock-rank", runLockRank},
+    {"layering", "layering", runLayering},
+    {"status", "status", runStatusDiscipline},
+    {"hot_path", "hot-path", runHotPath},
+    {"kvclass_switch", "kvclass-switch", runKVClassSwitch},
+    {"naked_new", "naked-new", runNakedNew},
+    {"include_hygiene", "include-hygiene", runIncludeHygiene},
+    {"direct_io", "direct-io", runDirectIO},
+    {"direct_net", "direct-net", runDirectNet},
+    {"kvstore_thread", "kvstore-thread", runKvstoreThread},
+    {"server_json", "server-json", runServerJson},
+};
+
+std::string
+dump(const Findings &findings)
+{
+    std::string s;
+    for (const Finding &f : findings) {
+        s += "  " + f.file + ":" + std::to_string(f.line) + ": [" +
+             f.rule + "] " + f.msg + "\n";
+    }
+    return s;
+}
+
+TEST(AnalyzeFixtures, BadFixturesFire)
+{
+    for (const Family &fam : kFamilies) {
+        RepoModel model =
+            buildModel(fixture(std::string(fam.dir) + "_bad"));
+        ASSERT_FALSE(model.files.empty()) << fam.dir;
+        Findings findings;
+        fam.run(model, findings);
+        EXPECT_GE(findings.size(), 1u)
+            << fam.dir << "_bad produced no findings";
+        for (const Finding &f : findings)
+            EXPECT_EQ(f.rule, fam.rule) << dump(findings);
+    }
+}
+
+TEST(AnalyzeFixtures, GoodFixturesClean)
+{
+    for (const Family &fam : kFamilies) {
+        RepoModel model =
+            buildModel(fixture(std::string(fam.dir) + "_good"));
+        ASSERT_FALSE(model.files.empty()) << fam.dir;
+        Findings findings;
+        fam.run(model, findings);
+        EXPECT_TRUE(findings.empty())
+            << fam.dir << "_good is not clean:\n"
+            << dump(findings);
+    }
+}
+
+// Precise expectations where the fixture encodes a known count:
+// three distinct Status violations, two include-hygiene ones, two
+// missing KVClass enumerators.
+TEST(AnalyzeFixtures, ExpectedFindingCounts)
+{
+    Findings findings;
+    runStatusDiscipline(buildModel(fixture("status_bad")),
+                        findings);
+    EXPECT_EQ(findings.size(), 3u) << dump(findings);
+
+    findings.clear();
+    runIncludeHygiene(buildModel(fixture("include_hygiene_bad")),
+                      findings);
+    EXPECT_EQ(findings.size(), 2u) << dump(findings);
+
+    findings.clear();
+    runKVClassSwitch(buildModel(fixture("kvclass_switch_bad")),
+                     findings);
+    EXPECT_EQ(findings.size(), 2u) << dump(findings);
+}
+
+TEST(AnalyzeDot, LockGraphHasBothCycleEdges)
+{
+    RepoModel model = buildModel(fixture("lock_order_bad"));
+    std::string dot = lockGraphDot(model);
+    EXPECT_NE(dot.find("\"Pair::a_\" -> \"Pair::b_\""),
+              std::string::npos)
+        << dot;
+    EXPECT_NE(dot.find("\"Pair::b_\" -> \"Pair::a_\""),
+              std::string::npos)
+        << dot;
+}
+
+// --- line-number fidelity ---------------------------------------
+
+/** Write `bytes` verbatim (binary mode: CRLF stays CRLF) into
+ *  root/rel, creating directories. */
+void
+writeSource(const fs::path &root, const std::string &rel,
+            const std::string &bytes)
+{
+    fs::path p = root / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary);
+    out << bytes;
+    ASSERT_TRUE(out.good()) << p;
+}
+
+TEST(AnalyzeLines, CrlfEndingsKeepPhysicalLines)
+{
+    fs::path root = fs::path(testing::TempDir()) / "ethkv_crlf";
+    fs::remove_all(root);
+    writeSource(root, "src/trace/reader.cc",
+                "// one\r\n"
+                "// two\r\n"
+                "namespace ethkv::trace {\r\n"
+                "void *openIt(const char *p) "
+                "{ return fopen(p, \"r\"); }\r\n"
+                "}\r\n");
+    RepoModel model = buildModel(root.string());
+    Findings findings;
+    runDirectIO(model, findings);
+    ASSERT_EQ(findings.size(), 1u) << dump(findings);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(AnalyzeLines, SplicedDirectiveKeepsPhysicalLines)
+{
+    fs::path root = fs::path(testing::TempDir()) / "ethkv_splice";
+    fs::remove_all(root);
+    // The backslash-spliced #define spans physical lines 1-2; the
+    // JSON literal sits on physical line 4 and must be reported
+    // there (the old linter's stripped view drifted here).
+    writeSource(root, "src/server/stats.cc",
+                "#define WIDE(x) \\\n"
+                "    ((x) + 1)\n"
+                "namespace ethkv::server {\n"
+                "const char *kBody = \"{\\\"ops\\\":1}\";\n"
+                "}\n");
+    RepoModel model = buildModel(root.string());
+    Findings findings;
+    runServerJson(model, findings);
+    ASSERT_EQ(findings.size(), 1u) << dump(findings);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+// --- suppressions -----------------------------------------------
+
+TEST(AnalyzeSuppress, AllowCommentSilencesNextLine)
+{
+    fs::path root = fs::path(testing::TempDir()) / "ethkv_allow";
+    fs::remove_all(root);
+    writeSource(root, "src/trace/reader.cc",
+                "namespace ethkv::trace {\n"
+                "// ethkv-analyze:allow(direct-io)\n"
+                "void *openIt(const char *p) "
+                "{ return fopen(p, \"r\"); }\n"
+                "void *openTwo(const char *p) "
+                "{ return fopen(p, \"r\"); }\n"
+                "}\n");
+    RepoModel model = buildModel(root.string());
+    Findings findings =
+        runRules(model, {"direct-io"});
+    // Line 3 is covered by the allow comment on line 2; line 4 is
+    // not.
+    ASSERT_EQ(findings.size(), 1u) << dump(findings);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+// --- baseline round trip (full CLI) -----------------------------
+
+int
+runCli(const std::vector<std::string> &args)
+{
+    std::vector<std::string> full = {"ethkv_analyze"};
+    full.insert(full.end(), args.begin(), args.end());
+    std::vector<char *> argv;
+    for (std::string &s : full)
+        argv.push_back(s.data());
+    return analyzeMain(static_cast<int>(argv.size()),
+                       argv.data());
+}
+
+TEST(AnalyzeBaseline, WriteThenCompareRoundTrips)
+{
+    std::string root = fixture("direct_io_bad");
+    fs::path bl =
+        fs::path(testing::TempDir()) / "ethkv_baseline.json";
+    fs::remove(bl);
+
+    // Findings exist, so the gate fails — but the baseline gets
+    // written.
+    EXPECT_EQ(runCli({root, "--rule=direct-io",
+                      "--write-baseline=" + bl.string()}),
+              1);
+    ASSERT_TRUE(fs::exists(bl));
+
+    // Same findings against the baseline: all tolerated, gate
+    // passes.
+    EXPECT_EQ(runCli({root, "--rule=direct-io",
+                      "--baseline=" + bl.string()}),
+              0);
+
+    // Without the baseline they still fail.
+    EXPECT_EQ(runCli({root, "--rule=direct-io"}), 1);
+}
+
+TEST(AnalyzeBaseline, UnknownRuleNameIsRejected)
+{
+    EXPECT_EQ(runCli({fixture("direct_io_bad"),
+                      "--rule=no-such-rule"}),
+              2);
+}
+
+} // namespace
+} // namespace ethkv::analyze

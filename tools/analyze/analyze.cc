@@ -1,0 +1,357 @@
+#include "analyze/analyze.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace ethkv::analyze
+{
+
+namespace
+{
+
+struct Rule
+{
+    const char *name;
+    void (*pass)(const RepoModel &, Findings &);
+};
+
+const Rule kRules[] = {
+    {"lock-order", runLockOrder},
+    {"lock-rank", runLockRank},
+    {"layering", runLayering},
+    {"status", runStatusDiscipline},
+    {"hot-path", runHotPath},
+    {"kvclass-switch", runKVClassSwitch},
+    {"naked-new", runNakedNew},
+    {"include-hygiene", runIncludeHygiene},
+    {"direct-io", runDirectIO},
+    {"direct-net", runDirectNet},
+    {"kvstore-thread", runKvstoreThread},
+    {"server-json", runServerJson},
+};
+
+/** Drop findings covered by an `ethkv-analyze:allow(rule)` marker
+ *  on the finding line or the line just above it. */
+void
+applySuppressions(const RepoModel &model, Findings &findings)
+{
+    std::map<std::string, const FileInfo *> by_rel;
+    for (const FileInfo &f : model.files)
+        by_rel[f.rel] = &f;
+
+    Findings kept;
+    for (Finding &f : findings) {
+        auto it = by_rel.find(f.file);
+        bool suppressed = false;
+        if (it != by_rel.end()) {
+            for (const Suppression &s :
+                 it->second->lex.suppressions) {
+                if ((s.rule == f.rule || s.rule == "*") &&
+                    (s.line == f.line || s.line + 1 == f.line)) {
+                    suppressed = true;
+                    break;
+                }
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(f));
+    }
+    findings.swap(kept);
+}
+
+} // namespace
+
+std::vector<std::string>
+ruleNames()
+{
+    std::vector<std::string> names;
+    for (const Rule &r : kRules)
+        names.push_back(r.name);
+    return names;
+}
+
+Findings
+runRules(const RepoModel &model,
+         const std::vector<std::string> &rules)
+{
+    Findings findings;
+    for (const Rule &r : kRules) {
+        if (!rules.empty() &&
+            std::find(rules.begin(), rules.end(), r.name) ==
+                rules.end()) {
+            continue;
+        }
+        r.pass(model, findings);
+    }
+    applySuppressions(model, findings);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::string
+findingKey(const Finding &f)
+{
+    return f.rule + "|" + f.file + "|" + f.msg;
+}
+
+std::string
+findingsJson(const Findings &findings)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("ethkv.analyze.v1");
+    w.key("count");
+    w.value(static_cast<uint64_t>(findings.size()));
+    w.key("findings");
+    w.beginArray();
+    for (const Finding &f : findings) {
+        w.beginObject();
+        w.key("rule");
+        w.value(f.rule);
+        w.key("file");
+        w.value(f.file);
+        w.key("line");
+        w.value(static_cast<int64_t>(f.line));
+        w.key("msg");
+        w.value(f.msg);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+std::vector<std::string>
+parseBaseline(const std::string &text, std::string &error)
+{
+    std::vector<std::string> keys;
+    obs::JsonValue doc;
+    Status s = obs::parseJson(text, doc);
+    if (!s.isOk()) {
+        error = s.toString();
+        return keys;
+    }
+    const obs::JsonValue *arr = doc.find("findings");
+    if (!arr || !arr->isArray()) {
+        error = "baseline has no findings array";
+        return keys;
+    }
+    for (const obs::JsonValue &item : arr->items) {
+        const obs::JsonValue *rule = item.find("rule");
+        const obs::JsonValue *file = item.find("file");
+        const obs::JsonValue *msg = item.find("msg");
+        if (!rule || !file || !msg || !rule->isString() ||
+            !file->isString() || !msg->isString()) {
+            continue;
+        }
+        keys.push_back(rule->string + "|" + file->string + "|" +
+                       msg->string);
+    }
+    return keys;
+}
+
+int
+analyzeMain(int argc, char **argv)
+{
+    std::string root;
+    std::vector<std::string> rules;
+    std::string dot_path;
+    std::string baseline_path;
+    std::string write_baseline_path;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto valueOf = [&](const char *prefix) -> const char * {
+            size_t n = std::string(prefix).size();
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n
+                                             : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: ethkv_analyze <repo-root> [options]\n"
+                "  --rule=a,b,c          run only these rules\n"
+                "  --list-rules          print rule names\n"
+                "  --json                findings as JSON\n"
+                "  --dot=FILE            lock graph DOT "
+                "('-' = stdout)\n"
+                "  --baseline=FILE       tolerate findings in "
+                "FILE\n"
+                "  --write-baseline=FILE write current findings\n");
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            for (const std::string &n : ruleNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        }
+        if (arg == "--json") {
+            json = true;
+            continue;
+        }
+        if (const char *v = valueOf("--rule=")) {
+            std::string list = v;
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos)
+                    rules.push_back(
+                        list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+            continue;
+        }
+        if (const char *v = valueOf("--dot=")) {
+            dot_path = v;
+            continue;
+        }
+        if (const char *v = valueOf("--baseline=")) {
+            baseline_path = v;
+            continue;
+        }
+        if (const char *v = valueOf("--write-baseline=")) {
+            write_baseline_path = v;
+            continue;
+        }
+        if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+        root = arg;
+    }
+    if (root.empty()) {
+        std::fprintf(stderr,
+                     "usage: ethkv_analyze <repo-root> "
+                     "[--rule=...] [--json] [--dot=FILE]\n");
+        return 2;
+    }
+
+    // Validate rule names early: a typo'd --rule that silently
+    // runs nothing would pass the gate vacuously.
+    {
+        std::vector<std::string> known = ruleNames();
+        for (const std::string &r : rules) {
+            if (std::find(known.begin(), known.end(), r) ==
+                known.end()) {
+                std::fprintf(stderr, "unknown rule '%s'\n",
+                             r.c_str());
+                return 2;
+            }
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    RepoModel model = buildModel(root);
+    if (model.files.empty()) {
+        std::fprintf(stderr,
+                     "ethkv_analyze: no sources under %s\n",
+                     root.c_str());
+        return 2;
+    }
+
+    Findings findings = runRules(model, rules);
+
+    if (!dot_path.empty()) {
+        std::string dot = lockGraphDot(model);
+        if (dot_path == "-") {
+            std::fwrite(dot.data(), 1, dot.size(), stdout);
+        } else {
+            std::ofstream out(dot_path, std::ios::binary);
+            out << dot;
+            if (!out) {
+                std::fprintf(stderr,
+                             "cannot write dot file %s\n",
+                             dot_path.c_str());
+                return 2;
+            }
+        }
+    }
+
+    if (!write_baseline_path.empty()) {
+        std::ofstream out(write_baseline_path, std::ios::binary);
+        out << findingsJson(findings) << "\n";
+        if (!out) {
+            std::fprintf(stderr, "cannot write baseline %s\n",
+                         write_baseline_path.c_str());
+            return 2;
+        }
+    }
+
+    size_t baselined = 0;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in.good() && buf.str().empty()) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::string error;
+        std::vector<std::string> keys =
+            parseBaseline(buf.str(), error);
+        if (!error.empty()) {
+            std::fprintf(stderr, "bad baseline %s: %s\n",
+                         baseline_path.c_str(), error.c_str());
+            return 2;
+        }
+        std::set<std::string> known(keys.begin(), keys.end());
+        Findings fresh;
+        for (Finding &f : findings) {
+            if (known.count(findingKey(f)))
+                ++baselined;
+            else
+                fresh.push_back(std::move(f));
+        }
+        findings.swap(fresh);
+    }
+
+    auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (json) {
+        std::string doc = findingsJson(findings);
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        std::printf("\n");
+    } else {
+        for (const Finding &f : findings) {
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(),
+                        f.line, f.rule.c_str(), f.msg.c_str());
+        }
+        std::string suffix;
+        if (baselined) {
+            suffix = " (+" + std::to_string(baselined) +
+                     " baselined)";
+        }
+        std::printf(
+            "ethkv_analyze: %zu file(s), %zu function(s), %zu "
+            "mutex(es); %zu finding(s)%s in %lld ms\n",
+            model.files.size(), model.functions.size(),
+            model.mutexes.size(), findings.size(),
+            suffix.c_str(),
+            static_cast<long long>(elapsed_ms));
+    }
+    return findings.empty() ? 0 : 1;
+}
+
+} // namespace ethkv::analyze

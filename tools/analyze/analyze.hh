@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Rule registry, finding pipeline, and CLI driver for
+ * ethkv_analyze (see DESIGN.md §12).
+ *
+ * A rule pass is a function over the RepoModel that appends
+ * findings. The driver:
+ *
+ *  1. builds the model for a repo root,
+ *  2. runs the selected passes (all by default, `--rule=` filters),
+ *  3. drops findings covered by an `ethkv-analyze:allow(<rule>)`
+ *     comment on the finding line or the line above,
+ *  4. optionally subtracts a findings baseline (`--baseline`), so
+ *     a new rule can land warning-first while existing debt is
+ *     burned down,
+ *  5. emits the survivors human-readable ("file:line: [rule] msg")
+ *     or as ethkv.analyze.v1 JSON, and exits nonzero if any
+ *     survive.
+ */
+
+#ifndef ETHKV_TOOLS_ANALYZE_ANALYZE_HH
+#define ETHKV_TOOLS_ANALYZE_ANALYZE_HH
+
+#include <string>
+#include <vector>
+
+#include "analyze/model.hh"
+
+namespace ethkv::analyze
+{
+
+struct Finding
+{
+    std::string rule;
+    std::string file; //!< repo-relative
+    int line;
+    std::string msg;
+};
+
+using Findings = std::vector<Finding>;
+
+/** All registered rule names, in run order. */
+std::vector<std::string> ruleNames();
+
+/**
+ * Run the named rules (empty = all) over the model. Suppressions
+ * are already applied; the result is what the gate judges.
+ */
+Findings runRules(const RepoModel &model,
+                  const std::vector<std::string> &rules);
+
+/** Render the lock-acquisition graph as Graphviz DOT: solid bold
+ *  edges are lock-order (held -> acquired) with their witness
+ *  sites; dashed edges are function -> mutex acquisitions. */
+std::string lockGraphDot(const RepoModel &model);
+
+/** Findings as an ethkv.analyze.v1 JSON document. */
+std::string findingsJson(const Findings &findings);
+
+/** Parse a baseline document previously written by
+ *  `--write-baseline`; returns keys for matching. */
+std::vector<std::string> parseBaseline(const std::string &text,
+                                       std::string &error);
+
+/** Stable identity of a finding for baseline matching (line
+ *  numbers excluded so unrelated edits don't invalidate it). */
+std::string findingKey(const Finding &f);
+
+/** Full CLI (what tools/analyze/main.cc runs; tests call it too).
+ *  Returns the process exit code. */
+int analyzeMain(int argc, char **argv);
+
+// Individual rule passes (exposed for the fixture tests).
+void runLockOrder(const RepoModel &model, Findings &out);
+void runLockRank(const RepoModel &model, Findings &out);
+void runLayering(const RepoModel &model, Findings &out);
+void runStatusDiscipline(const RepoModel &model, Findings &out);
+void runHotPath(const RepoModel &model, Findings &out);
+void runKVClassSwitch(const RepoModel &model, Findings &out);
+void runNakedNew(const RepoModel &model, Findings &out);
+void runIncludeHygiene(const RepoModel &model, Findings &out);
+void runDirectIO(const RepoModel &model, Findings &out);
+void runDirectNet(const RepoModel &model, Findings &out);
+void runKvstoreThread(const RepoModel &model, Findings &out);
+void runServerJson(const RepoModel &model, Findings &out);
+
+} // namespace ethkv::analyze
+
+#endif // ETHKV_TOOLS_ANALYZE_ANALYZE_HH

@@ -1,0 +1,274 @@
+#include "analyze/lexer.hh"
+
+#include <cctype>
+
+namespace ethkv::analyze
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+namespace
+{
+
+/**
+ * Cursor over the raw bytes that maintains the physical line
+ * counter and makes line splices (backslash-newline, with or
+ * without an intervening '\r') invisible to the token scanners:
+ * peek()/get() never return a splice, but crossing one still
+ * advances the line counter. '\r' before '\n' is swallowed so CRLF
+ * files count lines exactly like LF files.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view src) : src_(src) { skipSplices(); }
+
+    bool eof() const { return pos_ >= src_.size(); }
+    int line() const { return line_; }
+
+    char
+    peek(size_t ahead = 0) const
+    {
+        // Splices were consumed up to the current position, but a
+        // lookahead may cross one; resolve it transparently.
+        size_t p = pos_;
+        for (size_t n = 0;; ++n) {
+            p = skipSplicesFrom(p);
+            if (p >= src_.size())
+                return '\0';
+            if (n == ahead)
+                return src_[p];
+            ++p;
+        }
+    }
+
+    char
+    get()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            logical_bol_ = true;
+        } else if (c != ' ' && c != '\t' && c != '\r' &&
+                   c != '\v' && c != '\f') {
+            logical_bol_ = false;
+        }
+        skipSplices();
+        return c;
+    }
+
+    /** True when the next character starts a logical line (a real
+     *  newline was consumed since the last non-space character; a
+     *  line splice does NOT start a new logical line, so spliced
+     *  preprocessor directives stay one logical line). */
+    bool logicalBol() const { return logical_bol_; }
+
+  private:
+    void
+    skipSplices()
+    {
+        while (pos_ < src_.size() && src_[pos_] == '\\') {
+            size_t nl = pos_ + 1;
+            if (nl < src_.size() && src_[nl] == '\r')
+                ++nl;
+            if (nl < src_.size() && src_[nl] == '\n') {
+                pos_ = nl + 1;
+                ++line_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    size_t
+    skipSplicesFrom(size_t p) const
+    {
+        while (p < src_.size() && src_[p] == '\\') {
+            size_t nl = p + 1;
+            if (nl < src_.size() && src_[nl] == '\r')
+                ++nl;
+            if (nl < src_.size() && src_[nl] == '\n')
+                p = nl + 1;
+            else
+                break;
+        }
+        return p;
+    }
+
+    std::string_view src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    bool logical_bol_ = true;
+};
+
+/** Scan comment text for `ethkv-analyze:allow(a, b)` markers. */
+void
+scanSuppressions(const std::string &comment, int end_line,
+                 std::vector<Suppression> &out)
+{
+    static const std::string kMarker = "ethkv-analyze:allow(";
+    size_t pos = 0;
+    while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+        pos += kMarker.size();
+        size_t close = comment.find(')', pos);
+        if (close == std::string::npos)
+            return;
+        std::string rule;
+        for (size_t i = pos; i <= close; ++i) {
+            char c = i < close ? comment[i] : ',';
+            if (c == ',') {
+                if (!rule.empty())
+                    out.push_back({end_line, rule});
+                rule.clear();
+            } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                rule += c;
+            }
+        }
+        pos = close;
+    }
+}
+
+} // namespace
+
+LexedSource
+lex(std::string_view src)
+{
+    LexedSource out;
+    Cursor cur(src);
+    bool bol_now = true;
+
+    auto push = [&](TokKind kind, std::string text, int line) {
+        out.tokens.push_back({kind, std::move(text), line, bol_now});
+    };
+
+    while (!cur.eof()) {
+        char c = cur.peek();
+        int line = cur.line();
+        bol_now = cur.logicalBol();
+
+        if (c == '\r' || c == '\n' || c == ' ' || c == '\t' ||
+            c == '\v' || c == '\f') {
+            cur.get();
+            continue;
+        }
+
+        // Comments: skipped, mined for suppression markers.
+        if (c == '/' && cur.peek(1) == '/') {
+            std::string text;
+            while (!cur.eof() && cur.peek() != '\n')
+                text += cur.get();
+            scanSuppressions(text, cur.line(), out.suppressions);
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            std::string text;
+            cur.get();
+            cur.get();
+            while (!cur.eof()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.get();
+                    cur.get();
+                    break;
+                }
+                text += cur.get();
+            }
+            scanSuppressions(text, cur.line(), out.suppressions);
+            continue;
+        }
+
+        // Raw string literal R"delim(...)delim".
+        if (c == 'R' && cur.peek(1) == '"') {
+            cur.get();
+            cur.get();
+            std::string delim;
+            while (!cur.eof() && cur.peek() != '(')
+                delim += cur.get();
+            if (!cur.eof())
+                cur.get(); // '('
+            std::string body;
+            std::string close = ")" + delim + "\"";
+            while (!cur.eof()) {
+                body += cur.get();
+                if (body.size() >= close.size() &&
+                    body.compare(body.size() - close.size(),
+                                 close.size(), close) == 0) {
+                    body.resize(body.size() - close.size());
+                    break;
+                }
+            }
+            push(TokKind::String, std::move(body), line);
+            continue;
+        }
+
+        // String / char literals: raw body, escapes unprocessed.
+        if (c == '"' || c == '\'') {
+            char quote = cur.get();
+            std::string body;
+            while (!cur.eof()) {
+                char b = cur.peek();
+                if (b == '\\') {
+                    body += cur.get();
+                    if (!cur.eof())
+                        body += cur.get();
+                    continue;
+                }
+                if (b == quote || b == '\n') {
+                    if (b == quote)
+                        cur.get();
+                    break;
+                }
+                body += cur.get();
+            }
+            push(quote == '"' ? TokKind::String : TokKind::CharLit,
+                 std::move(body), line);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            while (!cur.eof() &&
+                   (isIdentChar(cur.peek()) || cur.peek() == '.' ||
+                    ((cur.peek() == '+' || cur.peek() == '-') &&
+                     !text.empty() &&
+                     (text.back() == 'e' || text.back() == 'E' ||
+                      text.back() == 'p' || text.back() == 'P')))) {
+                text += cur.get();
+            }
+            push(TokKind::Number, std::move(text), line);
+            continue;
+        }
+
+        if (isIdentChar(c)) {
+            std::string text;
+            while (!cur.eof() && isIdentChar(cur.peek()))
+                text += cur.get();
+            push(TokKind::Ident, std::move(text), line);
+            continue;
+        }
+
+        // Two-character punctuators the passes care about; all
+        // other operator clusters lex as single characters.
+        if (c == ':' && cur.peek(1) == ':') {
+            cur.get();
+            cur.get();
+            push(TokKind::Punct, "::", line);
+            continue;
+        }
+        if (c == '-' && cur.peek(1) == '>') {
+            cur.get();
+            cur.get();
+            push(TokKind::Punct, "->", line);
+            continue;
+        }
+        push(TokKind::Punct, std::string(1, cur.get()), line);
+    }
+
+    out.line_count = cur.line();
+    return out;
+}
+
+} // namespace ethkv::analyze

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tokenizer for the ethkv_analyze static analyzer.
+ *
+ * Produces a single token stream per source file that every rule
+ * pass consumes — there is no separate "raw" and "stripped" view,
+ * which is what made the old regex linter disagree with itself on
+ * line numbers. Properties the passes rely on:
+ *
+ *  - Line numbers are 1-based PHYSICAL lines of the original file.
+ *    CRLF line endings and trailing-backslash line splices do not
+ *    shift them: a token after a splice reports the physical line
+ *    it starts on, and string-literal tokens (used by the
+ *    server-json rule) carry the same numbering as identifier
+ *    tokens (used by everything else).
+ *  - Comments are skipped but scanned for suppression markers
+ *    (`ethkv-analyze:allow(rule-a, rule-b)`); each marker records
+ *    the last physical line of its comment, and findings on that
+ *    line or the next are suppressed.
+ *  - String and character literals become single tokens holding
+ *    the raw (unescaped) body, so token scans never match inside
+ *    literal text and literal scans never match code.
+ */
+
+#ifndef ETHKV_TOOLS_ANALYZE_LEXER_HH
+#define ETHKV_TOOLS_ANALYZE_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ethkv::analyze
+{
+
+enum class TokKind
+{
+    Ident,   //!< identifier or keyword
+    Number,  //!< numeric literal
+    String,  //!< string literal body (quotes stripped, raw escapes)
+    CharLit, //!< character literal body
+    Punct,   //!< operator/punctuator ("::", "->", or single char)
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line;       //!< 1-based physical line the token starts on
+    bool bol;       //!< first token on its physical line
+};
+
+/** One `ethkv-analyze:allow(...)` marker found in a comment. */
+struct Suppression
+{
+    int line;         //!< last physical line of the comment
+    std::string rule; //!< one rule name per entry ("*" = all)
+};
+
+struct LexedSource
+{
+    std::vector<Token> tokens;
+    std::vector<Suppression> suppressions;
+    int line_count = 0;
+};
+
+/** Tokenize `src`. Never fails: unrecognized bytes lex as
+ *  single-character Punct tokens. */
+LexedSource lex(std::string_view src);
+
+/** True for identifier characters [A-Za-z0-9_]. */
+bool isIdentChar(char c);
+
+} // namespace ethkv::analyze
+
+#endif // ETHKV_TOOLS_ANALYZE_LEXER_HH

@@ -1,0 +1,7 @@
+#include "analyze/analyze.hh"
+
+int
+main(int argc, char **argv)
+{
+    return ethkv::analyze::analyzeMain(argc, argv);
+}

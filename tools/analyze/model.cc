@@ -1,0 +1,779 @@
+#include "analyze/model.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace ethkv::analyze
+{
+
+namespace
+{
+
+const std::set<std::string> kKeywords = {
+    "if",       "for",      "while",   "switch",   "return",
+    "sizeof",   "catch",    "new",     "delete",   "throw",
+    "alignof",  "decltype", "static_assert",       "co_return",
+    "co_await", "co_yield", "case",    "default",  "else",
+    "do",       "goto",     "static_cast",         "const_cast",
+    "reinterpret_cast",     "dynamic_cast",        "noexcept",
+    "requires", "typeid",   "alignas",
+};
+
+bool
+isKeyword(const std::string &s)
+{
+    return kKeywords.count(s) != 0;
+}
+
+std::string
+readFileBytes(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Per-file parser: walks the token stream once, maintaining a
+ *  namespace/class scope stack, and appends what it finds to the
+ *  model. */
+class FileParser
+{
+  public:
+    FileParser(RepoModel &model, FileInfo &file, size_t file_index)
+        : model_(model), file_(file), file_index_(file_index),
+          toks_(file.lex.tokens)
+    {}
+
+    void
+    run()
+    {
+        markDirectives();
+        matchBraces();
+        size_t i = 0;
+        while (i < toks_.size())
+            i = step(i);
+    }
+
+  private:
+    struct Frame
+    {
+        enum Kind
+        {
+            Ns,
+            Class,
+            Skip //!< enum bodies and other ignored regions
+        };
+        Kind kind;
+        std::string name;
+        size_t close; //!< token index of the matching '}'
+    };
+
+    const Token &tok(size_t i) const { return toks_[i]; }
+    bool
+    is(size_t i, const char *text) const
+    {
+        return i < toks_.size() && toks_[i].text == text;
+    }
+    bool
+    isIdent(size_t i) const
+    {
+        return i < toks_.size() && toks_[i].kind == TokKind::Ident;
+    }
+
+    /** Mark every token belonging to a preprocessor directive
+     *  (from a logical-line-initial '#' to the end of the logical
+     *  line — line splices keep bol false, so spliced directives
+     *  are covered end to end). Directive tokens are excluded from
+     *  brace matching and the scope walk; includes are recorded
+     *  here. */
+    void
+    markDirectives()
+    {
+        in_directive_.assign(toks_.size(), false);
+        for (size_t i = 0; i < toks_.size(); ++i) {
+            if (!(toks_[i].kind == TokKind::Punct &&
+                  toks_[i].text == "#" && toks_[i].bol)) {
+                continue;
+            }
+            size_t j = i;
+            in_directive_[j] = true;
+            ++j;
+            while (j < toks_.size() && !toks_[j].bol) {
+                in_directive_[j] = true;
+                ++j;
+            }
+            // #include "path"
+            if (i + 2 < j && toks_[i + 1].text == "include" &&
+                toks_[i + 2].kind == TokKind::String) {
+                file_.includes.push_back(
+                    {toks_[i + 2].text, toks_[i].line});
+            }
+            i = j - 1;
+        }
+    }
+
+    void
+    matchBraces()
+    {
+        brace_match_.assign(toks_.size(), 0);
+        std::vector<size_t> stack;
+        for (size_t i = 0; i < toks_.size(); ++i) {
+            if (in_directive_[i] ||
+                toks_[i].kind != TokKind::Punct) {
+                continue;
+            }
+            if (toks_[i].text == "{") {
+                stack.push_back(i);
+            } else if (toks_[i].text == "}" && !stack.empty()) {
+                brace_match_[stack.back()] = i;
+                stack.pop_back();
+            }
+        }
+    }
+
+    std::string
+    currentClass() const
+    {
+        std::string name;
+        for (const Frame &f : frames_) {
+            if (f.kind != Frame::Class)
+                continue;
+            if (!name.empty())
+                name += "::";
+            name += f.name;
+        }
+        return name;
+    }
+
+    /** Process the token at `i`; return the next index. */
+    size_t
+    step(size_t i)
+    {
+        // Leave scopes whose closing brace we reached.
+        while (!frames_.empty() && i >= frames_.back().close &&
+               frames_.back().close != 0) {
+            frames_.pop_back();
+        }
+        if (in_directive_[i])
+            return i + 1;
+        const Token &t = toks_[i];
+
+        if (t.kind == TokKind::Ident && t.text == "namespace")
+            return parseNamespace(i);
+        if (t.kind == TokKind::Ident && t.text == "enum")
+            return parseEnum(i);
+        if (t.kind == TokKind::Ident &&
+            (t.text == "class" || t.text == "struct") &&
+            !insideParens(i) &&
+            !(i > 0 && (toks_[i - 1].text == "<" ||
+                        toks_[i - 1].text == ","))) {
+            return parseClassHead(i);
+        }
+        if (t.kind == TokKind::Ident && t.text == "Mutex" &&
+            topIsClass() && isIdent(i + 1) &&
+            (is(i + 2, ";") || is(i + 2, "{") || is(i + 2, "[") ||
+             is(i + 2, "="))) {
+            model_.mutexes.push_back({currentClass(),
+                                      toks_[i + 1].text, file_.rel,
+                                      toks_[i + 1].line});
+            return i + 2;
+        }
+        if (t.kind == TokKind::Ident && !isKeyword(t.text) &&
+            is(i + 1, "(") && (topIsNsOrClass())) {
+            return parseCandidateFunction(i);
+        }
+        return i + 1;
+    }
+
+    bool
+    topIsClass() const
+    {
+        return !frames_.empty() &&
+               frames_.back().kind == Frame::Class;
+    }
+
+    bool
+    topIsNsOrClass() const
+    {
+        return frames_.empty() ||
+               frames_.back().kind == Frame::Ns ||
+               frames_.back().kind == Frame::Class;
+    }
+
+    /** Crude check that token i sits inside an unclosed '(' on the
+     *  same statement — enough to keep `class` in template
+     *  parameter lists from opening scopes. */
+    bool
+    insideParens(size_t i) const
+    {
+        int depth = 0;
+        for (size_t j = i; j-- > 0;) {
+            if (in_directive_[j])
+                continue;
+            const std::string &s = toks_[j].text;
+            if (s == ")")
+                --depth;
+            else if (s == "(")
+                ++depth;
+            else if (s == ";" || s == "{" || s == "}")
+                break;
+        }
+        return depth > 0;
+    }
+
+    size_t
+    parseNamespace(size_t i)
+    {
+        size_t j = i + 1;
+        std::vector<std::string> parts;
+        while (isIdent(j)) {
+            parts.push_back(toks_[j].text);
+            if (is(j + 1, "::"))
+                j += 2;
+            else {
+                ++j;
+                break;
+            }
+        }
+        if (is(j, "{")) {
+            size_t close = brace_match_[j];
+            if (close == 0)
+                return j + 1;
+            if (parts.empty())
+                parts.push_back("");
+            for (const std::string &p : parts)
+                frames_.push_back({Frame::Ns, p, close});
+            return j + 1;
+        }
+        // Alias or something else: skip to ';'.
+        while (j < toks_.size() && !is(j, ";"))
+            ++j;
+        return j + 1;
+    }
+
+    size_t
+    parseEnum(size_t i)
+    {
+        size_t j = i + 1;
+        while (j < toks_.size() && !is(j, "{") && !is(j, ";"))
+            ++j;
+        if (is(j, "{") && brace_match_[j] != 0)
+            return brace_match_[j] + 1;
+        return j + 1;
+    }
+
+    size_t
+    parseClassHead(size_t i)
+    {
+        // Find the class name: the trailing Ident::Ident chain
+        // before the first '{' (definition), ':' (base clause),
+        // or ';' (forward declaration). Attribute macros with
+        // parenthesized arguments — CAPABILITY("mutex") — and
+        // [[attributes]] are skipped naturally because only the
+        // LAST identifier chain survives.
+        size_t j = i + 1;
+        std::vector<std::string> chain;
+        while (j < toks_.size()) {
+            const std::string &s = toks_[j].text;
+            if (toks_[j].kind == TokKind::Ident) {
+                // `final` is a contextual keyword, not the name.
+                if (s == "final") {
+                    ++j;
+                    continue;
+                }
+                chain.assign(1, s);
+                while (is(j + 1, "::") && isIdent(j + 2)) {
+                    chain.push_back(toks_[j + 2].text);
+                    j += 2;
+                }
+                ++j;
+                continue;
+            }
+            if (s == "(") {
+                // Attribute macro arguments: skip the group.
+                int depth = 1;
+                ++j;
+                while (j < toks_.size() && depth > 0) {
+                    if (toks_[j].text == "(")
+                        ++depth;
+                    else if (toks_[j].text == ")")
+                        --depth;
+                    ++j;
+                }
+                continue;
+            }
+            if (s == "[" || s == "]" || s == "<" || s == ">" ||
+                s == ",") {
+                ++j;
+                continue;
+            }
+            break;
+        }
+        if (is(j, ":")) {
+            // Base clause: advance to the '{'.
+            while (j < toks_.size() && !is(j, "{") && !is(j, ";"))
+                ++j;
+        }
+        if (is(j, "{") && !chain.empty()) {
+            size_t close = brace_match_[j];
+            if (close == 0)
+                return j + 1;
+            std::string name;
+            for (const std::string &p : chain) {
+                if (!name.empty())
+                    name += "::";
+                name += p;
+            }
+            frames_.push_back({Frame::Class, name, close});
+            return j + 1;
+        }
+        return j + 1; // forward declaration or not a class def
+    }
+
+    /** Token index one past a matched group opened at `open`. */
+    size_t
+    skipGroup(size_t open, const char *open_text,
+              const char *close_text) const
+    {
+        int depth = 0;
+        size_t j = open;
+        while (j < toks_.size()) {
+            if (!in_directive_[j]) {
+                if (toks_[j].text == open_text)
+                    ++depth;
+                else if (toks_[j].text == close_text && --depth == 0)
+                    return j + 1;
+            }
+            ++j;
+        }
+        return j;
+    }
+
+    /** True when the declared return type ending just before
+     *  token `type_end` is Status or Result<...>. */
+    bool
+    returnTypeIsStatus(size_t type_end) const
+    {
+        size_t j = type_end;
+        while (j > 0 && (toks_[j - 1].text == "&" ||
+                         toks_[j - 1].text == "*")) {
+            --j;
+        }
+        if (j == 0)
+            return false;
+        const Token &t = toks_[j - 1];
+        if (t.kind == TokKind::Ident)
+            return t.text == "Status" || t.text == "Result";
+        if (t.text == ">") {
+            // Result<T>: walk back to the matching '<'.
+            int depth = 0;
+            size_t k = j - 1;
+            while (k-- > 0) {
+                if (toks_[k].text == ">")
+                    ++depth;
+                else if (toks_[k].text == "<") {
+                    if (depth == 0)
+                        break;
+                    --depth;
+                }
+            }
+            return k > 0 && toks_[k - 1].text == "Result";
+        }
+        return false;
+    }
+
+    size_t
+    parseCandidateFunction(size_t i)
+    {
+        // Qualifier chain: A::B::name (for a destructor the chain
+        // sits before the '~': LSMStore::~LSMStore).
+        size_t name_start = i;
+        std::string klass;
+        bool tilde = i > 0 && toks_[i - 1].text == "~";
+        {
+            size_t j = tilde ? i - 1 : i;
+            std::vector<std::string> quals;
+            while (j >= 2 && toks_[j - 1].text == "::" &&
+                   toks_[j - 2].kind == TokKind::Ident) {
+                quals.insert(quals.begin(), toks_[j - 2].text);
+                j -= 2;
+            }
+            name_start = j;
+            for (const std::string &q : quals) {
+                if (!klass.empty())
+                    klass += "::";
+                klass += q;
+            }
+        }
+        std::string name = toks_[i].text;
+        if (tilde)
+            name = "~" + name;
+
+        size_t after_params = skipGroup(i + 1, "(", ")");
+        bool returns_status =
+            tilde ? false : returnTypeIsStatus(name_start);
+
+        // Scan the specifier tail for the body '{' or a
+        // declaration terminator.
+        size_t j = after_params;
+        bool is_def = false;
+        while (j < toks_.size()) {
+            if (in_directive_[j]) {
+                ++j;
+                continue;
+            }
+            const std::string &s = toks_[j].text;
+            if (s == "{") {
+                is_def = true;
+                break;
+            }
+            if (s == ";" || s == "=" || s == ",")
+                break;
+            if (s == ":") {
+                // Constructor initializer list: member(init) or
+                // member{init} groups separated by commas.
+                ++j;
+                while (j < toks_.size()) {
+                    if (toks_[j].text == "{") {
+                        // Either a braced init or the body; a
+                        // braced init is followed by ',' or '{'.
+                        size_t end =
+                            skipGroup(j, "{", "}");
+                        if (end < toks_.size() &&
+                            (toks_[end].text == "," ||
+                             toks_[end].text == "{")) {
+                            j = end;
+                            if (toks_[j].text == ",")
+                                ++j;
+                            continue;
+                        }
+                        is_def = true;
+                        break;
+                    }
+                    if (toks_[j].text == "(") {
+                        j = skipGroup(j, "(", ")");
+                        continue;
+                    }
+                    ++j;
+                }
+                break;
+            }
+            if (toks_[j].kind == TokKind::Ident) {
+                // const / noexcept / override / annotation macro.
+                if (j + 1 < toks_.size() &&
+                    toks_[j + 1].text == "(") {
+                    j = skipGroup(j + 1, "(", ")");
+                } else {
+                    ++j;
+                }
+                continue;
+            }
+            if (s == "->") {
+                // Trailing return type: skip to '{' or ';'.
+                ++j;
+                continue;
+            }
+            ++j;
+        }
+
+        // Remember the return type of declarations too, so calls
+        // through interfaces (KVStore::put) resolve.
+        if (returns_status && !name.empty()) {
+            model_.returns_status_by_name[name] = true;
+        } else if (!model_.returns_status_by_name.count(name)) {
+            model_.returns_status_by_name[name] = false;
+        }
+
+        if (!is_def || j >= toks_.size())
+            return after_params;
+
+        size_t body_open = j;
+        size_t body_close = brace_match_[body_open];
+        if (body_close == 0)
+            return after_params;
+
+        FunctionInfo fn;
+        fn.klass = !klass.empty() ? klass : currentClass();
+        fn.name = name;
+        fn.file = file_.rel;
+        fn.line = toks_[i].line;
+        fn.file_index = file_index_;
+        fn.body_begin = body_open;
+        fn.body_end = body_close + 1;
+        fn.returns_status = returns_status;
+        scanBody(fn);
+        model_.functions.push_back(std::move(fn));
+        return body_close + 1;
+    }
+
+    void
+    scanBody(FunctionInfo &fn)
+    {
+        for (size_t i = fn.body_begin + 1; i + 1 < fn.body_end;
+             ++i) {
+            if (in_directive_[i])
+                continue;
+            const Token &t = toks_[i];
+            if (t.kind != TokKind::Ident)
+                continue;
+
+            // Lock acquisitions.
+            if (t.text == "MutexLock" && isIdent(i + 1) &&
+                is(i + 2, "(")) {
+                addAcquire(fn, i, toks_[i + 1].text, i + 2);
+                continue;
+            }
+            if ((t.text == "unique_lock" ||
+                 t.text == "lock_guard" ||
+                 t.text == "scoped_lock")) {
+                size_t j = i + 1;
+                if (is(j, "<"))
+                    j = skipGroup(j, "<", ">");
+                if (isIdent(j) && is(j + 1, "(")) {
+                    addAcquire(fn, i, toks_[j].text, j + 1);
+                    i = j + 1;
+                    continue;
+                }
+            }
+
+            // Call references.
+            if (isKeyword(t.text) || !is(i + 1, "("))
+                continue;
+            const Token *prev =
+                i > fn.body_begin + 1 ? &toks_[i - 1] : nullptr;
+            if (prev && prev->kind == TokKind::Ident &&
+                !isKeyword(prev->text)) {
+                continue; // declaration: `MutexLock lock(...)`
+            }
+            if (prev && (prev->text == ">"))
+                continue; // templated declaration
+            CallRef call;
+            call.name = t.text;
+            call.line = t.line;
+            call.tok = i;
+            call.member_call =
+                prev && (prev->text == "." || prev->text == "->");
+            if (prev && prev->text == "::" &&
+                i >= fn.body_begin + 3 &&
+                toks_[i - 2].kind == TokKind::Ident) {
+                call.qualifier = toks_[i - 2].text;
+            }
+            fn.calls.push_back(std::move(call));
+        }
+    }
+
+    /** Record an acquisition whose mutex expression starts after
+     *  the '(' at `open_paren`; `var` is the RAII local's name. */
+    void
+    addAcquire(FunctionInfo &fn, size_t site, std::string var,
+               size_t open_paren)
+    {
+        size_t expr_end = skipGroup(open_paren, "(", ")");
+        std::string expr;
+        for (size_t j = open_paren + 1; j + 1 < expr_end; ++j) {
+            if (toks_[j].kind == TokKind::Ident && !expr.empty() &&
+                isIdentChar(expr.back())) {
+                expr += ' ';
+            }
+            expr += toks_[j].text;
+        }
+
+        // Held range: from the site to the end of the innermost
+        // enclosing block, minus var.unlock()/var.lock() windows.
+        size_t block_close = enclosingBlockClose(site, fn);
+        AcquireSite acq;
+        acq.raw_expr = expr;
+        acq.line = toks_[site].line;
+        size_t held_from = expr_end;
+        bool held = true;
+        for (size_t j = expr_end; j < block_close; ++j) {
+            if (toks_[j].kind == TokKind::Ident &&
+                toks_[j].text == var && is(j + 1, ".") &&
+                isIdent(j + 2) && is(j + 3, "(")) {
+                if (toks_[j + 2].text == "unlock" && held) {
+                    acq.held.emplace_back(held_from, j);
+                    held = false;
+                } else if (toks_[j + 2].text == "lock" && !held) {
+                    held_from = j + 4;
+                    held = true;
+                }
+            }
+        }
+        if (held)
+            acq.held.emplace_back(held_from, block_close);
+        fn.acquires.push_back(std::move(acq));
+    }
+
+    /** Close token of the innermost brace block containing i. */
+    size_t
+    enclosingBlockClose(size_t i, const FunctionInfo &fn) const
+    {
+        size_t best_open = fn.body_begin;
+        for (size_t j = fn.body_begin; j < i; ++j) {
+            if (in_directive_[j])
+                continue;
+            if (toks_[j].text == "{" && brace_match_[j] > i &&
+                j > best_open) {
+                best_open = j;
+            }
+        }
+        size_t close = brace_match_[best_open];
+        return close ? close : fn.body_end - 1;
+    }
+
+    RepoModel &model_;
+    FileInfo &file_;
+    size_t file_index_;
+    const std::vector<Token> &toks_;
+    std::vector<bool> in_directive_;
+    std::vector<size_t> brace_match_;
+    std::vector<Frame> frames_;
+};
+
+std::string
+moduleOf(const std::string &rel)
+{
+    if (rel.rfind("src/", 0) != 0)
+        return "";
+    size_t start = 4;
+    size_t slash = rel.find('/', start);
+    if (slash == std::string::npos)
+        return "";
+    return rel.substr(start, slash - start);
+}
+
+} // namespace
+
+const MutexMember *
+RepoModel::findMutex(const std::string &id) const
+{
+    for (const MutexMember &m : mutexes)
+        if (m.id() == id)
+            return &m;
+    return nullptr;
+}
+
+void
+addFileToModel(RepoModel &model, FileInfo file)
+{
+    model.files.push_back(std::move(file));
+    FileInfo &stored = model.files.back();
+    FileParser parser(model, stored, model.files.size() - 1);
+    parser.run();
+}
+
+void
+finalizeModel(RepoModel &model)
+{
+    model.functions_by_name.clear();
+    for (size_t i = 0; i < model.functions.size(); ++i) {
+        model.functions_by_name.emplace(model.functions[i].name, i);
+    }
+
+    // Index mutex members by bare member name.
+    std::multimap<std::string, const MutexMember *> by_member;
+    for (const MutexMember &m : model.mutexes)
+        by_member.emplace(m.member, &m);
+
+    for (FunctionInfo &fn : model.functions) {
+        for (AcquireSite &acq : fn.acquires) {
+            std::string expr = acq.raw_expr;
+            // Strip a trailing ".native()" (the std::unique_lock /
+            // condition-variable idiom).
+            static const std::string kNative = ".native()";
+            if (expr.size() > kNative.size() &&
+                expr.compare(expr.size() - kNative.size(),
+                             kNative.size(), kNative) == 0) {
+                expr.resize(expr.size() - kNative.size());
+            }
+
+            // Function-returning-mutex form: mutexAt(route).
+            size_t paren = expr.find('(');
+            if (paren != std::string::npos) {
+                std::string fname;
+                size_t k = paren;
+                while (k > 0 && isIdentChar(expr[k - 1]))
+                    --k;
+                fname = expr.substr(k, paren - k);
+                acq.mutex_id =
+                    (fn.klass.empty() ? fn.file : fn.klass) +
+                    "::" + fname + "()";
+                continue;
+            }
+
+            // Member chain: last identifier is the member name.
+            std::string member;
+            for (size_t k = expr.size(); k-- > 0;) {
+                if (isIdentChar(expr[k]))
+                    member.insert(member.begin(), expr[k]);
+                else
+                    break;
+            }
+            if (member.empty()) {
+                acq.mutex_id = fn.file + ":" + expr;
+                continue;
+            }
+            // 1) the enclosing class (or a nested class of it)
+            const MutexMember *hit = nullptr;
+            for (const MutexMember &m : model.mutexes) {
+                if (m.member != member)
+                    continue;
+                if (m.klass == fn.klass ||
+                    (m.klass.size() > fn.klass.size() &&
+                     !fn.klass.empty() &&
+                     m.klass.rfind(fn.klass + "::", 0) == 0)) {
+                    hit = &m;
+                    break;
+                }
+            }
+            // 2) globally unique member name
+            if (!hit && by_member.count(member) == 1)
+                hit = by_member.find(member)->second;
+            acq.mutex_id =
+                hit ? hit->id() : fn.file + ":" + member;
+        }
+    }
+}
+
+RepoModel
+buildModel(const std::string &root)
+{
+    RepoModel model;
+    model.root = root;
+    const char *scan_roots[] = {"src", "tools", "bench",
+                                "examples"};
+    std::vector<fs::path> paths;
+    for (const char *sub : scan_roots) {
+        fs::path dir = fs::path(root) / sub;
+        if (!fs::exists(dir))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir);
+             it != fs::recursive_directory_iterator(); ++it) {
+            std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+                ext == ".hpp") {
+                paths.push_back(it->path());
+            }
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path &p : paths) {
+        FileInfo file;
+        file.rel = p.lexically_relative(root).generic_string();
+        file.module = moduleOf(file.rel);
+        file.is_header = p.extension() == ".hh" ||
+                         p.extension() == ".hpp";
+        file.lex = lex(readFileBytes(p));
+        addFileToModel(model, std::move(file));
+    }
+    finalizeModel(model);
+    return model;
+}
+
+} // namespace ethkv::analyze

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Whole-repo source model for ethkv_analyze.
+ *
+ * The model is built in one pass over the token stream of every
+ * scanned file and gives rule passes cross-TU facts the old regex
+ * linter could not see:
+ *
+ *  - files → modules → quoted includes (with lines)
+ *  - class/struct scopes (nested names like "Server::Worker") and
+ *    their `Mutex` members
+ *  - function definitions, attributed to their class (both inline
+ *    definitions inside a class body and out-of-line
+ *    `Ret Class::name(...)` definitions), with:
+ *      - whether the declared return type is Status/Result
+ *      - every call reference in the body (name + qualifier + line)
+ *      - every lock acquisition site (MutexLock, and
+ *        std::unique_lock/lock_guard over `m.native()`), resolved
+ *        to a mutex node id, with the token range the lock is held
+ *        (lock.unlock()/lock.lock() toggles shrink the range)
+ *
+ * Resolution is heuristic by design (no preprocessor, no
+ * overload resolution): mutex expressions resolve first against
+ * the enclosing class's members, then against a globally unique
+ * member name; calls resolve only when the bare name maps to
+ * exactly one function in the repo. Rules that consume these facts
+ * are written to tolerate the imprecision (see rules_lock.cc).
+ */
+
+#ifndef ETHKV_TOOLS_ANALYZE_MODEL_HH
+#define ETHKV_TOOLS_ANALYZE_MODEL_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.hh"
+
+namespace ethkv::analyze
+{
+
+struct IncludeRef
+{
+    std::string path; //!< quoted include path as written
+    int line;
+};
+
+struct MutexMember
+{
+    std::string klass;  //!< enclosing class ("Server::Worker")
+    std::string member; //!< member name ("mutex_")
+    std::string file;   //!< repo-relative declaring file
+    int line;
+    /** Node id used by the lock graph: "Class::member". */
+    std::string id() const { return klass + "::" + member; }
+};
+
+struct CallRef
+{
+    std::string name;      //!< called identifier
+    std::string qualifier; //!< "net" for net::foo(), "" otherwise
+    bool member_call;      //!< preceded by '.' or "->"
+    int line;
+    size_t tok;            //!< token index of the name
+};
+
+struct AcquireSite
+{
+    std::string raw_expr; //!< mutex expression as written
+    std::string mutex_id; //!< resolved node id (finalizeModel)
+    int line;
+    /** Token ranges [begin,end) during which the lock is held. */
+    std::vector<std::pair<size_t, size_t>> held;
+};
+
+struct FunctionInfo
+{
+    std::string klass; //!< "" for free functions
+    std::string name;
+    std::string file;  //!< repo-relative path
+    int line;
+    size_t file_index;      //!< into RepoModel::files
+    size_t body_begin;      //!< token index of the opening '{'
+    size_t body_end;        //!< token index one past closing '}'
+    bool returns_status = false;
+    std::vector<CallRef> calls;
+    std::vector<AcquireSite> acquires;
+
+    std::string
+    qualified() const
+    {
+        return klass.empty() ? name : klass + "::" + name;
+    }
+};
+
+struct FileInfo
+{
+    std::string rel;    //!< path relative to the repo root
+    std::string module; //!< top dir under src/ ("" outside src/)
+    bool is_header = false;
+    LexedSource lex;
+    std::vector<IncludeRef> includes;
+};
+
+struct RepoModel
+{
+    std::string root;
+    std::vector<FileInfo> files;
+    std::vector<FunctionInfo> functions;
+    std::vector<MutexMember> mutexes;
+    /** bare function name -> indices into functions */
+    std::multimap<std::string, size_t> functions_by_name;
+    /** bare name -> true when any declaration or definition with
+     *  that name returns Status/Result (decls included so calls
+     *  through interfaces like kv::KVStore resolve). */
+    std::map<std::string, bool> returns_status_by_name;
+
+    const MutexMember *findMutex(const std::string &id) const;
+};
+
+/**
+ * Load every .cc/.hh/.cpp/.hpp under root's src/, tools/, bench/,
+ * and examples/ trees (skipping tools/analyze fixtures if nested)
+ * and build the model. Missing subdirectories are fine — fixture
+ * repos usually carry only src/.
+ */
+RepoModel buildModel(const std::string &root);
+
+/** Parse one already-lexed file into `model` (used by tests). */
+void addFileToModel(RepoModel &model, FileInfo file);
+
+/** Resolve cross-file references after all files are added:
+ *  mutex-expression -> node ids, call indexes. buildModel calls
+ *  this; tests adding files manually must call it once at end. */
+void finalizeModel(RepoModel &model);
+
+} // namespace ethkv::analyze
+
+#endif // ETHKV_TOOLS_ANALYZE_MODEL_HH

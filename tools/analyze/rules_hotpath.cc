@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Hot-path blocking-call rule. The serving threads (epoll loops in
+ * src/server) must never issue a blocking durability or sleep
+ * syscall inline — that is what the WAL group-commit and the LSM
+ * maintenance thread exist for (the paper's p99 numbers die the
+ * moment an fsync lands on the accept/worker path).
+ *
+ * Roots are the Server request-path methods; the walk follows
+ * call references that resolve to exactly one function in the
+ * repo (ambiguous names — every KVStore has put/get/flush — stop
+ * the walk, which keeps the rule about DIRECT blocking calls on
+ * the server path, not about what an engine does behind its own
+ * synchronization).
+ */
+
+#include "analyze/analyze.hh"
+
+#include <map>
+#include <set>
+
+namespace ethkv::analyze
+{
+
+namespace
+{
+
+const std::set<std::string> &
+rootNames()
+{
+    static const std::set<std::string> kRoots = {
+        "workerLoop",        "acceptorLoop", "handleFrame",
+        "execOp",            "flushWrites",  "statsJson",
+        "applyBackpressure",
+    };
+    return kRoots;
+}
+
+const std::set<std::string> &
+blockingCalls()
+{
+    static const std::set<std::string> kBlocking = {
+        "fsync",  "fdatasync", "syncfs",    "msync",
+        "sync",   "syncDir",   "sleep",     "usleep",
+        "nanosleep", "sleep_for", "system", "popen",
+    };
+    return kBlocking;
+}
+
+} // namespace
+
+void
+runHotPath(const RepoModel &model, Findings &out)
+{
+    // Roots: request-path methods of a class named Server (or
+    // ...::Server) living under src/server.
+    std::vector<size_t> roots;
+    for (size_t i = 0; i < model.functions.size(); ++i) {
+        const FunctionInfo &fn = model.functions[i];
+        if (!rootNames().count(fn.name))
+            continue;
+        if (fn.klass != "Server" &&
+            fn.klass.find("::Server") == std::string::npos) {
+            continue;
+        }
+        if (model.files[fn.file_index].module == "server")
+            roots.push_back(i);
+    }
+
+    std::set<std::pair<size_t, int>> reported; // (function, line)
+    for (size_t root : roots) {
+        // BFS over uniquely-resolved calls, remembering one call
+        // path for the diagnostic.
+        std::map<size_t, std::vector<std::string>> path;
+        std::vector<size_t> queue = {root};
+        path[root] = {model.functions[root].qualified()};
+        while (!queue.empty()) {
+            size_t fi = queue.back();
+            queue.pop_back();
+            const FunctionInfo &fn = model.functions[fi];
+            const FileInfo &file = model.files[fn.file_index];
+            for (const CallRef &call : fn.calls) {
+                if (blockingCalls().count(call.name)) {
+                    if (!reported
+                             .emplace(fi, call.line)
+                             .second) {
+                        continue;
+                    }
+                    std::string via;
+                    for (const std::string &p : path[fi]) {
+                        if (!via.empty())
+                            via += " -> ";
+                        via += p;
+                    }
+                    out.push_back(
+                        {"hot-path", file.rel, call.line,
+                         "blocking call '" + call.name +
+                             "' on the server request path (" +
+                             via +
+                             ") — defer to the maintenance "
+                             "thread or the WAL group-commit"});
+                    continue;
+                }
+                if (model.functions_by_name.count(call.name) != 1)
+                    continue;
+                size_t gi = model.functions_by_name
+                                .find(call.name)
+                                ->second;
+                if (path.count(gi))
+                    continue;
+                path[gi] = path[fi];
+                path[gi].push_back(
+                    model.functions[gi].qualified());
+                queue.push_back(gi);
+            }
+        }
+    }
+}
+
+} // namespace ethkv::analyze

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Module layering enforcement, computed from the real include
+ * graph (not from CMake link lines, which tolerate cycles between
+ * static libraries without complaint).
+ *
+ * The module DAG (DESIGN.md §12):
+ *
+ *     common
+ *       ↑
+ *     eth  obs
+ *       ↑    ↑
+ *     kvstore ← trie, trace
+ *       ↑
+ *     client
+ *       ↑
+ *     core  workload  analysis
+ *       ↑
+ *     server        (server is the only module allowed to see
+ *                    everything; nothing includes server back)
+ *
+ * A back-edge here is how the obs↔kvstore static-library cycle
+ * crept in historically — the analyzer makes that a build failure
+ * instead of a CMakeLists comment.
+ */
+
+#include "analyze/analyze.hh"
+
+#include <map>
+#include <set>
+
+namespace ethkv::analyze
+{
+
+namespace
+{
+
+const std::map<std::string, std::set<std::string>> &
+allowedDeps()
+{
+    static const std::map<std::string, std::set<std::string>> kMap =
+        {
+            {"common", {}},
+            {"eth", {"common"}},
+            {"obs", {"common"}},
+            {"kvstore", {"common", "obs"}},
+            {"trie", {"common", "eth", "kvstore"}},
+            {"trace", {"common", "kvstore"}},
+            {"client", {"common", "eth", "kvstore", "obs", "trie"}},
+            {"core",
+             {"common", "client", "kvstore", "obs", "trace"}},
+            {"workload",
+             {"common", "client", "eth", "kvstore", "trace"}},
+            {"analysis", {"common", "client", "kvstore", "trace"}},
+            {"server",
+             {"common", "client", "core", "eth", "kvstore", "obs",
+              "trace", "trie", "workload", "analysis"}},
+        };
+    return kMap;
+}
+
+std::string
+includeModule(const std::string &path)
+{
+    size_t slash = path.find('/');
+    if (slash == std::string::npos)
+        return "";
+    std::string head = path.substr(0, slash);
+    return allowedDeps().count(head) ? head : "";
+}
+
+} // namespace
+
+void
+runLayering(const RepoModel &model, Findings &out)
+{
+    const auto &allowed = allowedDeps();
+    for (const FileInfo &f : model.files) {
+        bool in_src = f.rel.rfind("src/", 0) == 0;
+        bool in_tools = f.rel.rfind("tools/", 0) == 0;
+
+        for (const IncludeRef &inc : f.includes) {
+            std::string dep = includeModule(inc.path);
+            if (dep.empty())
+                continue;
+
+            // Nothing outside src/server and tools/ may include
+            // server headers — the server is the top of the DAG,
+            // not a library.
+            if (dep == "server" && f.module != "server" &&
+                !in_tools) {
+                out.push_back(
+                    {"layering", f.rel, inc.line,
+                     "include of \"" + inc.path +
+                         "\" — only src/server and tools/ may "
+                         "depend on the server module"});
+                continue;
+            }
+
+            if (!in_src)
+                continue;
+            auto it = allowed.find(f.module);
+            if (it == allowed.end() || dep == f.module)
+                continue;
+            if (!it->second.count(dep)) {
+                out.push_back(
+                    {"layering", f.rel, inc.line,
+                     "layering violation: module '" + f.module +
+                         "' may not include '" + dep + "/" +
+                         inc.path.substr(inc.path.find('/') + 1) +
+                         "' (allowed deps: see DESIGN.md §12)"});
+            }
+        }
+    }
+}
+
+} // namespace ethkv::analyze

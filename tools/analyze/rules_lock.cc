@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Lock-order analysis. Builds a lock acquisition graph from every
+ * MutexLock / unique_lock / lock_guard site in the model:
+ *
+ *  - node: a mutex (MutexMember id like "LSMStore::mutex_", or a
+ *    mutex-returning accessor like "HybridKVStore::mutexAt()")
+ *  - edge A → B: somewhere, B is acquired while A is held —
+ *    either a nested acquire in the same function, or a call made
+ *    under A to a function whose transitive acquire set contains
+ *    B. Calls resolve only when the bare callee name is unique in
+ *    the repo, and held ranges honor unlock()/lock() toggles, so
+ *    the classic "signal the maintenance thread, but only after
+ *    unlock()" pattern does not produce a phantom edge.
+ *
+ * runLockOrder fails on any cycle in that graph (each reported
+ * once, with one witness site per edge). runLockRank additionally
+ * cross-checks the graph against the runtime rank table in
+ * src/common/lock_ranks.hh: every edge must go from a lower rank
+ * to a strictly higher rank, every table entry must name a real
+ * mutex, and every mutex in src/ must have an entry — so the
+ * static graph and the debug-build runtime assertion
+ * (common/mutex.hh) can never drift apart silently.
+ */
+
+#include "analyze/analyze.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace ethkv::analyze
+{
+
+namespace
+{
+
+struct LockEdge
+{
+    std::string file; //!< witness site
+    int line;
+    std::string holder; //!< function holding `from` at the site
+};
+
+struct LockGraph
+{
+    std::set<std::string> nodes;
+    /** (from, to) -> first witness. Self-edges excluded. */
+    std::map<std::pair<std::string, std::string>, LockEdge> edges;
+    /** (function qualified name, mutex id) acquisitions. */
+    std::set<std::pair<std::string, std::string>> acquisitions;
+};
+
+/** Transitive set of mutexes a function may acquire, following
+ *  uniquely-named calls. Cycle-safe via the in-progress mark. */
+class AcquireClosure
+{
+  public:
+    explicit AcquireClosure(const RepoModel &model) : model_(model)
+    {}
+
+    const std::set<std::string> &
+    of(size_t fi)
+    {
+        auto it = memo_.find(fi);
+        if (it != memo_.end())
+            return it->second;
+        auto [slot, inserted] = memo_.emplace(
+            fi, std::set<std::string>());
+        if (in_progress_.count(fi))
+            return slot->second;
+        in_progress_.insert(fi);
+        std::set<std::string> acc;
+        const FunctionInfo &fn = model_.functions[fi];
+        for (const AcquireSite &a : fn.acquires)
+            acc.insert(a.mutex_id);
+        for (const CallRef &c : fn.calls) {
+            if (model_.functions_by_name.count(c.name) != 1)
+                continue;
+            size_t gi =
+                model_.functions_by_name.find(c.name)->second;
+            if (gi == fi)
+                continue;
+            const std::set<std::string> &sub = of(gi);
+            acc.insert(sub.begin(), sub.end());
+        }
+        in_progress_.erase(fi);
+        memo_[fi] = acc;
+        return memo_[fi];
+    }
+
+  private:
+    const RepoModel &model_;
+    std::map<size_t, std::set<std::string>> memo_;
+    std::set<size_t> in_progress_;
+};
+
+bool
+inHeld(const AcquireSite &a, size_t tok)
+{
+    for (const auto &[b, e] : a.held)
+        if (tok >= b && tok < e)
+            return true;
+    return false;
+}
+
+LockGraph
+buildLockGraph(const RepoModel &model)
+{
+    LockGraph g;
+    AcquireClosure closure(model);
+
+    for (const MutexMember &m : model.mutexes)
+        g.nodes.insert(m.id());
+
+    auto addEdge = [&](const std::string &from,
+                       const std::string &to,
+                       const std::string &file, int line,
+                       const std::string &holder) {
+        if (from == to)
+            return;
+        g.nodes.insert(from);
+        g.nodes.insert(to);
+        g.edges.emplace(std::make_pair(from, to),
+                        LockEdge{file, line, holder});
+    };
+
+    for (size_t fi = 0; fi < model.functions.size(); ++fi) {
+        const FunctionInfo &fn = model.functions[fi];
+        const FileInfo &file = model.files[fn.file_index];
+        for (const AcquireSite &a : fn.acquires) {
+            g.nodes.insert(a.mutex_id);
+            g.acquisitions.emplace(fn.qualified(), a.mutex_id);
+
+            // Nested acquires in the same function.
+            for (const AcquireSite &b : fn.acquires) {
+                if (&a == &b || b.held.empty())
+                    continue;
+                if (inHeld(a, b.held.front().first)) {
+                    addEdge(a.mutex_id, b.mutex_id, file.rel,
+                            b.line, fn.qualified());
+                }
+            }
+
+            // Calls made while the lock is held.
+            for (const CallRef &c : fn.calls) {
+                if (!inHeld(a, c.tok))
+                    continue;
+                if (model.functions_by_name.count(c.name) != 1)
+                    continue;
+                size_t gi =
+                    model.functions_by_name.find(c.name)->second;
+                if (gi == fi)
+                    continue;
+                for (const std::string &to : closure.of(gi)) {
+                    addEdge(a.mutex_id, to, file.rel, c.line,
+                            fn.qualified());
+                }
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace
+
+void
+runLockOrder(const RepoModel &model, Findings &out)
+{
+    LockGraph g = buildLockGraph(model);
+
+    // Adjacency for the cycle walk.
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto &[key, edge] : g.edges)
+        adj[key.first].push_back(key.second);
+
+    // Iterative DFS with colors; report each cycle once, keyed by
+    // its sorted node set.
+    std::map<std::string, int> color; // 0 white, 1 grey, 2 black
+    std::set<std::vector<std::string>> seen_cycles;
+
+    std::vector<std::string> stack_path;
+    std::function<void(const std::string &)> visit =
+        [&](const std::string &n) {
+            color[n] = 1;
+            stack_path.push_back(n);
+            for (const std::string &m : adj[n]) {
+                if (color[m] == 1) {
+                    // Back edge: slice the cycle out of the path.
+                    auto it = std::find(stack_path.begin(),
+                                        stack_path.end(), m);
+                    std::vector<std::string> cycle(
+                        it, stack_path.end());
+                    std::vector<std::string> key = cycle;
+                    std::sort(key.begin(), key.end());
+                    if (!seen_cycles.insert(key).second)
+                        continue;
+                    std::string desc;
+                    for (const std::string &c : cycle)
+                        desc += c + " -> ";
+                    desc += m;
+                    std::string detail;
+                    for (size_t i = 0; i < cycle.size(); ++i) {
+                        const std::string &from = cycle[i];
+                        const std::string &to =
+                            cycle[(i + 1) % cycle.size()];
+                        auto e = g.edges.find({from, to});
+                        if (e == g.edges.end())
+                            continue;
+                        detail += "; " + from + " -> " + to +
+                                  " at " + e->second.file + ":" +
+                                  std::to_string(e->second.line) +
+                                  " (in " + e->second.holder + ")";
+                    }
+                    auto first = g.edges.find(
+                        {cycle.front(),
+                         cycle[1 % cycle.size()]});
+                    const LockEdge *w =
+                        first != g.edges.end() ? &first->second
+                                               : nullptr;
+                    out.push_back(
+                        {"lock-order",
+                         w ? w->file : std::string("src"),
+                         w ? w->line : 1,
+                         "lock-order cycle: " + desc + detail});
+                } else if (color[m] == 0) {
+                    visit(m);
+                }
+            }
+            stack_path.pop_back();
+            color[n] = 2;
+        };
+    for (const std::string &n : g.nodes)
+        if (color[n] == 0)
+            visit(n);
+}
+
+void
+runLockRank(const RepoModel &model, Findings &out)
+{
+    // Find the rank table. Absent (fixture repos) -> nothing to
+    // check; the satellite test has its own fixture with a table.
+    const FileInfo *ranks_file = nullptr;
+    for (const FileInfo &f : model.files)
+        if (f.rel == "src/common/lock_ranks.hh")
+            ranks_file = &f;
+    if (!ranks_file)
+        return;
+
+    const auto &toks = ranks_file->lex.tokens;
+
+    // Named constants: `int kName = N;` (any cv/constexpr prefix).
+    std::map<std::string, int> consts;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].text == "int" &&
+            toks[i + 1].kind == TokKind::Ident &&
+            toks[i + 2].text == "=" &&
+            toks[i + 3].kind == TokKind::Number) {
+            consts[toks[i + 1].text] =
+                std::stoi(toks[i + 3].text);
+        }
+    }
+
+    // Table entries: `{ "Mutex::id", rank }` after kLockRanks.
+    std::map<std::string, std::pair<int, int>> table; // id->rank,line
+    size_t start = 0;
+    for (size_t i = 0; i < toks.size(); ++i)
+        if (toks[i].text == "kLockRanks")
+            start = i;
+    for (size_t i = start; i + 3 < toks.size(); ++i) {
+        if (toks[i].text != "{" ||
+            toks[i + 1].kind != TokKind::String ||
+            toks[i + 2].text != ",") {
+            continue;
+        }
+        const Token &val = toks[i + 3];
+        int rank = -1;
+        if (val.kind == TokKind::Number)
+            rank = std::stoi(val.text);
+        else if (consts.count(val.text))
+            rank = consts[val.text];
+        if (rank >= 0)
+            table[toks[i + 1].text] = {rank, toks[i + 1].line};
+    }
+    if (table.empty()) {
+        out.push_back({"lock-rank", ranks_file->rel, 1,
+                       "kLockRanks table is missing or empty"});
+        return;
+    }
+
+    LockGraph g = buildLockGraph(model);
+
+    // Every table entry names a real graph node.
+    for (const auto &[id, rank_line] : table) {
+        if (!g.nodes.count(id)) {
+            out.push_back(
+                {"lock-rank", ranks_file->rel, rank_line.second,
+                 "kLockRanks entry '" + id +
+                     "' does not match any mutex known to the "
+                     "analyzer"});
+        }
+    }
+
+    // Every declared Mutex member in src/ has a rank.
+    for (const MutexMember &m : model.mutexes) {
+        if (m.file.rfind("src/", 0) != 0)
+            continue;
+        bool covered = table.count(m.id()) != 0;
+        // Accessor-form ids ("Class::mutexAt()") cover members
+        // only reachable through that accessor.
+        for (const auto &[id, rl] : table) {
+            if (covered)
+                break;
+            size_t p = id.find("::");
+            covered = p != std::string::npos &&
+                      id.size() > 2 && id.back() == ')' &&
+                      m.klass.rfind(id.substr(0, p), 0) == 0;
+        }
+        if (!covered) {
+            out.push_back(
+                {"lock-rank", m.file, m.line,
+                 "mutex '" + m.id() +
+                     "' has no entry in kLockRanks "
+                     "(src/common/lock_ranks.hh)"});
+        }
+    }
+
+    // Every lock-order edge must climb strictly in rank.
+    for (const auto &[key, edge] : g.edges) {
+        auto from = table.find(key.first);
+        auto to = table.find(key.second);
+        if (from == table.end() || to == table.end())
+            continue;
+        if (from->second.first >= to->second.first) {
+            out.push_back(
+                {"lock-rank", edge.file, edge.line,
+                 "lock acquired against rank order: " + key.first +
+                     " (rank " +
+                     std::to_string(from->second.first) +
+                     ") is held while acquiring " + key.second +
+                     " (rank " +
+                     std::to_string(to->second.first) +
+                     ") in " + edge.holder});
+        }
+    }
+}
+
+std::string
+lockGraphDot(const RepoModel &model)
+{
+    LockGraph g = buildLockGraph(model);
+    std::string dot = "digraph ethkv_locks {\n"
+                      "  rankdir=LR;\n"
+                      "  node [shape=box, fontsize=10];\n";
+    for (const std::string &n : g.nodes)
+        dot += "  \"" + n + "\";\n";
+    for (const auto &[key, edge] : g.edges) {
+        dot += "  \"" + key.first + "\" -> \"" + key.second +
+               "\" [style=bold, label=\"" + edge.file + ":" +
+               std::to_string(edge.line) + "\"];\n";
+    }
+    for (const auto &[fn, mutex] : g.acquisitions) {
+        dot += "  \"" + fn + "\" [shape=ellipse, fontsize=9, "
+               "color=gray40];\n";
+        dot += "  \"" + fn + "\" -> \"" + mutex +
+               "\" [style=dashed, color=gray60];\n";
+    }
+    dot += "}\n";
+    return dot;
+}
+
+} // namespace ethkv::analyze

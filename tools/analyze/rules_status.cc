@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Status/Result discipline. Status is [[nodiscard]], but three
+ * drop patterns compile clean and still lose errors:
+ *
+ *  - `(void)call()` / `static_cast<void>(call())` on a function
+ *    whose declared return type is Status or Result — the
+ *    sanctioned spelling is ETHKV_IGNORE_STATUS(expr, reason),
+ *    which keeps a grep-able audit trail.
+ *  - `r.value()` with no dominating `r.ok()` / `r.status()` /
+ *    `r.has_value()` check earlier in the same function body —
+ *    value() on an error Result is undefined.
+ *  - a local `Status s = ...;` that is never mentioned again —
+ *    constructed, then dropped on the floor.
+ *
+ * All three are intra-procedural over the token stream; the cross-
+ * TU part is knowing which callees return Status (the model
+ * records every declaration, so interface calls like
+ * KVStore::put resolve).
+ */
+
+#include "analyze/analyze.hh"
+
+#include <set>
+
+namespace ethkv::analyze
+{
+
+namespace
+{
+
+bool
+returnsStatus(const RepoModel &model, const std::string &callee)
+{
+    auto it = model.returns_status_by_name.find(callee);
+    return it != model.returns_status_by_name.end() && it->second;
+}
+
+/** From `begin`, walk an expression head (idents, ::, ., ->) and
+ *  return the last identifier that is directly followed by '(' —
+ *  the callee of `a.b()->c()` chains' first call. Empty if the
+ *  expression does not start with a call. */
+std::string
+firstCallee(const std::vector<Token> &toks, size_t begin,
+            size_t end)
+{
+    std::string callee;
+    for (size_t i = begin; i < end; ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Ident) {
+            if (i + 1 < end && toks[i + 1].text == "(")
+                return t.text;
+            continue;
+        }
+        if (t.text == "::" || t.text == "." || t.text == "->")
+            continue;
+        break;
+    }
+    return callee;
+}
+
+} // namespace
+
+void
+runStatusDiscipline(const RepoModel &model, Findings &out)
+{
+    for (const FunctionInfo &fn : model.functions) {
+        const FileInfo &file = model.files[fn.file_index];
+        if (file.rel.rfind("src/", 0) != 0)
+            continue;
+        const auto &toks = file.lex.tokens;
+        size_t b = fn.body_begin + 1;
+        size_t e = fn.body_end > 0 ? fn.body_end - 1 : 0;
+
+        for (size_t i = b; i < e; ++i) {
+            const Token &t = toks[i];
+
+            // (void)call()  /  static_cast<void>(call())
+            size_t expr = 0;
+            if (t.text == "(" && i + 2 < e &&
+                toks[i + 1].text == "void" &&
+                toks[i + 2].text == ")") {
+                expr = i + 3;
+            } else if (t.text == "static_cast" && i + 4 < e &&
+                       toks[i + 1].text == "<" &&
+                       toks[i + 2].text == "void" &&
+                       toks[i + 3].text == ">" &&
+                       toks[i + 4].text == "(") {
+                expr = i + 5;
+            }
+            if (expr) {
+                std::string callee = firstCallee(toks, expr, e);
+                if (!callee.empty() &&
+                    returnsStatus(model, callee)) {
+                    out.push_back(
+                        {"status", file.rel, t.line,
+                         "(void)-discarded Status/Result from '" +
+                             callee +
+                             "' — use ETHKV_IGNORE_STATUS(expr, "
+                             "reason) so the drop is auditable"});
+                }
+                continue;
+            }
+
+            // r.value() without a dominating ok-check on r.
+            if (t.text == "value" && i >= 2 && i + 2 < e &&
+                toks[i - 1].text == "." &&
+                toks[i - 2].kind == TokKind::Ident &&
+                toks[i + 1].text == "(" &&
+                toks[i + 2].text == ")") {
+                const std::string &recv = toks[i - 2].text;
+                if (recv == "this")
+                    continue;
+                bool dominated = false;
+                for (size_t k = b; k + 2 < i; ++k) {
+                    if (toks[k].text == recv &&
+                        toks[k + 1].text == "." &&
+                        (toks[k + 2].text == "ok" ||
+                         toks[k + 2].text == "isOk" ||
+                         toks[k + 2].text == "status" ||
+                         toks[k + 2].text == "has_value")) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (!dominated) {
+                    out.push_back(
+                        {"status", file.rel, t.line,
+                         "'" + recv +
+                             ".value()' without a prior '" + recv +
+                             ".ok()' check in this function — "
+                             "value() on an error Result is "
+                             "undefined"});
+                }
+                continue;
+            }
+
+            // Status s = ...; with s never mentioned again.
+            if (t.text == "Status" && t.kind == TokKind::Ident &&
+                i + 2 < e && toks[i + 1].kind == TokKind::Ident &&
+                (toks[i + 2].text == "=" ||
+                 toks[i + 2].text == ";" ||
+                 toks[i + 2].text == "{") &&
+                !(i > b && (toks[i - 1].kind == TokKind::Ident ||
+                            toks[i - 1].text == "::"))) {
+                const std::string &var = toks[i + 1].text;
+                // End of the declaration statement.
+                size_t stmt_end = i + 2;
+                int depth = 0;
+                while (stmt_end < e) {
+                    const std::string &s = toks[stmt_end].text;
+                    if (s == "(" || s == "{" || s == "[")
+                        ++depth;
+                    else if (s == ")" || s == "}" || s == "]")
+                        --depth;
+                    else if (s == ";" && depth <= 0)
+                        break;
+                    ++stmt_end;
+                }
+                bool used = false;
+                for (size_t k = stmt_end; k < e && !used; ++k)
+                    used = toks[k].kind == TokKind::Ident &&
+                           toks[k].text == var;
+                if (!used) {
+                    out.push_back(
+                        {"status", file.rel, t.line,
+                         "Status '" + var +
+                             "' is constructed but never checked "
+                             "or returned"});
+                }
+            }
+        }
+    }
+}
+
+} // namespace ethkv::analyze

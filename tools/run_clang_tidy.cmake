@@ -29,9 +29,36 @@ if(NOT EXISTS ${BUILD_DIR}/compile_commands.json)
             "(the top-level CMakeLists does this by default)")
 endif()
 
-file(GLOB_RECURSE TIDY_SOURCES
-     ${SOURCE_DIR}/src/*.cc
-     ${SOURCE_DIR}/tools/*.cc)
+# Tidy exactly what the build compiles: derive the file list from
+# compile_commands.json instead of a directory glob, so generated
+# or excluded sources can never drift the two lists apart (a glob
+# happily feeds clang-tidy a file with no compile command, which
+# fails with a missing-flags error instead of a lint finding).
+file(READ ${BUILD_DIR}/compile_commands.json COMPILE_DB)
+string(REGEX MATCHALL "\"file\": \"[^\"]+\"" DB_ENTRIES
+       "${COMPILE_DB}")
+set(TIDY_SOURCES "")
+foreach(entry IN LISTS DB_ENTRIES)
+    string(REGEX REPLACE "\"file\": \"([^\"]+)\"" "\\1" entry_file
+           "${entry}")
+    # Only first-party sources; tests, bench, and examples keep
+    # their own looser style.
+    if(entry_file MATCHES "/src/.*\\.cc$" OR
+       entry_file MATCHES "/tools/.*\\.cc$")
+        list(APPEND TIDY_SOURCES ${entry_file})
+    endif()
+endforeach()
+list(REMOVE_DUPLICATES TIDY_SOURCES)
+list(LENGTH TIDY_SOURCES TIDY_COUNT)
+
+if(TIDY_COUNT EQUAL 0)
+    message(FATAL_ERROR
+            "no src/ or tools/ entries in "
+            "${BUILD_DIR}/compile_commands.json")
+endif()
+
+message(STATUS "clang-tidy over ${TIDY_COUNT} sources from "
+               "compile_commands.json")
 
 execute_process(
     COMMAND ${CLANG_TIDY_EXE} -p ${BUILD_DIR} --quiet
