@@ -30,6 +30,13 @@
  * and record metrics while holding its own lock, so the
  * maintenance and observability locks rank above it; the metrics
  * registry is a leaf everyone may record into and ranks last.
+ *
+ * Replication (DESIGN.md §13): the sender and follower threads are
+ * outermost frames of their own (they hand completions to workers,
+ * so they rank below Worker::mutex); ReplicatedKVStore wraps the
+ * engine inside a worker request and must nest between the worker
+ * lock and the engine locks; its ReplicationLog is taken while the
+ * store lock is held, hence one notch above.
  */
 
 #ifndef ETHKV_COMMON_LOCK_RANKS_HH
@@ -38,7 +45,12 @@
 namespace ethkv::lock_ranks
 {
 
+inline constexpr int kReplHub = 3;
+inline constexpr int kReplSender = 5;
+inline constexpr int kReplFollower = 8;
 inline constexpr int kServerWorker = 10;
+inline constexpr int kReplStore = 15;
+inline constexpr int kReplLog = 17;
 inline constexpr int kHybridRoute = 20;
 inline constexpr int kClassCache = 25;
 inline constexpr int kLockedStore = 30;
@@ -58,7 +70,12 @@ struct Entry
 /** The authoritative rank table (parsed by tools/ethkv_analyze —
  *  keep entries in the `{ "name", constant }` shape). */
 inline constexpr Entry kLockRanks[] = {
+    {"ReplicationHub::mutex_", kReplHub},
+    {"ReplicationSender::mutex_", kReplSender},
+    {"FollowerClient::mutex_", kReplFollower},
     {"Server::Worker::mutex", kServerWorker},
+    {"ReplicatedKVStore::mutex_", kReplStore},
+    {"ReplicationLog::mutex_", kReplLog},
     {"HybridKVStore::route_mutex_", kHybridRoute},
     {"HybridKVStore::mutexAt()", kHybridRoute},
     {"CachingKVStore::mutex_", kClassCache},

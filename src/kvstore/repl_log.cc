@@ -1,0 +1,420 @@
+#include "kvstore/repl_log.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/dcheck.hh"
+#include "kvstore/wal.hh"
+
+namespace ethkv::kv
+{
+
+namespace
+{
+
+constexpr uint64_t kFirstSegment = 1;
+
+/** Sealed-segment read window slack: enough for a typical record
+ *  so one read usually covers the budget without a second probe. */
+constexpr uint64_t kReadSlack = 64u << 10;
+
+std::string
+segmentName(uint64_t index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "repl-%06llu.log",
+                  static_cast<unsigned long long>(index));
+    return buf;
+}
+
+} // namespace
+
+ReplicationLog::ReplicationLog(const ReplLogOptions &options)
+    : options_(options),
+      env_(options.env ? options.env : Env::defaultEnv())
+{}
+
+ReplicationLog::~ReplicationLog()
+{
+    MutexLock lock(mutex_);
+    if (active_) {
+        ETHKV_IGNORE_STATUS(active_->close(),
+                            "best-effort close in dtor; unsynced "
+                            "bytes were never promised durable");
+    }
+}
+
+std::string
+ReplicationLog::segmentPath(uint64_t index) const
+{
+    return options_.dir + "/" + segmentName(index);
+}
+
+Result<std::unique_ptr<ReplicationLog>>
+ReplicationLog::open(const ReplLogOptions &options)
+{
+    if (options.dir.empty())
+        return Status::invalidArgument("repl log needs a dir");
+    auto log =
+        std::unique_ptr<ReplicationLog>(new ReplicationLog(options));
+    Env *env = log->env_;
+    Status s = env->createDirs(options.dir);
+    if (!s.isOk())
+        return s;
+
+    MutexLock lock(log->mutex_);
+
+    // Probe the dense numbering (Env has no directory listing).
+    std::vector<uint64_t> sizes;
+    for (uint64_t i = kFirstSegment;; ++i) {
+        const std::string path = log->segmentPath(i);
+        if (!env->fileExists(path))
+            break;
+        auto size = env->fileSize(path);
+        if (!size.ok())
+            return size.status();
+        sizes.push_back(size.value());
+    }
+
+    // Validate every segment in order; the log ends at the first
+    // record that does not decode.
+    const std::string quarantine_dir = options.dir + "/quarantine";
+    uint64_t offset = 0;
+    bool truncated_stream = false;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        const uint64_t index = kFirstSegment + i;
+        const std::string path = log->segmentPath(index);
+        if (truncated_stream) {
+            // Bytes past a corrupt record are meaningless; keep
+            // them for forensics, off the dense numbering.
+            uint64_t salvaged = 0;
+            s = env->quarantineTail(path, 0, quarantine_dir,
+                                    &salvaged);
+            if (!s.isOk())
+                return s;
+            s = env->removeFile(path);
+            if (!s.isOk())
+                return s;
+            continue;
+        }
+        Bytes data;
+        s = env->readFileToString(path, data);
+        if (!s.isOk())
+            return s;
+        size_t pos = 0;
+        uint64_t seg_last_seq = log->last_seq_;
+        uint64_t seg_records = 0;
+        for (;;) {
+            WriteBatch batch;
+            uint64_t first_seq = 0;
+            Status rec =
+                decodeWalRecord(data, pos, batch, first_seq);
+            if (!rec.isOk())
+                break; // clean EOF, torn tail, or corruption
+            if (batch.size() > 0)
+                seg_last_seq = first_seq + batch.size() - 1;
+            ++seg_records;
+        }
+        if (pos < data.size()) {
+            // Torn or corrupt tail: quarantine the bad bytes and
+            // drop every later segment from the stream.
+            uint64_t salvaged = 0;
+            s = env->quarantineTail(path, pos, quarantine_dir,
+                                    &salvaged);
+            if (!s.isOk())
+                return s;
+            truncated_stream = true;
+        }
+        log->segments_.push_back(
+            ReplSegment{index, offset, pos});
+        offset += pos;
+        log->last_seq_ = seg_last_seq;
+        log->record_count_ += seg_records;
+    }
+    if (log->segments_.empty()) {
+        log->segments_.push_back(
+            ReplSegment{kFirstSegment, 0, 0});
+    }
+    log->end_offset_ = offset;
+
+    s = log->openActiveLocked();
+    if (!s.isOk())
+        return s;
+    if (options.sync_appends) {
+        // Pin the active segment's directory entry: fdatasync on
+        // the file alone leaves a freshly created segment
+        // unreachable after power loss (the engine WAL does the
+        // same dance in log_store.cc).
+        s = env->syncDir(options.dir);
+        if (!s.isOk())
+            return s;
+    }
+    return log;
+}
+
+Status
+ReplicationLog::openActiveLocked()
+{
+    const ReplSegment &last = segments_.back();
+    const std::string path = segmentPath(last.index);
+    active_buf_.clear();
+    if (last.length > 0) {
+        Status s = env_->readFileToString(path, active_buf_);
+        if (!s.isOk())
+            return s;
+        ETHKV_DCHECK(active_buf_.size() == last.length);
+    }
+    auto file = env_->newAppendableFile(path);
+    if (!file.ok())
+        return file.status();
+    active_ = file.take();
+    return Status::ok();
+}
+
+Status
+ReplicationLog::rotateIfNeededLocked()
+{
+    ReplSegment &last = segments_.back();
+    if (last.length < options_.segment_bytes)
+        return Status::ok();
+    if (options_.sync_appends) {
+        Status s = active_->sync();
+        if (!s.isOk())
+            return s;
+    }
+    Status s = active_->close();
+    if (!s.isOk())
+        return s;
+    const uint64_t next = last.index + 1;
+    auto file = env_->newWritableFile(segmentPath(next));
+    if (!file.ok())
+        return file.status();
+    active_ = file.take();
+    active_buf_.clear();
+    segments_.push_back(ReplSegment{next, end_offset_, 0});
+    if (options_.sync_appends) {
+        // Persist the new directory entry so the segment chain
+        // survives power loss without a hole.
+        Status dir_s = env_->syncDir(options_.dir);
+        if (!dir_s.isOk())
+            return dir_s;
+    }
+    return Status::ok();
+}
+
+Status
+ReplicationLog::appendRecordLocked(BytesView record,
+                                   uint64_t last_seq)
+{
+    Status s = rotateIfNeededLocked();
+    if (!s.isOk())
+        return s;
+    s = active_->append(record);
+    if (!s.isOk())
+        return s;
+    if (options_.sync_appends) {
+        s = active_->sync();
+        if (!s.isOk())
+            return s;
+    }
+    active_buf_.append(record);
+    segments_.back().length += record.size();
+    end_offset_ += record.size();
+    if (last_seq > 0)
+        last_seq_ = last_seq;
+    ++record_count_;
+    return Status::ok();
+}
+
+Status
+ReplicationLog::append(const WriteBatch &batch, uint64_t first_seq,
+                       uint64_t *end_offset)
+{
+    Bytes record;
+    appendWalRecord(record, batch, first_seq);
+    const uint64_t last_seq =
+        batch.size() > 0 ? first_seq + batch.size() - 1 : 0;
+
+    MutexLock lock(mutex_);
+    Status s = appendRecordLocked(record, last_seq);
+    if (!s.isOk())
+        return s;
+    if (end_offset)
+        *end_offset = end_offset_;
+    return Status::ok();
+}
+
+Status
+ReplicationLog::appendRaw(BytesView records, uint64_t *end_offset)
+{
+    // Validate before touching the file: every record must be
+    // whole and intact, or the identical-bytes invariant breaks.
+    struct Piece
+    {
+        size_t pos;
+        size_t len;
+        uint64_t last_seq;
+    };
+    std::vector<Piece> pieces;
+    size_t pos = 0;
+    while (pos < records.size()) {
+        WriteBatch batch;
+        uint64_t first_seq = 0;
+        size_t start = pos;
+        Status s =
+            decodeWalRecord(records, pos, batch, first_seq);
+        if (!s.isOk())
+            return Status::corruption(
+                "appendRaw: partial or corrupt record at byte " +
+                std::to_string(start));
+        pieces.push_back(Piece{
+            start, pos - start,
+            batch.size() > 0 ? first_seq + batch.size() - 1 : 0});
+    }
+
+    MutexLock lock(mutex_);
+    for (const Piece &p : pieces) {
+        Status s = appendRecordLocked(
+            records.substr(p.pos, p.len), p.last_seq);
+        if (!s.isOk())
+            return s;
+    }
+    if (end_offset)
+        *end_offset = end_offset_;
+    return Status::ok();
+}
+
+Status
+ReplicationLog::read(uint64_t offset, size_t max_bytes, Bytes &out)
+{
+    MutexLock lock(mutex_);
+    if (offset > end_offset_)
+        return Status::invalidArgument(
+            "repl read offset " + std::to_string(offset) +
+            " past end " + std::to_string(end_offset_));
+
+    size_t appended = 0;
+    while (offset < end_offset_ && appended < max_bytes) {
+        // Segment containing offset (last segment whose start is
+        // <= offset and that has bytes past it).
+        const ReplSegment *seg = nullptr;
+        for (const ReplSegment &candidate : segments_) {
+            if (candidate.start_offset <= offset &&
+                offset < candidate.start_offset + candidate.length)
+                seg = &candidate;
+        }
+        if (!seg)
+            break; // only zero-length tail segments remain
+        const uint64_t rel = offset - seg->start_offset;
+        const bool is_active = seg == &segments_.back();
+
+        Bytes sealed;
+        BytesView view;
+        if (is_active) {
+            view = BytesView(active_buf_).substr(rel);
+        } else {
+            uint64_t want = std::min<uint64_t>(
+                seg->length - rel,
+                max_bytes - appended + kReadSlack);
+            auto file =
+                env_->newRandomAccessFile(segmentPath(seg->index));
+            if (!file.ok())
+                return file.status();
+            Status s =
+                file.value()->read(rel, want, sealed);
+            if (!s.isOk())
+                return s;
+            view = sealed;
+            // The window may be smaller than the one record at
+            // offset; retry with the segment remainder so the
+            // caller always makes progress.
+            size_t probe_len = 0;
+            Status probe = peekWalRecord(view, 0, probe_len);
+            if (probe.code() == StatusCode::NotFound &&
+                want < seg->length - rel) {
+                sealed.clear();
+                s = file.value()->read(rel, seg->length - rel,
+                                       sealed);
+                if (!s.isOk())
+                    return s;
+                view = sealed;
+            }
+        }
+
+        // After the retry above, a sealed-segment view always
+        // covers the record at `offset` whole; the active view
+        // covers to the validated end. So NotFound at the window
+        // start cannot mean "short window" — the offset points
+        // into the middle of a record.
+        const bool covers_tail =
+            is_active || rel + view.size() == seg->length;
+        size_t pos = 0;
+        while (pos < view.size()) {
+            size_t len = 0;
+            Status s = peekWalRecord(view, pos, len);
+            if (s.code() == StatusCode::NotFound) {
+                if (pos == 0 && covers_tail)
+                    return Status::invalidArgument(
+                        "repl read offset " +
+                        std::to_string(offset) +
+                        " is not a record boundary");
+                break; // window ends mid-record
+            }
+            if (!s.isOk()) {
+                if (appended == 0 && pos == 0)
+                    return Status::invalidArgument(
+                        "repl read offset " +
+                        std::to_string(offset) +
+                        " is not a record boundary");
+                return s;
+            }
+            if (appended + pos > 0 &&
+                appended + pos + len > max_bytes)
+                break; // budget reached (first record exempt)
+            pos += len;
+        }
+        if (pos == 0)
+            break;
+        out.append(view.substr(0, pos));
+        appended += pos;
+        offset += pos;
+    }
+    return Status::ok();
+}
+
+uint64_t
+ReplicationLog::endOffset() const
+{
+    MutexLock lock(mutex_);
+    return end_offset_;
+}
+
+uint64_t
+ReplicationLog::lastSeq() const
+{
+    MutexLock lock(mutex_);
+    return last_seq_;
+}
+
+uint64_t
+ReplicationLog::recordCount() const
+{
+    MutexLock lock(mutex_);
+    return record_count_;
+}
+
+Status
+ReplicationLog::sync()
+{
+    MutexLock lock(mutex_);
+    return active_->sync();
+}
+
+std::vector<ReplSegment>
+ReplicationLog::segments() const
+{
+    MutexLock lock(mutex_);
+    return segments_;
+}
+
+} // namespace ethkv::kv

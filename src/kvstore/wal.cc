@@ -90,6 +90,50 @@ decodePayload(BytesView payload, WriteBatch &batch,
 
 } // namespace
 
+void
+appendWalRecord(Bytes &out, const WriteBatch &batch,
+                uint64_t first_seq)
+{
+    Bytes payload = encodePayload(batch, first_seq);
+    out.reserve(out.size() + 12 + payload.size());
+    appendBE32(out, static_cast<uint32_t>(payload.size()));
+    appendBE64(out, xxhash64(payload));
+    out += payload;
+}
+
+Status
+peekWalRecord(BytesView data, size_t pos, size_t &len)
+{
+    if (pos + 12 > data.size())
+        return Status::notFound(); // torn header / clean EOF
+    const auto *hp =
+        reinterpret_cast<const unsigned char *>(data.data() + pos);
+    uint32_t payload_len = readBE32(hp);
+    uint64_t checksum = readBE64(hp + 4);
+    if (pos + 12 + payload_len > data.size())
+        return Status::notFound(); // torn payload
+    BytesView payload = data.substr(pos + 12, payload_len);
+    if (xxhash64(payload) != checksum)
+        return Status::corruption("wal record checksum mismatch");
+    len = 12 + static_cast<size_t>(payload_len);
+    return Status::ok();
+}
+
+Status
+decodeWalRecord(BytesView data, size_t &pos, WriteBatch &batch,
+                uint64_t &first_seq)
+{
+    size_t len = 0;
+    Status s = peekWalRecord(data, pos, len);
+    if (!s.isOk())
+        return s;
+    BytesView payload = data.substr(pos + 12, len - 12);
+    if (!decodePayload(payload, batch, first_seq))
+        return Status::corruption("wal record payload malformed");
+    pos += len;
+    return Status::ok();
+}
+
 WriteAheadLog::WriteAheadLog(std::string path, Env *env,
                              std::unique_ptr<WritableFile> file,
                              uint64_t size_bytes)
@@ -125,12 +169,8 @@ WriteAheadLog::open(const std::string &path, Env *env)
 Status
 WriteAheadLog::append(const WriteBatch &batch, uint64_t first_seq)
 {
-    Bytes payload = encodePayload(batch, first_seq);
     Bytes record;
-    record.reserve(12 + payload.size());
-    appendBE32(record, static_cast<uint32_t>(payload.size()));
-    appendBE64(record, xxhash64(payload));
-    record += payload;
+    appendWalRecord(record, batch, first_seq);
 
     Status s = file_->append(record);
     if (!s.isOk())
@@ -180,23 +220,10 @@ WriteAheadLog::replay(
 
     size_t pos = 0;
     for (;;) {
-        if (pos + 12 > data.size())
-            break; // clean EOF or torn header
-        const auto *hp = reinterpret_cast<const unsigned char *>(
-            data.data() + pos);
-        uint32_t len = readBE32(hp);
-        uint64_t checksum = readBE64(hp + 4);
-        if (pos + 12 + len > data.size())
-            break; // torn payload
-        BytesView payload = BytesView(data).substr(pos + 12, len);
-        if (xxhash64(payload) != checksum)
-            break; // corrupt record; stop replay here
-
         WriteBatch batch;
         uint64_t first_seq;
-        if (!decodePayload(payload, batch, first_seq))
-            break;
-        pos += 12 + len;
+        if (!decodeWalRecord(data, pos, batch, first_seq).isOk())
+            break; // clean EOF, torn tail, or corrupt record
         if (valid_bytes)
             *valid_bytes = pos;
         cb(batch, first_seq);

@@ -27,6 +27,40 @@
 namespace ethkv::kv
 {
 
+// -- Record codec ------------------------------------------------
+//
+// The WAL record format is also the replication wire/log format
+// (kvstore/repl_log.hh): followers append the primary's bytes
+// verbatim, so both sides must agree on one encoder. These helpers
+// are that single point of truth.
+
+/**
+ * Append one framed record for `batch` to out:
+ *   [u32 BE payload length][u64 BE xxhash64(payload)][payload]
+ */
+void appendWalRecord(Bytes &out, const WriteBatch &batch,
+                     uint64_t first_seq);
+
+/**
+ * Decode the framed record starting at data[pos].
+ *
+ * @return Ok — batch/first_seq filled, pos advanced past the
+ *         record; NotFound — data ends before a complete record
+ *         (clean EOF or torn tail); Corruption — checksum or
+ *         payload is invalid (pos unchanged in both error cases).
+ */
+Status decodeWalRecord(BytesView data, size_t &pos,
+                       WriteBatch &batch, uint64_t &first_seq);
+
+/**
+ * Length of the framed record starting at data[pos], without
+ * decoding the payload (header + checksum are verified).
+ *
+ * Same return contract as decodeWalRecord; on Ok, len receives the
+ * full framed length (12 + payload) and pos is NOT advanced.
+ */
+Status peekWalRecord(BytesView data, size_t pos, size_t &len);
+
 /**
  * Append-only, checksummed batch log.
  *

@@ -22,9 +22,15 @@ nowNs()
 /**
  * Read frames off a blocking fd until the reader yields one.
  * Shared by both clients.
+ *
+ * With io_timeout_ms > 0 the fd has SO_RCVTIMEO set, so a read
+ * that stalls past the budget surfaces as WouldBlock — on a
+ * blocking fd that means "timed out", and we fail the call rather
+ * than wait on a server that stopped answering.
  */
 Status
-recvFrame(int fd, FrameReader &reader, Bytes &scratch, Frame &out)
+recvFrame(int fd, FrameReader &reader, Bytes &scratch, Frame &out,
+          int io_timeout_ms)
 {
     while (true) {
         Status s = reader.next(out);
@@ -42,6 +48,11 @@ recvFrame(int fd, FrameReader &reader, Bytes &scratch, Frame &out)
           case net::IoResult::Eof:
             return Status::ioError("server closed the connection");
           case net::IoResult::WouldBlock: {
+            if (io_timeout_ms > 0) {
+                return Status::ioError(
+                    "read timed out after " +
+                    std::to_string(io_timeout_ms) + " ms");
+            }
             Status w = net::waitReadable(fd, -1);
             if (!w.isOk())
                 return w;
@@ -51,6 +62,29 @@ recvFrame(int fd, FrameReader &reader, Bytes &scratch, Frame &out)
             return err;
         }
     }
+}
+
+/**
+ * Connect + apply per-call I/O bounds; shared by both opens.
+ */
+Result<int>
+openSocket(const std::string &host, uint16_t port,
+           const ClientOptions &opts)
+{
+    auto fd = net::connectTcpTimeout(host, port,
+                                     opts.connect_timeout_ms);
+    if (!fd.ok())
+        return fd.status();
+    if (opts.io_timeout_ms > 0) {
+        Status s = net::setIoTimeouts(fd.value(),
+                                      opts.io_timeout_ms,
+                                      opts.io_timeout_ms);
+        if (!s.isOk()) {
+            net::closeFd(fd.value());
+            return s;
+        }
+    }
+    return fd;
 }
 
 /** Turn a response frame into a Status (Ok keeps payload as data). */
@@ -93,12 +127,14 @@ emitClientSpan(obs::TraceEventLog *log, Opcode op, uint32_t tid,
 // -- Client ------------------------------------------------------
 
 Result<std::unique_ptr<Client>>
-Client::open(const std::string &host, uint16_t port)
+Client::open(const std::string &host, uint16_t port,
+             const ClientOptions &opts)
 {
-    auto fd = net::connectTcp(host, port);
+    auto fd = openSocket(host, port, opts);
     if (!fd.ok())
         return fd.status();
-    return std::unique_ptr<Client>(new Client(fd.value()));
+    return std::unique_ptr<Client>(
+        new Client(fd.value(), opts.io_timeout_ms));
 }
 
 Client::~Client()
@@ -144,12 +180,13 @@ Client::roundTrip(Opcode op, BytesView payload, Frame &reply)
         appendFrame(frame, static_cast<uint8_t>(op), id, payload);
     }
     uint64_t start_ns = nowNs();
-    Status s = net::writeAll(fd_, frame);
+    Status s = net::writeAllTimed(
+        fd_, frame, io_timeout_ms_ > 0 ? io_timeout_ms_ : -1);
     if (!s.isOk())
         return s;
 
     FrameReader reader; // one frame per round trip: local reader
-    s = recvFrame(fd_, reader, scratch_, reply);
+    s = recvFrame(fd_, reader, scratch_, reply, io_timeout_ms_);
     if (!s.isOk())
         return s;
     if (reply.request_id != id) {
@@ -252,6 +289,19 @@ Client::traceDump(Bytes &json_out)
 }
 
 Status
+Client::promote(uint64_t &end_offset)
+{
+    Frame reply;
+    Status s = roundTrip(Opcode::Promote, BytesView(), reply);
+    if (!s.isOk())
+        return s;
+    s = responseStatus(reply);
+    if (!s.isOk())
+        return s;
+    return decodePromoteResponse(reply.payload, end_offset);
+}
+
+Status
 Client::slowLog(Bytes &json_out)
 {
     Frame reply;
@@ -268,15 +318,17 @@ Client::slowLog(Bytes &json_out)
 
 Result<std::unique_ptr<PipelinedClient>>
 PipelinedClient::open(const std::string &host, uint16_t port,
-                      size_t window, Completion on_complete)
+                      size_t window, Completion on_complete,
+                      const ClientOptions &opts)
 {
     if (window == 0)
         return Status::invalidArgument("window must be >= 1");
-    auto fd = net::connectTcp(host, port);
+    auto fd = openSocket(host, port, opts);
     if (!fd.ok())
         return fd.status();
     return std::unique_ptr<PipelinedClient>(new PipelinedClient(
-        fd.value(), window, std::move(on_complete)));
+        fd.value(), opts.io_timeout_ms, window,
+        std::move(on_complete)));
 }
 
 PipelinedClient::~PipelinedClient()
@@ -328,7 +380,8 @@ PipelinedClient::submit(Opcode op, BytesView payload)
     } else {
         appendFrame(frame, static_cast<uint8_t>(op), id, payload);
     }
-    Status s = net::writeAll(fd_, frame);
+    Status s = net::writeAllTimed(
+        fd_, frame, io_timeout_ms_ > 0 ? io_timeout_ms_ : -1);
     if (!s.isOk())
         return s;
     pending_.push_back({id, op, nowNs(), trace_id, traced});
@@ -341,7 +394,8 @@ PipelinedClient::reapOne()
     if (pending_.empty())
         return Status::ok();
     Frame reply;
-    Status s = recvFrame(fd_, reader_, scratch_, reply);
+    Status s = recvFrame(fd_, reader_, scratch_, reply,
+                         io_timeout_ms_);
     if (!s.isOk())
         return s;
     Pending oldest = pending_.front();

@@ -17,6 +17,11 @@
  *    uses to keep the server busy without a thread per request.
  *
  * Neither client is thread-safe; use one instance per thread.
+ *
+ * Both clients bound their syscalls (ClientOptions): connects and
+ * per-call reads/writes time out instead of hanging on a dead or
+ * wedged server, and writes are SIGPIPE-safe (a closed peer is an
+ * IOError, never a fatal signal).
  */
 
 #ifndef ETHKV_SERVER_CLIENT_HH
@@ -45,13 +50,32 @@ struct ScanResult
     bool truncated = false; //!< Server hit its per-request cap.
 };
 
+/**
+ * Connection bounds shared by both clients.
+ *
+ * The defaults make every client call terminate: a SYN that is
+ * never answered fails after connect_timeout_ms instead of the
+ * kernel's multi-minute retry schedule, and a server that accepts
+ * but never responds (or stops reading) fails a round trip after
+ * io_timeout_ms. Set a field to 0 to wait forever (the pre-timeout
+ * behaviour), e.g. for a debugger-attached server.
+ */
+struct ClientOptions
+{
+    int connect_timeout_ms = 5000;
+    //! Per-syscall read/write budget within a round trip; a round
+    //! trip making steady progress is never cut off.
+    int io_timeout_ms = 10000;
+};
+
 /** Blocking request/response client. */
 class Client
 {
   public:
     /** Establish a TCP session with an ethkvd at host:port. */
     static Result<std::unique_ptr<Client>> open(
-        const std::string &host, uint16_t port);
+        const std::string &host, uint16_t port,
+        const ClientOptions &opts = ClientOptions());
 
     ~Client();
 
@@ -75,6 +99,15 @@ class Client
     Status slowLog(Bytes &json_out);
 
     /**
+     * Promote a follower to primary (PROMOTE). On success
+     * end_offset is the node's replication-log end — the point up
+     * to which it is guaranteed to serve every replicated write.
+     * NotSupported on a node without replication; IODegraded on a
+     * follower that latched read-only after a replay failure.
+     */
+    Status promote(uint64_t &end_offset);
+
+    /**
      * Send every subsequent request as a traced (wire v2) frame
      * and record a client-side span per round trip. Trace ids are
      * trace_id_base + a per-request sequence; pick disjoint bases
@@ -89,12 +122,15 @@ class Client
     void close();
 
   private:
-    explicit Client(int fd) : fd_(fd) {}
+    Client(int fd, int io_timeout_ms)
+        : fd_(fd), io_timeout_ms_(io_timeout_ms)
+    {}
 
     /** Send one request, wait for its response frame. */
     Status roundTrip(Opcode op, BytesView payload, Frame &reply);
 
     int fd_;
+    int io_timeout_ms_ = 0;
     uint32_t next_id_ = 1;
     Bytes scratch_;
     obs::TraceEventLog *trace_log_ = nullptr;
@@ -119,7 +155,8 @@ class PipelinedClient
 
     static Result<std::unique_ptr<PipelinedClient>> open(
         const std::string &host, uint16_t port, size_t window,
-        Completion on_complete);
+        Completion on_complete,
+        const ClientOptions &opts = ClientOptions());
 
     ~PipelinedClient();
 
@@ -146,8 +183,9 @@ class PipelinedClient
     void close();
 
   private:
-    PipelinedClient(int fd, size_t window, Completion on_complete)
-        : fd_(fd), window_(window),
+    PipelinedClient(int fd, int io_timeout_ms, size_t window,
+                    Completion on_complete)
+        : fd_(fd), io_timeout_ms_(io_timeout_ms), window_(window),
           on_complete_(std::move(on_complete))
     {}
 
@@ -167,6 +205,7 @@ class PipelinedClient
     };
 
     int fd_;
+    int io_timeout_ms_ = 0;
     size_t window_;
     Completion on_complete_;
     uint32_t next_id_ = 1;

@@ -54,6 +54,7 @@
 #include "obs/slow_op_log.hh"
 #include "obs/trace_event.hh"
 #include "server/net_socket.hh"
+#include "server/replication.hh"
 #include "server/server.hh"
 
 namespace
@@ -123,6 +124,17 @@ usage(const char *argv0)
         " (default 256)\n"
         "  --metrics-interval <ms>  live snapshot period; 0 = off\n"
         "  --metrics-file <path>    live snapshot destination\n"
+        "  --repl                   replicate: keep a shipping log,"
+        " accept SUBSCRIBE\n"
+        "  --follower-of <h:p>      start as a follower of the"
+        " primary at h:p\n"
+        "  --repl-sync              hold mutation acks until every"
+        " live follower acked\n"
+        "  --repl-segment-bytes <n> replication log segment size\n"
+        "  --repl-ack-timeout-ms <n> sync-ack fail-open deadline"
+        " (default 5000)\n"
+        "  --conn-idle-timeout-ms <n> close idle connections;"
+        " 0 = never (default)\n"
         "\n"
         "SIGUSR1 dumps the slow-op log to stderr and rewrites the"
         " --trace file.\n",
@@ -161,6 +173,13 @@ struct Flags
     uint64_t slow_op_capacity = 256;
     uint64_t metrics_interval_ms = 0;
     std::string metrics_file;
+    bool repl = false;
+    std::string follower_host;
+    uint16_t follower_port = 0;
+    bool repl_sync = false;
+    uint64_t repl_segment_bytes = 0;
+    int repl_ack_timeout_ms = 5000;
+    int conn_idle_timeout_ms = 0;
 };
 
 bool
@@ -228,6 +247,29 @@ parseFlags(int argc, char **argv, Flags &f)
                 next("--metrics-interval"), nullptr, 10);
         } else if (arg == "--metrics-file") {
             f.metrics_file = next("--metrics-file");
+        } else if (arg == "--repl") {
+            f.repl = true;
+        } else if (arg == "--follower-of") {
+            std::string hp = next("--follower-of");
+            size_t colon = hp.rfind(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= hp.size())
+                fatal("--follower-of wants host:port, got %s",
+                      hp.c_str());
+            f.follower_host = hp.substr(0, colon);
+            f.follower_port = static_cast<uint16_t>(
+                std::atoi(hp.c_str() + colon + 1));
+        } else if (arg == "--repl-sync") {
+            f.repl_sync = true;
+        } else if (arg == "--repl-segment-bytes") {
+            f.repl_segment_bytes = std::strtoull(
+                next("--repl-segment-bytes"), nullptr, 10);
+        } else if (arg == "--repl-ack-timeout-ms") {
+            f.repl_ack_timeout_ms =
+                std::atoi(next("--repl-ack-timeout-ms"));
+        } else if (arg == "--conn-idle-timeout-ms") {
+            f.conn_idle_timeout_ms =
+                std::atoi(next("--conn-idle-timeout-ms"));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -388,10 +430,36 @@ main(int argc, char **argv)
     buildEngine(flags, trace_log.get(), stack)
         .expectOk("engine setup");
 
+    // Replication (DESIGN.md §13): the hub owns the shipping log
+    // and wraps the engine so "apply + log append" is one ordered
+    // step. The log lives under <dir>/repl on the same Env as the
+    // engine, so fault drills cover the replication path too.
+    std::unique_ptr<server::ReplicationHub> repl_hub;
+    kv::KVStore *serve = stack.serve;
+    if (flags.repl || !flags.follower_host.empty()) {
+        if (flags.dir.empty())
+            fatal("replication needs --dir");
+        server::ReplicationOptions ropts;
+        ropts.dir = flags.dir + "/repl";
+        ropts.sync_appends = flags.sync;
+        ropts.sync_acks = flags.repl_sync;
+        ropts.ack_timeout_ms = flags.repl_ack_timeout_ms;
+        if (flags.repl_segment_bytes > 0)
+            ropts.segment_bytes = flags.repl_segment_bytes;
+        ropts.primary_host = flags.follower_host;
+        ropts.primary_port = flags.follower_port;
+        ropts.seed = flags.fault_seed;
+        ropts.env = stack.fault_env.get(); // null = Posix
+        auto hub = server::ReplicationHub::open(ropts);
+        hub.status().expectOk("replication log");
+        repl_hub = hub.take();
+        serve = &repl_hub->wrap(*serve);
+    }
+
     // Serve through the measuring decorator so op.engine.* metrics
     // (and the engine rows in STATS) are always populated.
     kv::InstrumentedKVStore instrumented(
-        *stack.serve, obs::MetricsRegistry::global(), "engine");
+        *serve, obs::MetricsRegistry::global(), "engine");
 
     server::ServerOptions options;
     options.host = flags.host;
@@ -406,9 +474,16 @@ main(int argc, char **argv)
     options.slow_op_micros = flags.slow_op_micros;
     options.slow_op_capacity =
         static_cast<size_t>(flags.slow_op_capacity);
+    options.repl = repl_hub.get();
+    options.conn_idle_timeout_ms = flags.conn_idle_timeout_ms;
 
     server::Server srv(instrumented, options);
     srv.start().expectOk("server start");
+    // After the server: start() installed the ack-delivery hook,
+    // and a follower's first replayed batch should find the
+    // listener alive for symmetry with restarts.
+    if (repl_hub)
+        repl_hub->start().expectOk("replication start");
 
     obs::PeriodicMetricsWriter::Options writer_options;
     writer_options.path = flags.metrics_file;
@@ -436,10 +511,13 @@ main(int argc, char **argv)
             .expectOk("port file rename");
     }
 
-    inform("ethkvd: engine=%s addr=%s:%u workers=%d%s",
+    inform("ethkvd: engine=%s addr=%s:%u workers=%d%s%s",
            srv.engineName().c_str(), flags.host.c_str(),
            static_cast<unsigned>(srv.port()), flags.workers,
-           flags.sync ? " sync" : "");
+           flags.sync ? " sync" : "",
+           repl_hub == nullptr   ? ""
+           : repl_hub->isPrimary() ? " role=primary"
+                                   : " role=follower");
 
     auto shutdown_fd = server::net::makeEventFd();
     shutdown_fd.status().expectOk("shutdown eventfd");

@@ -112,6 +112,95 @@ connectTcp(const std::string &host, uint16_t port)
     return fd;
 }
 
+Result<int>
+connectTcpTimeout(const std::string &host, uint16_t port,
+                  int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return connectTcp(host, port);
+    sockaddr_in addr;
+    Status s = makeAddr(host.empty() ? "127.0.0.1" : host, port,
+                        addr);
+    if (!s.isOk())
+        return s;
+    int fd = ::socket(AF_INET,
+                      SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                      0);
+    if (fd < 0)
+        return errnoStatus("socket");
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && errno != EINPROGRESS) {
+        Status e = errnoStatus("connect");
+        ::close(fd);
+        return e;
+    }
+    if (rc != 0) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) {
+            ::close(fd);
+            return Status::ioError("connect timed out after " +
+                                   std::to_string(timeout_ms) +
+                                   " ms");
+        }
+        if (rc < 0) {
+            Status e = errnoStatus("poll(connect)");
+            ::close(fd);
+            return e;
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error,
+                         &len) != 0 ||
+            so_error != 0) {
+            ::close(fd);
+            return Status::ioError(
+                std::string("connect: ") +
+                std::strerror(so_error ? so_error : errno));
+        }
+    }
+    s = setNonBlocking(fd, false);
+    if (s.isOk())
+        s = setNoDelay(fd);
+    if (!s.isOk()) {
+        ::close(fd);
+        return s;
+    }
+    return fd;
+}
+
+Status
+setIoTimeouts(int fd, int recv_timeout_ms, int send_timeout_ms)
+{
+    auto toTimeval = [](int ms) {
+        timeval tv;
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = (ms % 1000) * 1000;
+        return tv;
+    };
+    timeval tv = toTimeval(recv_timeout_ms < 0 ? 0
+                                               : recv_timeout_ms);
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv)) != 0) {
+        return errnoStatus("setsockopt(SO_RCVTIMEO)");
+    }
+    tv = toTimeval(send_timeout_ms < 0 ? 0 : send_timeout_ms);
+    if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                     sizeof(tv)) != 0) {
+        return errnoStatus("setsockopt(SO_SNDTIMEO)");
+    }
+    return Status::ok();
+}
+
 Result<uint16_t>
 localPort(int fd)
 {
@@ -202,7 +291,14 @@ writeSome(int fd, BytesView data, size_t &n, Status &err)
     n = 0;
     ssize_t rc;
     do {
-        rc = ::write(fd, data.data(), data.size());
+        // MSG_NOSIGNAL: a peer that closed mid-write must surface
+        // as EPIPE (IoResult::Error), not kill the process — the
+        // library is used by tools that do not install a SIGPIPE
+        // handler. Non-socket fds (tests over pipes) fall back to
+        // plain write(2).
+        rc = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (rc < 0 && errno == ENOTSOCK)
+            rc = ::write(fd, data.data(), data.size());
     } while (rc < 0 && errno == EINTR);
     if (rc >= 0) {
         n = static_cast<size_t>(rc);
@@ -235,6 +331,52 @@ writeAll(int fd, BytesView data)
             do {
                 rc = ::poll(&pfd, 1, 1000);
             } while (rc < 0 && errno == EINTR);
+            break;
+          }
+          case IoResult::Eof:
+            return Status::ioError("write: peer closed");
+          case IoResult::Error:
+            return err;
+        }
+    }
+    return Status::ok();
+}
+
+Status
+writeAllTimed(int fd, BytesView data, int timeout_ms)
+{
+    if (timeout_ms < 0)
+        return writeAll(fd, data);
+    while (!data.empty()) {
+        size_t n = 0;
+        Status err;
+        switch (writeSome(fd, data, n, err)) {
+          case IoResult::Ok:
+            data.remove_prefix(n);
+            break;
+          case IoResult::WouldBlock: {
+            // Non-blocking fd, or a blocking fd whose SO_SNDTIMEO
+            // expired: give it one bounded poll, then give up.
+            pollfd pfd;
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            pfd.revents = 0;
+            int rc;
+            do {
+                rc = ::poll(&pfd, 1, timeout_ms);
+            } while (rc < 0 && errno == EINTR);
+            if (rc == 0) {
+                return Status::ioError(
+                    "write timed out after " +
+                    std::to_string(timeout_ms) + " ms");
+            }
+            if (rc < 0)
+                return errnoStatus("poll(write)");
+            // Writable again; retry. A peer that stays congested
+            // trips the SO_SNDTIMEO path on the next writeSome and
+            // lands back here — each wait is bounded, and a dead
+            // peer resolves to EPIPE/ECONNRESET, so this cannot
+            // spin forever without progress.
             break;
           }
           case IoResult::Eof:

@@ -50,6 +50,27 @@ Result<int> listenTcp(const std::string &host, uint16_t port,
 /** Blocking connect to host:port; returns a blocking fd. */
 Result<int> connectTcp(const std::string &host, uint16_t port);
 
+/**
+ * Connect with a bounded wait; returns a blocking fd.
+ *
+ * timeout_ms <= 0 degenerates to the unbounded connectTcp. A peer
+ * that accepts but never answers is the caller's problem — pair
+ * with setIoTimeouts.
+ */
+Result<int> connectTcpTimeout(const std::string &host,
+                              uint16_t port, int timeout_ms);
+
+/**
+ * Bound blocking reads/writes on fd (SO_RCVTIMEO / SO_SNDTIMEO;
+ * 0 = wait forever). After the deadline the call fails with
+ * EAGAIN, which readSome/writeSome surface as WouldBlock — on a
+ * blocking fd that means "timed out", and deadline-aware callers
+ * (writeAllTimed, the clients) turn it into an IOError instead of
+ * retrying forever.
+ */
+Status setIoTimeouts(int fd, int recv_timeout_ms,
+                     int send_timeout_ms);
+
 /** The locally bound port of a socket (after listenTcp port 0). */
 Result<uint16_t> localPort(int fd);
 
@@ -76,11 +97,20 @@ Status setNoDelay(int fd);
 IoResult readSome(int fd, Bytes &buf, size_t cap, size_t &n,
                   Status &err);
 
-/** Write up to len bytes from data; n receives the count on Ok. */
+/** Write up to len bytes from data; n receives the count on Ok.
+ *  SIGPIPE-safe: a closed peer is IoResult::Error, never a
+ *  process-killing signal (send MSG_NOSIGNAL). */
 IoResult writeSome(int fd, BytesView data, size_t &n, Status &err);
 
 /** Write ALL of data on a blocking fd (client side). */
 Status writeAll(int fd, BytesView data);
+
+/**
+ * Write ALL of data, failing with IOError once timeout_ms elapses
+ * without the socket accepting bytes. timeout_ms < 0 = forever
+ * (plain writeAll).
+ */
+Status writeAllTimed(int fd, BytesView data, int timeout_ms);
 
 /**
  * Read exactly n bytes on a blocking fd, appended to out.

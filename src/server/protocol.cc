@@ -84,6 +84,10 @@ opcodeName(uint8_t opcode)
       case Opcode::Stats: return "stats";
       case Opcode::TraceDump: return "tracedump";
       case Opcode::SlowLog: return "slowlog";
+      case Opcode::Subscribe: return "subscribe";
+      case Opcode::Promote: return "promote";
+      case Opcode::ReplAck: return "replack";
+      case Opcode::ReplBatch: return "replbatch";
     }
     return "other";
 }
@@ -118,6 +122,10 @@ statusOfWire(WireStatus code, const std::string &msg)
       case WireStatus::NotSupported:
         return Status::notSupported(msg);
       case WireStatus::IODegraded: return Status::ioDegraded(msg);
+      case WireStatus::NotPrimary:
+        // No StatusCode of its own: a follower rejecting a
+        // mutation is a usage error, not an engine fault.
+        return Status::notSupported("not primary: " + msg);
       case WireStatus::BadFrame:
         return Status::corruption("peer rejected frame: " + msg);
     }
@@ -376,6 +384,112 @@ encodeScanResponse(Bytes &out, const std::vector<ScanEntry> &entries,
         appendBlob(out, e.value);
     }
     out.push_back(truncated ? 1 : 0);
+}
+
+// -- Replication payloads ----------------------------------------
+
+void
+encodeSubscribe(Bytes &out, uint64_t resume_offset)
+{
+    appendVarint(out, resume_offset);
+}
+
+Status
+decodeSubscribe(BytesView payload, uint64_t &resume_offset)
+{
+    size_t pos = 0;
+    if (!readVarint(payload, pos, resume_offset))
+        return malformed("SUBSCRIBE offset");
+    if (pos != payload.size())
+        return malformed("SUBSCRIBE trailing bytes");
+    return Status::ok();
+}
+
+void
+encodeSubscribeResponse(Bytes &out, uint64_t resume_offset,
+                        uint64_t end_offset)
+{
+    appendVarint(out, resume_offset);
+    appendVarint(out, end_offset);
+}
+
+Status
+decodeSubscribeResponse(BytesView payload, uint64_t &resume_offset,
+                        uint64_t &end_offset)
+{
+    size_t pos = 0;
+    if (!readVarint(payload, pos, resume_offset))
+        return malformed("SUBSCRIBE response offset");
+    if (!readVarint(payload, pos, end_offset))
+        return malformed("SUBSCRIBE response end");
+    if (pos != payload.size())
+        return malformed("SUBSCRIBE response trailing bytes");
+    return Status::ok();
+}
+
+void
+encodeReplBatch(Bytes &out, uint64_t start_offset, uint64_t log_end,
+                uint64_t last_seq, BytesView records)
+{
+    appendVarint(out, start_offset);
+    appendVarint(out, log_end);
+    appendVarint(out, last_seq);
+    out.append(records);
+}
+
+Status
+decodeReplBatch(BytesView payload, uint64_t &start_offset,
+                uint64_t &log_end, uint64_t &last_seq,
+                BytesView &records)
+{
+    size_t pos = 0;
+    if (!readVarint(payload, pos, start_offset))
+        return malformed("REPLBATCH offset");
+    if (!readVarint(payload, pos, log_end))
+        return malformed("REPLBATCH log end");
+    if (!readVarint(payload, pos, last_seq))
+        return malformed("REPLBATCH last seq");
+    records = payload.substr(pos);
+    return Status::ok();
+}
+
+void
+encodeReplAck(Bytes &out, uint64_t applied_offset,
+              uint64_t applied_seq)
+{
+    appendVarint(out, applied_offset);
+    appendVarint(out, applied_seq);
+}
+
+Status
+decodeReplAck(BytesView payload, uint64_t &applied_offset,
+              uint64_t &applied_seq)
+{
+    size_t pos = 0;
+    if (!readVarint(payload, pos, applied_offset))
+        return malformed("REPLACK offset");
+    if (!readVarint(payload, pos, applied_seq))
+        return malformed("REPLACK seq");
+    if (pos != payload.size())
+        return malformed("REPLACK trailing bytes");
+    return Status::ok();
+}
+
+void
+encodePromoteResponse(Bytes &out, uint64_t end_offset)
+{
+    appendVarint(out, end_offset);
+}
+
+Status
+decodePromoteResponse(BytesView payload, uint64_t &end_offset)
+{
+    size_t pos = 0;
+    if (!readVarint(payload, pos, end_offset))
+        return malformed("PROMOTE response offset");
+    if (pos != payload.size())
+        return malformed("PROMOTE response trailing bytes");
+    return Status::ok();
 }
 
 Status

@@ -99,6 +99,11 @@ enum class Opcode : uint8_t
     Stats = 6,
     TraceDump = 7,
     SlowLog = 8,
+    // -- Replication (DESIGN.md §13) -----------------------------
+    Subscribe = 9, //!< Follower -> primary: start streaming.
+    Promote = 10,  //!< Admin -> follower: become primary.
+    ReplAck = 11,  //!< Follower -> primary: applied through offset.
+    ReplBatch = 12, //!< Primary -> follower: raw log records.
 };
 
 /** Lower-case opcode name ("get", ...; "other" when unknown). */
@@ -121,6 +126,7 @@ enum class WireStatus : uint8_t
     InvalidArgument = 4,
     NotSupported = 5,
     IODegraded = 6,
+    NotPrimary = 7, //!< Mutation sent to a follower.
     BadFrame = 100,
 };
 
@@ -237,6 +243,46 @@ void encodeScanResponse(Bytes &out,
 Status decodeScanResponse(BytesView payload,
                           std::vector<ScanEntry> &entries,
                           bool &truncated);
+
+// -- Replication payloads (DESIGN.md §13) ------------------------
+//
+// SUBSCRIBE    resume_offset — the follower's validated log end;
+//              the primary streams from there.
+// SUBSCRIBE ok resume_offset (echoed, possibly rounded down to a
+//              record boundary) + primary end offset.
+// REPLBATCH    start_offset + the primary's current log end and
+//              last sequence (for follower lag gauges) + raw
+//              replication-log record bytes (identical to the
+//              primary's on-disk encoding, so offsets stay
+//              globally valid across failover).
+// REPLACK      applied_offset + applied_seq, follower -> primary.
+// PROMOTE      (empty request); ok response carries the promoted
+//              node's log end offset.
+
+void encodeSubscribe(Bytes &out, uint64_t resume_offset);
+Status decodeSubscribe(BytesView payload, uint64_t &resume_offset);
+
+void encodeSubscribeResponse(Bytes &out, uint64_t resume_offset,
+                             uint64_t end_offset);
+Status decodeSubscribeResponse(BytesView payload,
+                               uint64_t &resume_offset,
+                               uint64_t &end_offset);
+
+void encodeReplBatch(Bytes &out, uint64_t start_offset,
+                     uint64_t log_end, uint64_t last_seq,
+                     BytesView records);
+Status decodeReplBatch(BytesView payload, uint64_t &start_offset,
+                       uint64_t &log_end, uint64_t &last_seq,
+                       BytesView &records);
+
+void encodeReplAck(Bytes &out, uint64_t applied_offset,
+                   uint64_t applied_seq);
+Status decodeReplAck(BytesView payload, uint64_t &applied_offset,
+                     uint64_t &applied_seq);
+
+void encodePromoteResponse(Bytes &out, uint64_t end_offset);
+Status decodePromoteResponse(BytesView payload,
+                             uint64_t &end_offset);
 
 } // namespace ethkv::server
 

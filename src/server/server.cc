@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <unordered_map>
 
 #include "common/lock_ranks.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "server/net_socket.hh"
+#include "server/replication.hh"
 
 namespace ethkv::server
 {
@@ -29,7 +31,17 @@ nowNs()
 int
 opIndex(uint8_t op)
 {
-    return (op >= 1 && op <= 8) ? op : 0;
+    return (op >= 1 && op <= 12) ? op : 0;
+}
+
+/** Monotonic milliseconds for idle-connection bookkeeping. */
+uint64_t
+nowMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 constexpr size_t kReadChunk = 64u << 10;
@@ -84,6 +96,21 @@ struct Server::Connection
     size_t reported_queue = 0;
     //! Responses queued on `out` but not yet fully flushed.
     uint32_t resp_inflight = 0;
+    //! Generation stamp (see Server::next_conn_id_).
+    uint64_t id = 0;
+    //! Last inbound traffic, for idle reaping.
+    uint64_t last_activity_ms = 0;
+
+    /** A response held back for replication sync-acks — plus any
+     *  later response that must not overtake it (responses on a
+     *  connection are strictly FIFO; PipelinedClient depends on
+     *  it). `ready` entries drain to `out` in order. */
+    struct HeldResponse
+    {
+        Bytes bytes;
+        bool ready = false;
+    };
+    std::deque<HeldResponse> held;
 };
 
 /** One event-loop thread plus its handoff queue. */
@@ -94,8 +121,12 @@ struct Server::Worker
     uint32_t index = 0; //!< Trace tid = index + 1.
     Mutex mutex{lock_ranks::kServerWorker};
     std::vector<int> pending GUARDED_BY(mutex);
+    //! Sync-ack completions from the replication sender thread.
+    std::vector<ReplicationHub::AckWaiter> completions
+        GUARDED_BY(mutex);
     std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
     std::thread thread;
+    uint64_t last_idle_sweep_ms = 0;
 };
 
 Server::Server(kv::KVStore &store, ServerOptions options)
@@ -139,7 +170,7 @@ Server::Server(kv::KVStore &store, ServerOptions options)
         &metrics_.counter("server.backpressure.paused");
     backpressure_dropped_ =
         &metrics_.counter("server.backpressure.dropped");
-    for (int i = 0; i < 9; ++i) {
+    for (int i = 0; i < 13; ++i) {
         std::string name = std::string("server.op.") +
                            opcodeName(static_cast<uint8_t>(i));
         op_count_[i] = &metrics_.counter(name);
@@ -163,6 +194,11 @@ Server::Server(kv::KVStore &store, ServerOptions options)
     slow_ops_recorded_ =
         &metrics_.counter("server.slowops.recorded");
     traces_emitted_ = &metrics_.counter("server.traces.emitted");
+    conns_idle_closed_ =
+        &metrics_.counter("server.conns.idle_closed");
+    subscribers_adopted_ =
+        &metrics_.counter("server.repl.subscribers_adopted");
+    acks_deferred_ = &metrics_.counter("server.repl.acks_deferred");
 }
 
 bool
@@ -228,6 +264,26 @@ Server::start()
         workers_.push_back(std::move(worker));
     }
 
+    if (options_.repl != nullptr) {
+        // The sender thread completes deferred sync acks by
+        // re-queueing them onto the owning worker's loop — the
+        // same handoff pattern the acceptor uses.
+        options_.repl->setAckDelivery(
+            [this](std::vector<ReplicationHub::AckWaiter>
+                       &&waiters) {
+                for (const auto &w : waiters) {
+                    if (w.worker >= workers_.size())
+                        continue;
+                    Worker &worker = *workers_[w.worker];
+                    {
+                        MutexLock lock(worker.mutex);
+                        worker.completions.push_back(w);
+                    }
+                    net::signalEventFd(worker.wake_fd);
+                }
+            });
+    }
+
     running_.store(true);
     for (auto &worker : workers_) {
         Worker *w = worker.get();
@@ -250,6 +306,18 @@ Server::stop()
         net::signalEventFd(worker->wake_fd);
         if (worker->thread.joinable())
             worker->thread.join();
+    }
+
+    // Replication drains BEFORE worker fds close: workers are
+    // joined (no new writes can be acknowledged), and the sender's
+    // final ack deliveries may still signal worker wake fds, which
+    // must not have been recycled. This ordering is the SIGTERM
+    // contract: acknowledged writes reach the followers' sockets
+    // before the process exits.
+    if (options_.repl != nullptr)
+        options_.repl->flushAndStop();
+
+    for (auto &worker : workers_) {
         net::closeFd(worker->wake_fd);
         net::closeFd(worker->epfd);
     }
@@ -451,6 +519,11 @@ Server::statsJson()
     w.endObject();
     w.key("connections_active");
     w.value(conns_active_->value());
+    w.key("repl_role");
+    w.value(options_.repl == nullptr
+                ? "none"
+                : (options_.repl->isPrimary() ? "primary"
+                                              : "follower"));
     // Full registry snapshot (ethkv.metrics.v1): engine metrics,
     // per-stage histograms with percentile gauges, stall and
     // maintenance counters — the whole telemetry plane in one
@@ -469,6 +542,16 @@ Server::execOp(Connection &, const Frame &frame,
         wire_status = static_cast<uint8_t>(wireStatusOf(s));
         payload = s.message();
     };
+    // Role check: a follower's engine is the replication stream's
+    // property; client mutations would fork the history.
+    auto rejectOnFollower = [&]() {
+        if (options_.repl == nullptr ||
+            options_.repl->isPrimary())
+            return false;
+        wire_status = static_cast<uint8_t>(WireStatus::NotPrimary);
+        payload = "follower: mutations rejected (PROMOTE first)";
+        return true;
+    };
     switch (static_cast<Opcode>(frame.type)) {
       case Opcode::Get: {
         Bytes key;
@@ -480,6 +563,8 @@ Server::execOp(Connection &, const Frame &frame,
         return;
       }
       case Opcode::Put: {
+        if (rejectOnFollower())
+            return;
         Bytes key, value;
         Status s = decodePut(frame.payload, key, value);
         if (s.isOk())
@@ -489,6 +574,8 @@ Server::execOp(Connection &, const Frame &frame,
         return;
       }
       case Opcode::Delete: {
+        if (rejectOnFollower())
+            return;
         Bytes key;
         Status s = decodeDelete(frame.payload, key);
         if (s.isOk())
@@ -498,6 +585,8 @@ Server::execOp(Connection &, const Frame &frame,
         return;
       }
       case Opcode::Batch: {
+        if (rejectOnFollower())
+            return;
         kv::WriteBatch batch;
         Status s = decodeBatch(frame.payload, batch);
         if (s.isOk())
@@ -585,6 +674,33 @@ Server::execOp(Connection &, const Frame &frame,
         payload = w.take();
         return;
       }
+      case Opcode::Promote: {
+        if (options_.repl == nullptr) {
+            fail(Status::notSupported(
+                "replication not configured"));
+            return;
+        }
+        uint64_t end_offset = 0;
+        Status s = options_.repl->promote(&end_offset);
+        if (!s.isOk()) {
+            fail(s);
+            return;
+        }
+        encodePromoteResponse(payload, end_offset);
+        return;
+      }
+      case Opcode::Subscribe:
+        // Handled in handleFrame (connection migration); reaching
+        // execOp means replication is off on this node.
+        fail(Status::notSupported("replication not configured"));
+        return;
+      case Opcode::ReplAck:
+      case Opcode::ReplBatch:
+        // Stream-only frames; on a request connection they are a
+        // protocol error, not a crash.
+        fail(Status::invalidArgument(
+            "replication stream frame on a request connection"));
+        return;
     }
     fail(Status::invalidArgument(
         "unknown opcode " + std::to_string(frame.type)));
@@ -600,6 +716,12 @@ Server::handleFrame(Worker &worker, Connection &conn,
     frames_received_->inc();
     ++conn.ops;
 
+    if (frame.type == static_cast<uint8_t>(Opcode::Subscribe) &&
+        options_.repl != nullptr) {
+        handleSubscribe(worker, conn, frame);
+        return;
+    }
+
     uint8_t wire_status = static_cast<uint8_t>(WireStatus::Ok);
     Bytes payload;
     uint64_t exec_start_ns = nowNs();
@@ -609,20 +731,52 @@ Server::handleFrame(Worker &worker, Connection &conn,
     if (wire_status != static_cast<uint8_t>(WireStatus::Ok))
         op_errors_[idx]->inc();
 
+    // Semi-sync replication: a successful mutation's response is
+    // held until every live follower acked the bytes (or the
+    // fail-open timeout fires). Later responses on the connection
+    // queue behind it to keep responses strictly FIFO.
+    bool defer = false;
+    if (options_.repl != nullptr &&
+        wire_status == static_cast<uint8_t>(WireStatus::Ok)) {
+        Opcode op = static_cast<Opcode>(frame.type);
+        defer = (op == Opcode::Put || op == Opcode::Delete ||
+                 op == Opcode::Batch) &&
+                options_.repl->deferAcks();
+    }
+
     size_t out_before = conn.out.size();
+    Bytes held_frame;
+    Bytes *sink = (defer || !conn.held.empty()) ? &held_frame
+                                                : &conn.out;
     // A traced request gets a traced response (context echoed), so
     // the client can reconcile without per-request client state;
     // v1 requests get v1 responses and never see the revision.
     if (frame.has_trace) {
-        appendFrameTraced(conn.out, wire_status, frame.request_id,
+        appendFrameTraced(*sink, wire_status, frame.request_id,
                           payload, frame.trace);
     } else {
-        appendFrame(conn.out, wire_status, frame.request_id,
+        appendFrame(*sink, wire_status, frame.request_id,
                     payload);
     }
     uint64_t encode_end_ns = nowNs();
-    ++conn.resp_inflight;
-    responses_inflight_->add(1);
+    size_t resp_bytes = sink == &conn.out
+                            ? conn.out.size() - out_before
+                            : held_frame.size();
+    if (sink == &conn.out) {
+        ++conn.resp_inflight;
+        responses_inflight_->add(1);
+    } else {
+        conn.held.push_back({std::move(held_frame), !defer});
+        if (defer) {
+            acks_deferred_->inc();
+            // The hub's end offset is at or past this write's end:
+            // when followers ack it, this write is replicated.
+            options_.repl->enqueueAckWaiter(
+                options_.repl->endOffset(),
+                {worker.index, static_cast<uint64_t>(conn.fd),
+                 conn.id});
+        }
+    }
 
     uint64_t decode_ns = decode_end_ns - decode_start_ns;
     uint64_t exec_ns = exec_end_ns - exec_start_ns;
@@ -646,8 +800,7 @@ Server::handleFrame(Worker &worker, Connection &conn,
         rec.encode_ns = encode_ns;
         rec.request_bytes =
             static_cast<uint32_t>(frame.payload.size());
-        rec.response_bytes =
-            static_cast<uint32_t>(conn.out.size() - out_before);
+        rec.response_bytes = static_cast<uint32_t>(resp_bytes);
         rec.worker = static_cast<uint16_t>(worker.index);
         rec.opcode = frame.type;
         rec.wire_status = wire_status;
@@ -681,14 +834,173 @@ Server::handleFrame(Worker &worker, Connection &conn,
 }
 
 void
+Server::handleSubscribe(Worker &worker, Connection &conn,
+                        const Frame &frame)
+{
+    ReplicationHub *repl = options_.repl;
+    auto respond = [&](WireStatus code, BytesView payload) {
+        if (frame.has_trace) {
+            appendFrameTraced(conn.out,
+                              static_cast<uint8_t>(code),
+                              frame.request_id, payload,
+                              frame.trace);
+        } else {
+            appendFrame(conn.out, static_cast<uint8_t>(code),
+                        frame.request_id, payload);
+        }
+        ++conn.resp_inflight;
+        responses_inflight_->add(1);
+    };
+    if (!repl->isPrimary()) {
+        respond(WireStatus::NotPrimary, "not primary");
+        flushWrites(worker, conn);
+        return;
+    }
+    uint64_t resume = 0;
+    Status s = decodeSubscribe(frame.payload, resume);
+    if (!s.isOk()) {
+        respond(wireStatusOf(s), s.message());
+        flushWrites(worker, conn);
+        return;
+    }
+    if (!conn.held.empty()) {
+        respond(WireStatus::InvalidArgument,
+                "subscribe with responses pending sync-ack");
+        flushWrites(worker, conn);
+        return;
+    }
+    uint64_t end = repl->endOffset();
+    if (resume > end) {
+        // The follower's log is longer than ours: divergent
+        // histories (e.g. it was once primary). It must not
+        // retry; this error latches its degraded mode.
+        respond(WireStatus::InvalidArgument,
+                "resume offset past log end: divergent history");
+        flushWrites(worker, conn);
+        return;
+    }
+    if (resume < end) {
+        Bytes probe;
+        s = repl->log().read(resume, 1, probe);
+        if (!s.isOk()) {
+            respond(WireStatus::InvalidArgument,
+                    "resume offset is not a record boundary");
+            flushWrites(worker, conn);
+            return;
+        }
+    }
+
+    // Accept: build the Ok response, then migrate the socket to
+    // the sender — with any unflushed earlier responses in front
+    // so this connection's byte stream stays in order.
+    Bytes reply_payload;
+    encodeSubscribeResponse(reply_payload, resume, end);
+    Bytes first_bytes(BytesView(conn.out).substr(conn.out_pos));
+    if (frame.has_trace) {
+        appendFrameTraced(first_bytes,
+                          static_cast<uint8_t>(WireStatus::Ok),
+                          frame.request_id, reply_payload,
+                          frame.trace);
+    } else {
+        appendFrame(first_bytes,
+                    static_cast<uint8_t>(WireStatus::Ok),
+                    frame.request_id, reply_payload);
+    }
+    int fd = conn.fd;
+    ETHKV_IGNORE_STATUS(net::epollDel(worker.epfd, fd),
+                        "fd moves to the sender's epoll");
+    conns_closed_->inc(); // keeps accepted == active + closed
+    conns_active_->add(-1);
+    conn_lifetime_ops_->record(conn.ops);
+    write_queue_bytes_->add(
+        -static_cast<int64_t>(conn.reported_queue));
+    responses_inflight_->add(
+        -static_cast<int64_t>(conn.resp_inflight));
+    worker.conns.erase(static_cast<uint64_t>(fd));
+    // `conn` is dangling from here.
+    subscribers_adopted_->inc();
+    ETHKV_IGNORE_STATUS(
+        repl->adoptSubscriber(fd, resume,
+                              std::move(first_bytes)),
+        "the hub owns the fd, success or failure");
+}
+
+void
+Server::deliverAckCompletions(Worker &worker)
+{
+    std::vector<ReplicationHub::AckWaiter> completions;
+    {
+        MutexLock lock(worker.mutex);
+        completions.swap(worker.completions);
+    }
+    for (const auto &c : completions) {
+        auto it = worker.conns.find(c.conn_tag);
+        if (it == worker.conns.end())
+            continue; // connection closed while waiting
+        Connection &conn = *it->second;
+        if (conn.id != c.conn_id)
+            continue; // fd reused by a newer connection
+        // Completions arrive in enqueue order per connection
+        // (targets are monotone offsets), so the first un-ready
+        // held response is the one this completion releases.
+        for (auto &h : conn.held) {
+            if (!h.ready) {
+                h.ready = true;
+                break;
+            }
+        }
+        while (!conn.held.empty() && conn.held.front().ready) {
+            conn.out.append(conn.held.front().bytes);
+            ++conn.resp_inflight;
+            responses_inflight_->add(1);
+            conn.held.pop_front();
+        }
+        flushWrites(worker, conn);
+    }
+}
+
+void
+Server::reapIdleConnections(Worker &worker, uint64_t now_ms)
+{
+    if (options_.conn_idle_timeout_ms <= 0)
+        return;
+    uint64_t timeout =
+        static_cast<uint64_t>(options_.conn_idle_timeout_ms);
+    uint64_t interval = std::min<uint64_t>(timeout / 2 + 1, 1000);
+    if (now_ms - worker.last_idle_sweep_ms < interval)
+        return;
+    worker.last_idle_sweep_ms = now_ms;
+    std::vector<uint64_t> victims;
+    for (const auto &[tag, conn] : worker.conns) {
+        if (now_ms - conn->last_activity_ms >= timeout)
+            victims.push_back(tag);
+    }
+    for (uint64_t tag : victims) {
+        auto it = worker.conns.find(tag);
+        if (it == worker.conns.end())
+            continue;
+        conns_idle_closed_->inc();
+        closeConnection(worker, *it->second);
+    }
+}
+
+void
 Server::workerLoop(Worker &worker)
 {
     net::PollEvent events[64];
     Bytes chunk;
+    // Idle reaping needs a periodic timeout; otherwise block.
+    int wait_ms = -1;
+    if (options_.conn_idle_timeout_ms > 0)
+        wait_ms = std::min(
+            options_.conn_idle_timeout_ms / 2 + 1, 1000);
     while (running_.load()) {
-        auto n = net::epollWait(worker.epfd, events, 64, -1);
+        auto n =
+            net::epollWait(worker.epfd, events, 64, wait_ms);
         if (!n.ok())
             break;
+        if (options_.conn_idle_timeout_ms > 0)
+            reapIdleConnections(worker, nowMs());
         for (int i = 0; i < n.value(); ++i) {
             uint64_t tag = events[i].tag;
             if (tag == static_cast<uint64_t>(worker.wake_fd)) {
@@ -712,10 +1024,14 @@ Server::workerLoop(Worker &worker)
                         continue;
                     }
                     conn->want_write = false;
+                    conn->id = next_conn_id_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    conn->last_activity_ms = nowMs();
                     worker.conns.emplace(
                         static_cast<uint64_t>(fd),
                         std::move(conn));
                 }
+                deliverAckCompletions(worker);
                 continue;
             }
 
@@ -754,6 +1070,7 @@ Server::workerLoop(Worker &worker)
                     break;
                 }
                 if (read_total > 0) {
+                    conn.last_activity_ms = nowMs();
                     uint64_t read_end_ns = nowNs();
                     if (stageSampleHit())
                         stage_read_ns_->record(read_end_ns -
@@ -793,6 +1110,13 @@ Server::workerLoop(Worker &worker)
                     }
                     handleFrame(worker, conn, frame,
                                 decode_start_ns, nowNs());
+                    if (worker.conns.find(tag) ==
+                        worker.conns.end()) {
+                        // SUBSCRIBE migrated the fd to the
+                        // replication sender; conn is gone.
+                        peer_gone = false;
+                        break;
+                    }
                     size_t queued =
                         conn.out.size() - conn.out_pos;
                     if (queued >

@@ -58,6 +58,8 @@
 namespace ethkv::server
 {
 
+class ReplicationHub;
+
 /** Server tuning knobs. */
 struct ServerOptions
 {
@@ -97,6 +99,15 @@ struct ServerOptions
     int64_t slow_op_micros = -1;
     //! Ring capacity for the slow-op log.
     size_t slow_op_capacity = 256;
+    //! Replication hub (DESIGN.md §13); null = standalone node.
+    //! The server consults it for role checks, hands SUBSCRIBE
+    //! connections to it, serves PROMOTE through it, and defers
+    //! mutation acks when it asks (semi-sync replication). Owned
+    //! by the caller; must outlive the server.
+    ReplicationHub *repl = nullptr;
+    //! Close connections with no inbound traffic for this long
+    //! (half-open peers, leaked sockets); 0 = never.
+    int conn_idle_timeout_ms = 0;
 };
 
 /**
@@ -145,6 +156,14 @@ class Server
     void handleFrame(Worker &worker, Connection &conn,
                      const Frame &frame, uint64_t decode_start_ns,
                      uint64_t decode_end_ns);
+    /** SUBSCRIBE: validate, respond, migrate the fd to the
+     *  replication sender. */
+    void handleSubscribe(Worker &worker, Connection &conn,
+                         const Frame &frame);
+    /** Sync-ack completions delivered by the sender thread. */
+    void deliverAckCompletions(Worker &worker);
+    /** Close connections idle past conn_idle_timeout_ms. */
+    void reapIdleConnections(Worker &worker, uint64_t now_ms);
     void execOp(Connection &conn, const Frame &frame,
                 uint8_t &wire_status, Bytes &payload);
     Bytes statsJson();
@@ -173,6 +192,9 @@ class Server
     uint16_t port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> started_{false};
+    /** Generation stamp for connections, so a sync-ack completion
+     *  can never hit a different connection that reused the fd. */
+    std::atomic<uint64_t> next_conn_id_{1};
     std::thread acceptor_;
     std::vector<std::unique_ptr<Worker>> workers_;
     size_t next_worker_ = 0;
@@ -187,9 +209,9 @@ class Server
     obs::Counter *frames_received_;
     obs::Counter *backpressure_paused_;
     obs::Counter *backpressure_dropped_;
-    obs::Counter *op_count_[9];
-    obs::Counter *op_errors_[9];
-    obs::LatencyHistogram *op_latency_[9];
+    obs::Counter *op_count_[13];
+    obs::Counter *op_errors_[13];
+    obs::LatencyHistogram *op_latency_[13];
     obs::LatencyHistogram *conn_lifetime_ops_;
 
     // Per-stage attribution (sampled; DESIGN.md §11).
@@ -203,6 +225,9 @@ class Server
     obs::Gauge *responses_inflight_;  //!< Queued, not yet flushed.
     obs::Counter *slow_ops_recorded_;
     obs::Counter *traces_emitted_;
+    obs::Counter *conns_idle_closed_;
+    obs::Counter *subscribers_adopted_;
+    obs::Counter *acks_deferred_;
 };
 
 } // namespace ethkv::server

@@ -24,6 +24,16 @@
 #       and nested server stage spans), the combined metrics JSON,
 #       the live dashboard over the wire and from the snapshot
 #       file, and the SIGUSR1 slow-op dump on stderr.
+#
+#   server_smoke.sh failover <ethkvd> <bench_server_load> \
+#       <scratch> <ethkv_ctl>
+#       The replication drill (DESIGN.md §13): a semi-sync primary
+#       streams its WAL to a live follower; a steady-state fill
+#       must drain the follower's lag to zero; then kill -9 the
+#       primary mid-load, PROMOTE the follower, and verify that
+#       every acknowledged write (both phases) is served by the
+#       promoted node — zero acked-synced loss across failover —
+#       and that it now accepts writes and shuts down cleanly.
 set -u
 
 MODE=$1
@@ -35,12 +45,15 @@ shift 4
 rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH/data"
 SERVER_PID=""
+FOLLOWER_PID=""
 
 cleanup() {
-    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-        kill -9 "$SERVER_PID" 2>/dev/null
-        wait "$SERVER_PID" 2>/dev/null
-    fi
+    for PID in "$SERVER_PID" "$FOLLOWER_PID"; do
+        if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+            kill -9 "$PID" 2>/dev/null
+            wait "$PID" 2>/dev/null
+        fi
+    done
     rm -rf "$SCRATCH"
 }
 trap cleanup EXIT
@@ -208,6 +221,92 @@ case "$MODE" in
         || fail "server trace file not written"
     "$TRACE_CHECK" "$SCRATCH/server_trace.json" --require-server \
         || fail "server trace file validation"
+    ;;
+
+  failover)
+    CTL=$1
+
+    # Primary: durable sync log engine, replication on, semi-sync
+    # acks — an acked write is on every live follower, which is
+    # exactly the guarantee the zero-loss check below leans on.
+    "$ETHKVD" --engine log --dir "$SCRATCH/data" --sync \
+        --repl --repl-sync \
+        --port 0 --port-file "$SCRATCH/pport" --workers 2 &
+    SERVER_PID=$!
+    wait_port_file "$SCRATCH/pport"
+    PPORT=$(cat "$SCRATCH/pport")
+
+    mkdir -p "$SCRATCH/fdata"
+    "$ETHKVD" --engine log --dir "$SCRATCH/fdata" --sync \
+        --follower-of "127.0.0.1:$PPORT" \
+        --port 0 --port-file "$SCRATCH/fport" --workers 2 &
+    FOLLOWER_PID=$!
+    wait_port_file "$SCRATCH/fport"
+
+    ROLE=$("$CTL" role --port-file "$SCRATCH/fport") \
+        || fail "role query on the follower"
+    [ "$ROLE" = "follower" ] \
+        || fail "expected role=follower, got '$ROLE'"
+
+    # Phase 1: steady-state fill, then require the follower's lag
+    # gauges to drain to zero while the primary is alive.
+    "$LOADGEN" --port-file "$SCRATCH/pport" --mode fill \
+        --keys 3000 --connections 2 --threads 1 \
+        --acked-file "$SCRATCH/acked1" \
+        || fail "phase-1 fill (rc=$?)"
+    "$CTL" wait-caught-up --port-file "$SCRATCH/fport" \
+        --timeout-ms 15000 \
+        || fail "follower lag never drained to zero"
+
+    # Phase 2: fill in the background and pull the plug on the
+    # primary mid-stream.
+    "$LOADGEN" --port-file "$SCRATCH/pport" --mode fill \
+        --keys 200000 --connections 4 --threads 2 \
+        --acked-file "$SCRATCH/acked2" &
+    LOAD_PID=$!
+    sleep 0.5
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null
+    SERVER_PID=""
+
+    wait "$LOAD_PID"
+    LOAD_RC=$?
+    [ "$LOAD_RC" -eq 0 ] || [ "$LOAD_RC" -eq 75 ] \
+        || fail "fill exit code $LOAD_RC"
+    [ -s "$SCRATCH/acked2" ] \
+        || fail "no phase-2 writes were acked"
+    ACKED=$(cat "$SCRATCH/acked1" "$SCRATCH/acked2" | wc -l)
+    echo "server_smoke(failover): $ACKED writes acked before" \
+        "kill -9"
+
+    # Failover: promote the follower and check the role flipped.
+    "$CTL" promote --port-file "$SCRATCH/fport" \
+        || fail "PROMOTE on the surviving follower"
+    ROLE=$("$CTL" role --port-file "$SCRATCH/fport") \
+        || fail "role query after promote"
+    [ "$ROLE" = "primary" ] \
+        || fail "expected role=primary after promote, got '$ROLE'"
+
+    # Zero acked-synced loss: every write acknowledged by the dead
+    # primary — in either phase — must be served by the promoted
+    # node (semi-sync put it there before the ack went out).
+    cat "$SCRATCH/acked1" "$SCRATCH/acked2" > "$SCRATCH/acked"
+    "$LOADGEN" --port-file "$SCRATCH/fport" --mode verify \
+        --acked-file "$SCRATCH/acked" \
+        || fail "acked-synced data lost across failover"
+
+    # The promoted node is a real primary: it takes new writes...
+    "$LOADGEN" --port-file "$SCRATCH/fport" --mode fill \
+        --keys 500 --connections 2 --threads 1 \
+        --acked-file "$SCRATCH/acked3" \
+        || fail "post-promote fill rejected (rc=$?)"
+
+    # ...and SIGTERM still exits cleanly (send queues flushed).
+    kill -TERM "$FOLLOWER_PID"
+    wait "$FOLLOWER_PID"
+    RC=$?
+    FOLLOWER_PID=""
+    [ "$RC" -eq 0 ] || fail "promoted node exit code $RC"
     ;;
 
   *)

@@ -670,5 +670,136 @@ TEST(ServerTest, GracefulStopFlushesEngine)
     EXPECT_EQ(reopened.value()->liveKeyCount(), 100u);
 }
 
+TEST(ServerTest, IdleConnectionsAreReaped)
+{
+    ServerOptions options;
+    obs::MetricsRegistry metrics;
+    options.metrics = &metrics;
+    options.conn_idle_timeout_ms = 100;
+    ServerFixture fx(options);
+
+    // A half-open peer: connects, sends nothing, never reads.
+    // Without reaping this socket would pin server memory forever
+    // (the kernel never reports a silent peer as dead).
+    auto dead = net::connectTcp("127.0.0.1", fx.port());
+    ASSERT_TRUE(dead.ok());
+
+    // An active client keeps talking across several idle windows;
+    // traffic must reset its clock — only the silent peer dies.
+    auto client = fx.connect();
+    ASSERT_TRUE(client);
+    Bytes value;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(client->put("tick", "tock").isOk());
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+    }
+    EXPECT_EQ(metrics.counter("server.conns.idle_closed").value(),
+              1u);
+    ASSERT_TRUE(client->get("tick", value).isOk());
+
+    // The reaped fd really was closed server-side: the peer sees
+    // EOF instead of silence.
+    Bytes buf;
+    size_t n = 0;
+    Status err;
+    net::IoResult r =
+        net::readSome(dead.value(), buf, 64, n, err);
+    EXPECT_TRUE(r == net::IoResult::Eof) << static_cast<int>(r);
+    net::closeFd(dead.value());
+}
+
+TEST(ClientTimeout, ConnectTimesOutOnUnreachablePort)
+{
+    // A listener with a full backlog nobody drains: SYNs queue
+    // but accept() never runs... the closest loopback gets to a
+    // black-holed connect. Port 1 (unbound) gives an immediate
+    // refusal on loopback, so use the undrained listener for the
+    // timeout path and just bound the wait.
+    auto listener = net::listenTcp("127.0.0.1", 0, 0);
+    ASSERT_TRUE(listener.ok());
+    auto lport = net::localPort(listener.value());
+    ASSERT_TRUE(lport.ok());
+
+    ClientOptions opts;
+    opts.connect_timeout_ms = 200;
+    opts.io_timeout_ms = 200;
+    auto start = std::chrono::steady_clock::now();
+    auto client =
+        Client::open("127.0.0.1", lport.value(), opts);
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    // Loopback may accept into the kernel queue (then the get()
+    // below times out) or refuse; either way open() must return
+    // promptly, never hang.
+    EXPECT_LT(elapsed, 5000);
+    if (client.ok()) {
+        Bytes value;
+        start = std::chrono::steady_clock::now();
+        Status s = client.value()->get("k", value);
+        elapsed = std::chrono::duration_cast<
+                      std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        EXPECT_TRUE((s.code() == StatusCode::IOError)) << s.toString();
+        EXPECT_NE(s.message().find("timed out"),
+                  std::string::npos)
+            << s.toString();
+        EXPECT_LT(elapsed, 5000);
+    }
+    net::closeFd(listener.value());
+}
+
+TEST(ClientTimeout, ReadTimesOutOnSilentServer)
+{
+    // A server that accepts and then never says a word.
+    auto listener = net::listenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    auto lport = net::localPort(listener.value());
+    ASSERT_TRUE(lport.ok());
+    std::atomic<bool> done{false};
+    std::thread acceptor([&] {
+        while (!done.load()) {
+            auto fd = net::acceptOn(listener.value());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            if (fd.ok()) {
+                // Hold the fd open, read nothing, write nothing.
+                while (!done.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                net::closeFd(fd.value());
+            }
+        }
+    });
+
+    ClientOptions opts;
+    opts.connect_timeout_ms = 1000;
+    opts.io_timeout_ms = 150;
+    auto client = Client::open("127.0.0.1", lport.value(), opts);
+    ASSERT_TRUE(client.ok()) << client.status().message();
+    Bytes value;
+    auto start = std::chrono::steady_clock::now();
+    Status s = client.value()->get("k", value);
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_TRUE((s.code() == StatusCode::IOError)) << s.toString();
+    EXPECT_NE(s.message().find("timed out"), std::string::npos)
+        << s.toString();
+    EXPECT_GE(elapsed, 100);
+    EXPECT_LT(elapsed, 5000);
+
+    // io_timeout_ms = 0 keeps the wait-forever contract; not
+    // exercised end-to-end (it would hang), but the option must
+    // still produce a working client against a real server.
+    done.store(true);
+    acceptor.join();
+    net::closeFd(listener.value());
+}
+
 } // namespace
 } // namespace ethkv::server

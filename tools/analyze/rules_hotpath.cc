@@ -6,11 +6,16 @@
  * maintenance thread exist for (the paper's p99 numbers die the
  * moment an fsync lands on the accept/worker path).
  *
- * Roots are the Server request-path methods; the walk follows
- * call references that resolve to exactly one function in the
- * repo (ambiguous names — every KVStore has put/get/flush — stop
- * the walk, which keeps the rule about DIRECT blocking calls on
- * the server path, not about what an engine does behind its own
+ * Roots are the Server request-path methods plus the replication
+ * sender's epoll loop (ReplicationSender::loop): the sender thread
+ * feeds every follower, so an inline fsync or sleep there turns
+ * directly into follower lag and — in semi-sync mode — into held
+ * client acks. FollowerClient::loop is deliberately NOT a root:
+ * reconnect backoff sleeps there by design. The walk follows call
+ * references that resolve to exactly one function in the repo
+ * (ambiguous names — every KVStore has put/get/flush — stop the
+ * walk, which keeps the rule about DIRECT blocking calls on the
+ * serving path, not about what an engine does behind its own
  * synchronization).
  */
 
@@ -53,17 +58,20 @@ void
 runHotPath(const RepoModel &model, Findings &out)
 {
     // Roots: request-path methods of a class named Server (or
-    // ...::Server) living under src/server.
+    // ...::Server) living under src/server, plus the replication
+    // sender's epoll loop (it is a serving thread for followers).
     std::vector<size_t> roots;
     for (size_t i = 0; i < model.functions.size(); ++i) {
         const FunctionInfo &fn = model.functions[i];
-        if (!rootNames().count(fn.name))
+        if (model.files[fn.file_index].module != "server")
             continue;
-        if (fn.klass != "Server" &&
-            fn.klass.find("::Server") == std::string::npos) {
-            continue;
-        }
-        if (model.files[fn.file_index].module == "server")
+        bool server_root =
+            rootNames().count(fn.name) &&
+            (fn.klass == "Server" ||
+             fn.klass.find("::Server") != std::string::npos);
+        bool sender_root = fn.name == "loop" &&
+                           fn.klass == "ReplicationSender";
+        if (server_root || sender_root)
             roots.push_back(i);
     }
 

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * ethkv_ctl — replication control for a running ethkvd
+ * (DESIGN.md §13).
+ *
+ * Subcommands:
+ *
+ *   ethkv_ctl promote --port-file /tmp/f.port
+ *       PROMOTE a follower to primary. Prints the promoted node's
+ *       replication-log end offset on success. Fails (exit 1) on a
+ *       degraded follower — promoting a node that latched
+ *       read-only after a replay error would serve a torn prefix.
+ *
+ *   ethkv_ctl wait-caught-up --port-file /tmp/f.port \
+ *       [--timeout-ms 30000]
+ *       Poll the follower's STATS until it is connected to its
+ *       primary with zero lag (repl.follower_connected == 1 and
+ *       repl.lag_bytes == 0). The failover drill runs this before
+ *       PROMOTE so no acked write is left behind on the dead
+ *       primary's log. Exit 0 caught up, 3 on timeout.
+ *
+ *   ethkv_ctl role --port <n>
+ *       Print the node's replication role (primary / follower /
+ *       none) from STATS.
+ *
+ * All wire access goes through the client library, so the tool
+ * inherits its connect/read timeouts: a dead server fails fast
+ * instead of wedging the drill.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/status.hh"
+#include "obs/json.hh"
+#include "server/client.hh"
+
+namespace
+{
+
+using namespace ethkv;
+
+struct Flags
+{
+    std::string command;
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string port_file;
+    uint64_t timeout_ms = 30000;
+    uint64_t interval_ms = 50;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <promote|wait-caught-up|role> [options]\n"
+        "  --host <ipv4>       server address (default"
+        " 127.0.0.1)\n"
+        "  --port <n>          server port\n"
+        "  --port-file <path>  read the port from a file\n"
+        "  --timeout-ms <n>    wait-caught-up deadline"
+        " (default 30000)\n"
+        "  --interval-ms <n>   wait-caught-up poll period"
+        " (default 50)\n",
+        argv0);
+}
+
+bool
+parseFlags(int argc, char **argv, Flags &f)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return false;
+    }
+    f.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", what);
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            f.host = next("--host");
+        } else if (arg == "--port") {
+            f.port = std::atoi(next("--port"));
+        } else if (arg == "--port-file") {
+            f.port_file = next("--port-file");
+        } else if (arg == "--timeout-ms") {
+            f.timeout_ms = std::strtoull(next("--timeout-ms"),
+                                         nullptr, 10);
+        } else if (arg == "--interval-ms") {
+            f.interval_ms = std::strtoull(next("--interval-ms"),
+                                          nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+resolvePort(const Flags &f)
+{
+    if (f.port_file.empty()) {
+        if (f.port <= 0)
+            fatal("need --port or --port-file");
+        return f.port;
+    }
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        std::FILE *fp = std::fopen(f.port_file.c_str(), "r");
+        if (fp) {
+            int port = 0;
+            int got = std::fscanf(fp, "%d", &port);
+            std::fclose(fp);
+            if (got == 1 && port > 0)
+                return port;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+    fatal("port file %s never appeared", f.port_file.c_str());
+}
+
+/** Fetch + parse STATS; fatal on wire errors, not on lag. */
+obs::JsonValue
+fetchStats(server::Client &client)
+{
+    Bytes doc;
+    client.stats(doc).expectOk("STATS");
+    obs::JsonValue root;
+    obs::parseJson(doc, root).expectOk("STATS parse");
+    return root;
+}
+
+/** Gauge lookup under metrics.gauges; 0 when absent. */
+uint64_t
+gaugeU64(const obs::JsonValue &root, const std::string &name)
+{
+    const obs::JsonValue *metrics = root.find("metrics");
+    if (metrics == nullptr)
+        return 0;
+    const obs::JsonValue *gauges = metrics->find("gauges");
+    if (gauges == nullptr)
+        return 0;
+    const obs::JsonValue *v = gauges->find(name);
+    return v == nullptr ? 0 : v->asU64();
+}
+
+int
+cmdPromote(server::Client &client)
+{
+    uint64_t end_offset = 0;
+    Status s = client.promote(end_offset);
+    if (!s.isOk()) {
+        std::fprintf(stderr, "promote failed: %s\n",
+                     s.toString().c_str());
+        return 1;
+    }
+    std::printf("promoted; log end offset %" PRIu64 "\n",
+                end_offset);
+    return 0;
+}
+
+int
+cmdWaitCaughtUp(server::Client &client, const Flags &flags)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(flags.timeout_ms);
+    while (true) {
+        obs::JsonValue root = fetchStats(client);
+        uint64_t connected =
+            gaugeU64(root, "repl.follower_connected");
+        uint64_t lag = gaugeU64(root, "repl.lag_bytes");
+        if (connected == 1 && lag == 0) {
+            std::printf("caught up\n");
+            return 0;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::fprintf(stderr,
+                         "timed out: connected=%" PRIu64
+                         " lag_bytes=%" PRIu64 "\n",
+                         connected, lag);
+            return 3;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(flags.interval_ms));
+    }
+}
+
+int
+cmdRole(server::Client &client)
+{
+    obs::JsonValue root = fetchStats(client);
+    const obs::JsonValue *role = root.find("repl_role");
+    std::printf("%s\n", role != nullptr && role->isString()
+                            ? role->string.c_str()
+                            : "none");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    if (!parseFlags(argc, argv, flags))
+        return 2;
+
+    int port = resolvePort(flags);
+    auto client = server::Client::open(
+        flags.host, static_cast<uint16_t>(port));
+    client.status().expectOk("connect");
+
+    if (flags.command == "promote")
+        return cmdPromote(*client.value());
+    if (flags.command == "wait-caught-up")
+        return cmdWaitCaughtUp(*client.value(), flags);
+    if (flags.command == "role")
+        return cmdRole(*client.value());
+
+    std::fprintf(stderr, "unknown command: %s\n",
+                 flags.command.c_str());
+    usage(argv[0]);
+    return 2;
+}
