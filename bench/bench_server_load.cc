@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/bytes.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rand.hh"
@@ -88,7 +89,26 @@ struct Flags
     std::string acked_file;
     std::string trace_out;
     std::string metrics_out;
+    uint64_t zipf_accounts = 0;
+    uint32_t corr_follow = 0;
+    std::string corr_table_out;
 };
+
+/**
+ * Correlated-read structure (DESIGN.md §14): key ids are grouped
+ * in blocks of kCorrGroup; reading a key makes the next ids in its
+ * block likely follow-up reads — the deterministic analogue of the
+ * paper's Fig 4–5 read correlations (an account's trie node,
+ * snapshot row, and code land near each other).
+ */
+constexpr uint64_t kCorrGroup = 8;
+
+uint64_t
+corrFollowerOf(uint64_t key_id, uint32_t j)
+{
+    uint64_t base = key_id - (key_id % kCorrGroup);
+    return base + ((key_id - base + 1 + j) % kCorrGroup);
+}
 
 void
 usage(const char *argv0)
@@ -121,7 +141,14 @@ usage(const char *argv0)
         "  --metrics-out <path> combined client+server JSON"
         " (ethkv.bench_server_load.v1)\n"
         "  --trace-out <path>   merged client+server Chrome trace"
-        " JSON\n",
+        " JSON\n"
+        "  --zipf-accounts <n>  Zipf-of-accounts mix: shorthand"
+        " for --keys n (the ROADMAP's Zipf-of-millions client"
+        " mix)\n"
+        "  --corr-follow <n>    after each mixed-mode GET, read n"
+        " correlated followers from the key's group of 8\n"
+        "  --corr-table-out <p> write the correlation table (hex"
+        " key + followers per line) for --corr-table and exit\n",
         argv0);
 }
 
@@ -173,6 +200,14 @@ parseFlags(int argc, char **argv, Flags &f)
             f.trace_out = next("--trace-out");
         } else if (arg == "--metrics-out") {
             f.metrics_out = next("--metrics-out");
+        } else if (arg == "--zipf-accounts") {
+            f.zipf_accounts = std::strtoull(
+                next("--zipf-accounts"), nullptr, 10);
+        } else if (arg == "--corr-follow") {
+            f.corr_follow = static_cast<uint32_t>(
+                std::strtoul(next("--corr-follow"), nullptr, 10));
+        } else if (arg == "--corr-table-out") {
+            f.corr_table_out = next("--corr-table-out");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -345,6 +380,17 @@ runMixed(const Flags &f, std::vector<Conn> &conns, uint64_t my_ops,
         if (rng.nextBounded(100) <
             static_cast<uint64_t>(f.read_pct)) {
             s = conn.client->submitGet(key);
+            // Correlated follow-on reads: the workload the cache
+            // tier's prefetcher is built for (keys in the same
+            // group of kCorrGroup tend to be read together).
+            for (uint32_t j = 0;
+                 s.isOk() && j < f.corr_follow; ++j) {
+                uint64_t follower_id = corrFollowerOf(key_id, j);
+                conn.submitted_keys.push_back(follower_id);
+                s = conn.client->submitGet(keyOf(follower_id));
+                if (s.isOk())
+                    ++result.ops_done;
+            }
         } else {
             s = conn.client->submitPut(
                 key, synthesizeValue(key_id, f.value_bytes));
@@ -502,6 +548,42 @@ runVerify(const Flags &f, int port)
     return missing + mismatched ? 1 : 0;
 }
 
+/**
+ * --corr-table-out: emit the correlation table matching the
+ * correlated-read mix above, in the format ethkvd's --corr-table
+ * loads (hex key, then hex followers, strongest first). Runs
+ * standalone — no server needed.
+ */
+int
+runCorrTableOut(const Flags &f)
+{
+    std::string doc =
+        "# ethkv correlation table (bench_server_load"
+        " --corr-table-out)\n";
+    uint32_t followers =
+        f.corr_follow > 0 ? f.corr_follow
+                          : static_cast<uint32_t>(kCorrGroup) - 1;
+    if (followers > kCorrGroup - 1)
+        followers = kCorrGroup - 1;
+    for (uint64_t id = f.key_base; id < f.key_base + f.keys;
+         ++id) {
+        doc += toHex(keyOf(id));
+        for (uint32_t j = 0; j < followers; ++j) {
+            doc += ' ';
+            doc += toHex(keyOf(corrFollowerOf(id, j)));
+        }
+        doc += '\n';
+    }
+    Env::defaultEnv()
+        ->writeStringToFile(f.corr_table_out, doc, /*sync=*/false)
+        .expectOk("corr table write");
+    inform("bench_server_load: correlation table for %llu keys"
+           " (%u followers each) -> %s",
+           static_cast<unsigned long long>(f.keys), followers,
+           f.corr_table_out.c_str());
+    return 0;
+}
+
 void
 writeFileOrWarn(const std::string &path, const std::string &doc)
 {
@@ -520,11 +602,26 @@ writeFileOrWarn(const std::string &path, const std::string &doc)
  * server is already gone (crash harness), the client side is still
  * written with "server": null.
  */
+/** Pull one counter out of a scraped stats.v2 / metrics.v1 doc. */
+uint64_t
+scrapedCounter(const obs::JsonValue &root, std::string_view name)
+{
+    const obs::JsonValue *metrics = root.find("metrics");
+    const obs::JsonValue *counters =
+        metrics != nullptr ? metrics->find("counters")
+                           : root.find("counters");
+    if (counters == nullptr)
+        return 0;
+    const obs::JsonValue *v = counters->find(name);
+    return v != nullptr ? v->asU64() : 0;
+}
+
 void
 writeRunArtifacts(const Flags &f, int port,
                   const obs::TraceEventLog *client_log,
-                  uint64_t ops_done, uint64_t acked,
-                  uint64_t errors, uint64_t elapsed_ns)
+                  const Instruments &ins, uint64_t ops_done,
+                  uint64_t acked, uint64_t errors,
+                  uint64_t elapsed_ns)
 {
     if (f.trace_out.empty() && f.metrics_out.empty())
         return;
@@ -583,6 +680,41 @@ writeRunArtifacts(const Flags &f, int port,
         w.value(errors);
         w.key("elapsed_ns");
         w.value(elapsed_ns);
+        w.key("get_p50_ns");
+        w.value(ins.get->percentile(0.50));
+        w.key("get_p99_ns");
+        w.value(ins.get->percentile(0.99));
+        w.key("get_p999_ns");
+        w.value(ins.get->percentile(0.999));
+        // Server cache-tier hit rate, when the scrape found one —
+        // the acceptance number for --cache-tier-bytes runs.
+        uint64_t ct_hits = 0;
+        uint64_t ct_misses = 0;
+        if (!server_stats.empty()) {
+            obs::JsonValue root;
+            if (obs::parseJson(server_stats, root).isOk()) {
+                ct_hits = scrapedCounter(root, "cachetier.hits");
+                ct_misses =
+                    scrapedCounter(root, "cachetier.misses");
+            }
+        }
+        w.key("cachetier_hits");
+        w.value(ct_hits);
+        w.key("cachetier_misses");
+        w.value(ct_misses);
+        w.key("cachetier_hit_rate");
+        w.value(ct_hits + ct_misses > 0
+                    ? static_cast<double>(ct_hits) /
+                          static_cast<double>(ct_hits + ct_misses)
+                    : 0.0);
+        if (ct_hits + ct_misses > 0) {
+            inform("bench_server_load: cachetier hit rate %.1f%%"
+                   " (%llu hits / %llu misses)",
+                   100.0 * static_cast<double>(ct_hits) /
+                       static_cast<double>(ct_hits + ct_misses),
+                   static_cast<unsigned long long>(ct_hits),
+                   static_cast<unsigned long long>(ct_misses));
+        }
         w.key("client");
         w.rawValue(obs::MetricsRegistry::global().toJson());
         w.key("server");
@@ -607,6 +739,10 @@ main(int argc, char **argv)
     Flags flags;
     if (!parseFlags(argc, argv, flags))
         return 2;
+    if (flags.zipf_accounts > 0)
+        flags.keys = flags.zipf_accounts;
+    if (!flags.corr_table_out.empty())
+        return runCorrTableOut(flags); // standalone, no server
     if (flags.connections < flags.threads)
         flags.connections = flags.threads;
     int port = resolvePort(flags);
@@ -737,13 +873,13 @@ main(int argc, char **argv)
         // the server acknowledged first.
         std::fprintf(stderr,
                      "bench_server_load: connection died\n");
-        writeRunArtifacts(flags, port, trace_log.get(), ops_done,
-                          ins.acked->value(), ins.errors->value(),
-                          elapsed_ns);
+        writeRunArtifacts(flags, port, trace_log.get(), ins,
+                          ops_done, ins.acked->value(),
+                          ins.errors->value(), elapsed_ns);
         return 75;
     }
 
-    writeRunArtifacts(flags, port, trace_log.get(), ops_done,
+    writeRunArtifacts(flags, port, trace_log.get(), ins, ops_done,
                       ins.acked->value(), ins.errors->value(),
                       elapsed_ns);
     if (!fill && ins.errors->value() > 0)

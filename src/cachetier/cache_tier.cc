@@ -1,0 +1,550 @@
+/**
+ * @file
+ * CacheTier implementation. See cache_tier.hh for the policy and
+ * the correctness contract; DESIGN.md §14 has measured numbers.
+ */
+
+#include "cachetier/cache_tier.hh"
+
+#include "cachetier/prefetcher.hh"
+#include "common/xxhash.hh"
+#include "obs/scoped_timer.hh"
+
+namespace ethkv::cachetier
+{
+
+namespace
+{
+
+//! Approximate per-entry bookkeeping cost (list node, index node,
+//! string headers) charged against the byte budget.
+constexpr uint64_t kEntryOverhead = 64;
+
+//! Seed for the sketch/shard hash — distinct from the wire checksum
+//! seed so cache placement is independent of frame hashing.
+constexpr uint64_t kHashSeed = 0x9e3779b97f4a7c15ull;
+
+uint32_t
+roundUpPow2(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v && p < (1u << 16))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CacheTier::CacheTier(kv::KVStore &inner,
+                     const CacheTierOptions &options)
+    : inner_(inner), opts_(options)
+{
+    shard_count_ = roundUpPow2(
+        opts_.shards == 0 ? 1 : opts_.shards);
+    uint64_t capacity =
+        opts_.capacity_bytes == 0 ? 1 : opts_.capacity_bytes;
+    shard_capacity_ = capacity / shard_count_;
+    if (shard_capacity_ == 0)
+        shard_capacity_ = 1;
+    double frac = opts_.protected_fraction;
+    if (frac < 0.0)
+        frac = 0.0;
+    if (frac > 1.0)
+        frac = 1.0;
+    protected_budget_ = static_cast<uint64_t>(
+        static_cast<double>(shard_capacity_) * frac);
+    shards_ = std::make_unique<Shard[]>(shard_count_);
+    // Size the sketch for roughly 4 counters per cacheable entry,
+    // assuming ~256-byte entries; clamp so tiny test caches still
+    // discriminate and huge caches stay bounded.
+    uint64_t slots = shard_capacity_ / 64;
+    if (slots < 1024)
+        slots = 1024;
+    if (slots > 65536)
+        slots = 65536;
+    slots = roundUpPow2(static_cast<uint32_t>(slots));
+    for (uint32_t i = 0; i < shard_count_; ++i)
+        shards_[i].sketch.assign(slots, 0);
+
+    obs::MetricsRegistry &reg =
+        opts_.metrics != nullptr ? *opts_.metrics
+                                 : obs::MetricsRegistry::global();
+    hits_ = &reg.counter("cachetier.hits");
+    misses_ = &reg.counter("cachetier.misses");
+    admission_rejects_ =
+        &reg.counter("cachetier.admission_rejects");
+    evictions_ = &reg.counter("cachetier.evictions");
+    invalidations_ = &reg.counter("cachetier.invalidations");
+    degraded_passthrough_ =
+        &reg.counter("cachetier.degraded_passthrough");
+    prefetch_hits_ = &reg.counter("cachetier.prefetch.hits");
+    prefetch_redundant_ =
+        &reg.counter("cachetier.prefetch.redundant");
+    bytes_gauge_ = &reg.gauge("cachetier.bytes");
+    entries_gauge_ = &reg.gauge("cachetier.entries");
+    degraded_gauge_ = &reg.gauge("cachetier.degraded");
+    hit_ns_ = &reg.histogram("op.cachetier.hit_ns");
+    miss_fill_ns_ = &reg.histogram("op.cachetier.miss_fill_ns");
+    prefetch_fill_ns_ =
+        &reg.histogram("op.cachetier.prefetch_fill_ns");
+}
+
+CacheTier::~CacheTier() = default;
+
+CacheTier::Shard &
+CacheTier::shardFor(BytesView key) const
+{
+    uint64_t h = xxhash64(key, kHashSeed);
+    return shards_[h & (shard_count_ - 1)];
+}
+
+uint64_t
+CacheTier::chargeOf(const Entry &e)
+{
+    return e.key.size() + e.value.size() + kEntryOverhead;
+}
+
+void
+CacheTier::sketchRecordLocked(Shard &s, uint64_t hash)
+{
+    uint64_t mask = s.sketch.size() - 1;
+    for (int w = 0; w < 4; ++w) {
+        uint8_t &c = s.sketch[(hash >> (w * 16)) & mask];
+        if (c < 255)
+            ++c;
+    }
+    // Age: once enough samples accumulate, halve every counter so
+    // yesterday's hot keys do not outvote today's.
+    if (++s.sketch_samples >= s.sketch.size() * 8) {
+        s.sketch_samples = 0;
+        for (uint8_t &c : s.sketch)
+            c = static_cast<uint8_t>(c >> 1);
+    }
+}
+
+uint32_t
+CacheTier::sketchEstimateLocked(const Shard &s,
+                                uint64_t hash) const
+{
+    uint64_t mask = s.sketch.size() - 1;
+    uint32_t est = 255;
+    for (int w = 0; w < 4; ++w) {
+        uint8_t c = s.sketch[(hash >> (w * 16)) & mask];
+        if (c < est)
+            est = c;
+    }
+    return est;
+}
+
+void
+CacheTier::touchLocked(Shard &s, EntryList::iterator it)
+{
+    if (it->hot) {
+        s.protected_seg.splice(s.protected_seg.begin(),
+                               s.protected_seg, it);
+        return;
+    }
+    // Second touch promotes probation -> protected.
+    it->hot = true;
+    s.protected_bytes += chargeOf(*it);
+    s.protected_seg.splice(s.protected_seg.begin(), s.probation,
+                           it);
+    // Keep the protected segment within budget by demoting its
+    // tail back to probation (victim order for future evictions).
+    while (s.protected_bytes > protected_budget_ &&
+           s.protected_seg.size() > 1) {
+        auto tail = std::prev(s.protected_seg.end());
+        tail->hot = false;
+        s.protected_bytes -= chargeOf(*tail);
+        s.probation.splice(s.probation.begin(), s.protected_seg,
+                           tail);
+    }
+}
+
+bool
+CacheTier::insertLocked(Shard &s, uint64_t hash, BytesView key,
+                        BytesView value, bool prefetched)
+{
+    uint64_t charge = key.size() + value.size() + kEntryOverhead;
+    if (charge > shard_capacity_)
+        return false;
+    // TinyLFU admission: when full, only displace the probation
+    // victim if the candidate has been seen at least as often.
+    // Prefetch fills skip the filter (the correlation table already
+    // vouched for them) but are never allowed to evict protected
+    // entries below.
+    if (!prefetched && s.bytes + charge > shard_capacity_ &&
+        !s.probation.empty()) {
+        uint64_t victim_hash =
+            xxhash64(s.probation.back().key, kHashSeed);
+        if (sketchEstimateLocked(s, hash) <
+            sketchEstimateLocked(s, victim_hash)) {
+            admission_rejects_->inc();
+            return false;
+        }
+    }
+    while (s.bytes + charge > shard_capacity_) {
+        if (s.probation.empty() &&
+            (prefetched || s.protected_seg.empty()))
+            return false;
+        evictOneLocked(s);
+    }
+    s.probation.push_front(
+        Entry{Bytes(key), Bytes(value), false, prefetched});
+    s.index[s.probation.front().key] = s.probation.begin();
+    s.bytes += charge;
+    bytes_gauge_->add(static_cast<int64_t>(charge));
+    entries_gauge_->add(1);
+    return true;
+}
+
+bool
+CacheTier::eraseLocked(Shard &s, BytesView key)
+{
+    auto it = s.index.find(Bytes(key));
+    if (it == s.index.end())
+        return false;
+    EntryList::iterator e = it->second;
+    uint64_t charge = chargeOf(*e);
+    if (e->hot) {
+        s.protected_bytes -= charge;
+        s.protected_seg.erase(e);
+    } else {
+        s.probation.erase(e);
+    }
+    s.index.erase(it);
+    s.bytes -= charge;
+    bytes_gauge_->add(-static_cast<int64_t>(charge));
+    entries_gauge_->add(-1);
+    return true;
+}
+
+void
+CacheTier::evictOneLocked(Shard &s)
+{
+    EntryList &from =
+        s.probation.empty() ? s.protected_seg : s.probation;
+    if (from.empty())
+        return;
+    Entry &victim = from.back();
+    uint64_t charge = chargeOf(victim);
+    if (victim.hot)
+        s.protected_bytes -= charge;
+    s.index.erase(victim.key);
+    from.pop_back();
+    s.bytes -= charge;
+    bytes_gauge_->add(-static_cast<int64_t>(charge));
+    entries_gauge_->add(-1);
+    evictions_->inc();
+}
+
+void
+CacheTier::noteInnerStatus(const Status &s)
+{
+    if (!s.isIODegraded())
+        return;
+    if (degraded_.exchange(true))
+        return;
+    degraded_gauge_->set(1);
+    // Drop everything: a degraded engine is read-only at best, and
+    // serving pre-fault cache state would mask its true responses.
+    for (uint32_t i = 0; i < shard_count_; ++i) {
+        Shard &shard = shards_[i];
+        MutexLock lock(shard.mutex);
+        ++shard.generation;
+        bytes_gauge_->add(-static_cast<int64_t>(shard.bytes));
+        entries_gauge_->add(
+            -static_cast<int64_t>(shard.index.size()));
+        shard.probation.clear();
+        shard.protected_seg.clear();
+        shard.index.clear();
+        shard.bytes = 0;
+        shard.protected_bytes = 0;
+    }
+}
+
+Status
+CacheTier::get(BytesView key, Bytes &value)
+{
+    if (degraded_.load(std::memory_order_relaxed)) {
+        degraded_passthrough_->inc();
+        return inner_.get(key, value);
+    }
+    uint64_t start = obs::nowNanos();
+    uint64_t hash = xxhash64(key, kHashSeed);
+    Shard &s = shardFor(key);
+    bool hit = false;
+    bool first_prefetch_hit = false;
+    uint64_t fill_gen = 0;
+    Status st;
+    {
+        MutexLock lock(s.mutex);
+        sketchRecordLocked(s, hash);
+        auto it = s.index.find(Bytes(key));
+        if (it != s.index.end()) {
+            hit = true;
+            Entry &e = *it->second;
+            value.assign(e.value);
+            if (e.prefetched) {
+                e.prefetched = false;
+                first_prefetch_hit = true;
+            }
+            touchLocked(s, it->second);
+            st = Status::ok();
+        } else {
+            fill_gen = s.generation;
+        }
+    }
+    if (!hit) {
+        // Optimistic fill: the engine read runs with no shard lock
+        // held (a slow read must not stall every hit on this
+        // shard), and the insert is dropped if any mutation bumped
+        // the shard generation meanwhile — so the fill can never
+        // re-insert a value the engine has since replaced.
+        st = inner_.get(key, value);
+        if (st.isOk()) {
+            MutexLock lock(s.mutex);
+            if (s.generation == fill_gen &&
+                s.index.count(Bytes(key)) == 0)
+                insertLocked(s, hash, key, value, false);
+        }
+    }
+    if (hit) {
+        hits_->inc();
+        if (first_prefetch_hit)
+            prefetch_hits_->inc();
+        hit_ns_->record(obs::nowNanos() - start);
+    } else {
+        misses_->inc();
+        miss_fill_ns_->record(obs::nowNanos() - start);
+        noteInnerStatus(st);
+    }
+    if (prefetcher_ != nullptr)
+        prefetcher_->onGet(key, !hit);
+    return st;
+}
+
+Status
+CacheTier::put(BytesView key, BytesView value)
+{
+    if (degraded_.load(std::memory_order_relaxed)) {
+        degraded_passthrough_->inc();
+        return inner_.put(key, value);
+    }
+    Shard &s = shardFor(key);
+    Status st;
+    {
+        MutexLock lock(s.mutex);
+        st = inner_.put(key, value);
+        if (st.isOk()) {
+            ++s.generation; // kills concurrent optimistic fills
+            auto it = s.index.find(Bytes(key));
+            if (it != s.index.end()) {
+                // Update in place: hot keys stay cached across
+                // read-modify-write cycles.
+                Entry &e = *it->second;
+                int64_t delta =
+                    static_cast<int64_t>(value.size()) -
+                    static_cast<int64_t>(e.value.size());
+                e.value.assign(value.data(), value.size());
+                e.prefetched = false;
+                s.bytes += delta;
+                if (e.hot)
+                    s.protected_bytes += delta;
+                bytes_gauge_->add(delta);
+                EntryList &own =
+                    e.hot ? s.protected_seg : s.probation;
+                own.splice(own.begin(), own, it->second);
+                while (s.bytes > shard_capacity_ &&
+                       s.index.size() > 1)
+                    evictOneLocked(s);
+            }
+        }
+    }
+    noteInnerStatus(st);
+    return st;
+}
+
+Status
+CacheTier::del(BytesView key)
+{
+    if (degraded_.load(std::memory_order_relaxed)) {
+        degraded_passthrough_->inc();
+        return inner_.del(key);
+    }
+    Shard &s = shardFor(key);
+    Status st;
+    {
+        MutexLock lock(s.mutex);
+        st = inner_.del(key);
+        if (st.isOk()) {
+            ++s.generation;
+            eraseLocked(s, key);
+        }
+    }
+    noteInnerStatus(st);
+    return st;
+}
+
+Status
+CacheTier::apply(const kv::WriteBatch &batch)
+{
+    if (degraded_.load(std::memory_order_relaxed)) {
+        degraded_passthrough_->inc();
+        return inner_.apply(batch);
+    }
+    // Inner store first, then invalidate: until apply returns the
+    // batch is unacked, so a concurrent GET serving the pre-batch
+    // cached value is linearizable; after the per-key erase below
+    // completes (before the ack), no stale entry survives.
+    Status st = inner_.apply(batch);
+    if (st.isOk()) {
+        for (const kv::BatchEntry &e : batch.entries()) {
+            Shard &s = shardFor(e.key);
+            bool dropped;
+            {
+                MutexLock lock(s.mutex);
+                ++s.generation;
+                dropped = eraseLocked(s, e.key);
+            }
+            if (dropped)
+                invalidations_->inc();
+        }
+    }
+    noteInnerStatus(st);
+    return st;
+}
+
+bool
+CacheTier::contains(BytesView key)
+{
+    if (!degraded_.load(std::memory_order_relaxed)) {
+        Shard &s = shardFor(key);
+        MutexLock lock(s.mutex);
+        if (s.index.count(Bytes(key)) != 0)
+            return true;
+    }
+    return inner_.contains(key);
+}
+
+Status
+CacheTier::scan(BytesView start, BytesView end,
+                const kv::ScanCallback &cb)
+{
+    // Scans bypass the cache entirely — they neither populate it
+    // (scan resistance) nor consult it (the inner store is always
+    // at least as fresh as the cache).
+    return inner_.scan(start, end, cb);
+}
+
+Status
+CacheTier::flush()
+{
+    return inner_.flush();
+}
+
+const kv::IOStats &
+CacheTier::stats() const
+{
+    return inner_.stats();
+}
+
+std::string
+CacheTier::name() const
+{
+    return "cachetier(" + inner_.name() + ")";
+}
+
+uint64_t
+CacheTier::liveKeyCount()
+{
+    return inner_.liveKeyCount();
+}
+
+void
+CacheTier::setPrefetcher(CorrelationPrefetcher *prefetcher)
+{
+    prefetcher_ = prefetcher;
+}
+
+void
+CacheTier::invalidate(BytesView key)
+{
+    invalidations_->inc();
+    if (degraded_.load(std::memory_order_relaxed))
+        return;
+    Shard &s = shardFor(key);
+    MutexLock lock(s.mutex);
+    ++s.generation;
+    eraseLocked(s, key);
+}
+
+void
+CacheTier::prefetchFill(BytesView key)
+{
+    if (degraded_.load(std::memory_order_relaxed))
+        return;
+    uint64_t start = obs::nowNanos();
+    uint64_t hash = xxhash64(key, kHashSeed);
+    Shard &s = shardFor(key);
+    uint64_t fill_gen;
+    {
+        MutexLock lock(s.mutex);
+        if (s.index.count(Bytes(key)) != 0) {
+            prefetch_redundant_->inc();
+            return;
+        }
+        fill_gen = s.generation;
+    }
+    // Same optimistic protocol as the GET miss fill: engine read
+    // with no shard lock held, insert dropped on generation skew.
+    Bytes value;
+    Status st = inner_.get(key, value);
+    if (st.isOk()) {
+        MutexLock lock(s.mutex);
+        if (s.generation == fill_gen &&
+            s.index.count(Bytes(key)) == 0)
+            insertLocked(s, hash, key, value, true);
+    }
+    noteInnerStatus(st);
+    if (st.isOk())
+        prefetch_fill_ns_->record(obs::nowNanos() - start);
+}
+
+bool
+CacheTier::isDegraded() const
+{
+    return degraded_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+CacheTier::cachedBytes() const
+{
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < shard_count_; ++i) {
+        MutexLock lock(shards_[i].mutex);
+        total += shards_[i].bytes;
+    }
+    return total;
+}
+
+uint64_t
+CacheTier::cachedEntries() const
+{
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < shard_count_; ++i) {
+        MutexLock lock(shards_[i].mutex);
+        total += shards_[i].index.size();
+    }
+    return total;
+}
+
+bool
+CacheTier::cachedForTest(BytesView key) const
+{
+    Shard &s = shardFor(key);
+    MutexLock lock(s.mutex);
+    return s.index.count(Bytes(key)) != 0;
+}
+
+} // namespace ethkv::cachetier

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Server-tier read cache for ethkvd (DESIGN.md §14).
+ *
+ * The paper's Section-V proposal fronts the hybrid store with a
+ * class-aware, correlation-aware cache: Ethereum's read stream is
+ * heavily skewed (Fig 4) and strongly correlated (Fig 5), so a
+ * modest server-side cache absorbs most GETs before they reach the
+ * engine. CacheTier is that layer: a sharded, scan-resistant cache
+ * keyed on the wire key, stacked between the server request path
+ * and the (possibly replicated) engine:
+ *
+ *     Server -> InstrumentedKVStore -> CacheTier
+ *            -> [ReplicatedKVStore] -> engine
+ *
+ * Eviction is segmented LRU (probation + protected) with a
+ * TinyLFU-style admission filter: a per-shard 4-way frequency
+ * sketch estimates how often a key has been touched, and when the
+ * shard is full a newly missed key is only admitted if it is at
+ * least as popular as the probation-tail victim it would evict.
+ * One-shot keys from SCAN-like sweeps therefore cannot flush the
+ * hot set — they fail admission, and even when admitted they enter
+ * probation and are evicted before anything protected.
+ *
+ * Correctness contract: mutations (put/del) hold the shard mutex
+ * across the inner-store write, so the cached entry and the engine
+ * can never disagree after an ack. A GET miss, by contrast, reads
+ * the engine with NO shard lock held — a slow engine read must not
+ * stall every hit on the shard — and guards its insert with a
+ * per-shard generation counter: every mutation that touches the
+ * shard (put/del/apply/invalidate/degraded-clear) bumps the
+ * generation, and a fill whose generation no longer matches is
+ * dropped, so an optimistic fill can never re-insert a value the
+ * engine has since replaced. apply() writes the inner store first
+ * and then invalidates every batch key shard-by-shard; a
+ * concurrent GET either sees the pre-batch cache entry before the
+ * invalidation (indistinguishable from running before the batch)
+ * or misses and refills from the post-batch store. Replica replay
+ * at followers bypasses this layer entirely, so ReplicationHub
+ * invokes invalidate() for every replayed key (the invalidation
+ * hook wired in ethkvd_main).
+ *
+ * Degraded mode is sticky: the first inner IODegraded status
+ * latches the tier into pass-through — every subsequent operation
+ * goes straight to the inner store and the cache contents are
+ * dropped, so a read-only degraded engine never has its responses
+ * masked by pre-fault cache state.
+ */
+
+#ifndef ETHKV_CACHETIER_CACHE_TIER_HH
+#define ETHKV_CACHETIER_CACHE_TIER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/lock_ranks.hh"
+#include "common/mutex.hh"
+#include "common/status.hh"
+#include "kvstore/kvstore.hh"
+#include "obs/metrics.hh"
+
+namespace ethkv::cachetier
+{
+
+class CorrelationPrefetcher;
+
+struct CacheTierOptions
+{
+    //! Total cache budget across all shards (keys + values +
+    //! bookkeeping overhead).
+    uint64_t capacity_bytes = 64ull << 20;
+    //! Shard count; rounded up to a power of two, so the top bits
+    //! of the key hash pick the shard.
+    uint32_t shards = 16;
+    //! Fraction of each shard reserved for the protected segment.
+    double protected_fraction = 0.8;
+    //! Metrics sink; nullptr means the process-global registry.
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * Sharded segmented-LRU cache with TinyLFU admission, stacked over
+ * any thread-safe KVStore.
+ */
+class CacheTier final : public kv::KVStore
+{
+  public:
+    CacheTier(kv::KVStore &inner, const CacheTierOptions &options);
+    ~CacheTier() override;
+
+    CacheTier(const CacheTier &) = delete;
+    CacheTier &operator=(const CacheTier &) = delete;
+
+    Status put(BytesView key, BytesView value) override;
+    Status get(BytesView key, Bytes &value) override;
+    Status del(BytesView key) override;
+    Status scan(BytesView start, BytesView end,
+                const kv::ScanCallback &cb) override;
+    Status apply(const kv::WriteBatch &batch) override;
+    bool contains(BytesView key) override;
+    Status flush() override;
+    const kv::IOStats &stats() const override;
+    std::string name() const override;
+    uint64_t liveKeyCount() override;
+
+    /**
+     * Register the prefetcher notified on every GET. Must be called
+     * before the tier is shared across threads; the prefetcher must
+     * outlive all subsequent operations.
+     */
+    void setPrefetcher(CorrelationPrefetcher *prefetcher);
+
+    /**
+     * Drop any cached entry for @p key. Called by the replication
+     * replay hook at followers: replayed batches mutate the store
+     * beneath this layer, so the cache must forget the key.
+     */
+    void invalidate(BytesView key);
+
+    /**
+     * Background fill from the prefetch thread: read @p key from
+     * the inner store and cache it (marked prefetched, admission
+     * filter bypassed — the correlation table already vouched for
+     * it). No-op when the key is already cached, absent, or the
+     * tier is degraded.
+     */
+    void prefetchFill(BytesView key);
+
+    /** Whether the sticky IODegraded pass-through latch is set. */
+    bool isDegraded() const;
+
+    uint64_t cachedBytes() const;
+    uint64_t cachedEntries() const;
+
+    /** Test hook: whether @p key currently sits in the cache. */
+    bool cachedForTest(BytesView key) const;
+
+  private:
+    struct Entry
+    {
+        Bytes key;
+        Bytes value;
+        bool hot = false;        //!< In the protected segment.
+        bool prefetched = false; //!< Filled by the prefetcher and
+                                 //!< not yet demand-hit.
+    };
+
+    using EntryList = std::list<Entry>;
+
+    // Per-shard state. The mutex guards every other member; no
+    // GUARDED_BY annotations because clang TSA cannot name a
+    // sibling member through the shard reference, but the analyzer
+    // lock graph and the runtime rank check both cover it.
+    struct Shard
+    {
+        mutable Mutex mutex{lock_ranks::kCacheShard};
+        EntryList probation;
+        EntryList protected_seg;
+        std::unordered_map<Bytes, EntryList::iterator> index;
+        uint64_t bytes = 0;
+        uint64_t protected_bytes = 0;
+        //! 4-way TinyLFU frequency sketch: saturating 8-bit
+        //! counters, halved once sample_count hits the aging
+        //! threshold so old popularity decays.
+        std::vector<uint8_t> sketch;
+        uint64_t sketch_samples = 0;
+        //! Bumped by every mutation touching this shard; an
+        //! optimistic miss/prefetch fill whose start-of-read
+        //! generation no longer matches is dropped (see the
+        //! correctness contract above).
+        uint64_t generation = 0;
+    };
+
+    Shard &shardFor(BytesView key) const;
+    static uint64_t chargeOf(const Entry &e);
+
+    // All *Locked helpers require the shard mutex.
+    void sketchRecordLocked(Shard &s, uint64_t hash);
+    uint32_t sketchEstimateLocked(const Shard &s,
+                                  uint64_t hash) const;
+    void touchLocked(Shard &s, EntryList::iterator it);
+    bool insertLocked(Shard &s, uint64_t hash, BytesView key,
+                      BytesView value, bool prefetched);
+    //! @return whether an entry for @p key was actually dropped.
+    bool eraseLocked(Shard &s, BytesView key);
+    void evictOneLocked(Shard &s);
+    void updateGaugesLocked(const Shard &s);
+
+    //! Latch pass-through on an inner IODegraded status and drop
+    //! all cached entries. Called with no shard lock held.
+    void noteInnerStatus(const Status &s);
+
+    kv::KVStore &inner_;
+    CacheTierOptions opts_;
+    uint32_t shard_count_;      //!< Power of two.
+    uint64_t shard_capacity_;   //!< capacity_bytes / shard_count_.
+    uint64_t protected_budget_; //!< Per shard.
+    std::unique_ptr<Shard[]> shards_;
+    CorrelationPrefetcher *prefetcher_ = nullptr;
+    std::atomic<bool> degraded_{false};
+
+    obs::Counter *hits_;
+    obs::Counter *misses_;
+    obs::Counter *admission_rejects_;
+    obs::Counter *evictions_;
+    obs::Counter *invalidations_;
+    obs::Counter *degraded_passthrough_;
+    obs::Counter *prefetch_hits_;
+    obs::Counter *prefetch_redundant_;
+    obs::Gauge *bytes_gauge_;
+    obs::Gauge *entries_gauge_;
+    obs::Gauge *degraded_gauge_;
+    obs::LatencyHistogram *hit_ns_;
+    obs::LatencyHistogram *miss_fill_ns_;
+    obs::LatencyHistogram *prefetch_fill_ns_;
+};
+
+} // namespace ethkv::cachetier
+
+#endif // ETHKV_CACHETIER_CACHE_TIER_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * CorrelationPrefetcher implementation. See prefetcher.hh for the
+ * threading contract.
+ */
+
+#include "cachetier/prefetcher.hh"
+
+#include <sstream>
+
+namespace ethkv::cachetier
+{
+
+CorrelationPrefetcher::CorrelationPrefetcher(
+    CacheTier &tier, const PrefetcherOptions &options)
+    : tier_(tier), opts_(options),
+      miner_(options.mine_window, options.mine_max_followers)
+{
+    obs::MetricsRegistry &reg =
+        opts_.metrics != nullptr ? *opts_.metrics
+                                 : obs::MetricsRegistry::global();
+    issued_ = &reg.counter("cachetier.prefetch.issued");
+    queue_drops_ =
+        &reg.counter("cachetier.prefetch.queue_drops");
+    observe_drops_ =
+        &reg.counter("cachetier.prefetch.observe_drops");
+    queue_depth_ = &reg.gauge("cachetier.prefetch.queue_depth");
+}
+
+CorrelationPrefetcher::~CorrelationPrefetcher()
+{
+    stop();
+}
+
+Status
+CorrelationPrefetcher::loadTable(Env *env, const std::string &path)
+{
+    Bytes text;
+    Status st = env->readFileToString(path, text);
+    if (!st.isOk())
+        return st;
+    std::unordered_map<Bytes, std::vector<Bytes>> table;
+    std::istringstream lines{std::string(text)};
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        std::istringstream tokens(line);
+        std::string tok;
+        Bytes key;
+        std::vector<Bytes> followers;
+        bool first = true;
+        while (tokens >> tok) {
+            if (tok[0] == '#')
+                break;
+            Bytes decoded;
+            if (!fromHex(tok, decoded))
+                return Status::corruption(
+                    "corr table " + path + ":" +
+                    std::to_string(lineno) +
+                    ": bad hex token '" + tok + "'");
+            if (first) {
+                key = std::move(decoded);
+                first = false;
+            } else {
+                followers.push_back(std::move(decoded));
+            }
+        }
+        if (!first && !followers.empty())
+            table[std::move(key)] = std::move(followers);
+    }
+    table_ = std::move(table);
+    has_table_ = true;
+    return Status::ok();
+}
+
+void
+CorrelationPrefetcher::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    stop_ = false;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+CorrelationPrefetcher::stop()
+{
+    if (!started_)
+        return;
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_.native());
+        stop_ = true;
+    }
+    queue_cv_.notify_all();
+    thread_.join();
+    started_ = false;
+}
+
+void
+CorrelationPrefetcher::onGet(BytesView key, bool missed)
+{
+    if (!has_table_) {
+        // Feed the online miner best-effort: tryLock so the GET
+        // path never blocks behind the background thread's
+        // followersOf lookup; a dropped sample only costs signal.
+        if (index_mutex_.tryLock()) {
+            Bytes k(key);
+            auto it = id_of_key_.find(k);
+            if (it != id_of_key_.end()) {
+                miner_.observe(it->second);
+            } else if (id_of_key_.size() <
+                       opts_.max_tracked_keys) {
+                uint64_t id = key_of_id_.size();
+                key_of_id_.push_back(k);
+                id_of_key_.emplace(std::move(k), id);
+                miner_.observe(id);
+            }
+            index_mutex_.unlock();
+        } else {
+            observe_drops_->inc();
+        }
+    }
+    if (!missed)
+        return;
+    bool notify = false;
+    {
+        MutexLock lock(queue_mutex_);
+        if (stop_ || queue_.size() >= opts_.queue_capacity) {
+            queue_drops_->inc();
+        } else {
+            queue_.emplace_back(key);
+            queue_depth_->set(
+                static_cast<int64_t>(queue_.size()));
+            notify = true;
+        }
+    }
+    if (notify)
+        queue_cv_.notify_one();
+}
+
+std::vector<Bytes>
+CorrelationPrefetcher::followersOf(const Bytes &key)
+{
+    std::vector<Bytes> out;
+    if (has_table_) {
+        auto it = table_.find(key);
+        if (it != table_.end()) {
+            for (const Bytes &f : it->second) {
+                if (out.size() >= opts_.top_k)
+                    break;
+                out.push_back(f);
+            }
+        }
+        return out;
+    }
+    MutexLock lock(index_mutex_);
+    auto it = id_of_key_.find(key);
+    if (it == id_of_key_.end())
+        return out;
+    for (uint64_t id :
+         miner_.followers(it->second, opts_.min_support)) {
+        if (out.size() >= opts_.top_k)
+            break;
+        if (id < key_of_id_.size())
+            out.push_back(key_of_id_[id]);
+    }
+    return out;
+}
+
+void
+CorrelationPrefetcher::loop()
+{
+    while (true) {
+        Bytes key;
+        {
+            std::unique_lock<std::mutex> lock(
+                queue_mutex_.native());
+            queue_cv_.wait(lock, [this] {
+                return stop_ || !queue_.empty();
+            });
+            if (queue_.empty()) { // stop_ set, queue drained
+                idle_ = true;
+                done_cv_.notify_all();
+                return;
+            }
+            idle_ = false;
+            key = std::move(queue_.front());
+            queue_.pop_front();
+            queue_depth_->set(
+                static_cast<int64_t>(queue_.size()));
+        }
+        // No lock held while touching the tier: prefetchFill takes
+        // the shard lock and the inner store's own locks, exactly
+        // like a foreground GET (ranks climb queue -> shard ->
+        // store).
+        std::vector<Bytes> followers = followersOf(key);
+        for (const Bytes &f : followers) {
+            issued_->inc();
+            tier_.prefetchFill(f);
+        }
+        {
+            std::unique_lock<std::mutex> lock(
+                queue_mutex_.native());
+            if (queue_.empty()) {
+                idle_ = true;
+                done_cv_.notify_all();
+            }
+        }
+    }
+}
+
+void
+CorrelationPrefetcher::drainForTest()
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_.native());
+    done_cv_.wait(lock,
+                  [this] { return queue_.empty() && idle_; });
+}
+
+size_t
+CorrelationPrefetcher::queueDepthForTest() const
+{
+    MutexLock lock(queue_mutex_);
+    return queue_.size();
+}
+
+} // namespace ethkv::cachetier

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Correlation-driven prefetcher for the server cache tier
+ * (DESIGN.md §14).
+ *
+ * Findings 8–9: Ethereum reads are strongly correlated — when key k
+ * is read, a small stable set of followers tends to be read within
+ * the next few operations. CorrelationPrefetcher exploits that at
+ * the server tier: on a GET miss it enqueues the key on a bounded
+ * queue, and a single background thread looks up the key's top-k
+ * correlated followers and warms them into the CacheTier
+ * (CacheTier::prefetchFill) before the client asks for them.
+ *
+ * Follower relations come from either source:
+ *  - a static correlation table (`--corr-table <file>`): one line
+ *    per key, whitespace-separated hex — the key first, followers
+ *    after, strongest first. Immutable after load, read lock-free.
+ *  - online mining (no table): a core::CorrelationMiner fed from
+ *    the live GET stream through a bounded key-interning map. The
+ *    miner is not thread-safe, so observation uses tryLock — under
+ *    contention a sample is simply dropped, never blocking a GET.
+ *
+ * The background thread must never block the request path: it owns
+ * no lock while calling into the inner store (the fill takes the
+ * shard lock like any GET), the queue is bounded (drops counted in
+ * cachetier.prefetch.queue_drops), and the hot-path rule in
+ * tools/ethkv_analyze asserts no fsync/sleep-family call is
+ * reachable from loop().
+ */
+
+#ifndef ETHKV_CACHETIER_PREFETCHER_HH
+#define ETHKV_CACHETIER_PREFETCHER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cachetier/cache_tier.hh"
+#include "common/env.hh"
+#include "core/corr_cache.hh"
+
+namespace ethkv::cachetier
+{
+
+struct PrefetcherOptions
+{
+    //! Followers fetched per missed key.
+    uint32_t top_k = 4;
+    //! Pending-miss queue bound; overflow is dropped (and counted),
+    //! never blocks the GET path.
+    size_t queue_capacity = 4096;
+    //! Online miner window / candidates (corr_cache defaults).
+    size_t mine_window = 8;
+    size_t mine_max_followers = 8;
+    //! Minimum association count before a follower is prefetched.
+    uint32_t min_support = 2;
+    //! Online mode interns wire keys to miner ids; stop growing the
+    //! map past this many distinct keys.
+    size_t max_tracked_keys = 1u << 20;
+    //! Metrics sink; nullptr means the process-global registry.
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * Background prefetcher feeding a CacheTier from correlation data.
+ */
+class CorrelationPrefetcher
+{
+  public:
+    CorrelationPrefetcher(CacheTier &tier,
+                          const PrefetcherOptions &options);
+    ~CorrelationPrefetcher();
+
+    CorrelationPrefetcher(const CorrelationPrefetcher &) = delete;
+    CorrelationPrefetcher &
+    operator=(const CorrelationPrefetcher &) = delete;
+
+    /**
+     * Load a static correlation table (hex key + hex followers per
+     * line). Must be called before start(); switches the prefetcher
+     * out of online-mining mode.
+     */
+    [[nodiscard]] Status loadTable(Env *env,
+                                   const std::string &path);
+
+    /** Number of keys in the static table (0 in online mode). */
+    size_t tableSize() const { return table_.size(); }
+
+    void start();
+    void stop();
+
+    /**
+     * GET-path notification from CacheTier, called with no lock
+     * held. Feeds the online miner (best-effort) and, when the GET
+     * missed, enqueues the key for background prefetch.
+     */
+    void onGet(BytesView key, bool missed);
+
+    /** Test hook: block until the queue is drained and idle. */
+    void drainForTest();
+
+    size_t queueDepthForTest() const;
+
+  private:
+    void loop();
+    std::vector<Bytes> followersOf(const Bytes &key);
+
+    CacheTier &tier_;
+    PrefetcherOptions opts_;
+
+    //! Static follower table; immutable after loadTable, so reads
+    //! take no lock.
+    std::unordered_map<Bytes, std::vector<Bytes>> table_;
+    bool has_table_ = false;
+
+    //! Online mode: miner + bounded two-way key interning, guarded
+    //! by index_mutex_ (tryLock on the GET path).
+    mutable Mutex index_mutex_{lock_ranks::kCorrIndex};
+    core::CorrelationMiner miner_;
+    std::unordered_map<Bytes, uint64_t> id_of_key_;
+    std::vector<Bytes> key_of_id_;
+
+    //! Miss queue, guarded by queue_mutex_ (the cv uses native()).
+    mutable Mutex queue_mutex_{lock_ranks::kPrefetchQueue};
+    std::condition_variable queue_cv_;
+    std::condition_variable done_cv_;
+    std::deque<Bytes> queue_;
+    bool stop_ = false;
+    bool idle_ = true;
+
+    std::thread thread_;
+    bool started_ = false;
+
+    obs::Counter *issued_;
+    obs::Counter *queue_drops_;
+    obs::Counter *observe_drops_;
+    obs::Gauge *queue_depth_;
+};
+
+} // namespace ethkv::cachetier
+
+#endif // ETHKV_CACHETIER_PREFETCHER_HH

@@ -37,6 +37,18 @@
  * engine inside a worker request and must nest between the worker
  * lock and the engine locks; its ReplicationLog is taken while the
  * store lock is held, hence one notch above.
+ *
+ * Cache tier (DESIGN.md §14): the cache shard lock is held across
+ * the inner-store write on put/del (miss fills read the engine
+ * optimistically with no shard lock held), so it must rank below
+ * every store lock (the cache wraps the replicated store, which
+ * wraps the engine) but above the worker frame. The prefetcher's
+ * queue and
+ * correlation-index locks are short leaf sections taken from the
+ * GET path *after* the shard lock is released and from the
+ * background prefetch thread, and rank just below the shard lock so
+ * the background thread (queue -> shard -> inner store) also
+ * climbs.
  */
 
 #ifndef ETHKV_COMMON_LOCK_RANKS_HH
@@ -49,6 +61,9 @@ inline constexpr int kReplHub = 3;
 inline constexpr int kReplSender = 5;
 inline constexpr int kReplFollower = 8;
 inline constexpr int kServerWorker = 10;
+inline constexpr int kPrefetchQueue = 11;
+inline constexpr int kCorrIndex = 12;
+inline constexpr int kCacheShard = 13;
 inline constexpr int kReplStore = 15;
 inline constexpr int kReplLog = 17;
 inline constexpr int kHybridRoute = 20;
@@ -74,6 +89,9 @@ inline constexpr Entry kLockRanks[] = {
     {"ReplicationSender::mutex_", kReplSender},
     {"FollowerClient::mutex_", kReplFollower},
     {"Server::Worker::mutex", kServerWorker},
+    {"CorrelationPrefetcher::queue_mutex_", kPrefetchQueue},
+    {"CorrelationPrefetcher::index_mutex_", kCorrIndex},
+    {"CacheTier::Shard::mutex", kCacheShard},
     {"ReplicatedKVStore::mutex_", kReplStore},
     {"ReplicationLog::mutex_", kReplLog},
     {"HybridKVStore::route_mutex_", kHybridRoute},

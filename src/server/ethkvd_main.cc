@@ -36,6 +36,8 @@
 #include <memory>
 #include <string>
 
+#include "cachetier/cache_tier.hh"
+#include "cachetier/prefetcher.hh"
 #include "common/env.hh"
 #include "common/fault_env.hh"
 #include "common/logging.hh"
@@ -135,6 +137,15 @@ usage(const char *argv0)
         " (default 5000)\n"
         "  --conn-idle-timeout-ms <n> close idle connections;"
         " 0 = never (default)\n"
+        "  --cache-tier-bytes <n>   server-tier read cache budget;"
+        " 0 = off (default)\n"
+        "  --cache-shards <n>       cache tier shard count"
+        " (default 16)\n"
+        "  --prefetch-k <n>         correlated keys prefetched per"
+        " miss; 0 = off (default 4)\n"
+        "  --corr-table <path>      static correlation table for"
+        " the prefetcher (hex key + followers per line;"
+        " omit to mine online)\n"
         "\n"
         "SIGUSR1 dumps the slow-op log to stderr and rewrites the"
         " --trace file.\n",
@@ -180,6 +191,10 @@ struct Flags
     uint64_t repl_segment_bytes = 0;
     int repl_ack_timeout_ms = 5000;
     int conn_idle_timeout_ms = 0;
+    uint64_t cache_tier_bytes = 0;
+    uint32_t cache_shards = 16;
+    int prefetch_k = 4;
+    std::string corr_table;
 };
 
 bool
@@ -270,6 +285,16 @@ parseFlags(int argc, char **argv, Flags &f)
         } else if (arg == "--conn-idle-timeout-ms") {
             f.conn_idle_timeout_ms =
                 std::atoi(next("--conn-idle-timeout-ms"));
+        } else if (arg == "--cache-tier-bytes") {
+            f.cache_tier_bytes = std::strtoull(
+                next("--cache-tier-bytes"), nullptr, 10);
+        } else if (arg == "--cache-shards") {
+            f.cache_shards = static_cast<uint32_t>(std::strtoul(
+                next("--cache-shards"), nullptr, 10));
+        } else if (arg == "--prefetch-k") {
+            f.prefetch_k = std::atoi(next("--prefetch-k"));
+        } else if (arg == "--corr-table") {
+            f.corr_table = next("--corr-table");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -456,6 +481,48 @@ main(int argc, char **argv)
         serve = &repl_hub->wrap(*serve);
     }
 
+    // Cache tier (DESIGN.md §14): stacked above replication so
+    // primary-side mutations invalidate inline, while follower
+    // replay — which mutates beneath this layer — invalidates via
+    // the hub hook below. With --cache-tier-bytes 0 (default) the
+    // stack is bit-identical to a cache-less build.
+    std::unique_ptr<cachetier::CacheTier> cache_tier;
+    std::unique_ptr<cachetier::CorrelationPrefetcher> prefetcher;
+    if (flags.cache_tier_bytes > 0) {
+        cachetier::CacheTierOptions copts;
+        copts.capacity_bytes = flags.cache_tier_bytes;
+        copts.shards = flags.cache_shards;
+        cache_tier =
+            std::make_unique<cachetier::CacheTier>(*serve, copts);
+        if (flags.prefetch_k > 0) {
+            cachetier::PrefetcherOptions popts;
+            popts.top_k =
+                static_cast<uint32_t>(flags.prefetch_k);
+            prefetcher =
+                std::make_unique<cachetier::CorrelationPrefetcher>(
+                    *cache_tier, popts);
+            if (!flags.corr_table.empty())
+                prefetcher
+                    ->loadTable(Env::defaultEnv(),
+                                flags.corr_table)
+                    .expectOk("corr table");
+            cache_tier->setPrefetcher(prefetcher.get());
+            prefetcher->start();
+        }
+        if (repl_hub) {
+            cachetier::CacheTier *tier = cache_tier.get();
+            repl_hub->setInvalidationHook(
+                [tier](const std::vector<Bytes> &keys) {
+                    for (const Bytes &k : keys)
+                        tier->invalidate(k);
+                });
+        }
+        serve = cache_tier.get();
+    } else if (!flags.corr_table.empty()) {
+        warn("ethkvd: --corr-table ignored without"
+             " --cache-tier-bytes");
+    }
+
     // Serve through the measuring decorator so op.engine.* metrics
     // (and the engine rows in STATS) are always populated.
     kv::InstrumentedKVStore instrumented(
@@ -548,6 +615,8 @@ main(int argc, char **argv)
     if (metrics_writer)
         metrics_writer->stop(); // writes one final snapshot
     srv.stop(); // joins threads, flushes the engine
+    if (prefetcher)
+        prefetcher->stop(); // after srv.stop(): no more GETs
     if (trace_log)
         writeTraceFile(*trace_log, flags.trace_path);
     return 0;

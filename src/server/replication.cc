@@ -114,36 +114,60 @@ ReplicatedKVStore::applyReplicaBytes(BytesView records,
 {
     applied_seq = 0;
     applied_records = 0;
-    MutexLock lock(mutex_);
-    size_t pos = 0;
-    while (pos < records.size()) {
-        size_t start = pos;
-        kv::WriteBatch batch;
-        uint64_t first_seq = 0;
-        Status s =
-            kv::decodeWalRecord(records, pos, batch, first_seq);
-        if (s.isNotFound())
-            return Status::corruption(
-                "torn record in replication batch");
-        if (!s.isOk())
-            return s;
-        s = base_.apply(batch);
-        if (!s.isOk())
-            return s;
-        // Engine first, then log: if the log append fails the
-        // engine is one record ahead, which is safe — the resume
-        // offset is the log end, the primary resends the record,
-        // and applying it twice is idempotent (put/del).
-        s = log_.appendRaw(records.substr(start, pos - start),
-                           nullptr);
-        if (!s.isOk())
-            return s;
-        if (!batch.empty())
-            applied_seq = first_seq + batch.size() - 1;
-        next_seq_ = std::max(next_seq_, applied_seq + 1);
-        applied_records += 1;
+    std::vector<Bytes> invalidated;
+    Status result;
+    {
+        MutexLock lock(mutex_);
+        size_t pos = 0;
+        while (pos < records.size()) {
+            size_t start = pos;
+            kv::WriteBatch batch;
+            uint64_t first_seq = 0;
+            Status s = kv::decodeWalRecord(records, pos, batch,
+                                           first_seq);
+            if (s.isNotFound()) {
+                result = Status::corruption(
+                    "torn record in replication batch");
+                break;
+            }
+            if (!s.isOk()) {
+                result = s;
+                break;
+            }
+            s = base_.apply(batch);
+            if (!s.isOk()) {
+                result = s;
+                break;
+            }
+            // These keys just changed beneath any cache tier
+            // stacked above this store; collect them so the hub
+            // can invalidate once the store lock drops (the cache
+            // shard lock ranks below kReplStore, so invalidating
+            // here would invert the lock order). Keys applied
+            // before a partial failure are collected too — they
+            // are in the engine and must not be served stale.
+            for (const kv::BatchEntry &e : batch.entries())
+                invalidated.push_back(e.key);
+            // Engine first, then log: if the log append fails the
+            // engine is one record ahead, which is safe — the
+            // resume offset is the log end, the primary resends
+            // the record, and applying it twice is idempotent
+            // (put/del).
+            s = log_.appendRaw(records.substr(start, pos - start),
+                               nullptr);
+            if (!s.isOk()) {
+                result = s;
+                break;
+            }
+            if (!batch.empty())
+                applied_seq = first_seq + batch.size() - 1;
+            next_seq_ = std::max(next_seq_, applied_seq + 1);
+            applied_records += 1;
+        }
     }
-    return Status::ok();
+    if (!invalidated.empty())
+        hub_.notifyReplicaApplied(invalidated);
+    return result;
 }
 
 Status
@@ -1138,6 +1162,20 @@ void
 ReplicationHub::setAckDelivery(AckDelivery cb)
 {
     ack_delivery_ = std::move(cb);
+}
+
+void
+ReplicationHub::setInvalidationHook(InvalidationHook cb)
+{
+    invalidation_hook_ = std::move(cb);
+}
+
+void
+ReplicationHub::notifyReplicaApplied(
+    const std::vector<Bytes> &keys)
+{
+    if (invalidation_hook_)
+        invalidation_hook_(keys);
 }
 
 bool

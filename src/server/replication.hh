@@ -225,6 +225,16 @@ class ReplicationHub
 
     void setAckDelivery(AckDelivery cb);
 
+    /** Called after follower replay applies records, with every
+     *  mutated key — replayed batches change the store beneath any
+     *  cache tier stacked above it, so ethkvd registers the cache
+     *  invalidation here. Set once before start(), like the ack
+     *  delivery; invoked with no replication lock held. */
+    using InvalidationHook =
+        std::function<void(const std::vector<Bytes> &)>;
+
+    void setInvalidationHook(InvalidationHook cb);
+
     /** True when the server should park this mutation's ack until
      *  the sender confirms follower acks. */
     bool deferAcks() const;
@@ -267,6 +277,10 @@ class ReplicationHub
     /** Sender thread -> server: completed sync-ack waiters. */
     void deliverAcks(std::vector<AckWaiter> &&waiters);
 
+    /** Replay thread -> cache tier: keys mutated by replica
+     *  replay (fires the invalidation hook, if any). */
+    void notifyReplicaApplied(const std::vector<Bytes> &keys);
+
     Status startSenderLocked() REQUIRES(mutex_);
 
     ReplicationOptions options_;
@@ -291,6 +305,9 @@ class ReplicationHub
     /** Set once before the server starts serving; read by the
      *  sender thread only after a subscriber exists. */
     AckDelivery ack_delivery_;
+
+    /** Set once before serving; read by the replay thread only. */
+    InvalidationHook invalidation_hook_;
 
     // Metrics (shared by both roles; see DESIGN.md §13).
     obs::Gauge *lag_bytes_;

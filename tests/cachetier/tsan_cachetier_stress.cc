@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ThreadSanitizer stress for the server cache tier (DESIGN.md
+ * §14), always built with -fsanitize=thread (see
+ * tests/CMakeLists.txt). The shape under test is the live ethkvd
+ * one: many workers issuing GET/PUT/DELETE/BATCH through one
+ * CacheTier while the online prefetcher fills in the background
+ * and the replication-replay hook fires invalidate() from yet
+ * another thread.
+ *
+ * Beyond TSan's race detection, the readers assert the tier's
+ * correctness contract directly: no stale read after an acked
+ * mutation. Each key has a single writer that bumps a per-key
+ * version with every mutation and publishes (version, present)
+ * only AFTER the tier call returns — i.e. after the point a server
+ * would ack the client. A reader that then observes an older
+ * version, or a value at all after an acked delete, has caught the
+ * miss-fill/invalidation race the shard-lock-across-inner-read
+ * design exists to prevent.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachetier/cache_tier.hh"
+#include "cachetier/prefetcher.hh"
+#include "common/rand.hh"
+#include "kvstore/locked_store.hh"
+#include "kvstore/mem_store.hh"
+#include "kvstore/write_batch.hh"
+#include "obs/metrics.hh"
+
+using namespace ethkv;
+
+namespace
+{
+
+constexpr int kKeys = 64;
+constexpr int kWriters = 2;
+constexpr int kReaders = 2;
+constexpr int kOpsPerWriter = 30000;
+
+std::atomic<int> failures{0};
+std::atomic<bool> writers_done{false};
+
+//! Acked state per key, published after the tier call returns:
+//! (version << 1) | present. Version 0 = never written.
+std::atomic<uint64_t> acked[kKeys];
+
+Bytes
+keyOf(int id)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", id);
+    return buf;
+}
+
+Bytes
+valueOf(int id, uint64_t version)
+{
+    return keyOf(id) + ":" + std::to_string(version) +
+           ":payload-padding-padding";
+}
+
+uint64_t
+versionOf(const Bytes &value)
+{
+    size_t colon = value.find(':');
+    return std::strtoull(value.c_str() + colon + 1, nullptr, 10);
+}
+
+void
+fail(const char *what, int key, uint64_t got, uint64_t want)
+{
+    std::fprintf(stderr,
+                 "tsan_cachetier_stress: FAILED: %s key=%d "
+                 "got-version=%llu acked-version=%llu\n",
+                 what, key, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    ++failures;
+}
+
+/**
+ * Single writer per key partition (key % kWriters == writer).
+ * Mutates through the tier, then publishes the acked state — the
+ * order a real server acks in.
+ */
+void
+writerBody(cachetier::CacheTier &tier, int writer)
+{
+    Rng rng(0x5eed + writer);
+    uint64_t version[kKeys] = {};
+    for (int i = 0; i < kOpsPerWriter; ++i) {
+        int key = static_cast<int>(rng.nextBounded(kKeys / 2)) *
+                      kWriters +
+                  writer;
+        int dice = static_cast<int>(rng.nextBounded(8));
+        if (dice == 0) {
+            // Acked delete: no reader may see any version <= this
+            // one afterwards.
+            uint64_t v = ++version[key];
+            if (!tier.del(keyOf(key)).isOk())
+                fail("del status", key, 0, v);
+            acked[key].store(v << 1,
+                             std::memory_order_release);
+        } else if (dice == 1) {
+            // Batch covering two keys of this writer's partition.
+            int key2 = (key + kWriters) % kKeys;
+            uint64_t v1 = ++version[key];
+            uint64_t v2 = ++version[key2];
+            kv::WriteBatch batch;
+            batch.put(keyOf(key), valueOf(key, v1));
+            batch.put(keyOf(key2), valueOf(key2, v2));
+            if (!tier.apply(batch).isOk())
+                fail("apply status", key, 0, v1);
+            acked[key].store((v1 << 1) | 1,
+                             std::memory_order_release);
+            acked[key2].store((v2 << 1) | 1,
+                              std::memory_order_release);
+        } else {
+            uint64_t v = ++version[key];
+            if (!tier.put(keyOf(key), valueOf(key, v)).isOk())
+                fail("put status", key, 0, v);
+            acked[key].store((v << 1) | 1,
+                             std::memory_order_release);
+        }
+    }
+}
+
+/**
+ * Readers assert freshness against the acked state loaded BEFORE
+ * the get: anything the tier returns must be at least that new.
+ * (Newer is always legal — a concurrent unacked mutation may have
+ * landed — so only the stale direction is a failure.)
+ */
+void
+readerBody(cachetier::CacheTier &tier, int reader)
+{
+    Rng rng(0xbeef + reader);
+    Bytes value;
+    while (!writers_done.load(std::memory_order_acquire)) {
+        int key = static_cast<int>(rng.nextBounded(kKeys));
+        uint64_t a = acked[key].load(std::memory_order_acquire);
+        uint64_t acked_version = a >> 1;
+        bool acked_present = (a & 1) != 0;
+        Status s = tier.get(keyOf(key), value);
+        if (s.isOk()) {
+            uint64_t got = versionOf(value);
+            if (got < acked_version)
+                fail(acked_present
+                         ? "stale value after acked put"
+                         : "stale value after acked delete",
+                     key, got, acked_version);
+        } else if (!s.isNotFound()) {
+            fail("get status", key, 0, acked_version);
+        }
+        // NotFound after an acked put is legal only because a
+        // newer delete may be in flight; the single-writer version
+        // stream means any such delete outranks acked_version, so
+        // there is nothing stale to assert on.
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    kv::MemStore mem;
+    kv::LockedKVStore inner(mem);
+
+    obs::MetricsRegistry metrics;
+    cachetier::CacheTierOptions options;
+    // Small enough that eviction, admission, and the sketch run
+    // constantly; 4 shards keep cross-shard batch invalidation in
+    // play.
+    options.capacity_bytes = 64u << 10;
+    options.shards = 4;
+    options.metrics = &metrics;
+    cachetier::CacheTier tier(inner, options);
+
+    cachetier::PrefetcherOptions popts;
+    popts.top_k = 2;
+    popts.metrics = &metrics;
+    cachetier::CorrelationPrefetcher prefetcher(tier, popts);
+    tier.setPrefetcher(&prefetcher);
+    prefetcher.start();
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w)
+        threads.emplace_back([&tier, w] { writerBody(tier, w); });
+    for (int r = 0; r < kReaders; ++r)
+        threads.emplace_back([&tier, r] { readerBody(tier, r); });
+
+    // The replication-replay path: invalidate() storms from a
+    // thread that is neither a reader nor a writer.
+    threads.emplace_back([&tier] {
+        Rng rng(0x7a11);
+        while (!writers_done.load(std::memory_order_acquire)) {
+            tier.invalidate(
+                keyOf(static_cast<int>(rng.nextBounded(kKeys))));
+        }
+    });
+
+    // Stats poller: the server's STATS op reads these from any
+    // worker.
+    threads.emplace_back([&tier] {
+        while (!writers_done.load(std::memory_order_acquire)) {
+            (void)tier.cachedBytes();
+            (void)tier.cachedEntries();
+            (void)tier.stats();
+            (void)tier.liveKeyCount();
+        }
+    });
+
+    for (int w = 0; w < kWriters; ++w)
+        threads[static_cast<size_t>(w)].join();
+    writers_done.store(true, std::memory_order_release);
+    for (size_t t = kWriters; t < threads.size(); ++t)
+        threads[t].join();
+    prefetcher.stop();
+
+    if (failures.load() != 0) {
+        std::fprintf(stderr, "tsan_cachetier_stress: %d failures\n",
+                     failures.load());
+        return 1;
+    }
+    std::printf("tsan_cachetier_stress: OK (%d writers x %d ops, "
+                "%d readers, invalidator, poller, prefetcher)\n",
+                kWriters, kOpsPerWriter, kReaders);
+    return 0;
+}

@@ -25,6 +25,17 @@
 #       the live dashboard over the wire and from the snapshot
 #       file, and the SIGUSR1 slow-op dump on stderr.
 #
+#   server_smoke.sh cachetier <ethkvd> <bench_server_load> <scratch>
+#       The cache-tier drill (DESIGN.md §14): generate a static
+#       correlation table, start the server with the cache tier and
+#       correlation prefetcher enabled, fill a working set, drive a
+#       Zipf + correlated read mix, and require the run report to
+#       show a >50% cache hit rate with prefetch fills issued —
+#       then a clean SIGTERM exit. The ASan ctest entry points
+#       <ethkvd> at the sanitized build, so shard eviction, the
+#       prefetch thread, and the invalidation paths run checked
+#       under real concurrent load.
+#
 #   server_smoke.sh failover <ethkvd> <bench_server_load> \
 #       <scratch> <ethkv_ctl>
 #       The replication drill (DESIGN.md §13): a semi-sync primary
@@ -221,6 +232,52 @@ case "$MODE" in
         || fail "server trace file not written"
     "$TRACE_CHECK" "$SCRATCH/server_trace.json" --require-server \
         || fail "server trace file validation"
+    ;;
+
+  cachetier)
+    # Static correlation table over the key groups the correlated
+    # read mode walks (--corr-follow reads from the same group).
+    "$LOADGEN" --corr-table-out "$SCRATCH/corr.txt" \
+        --keys 2000 --corr-follow 3 \
+        || fail "correlation table generation (rc=$?)"
+    [ -s "$SCRATCH/corr.txt" ] || fail "correlation table empty"
+
+    "$ETHKVD" --engine hybrid --port 0 \
+        --port-file "$SCRATCH/port" --workers 4 \
+        --cache-tier-bytes 67108864 --cache-shards 8 \
+        --prefetch-k 4 --corr-table "$SCRATCH/corr.txt" &
+    SERVER_PID=$!
+    wait_port_file "$SCRATCH/port"
+
+    # Fill the working set, then drive the Zipf + correlated read
+    # mix the cache tier is built for.
+    "$LOADGEN" --port-file "$SCRATCH/port" --mode fill \
+        --keys 2000 --connections 2 --threads 1 \
+        || fail "fill (rc=$?)"
+    "$LOADGEN" --port-file "$SCRATCH/port" --connections 8 \
+        --threads 2 --ops 30000 --zipf-accounts 2000 \
+        --zipf 1.1 --read-pct 90 --corr-follow 3 \
+        --metrics-out "$SCRATCH/load.json" \
+        || fail "correlated load burst (rc=$?)"
+
+    # The acceptance bar: the run report must show the cache
+    # absorbing most GETs and the prefetcher actually working.
+    [ -s "$SCRATCH/load.json" ] || fail "metrics doc not written"
+    HIT_RATE=$(grep -o '"cachetier_hit_rate":[0-9.eE+-]*' \
+        "$SCRATCH/load.json" | cut -d: -f2)
+    [ -n "$HIT_RATE" ] || fail "cachetier_hit_rate missing"
+    awk -v h="$HIT_RATE" 'BEGIN { exit !(h > 0.5) }' \
+        || fail "cache hit rate $HIT_RATE is below the 50% bar"
+    grep -q '"cachetier.prefetch.issued": *[1-9]' \
+        "$SCRATCH/load.json" \
+        || fail "prefetcher issued no fills"
+    echo "server_smoke(cachetier): hit rate $HIT_RATE"
+
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID"
+    RC=$?
+    SERVER_PID=""
+    [ "$RC" -eq 0 ] || fail "server exit code $RC after SIGTERM"
     ;;
 
   failover)

@@ -1,0 +1,26 @@
+// loop -> fill -> fsync: the prefetch background thread takes the
+// same shard locks foreground GETs take, so a blocking durability
+// syscall here stalls the request path by lock transitivity.
+namespace ethkv::cachetier
+{
+
+class CorrelationPrefetcher
+{
+  public:
+    void
+    loop()
+    {
+        fill();
+    }
+
+  private:
+    void
+    fill()
+    {
+        fsync(fd_);
+    }
+
+    int fd_ = -1;
+};
+
+} // namespace ethkv::cachetier

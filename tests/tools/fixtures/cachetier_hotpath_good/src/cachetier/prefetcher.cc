@@ -1,0 +1,25 @@
+// The prefetch loop only fills the cache in memory; durability is
+// the engine's business, behind its own maintenance thread.
+namespace ethkv::cachetier
+{
+
+class CorrelationPrefetcher
+{
+  public:
+    void
+    loop()
+    {
+        fill();
+    }
+
+  private:
+    void
+    fill()
+    {
+        ++filled_;
+    }
+
+    int filled_ = 0;
+};
+
+} // namespace ethkv::cachetier

@@ -52,6 +52,7 @@ const Family kFamilies[] = {
     {"layering", "layering", runLayering},
     {"status", "status", runStatusDiscipline},
     {"hot_path", "hot-path", runHotPath},
+    {"cachetier_hotpath", "hot-path", runHotPath},
     {"kvclass_switch", "kvclass-switch", runKVClassSwitch},
     {"naked_new", "naked-new", runNakedNew},
     {"include_hygiene", "include-hygiene", runIncludeHygiene},

@@ -10,7 +10,11 @@
  * sender's epoll loop (ReplicationSender::loop): the sender thread
  * feeds every follower, so an inline fsync or sleep there turns
  * directly into follower lag and — in semi-sync mode — into held
- * client acks. FollowerClient::loop is deliberately NOT a root:
+ * client acks. The cache tier's prefetch thread
+ * (CorrelationPrefetcher::loop) is a root too: its fills take the
+ * same shard locks foreground GETs take, so a blocking call there
+ * stalls the request path by lock transitivity.
+ * FollowerClient::loop is deliberately NOT a root:
  * reconnect backoff sleeps there by design. The walk follows call
  * references that resolve to exactly one function in the repo
  * (ambiguous names — every KVStore has put/get/flush — stop the
@@ -63,15 +67,19 @@ runHotPath(const RepoModel &model, Findings &out)
     std::vector<size_t> roots;
     for (size_t i = 0; i < model.functions.size(); ++i) {
         const FunctionInfo &fn = model.functions[i];
-        if (model.files[fn.file_index].module != "server")
-            continue;
+        const std::string &module =
+            model.files[fn.file_index].module;
         bool server_root =
-            rootNames().count(fn.name) &&
+            module == "server" && rootNames().count(fn.name) &&
             (fn.klass == "Server" ||
              fn.klass.find("::Server") != std::string::npos);
-        bool sender_root = fn.name == "loop" &&
+        bool sender_root = module == "server" &&
+                           fn.name == "loop" &&
                            fn.klass == "ReplicationSender";
-        if (server_root || sender_root)
+        bool prefetch_root = module == "cachetier" &&
+                             fn.name == "loop" &&
+                             fn.klass == "CorrelationPrefetcher";
+        if (server_root || sender_root || prefetch_root)
             roots.push_back(i);
     }
 

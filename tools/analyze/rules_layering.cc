@@ -16,6 +16,8 @@
  *       ↑
  *     core  workload  analysis
  *       ↑
+ *     cachetier     (server-tier cache over core's correlation
+ *       ↑            miner; DESIGN.md §14)
  *     server        (server is the only module allowed to see
  *                    everything; nothing includes server back)
  *
@@ -52,9 +54,11 @@ allowedDeps()
             {"workload",
              {"common", "client", "eth", "kvstore", "trace"}},
             {"analysis", {"common", "client", "kvstore", "trace"}},
+            {"cachetier", {"common", "core", "kvstore", "obs"}},
             {"server",
-             {"common", "client", "core", "eth", "kvstore", "obs",
-              "trace", "trie", "workload", "analysis"}},
+             {"common", "cachetier", "client", "core", "eth",
+              "kvstore", "obs", "trace", "trie", "workload",
+              "analysis"}},
         };
     return kMap;
 }

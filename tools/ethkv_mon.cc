@@ -255,6 +255,57 @@ renderFrame(const obs::JsonValue &root, const PrevCounters &prev,
                     stage, count, histU64(metrics, name, "p50"),
                     histU64(metrics, name, "p99"));
     }
+
+    // Cache tier (DESIGN.md §14): shown only when the server runs
+    // with --cache-tier-bytes (hits+misses stay 0 otherwise).
+    uint64_t ct_hits =
+        metricU64(metrics, "counters", "cachetier.hits");
+    uint64_t ct_misses =
+        metricU64(metrics, "counters", "cachetier.misses");
+    if (ct_hits + ct_misses > 0) {
+        uint64_t pf_issued = metricU64(metrics, "counters",
+                                       "cachetier.prefetch.issued");
+        uint64_t pf_hits = metricU64(metrics, "counters",
+                                     "cachetier.prefetch.hits");
+        std::printf(
+            "\ncachetier hit%%=%.1f hits=%" PRIu64 " (%.0f/s)"
+            " misses=%" PRIu64 " (%.0f/s)\n"
+            "  bytes=%" PRIu64 " entries=%" PRIu64
+            " evict=%" PRIu64 " admit_rej=%" PRIu64
+            " inval=%" PRIu64 "\n"
+            "  prefetch issued=%" PRIu64 " (%.0f/s) hits=%" PRIu64
+            " useful%%=%.1f qdepth=%" PRIu64 " drops=%" PRIu64
+            "%s\n",
+            100.0 * static_cast<double>(ct_hits) /
+                static_cast<double>(ct_hits + ct_misses),
+            ct_hits,
+            rateOf(prev, "cachetier.hits", ct_hits, elapsed_ms,
+                   have_prev),
+            ct_misses,
+            rateOf(prev, "cachetier.misses", ct_misses,
+                   elapsed_ms, have_prev),
+            metricU64(metrics, "gauges", "cachetier.bytes"),
+            metricU64(metrics, "gauges", "cachetier.entries"),
+            metricU64(metrics, "counters", "cachetier.evictions"),
+            metricU64(metrics, "counters",
+                      "cachetier.admission_rejects"),
+            metricU64(metrics, "counters",
+                      "cachetier.invalidations"),
+            pf_issued,
+            rateOf(prev, "cachetier.prefetch.issued", pf_issued,
+                   elapsed_ms, have_prev),
+            pf_hits,
+            pf_issued > 0 ? 100.0 * static_cast<double>(pf_hits) /
+                                static_cast<double>(pf_issued)
+                          : 0.0,
+            metricU64(metrics, "gauges",
+                      "cachetier.prefetch.queue_depth"),
+            metricU64(metrics, "counters",
+                      "cachetier.prefetch.queue_drops"),
+            metricU64(metrics, "gauges", "cachetier.degraded") > 0
+                ? " DEGRADED(pass-through)"
+                : "");
+    }
     std::fflush(stdout);
 }
 
