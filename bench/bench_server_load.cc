@@ -142,9 +142,9 @@ usage(const char *argv0)
         " (ethkv.bench_server_load.v1)\n"
         "  --trace-out <path>   merged client+server Chrome trace"
         " JSON\n"
-        "  --zipf-accounts <n>  Zipf-of-accounts mix: shorthand"
-        " for --keys n (the ROADMAP's Zipf-of-millions client"
-        " mix)\n"
+        "  --zipf-accounts <n>  Zipf-of-accounts mix: alias for"
+        " --keys n (the ROADMAP's Zipf-of-millions client mix);"
+        " when both appear, the last one wins\n"
         "  --corr-follow <n>    after each mixed-mode GET, read n"
         " correlated followers from the key's group of 8\n"
         "  --corr-table-out <p> write the correlation table (hex"
@@ -201,8 +201,14 @@ parseFlags(int argc, char **argv, Flags &f)
         } else if (arg == "--metrics-out") {
             f.metrics_out = next("--metrics-out");
         } else if (arg == "--zipf-accounts") {
+            // An alias for --keys, applied here so flag order
+            // decides: the last of --keys/--zipf-accounts on the
+            // command line wins (it used to override --keys
+            // unconditionally after parsing).
             f.zipf_accounts = std::strtoull(
                 next("--zipf-accounts"), nullptr, 10);
+            if (f.zipf_accounts > 0)
+                f.keys = f.zipf_accounts;
         } else if (arg == "--corr-follow") {
             f.corr_follow = static_cast<uint32_t>(
                 std::strtoul(next("--corr-follow"), nullptr, 10));
@@ -672,6 +678,11 @@ writeRunArtifacts(const Flags &f, int port,
         w.value(f.connections);
         w.key("threads");
         w.value(f.threads);
+        // The key-space size the run actually used, after the
+        // --keys / --zipf-accounts aliasing — so an artifact is
+        // never misread against the wrong working set.
+        w.key("keys");
+        w.value(f.keys);
         w.key("ops_submitted");
         w.value(ops_done);
         w.key("acked");
@@ -739,8 +750,6 @@ main(int argc, char **argv)
     Flags flags;
     if (!parseFlags(argc, argv, flags))
         return 2;
-    if (flags.zipf_accounts > 0)
-        flags.keys = flags.zipf_accounts;
     if (!flags.corr_table_out.empty())
         return runCorrTableOut(flags); // standalone, no server
     if (flags.connections < flags.threads)

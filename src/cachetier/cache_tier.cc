@@ -397,19 +397,25 @@ CacheTier::apply(const kv::WriteBatch &batch)
     // batch is unacked, so a concurrent GET serving the pre-batch
     // cached value is linearizable; after the per-key erase below
     // completes (before the ack), no stale entry survives.
+    //
+    // The erase runs even when apply fails: batches are atomic
+    // only per engine (and per shard under ShardedKVStore), so a
+    // mid-batch error can leave an applied prefix behind. The
+    // client sees no ack, but the engine state moved — serving
+    // the pre-batch cached value for those keys would be a stale
+    // read. Over-invalidating the unapplied suffix costs a refill,
+    // never correctness.
     Status st = inner_.apply(batch);
-    if (st.isOk()) {
-        for (const kv::BatchEntry &e : batch.entries()) {
-            Shard &s = shardFor(e.key);
-            bool dropped;
-            {
-                MutexLock lock(s.mutex);
-                ++s.generation;
-                dropped = eraseLocked(s, e.key);
-            }
-            if (dropped)
-                invalidations_->inc();
+    for (const kv::BatchEntry &e : batch.entries()) {
+        Shard &s = shardFor(e.key);
+        bool dropped;
+        {
+            MutexLock lock(s.mutex);
+            ++s.generation;
+            dropped = eraseLocked(s, e.key);
         }
+        if (dropped)
+            invalidations_->inc();
     }
     noteInnerStatus(st);
     return st;

@@ -38,6 +38,12 @@
  * lock and the engine locks; its ReplicationLog is taken while the
  * store lock is held, hence one notch above.
  *
+ * Sharding (DESIGN.md §15): ShardedKVStore's one mutex only
+ * serializes whole-store flush barriers, during which it acquires
+ * each shard's engine lock (LockedKVStore or LSMStore) in turn —
+ * so it ranks just below them; the lock-free data path never
+ * touches it.
+ *
  * Cache tier (DESIGN.md §14): the cache shard lock is held across
  * the inner-store write on put/del (miss fills read the engine
  * optimistically with no shard lock held), so it must rank below
@@ -68,6 +74,7 @@ inline constexpr int kReplStore = 15;
 inline constexpr int kReplLog = 17;
 inline constexpr int kHybridRoute = 20;
 inline constexpr int kClassCache = 25;
+inline constexpr int kShardedStore = 28;
 inline constexpr int kLockedStore = 30;
 inline constexpr int kLSMStore = 40;
 inline constexpr int kFaultEnv = 45;
@@ -97,6 +104,7 @@ inline constexpr Entry kLockRanks[] = {
     {"HybridKVStore::route_mutex_", kHybridRoute},
     {"HybridKVStore::mutexAt()", kHybridRoute},
     {"CachingKVStore::mutex_", kClassCache},
+    {"ShardedKVStore::mutex_", kShardedStore},
     {"LockedKVStore::mutex_", kLockedStore},
     {"LSMStore::mutex_", kLSMStore},
     {"FaultInjectionEnv::mutex_", kFaultEnv},

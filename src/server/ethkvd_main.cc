@@ -51,6 +51,7 @@
 #include "kvstore/lsm_store.hh"
 #include "kvstore/mem_store.hh"
 #include "kvstore/instrumented_store.hh"
+#include "kvstore/sharded_store.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_writer.hh"
 #include "obs/slow_op_log.hh"
@@ -108,6 +109,11 @@ usage(const char *argv0)
         " threshold (0 = off)\n"
         "  --memtable-bytes <n>     lsm memtable seal threshold"
         " (0 = default)\n"
+        "  --shards <n>             hash-partition the engine"
+        " across n independent shards (per-shard WAL/manifest/"
+        "maintenance for lsm; default 1)\n"
+        "  --pin-cores              pin worker thread i to CPU"
+        " i mod cores\n"
         "  --max-frame-bytes <n>    per-frame payload cap\n"
         "  --scan-limit <n>         server-side SCAN cap\n"
         "  --scan-byte-budget <n>   SCAN response byte cap"
@@ -174,6 +180,8 @@ struct Flags
     uint64_t fault_seed = 1;
     uint64_t checkpoint_wal_bytes = 0;
     uint64_t memtable_bytes = 0;
+    int shards = 1;
+    bool pin_cores = false;
     size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
     uint64_t scan_limit = 4096;
     uint64_t scan_byte_budget = 0;
@@ -232,6 +240,10 @@ parseFlags(int argc, char **argv, Flags &f)
         } else if (arg == "--memtable-bytes") {
             f.memtable_bytes = std::strtoull(
                 next("--memtable-bytes"), nullptr, 10);
+        } else if (arg == "--shards") {
+            f.shards = std::atoi(next("--shards"));
+        } else if (arg == "--pin-cores") {
+            f.pin_cores = true;
         } else if (arg == "--max-frame-bytes") {
             f.max_frame_bytes = std::strtoull(
                 next("--max-frame-bytes"), nullptr, 10);
@@ -327,60 +339,125 @@ buildEngine(const Flags &f, obs::TraceEventLog *trace_log,
             return s;
     }
 
-    kv::LogStoreOptions log_options;
-    log_options.dir = f.dir;
-    log_options.sync_appends = f.sync;
-    log_options.env = env;
-    log_options.checkpoint_wal_bytes = f.checkpoint_wal_bytes;
-
-    bool needs_lock = true;
-    if (f.engine == "mem") {
-        stack.base = std::make_unique<kv::MemStore>();
-    } else if (f.engine == "hash") {
-        stack.base = std::make_unique<kv::HashStore>();
-    } else if (f.engine == "btree") {
-        stack.base = std::make_unique<kv::BTreeStore>();
-    } else if (f.engine == "log") {
-        auto store = kv::AppendLogStore::open(log_options);
-        if (!store.ok())
-            return store.status();
-        stack.base = store.take();
-    } else if (f.engine == "lsm") {
-        if (f.dir.empty())
-            return Status::invalidArgument(
-                "--engine lsm needs --dir");
-        kv::LSMOptions options;
-        options.dir = f.dir;
-        options.sync_wal = f.sync;
-        options.env = env;
-        options.trace_log = trace_log;
-        if (f.memtable_bytes > 0)
-            options.memtable_bytes = f.memtable_bytes;
-        auto store = kv::LSMStore::open(options);
-        if (!store.ok())
-            return store.status();
-        stack.base = store.take();
-        // LSMStore is internally thread-safe with background
-        // maintenance; serving it bare keeps worker threads from
-        // serializing behind flushes and compactions.
-        needs_lock = false;
-    } else if (f.engine == "hybrid" || f.engine == "cached") {
-        // The hybrid router locks internally (per-route shards);
-        // its engines are in-memory (log dir is ignored there).
-        core::HybridKVStore::Options options;
-        stack.base =
-            std::make_unique<core::HybridKVStore>(options);
-        needs_lock = false;
-        if (f.engine == "cached") {
-            stack.wrapper = std::make_unique<client::CachingKVStore>(
-                *stack.base, client::CacheConfig{});
-        }
-    } else {
-        return Status::invalidArgument("unknown --engine " +
-                                       f.engine);
+    if (f.shards < 1 || f.shards > 256)
+        return Status::invalidArgument(
+            "--shards must be in [1, 256]");
+    const bool sharded = f.shards > 1;
+    if (sharded && !f.dir.empty() &&
+        (f.engine == "lsm" || f.engine == "log")) {
+        // Reopening a durable dir with a different shard count
+        // would silently misroute every key; the marker refuses.
+        Status s = kv::ShardedKVStore::checkShardMarker(
+            env, f.dir, static_cast<uint32_t>(f.shards));
+        if (!s.isOk())
+            return s;
     }
 
-    if (needs_lock) {
+    // Builds one engine instance rooted at `dir` (ignored by the
+    // in-memory engines). Sets `internally_locked` when the
+    // instance is safe for concurrent callers on its own.
+    // `tl` is the trace sink — for a sharded lsm only shard 0
+    // gets it, because maintenance spans use a fixed track id and
+    // N shards sharing one track would interleave illegibly.
+    auto make_one = [&](const std::string &dir,
+                        obs::TraceEventLog *tl,
+                        std::unique_ptr<kv::KVStore> &out,
+                        bool &internally_locked) -> Status {
+        internally_locked = false;
+        if (f.engine == "mem") {
+            out = std::make_unique<kv::MemStore>();
+        } else if (f.engine == "hash") {
+            out = std::make_unique<kv::HashStore>();
+        } else if (f.engine == "btree") {
+            out = std::make_unique<kv::BTreeStore>();
+        } else if (f.engine == "log") {
+            kv::LogStoreOptions log_options;
+            log_options.dir = dir;
+            log_options.sync_appends = f.sync;
+            log_options.env = env;
+            log_options.checkpoint_wal_bytes =
+                f.checkpoint_wal_bytes;
+            auto store = kv::AppendLogStore::open(log_options);
+            if (!store.ok())
+                return store.status();
+            out = store.take();
+        } else if (f.engine == "lsm") {
+            if (f.dir.empty())
+                return Status::invalidArgument(
+                    "--engine lsm needs --dir");
+            kv::LSMOptions options;
+            options.dir = dir;
+            options.sync_wal = f.sync;
+            options.env = env;
+            options.trace_log = tl;
+            if (f.memtable_bytes > 0)
+                options.memtable_bytes = f.memtable_bytes;
+            auto store = kv::LSMStore::open(options);
+            if (!store.ok())
+                return store.status();
+            out = store.take();
+            // LSMStore is internally thread-safe with background
+            // maintenance; serving it bare keeps worker threads
+            // from serializing behind flushes and compactions.
+            internally_locked = true;
+        } else if (f.engine == "hybrid" ||
+                   f.engine == "cached") {
+            // The hybrid router locks internally (per-route
+            // shards); its engines are in-memory (log dir is
+            // ignored there).
+            core::HybridKVStore::Options options;
+            out = std::make_unique<core::HybridKVStore>(options);
+            internally_locked = true;
+        } else {
+            return Status::invalidArgument("unknown --engine " +
+                                           f.engine);
+        }
+        return Status::ok();
+    };
+
+    bool internally_locked = false;
+    if (!sharded) {
+        Status s = make_one(f.dir, trace_log, stack.base,
+                            internally_locked);
+        if (!s.isOk())
+            return s;
+    } else {
+        // Sharded engine (DESIGN.md §15): N independent instances
+        // behind a hash-partitioning router. Each durable shard
+        // owns a subdirectory — its own WAL, manifest, and (lsm)
+        // maintenance thread.
+        std::vector<std::unique_ptr<kv::KVStore>> shards;
+        shards.reserve(static_cast<size_t>(f.shards));
+        for (int i = 0; i < f.shards; ++i) {
+            std::string sdir;
+            if (!f.dir.empty()) {
+                sdir = f.dir + "/shard-" + std::to_string(i);
+                Status s = env->createDirs(sdir);
+                if (!s.isOk())
+                    return s;
+            }
+            std::unique_ptr<kv::KVStore> one;
+            Status s = make_one(
+                sdir, i == 0 ? trace_log : nullptr, one,
+                internally_locked);
+            if (!s.isOk())
+                return s;
+            shards.push_back(std::move(one));
+        }
+        kv::ShardedOptions sopts;
+        sopts.lock_shards = !internally_locked;
+        stack.base = std::make_unique<kv::ShardedKVStore>(
+            std::move(shards), sopts);
+        // The router's data path is lock-free and the shards are
+        // (made) thread-safe, so the stack never needs the big
+        // outer lock.
+        internally_locked = true;
+    }
+
+    if (f.engine == "cached") {
+        stack.wrapper = std::make_unique<client::CachingKVStore>(
+            *stack.base, client::CacheConfig{});
+    } else if (!internally_locked) {
         stack.wrapper =
             std::make_unique<kv::LockedKVStore>(*stack.base);
     }
@@ -543,6 +620,7 @@ main(int argc, char **argv)
         static_cast<size_t>(flags.slow_op_capacity);
     options.repl = repl_hub.get();
     options.conn_idle_timeout_ms = flags.conn_idle_timeout_ms;
+    options.pin_cores = flags.pin_cores;
 
     server::Server srv(instrumented, options);
     srv.start().expectOk("server start");

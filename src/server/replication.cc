@@ -135,19 +135,21 @@ ReplicatedKVStore::applyReplicaBytes(BytesView records,
                 break;
             }
             s = base_.apply(batch);
-            if (!s.isOk()) {
-                result = s;
-                break;
-            }
             // These keys just changed beneath any cache tier
             // stacked above this store; collect them so the hub
             // can invalidate once the store lock drops (the cache
             // shard lock ranks below kReplStore, so invalidating
-            // here would invert the lock order). Keys applied
-            // before a partial failure are collected too — they
-            // are in the engine and must not be served stale.
+            // here would invert the lock order). Collected even
+            // when apply failed: batches are only per-engine
+            // atomic, so a mid-batch error leaves an applied
+            // prefix in the engine that must not be served stale
+            // — over-invalidating the suffix is just a refill.
             for (const kv::BatchEntry &e : batch.entries())
                 invalidated.push_back(e.key);
+            if (!s.isOk()) {
+                result = s;
+                break;
+            }
             // Engine first, then log: if the log append fails the
             // engine is one record ahead, which is safe — the
             // resume offset is the log end, the primary resends

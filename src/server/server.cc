@@ -5,6 +5,11 @@
 #include <deque>
 #include <unordered_map>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/lock_ranks.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
@@ -987,6 +992,20 @@ Server::reapIdleConnections(Worker &worker, uint64_t now_ms)
 void
 Server::workerLoop(Worker &worker)
 {
+#ifdef __linux__
+    if (options_.pin_cores) {
+        unsigned cores = std::thread::hardware_concurrency();
+        if (cores > 0) {
+            cpu_set_t set;
+            CPU_ZERO(&set);
+            CPU_SET(worker.index % cores, &set);
+            // Best effort: a restricted cpuset (container) may
+            // reject the mask; the worker just stays unpinned.
+            (void)pthread_setaffinity_np(pthread_self(),
+                                         sizeof(set), &set);
+        }
+    }
+#endif
     net::PollEvent events[64];
     Bytes chunk;
     // Idle reaping needs a periodic timeout; otherwise block.

@@ -108,6 +108,12 @@ struct ServerOptions
     //! Close connections with no inbound traffic for this long
     //! (half-open peers, leaked sockets); 0 = never.
     int conn_idle_timeout_ms = 0;
+    //! Pin worker thread i to CPU (i mod hardware cores). With a
+    //! sharded engine (--shards, DESIGN.md §15) this keeps each
+    //! event-loop thread — and therefore every op it executes
+    //! in-thread against the owning shard — on a stable core,
+    //! while the per-shard maintenance threads float on the rest.
+    bool pin_cores = false;
 };
 
 /**

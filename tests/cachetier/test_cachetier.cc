@@ -148,6 +148,106 @@ TEST(CacheTierTest, ApplyInvalidatesEveryBatchKey)
     EXPECT_GE(ctr(reg, "cachetier.invalidations"), 2u);
 }
 
+/**
+ * Delegates to a MemStore but fails put() on one poison key, and
+ * does not override apply() — so the default per-op loop applies a
+ * prefix of the batch and then errors out, exactly the partial
+ * state a mid-batch engine failure leaves behind.
+ */
+class PoisonKeyStore final : public kv::KVStore
+{
+  public:
+    explicit PoisonKeyStore(Bytes poison)
+        : poison_(std::move(poison))
+    {
+    }
+
+    Status
+    put(BytesView key, BytesView value) override
+    {
+        if (Bytes(key) == poison_)
+            return Status::corruption("poison key");
+        return inner_.put(key, value);
+    }
+    Status
+    get(BytesView key, Bytes &value) override
+    {
+        return inner_.get(key, value);
+    }
+    Status
+    del(BytesView key) override
+    {
+        return inner_.del(key);
+    }
+    Status
+    scan(BytesView start, BytesView end,
+         const kv::ScanCallback &cb) override
+    {
+        return inner_.scan(start, end, cb);
+    }
+    Status
+    flush() override
+    {
+        return inner_.flush();
+    }
+    const kv::IOStats &
+    stats() const override
+    {
+        return inner_.stats();
+    }
+    std::string
+    name() const override
+    {
+        return "poison";
+    }
+    uint64_t
+    liveKeyCount() override
+    {
+        return inner_.liveKeyCount();
+    }
+
+  private:
+    kv::MemStore inner_;
+    Bytes poison_;
+};
+
+// Regression: a batch that fails mid-apply may still have moved a
+// prefix of its keys in the engine (batches are per-engine atomic,
+// not per-batch across an error). The tier must invalidate every
+// batch key even though apply() returned an error — the old
+// behavior kept the pre-batch cached value for the applied prefix
+// and served a stale read.
+TEST(CacheTierTest, FailedApplyStillInvalidatesAppliedPrefix)
+{
+    obs::MetricsRegistry reg;
+    PoisonKeyStore inner(makeKey(3));
+    CacheTier tier(inner, smallOptions(reg));
+
+    ASSERT_TRUE(tier.put(makeKey(1), makeValue(1)).isOk());
+    ASSERT_TRUE(tier.put(makeKey(2), makeValue(2)).isOk());
+    Bytes v;
+    ASSERT_TRUE(tier.get(makeKey(1), v).isOk());
+    ASSERT_TRUE(tier.get(makeKey(2), v).isOk());
+    ASSERT_TRUE(tier.cachedForTest(makeKey(1)));
+    ASSERT_TRUE(tier.cachedForTest(makeKey(2)));
+
+    kv::WriteBatch batch;
+    batch.put(makeKey(1), makeValue(10)); // applied
+    batch.put(makeKey(3), makeValue(30)); // fails here
+    batch.put(makeKey(2), makeValue(20)); // never applied
+    ASSERT_FALSE(tier.apply(batch).isOk());
+
+    // Key 1 moved beneath the cache: the next read must see the
+    // new engine value, not the cached pre-batch one.
+    EXPECT_FALSE(tier.cachedForTest(makeKey(1)));
+    ASSERT_TRUE(tier.get(makeKey(1), v).isOk());
+    EXPECT_EQ(v, makeValue(10));
+    // Key 2 never applied; invalidating it cost a refill, and the
+    // refill reads the (unchanged) engine value.
+    ASSERT_TRUE(tier.get(makeKey(2), v).isOk());
+    EXPECT_EQ(v, makeValue(2));
+}
+
 // The replication-replay hook: a follower's ReplicationHub applies
 // batches BENEATH this layer, then calls invalidate() per key. The
 // cache must forget the key so the next GET refills from the

@@ -112,6 +112,103 @@ TEST(LockedStoreTest, ScanPassesThroughNotSupported)
     EXPECT_EQ(s.code(), StatusCode::NotSupported);
 }
 
+// The resume cursor after a full chunk is `last delivered key +
+// '\0'` — strictly past the boundary key. These two tests pin the
+// boundary semantics under mutation *between* chunks (the callback
+// runs with the lock released, so mutating from the 256th callback
+// lands exactly in the inter-chunk window):
+//
+//  - deleting the just-delivered boundary key must not derail the
+//    resume (the cursor does not require the key to still exist),
+//    and deleting a not-yet-delivered key must remove it from the
+//    stream without skipping its neighbors;
+//  - a key inserted between the boundary key and its successor is
+//    ahead of the cursor and must be delivered exactly once, while
+//    a key inserted behind the cursor is simply not observed —
+//    never double-delivered, never re-ordered.
+TEST(LockedStoreTest, DeleteAtChunkBoundaryDoesNotSkipOrRepeat)
+{
+    BTreeStore inner;
+    LockedKVStore store(inner);
+    const uint64_t n = 600; // chunk size 256: boundary at 255
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i)).isOk());
+
+    std::vector<Bytes> keys;
+    ASSERT_TRUE(
+        store
+            .scan(makeKey(0), makeKey(n),
+                  [&](BytesView k, BytesView) {
+                      keys.emplace_back(k);
+                      if (keys.size() == 256) {
+                          // Inter-chunk window: drop the boundary
+                          // key (already delivered) and the first
+                          // key of the unread next chunk.
+                          EXPECT_EQ(Bytes(k), makeKey(255));
+                          EXPECT_TRUE(
+                              store.del(makeKey(255)).isOk());
+                          EXPECT_TRUE(
+                              store.del(makeKey(256)).isOk());
+                      }
+                      return true;
+                  })
+            .isOk());
+
+    // Every stable key exactly once except 256 (deleted before its
+    // chunk was read); 255 was delivered before its deletion.
+    ASSERT_EQ(keys.size(), n - 1);
+    size_t at = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        if (i == 256)
+            continue;
+        EXPECT_EQ(keys[at++], makeKey(i));
+    }
+}
+
+TEST(LockedStoreTest, InsertAtChunkBoundaryDeliveredExactlyOnce)
+{
+    BTreeStore inner;
+    LockedKVStore store(inner);
+    const uint64_t n = 600;
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(store.put(makeKey(i), makeValue(i)).isOk());
+
+    std::vector<Bytes> keys;
+    ASSERT_TRUE(
+        store
+            .scan(makeKey(0), makeKey(n),
+                  [&](BytesView k, BytesView) {
+                      keys.emplace_back(k);
+                      if (keys.size() == 256) {
+                          // Ahead of the resume cursor: sorts
+                          // between the boundary key and its
+                          // successor, so the next chunk must
+                          // deliver it exactly once.
+                          EXPECT_TRUE(store
+                                          .put(makeKey(255, "x"),
+                                               makeValue(1))
+                                          .isOk());
+                          // Behind the cursor: already paged past,
+                          // must not be observed (and must not
+                          // repeat anything).
+                          EXPECT_TRUE(store
+                                          .put(makeKey(100, "x"),
+                                               makeValue(2))
+                                          .isOk());
+                      }
+                      return true;
+                  })
+            .isOk());
+
+    ASSERT_EQ(keys.size(), n + 1);
+    size_t at = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(keys[at++], makeKey(i));
+        if (i == 255)
+            EXPECT_EQ(keys[at++], makeKey(255, "x"));
+    }
+}
+
 TEST(LockedStoreTest, ConcurrentWritersDuringChunkedScan)
 {
     BTreeStore inner;

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * ShardedKVStore tests (DESIGN.md §15): routing determinism and
+ * disjointness, the merged-scan ordering property against a
+ * single-store oracle, lossless paging resume across shard
+ * boundaries, cross-shard BATCH ack semantics under an injected
+ * one-shard WAL failure (with a restart to prove no acked state
+ * was partial), and the SHARDS marker refusing a mismatched
+ * reopen.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/fault_env.hh"
+#include "common/rand.hh"
+#include "kvstore/btree_store.hh"
+#include "kvstore/log_store.hh"
+#include "kvstore/sharded_store.hh"
+#include "kvstore/write_batch.hh"
+#include "obs/metrics.hh"
+#include "test_util.hh"
+
+namespace ethkv::kv
+{
+namespace
+{
+
+using testutil::ScratchDir;
+using testutil::makeKey;
+using testutil::makeValue;
+
+/** N BTreeStore shards with per-shard locks, plus an isolated
+ *  metrics registry so counter assertions stay exact. */
+std::unique_ptr<ShardedKVStore>
+makeBTreeSharded(uint32_t n, obs::MetricsRegistry &reg)
+{
+    std::vector<std::unique_ptr<KVStore>> shards;
+    for (uint32_t i = 0; i < n; ++i)
+        shards.push_back(std::make_unique<BTreeStore>());
+    ShardedOptions o;
+    o.lock_shards = true;
+    o.metrics = &reg;
+    return std::make_unique<ShardedKVStore>(std::move(shards), o);
+}
+
+TEST(ShardedStoreTest, ShardOfIsDeterministicAndCoversAllShards)
+{
+    const uint32_t n = 8;
+    std::vector<uint64_t> hits(n, 0);
+    for (uint64_t i = 0; i < 4096; ++i) {
+        Bytes key = makeKey(i);
+        uint32_t s = ShardedKVStore::shardOf(key, n);
+        ASSERT_LT(s, n);
+        // Routing is a pure function of the key bytes.
+        EXPECT_EQ(s, ShardedKVStore::shardOf(key, n));
+        ++hits[s];
+    }
+    // xxhash64 spreads the synthetic keyspace; no shard may be
+    // starved or own more than a loose multiple of its fair share.
+    for (uint32_t s = 0; s < n; ++s) {
+        EXPECT_GT(hits[s], 4096 / n / 4) << "shard " << s;
+        EXPECT_LT(hits[s], 4096 / n * 4) << "shard " << s;
+    }
+    // One shard degenerates to identity routing.
+    EXPECT_EQ(ShardedKVStore::shardOf(makeKey(1), 1), 0u);
+}
+
+TEST(ShardedStoreTest, PointOpsRouteToExactlyOneShard)
+{
+    obs::MetricsRegistry reg;
+    auto store = makeBTreeSharded(4, reg);
+    const uint64_t n = 256;
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(store->put(makeKey(i), makeValue(i)).isOk());
+
+    for (uint64_t i = 0; i < n; ++i) {
+        uint32_t owner = ShardedKVStore::shardOf(makeKey(i), 4);
+        uint64_t holders = 0;
+        for (uint32_t s = 0; s < 4; ++s) {
+            Bytes v;
+            if (store->shard(s).get(makeKey(i), v).isOk()) {
+                ++holders;
+                EXPECT_EQ(s, owner);
+                EXPECT_EQ(v, makeValue(i));
+            }
+        }
+        EXPECT_EQ(holders, 1u) << "key " << i;
+    }
+    EXPECT_EQ(store->liveKeyCount(), n);
+
+    // Deletes route identically: the key vanishes everywhere.
+    ASSERT_TRUE(store->del(makeKey(7)).isOk());
+    EXPECT_FALSE(store->contains(makeKey(7)));
+    EXPECT_EQ(store->liveKeyCount(), n - 1);
+}
+
+// The central ordering property: a merged scan over hash-disjoint
+// shards is byte-identical to the same scan on one store holding
+// all the data — for the full range and for random subranges, on a
+// keyspace sized to force many merge-chunk refills per shard.
+TEST(ShardedStoreTest, MergedScanMatchesSingleStoreOracle)
+{
+    obs::MetricsRegistry reg;
+    auto sharded = makeBTreeSharded(5, reg);
+    BTreeStore oracle;
+
+    Rng rng(20260807);
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        // Variable-length random keys: exercises ordering beyond
+        // the fixed-width makeKey shape (prefix relations, ties in
+        // length, binary bytes).
+        Bytes key = rng.nextBytes(1 + rng.nextBounded(24));
+        Bytes value = rng.nextBytes(rng.nextBounded(48));
+        ASSERT_TRUE(sharded->put(key, value).isOk());
+        ASSERT_TRUE(oracle.put(key, value).isOk());
+    }
+
+    auto collect = [](KVStore &s, BytesView lo, BytesView hi) {
+        std::vector<std::pair<Bytes, Bytes>> out;
+        EXPECT_TRUE(s.scan(lo, hi,
+                           [&out](BytesView k, BytesView v) {
+                               out.emplace_back(Bytes(k),
+                                                Bytes(v));
+                               return true;
+                           })
+                        .isOk());
+        return out;
+    };
+
+    EXPECT_EQ(collect(*sharded, Bytes(), Bytes()),
+              collect(oracle, Bytes(), Bytes()));
+    for (int round = 0; round < 16; ++round) {
+        Bytes a = rng.nextBytes(1 + rng.nextBounded(8));
+        Bytes b = rng.nextBytes(1 + rng.nextBounded(8));
+        if (b < a)
+            std::swap(a, b);
+        EXPECT_EQ(collect(*sharded, a, b), collect(oracle, a, b))
+            << "round " << round;
+    }
+    EXPECT_GT(reg.counter("kv.sharded.scan_merges").value(), 0u);
+}
+
+// The wire paging contract: stop after P entries, resume from
+// `last key + '\0'`, repeat. The concatenation of pages must be
+// exactly the unpaged scan — no loss or repeat at page boundaries,
+// which here also land mid-merge across shard cursors.
+TEST(ShardedStoreTest, PagedScanResumesLosslessly)
+{
+    obs::MetricsRegistry reg;
+    auto store = makeBTreeSharded(3, reg);
+    const uint64_t n = 1500;
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(store->put(makeKey(i), makeValue(i)).isOk());
+
+    std::vector<Bytes> full;
+    ASSERT_TRUE(store
+                    ->scan(Bytes(), Bytes(),
+                           [&full](BytesView k, BytesView) {
+                               full.emplace_back(k);
+                               return true;
+                           })
+                    .isOk());
+    ASSERT_EQ(full.size(), n);
+
+    // Page sizes chosen to land boundaries on, below, and above
+    // the internal merge chunk (128).
+    for (size_t page : {1u, 7u, 127u, 128u, 129u, 500u}) {
+        std::vector<Bytes> paged;
+        Bytes cursor; // empty = keyspace start
+        for (;;) {
+            size_t before = paged.size();
+            ASSERT_TRUE(
+                store
+                    ->scan(cursor, Bytes(),
+                           [&paged, before,
+                            page](BytesView k, BytesView) {
+                               paged.emplace_back(k);
+                               return paged.size() - before <
+                                      page;
+                           })
+                    .isOk());
+            size_t got = paged.size() - before;
+            if (got < page)
+                break;
+            cursor = paged.back();
+            cursor.push_back('\0');
+        }
+        EXPECT_EQ(paged, full) << "page size " << page;
+    }
+}
+
+TEST(ShardedStoreTest, CrossShardBatchSplitsAndCounts)
+{
+    obs::MetricsRegistry reg;
+    auto store = makeBTreeSharded(4, reg);
+
+    WriteBatch batch;
+    const uint64_t n = 64; // hashes cover all 4 shards w.h.p.
+    for (uint64_t i = 0; i < n; ++i)
+        batch.put(makeKey(i), makeValue(i));
+    ASSERT_TRUE(store->apply(batch).isOk());
+    EXPECT_EQ(store->liveKeyCount(), n);
+    EXPECT_EQ(reg.counter("kv.sharded.cross_shard_batches").value(),
+              1u);
+
+    // Batch entries landed on the shard the router predicts.
+    for (uint64_t i = 0; i < n; ++i) {
+        Bytes v;
+        uint32_t owner = ShardedKVStore::shardOf(makeKey(i), 4);
+        EXPECT_TRUE(store->shard(owner).get(makeKey(i), v).isOk());
+    }
+
+    // A batch confined to one shard is not a cross-shard batch.
+    WriteBatch one;
+    one.put(makeKey(0), makeValue(1));
+    ASSERT_TRUE(store->apply(one).isOk());
+    EXPECT_EQ(reg.counter("kv.sharded.cross_shard_batches").value(),
+              1u);
+}
+
+/**
+ * One shard's WAL breaks mid cross-shard BATCH: the apply must
+ * fail (no ack), and after a restart no *acked* batch may be
+ * partial. The earlier acked batch survives in full; the failed
+ * batch's key on the broken shard is absent — the applied prefix
+ * on healthy shards is permitted precisely because the batch was
+ * never acknowledged (the header contract, and why CacheTier
+ * invalidates even failed applies).
+ */
+TEST(ShardedStoreTest, OneShardWalFailureMeansNoAckAndNoTornAck)
+{
+    ScratchDir dir("sharded_fault");
+    Env *base = Env::defaultEnv();
+    const uint32_t kShards = 3;
+
+    // Pick one probe key per shard so the batch deterministically
+    // crosses all three.
+    std::vector<Bytes> key_for(kShards);
+    std::vector<bool> found(kShards, false);
+    for (uint64_t i = 0; !std::all_of(found.begin(), found.end(),
+                                      [](bool b) { return b; });
+         ++i) {
+        uint32_t s = ShardedKVStore::shardOf(makeKey(i), kShards);
+        if (!found[s]) {
+            found[s] = true;
+            key_for[s] = makeKey(i);
+        }
+    }
+
+    // Shard 1 gets its own FaultInjectionEnv (fault switches are
+    // per-env, and only this shard should break).
+    FaultInjectionEnv fault(base, 7);
+    auto open_all = [&](bool with_fault) {
+        std::vector<std::unique_ptr<KVStore>> shards;
+        for (uint32_t i = 0; i < kShards; ++i) {
+            LogStoreOptions lo;
+            lo.dir = dir.path() + "/shard-" + std::to_string(i);
+            lo.sync_appends = true;
+            lo.env = (with_fault && i == 1) ? &fault : base;
+            EXPECT_TRUE(base->createDirs(lo.dir).isOk());
+            auto opened = AppendLogStore::open(lo);
+            EXPECT_TRUE(opened.ok()) << opened.status().toString();
+            shards.push_back(opened.take());
+        }
+        ShardedOptions o;
+        o.lock_shards = true;
+        return std::make_unique<ShardedKVStore>(std::move(shards),
+                                                o);
+    };
+
+    {
+        auto store = open_all(/*with_fault=*/true);
+
+        // Acked cross-shard batch: every shard healthy.
+        WriteBatch acked;
+        for (uint32_t s = 0; s < kShards; ++s)
+            acked.put(key_for[s], makeValue(s, 32));
+        ASSERT_TRUE(store->apply(acked).isOk());
+
+        // Break shard 1's WAL, then try another cross-shard batch.
+        fault.setWriteError(true);
+        WriteBatch doomed;
+        for (uint32_t s = 0; s < kShards; ++s)
+            doomed.put(key_for[s], makeValue(100 + s, 32));
+        Status st = store->apply(doomed);
+        ASSERT_FALSE(st.isOk()) << "apply must not ack";
+        fault.setWriteError(false);
+    }
+
+    // Restart: reopen every shard from disk, fault cleared.
+    auto store = open_all(/*with_fault=*/false);
+    // The acked batch is whole — on the broken shard the acked
+    // value is still the acked one, not the doomed overwrite.
+    Bytes v;
+    ASSERT_TRUE(store->get(key_for[1], v).isOk());
+    EXPECT_EQ(v, makeValue(1, 32));
+    for (uint32_t s = 0; s < kShards; ++s) {
+        ASSERT_TRUE(store->get(key_for[s], v).isOk());
+        Bytes doomed_value = makeValue(100 + s, 32);
+        if (s == 1)
+            EXPECT_EQ(v, makeValue(s, 32));
+        else
+            EXPECT_TRUE(v == makeValue(s, 32) ||
+                        v == doomed_value)
+                << "healthy shard may hold the unacked prefix";
+    }
+}
+
+TEST(ShardedStoreTest, ShardMarkerRefusesMismatchedReopen)
+{
+    ScratchDir dir("sharded_marker");
+    Env *env = Env::defaultEnv();
+    ASSERT_TRUE(
+        ShardedKVStore::checkShardMarker(env, dir.path(), 4)
+            .isOk());
+    // Same count: fine. Different count: refused, not rewritten.
+    EXPECT_TRUE(
+        ShardedKVStore::checkShardMarker(env, dir.path(), 4)
+            .isOk());
+    Status s =
+        ShardedKVStore::checkShardMarker(env, dir.path(), 8);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_TRUE(
+        ShardedKVStore::checkShardMarker(env, dir.path(), 4)
+            .isOk());
+}
+
+TEST(ShardedStoreTest, StatsAndNameAggregateAcrossShards)
+{
+    obs::MetricsRegistry reg;
+    auto store = makeBTreeSharded(2, reg);
+    ASSERT_TRUE(store->put(makeKey(1), makeValue(1)).isOk());
+    ASSERT_TRUE(store->put(makeKey(2), makeValue(2)).isOk());
+    Bytes v;
+    ASSERT_TRUE(store->get(makeKey(1), v).isOk());
+
+    const IOStats &st = store->stats();
+    EXPECT_EQ(st.user_writes, 2u);
+    EXPECT_EQ(st.user_reads, 1u);
+    EXPECT_EQ(store->name(), "sharded(btree x2)");
+    EXPECT_EQ(reg.gauge("kv.sharded.shards").value(), 2);
+}
+
+} // namespace
+} // namespace ethkv::kv

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ThreadSanitizer stress for ShardedKVStore over live LSM shards,
+ * always built with -fsanitize=thread (see tests/CMakeLists.txt,
+ * ctest entry sharded.tsan_multi_shard_stress).
+ *
+ * Four LSM shards with tiny memtables, so every shard's private
+ * maintenance thread flushes and compacts continuously, while
+ * writers issue point ops and cross-shard batches, scanners drive
+ * the k-way merge (which interleaves chunked cursors over all four
+ * engines), a flusher exercises the whole-store barrier, and a
+ * stats poller merges per-shard counters. A data race anywhere in
+ * the router — cursor buffers, sub-batch split, the flush mutex,
+ * the merged-stats path — fails every plain `ctest` run.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.hh"
+#include "kvstore/lsm_store.hh"
+#include "kvstore/sharded_store.hh"
+#include "kvstore/write_batch.hh"
+#include "test_util.hh"
+
+using namespace ethkv;
+
+namespace
+{
+
+std::atomic<int> failures{0};
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "tsan_sharded_stress: FAILED: %s\n",
+                     what);
+        ++failures;
+    }
+}
+
+constexpr uint32_t num_shards = 4;
+constexpr int num_writers = 4;
+constexpr int num_scanners = 2;
+constexpr auto run_time = std::chrono::seconds(4);
+
+Bytes
+key(int writer, uint64_t i)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "w%02d-%010llu", writer,
+                  static_cast<unsigned long long>(i));
+    return buf;
+}
+
+void
+writerBody(kv::ShardedKVStore &store,
+           std::chrono::steady_clock::time_point deadline,
+           int writer)
+{
+    Bytes value(96, static_cast<char>('a' + writer));
+    uint64_t i = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        uint64_t k = i % 3000;
+        check(store.put(key(writer, k), value).isOk(),
+              "writer put");
+        if (i % 5 == 0) {
+            // Cross-shard batch: sequential keys hash across all
+            // shards, driving the sub-batch split concurrently
+            // with other writers' batches.
+            kv::WriteBatch batch;
+            for (uint64_t j = 0; j < 8; ++j)
+                batch.put(key(writer, (k + j) % 3000), value);
+            batch.del(key(writer, (k + 1500) % 3000));
+            check(store.apply(batch).isOk(), "writer batch");
+        }
+        if (i % 997 == 0) {
+            Bytes got;
+            check(store.get(key(writer, k), got).isOk(),
+                  "writer read-own-write");
+        }
+        ++i;
+    }
+}
+
+void
+scannerBody(kv::ShardedKVStore &store,
+            std::chrono::steady_clock::time_point deadline,
+            int scanner)
+{
+    while (std::chrono::steady_clock::now() < deadline) {
+        // The merged stream must be strictly ascending no matter
+        // which shard's cursor refills mid-merge.
+        int target = scanner * 3 % num_writers;
+        Bytes prev;
+        Status s = store.scan(
+            key(target, 0), key(target, 9999999999ull),
+            [&prev](BytesView k, BytesView) {
+                if (!prev.empty() && BytesView(prev) >= k) {
+                    check(false, "merged scan order");
+                    return false;
+                }
+                prev = Bytes(k);
+                return true;
+            });
+        check(s.isOk(), "scan status");
+    }
+}
+
+void
+maintBody(kv::ShardedKVStore &store,
+          std::chrono::steady_clock::time_point deadline)
+{
+    while (std::chrono::steady_clock::now() < deadline) {
+        check(store.flush().isOk(), "barrier flush");
+        store.stats();
+        store.liveKeyCount();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    testutil::ScratchDir dir("tsan_sharded");
+    std::vector<std::unique_ptr<kv::KVStore>> shards;
+    for (uint32_t i = 0; i < num_shards; ++i) {
+        kv::LSMOptions options;
+        options.dir = dir.path() + "/shard-" + std::to_string(i);
+        Status s =
+            Env::defaultEnv()->createDirs(options.dir);
+        if (!s.isOk()) {
+            std::fprintf(stderr,
+                         "tsan_sharded_stress: mkdir failed: %s\n",
+                         s.toString().c_str());
+            return 1;
+        }
+        // Tiny memtable + aggressive level budgets so each shard's
+        // maintenance thread runs the entire time.
+        options.memtable_bytes = 32 << 10;
+        options.l0_compaction_trigger = 3;
+        options.level_base_bytes = 64 << 10;
+        options.target_file_bytes = 16 << 10;
+        auto opened = kv::LSMStore::open(options);
+        if (!opened.ok()) {
+            std::fprintf(stderr,
+                         "tsan_sharded_stress: open failed: %s\n",
+                         opened.status().toString().c_str());
+            return 1;
+        }
+        shards.push_back(opened.take());
+    }
+    kv::ShardedKVStore store(std::move(shards),
+                             kv::ShardedOptions{});
+
+    auto deadline = std::chrono::steady_clock::now() + run_time;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < num_writers; ++w)
+        threads.emplace_back([&store, deadline, w] {
+            writerBody(store, deadline, w);
+        });
+    for (int s = 0; s < num_scanners; ++s)
+        threads.emplace_back([&store, deadline, s] {
+            scannerBody(store, deadline, s);
+        });
+    threads.emplace_back(
+        [&store, deadline] { maintBody(store, deadline); });
+    for (std::thread &t : threads)
+        t.join();
+
+    check(store.flush().isOk(), "final flush");
+    kv::IOStats io = store.stats();
+    std::fprintf(
+        stderr,
+        "tsan_sharded_stress: flush_bytes=%llu compactions=%llu"
+        " live=%llu\n",
+        static_cast<unsigned long long>(io.flush_bytes),
+        static_cast<unsigned long long>(io.compactions),
+        static_cast<unsigned long long>(store.liveKeyCount()));
+    check(io.flush_bytes > 0, "background flushes ran");
+
+    if (failures) {
+        std::fprintf(stderr, "tsan_sharded_stress: %d failures\n",
+                     failures.load());
+        return 1;
+    }
+    std::fprintf(stderr, "tsan_sharded_stress: PASS\n");
+    return 0;
+}

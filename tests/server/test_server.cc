@@ -22,6 +22,7 @@
 #include "kvstore/hash_store.hh"
 #include "kvstore/locked_store.hh"
 #include "kvstore/log_store.hh"
+#include "kvstore/sharded_store.hh"
 #include "server/client.hh"
 #include "server/net_socket.hh"
 #include "server/server.hh"
@@ -200,6 +201,57 @@ TEST(ServerTest, ScanHonorsByteBudget)
     Bytes got;
     ASSERT_TRUE(client->get(makeKey(0, "bb"), got).isOk());
     EXPECT_EQ(got, value);
+}
+
+TEST(ServerTest, ShardedScanPagesLosslesslyOverTheWire)
+{
+    // The wire paging contract over a sharded engine (DESIGN.md
+    // §15): truncated responses resume through the k-way merge,
+    // and the reassembled stream is every key exactly once, in
+    // global order, exactly as a single store would page it.
+    std::vector<std::unique_ptr<kv::KVStore>> shards;
+    for (int i = 0; i < 4; ++i)
+        shards.push_back(std::make_unique<kv::BTreeStore>());
+    kv::ShardedOptions sopts;
+    sopts.lock_shards = true;
+    kv::ShardedKVStore store(std::move(shards), sopts);
+
+    ServerOptions options;
+    options.scan_byte_budget = 2048;
+    Server server(store, options);
+    server.start().expectOk("sharded test server start");
+    auto client = Client::open("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().message();
+
+    const std::string value(100, 'v');
+    const uint64_t n = 200;
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(
+            client.value()->put(makeKey(i, "sh"), value).isOk());
+
+    std::vector<Bytes> keys;
+    ScanResult scan;
+    ASSERT_TRUE(client.value()
+                    ->scan(makeKey(0, "sh"), makeKey(n, "sh"),
+                           1000, scan)
+                    .isOk());
+    EXPECT_TRUE(scan.truncated); // the budget forces paging
+    for (;;) {
+        ASSERT_FALSE(scan.entries.empty());
+        for (const auto &e : scan.entries)
+            keys.push_back(e.key);
+        if (!scan.truncated)
+            break;
+        Bytes next_start = keys.back() + '\0';
+        ASSERT_TRUE(client.value()
+                        ->scan(next_start, makeKey(n, "sh"),
+                               1000, scan)
+                        .isOk());
+    }
+    ASSERT_EQ(keys.size(), n);
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_EQ(keys[i], makeKey(i, "sh"));
+    server.stop();
 }
 
 TEST(ServerTest, LargeValuesSurviveTheWire)

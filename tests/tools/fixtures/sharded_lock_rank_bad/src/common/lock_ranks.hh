@@ -1,0 +1,27 @@
+// Rank table that contradicts the sharded-router flush barrier:
+// the barrier mutex outranks the per-shard engine lock, yet
+// router.cc acquires the barrier first — the held->acquired edge
+// descends in rank.
+#ifndef ETHKV_COMMON_LOCK_RANKS_HH
+#define ETHKV_COMMON_LOCK_RANKS_HH
+
+namespace ethkv::lock_ranks
+{
+
+inline constexpr int kShardedStore = 30;
+inline constexpr int kLockedStore = 28;
+
+struct Entry
+{
+    const char *mutex;
+    int rank;
+};
+
+inline constexpr Entry kLockRanks[] = {
+    {"Router::flush_mutex_", kShardedStore},
+    {"Router::shard_mutex_", kLockedStore},
+};
+
+} // namespace ethkv::lock_ranks
+
+#endif // ETHKV_COMMON_LOCK_RANKS_HH

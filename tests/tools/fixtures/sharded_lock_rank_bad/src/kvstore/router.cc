@@ -1,0 +1,21 @@
+namespace ethkv::kv
+{
+
+class Router
+{
+  public:
+    void
+    flushAll()
+    {
+        MutexLock barrier(flush_mutex_);
+        MutexLock engine(shard_mutex_);
+        ++flushes_;
+    }
+
+  private:
+    Mutex flush_mutex_;
+    Mutex shard_mutex_;
+    int flushes_ = 0;
+};
+
+} // namespace ethkv::kv

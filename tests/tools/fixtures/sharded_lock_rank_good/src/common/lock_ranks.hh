@@ -1,0 +1,27 @@
+// The sharded-router discipline (DESIGN.md §15): the router's
+// flush-barrier mutex ranks BELOW the per-shard engine lock it
+// acquires while flushing every shard, so the table agrees with
+// the acquisition order in router.cc.
+#ifndef ETHKV_COMMON_LOCK_RANKS_HH
+#define ETHKV_COMMON_LOCK_RANKS_HH
+
+namespace ethkv::lock_ranks
+{
+
+inline constexpr int kShardedStore = 28;
+inline constexpr int kLockedStore = 30;
+
+struct Entry
+{
+    const char *mutex;
+    int rank;
+};
+
+inline constexpr Entry kLockRanks[] = {
+    {"Router::flush_mutex_", kShardedStore},
+    {"Router::shard_mutex_", kLockedStore},
+};
+
+} // namespace ethkv::lock_ranks
+
+#endif // ETHKV_COMMON_LOCK_RANKS_HH

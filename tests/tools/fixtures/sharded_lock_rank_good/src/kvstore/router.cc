@@ -1,0 +1,24 @@
+namespace ethkv::kv
+{
+
+// Shape of ShardedKVStore's whole-store flush barrier: the barrier
+// mutex is held across the per-shard engine lock, so the barrier
+// must rank below the engine lock.
+class Router
+{
+  public:
+    void
+    flushAll()
+    {
+        MutexLock barrier(flush_mutex_);
+        MutexLock engine(shard_mutex_);
+        ++flushes_;
+    }
+
+  private:
+    Mutex flush_mutex_;
+    Mutex shard_mutex_;
+    int flushes_ = 0;
+};
+
+} // namespace ethkv::kv

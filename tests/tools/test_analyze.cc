@@ -49,6 +49,7 @@ struct Family
 const Family kFamilies[] = {
     {"lock_order", "lock-order", runLockOrder},
     {"lock_rank", "lock-rank", runLockRank},
+    {"sharded_lock_rank", "lock-rank", runLockRank},
     {"layering", "layering", runLayering},
     {"status", "status", runStatusDiscipline},
     {"hot_path", "hot-path", runHotPath},
